@@ -1,0 +1,68 @@
+// Ablation: adaptive two-phase SFI (measure p per subpopulation, then
+// re-plan) against the paper's one-shot approaches, replayed against the
+// exhaustive census. The adaptive campaign removes the data-aware method's
+// reliance on the weight-distribution heuristic at the cost of a pilot
+// round — it is the realizable form of Neyman allocation.
+
+#include <iostream>
+
+#include "core/adaptive.hpp"
+#include "core/data_aware.hpp"
+#include "core/estimator.hpp"
+#include "core/testbed.hpp"
+#include "report/table.hpp"
+
+using namespace statfi;
+
+int main() {
+    core::Testbed testbed;
+    const auto& universe = testbed.universe();
+    const auto& truth = testbed.ground_truth();
+    const stats::SampleSpec spec;  // e = 1%, 99%
+
+    std::cout << "Ablation: adaptive two-phase SFI vs one-shot approaches "
+                 "(replayed against the census)\n\n";
+
+    report::Table table({"Approach", "FIs", "Avg layer margin [%]",
+                         "Layers contained", "Max |layer error| [%]"});
+
+    auto add_campaign = [&](const char* name,
+                            const core::CampaignResult& result,
+                            std::uint64_t injected) {
+        const auto v =
+            core::validate_against_exhaustive(universe, result, truth);
+        table.add_row({name, report::fmt_u64(injected),
+                       report::fmt_percent(v.avg_layer_margin, 3),
+                       std::to_string(v.layers_contained) + "/" +
+                           std::to_string(v.layers_total),
+                       report::fmt_percent(v.max_layer_abs_error, 3)});
+    };
+
+    const auto lw = core::replay(universe, core::plan_layer_wise(universe, spec),
+                                 truth, testbed.rng("adapt-lw"));
+    add_campaign("layer-wise (one-shot)", lw, lw.total_injected());
+
+    const auto crit = core::analyze_network(testbed.network());
+    const auto da =
+        core::replay(universe, core::plan_data_aware(universe, spec, crit),
+                     truth, testbed.rng("adapt-da"));
+    add_campaign("data-aware (one-shot)", da, da.total_injected());
+
+    for (const std::uint64_t pilot : {20ull, 50ull, 100ull}) {
+        core::AdaptiveConfig config;
+        config.spec = spec;
+        config.pilot_size = pilot;
+        const auto adaptive = core::replay_adaptive(
+            universe, truth, config,
+            testbed.rng("adaptive-" + std::to_string(pilot)));
+        add_campaign(("adaptive, pilot=" + std::to_string(pilot)).c_str(),
+                     adaptive.combined, adaptive.total_injected());
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(the adaptive campaign needs no weight-distribution "
+                 "assumption: the pilot measures each subpopulation's p "
+                 "directly, then Eq. 1 sizes the remainder — cost between "
+                 "data-aware and layer-wise, margins comparable)\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 1 of the paper.
+// Left: the probability-of-success curve p*(1-p) — maximal at p = 0.5, the
+// reason p = 0.5 is the "safest" (most expensive) prior and any data-aware
+// p != 0.5 shrinks the sample size.
+// Right: the proposed subpopulation structure N(i,l) — illustrated on
+// ResNet-20 layer 0.
+
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "fault/universe.hpp"
+#include "models/resnet_cifar.hpp"
+#include "report/table.hpp"
+#include "stats/sample_size.hpp"
+
+using namespace statfi;
+
+int main() {
+    std::cout << "Fig. 1 (left): p * (1 - p) vs p — maximum at p = 0.5\n\n";
+    report::Table curve({"p", "p*(1-p)", "n for N=1e6 (e=1%, 99%)"});
+    for (int i = 0; i <= 20; ++i) {
+        const double p = i / 20.0;
+        stats::SampleSpec spec;
+        spec.p = p;
+        curve.add_row({report::fmt_double(p, 2),
+                       report::fmt_double(p * (1 - p), 4),
+                       report::fmt_u64(stats::sample_size(1'000'000, spec))});
+    }
+    curve.print(std::cout);
+
+    std::cout << "\nAs a curve:\n";
+    for (int i = 0; i <= 20; ++i) {
+        const double p = i / 20.0;
+        std::cout << report::bar("p=" + report::fmt_double(p, 2), p * (1 - p),
+                                 0.25, 40, 8)
+                  << '\n';
+    }
+
+    std::cout << "\nFig. 1 (right): subpopulations N(i,l) — ResNet-20, "
+                 "layer 0 (432 weights, 32-bit FP, stuck-at-0/1)\n\n";
+    auto net = models::make_resnet20();
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+    std::cout << "whole network: N = " << report::fmt_u64(universe.total())
+              << " faults\n"
+              << "  layer l=0:   N_l = "
+              << report::fmt_u64(universe.layer_population(0)) << " faults\n"
+              << "    bit i=31..0: N_(i,l) = "
+              << report::fmt_u64(universe.bit_population(0))
+              << " faults each (432 weights x 2 polarities)\n"
+              << "    -> 32 independent subpopulations per layer, "
+              << universe.layer_count() * universe.bits()
+              << " subpopulations total;\n"
+              << "       within each, every fault plausibly shares the same "
+                 "success probability p\n"
+              << "       (the 4th Bernoulli assumption), so Eq. 1 applies "
+                 "per subpopulation (Eq. 3).\n";
+    return 0;
+}

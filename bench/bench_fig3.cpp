@@ -1,0 +1,51 @@
+// Reproduces Fig. 3 of the paper: how often each bit position is 0 (f0) or
+// 1 (f1) across the ResNet-20 weight distribution.
+//
+// Shape to reproduce: sign ~50/50; exponent MSB always 0 (|w| << 2); the
+// next exponent bits almost always 1; mantissa bits ~50/50.
+
+#include <iostream>
+
+#include "core/data_aware.hpp"
+#include "models/resnet_cifar.hpp"
+#include "nn/init.hpp"
+#include "report/table.hpp"
+
+using namespace statfi;
+
+int main() {
+    auto net = models::make_resnet20();
+    stats::Rng rng(2023);
+    nn::init_network_kaiming(net, rng);
+    const auto crit = core::analyze_network(net);
+    const auto weights = net.total_weight_count();
+
+    std::cout << "Fig. 3: bit-value frequencies over the ResNet-20 weight "
+                 "distribution ("
+              << report::fmt_u64(weights) << " weights)\n\n";
+
+    report::Table table({"Bit", "Field", "f0(i) count", "f1(i) count",
+                         "f1(i) [%]"});
+    for (int bit = 31; bit >= 0; --bit) {
+        const auto idx = static_cast<std::size_t>(bit);
+        const char* field = bit == 31 ? "sign"
+                            : bit >= 23 ? "exponent"
+                                        : "mantissa";
+        table.add_row(
+            {std::to_string(bit), field,
+             report::fmt_u64(static_cast<std::uint64_t>(
+                 crit.f0[idx] * static_cast<double>(weights) + 0.5)),
+             report::fmt_u64(static_cast<std::uint64_t>(
+                 crit.f1[idx] * static_cast<double>(weights) + 0.5)),
+             report::fmt_percent(crit.f1[idx], 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nf1(i) profile:\n";
+    for (int bit = 31; bit >= 0; --bit)
+        std::cout << report::bar("bit " + std::to_string(bit),
+                                 crit.f1[static_cast<std::size_t>(bit)], 1.0,
+                                 40, 8)
+                  << '\n';
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 5 of the paper: per-layer critical rate with error
+// margins for the layer-wise and data-aware SFIs, against the exhaustive
+// per-layer rate — on the validation substrate.
+//
+// Shape to reproduce: both approaches track the exhaustive per-layer
+// criticality; the exhaustive value falls inside every error bar; the
+// data-aware bars use far fewer injections.
+
+#include <iostream>
+
+#include "core/data_aware.hpp"
+#include "core/estimator.hpp"
+#include "core/testbed.hpp"
+#include "report/table.hpp"
+
+using namespace statfi;
+
+int main() {
+    core::Testbed testbed;
+    const auto& universe = testbed.universe();
+    const auto& truth = testbed.ground_truth();
+    const stats::SampleSpec spec;
+
+    const auto criticality = core::analyze_network(testbed.network());
+    const auto lw_plan = core::plan_layer_wise(universe, spec);
+    const auto da_plan = core::plan_data_aware(universe, spec, criticality);
+
+    const auto lw_result =
+        core::replay(universe, lw_plan, truth, testbed.rng("fig5-layer-wise"));
+    const auto da_result =
+        core::replay(universe, da_plan, truth, testbed.rng("fig5-data-aware"));
+
+    const auto lw_layers = core::estimate_layers(universe, lw_result);
+    const auto da_layers = core::estimate_layers(universe, da_result);
+
+    std::cout << "Fig. 5: layer-wise and data-aware SFIs vs exhaustive, "
+                 "per layer\n\n";
+    report::Table table({"Layer", "Exhaustive [%]", "Layer-wise [%]",
+                         "LW margin [%]", "LW ok", "Data-aware [%]",
+                         "DA margin [%]", "DA ok", "LW FIs", "DA FIs"});
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        const double exact = truth.layer_critical_rate(universe, l);
+        const auto& lw = lw_layers[static_cast<std::size_t>(l)].estimate;
+        const auto& da = da_layers[static_cast<std::size_t>(l)].estimate;
+        table.add_row({std::to_string(l), report::fmt_percent(exact, 3),
+                       report::fmt_percent(lw.rate, 3),
+                       report::fmt_percent(lw.margin, 3),
+                       lw.contains(exact) ? "yes" : "NO",
+                       report::fmt_percent(da.rate, 3),
+                       report::fmt_percent(da.margin, 3),
+                       da.contains(exact) ? "yes" : "NO",
+                       report::fmt_u64(lw.injected),
+                       report::fmt_u64(da.injected)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntotal FIs: layer-wise "
+              << report::fmt_u64(lw_result.total_injected()) << ", data-aware "
+              << report::fmt_u64(da_result.total_injected()) << " (of "
+              << report::fmt_u64(universe.total()) << " possible)\n"
+              << "avg margins: layer-wise "
+              << report::fmt_percent(core::average_layer_margin(lw_layers), 3)
+              << "%, data-aware "
+              << report::fmt_percent(core::average_layer_margin(da_layers), 3)
+              << "%\n"
+              << "(paper: in layers where the data-aware SFI injects fewer "
+                 "faults, its estimate stays accurate — margins below the "
+                 "1% requirement)\n";
+    return 0;
+}

@@ -1,0 +1,136 @@
+// Engineering micro-benchmarks (google-benchmark): the costs that determine
+// campaign throughput — forward passes, partial re-execution, injection,
+// sampling, and planning. Not a paper table; quantifies DESIGN.md §5's
+// claims (partial re-execution speedup, masked short-circuit).
+
+#include <benchmark/benchmark.h>
+
+#include "core/data_aware.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "data/synthetic.hpp"
+#include "fault/injector.hpp"
+#include "models/registry.hpp"
+#include "nn/init.hpp"
+#include "stats/sampling.hpp"
+
+using namespace statfi;
+
+namespace {
+
+nn::Network prepared(const std::string& name) {
+    auto net = models::build_model(name);
+    stats::Rng rng(1);
+    nn::init_network_kaiming(net, rng);
+    return net;
+}
+
+void BM_MicroNetForward(benchmark::State& state) {
+    auto net = prepared("micronet");
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_MicroNetForward);
+
+void BM_ResNet20Forward(benchmark::State& state) {
+    auto net = prepared("resnet20");
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_ResNet20Forward);
+
+void BM_MobileNetV2Forward(benchmark::State& state) {
+    auto net = prepared("mobilenetv2");
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    for (auto _ : state) benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_MobileNetV2Forward);
+
+/// Partial re-execution from each weight layer of ResNet-20 vs full forward:
+/// the speedup that makes exhaustive censuses tractable.
+void BM_PartialReexecution(benchmark::State& state) {
+    auto net = prepared("resnet20");
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    std::vector<Tensor> golden, scratch;
+    net.forward_all(x, golden);
+    const auto refs = net.weight_layers();
+    const int node = refs[static_cast<std::size_t>(state.range(0))].node_id;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forward_from(node, x, golden, scratch));
+}
+BENCHMARK(BM_PartialReexecution)->Arg(0)->Arg(7)->Arg(13)->Arg(19);
+
+void BM_InjectorApplyRestore(benchmark::State& state) {
+    auto net = prepared("resnet20");
+    fault::WeightInjector injector(net);
+    fault::Fault f;
+    f.layer = 10;
+    f.weight_index = 123;
+    f.bit = 30;
+    f.model = fault::FaultModel::StuckAt1;
+    for (auto _ : state) {
+        const auto record = injector.apply(f);
+        injector.restore(f, record);
+        benchmark::DoNotOptimize(record);
+    }
+}
+BENCHMARK(BM_InjectorApplyRestore);
+
+void BM_MaskedShortCircuit(benchmark::State& state) {
+    auto net = prepared("micronet");
+    data::SyntheticSpec spec;
+    auto eval = data::make_synthetic(spec, 4, "test");
+    core::CampaignExecutor exec(net, eval);
+    fault::Fault f;  // bit 30 stuck-at-0: masked on Kaiming weights
+    f.layer = 2;
+    f.weight_index = 5;
+    f.bit = 30;
+    f.model = fault::FaultModel::StuckAt0;
+    for (auto _ : state) benchmark::DoNotOptimize(exec.evaluate(f));
+}
+BENCHMARK(BM_MaskedShortCircuit);
+
+void BM_FaultEvaluation(benchmark::State& state) {
+    auto net = prepared("micronet");
+    data::SyntheticSpec spec;
+    auto eval = data::make_synthetic(spec, 4, "test");
+    core::CampaignExecutor exec(net, eval);
+    fault::Fault f;  // bit flips are never masked: guaranteed live inference
+    f.layer = 2;
+    f.weight_index = 5;
+    f.bit = 12;
+    f.model = fault::FaultModel::BitFlip;
+    for (auto _ : state) benchmark::DoNotOptimize(exec.evaluate(f));
+}
+BENCHMARK(BM_FaultEvaluation);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+    stats::Rng rng(3);
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::sample_without_replacement(141'029'376ull, n, rng));
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(1000)->Arg(16639);
+
+void BM_PlanDataAware(benchmark::State& state) {
+    auto net = prepared("resnet20");
+    auto universe = fault::FaultUniverse::stuck_at(net);
+    const auto crit = core::analyze_network(net);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::plan_data_aware(universe, stats::SampleSpec{}, crit));
+}
+BENCHMARK(BM_PlanDataAware);
+
+void BM_AnalyzeWeights(benchmark::State& state) {
+    auto net = prepared("resnet20");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::analyze_network(net));
+}
+BENCHMARK(BM_AnalyzeWeights);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table II of the paper: MobileNetV2 totals — 54 weight layers,
+// 2,203,584 parameters, 141,029,376 stuck-at faults — and the total sample
+// sizes of the four statistical approaches.
+
+#include <iostream>
+
+#include "core/data_aware.hpp"
+#include "core/planner.hpp"
+#include "fault/universe.hpp"
+#include "models/mobilenetv2.hpp"
+#include "nn/init.hpp"
+#include "report/table.hpp"
+
+using namespace statfi;
+
+int main() {
+    auto net = models::make_mobilenetv2();
+    stats::Rng rng(2023);
+    nn::init_network_kaiming(net, rng);
+    auto universe = fault::FaultUniverse::stuck_at(net);
+
+    const stats::SampleSpec spec;
+    const auto criticality = core::analyze_network(net);
+
+    std::cout << "Table II: MobileNetV2 — Exhaustive vs Statistical FIs "
+                 "(total numbers)\n\n";
+
+    report::Table table({"Total Layers", "Total Parameters", "Exhaustive FI",
+                         "Network-wise [9]", "Layer-wise", "Data-unaware",
+                         "Data-aware"});
+    table.add_row(
+        {std::to_string(universe.layer_count()),
+         report::fmt_u64(net.total_weight_count()),
+         report::fmt_u64(universe.total()),
+         report::fmt_u64(
+             core::plan_network_wise(universe, spec).total_sample_size()),
+         report::fmt_u64(
+             core::plan_layer_wise(universe, spec).total_sample_size()),
+         report::fmt_u64(
+             core::plan_data_unaware(universe, spec).total_sample_size()),
+         report::fmt_u64(core::plan_data_aware(universe, spec, criticality)
+                             .total_sample_size())});
+    table.print(std::cout);
+
+    std::cout << "\nPaper row: 54 | 2,203,584 | 141,029,376 | 16,639 | "
+                 "838,988 | 14,894,400 | 778,951\n"
+              << "(data-aware depends on the weight distribution; trained vs "
+                 "Kaiming weights differ in digits, not in ordering)\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/activation_campaign.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::core {
+
+ActivationCampaignExecutor::ActivationCampaignExecutor(
+    nn::Network& net, const data::Dataset& eval, ExecutorConfig config)
+    : net_(&net), config_(config) {
+    const std::int64_t count = eval.size();
+    if (count == 0)
+        throw std::invalid_argument(
+            "ActivationCampaignExecutor: empty evaluation set");
+    labels_ = eval.labels;
+    golden_acts_.resize(static_cast<std::size_t>(count));
+    golden_preds_.resize(static_cast<std::size_t>(count));
+    std::uint64_t correct = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+        images_.push_back(eval.image(i));
+        auto& acts = golden_acts_[static_cast<std::size_t>(i)];
+        net.forward_all(images_.back(), acts);
+        golden_preds_[static_cast<std::size_t>(i)] =
+            nn::argmax_row(acts.back(), 0);
+        correct += golden_preds_[static_cast<std::size_t>(i)] ==
+                   labels_[static_cast<std::size_t>(i)];
+    }
+    golden_accuracy_ =
+        static_cast<double>(correct) / static_cast<double>(count);
+}
+
+FaultOutcome ActivationCampaignExecutor::evaluate(
+    const fault::ActivationFault& fault, std::int64_t image_index) {
+    const auto i = static_cast<std::size_t>(image_index);
+    if (i >= images_.size())
+        throw std::out_of_range("ActivationCampaignExecutor: image index");
+    auto& acts = golden_acts_[i];
+    Tensor& act = acts[static_cast<std::size_t>(fault.node)];
+    if (fault.element >= act.numel())
+        throw std::out_of_range("ActivationCampaignExecutor: element index");
+
+    const float saved = act[fault.element];
+    act[fault.element] =
+        fault::apply_bit_flip(saved, fault.bit, fault::DataType::Float32);
+    // Only nodes AFTER the corrupted one re-run; when the corrupted node is
+    // the last one, forward_from returns the (corrupted) golden output.
+    const Tensor& logits =
+        net_->forward_from(fault.node + 1, images_[i], acts, scratch_);
+    int prediction = nn::argmax_row(logits, 0);
+    if (!std::isfinite(logits[static_cast<std::size_t>(prediction)]))
+        prediction = -1;
+    act[fault.element] = saved;
+
+    switch (config_.policy) {
+        case ClassificationPolicy::AnyMisprediction:
+            return (golden_preds_[i] == labels_[i] && prediction != labels_[i])
+                       ? FaultOutcome::Critical
+                       : FaultOutcome::NonCritical;
+        case ClassificationPolicy::GoldenMismatch:
+        case ClassificationPolicy::AccuracyDrop:  // single-inference fault:
+                                                  // drop == one flip
+            return prediction != golden_preds_[i] ? FaultOutcome::Critical
+                                                  : FaultOutcome::NonCritical;
+    }
+    return FaultOutcome::NonCritical;
+}
+
+CampaignPlan ActivationCampaignExecutor::plan_node_wise(
+    const fault::ActivationUniverse& universe,
+    const stats::SampleSpec& spec) const {
+    CampaignPlan plan;
+    plan.approach = Approach::LayerWise;  // per-node == per-layer granularity
+    plan.spec = spec;
+    for (int node = 0; node < universe.node_count(); ++node) {
+        SubpopPlan sp;
+        sp.layer = node;
+        sp.bit = -1;
+        sp.population = universe.node_population(node);
+        sp.p = spec.p;
+        sp.sample_size = stats::sample_size(sp.population, spec);
+        plan.subpops.push_back(sp);
+    }
+    return plan;
+}
+
+CampaignResult ActivationCampaignExecutor::run(
+    const fault::ActivationUniverse& universe, const CampaignPlan& plan,
+    stats::Rng rng) {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    std::uint64_t subpop_index = 0;
+    std::uint64_t fault_counter = 0;
+    for (const auto& sp : plan.subpops) {
+        auto stream = rng.fork(subpop_index++);
+        SubpopResult tally;
+        tally.plan = sp;
+        const auto indices =
+            stats::sample_indices(sp.population, sp.sample_size, stream);
+        for (const auto local : indices) {
+            const auto fault =
+                universe.decode(universe.node_offset(sp.layer) + local);
+            const auto image = static_cast<std::int64_t>(
+                fault_counter++ % images_.size());
+            const FaultOutcome outcome = evaluate(fault, image);
+            ++tally.injected;
+            if (outcome == FaultOutcome::Critical) ++tally.critical;
+        }
+        result.subpops.push_back(std::move(tally));
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,50 @@
+#pragma once
+// Campaign execution for transient activation faults.
+//
+// A transient fault lives in ONE inference: the executor picks the target
+// image, corrupts one element of one node's golden activation, re-runs only
+// the downstream sub-graph, and compares the prediction under the
+// configured policy. Images are assigned to sampled faults round-robin so a
+// campaign integrates over the evaluation set without a per-fault RNG.
+
+#include "core/executor.hpp"
+#include "fault/activation.hpp"
+
+namespace statfi::core {
+
+class ActivationCampaignExecutor {
+public:
+    ActivationCampaignExecutor(nn::Network& net, const data::Dataset& eval,
+                               ExecutorConfig config = {});
+
+    [[nodiscard]] double golden_accuracy() const noexcept {
+        return golden_accuracy_;
+    }
+
+    /// Classify one activation fault during image @p image_index's inference.
+    FaultOutcome evaluate(const fault::ActivationFault& fault,
+                          std::int64_t image_index);
+
+    /// Per-node subpopulation plan (the activation analogue of layer-wise):
+    /// Eq. 1 per node at the spec's p.
+    [[nodiscard]] CampaignPlan plan_node_wise(
+        const fault::ActivationUniverse& universe,
+        const stats::SampleSpec& spec) const;
+
+    /// Run a node-wise plan; subpopulation s of the result maps to graph
+    /// node plan.subpops[s].layer (node ids reuse the layer field).
+    CampaignResult run(const fault::ActivationUniverse& universe,
+                       const CampaignPlan& plan, stats::Rng rng);
+
+private:
+    nn::Network* net_;
+    ExecutorConfig config_;
+    std::vector<Tensor> images_;
+    std::vector<int> labels_;
+    std::vector<std::vector<Tensor>> golden_acts_;
+    std::vector<int> golden_preds_;
+    double golden_accuracy_ = 0.0;
+    std::vector<Tensor> scratch_;
+};
+
+}  // namespace statfi::core

@@ -1,0 +1,110 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::core {
+
+namespace {
+
+/// Shared two-phase logic; @p classify maps a subpopulation-local index to
+/// an outcome (live injection or ground-truth lookup).
+AdaptiveResult run_two_phase(
+    const fault::FaultUniverse& universe, const AdaptiveConfig& config,
+    stats::Rng rng,
+    const std::function<FaultOutcome(int layer, int bit, std::uint64_t local)>&
+        classify) {
+    AdaptiveResult result;
+    result.combined.approach = Approach::DataAware;  // closest family
+    result.combined.spec = config.spec;
+
+    std::uint64_t subpop_index = 0;
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        for (int bit = 0; bit < universe.bits(); ++bit) {
+            const std::uint64_t population = universe.bit_population(l);
+            auto pilot_rng = rng.fork(subpop_index);
+            auto refine_rng = rng.fork(subpop_index + 0x100000);
+            ++subpop_index;
+
+            // Phase 1: pilot.
+            const std::uint64_t n_pilot =
+                std::min(config.pilot_size, population);
+            auto indices =
+                stats::sample_indices(population, n_pilot, pilot_rng);
+            std::uint64_t pilot_critical = 0;
+            std::vector<std::pair<std::uint64_t, FaultOutcome>> evaluated;
+            evaluated.reserve(indices.size());
+            for (const auto local : indices) {
+                const FaultOutcome outcome = classify(l, bit, local);
+                pilot_critical += outcome == FaultOutcome::Critical;
+                evaluated.emplace_back(local, outcome);
+            }
+            result.pilot_injected += n_pilot;
+
+            // Phase 2: re-plan Eq. 1 at the measured rate.
+            const double p_hat =
+                n_pilot ? static_cast<double>(pilot_critical) /
+                              static_cast<double>(n_pilot)
+                        : config.p_ceiling;
+            stats::SampleSpec spec = config.spec;
+            spec.p = std::clamp(p_hat, config.p_floor, config.p_ceiling);
+            const std::uint64_t n_final = stats::sample_size(population, spec);
+
+            if (n_final > n_pilot) {
+                auto extra =
+                    stats::sample_indices(population, n_final, refine_rng);
+                for (const auto local : extra) {
+                    // Deduplicate against the pilot (indices are sorted).
+                    const auto it = std::lower_bound(indices.begin(),
+                                                     indices.end(), local);
+                    if (it != indices.end() && *it == local) continue;
+                    evaluated.emplace_back(local, classify(l, bit, local));
+                    ++result.refinement_injected;
+                }
+            }
+
+            SubpopResult tally;
+            tally.plan.layer = l;
+            tally.plan.bit = bit;
+            tally.plan.population = population;
+            tally.plan.p = spec.p;
+            tally.plan.sample_size = evaluated.size();
+            for (const auto& [local, outcome] : evaluated) {
+                ++tally.injected;
+                if (outcome == FaultOutcome::Critical) ++tally.critical;
+                if (outcome == FaultOutcome::Masked) ++tally.masked;
+            }
+            result.combined.subpops.push_back(std::move(tally));
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive(CampaignExecutor& executor,
+                            const fault::FaultUniverse& universe,
+                            const AdaptiveConfig& config, stats::Rng rng) {
+    return run_two_phase(
+        universe, config, rng,
+        [&](int layer, int bit, std::uint64_t local) {
+            return executor.evaluate(
+                universe.decode_in_subpop(layer, bit, local));
+        });
+}
+
+AdaptiveResult replay_adaptive(const fault::FaultUniverse& universe,
+                               const ExhaustiveOutcomes& truth,
+                               const AdaptiveConfig& config, stats::Rng rng) {
+    if (truth.size() != universe.total())
+        throw std::invalid_argument("replay_adaptive: outcome table mismatch");
+    return run_two_phase(
+        universe, config, rng,
+        [&](int layer, int bit, std::uint64_t local) {
+            return truth.at(universe.subpop_offset(layer, bit) + local);
+        });
+}
+
+}  // namespace statfi::core

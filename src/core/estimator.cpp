@@ -1,0 +1,167 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/sample_size.hpp"
+
+namespace statfi::core {
+
+namespace {
+
+/// Rate used inside the variance term (see EstimatorConfig::laplace_smoothing).
+double margin_rate(std::uint64_t critical, std::uint64_t injected,
+                   bool laplace_smoothing) {
+    if (injected == 0) return 0.5;  // no data: maximal variance
+    if (laplace_smoothing && (critical == 0 || critical == injected))
+        return (static_cast<double>(critical) + 1.0) /
+               (static_cast<double>(injected) + 2.0);
+    return static_cast<double>(critical) / static_cast<double>(injected);
+}
+
+Estimate make_estimate(std::uint64_t population, std::uint64_t injected,
+                       std::uint64_t critical, const EstimatorConfig& config) {
+    Estimate est;
+    est.population = population;
+    est.injected = injected;
+    est.critical = critical;
+    est.rate = injected ? static_cast<double>(critical) /
+                              static_cast<double>(injected)
+                        : 0.0;
+    const double t =
+        stats::confidence_coefficient(config.confidence, config.mode);
+    if (injected == 0) {
+        // Nothing observed: the interval is the whole range.
+        est.margin = 1.0;
+        est.interval = stats::Interval{0.0, 1.0};
+        return est;
+    }
+    est.margin = stats::achieved_error_margin_at(
+        population, injected,
+        margin_rate(critical, injected, config.laplace_smoothing), t);
+    est.interval = stats::Interval{std::max(0.0, est.rate - est.margin),
+                                   std::min(1.0, est.rate + est.margin)};
+    return est;
+}
+
+/// Compose independent stratum estimates into a population-weighted whole:
+/// rate = sum(w_h * rate_h), var = sum(w_h^2 * var_h), w_h = N_h / N.
+Estimate compose_strata(const std::vector<Estimate>& strata,
+                        const EstimatorConfig& config) {
+    Estimate out;
+    double weighted_rate = 0.0;
+    double weighted_var = 0.0;
+    double total_pop = 0.0;
+    for (const auto& s : strata) total_pop += static_cast<double>(s.population);
+    if (total_pop == 0.0) return out;
+    const double t =
+        stats::confidence_coefficient(config.confidence, config.mode);
+    for (const auto& s : strata) {
+        const double w = static_cast<double>(s.population) / total_pop;
+        weighted_rate += w * s.rate;
+        // Back out the stratum variance from its margin: var = (e/t)^2.
+        const double stratum_sd = s.margin / t;
+        weighted_var += w * w * stratum_sd * stratum_sd;
+        out.population += s.population;
+        out.injected += s.injected;
+        out.critical += s.critical;
+    }
+    out.rate = weighted_rate;
+    out.margin = t * std::sqrt(weighted_var);
+    out.interval = stats::Interval{std::max(0.0, out.rate - out.margin),
+                                   std::min(1.0, out.rate + out.margin)};
+    return out;
+}
+
+}  // namespace
+
+Estimate estimate_subpop(const SubpopResult& result,
+                         const EstimatorConfig& config) {
+    return make_estimate(result.plan.population, result.injected,
+                         result.critical, config);
+}
+
+std::vector<LayerEstimate> estimate_layers(const fault::FaultUniverse& universe,
+                                           const CampaignResult& result,
+                                           const EstimatorConfig& config) {
+    const int L = universe.layer_count();
+    std::vector<std::vector<Estimate>> strata(static_cast<std::size_t>(L));
+
+    for (const auto& sp : result.subpops) {
+        if (sp.plan.layer >= 0) {
+            strata[static_cast<std::size_t>(sp.plan.layer)].push_back(
+                estimate_subpop(sp, config));
+        } else {
+            // Spanning subpopulation: each layer's share of the sample is a
+            // simple random sample of that layer.
+            if (sp.layer_injected.size() != static_cast<std::size_t>(L))
+                throw std::invalid_argument(
+                    "estimate_layers: spanning subpopulation lacks per-layer "
+                    "tallies");
+            for (int l = 0; l < L; ++l)
+                strata[static_cast<std::size_t>(l)].push_back(make_estimate(
+                    universe.layer_population(l),
+                    sp.layer_injected[static_cast<std::size_t>(l)],
+                    sp.layer_critical[static_cast<std::size_t>(l)], config));
+        }
+    }
+
+    std::vector<LayerEstimate> layers;
+    layers.reserve(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+        LayerEstimate le;
+        le.layer = l;
+        auto& s = strata[static_cast<std::size_t>(l)];
+        if (s.size() == 1)
+            le.estimate = s.front();
+        else if (!s.empty())
+            le.estimate = compose_strata(s, config);
+        layers.push_back(le);
+    }
+    return layers;
+}
+
+Estimate estimate_network(const fault::FaultUniverse& universe,
+                          const CampaignResult& result,
+                          const EstimatorConfig& config) {
+    // Network-wise plans already are one simple random sample of the
+    // network; stratified plans compose their subpopulations.
+    if (result.subpops.size() == 1 && result.subpops.front().plan.layer < 0)
+        return estimate_subpop(result.subpops.front(), config);
+    std::vector<Estimate> strata;
+    strata.reserve(result.subpops.size());
+    for (const auto& sp : result.subpops)
+        strata.push_back(estimate_subpop(sp, config));
+    auto est = compose_strata(strata, config);
+    (void)universe;
+    return est;
+}
+
+double average_layer_margin(const std::vector<LayerEstimate>& layers) {
+    if (layers.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& le : layers) sum += le.estimate.margin;
+    return sum / static_cast<double>(layers.size());
+}
+
+Validation validate_against_exhaustive(const fault::FaultUniverse& universe,
+                                       const CampaignResult& result,
+                                       const ExhaustiveOutcomes& truth,
+                                       const EstimatorConfig& config) {
+    Validation v;
+    const auto layers = estimate_layers(universe, result, config);
+    v.layers_total = static_cast<int>(layers.size());
+    for (const auto& le : layers) {
+        const double exhaustive_rate =
+            truth.layer_critical_rate(universe, le.layer);
+        if (le.estimate.contains(exhaustive_rate)) ++v.layers_contained;
+        v.max_layer_abs_error = std::max(
+            v.max_layer_abs_error, std::fabs(le.estimate.rate - exhaustive_rate));
+    }
+    v.avg_layer_margin = average_layer_margin(layers);
+    const auto network = estimate_network(universe, result, config);
+    v.network_contained = network.contains(truth.network_critical_rate());
+    return v;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,91 @@
+#pragma once
+// Statistical estimation over campaign results: critical-rate estimates with
+// finite-population error margins per subpopulation / layer / network, and
+// validation against exhaustive ground truth (the paper's §V methodology:
+// "if the exhaustive result falls into the error margin, the statistical
+// approach is valid").
+//
+// Error margins are evaluated at the observed rate p_hat (the margin the
+// paper reports, e.g. Table III's 0.06% for data-unaware with n ≈ 821 —
+// reproducible only at p_hat, not at the planning p = 0.5). Degenerate
+// observations (0 or n successes) yield a zero margin under the paper's
+// construction; EstimatorConfig::laplace_smoothing optionally replaces the
+// degenerate rate with (k+1)/(n+2) inside the variance term only.
+
+#include <vector>
+
+#include "core/executor.hpp"
+#include "stats/intervals.hpp"
+
+namespace statfi::core {
+
+struct EstimatorConfig {
+    double confidence = 0.99;
+    stats::ConfidenceCoefficient mode = stats::ConfidenceCoefficient::Table;
+    /// When true, degenerate observations (0 or n successes) use the Laplace
+    /// rate (k+1)/(n+2) inside the variance term instead of p_hat, so they
+    /// report non-zero uncertainty. Off by default: the paper's margins are
+    /// plain p_hat margins (a 0-success subpopulation contributes no margin),
+    /// which is what reproduces its published "Avg Error Margin" values.
+    /// The trade-off is ablated in bench_ablation_ci.
+    bool laplace_smoothing = false;
+};
+
+/// A critical-rate estimate with its error margin.
+struct Estimate {
+    std::uint64_t population = 0;  ///< N of the estimated (sub)population
+    std::uint64_t injected = 0;    ///< n
+    std::uint64_t critical = 0;    ///< successes
+    double rate = 0.0;             ///< p_hat = critical / injected
+    double margin = 0.0;           ///< half-width e at p_hat (FPC applied)
+    stats::Interval interval;      ///< [rate - margin, rate + margin] clipped
+
+    [[nodiscard]] bool contains(double truth) const {
+        return interval.contains(truth);
+    }
+};
+
+/// Estimate for one subpopulation result.
+Estimate estimate_subpop(const SubpopResult& result,
+                         const EstimatorConfig& config = {});
+
+struct LayerEstimate {
+    int layer = 0;
+    Estimate estimate;
+};
+
+/// Per-layer estimates from a campaign result.
+///  * layer-wise / per-bit plans: subpopulation estimates are composed into
+///    a stratified layer estimate (population-weighted rate; margin from the
+///    weighted variance of the independent strata);
+///  * network-wise plans: the faults that landed in each layer form a simple
+///    random sample of that layer, so each layer is estimated from its own
+///    (tiny) share — exactly the failure mode the paper demonstrates.
+std::vector<LayerEstimate> estimate_layers(const fault::FaultUniverse& universe,
+                                           const CampaignResult& result,
+                                           const EstimatorConfig& config = {});
+
+/// Whole-network estimate (strata composed across all subpopulations).
+Estimate estimate_network(const fault::FaultUniverse& universe,
+                          const CampaignResult& result,
+                          const EstimatorConfig& config = {});
+
+/// Mean per-layer margin — Table III's "Avg Error Margin [%]" (as a
+/// fraction; multiply by 100 to print).
+double average_layer_margin(const std::vector<LayerEstimate>& layers);
+
+/// Validation verdict against exhaustive ground truth.
+struct Validation {
+    int layers_total = 0;
+    int layers_contained = 0;  ///< exhaustive layer rate inside the interval
+    bool network_contained = false;
+    double avg_layer_margin = 0.0;
+    double max_layer_abs_error = 0.0;  ///< max |estimate - truth| over layers
+};
+
+Validation validate_against_exhaustive(const fault::FaultUniverse& universe,
+                                       const CampaignResult& result,
+                                       const ExhaustiveOutcomes& truth,
+                                       const EstimatorConfig& config = {});
+
+}  // namespace statfi::core

@@ -1,0 +1,338 @@
+#include "core/executor.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::core {
+
+const char* to_string(ClassificationPolicy policy) noexcept {
+    switch (policy) {
+        case ClassificationPolicy::AnyMisprediction: return "any-misprediction";
+        case ClassificationPolicy::GoldenMismatch: return "golden-mismatch";
+        case ClassificationPolicy::AccuracyDrop: return "accuracy-drop";
+    }
+    return "?";
+}
+
+std::uint64_t CampaignResult::total_injected() const {
+    std::uint64_t total = 0;
+    for (const auto& sp : subpops) total += sp.injected;
+    return total;
+}
+
+std::uint64_t CampaignResult::total_critical() const {
+    std::uint64_t total = 0;
+    for (const auto& sp : subpops) total += sp.critical;
+    return total;
+}
+
+double CampaignResult::critical_rate() const {
+    const auto injected = total_injected();
+    return injected ? static_cast<double>(total_critical()) /
+                          static_cast<double>(injected)
+                    : 0.0;
+}
+
+// ----------------------------------------------------- ExhaustiveOutcomes --
+
+ExhaustiveOutcomes::ExhaustiveOutcomes(std::uint64_t universe_size)
+    : outcomes_(universe_size,
+                static_cast<std::uint8_t>(FaultOutcome::NonCritical)) {}
+
+std::uint64_t ExhaustiveOutcomes::critical_count(std::uint64_t begin,
+                                                 std::uint64_t end) const {
+    if (begin > end || end > outcomes_.size())
+        throw std::out_of_range("ExhaustiveOutcomes: bad range");
+    std::uint64_t count = 0;
+    for (std::uint64_t i = begin; i < end; ++i)
+        if (outcomes_[i] == static_cast<std::uint8_t>(FaultOutcome::Critical))
+            ++count;
+    return count;
+}
+
+double ExhaustiveOutcomes::critical_rate(std::uint64_t begin,
+                                         std::uint64_t end) const {
+    if (begin >= end) return 0.0;
+    return static_cast<double>(critical_count(begin, end)) /
+           static_cast<double>(end - begin);
+}
+
+double ExhaustiveOutcomes::layer_critical_rate(const fault::FaultUniverse& u,
+                                               int layer) const {
+    const std::uint64_t begin = u.subpop_offset(layer, 0);
+    return critical_rate(begin, begin + u.layer_population(layer));
+}
+
+double ExhaustiveOutcomes::subpop_critical_rate(const fault::FaultUniverse& u,
+                                                int layer, int bit) const {
+    const std::uint64_t begin = u.subpop_offset(layer, bit);
+    return critical_rate(begin, begin + u.bit_population(layer));
+}
+
+double ExhaustiveOutcomes::network_critical_rate() const {
+    return critical_rate(0, outcomes_.size());
+}
+
+namespace {
+constexpr char kOutcomeMagic[4] = {'S', 'F', 'I', 'O'};
+}
+
+void ExhaustiveOutcomes::save(const std::string& path) const {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("ExhaustiveOutcomes::save: cannot open " + path);
+    os.write(kOutcomeMagic, sizeof(kOutcomeMagic));
+    const std::uint64_t size = outcomes_.size();
+    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char*>(outcomes_.data()),
+             static_cast<std::streamsize>(outcomes_.size()));
+    if (!os)
+        throw std::runtime_error("ExhaustiveOutcomes::save: write failed: " + path);
+}
+
+ExhaustiveOutcomes ExhaustiveOutcomes::load(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("ExhaustiveOutcomes::load: cannot open " + path);
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::string_view(magic, 4) != std::string_view(kOutcomeMagic, 4))
+        throw std::runtime_error("ExhaustiveOutcomes::load: bad magic in " + path);
+    std::uint64_t size = 0;
+    is.read(reinterpret_cast<char*>(&size), sizeof(size));
+    ExhaustiveOutcomes out(size);
+    is.read(reinterpret_cast<char*>(out.outcomes_.data()),
+            static_cast<std::streamsize>(size));
+    if (!is)
+        throw std::runtime_error("ExhaustiveOutcomes::load: truncated: " + path);
+    return out;
+}
+
+// ------------------------------------------------------- CampaignExecutor --
+
+CampaignExecutor::CampaignExecutor(nn::Network& net, const data::Dataset& eval,
+                                   ExecutorConfig config)
+    : net_(&net), config_(config), injector_(net, config.dtype) {
+    const std::int64_t count = eval.size();
+    if (count == 0)
+        throw std::invalid_argument("CampaignExecutor: empty evaluation set");
+    images_.reserve(static_cast<std::size_t>(count));
+    golden_acts_.resize(static_cast<std::size_t>(count));
+    golden_preds_.resize(static_cast<std::size_t>(count));
+    labels_ = eval.labels;
+
+    for (std::int64_t i = 0; i < count; ++i) {
+        images_.push_back(eval.image(i));
+        auto& acts = golden_acts_[static_cast<std::size_t>(i)];
+        net.forward_all(images_.back(), acts);
+        golden_preds_[static_cast<std::size_t>(i)] =
+            nn::argmax_row(acts.back(), 0);
+        if (golden_preds_[static_cast<std::size_t>(i)] ==
+            labels_[static_cast<std::size_t>(i)])
+            ++golden_correct_;
+    }
+    golden_accuracy_ =
+        static_cast<double>(golden_correct_) / static_cast<double>(count);
+
+    // Golden-correct images first: under AnyMisprediction only they can flip
+    // a fault to Critical, and early exit hits sooner when they lead.
+    correct_order_.resize(static_cast<std::size_t>(count));
+    std::iota(correct_order_.begin(), correct_order_.end(), 0);
+    std::stable_partition(correct_order_.begin(), correct_order_.end(),
+                          [&](std::size_t i) {
+                              return golden_preds_[i] == labels_[i];
+                          });
+}
+
+namespace {
+/// Top-1 prediction; -1 when the winning logit is not finite (numerically
+/// exploded network counts as a misprediction).
+int predict(const Tensor& logits) {
+    const int best = nn::argmax_row(logits, 0);
+    const float v = logits[static_cast<std::size_t>(best)];
+    if (!std::isfinite(v)) return -1;
+    return best;
+}
+}  // namespace
+
+FaultOutcome CampaignExecutor::classify_active_fault(int first_dirty_node) {
+    const auto count = images_.size();
+    switch (config_.policy) {
+        case ClassificationPolicy::AnyMisprediction: {
+            for (std::size_t k = 0; k < count; ++k) {
+                const std::size_t i = correct_order_[k];
+                if (golden_preds_[i] != labels_[i]) break;  // incorrect tail
+                const Tensor& logits = net_->forward_from(
+                    first_dirty_node, images_[i], golden_acts_[i], scratch_);
+                ++inferences_;
+                if (predict(logits) != labels_[i]) return FaultOutcome::Critical;
+            }
+            return FaultOutcome::NonCritical;
+        }
+        case ClassificationPolicy::GoldenMismatch: {
+            for (std::size_t i = 0; i < count; ++i) {
+                const Tensor& logits = net_->forward_from(
+                    first_dirty_node, images_[i], golden_acts_[i], scratch_);
+                ++inferences_;
+                if (predict(logits) != golden_preds_[i])
+                    return FaultOutcome::Critical;
+            }
+            return FaultOutcome::NonCritical;
+        }
+        case ClassificationPolicy::AccuracyDrop: {
+            const double threshold =
+                config_.accuracy_drop_threshold * static_cast<double>(count);
+            std::uint64_t faulty_correct = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                const Tensor& logits = net_->forward_from(
+                    first_dirty_node, images_[i], golden_acts_[i], scratch_);
+                ++inferences_;
+                if (predict(logits) == labels_[i]) ++faulty_correct;
+                // Even if every remaining image is correct, is the drop
+                // already unavoidable?
+                const std::uint64_t remaining = count - 1 - i;
+                const double best_case =
+                    static_cast<double>(golden_correct_) -
+                    static_cast<double>(faulty_correct + remaining);
+                if (best_case > threshold) return FaultOutcome::Critical;
+            }
+            const double drop = static_cast<double>(golden_correct_) -
+                                static_cast<double>(faulty_correct);
+            return drop > threshold ? FaultOutcome::Critical
+                                    : FaultOutcome::NonCritical;
+        }
+    }
+    return FaultOutcome::NonCritical;
+}
+
+FaultOutcome CampaignExecutor::evaluate(const fault::Fault& fault) {
+    if (injector_.masked(fault)) return FaultOutcome::Masked;
+    fault::WeightInjector::Scoped guard(injector_, fault);
+    return classify_active_fault(injector_.node_of_layer(fault.layer));
+}
+
+CampaignResult CampaignExecutor::run(const fault::FaultUniverse& universe,
+                                     const CampaignPlan& plan, stats::Rng rng) {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    result.subpops.reserve(plan.subpops.size());
+
+    std::uint64_t subpop_index = 0;
+    for (const auto& sp : plan.subpops) {
+        auto stream = rng.fork(subpop_index++);
+        SubpopResult tally;
+        tally.plan = sp;
+        const bool spanning = sp.layer < 0;
+        if (spanning) {
+            tally.layer_injected.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+            tally.layer_critical.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+        }
+        const auto indices =
+            stats::sample_indices(sp.population, sp.sample_size, stream);
+        for (const std::uint64_t local : indices) {
+            fault::Fault fault;
+            if (sp.layer >= 0 && sp.bit >= 0) {
+                fault = universe.decode_in_subpop(sp.layer, sp.bit, local);
+            } else if (sp.layer >= 0) {
+                fault = universe.decode(universe.subpop_offset(sp.layer, 0) +
+                                        local);
+            } else {
+                fault = universe.decode(local);
+            }
+            const FaultOutcome outcome = evaluate(fault);
+            ++tally.injected;
+            if (outcome == FaultOutcome::Critical) ++tally.critical;
+            if (outcome == FaultOutcome::Masked) ++tally.masked;
+            if (spanning) {
+                const auto l = static_cast<std::size_t>(fault.layer);
+                ++tally.layer_injected[l];
+                if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
+            }
+        }
+        result.subpops.push_back(std::move(tally));
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+ExhaustiveOutcomes CampaignExecutor::run_exhaustive(
+    const fault::FaultUniverse& universe, const Progress& progress) {
+    ExhaustiveOutcomes outcomes(universe.total());
+    const std::uint64_t total = universe.total();
+    std::uint64_t done = 0;
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        for (int bit = 0; bit < universe.bits(); ++bit) {
+            const std::uint64_t base = universe.subpop_offset(l, bit);
+            const std::uint64_t subpop = universe.bit_population(l);
+            for (std::uint64_t local = 0; local < subpop; ++local) {
+                const fault::Fault fault =
+                    universe.decode_in_subpop(l, bit, local);
+                outcomes.set(base + local, evaluate(fault));
+                if (progress && (++done & 0xFFF) == 0) progress(done, total);
+            }
+        }
+    }
+    if (progress) progress(total, total);
+    return outcomes;
+}
+
+// ----------------------------------------------------------------- replay --
+
+CampaignResult replay(const fault::FaultUniverse& universe,
+                      const CampaignPlan& plan,
+                      const ExhaustiveOutcomes& outcomes, stats::Rng rng) {
+    if (outcomes.size() != universe.total())
+        throw std::invalid_argument("replay: outcome table size mismatch");
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    result.subpops.reserve(plan.subpops.size());
+
+    std::uint64_t subpop_index = 0;
+    for (const auto& sp : plan.subpops) {
+        auto stream = rng.fork(subpop_index++);
+        SubpopResult tally;
+        tally.plan = sp;
+        const bool spanning = sp.layer < 0;
+        if (spanning) {
+            tally.layer_injected.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+            tally.layer_critical.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+        }
+        const auto indices =
+            stats::sample_indices(sp.population, sp.sample_size, stream);
+        std::uint64_t base = 0;
+        if (sp.layer >= 0 && sp.bit >= 0)
+            base = universe.subpop_offset(sp.layer, sp.bit);
+        else if (sp.layer >= 0)
+            base = universe.subpop_offset(sp.layer, 0);
+        for (const std::uint64_t local : indices) {
+            const FaultOutcome outcome = outcomes.at(base + local);
+            ++tally.injected;
+            if (outcome == FaultOutcome::Critical) ++tally.critical;
+            if (outcome == FaultOutcome::Masked) ++tally.masked;
+            if (spanning) {
+                const auto l = static_cast<std::size_t>(
+                    universe.decode(base + local).layer);
+                ++tally.layer_injected[l];
+                if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
+            }
+        }
+        result.subpops.push_back(std::move(tally));
+    }
+    return result;
+}
+
+}  // namespace statfi::core

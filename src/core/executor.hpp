@@ -1,0 +1,181 @@
+#pragma once
+// Campaign execution: run fault-injection campaigns (statistical or
+// exhaustive) against a network and an evaluation set.
+//
+// Performance model (what makes exhaustive validation feasible on a CPU):
+//  * the golden activations of every node are cached once per image;
+//  * a weight fault in graph node k only dirties nodes >= k, so each faulty
+//    inference re-runs only the downstream sub-graph (Network::forward_from);
+//  * a stuck-at equal to the golden bit is masked by construction and is
+//    classified Non-critical without any inference (half of a stuck-at
+//    universe on average);
+//  * per-image early exit: a fault is Critical as soon as one image trips
+//    the policy, so critical faults rarely scan the whole evaluation set.
+
+#include <functional>
+#include <string>
+
+#include "core/planner.hpp"
+#include "data/synthetic.hpp"
+#include "fault/injector.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::core {
+
+/// How a fault is classified Critical. The paper classifies on top-1
+/// correctness; the exact per-fault aggregation is configurable.
+enum class ClassificationPolicy : std::uint8_t {
+    /// Critical iff some image the golden network classifies correctly is
+    /// misclassified under the fault (default; the paper's "top-1 prediction
+    /// is correct" criterion under permanent faults).
+    AnyMisprediction,
+    /// Critical iff some image's top-1 differs from the golden top-1
+    /// (usable without ground-truth labels).
+    GoldenMismatch,
+    /// Critical iff top-1 accuracy drops by more than `accuracy_drop_threshold`.
+    AccuracyDrop,
+};
+
+const char* to_string(ClassificationPolicy policy) noexcept;
+
+enum class FaultOutcome : std::uint8_t {
+    NonCritical = 0,
+    Critical = 1,
+    Masked = 2,  ///< stored word unchanged -> Non-critical without inference
+};
+
+struct ExecutorConfig {
+    ClassificationPolicy policy = ClassificationPolicy::AnyMisprediction;
+    double accuracy_drop_threshold = 0.0;  ///< for AccuracyDrop: strict drop > threshold
+    fault::DataType dtype = fault::DataType::Float32;
+};
+
+/// Per-subpopulation campaign tallies.
+struct SubpopResult {
+    SubpopPlan plan;
+    std::uint64_t injected = 0;
+    std::uint64_t critical = 0;
+    std::uint64_t masked = 0;
+
+    /// For subpopulations spanning layers (network-wise plans), where each
+    /// sampled fault actually landed — what a per-layer readout of a
+    /// network-wise campaign has to work with (paper Fig. 7). Empty for
+    /// single-layer subpopulations.
+    std::vector<std::uint64_t> layer_injected;
+    std::vector<std::uint64_t> layer_critical;
+
+    [[nodiscard]] double critical_rate() const {
+        return injected ? static_cast<double>(critical) /
+                              static_cast<double>(injected)
+                        : 0.0;
+    }
+};
+
+struct CampaignResult {
+    Approach approach = Approach::NetworkWise;
+    stats::SampleSpec spec;
+    std::vector<SubpopResult> subpops;
+    double wall_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t total_injected() const;
+    [[nodiscard]] std::uint64_t total_critical() const;
+    [[nodiscard]] double critical_rate() const;
+};
+
+/// Dense per-fault outcome table from an exhaustive campaign — ground truth
+/// for validating the statistical approaches, replayable into any plan.
+class ExhaustiveOutcomes {
+public:
+    ExhaustiveOutcomes() = default;
+    explicit ExhaustiveOutcomes(std::uint64_t universe_size);
+
+    [[nodiscard]] std::uint64_t size() const noexcept { return outcomes_.size(); }
+    [[nodiscard]] FaultOutcome at(std::uint64_t index) const {
+        return static_cast<FaultOutcome>(outcomes_.at(index));
+    }
+    void set(std::uint64_t index, FaultOutcome outcome) {
+        outcomes_.at(index) = static_cast<std::uint8_t>(outcome);
+    }
+
+    /// Exact critical rate of an index range [begin, end).
+    [[nodiscard]] double critical_rate(std::uint64_t begin,
+                                       std::uint64_t end) const;
+    [[nodiscard]] std::uint64_t critical_count(std::uint64_t begin,
+                                               std::uint64_t end) const;
+
+    /// Exact rates for the subpopulations the universe defines.
+    [[nodiscard]] double layer_critical_rate(const fault::FaultUniverse& u,
+                                             int layer) const;
+    [[nodiscard]] double subpop_critical_rate(const fault::FaultUniverse& u,
+                                              int layer, int bit) const;
+    [[nodiscard]] double network_critical_rate() const;
+
+    /// Binary persistence ("SFIO" format); load() validates the size.
+    void save(const std::string& path) const;
+    static ExhaustiveOutcomes load(const std::string& path);
+
+private:
+    std::vector<std::uint8_t> outcomes_;
+};
+
+class CampaignExecutor {
+public:
+    /// Clones nothing: operates directly on @p net's weights (restoring them
+    /// after every fault). Caches golden activations for every image of
+    /// @p eval in the constructor.
+    CampaignExecutor(nn::Network& net, const data::Dataset& eval,
+                     ExecutorConfig config = {});
+
+    [[nodiscard]] double golden_accuracy() const noexcept {
+        return golden_accuracy_;
+    }
+    [[nodiscard]] const std::vector<int>& golden_predictions() const noexcept {
+        return golden_preds_;
+    }
+    /// Total faulty inferences (image evaluations) performed so far.
+    [[nodiscard]] std::uint64_t inference_count() const noexcept {
+        return inferences_;
+    }
+
+    /// Classify one fault (weights are corrupted and restored internally).
+    FaultOutcome evaluate(const fault::Fault& fault);
+
+    /// Execute a statistical plan: per subpopulation, draw the planned
+    /// number of faults without replacement (independent sub-streams of
+    /// @p rng) and classify each.
+    CampaignResult run(const fault::FaultUniverse& universe,
+                       const CampaignPlan& plan, stats::Rng rng);
+
+    using Progress = std::function<void(std::uint64_t done, std::uint64_t total)>;
+
+    /// Classify every fault in the universe. @p progress (optional) is
+    /// invoked every few thousand faults.
+    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
+                                      const Progress& progress = {});
+
+private:
+    FaultOutcome classify_active_fault(int first_dirty_node);
+
+    nn::Network* net_;
+    ExecutorConfig config_;
+    fault::WeightInjector injector_;
+    std::vector<Tensor> images_;                    // (1, C, H, W) each
+    std::vector<int> labels_;
+    std::vector<std::vector<Tensor>> golden_acts_;  // per image, per node
+    std::vector<int> golden_preds_;
+    std::vector<std::size_t> correct_order_;  // golden-correct images first
+    double golden_accuracy_ = 0.0;
+    std::uint64_t golden_correct_ = 0;
+    std::uint64_t inferences_ = 0;
+    std::vector<Tensor> scratch_;
+};
+
+/// Replay a statistical plan against exhaustive ground truth: sampling is
+/// real, classification is a table lookup. Deterministic faults on a fixed
+/// evaluation set make this bit-identical to re-running the injections,
+/// at zero inference cost (used by the figure/table benches).
+CampaignResult replay(const fault::FaultUniverse& universe,
+                      const CampaignPlan& plan,
+                      const ExhaustiveOutcomes& outcomes, stats::Rng rng);
+
+}  // namespace statfi::core

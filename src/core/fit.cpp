@@ -1,0 +1,73 @@
+#include "core/fit.hpp"
+
+#include <limits>
+
+namespace statfi::core {
+
+const char* to_string(AsilLevel level) noexcept {
+    switch (level) {
+        case AsilLevel::QM: return "QM";
+        case AsilLevel::AsilA: return "ASIL-A";
+        case AsilLevel::AsilB: return "ASIL-B";
+        case AsilLevel::AsilC: return "ASIL-C";
+        case AsilLevel::AsilD: return "ASIL-D";
+    }
+    return "?";
+}
+
+double pmhf_budget_fit(AsilLevel level) noexcept {
+    switch (level) {
+        case AsilLevel::AsilD: return 10.0;
+        case AsilLevel::AsilC: return 100.0;
+        case AsilLevel::AsilB: return 100.0;
+        case AsilLevel::AsilA:
+        case AsilLevel::QM: return std::numeric_limits<double>::infinity();
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+AsilLevel FitEstimate::strictest_met() const {
+    if (meets(AsilLevel::AsilD)) return AsilLevel::AsilD;
+    if (meets(AsilLevel::AsilC)) return AsilLevel::AsilC;  // same budget as B
+    if (meets(AsilLevel::AsilB)) return AsilLevel::AsilB;
+    return AsilLevel::QM;
+}
+
+double weight_storage_mbit(const fault::FaultUniverse& universe) {
+    // total() counts polarities; storage bits do not.
+    const double bits = static_cast<double>(universe.total()) /
+                        static_cast<double>(universe.polarities());
+    return bits / 1e6;
+}
+
+FitEstimate device_fit(const fault::FaultUniverse& universe,
+                       const Estimate& critical_rate,
+                       const SoftErrorSpec& spec) {
+    FitEstimate out;
+    out.storage_mbit = weight_storage_mbit(universe);
+    const double raw = spec.fit_per_mbit * spec.derating * out.storage_mbit;
+    out.fit = raw * critical_rate.rate;
+    out.margin = raw * critical_rate.margin;
+    return out;
+}
+
+std::vector<FitEstimate> layer_fit(const fault::FaultUniverse& universe,
+                                   const std::vector<LayerEstimate>& layers,
+                                   const SoftErrorSpec& spec) {
+    std::vector<FitEstimate> out;
+    out.reserve(layers.size());
+    for (const auto& le : layers) {
+        FitEstimate fe;
+        const double bits =
+            static_cast<double>(universe.layer_population(le.layer)) /
+            static_cast<double>(universe.polarities());
+        fe.storage_mbit = bits / 1e6;
+        const double raw = spec.fit_per_mbit * spec.derating * fe.storage_mbit;
+        fe.fit = raw * le.estimate.rate;
+        fe.margin = raw * le.estimate.margin;
+        out.push_back(fe);
+    }
+    return out;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,64 @@
+#pragma once
+// Failure-rate bookkeeping: from critical-fault probability to device FIT.
+//
+// The paper motivates statistical FI with ISO 26262 functional-safety
+// arguments but stops at the critical-fault rate. This module closes the
+// loop for weight memories: given the raw soft-error rate of the storage
+// technology and the measured/estimated probability that a weight-bit fault
+// becomes a critical failure, it produces the CNN's failure-in-time
+// contribution and checks it against the standard's PMHF targets.
+//
+//   FIT(model) = SER_raw [FIT/Mbit] * weight_bits/1e6 * P(critical | fault)
+//
+// FIT = failures per 10^9 device-hours. Error margins on P propagate
+// linearly to FIT margins.
+
+#include "core/estimator.hpp"
+#include "fault/universe.hpp"
+
+namespace statfi::core {
+
+/// Raw soft-error characteristics of the weight storage.
+struct SoftErrorSpec {
+    double fit_per_mbit = 700.0;  ///< typical unprotected SRAM at sea level
+    double derating = 1.0;        ///< architectural/temporal derating factor
+};
+
+/// ISO 26262 random-hardware-failure (PMHF) targets, failures per 1e9 h.
+enum class AsilLevel : std::uint8_t { QM, AsilA, AsilB, AsilC, AsilD };
+
+const char* to_string(AsilLevel level) noexcept;
+
+/// PMHF budget for a level (ISO 26262-5 Table 6): D < 10, C < 100, B < 100
+/// FIT; A/QM unbounded by the metric (returned as +inf).
+double pmhf_budget_fit(AsilLevel level) noexcept;
+
+/// A FIT estimate with the error margin propagated from the critical-rate
+/// estimate.
+struct FitEstimate {
+    double fit = 0.0;
+    double margin = 0.0;  ///< half-width, same confidence as the rate estimate
+    double storage_mbit = 0.0;
+
+    [[nodiscard]] bool meets(AsilLevel level) const {
+        return fit + margin < pmhf_budget_fit(level);
+    }
+    /// Strictest level whose budget the (upper-bounded) FIT satisfies.
+    [[nodiscard]] AsilLevel strictest_met() const;
+};
+
+/// Weight-storage size of the fault universe in Mbit (polarity-independent).
+double weight_storage_mbit(const fault::FaultUniverse& universe);
+
+/// Device-level FIT from a network-level critical-rate estimate.
+FitEstimate device_fit(const fault::FaultUniverse& universe,
+                       const Estimate& critical_rate,
+                       const SoftErrorSpec& spec = {});
+
+/// Per-layer FIT contributions (sums to the device FIT when the layer
+/// estimates are population-weighted, as estimate_layers produces).
+std::vector<FitEstimate> layer_fit(const fault::FaultUniverse& universe,
+                                   const std::vector<LayerEstimate>& layers,
+                                   const SoftErrorSpec& spec = {});
+
+}  // namespace statfi::core

@@ -1,0 +1,136 @@
+#include "core/parallel.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::core {
+
+/// One worker: a private network clone and a per-clone executor.
+struct ParallelCampaignExecutor::Worker {
+    nn::Network net;
+    CampaignExecutor executor;
+
+    Worker(const nn::Network& source, const data::Dataset& eval,
+           const ExecutorConfig& config)
+        : net(source.clone()), executor(net, eval, config) {}
+};
+
+ParallelCampaignExecutor::ParallelCampaignExecutor(const nn::Network& net,
+                                                   const data::Dataset& eval,
+                                                   ExecutorConfig config,
+                                                   std::size_t threads) {
+    if (threads == 0)
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+        workers_.push_back(std::make_unique<Worker>(net, eval, config));
+}
+
+ParallelCampaignExecutor::~ParallelCampaignExecutor() = default;
+
+std::size_t ParallelCampaignExecutor::worker_count() const noexcept {
+    return workers_.size();
+}
+
+double ParallelCampaignExecutor::golden_accuracy() const {
+    return workers_.front()->executor.golden_accuracy();
+}
+
+CampaignResult ParallelCampaignExecutor::run(
+    const fault::FaultUniverse& universe, const CampaignPlan& plan,
+    stats::Rng rng) {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    result.subpops.resize(plan.subpops.size());
+
+    // Draw every sample up front with the serial executor's stream layout.
+    struct WorkItem {
+        std::size_t subpop;
+        fault::Fault fault;
+    };
+    std::vector<WorkItem> items;
+    std::uint64_t subpop_index = 0;
+    for (std::size_t s = 0; s < plan.subpops.size(); ++s) {
+        const auto& sp = plan.subpops[s];
+        auto& tally = result.subpops[s];
+        tally.plan = sp;
+        if (sp.layer < 0) {
+            tally.layer_injected.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+            tally.layer_critical.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+        }
+        auto stream = rng.fork(subpop_index++);
+        for (const std::uint64_t local :
+             stats::sample_indices(sp.population, sp.sample_size, stream)) {
+            fault::Fault fault;
+            if (sp.layer >= 0 && sp.bit >= 0)
+                fault = universe.decode_in_subpop(sp.layer, sp.bit, local);
+            else if (sp.layer >= 0)
+                fault = universe.decode(universe.subpop_offset(sp.layer, 0) +
+                                        local);
+            else
+                fault = universe.decode(local);
+            items.push_back(WorkItem{s, fault});
+        }
+    }
+
+    // Classify in parallel; outcomes are deterministic per fault, so the
+    // partitioning cannot change the tallies.
+    std::vector<std::uint8_t> outcomes(items.size());
+    const std::size_t workers = workers_.size();
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            for (std::size_t i = w; i < items.size(); i += workers)
+                outcomes[i] = static_cast<std::uint8_t>(
+                    workers_[w]->executor.evaluate(items[i].fault));
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        auto& tally = result.subpops[items[i].subpop];
+        const auto outcome = static_cast<FaultOutcome>(outcomes[i]);
+        ++tally.injected;
+        if (outcome == FaultOutcome::Critical) ++tally.critical;
+        if (outcome == FaultOutcome::Masked) ++tally.masked;
+        if (!tally.layer_injected.empty()) {
+            const auto l = static_cast<std::size_t>(items[i].fault.layer);
+            ++tally.layer_injected[l];
+            if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
+        }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+ExhaustiveOutcomes ParallelCampaignExecutor::run_exhaustive(
+    const fault::FaultUniverse& universe) {
+    ExhaustiveOutcomes outcomes(universe.total());
+    const std::size_t workers = workers_.size();
+    const std::uint64_t total = universe.total();
+    const std::uint64_t chunk = (total + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            const std::uint64_t lo = w * chunk;
+            const std::uint64_t hi = std::min(lo + chunk, total);
+            for (std::uint64_t i = lo; i < hi; ++i)
+                outcomes.set(i, workers_[w]->executor.evaluate(
+                                    universe.decode(i)));
+        });
+    }
+    for (auto& t : threads) t.join();
+    return outcomes;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,46 @@
+#pragma once
+// Multi-threaded campaign execution.
+//
+// Each worker owns a private clone of the network (fault injection mutates
+// weight storage, so workers must not share it) plus its own golden
+// activation cache. Sampling happens once, up front, from the same named
+// RNG streams as the serial executor; the sampled fault list is then
+// partitioned across workers. Because each fault's outcome is a
+// deterministic function of (network, evaluation set, fault), the merged
+// result is bit-identical to CampaignExecutor::run() for any thread count —
+// asserted in tests/core/parallel_test.cpp.
+
+#include <memory>
+
+#include "core/executor.hpp"
+
+namespace statfi::core {
+
+class ParallelCampaignExecutor {
+public:
+    /// Clones @p net once per worker. @p threads 0 = hardware concurrency.
+    ParallelCampaignExecutor(const nn::Network& net, const data::Dataset& eval,
+                             ExecutorConfig config = {},
+                             std::size_t threads = 0);
+    ~ParallelCampaignExecutor();
+
+    ParallelCampaignExecutor(const ParallelCampaignExecutor&) = delete;
+    ParallelCampaignExecutor& operator=(const ParallelCampaignExecutor&) = delete;
+
+    [[nodiscard]] std::size_t worker_count() const noexcept;
+    [[nodiscard]] double golden_accuracy() const;
+
+    /// Parallel equivalent of CampaignExecutor::run() — same sampling, same
+    /// tallies, independent of the thread count.
+    CampaignResult run(const fault::FaultUniverse& universe,
+                       const CampaignPlan& plan, stats::Rng rng);
+
+    /// Parallel exhaustive census (contiguous index ranges per worker).
+    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe);
+
+private:
+    struct Worker;
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace statfi::core

@@ -1,0 +1,146 @@
+#include "core/planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace statfi::core {
+
+const char* to_string(Approach approach) noexcept {
+    switch (approach) {
+        case Approach::Exhaustive: return "exhaustive";
+        case Approach::NetworkWise: return "network-wise";
+        case Approach::LayerWise: return "layer-wise";
+        case Approach::DataUnaware: return "data-unaware";
+        case Approach::DataAware: return "data-aware";
+    }
+    return "?";
+}
+
+std::uint64_t CampaignPlan::total_population() const {
+    std::uint64_t total = 0;
+    for (const auto& sp : subpops) total += sp.population;
+    return total;
+}
+
+std::uint64_t CampaignPlan::total_sample_size() const {
+    std::uint64_t total = 0;
+    for (const auto& sp : subpops) total += sp.sample_size;
+    return total;
+}
+
+std::uint64_t CampaignPlan::layer_sample_size(
+    const fault::FaultUniverse& universe, int layer) const {
+    std::uint64_t total = 0;
+    for (const auto& sp : subpops) {
+        if (sp.layer == layer) {
+            total += sp.sample_size;
+        } else if (sp.layer < 0) {
+            // Spanning subpopulation: attribute proportionally by population.
+            const double share =
+                static_cast<double>(universe.layer_population(layer)) /
+                static_cast<double>(sp.population);
+            total += static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(sp.sample_size) * share));
+        }
+    }
+    return total;
+}
+
+CampaignPlan plan_exhaustive(const fault::FaultUniverse& universe) {
+    CampaignPlan plan;
+    plan.approach = Approach::Exhaustive;
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        for (int i = 0; i < universe.bits(); ++i) {
+            SubpopPlan sp;
+            sp.layer = l;
+            sp.bit = i;
+            sp.population = universe.bit_population(l);
+            sp.p = 0.5;
+            sp.sample_size = sp.population;
+            plan.subpops.push_back(sp);
+        }
+    }
+    return plan;
+}
+
+CampaignPlan plan_network_wise(const fault::FaultUniverse& universe,
+                               const stats::SampleSpec& spec) {
+    CampaignPlan plan;
+    plan.approach = Approach::NetworkWise;
+    plan.spec = spec;
+    SubpopPlan sp;
+    sp.layer = -1;
+    sp.bit = -1;
+    sp.population = universe.total();
+    sp.p = spec.p;
+    sp.sample_size = stats::sample_size(sp.population, spec);
+    plan.subpops.push_back(sp);
+    return plan;
+}
+
+CampaignPlan plan_layer_wise(const fault::FaultUniverse& universe,
+                             const stats::SampleSpec& spec) {
+    CampaignPlan plan;
+    plan.approach = Approach::LayerWise;
+    plan.spec = spec;
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        SubpopPlan sp;
+        sp.layer = l;
+        sp.bit = -1;
+        sp.population = universe.layer_population(l);
+        sp.p = spec.p;
+        sp.sample_size = stats::sample_size(sp.population, spec);
+        plan.subpops.push_back(sp);
+    }
+    return plan;
+}
+
+CampaignPlan plan_data_unaware(const fault::FaultUniverse& universe,
+                               const stats::SampleSpec& spec) {
+    CampaignPlan plan;
+    plan.approach = Approach::DataUnaware;
+    plan.spec = spec;
+    stats::SampleSpec bit_spec = spec;
+    bit_spec.p = 0.5;  // the safe prior, by definition of this approach
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        for (int i = 0; i < universe.bits(); ++i) {
+            SubpopPlan sp;
+            sp.layer = l;
+            sp.bit = i;
+            sp.population = universe.bit_population(l);
+            sp.p = 0.5;
+            sp.sample_size = stats::sample_size(sp.population, bit_spec);
+            plan.subpops.push_back(sp);
+        }
+    }
+    return plan;
+}
+
+CampaignPlan plan_data_aware(const fault::FaultUniverse& universe,
+                             const stats::SampleSpec& spec,
+                             const BitCriticality& criticality) {
+    if (criticality.bits() != universe.bits())
+        throw std::invalid_argument(
+            "plan_data_aware: criticality profile has " +
+            std::to_string(criticality.bits()) + " bits, universe has " +
+            std::to_string(universe.bits()));
+    CampaignPlan plan;
+    plan.approach = Approach::DataAware;
+    plan.spec = spec;
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        for (int i = 0; i < universe.bits(); ++i) {
+            SubpopPlan sp;
+            sp.layer = l;
+            sp.bit = i;
+            sp.population = universe.bit_population(l);
+            sp.p = criticality.p[static_cast<std::size_t>(i)];
+            stats::SampleSpec bit_spec = spec;
+            bit_spec.p = sp.p;
+            sp.sample_size = stats::sample_size(sp.population, bit_spec);
+            plan.subpops.push_back(sp);
+        }
+    }
+    return plan;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,83 @@
+#pragma once
+// Campaign planning: turn a fault universe + statistical spec into the set
+// of subpopulations and per-subpopulation sample sizes for each of the four
+// SFI approaches the paper compares (§IV):
+//
+//  1. Network-wise [Leveugle 2009]: Eq. 1 over the whole population. Valid
+//     only for whole-network claims (the paper's motivating counterexample).
+//  2. Layer-wise: Eq. 1 per layer; supports per-layer claims.
+//  3. Data-unaware (proposed): Eq. 1 per (bit, layer) subpopulation with the
+//     safe prior p = 0.5.
+//  4. Data-aware (proposed): as 3 but with p = p(i) from the golden-weight
+//     bit-criticality analysis — far fewer injections (Eq. 3 + Eq. 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/data_aware.hpp"
+#include "fault/universe.hpp"
+#include "stats/sample_size.hpp"
+
+namespace statfi::core {
+
+enum class Approach : std::uint8_t {
+    Exhaustive,
+    NetworkWise,
+    LayerWise,
+    DataUnaware,
+    DataAware,
+};
+
+const char* to_string(Approach approach) noexcept;
+
+/// One sampled subpopulation. layer/bit use -1 for "all" (e.g. the
+/// network-wise plan is a single subpopulation with layer = bit = -1).
+struct SubpopPlan {
+    int layer = -1;
+    int bit = -1;
+    std::uint64_t population = 0;  ///< N, N_l or N_(i,l)
+    double p = 0.5;                ///< prior used in Eq. 1
+    std::uint64_t sample_size = 0; ///< n from Eq. 1 (== population if exhaustive)
+};
+
+struct CampaignPlan {
+    Approach approach = Approach::NetworkWise;
+    stats::SampleSpec spec;
+    std::vector<SubpopPlan> subpops;
+
+    [[nodiscard]] std::uint64_t total_population() const;
+    [[nodiscard]] std::uint64_t total_sample_size() const;
+
+    /// Planned injections attributed to layer l. For subpopulations spanning
+    /// layers (network-wise) the sample is attributed proportionally to the
+    /// layers' population shares and rounded — matching how the paper's
+    /// Table I reports per-layer network-wise counts (27, 143, ...).
+    [[nodiscard]] std::uint64_t layer_sample_size(
+        const fault::FaultUniverse& universe, int layer) const;
+};
+
+/// Approach 0: inject everything (ground truth).
+CampaignPlan plan_exhaustive(const fault::FaultUniverse& universe);
+
+/// Approach 1: one Eq. 1 sample over the whole network.
+CampaignPlan plan_network_wise(const fault::FaultUniverse& universe,
+                               const stats::SampleSpec& spec);
+
+/// Approach 2: one Eq. 1 sample per layer.
+CampaignPlan plan_layer_wise(const fault::FaultUniverse& universe,
+                             const stats::SampleSpec& spec);
+
+/// Approach 3 (proposed, data-unaware): one Eq. 1 sample per (bit, layer),
+/// p = 0.5 everywhere.
+CampaignPlan plan_data_unaware(const fault::FaultUniverse& universe,
+                               const stats::SampleSpec& spec);
+
+/// Approach 4 (proposed, data-aware): one Eq. 1 sample per (bit, layer) with
+/// p = criticality.p[bit] (Eq. 5). spec.p is ignored.
+/// @throws std::invalid_argument if the profile's bit count mismatches the
+/// universe's data type.
+CampaignPlan plan_data_aware(const fault::FaultUniverse& universe,
+                             const stats::SampleSpec& spec,
+                             const BitCriticality& criticality);
+
+}  // namespace statfi::core

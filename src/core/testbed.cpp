@@ -1,0 +1,107 @@
+#include "core/testbed.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace statfi::core {
+
+std::string cache_directory() {
+    const char* env = std::getenv("STATFI_CACHE_DIR");
+    const std::string dir = env && *env ? env : ".statfi_cache";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+namespace {
+
+std::string config_tag(const TestbedConfig& c) {
+    return "s" + std::to_string(c.seed) + "_t" + std::to_string(c.train_images) +
+           "_e" + std::to_string(c.epochs);
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), net_(models::make_micronet()) {
+    stats::Rng master(config_.seed);
+
+    data::SyntheticSpec spec;
+    spec.seed = config_.seed;
+
+    const std::string weights_path =
+        cache_directory() + "/micronet_" + config_tag(config_) + ".sfiw";
+    bool loaded = false;
+    if (std::filesystem::exists(weights_path)) {
+        try {
+            nn::load_parameters(net_, weights_path);
+            loaded = true;
+        } catch (const std::exception& e) {
+            std::cerr << "testbed: stale weight cache (" << e.what()
+                      << "), retraining\n";
+        }
+    }
+    if (!loaded) {
+        auto init_rng = master.fork("init");
+        nn::init_network_kaiming(net_, init_rng);
+        auto train = data::make_synthetic(spec, config_.train_images, "train");
+        auto train_rng = master.fork("train");
+        nn::train_classifier(net_, train.images, train.labels, config_.epochs,
+                             32, nn::SgdConfig{}, train_rng);
+        nn::save_parameters(net_, weights_path);
+    }
+
+    auto test = data::make_synthetic(spec, 256, "test");
+    test_accuracy_ = nn::top1_accuracy(net_.forward(test.images), test.labels);
+    eval_ = test.take(config_.eval_images);
+
+    universe_ = fault::FaultUniverse::stuck_at(net_);
+    ExecutorConfig exec_config;
+    exec_config.policy = config_.policy;
+    executor_.emplace(net_, eval_, exec_config);
+}
+
+const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
+    if (truth_.has_value()) return *truth_;
+    const std::string path = cache_directory() + "/exhaustive_micronet_" +
+                             config_tag(config_) + "_n" +
+                             std::to_string(config_.eval_images) + "_" +
+                             to_string(config_.policy) + ".sfio";
+    if (std::filesystem::exists(path)) {
+        try {
+            auto loaded = ExhaustiveOutcomes::load(path);
+            if (loaded.size() == universe_->total()) {
+                truth_ = std::move(loaded);
+                return *truth_;
+            }
+            std::cerr << "testbed: outcome cache size mismatch, re-running\n";
+        } catch (const std::exception& e) {
+            std::cerr << "testbed: stale outcome cache (" << e.what()
+                      << "), re-running\n";
+        }
+    }
+    if (verbose)
+        std::cerr << "testbed: running exhaustive campaign over "
+                  << universe_->total() << " faults (cached for later runs)\n";
+    CampaignExecutor::Progress progress;
+    if (verbose)
+        progress = [](std::uint64_t done, std::uint64_t total) {
+            if (done % 32768 == 0 || done == total)
+                std::cerr << "\r  exhaustive: " << done << "/" << total
+                          << std::flush;
+            if (done == total) std::cerr << '\n';
+        };
+    truth_ = executor_->run_exhaustive(*universe_, progress);
+    truth_->save(path);
+    return *truth_;
+}
+
+stats::Rng Testbed::rng(std::string_view experiment) const {
+    return stats::Rng(config_.seed).fork(experiment);
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,72 @@
+#pragma once
+// Validation testbed: the shared experimental setup used by the benches that
+// reproduce the paper's validation experiments (Table III, Fig. 5-7).
+//
+// The paper validates its statistical approaches against exhaustive FI on
+// ResNet-20 / MobileNetV2 (37 / 54 GPU-days). This repo validates against
+// exhaustive FI on the MicroNet substrate (see DESIGN.md §2): a trained
+// classifier (~92% accuracy, like the paper's CNNs), a held-out evaluation
+// set, and the complete per-fault outcome table.
+//
+// Both the trained weights and the exhaustive outcome table are cached on
+// disk (directory from $STATFI_CACHE_DIR, default ".statfi_cache/") so the
+// expensive steps run once and every bench binary reuses them.
+
+#include <optional>
+#include <string>
+
+#include "core/executor.hpp"
+#include "data/synthetic.hpp"
+#include "models/micronet.hpp"
+
+namespace statfi::core {
+
+struct TestbedConfig {
+    std::uint64_t seed = 2023;        ///< DATE'23 — master seed for everything
+    std::int64_t train_images = 1024;
+    std::int64_t eval_images = 12;    ///< evaluation-set size for campaigns
+    int epochs = 8;
+    ClassificationPolicy policy = ClassificationPolicy::AnyMisprediction;
+};
+
+/// Resolved cache directory (created if missing).
+std::string cache_directory();
+
+/// The shared validation setup. Construction trains MicroNet (or loads the
+/// cached weights) and prepares the evaluation set; ground_truth() runs the
+/// exhaustive campaign (or loads the cached outcome table).
+class Testbed {
+public:
+    explicit Testbed(TestbedConfig config = {});
+
+    [[nodiscard]] nn::Network& network() { return net_; }
+    [[nodiscard]] const data::Dataset& eval_set() const { return eval_; }
+    [[nodiscard]] const fault::FaultUniverse& universe() const {
+        return *universe_;
+    }
+    [[nodiscard]] CampaignExecutor& executor() { return *executor_; }
+    [[nodiscard]] double golden_accuracy() const {
+        return executor_->golden_accuracy();
+    }
+    [[nodiscard]] double test_accuracy() const { return test_accuracy_; }
+    [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+    /// Exhaustive per-fault outcomes (cached across processes). The first
+    /// call in a cold cache runs ~134k fault classifications (tens of
+    /// seconds on one core); progress is printed to stderr when @p verbose.
+    const ExhaustiveOutcomes& ground_truth(bool verbose = true);
+
+    /// Deterministic RNG stream for a named experiment.
+    [[nodiscard]] stats::Rng rng(std::string_view experiment) const;
+
+private:
+    TestbedConfig config_;
+    nn::Network net_;
+    data::Dataset eval_;
+    double test_accuracy_ = 0.0;
+    std::optional<fault::FaultUniverse> universe_;
+    std::optional<CampaignExecutor> executor_;
+    std::optional<ExhaustiveOutcomes> truth_;
+};
+
+}  // namespace statfi::core

@@ -1,0 +1,113 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace statfi::data {
+
+Tensor Dataset::image(std::int64_t index) const {
+    const auto& d = images.shape().dims();
+    if (index < 0 || index >= d[0])
+        throw std::out_of_range("Dataset::image: index out of range");
+    Tensor out(Shape{1, d[1], d[2], d[3]});
+    const std::size_t sz = static_cast<std::size_t>(d[1] * d[2] * d[3]);
+    std::copy(images.data() + static_cast<std::size_t>(index) * sz,
+              images.data() + static_cast<std::size_t>(index + 1) * sz,
+              out.data());
+    return out;
+}
+
+Dataset Dataset::take(std::int64_t count) const {
+    const auto& d = images.shape().dims();
+    if (count < 0 || count > d[0])
+        throw std::out_of_range("Dataset::take: count out of range");
+    Dataset out;
+    out.images = Tensor(Shape{count, d[1], d[2], d[3]});
+    const std::size_t sz = static_cast<std::size_t>(d[1] * d[2] * d[3]);
+    std::copy(images.data(), images.data() + static_cast<std::size_t>(count) * sz,
+              out.images.data());
+    out.labels.assign(labels.begin(), labels.begin() + count);
+    return out;
+}
+
+namespace {
+
+struct Wave {
+    double fy, fx, phase, amplitude;
+    int channel;
+};
+
+std::vector<std::vector<Wave>> make_prototypes(const SyntheticSpec& spec) {
+    stats::Rng proto_rng(spec.seed);
+    std::vector<std::vector<Wave>> prototypes(
+        static_cast<std::size_t>(spec.num_classes));
+    for (int c = 0; c < spec.num_classes; ++c) {
+        auto rng = proto_rng.fork(static_cast<std::uint64_t>(c));
+        auto& waves = prototypes[static_cast<std::size_t>(c)];
+        waves.reserve(static_cast<std::size_t>(spec.waves_per_class));
+        for (int w = 0; w < spec.waves_per_class; ++w) {
+            Wave wave;
+            // Low spatial frequencies (1..3 cycles across the image) keep the
+            // patterns learnable by small receptive fields.
+            wave.fy = rng.uniform(1.0, 3.0);
+            wave.fx = rng.uniform(1.0, 3.0);
+            wave.phase = rng.uniform(0.0, 2.0 * 3.14159265358979);
+            wave.amplitude = rng.uniform(0.4, 1.0);
+            wave.channel = static_cast<int>(
+                rng.uniform_below(static_cast<std::uint64_t>(spec.channels)));
+            waves.push_back(wave);
+        }
+    }
+    return prototypes;
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec, std::int64_t count,
+                       std::string_view partition_label) {
+    if (spec.num_classes < 2)
+        throw std::invalid_argument("make_synthetic: num_classes < 2");
+    if (count <= 0) throw std::invalid_argument("make_synthetic: count <= 0");
+
+    const auto prototypes = make_prototypes(spec);
+    stats::Rng base(spec.seed);
+    auto noise_rng = base.fork(partition_label);
+
+    Dataset ds;
+    ds.images = Tensor(Shape{count, spec.channels, spec.height, spec.width});
+    ds.labels.resize(static_cast<std::size_t>(count));
+
+    const double inv_h = 1.0 / static_cast<double>(spec.height);
+    const double inv_w = 1.0 / static_cast<double>(spec.width);
+    for (std::int64_t n = 0; n < count; ++n) {
+        // Round-robin labels give exactly balanced classes.
+        const int label = static_cast<int>(n % spec.num_classes);
+        ds.labels[static_cast<std::size_t>(n)] = label;
+        auto rng = noise_rng.fork(static_cast<std::uint64_t>(n));
+        const double gain = 1.0 + rng.normal(0.0, spec.gain_stddev);
+
+        float* img = ds.images.data() +
+                     static_cast<std::size_t>(n * spec.channels * spec.height *
+                                              spec.width);
+        for (std::int64_t c = 0; c < spec.channels; ++c)
+            for (std::int64_t y = 0; y < spec.height; ++y)
+                for (std::int64_t x = 0; x < spec.width; ++x) {
+                    double v = 0.0;
+                    for (const auto& wave :
+                         prototypes[static_cast<std::size_t>(label)]) {
+                        if (wave.channel != c) continue;
+                        v += wave.amplitude *
+                             std::sin(2.0 * 3.14159265358979 *
+                                          (wave.fy * y * inv_h +
+                                           wave.fx * x * inv_w) +
+                                      wave.phase);
+                    }
+                    v = v * gain + rng.normal(0.0, spec.noise_stddev);
+                    img[(c * spec.height + y) * spec.width + x] =
+                        static_cast<float>(v);
+                }
+    }
+    return ds;
+}
+
+}  // namespace statfi::data

@@ -1,0 +1,75 @@
+#include "fault/activation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statfi::fault {
+
+std::string ActivationFault::to_string() const {
+    return "N" + std::to_string(node) + ".e" + std::to_string(element) + ".b" +
+           std::to_string(bit);
+}
+
+ActivationUniverse::ActivationUniverse(const nn::Network& net,
+                                       const Shape& image_shape,
+                                       DataType dtype)
+    : dtype_(dtype), bits_(bit_width(dtype)) {
+    std::vector<std::int64_t> with_batch{1};
+    for (std::size_t i = 0; i < image_shape.rank(); ++i)
+        with_batch.push_back(image_shape[i]);
+    const auto shapes = net.infer_shapes(Shape(with_batch));
+    offsets_.push_back(0);
+    for (int id = 0; id < net.node_count(); ++id) {
+        names_.push_back(net.node_name(id));
+        const std::uint64_t numel =
+            shapes[static_cast<std::size_t>(id)].numel();
+        numels_.push_back(numel);
+        offsets_.push_back(offsets_.back() +
+                           numel * static_cast<std::uint64_t>(bits_));
+    }
+    total_ = offsets_.back();
+}
+
+std::uint64_t ActivationUniverse::node_population(int node) const {
+    const auto idx = static_cast<std::size_t>(node);
+    if (node < 0 || idx >= numels_.size())
+        throw std::out_of_range("ActivationUniverse: node index");
+    return offsets_[idx + 1] - offsets_[idx];
+}
+
+std::uint64_t ActivationUniverse::node_offset(int node) const {
+    const auto idx = static_cast<std::size_t>(node);
+    if (node < 0 || idx >= numels_.size())
+        throw std::out_of_range("ActivationUniverse: node index");
+    return offsets_[idx];
+}
+
+ActivationFault ActivationUniverse::decode(std::uint64_t global_index) const {
+    if (global_index >= total_)
+        throw std::out_of_range("ActivationUniverse::decode: index >= N");
+    const auto it =
+        std::upper_bound(offsets_.begin(), offsets_.end(), global_index);
+    const auto node = static_cast<int>(it - offsets_.begin()) - 1;
+    const std::uint64_t local =
+        global_index - offsets_[static_cast<std::size_t>(node)];
+    const std::uint64_t elements = numels_[static_cast<std::size_t>(node)];
+    ActivationFault fault;
+    fault.node = node;
+    fault.bit = static_cast<std::int32_t>(local / elements);
+    fault.element = local % elements;
+    return fault;
+}
+
+std::uint64_t ActivationUniverse::encode(const ActivationFault& fault) const {
+    const auto idx = static_cast<std::size_t>(fault.node);
+    if (fault.node < 0 || idx >= numels_.size())
+        throw std::out_of_range("ActivationUniverse::encode: bad node");
+    if (fault.bit < 0 || fault.bit >= bits_)
+        throw std::out_of_range("ActivationUniverse::encode: bad bit");
+    if (fault.element >= numels_[idx])
+        throw std::out_of_range("ActivationUniverse::encode: bad element");
+    return offsets_[idx] +
+           static_cast<std::uint64_t>(fault.bit) * numels_[idx] + fault.element;
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,71 @@
+#pragma once
+// Transient activation faults.
+//
+// The paper injects *permanent* faults into *static* weights (the memory
+// dominating soft-error contributions). Its referenced resilience studies
+// (Li et al. SC'17, He et al. MICRO'20) also consider *transient* faults in
+// the datapath: one bit of one intermediate activation value flips during
+// one inference. This module enumerates that population so the same
+// statistical machinery (Eq. 1/3 over per-node subpopulations) applies.
+//
+// An activation fault is (node, element, bit) within a single-image
+// inference; populations are defined for batch-1 activation shapes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/codec.hpp"
+#include "nn/network.hpp"
+
+namespace statfi::fault {
+
+struct ActivationFault {
+    std::int32_t node = 0;         ///< graph node whose output is corrupted
+    std::uint64_t element = 0;     ///< flat index into the (1,C,H,W) output
+    std::int32_t bit = 0;          ///< bit position, 0 = LSB
+    [[nodiscard]] bool operator==(const ActivationFault&) const noexcept =
+        default;
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Enumerable population of single-bit transient activation faults over all
+/// graph nodes, for a fixed single-image input shape. Subpopulations are
+/// per node (the activation analogue of the paper's per-layer split);
+/// index layout: node -> bit -> element.
+class ActivationUniverse {
+public:
+    ActivationUniverse(const nn::Network& net, const Shape& image_shape,
+                       DataType dtype = DataType::Float32);
+
+    [[nodiscard]] DataType dtype() const noexcept { return dtype_; }
+    [[nodiscard]] int bits() const noexcept { return bits_; }
+    [[nodiscard]] int node_count() const noexcept {
+        return static_cast<int>(numels_.size());
+    }
+    [[nodiscard]] const std::string& node_name(int node) const {
+        return names_.at(static_cast<std::size_t>(node));
+    }
+    /// Elements in one inference's output of @p node.
+    [[nodiscard]] std::uint64_t node_elements(int node) const {
+        return numels_.at(static_cast<std::size_t>(node));
+    }
+    /// N_node = elements * bits.
+    [[nodiscard]] std::uint64_t node_population(int node) const;
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    [[nodiscard]] ActivationFault decode(std::uint64_t global_index) const;
+    [[nodiscard]] std::uint64_t encode(const ActivationFault& fault) const;
+    /// First global index of node @p node's subpopulation.
+    [[nodiscard]] std::uint64_t node_offset(int node) const;
+
+private:
+    DataType dtype_;
+    int bits_;
+    std::vector<std::string> names_;
+    std::vector<std::uint64_t> numels_;
+    std::vector<std::uint64_t> offsets_;  // prefix sums
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace statfi::fault

@@ -1,0 +1,188 @@
+#include "fault/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace statfi::fault {
+
+int bit_width(DataType dtype) noexcept {
+    switch (dtype) {
+        case DataType::Float32: return 32;
+        case DataType::Float16: return 16;
+        case DataType::BFloat16: return 16;
+        case DataType::Int8: return 8;
+    }
+    return 32;
+}
+
+const char* to_string(DataType dtype) noexcept {
+    switch (dtype) {
+        case DataType::Float32: return "fp32";
+        case DataType::Float16: return "fp16";
+        case DataType::BFloat16: return "bf16";
+        case DataType::Int8: return "int8";
+    }
+    return "?";
+}
+
+std::uint32_t float_bits(float value) noexcept {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float float_from_bits(std::uint32_t bits) noexcept {
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+namespace {
+
+/// FP32 -> FP16 with round-to-nearest-even, handling subnormals/overflow.
+std::uint16_t fp32_to_fp16(float value) {
+    const std::uint32_t f = float_bits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xFF) - 127;
+    std::uint32_t mant = f & 0x7FFFFFu;
+
+    if (exp == 128) {  // Inf / NaN
+        return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+    }
+    if (exp > 15) {  // overflow -> Inf
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    if (exp >= -14) {  // normal range
+        std::uint32_t half = (static_cast<std::uint32_t>(exp + 15) << 10) |
+                             (mant >> 13);
+        // round to nearest even on the 13 dropped bits
+        const std::uint32_t rest = mant & 0x1FFFu;
+        if (rest > 0x1000u || (rest == 0x1000u && (half & 1u))) ++half;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+    if (exp >= -25) {  // subnormal (or rounds up into the subnormal range)
+        mant |= 0x800000u;  // implicit leading 1
+        // Subnormal half words count units of 2^-24: mant_fp16 =
+        // round(mant * 2^(exp+1)), i.e. a right shift by -exp-1 in [14, 24].
+        const int shift = -exp - 1;
+        std::uint32_t half = mant >> shift;
+        const std::uint32_t rest = mant & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rest > halfway || (rest == halfway && (half & 1u))) ++half;
+        return static_cast<std::uint16_t>(sign | half);
+    }
+    return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+float fp16_to_fp32(std::uint16_t h) {
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    const std::uint32_t mant = h & 0x3FFu;
+    if (exp == 0x1F)  // Inf / NaN
+        return float_from_bits(sign | 0x7F800000u | (mant << 13));
+    if (exp == 0) {
+        if (mant == 0) return float_from_bits(sign);  // signed zero
+        // subnormal: value = mant * 2^-24
+        return float_from_bits(sign) +
+               std::ldexp(static_cast<float>(mant), -24) *
+                   ((sign != 0u) ? -1.0f : 1.0f);
+    }
+    return float_from_bits(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+std::uint16_t fp32_to_bf16(float value) {
+    std::uint32_t f = float_bits(value);
+    if (std::isnan(value)) return static_cast<std::uint16_t>((f >> 16) | 0x40u);
+    // round to nearest even on the dropped 16 bits
+    const std::uint32_t rest = f & 0xFFFFu;
+    std::uint32_t top = f >> 16;
+    if (rest > 0x8000u || (rest == 0x8000u && (top & 1u))) ++top;
+    return static_cast<std::uint16_t>(top);
+}
+
+float bf16_to_fp32(std::uint16_t b) {
+    return float_from_bits(static_cast<std::uint32_t>(b) << 16);
+}
+
+std::uint8_t fp32_to_int8(float value, QuantParams qp) {
+    if (!(qp.scale > 0.0f))
+        throw std::domain_error("int8 codec: quantization scale must be > 0");
+    const float q = std::nearbyint(value / qp.scale);
+    const auto clamped =
+        static_cast<std::int32_t>(std::clamp(q, -127.0f, 127.0f));
+    return static_cast<std::uint8_t>(static_cast<std::int8_t>(clamped));
+}
+
+float int8_to_fp32(std::uint8_t word, QuantParams qp) {
+    return static_cast<float>(static_cast<std::int8_t>(word)) * qp.scale;
+}
+
+}  // namespace
+
+std::uint32_t encode(float value, DataType dtype, QuantParams qp) {
+    switch (dtype) {
+        case DataType::Float32: return float_bits(value);
+        case DataType::Float16: return fp32_to_fp16(value);
+        case DataType::BFloat16: return fp32_to_bf16(value);
+        case DataType::Int8: return fp32_to_int8(value, qp);
+    }
+    return 0;
+}
+
+float decode(std::uint32_t word, DataType dtype, QuantParams qp) {
+    switch (dtype) {
+        case DataType::Float32: return float_from_bits(word);
+        case DataType::Float16:
+            return fp16_to_fp32(static_cast<std::uint16_t>(word));
+        case DataType::BFloat16:
+            return bf16_to_fp32(static_cast<std::uint16_t>(word));
+        case DataType::Int8:
+            return int8_to_fp32(static_cast<std::uint8_t>(word), qp);
+    }
+    return 0.0f;
+}
+
+float quantize(float value, DataType dtype, QuantParams qp) {
+    return decode(encode(value, dtype, qp), dtype, qp);
+}
+
+namespace {
+void check_bit(int bit, DataType dtype) {
+    if (bit < 0 || bit >= bit_width(dtype))
+        throw std::domain_error("codec: bit index out of range for data type");
+}
+}  // namespace
+
+bool bit_of(float value, int bit, DataType dtype, QuantParams qp) {
+    check_bit(bit, dtype);
+    return (encode(value, dtype, qp) >> bit) & 1u;
+}
+
+float apply_stuck_at(float value, int bit, bool stuck_to_one, DataType dtype,
+                     QuantParams qp) {
+    check_bit(bit, dtype);
+    std::uint32_t word = encode(value, dtype, qp);
+    if (stuck_to_one)
+        word |= (1u << bit);
+    else
+        word &= ~(1u << bit);
+    return decode(word, dtype, qp);
+}
+
+float apply_bit_flip(float value, int bit, DataType dtype, QuantParams qp) {
+    check_bit(bit, dtype);
+    return decode(encode(value, dtype, qp) ^ (1u << bit), dtype, qp);
+}
+
+double bit_flip_distance(float value, int bit, DataType dtype, QuantParams qp) {
+    const float golden = quantize(value, dtype, qp);
+    const float faulty = apply_bit_flip(value, bit, dtype, qp);
+    if (!std::isfinite(faulty) || !std::isfinite(golden))
+        return static_cast<double>(std::numeric_limits<float>::max());
+    return std::fabs(static_cast<double>(faulty) - static_cast<double>(golden));
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,59 @@
+#pragma once
+// Bit-level codecs for weight data representations.
+//
+// A hardware fault corrupts the *stored encoding* of a weight, not its
+// abstract value. The codec maps a float weight to the bit pattern a given
+// data type stores, applies stuck-at / bit-flip faults on that pattern, and
+// maps back to the float the inference engine computes with.
+//
+// FP32 is the paper's representation; FP16, bfloat16 and INT8 implement its
+// stated future work ("different data representations").
+
+#include <cstdint>
+
+namespace statfi::fault {
+
+enum class DataType : std::uint8_t { Float32, Float16, BFloat16, Int8 };
+
+/// Bits per stored weight word: 32, 16, 16, 8.
+int bit_width(DataType dtype) noexcept;
+const char* to_string(DataType dtype) noexcept;
+
+/// Quantization parameters (INT8 only; ignored elsewhere). Symmetric
+/// per-tensor scheme: q = clamp(round(w / scale), -127, 127).
+struct QuantParams {
+    float scale = 1.0f;
+};
+
+/// Encode a float into the data type's stored word (low bits used).
+std::uint32_t encode(float value, DataType dtype, QuantParams qp = {});
+
+/// Decode a stored word back to the float the engine computes with.
+float decode(std::uint32_t word, DataType dtype, QuantParams qp = {});
+
+/// Round-trip through the encoding — the value actually used at inference
+/// time when weights are stored in @p dtype.
+float quantize(float value, DataType dtype, QuantParams qp = {});
+
+/// Value of bit @p bit (0 = LSB) of the stored encoding of @p value.
+bool bit_of(float value, int bit, DataType dtype, QuantParams qp = {});
+
+/// Stuck-at fault: force bit to @p stuck_to_one and decode. If the bit
+/// already holds that value the fault is masked (result == quantize(value)).
+float apply_stuck_at(float value, int bit, bool stuck_to_one, DataType dtype,
+                     QuantParams qp = {});
+
+/// Transient single-bit-flip fault: toggle bit and decode.
+float apply_bit_flip(float value, int bit, DataType dtype, QuantParams qp = {});
+
+/// |faulty - golden| for a bit flip at @p bit, in double precision. A flip
+/// producing Inf/NaN (e.g. exponent 0xFE -> 0xFF) is scored as FLT_MAX so
+/// averages stay finite — such faults are maximally critical anyway.
+double bit_flip_distance(float value, int bit, DataType dtype,
+                         QuantParams qp = {});
+
+/// IEEE-754 binary32 introspection helpers (used by tests and Fig. 2).
+std::uint32_t float_bits(float value) noexcept;
+float float_from_bits(std::uint32_t bits) noexcept;
+
+}  // namespace statfi::fault

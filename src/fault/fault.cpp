@@ -1,0 +1,42 @@
+#include "fault/fault.hpp"
+
+namespace statfi::fault {
+
+const char* to_string(FaultModel model) noexcept {
+    switch (model) {
+        case FaultModel::StuckAt0: return "sa0";
+        case FaultModel::StuckAt1: return "sa1";
+        case FaultModel::BitFlip: return "flip";
+    }
+    return "?";
+}
+
+std::string Fault::to_string() const {
+    return std::string("L") + std::to_string(layer) + ".w" +
+           std::to_string(weight_index) + ".b" + std::to_string(bit) + "." +
+           fault::to_string(model);
+}
+
+float corrupt(float value, const Fault& fault, DataType dtype, QuantParams qp) {
+    switch (fault.model) {
+        case FaultModel::StuckAt0:
+            return apply_stuck_at(value, fault.bit, false, dtype, qp);
+        case FaultModel::StuckAt1:
+            return apply_stuck_at(value, fault.bit, true, dtype, qp);
+        case FaultModel::BitFlip:
+            return apply_bit_flip(value, fault.bit, dtype, qp);
+    }
+    return value;
+}
+
+bool is_masked(float value, const Fault& fault, DataType dtype, QuantParams qp) {
+    const bool golden_bit = bit_of(value, fault.bit, dtype, qp);
+    switch (fault.model) {
+        case FaultModel::StuckAt0: return !golden_bit;
+        case FaultModel::StuckAt1: return golden_bit;
+        case FaultModel::BitFlip: return false;
+    }
+    return false;
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,40 @@
+#pragma once
+// Fault descriptors. A fault names one bit of one stored weight word and a
+// corruption model. The paper's exhaustive population is the set of all
+// (weight, bit, polarity) stuck-at faults under the single-fault assumption.
+
+#include <cstdint>
+#include <string>
+
+#include "fault/codec.hpp"
+
+namespace statfi::fault {
+
+enum class FaultModel : std::uint8_t {
+    StuckAt0,  ///< permanent: bit forced to 0
+    StuckAt1,  ///< permanent: bit forced to 1
+    BitFlip,   ///< transient: bit toggled (extension beyond the paper)
+};
+
+const char* to_string(FaultModel model) noexcept;
+
+struct Fault {
+    std::int32_t layer = 0;          ///< weight-layer index l (paper's layer id)
+    std::uint64_t weight_index = 0;  ///< flat index within that layer's weight tensor
+    std::int32_t bit = 0;            ///< bit position i, 0 = LSB
+    FaultModel model = FaultModel::StuckAt0;
+
+    [[nodiscard]] bool operator==(const Fault&) const noexcept = default;
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Apply the fault's corruption model to a weight value.
+float corrupt(float value, const Fault& fault, DataType dtype,
+              QuantParams qp = {});
+
+/// True if the fault cannot change the stored word (stuck-at equal to the
+/// golden bit). Bit flips are never masked at the encoding level.
+bool is_masked(float value, const Fault& fault, DataType dtype,
+               QuantParams qp = {});
+
+}  // namespace statfi::fault

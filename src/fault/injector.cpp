@@ -1,0 +1,66 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+
+namespace statfi::fault {
+
+WeightInjector::WeightInjector(nn::Network& net, DataType dtype)
+    : dtype_(dtype), weights_(net.weight_layers()) {
+    qparams_.resize(weights_.size());
+    if (dtype_ == DataType::Int8) {
+        for (std::size_t l = 0; l < weights_.size(); ++l) {
+            const float max_abs = weights_[l].weight->max_abs();
+            qparams_[l].scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        }
+    }
+}
+
+QuantParams WeightInjector::quant_params(int layer) const {
+    return qparams_.at(static_cast<std::size_t>(layer));
+}
+
+float* WeightInjector::weight_ptr(const Fault& fault) const {
+    const auto l = static_cast<std::size_t>(fault.layer);
+    if (fault.layer < 0 || l >= weights_.size())
+        throw std::out_of_range("WeightInjector: layer " +
+                                std::to_string(fault.layer) + " out of range");
+    Tensor& w = *weights_[l].weight;
+    if (fault.weight_index >= w.numel())
+        throw std::out_of_range("WeightInjector: weight index out of range in " +
+                                weights_[l].name);
+    return w.data() + fault.weight_index;
+}
+
+float WeightInjector::golden_value(const Fault& fault) const {
+    return quantize(*weight_ptr(fault), dtype_,
+                    qparams_[static_cast<std::size_t>(fault.layer)]);
+}
+
+bool WeightInjector::masked(const Fault& fault) const {
+    return is_masked(*weight_ptr(fault), fault, dtype_,
+                     qparams_[static_cast<std::size_t>(fault.layer)]);
+}
+
+WeightInjector::Applied WeightInjector::apply(const Fault& fault) {
+    float* slot = weight_ptr(fault);
+    const QuantParams qp = qparams_[static_cast<std::size_t>(fault.layer)];
+    Applied record;
+    record.original = *slot;
+    record.masked = is_masked(*slot, fault, dtype_, qp);
+    record.faulty = corrupt(*slot, fault, dtype_, qp);
+    *slot = record.faulty;
+    return record;
+}
+
+void WeightInjector::restore(const Fault& fault, const Applied& record) {
+    *weight_ptr(fault) = record.original;
+}
+
+int WeightInjector::node_of_layer(int layer) const {
+    const auto l = static_cast<std::size_t>(layer);
+    if (layer < 0 || l >= weights_.size())
+        throw std::out_of_range("WeightInjector::node_of_layer: out of range");
+    return weights_[l].node_id;
+}
+
+}  // namespace statfi::fault

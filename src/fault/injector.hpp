@@ -1,0 +1,80 @@
+#pragma once
+// WeightInjector: applies faults to a network's weight storage and restores
+// the golden value afterwards (PyTorchFI-style weight corruption).
+//
+// For non-FP32 data types the injector also *quantizes the view*: the golden
+// weight used for masking decisions and restoration is the value after a
+// round trip through the storage encoding, exactly what a device holding
+// weights in that format computes with.
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/universe.hpp"
+#include "nn/network.hpp"
+
+namespace statfi::fault {
+
+class WeightInjector {
+public:
+    /// Binds to the network's weight layers. For Int8, per-layer symmetric
+    /// quantization scales (max|w| / 127) are computed from current weights.
+    WeightInjector(nn::Network& net, DataType dtype = DataType::Float32);
+
+    [[nodiscard]] DataType dtype() const noexcept { return dtype_; }
+    [[nodiscard]] int layer_count() const noexcept {
+        return static_cast<int>(weights_.size());
+    }
+    [[nodiscard]] QuantParams quant_params(int layer) const;
+
+    /// Golden (storage-quantized) value of the fault's target weight.
+    [[nodiscard]] float golden_value(const Fault& fault) const;
+
+    /// True if applying the fault cannot change the stored word.
+    [[nodiscard]] bool masked(const Fault& fault) const;
+
+    /// Result of applying one fault.
+    struct Applied {
+        float original = 0.0f;  ///< value to restore
+        float faulty = 0.0f;    ///< value now in the weight tensor
+        bool masked = false;    ///< stored word unchanged
+    };
+
+    /// Corrupt the target weight in place. Call restore() with the returned
+    /// record before applying the next fault (single-fault assumption).
+    Applied apply(const Fault& fault);
+
+    /// Restore the weight corrupted by @p fault.
+    void restore(const Fault& fault, const Applied& record);
+
+    /// RAII guard: applies on construction, restores on destruction.
+    class Scoped {
+    public:
+        Scoped(WeightInjector& injector, const Fault& fault)
+            : injector_(&injector), fault_(fault),
+              record_(injector.apply(fault)) {}
+        ~Scoped() { injector_->restore(fault_, record_); }
+        Scoped(const Scoped&) = delete;
+        Scoped& operator=(const Scoped&) = delete;
+
+        [[nodiscard]] const Applied& record() const noexcept { return record_; }
+
+    private:
+        WeightInjector* injector_;
+        Fault fault_;
+        Applied record_;
+    };
+
+    /// Node id owning the fault's layer — the first node the campaign
+    /// executor must re-run (everything upstream keeps golden activations).
+    [[nodiscard]] int node_of_layer(int layer) const;
+
+private:
+    float* weight_ptr(const Fault& fault) const;
+
+    DataType dtype_;
+    std::vector<nn::Network::WeightLayerRef> weights_;
+    std::vector<QuantParams> qparams_;
+};
+
+}  // namespace statfi::fault

@@ -1,0 +1,104 @@
+#include "fault/universe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace statfi::fault {
+
+FaultUniverse::FaultUniverse(nn::Network& net, DataType dtype, int polarities)
+    : dtype_(dtype), bits_(bit_width(dtype)), polarities_(polarities) {
+    for (const auto& ref : net.weight_layers())
+        layers_.push_back(LayerInfo{ref.name, ref.weight->numel()});
+    layer_offsets_.resize(layers_.size() + 1, 0);
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        layer_offsets_[l + 1] =
+            layer_offsets_[l] + layers_[l].weight_count *
+                                    static_cast<std::uint64_t>(bits_) *
+                                    static_cast<std::uint64_t>(polarities_);
+    total_ = layer_offsets_.back();
+}
+
+FaultUniverse FaultUniverse::stuck_at(nn::Network& net, DataType dtype) {
+    return FaultUniverse(net, dtype, 2);
+}
+
+FaultUniverse FaultUniverse::bit_flip(nn::Network& net, DataType dtype) {
+    return FaultUniverse(net, dtype, 1);
+}
+
+std::uint64_t FaultUniverse::layer_population(int l) const {
+    const auto idx = static_cast<std::size_t>(l);
+    if (l < 0 || idx >= layers_.size())
+        throw std::out_of_range("FaultUniverse: layer index");
+    return layer_offsets_[idx + 1] - layer_offsets_[idx];
+}
+
+std::uint64_t FaultUniverse::bit_population(int l) const {
+    return layer(l).weight_count * static_cast<std::uint64_t>(polarities_);
+}
+
+Fault FaultUniverse::decode(std::uint64_t global_index) const {
+    if (global_index >= total_)
+        throw std::out_of_range("FaultUniverse::decode: index >= N");
+    // Find the layer via the offset table (layers are few; linear scan would
+    // do, but upper_bound keeps this O(log L) for deep networks).
+    const auto it = std::upper_bound(layer_offsets_.begin(), layer_offsets_.end(),
+                                     global_index);
+    const auto l = static_cast<int>(it - layer_offsets_.begin()) - 1;
+    const std::uint64_t local =
+        global_index - layer_offsets_[static_cast<std::size_t>(l)];
+    const std::uint64_t per_bit = bit_population(l);
+    const int bit = static_cast<int>(local / per_bit);
+    return decode_in_subpop(l, bit, local % per_bit);
+}
+
+std::uint64_t FaultUniverse::encode(const Fault& fault) const {
+    const auto l = fault.layer;
+    if (l < 0 || static_cast<std::size_t>(l) >= layers_.size())
+        throw std::out_of_range("FaultUniverse::encode: bad layer");
+    if (fault.bit < 0 || fault.bit >= bits_)
+        throw std::out_of_range("FaultUniverse::encode: bad bit");
+    if (fault.weight_index >= layers_[static_cast<std::size_t>(l)].weight_count)
+        throw std::out_of_range("FaultUniverse::encode: bad weight index");
+    std::uint64_t polarity = 0;
+    switch (fault.model) {
+        case FaultModel::StuckAt0: polarity = 0; break;
+        case FaultModel::StuckAt1: polarity = 1; break;
+        case FaultModel::BitFlip: polarity = 0; break;
+    }
+    if (!permanent() && fault.model != FaultModel::BitFlip)
+        throw std::invalid_argument(
+            "FaultUniverse::encode: stuck-at fault in bit-flip universe");
+    if (permanent() && fault.model == FaultModel::BitFlip)
+        throw std::invalid_argument(
+            "FaultUniverse::encode: bit-flip fault in stuck-at universe");
+    return subpop_offset(l, fault.bit) +
+           fault.weight_index * static_cast<std::uint64_t>(polarities_) +
+           polarity;
+}
+
+std::uint64_t FaultUniverse::subpop_offset(int l, int bit) const {
+    if (bit < 0 || bit >= bits_)
+        throw std::out_of_range("FaultUniverse::subpop_offset: bad bit");
+    return layer_offsets_[static_cast<std::size_t>(l)] +
+           static_cast<std::uint64_t>(bit) * bit_population(l);
+}
+
+Fault FaultUniverse::decode_in_subpop(int l, int bit,
+                                      std::uint64_t local_index) const {
+    if (local_index >= bit_population(l))
+        throw std::out_of_range("FaultUniverse::decode_in_subpop: index");
+    Fault fault;
+    fault.layer = l;
+    fault.bit = bit;
+    fault.weight_index = local_index / static_cast<std::uint64_t>(polarities_);
+    if (permanent()) {
+        fault.model = (local_index % 2 == 0) ? FaultModel::StuckAt0
+                                             : FaultModel::StuckAt1;
+    } else {
+        fault.model = FaultModel::BitFlip;
+    }
+    return fault;
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,79 @@
+#pragma once
+// FaultUniverse: the enumerable population of faults over a network's
+// injectable weights.
+//
+// The paper's populations:
+//   N        = total faults              = sum_l  weights_l * I * polarities
+//   N_l      = faults in layer l         = weights_l * I * polarities
+//   N_(i,l)  = faults in (bit i, layer l)= weights_l * polarities
+// where I = bit width of the data type and polarities = 2 for permanent
+// stuck-at (sa0 + sa1) or 1 for transient bit flips.
+//
+// The universe defines a dense bijection between [0, N) and Fault structs so
+// samplers can draw indices without materializing faults. Index layout, from
+// slowest to fastest varying: layer -> bit -> weight -> polarity. This makes
+// every N_(i,l) subpopulation a contiguous index range, which the campaign
+// planner exploits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "nn/network.hpp"
+
+namespace statfi::fault {
+
+class FaultUniverse {
+public:
+    struct LayerInfo {
+        std::string name;
+        std::uint64_t weight_count = 0;
+    };
+
+    /// Permanent stuck-at universe (polarities = 2), the paper's model.
+    static FaultUniverse stuck_at(nn::Network& net,
+                                  DataType dtype = DataType::Float32);
+    /// Transient bit-flip universe (polarities = 1).
+    static FaultUniverse bit_flip(nn::Network& net,
+                                  DataType dtype = DataType::Float32);
+
+    [[nodiscard]] DataType dtype() const noexcept { return dtype_; }
+    [[nodiscard]] int bits() const noexcept { return bits_; }
+    [[nodiscard]] int polarities() const noexcept { return polarities_; }
+    [[nodiscard]] bool permanent() const noexcept { return polarities_ == 2; }
+
+    [[nodiscard]] int layer_count() const noexcept {
+        return static_cast<int>(layers_.size());
+    }
+    [[nodiscard]] const LayerInfo& layer(int l) const {
+        return layers_.at(static_cast<std::size_t>(l));
+    }
+
+    /// N, N_l, N_(i,l).
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t layer_population(int l) const;
+    [[nodiscard]] std::uint64_t bit_population(int l) const;  // same for all i
+
+    /// Global-index bijection.
+    [[nodiscard]] Fault decode(std::uint64_t global_index) const;
+    [[nodiscard]] std::uint64_t encode(const Fault& fault) const;
+
+    /// First global index of the contiguous N_(i,l) subpopulation.
+    [[nodiscard]] std::uint64_t subpop_offset(int l, int bit) const;
+    /// Fault for an index local to the N_(i,l) subpopulation.
+    [[nodiscard]] Fault decode_in_subpop(int l, int bit,
+                                         std::uint64_t local_index) const;
+
+private:
+    FaultUniverse(nn::Network& net, DataType dtype, int polarities);
+
+    DataType dtype_ = DataType::Float32;
+    int bits_ = 32;
+    int polarities_ = 2;
+    std::vector<LayerInfo> layers_;
+    std::vector<std::uint64_t> layer_offsets_;  // prefix sums of N_l
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace statfi::fault

@@ -1,0 +1,31 @@
+#include "models/micronet.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace statfi::models {
+
+nn::Network make_micronet(int num_classes) {
+    using namespace statfi::nn;
+    if (num_classes < 2)
+        throw std::invalid_argument("make_micronet: num_classes < 2");
+    Network net;
+    int id = net.add("conv1", std::make_unique<Conv2d>(3, 6, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("relu1", std::make_unique<ReLU>(), {id});
+    id = net.add("pool1", std::make_unique<AvgPool2d>(2), {id});
+    id = net.add("conv2", std::make_unique<Conv2d>(6, 10, 3, 1, 1), {id});
+    id = net.add("relu2", std::make_unique<ReLU>(), {id});
+    id = net.add("pool2", std::make_unique<AvgPool2d>(2), {id});
+    id = net.add("conv3", std::make_unique<Conv2d>(10, 14, 3, 1, 1), {id});
+    id = net.add("relu3", std::make_unique<ReLU>(), {id});
+    id = net.add("avgpool", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(14, num_classes), {id});
+    return net;
+}
+
+}  // namespace statfi::models

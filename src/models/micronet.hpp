@@ -1,0 +1,24 @@
+#pragma once
+// MicroNet: a deliberately small CNN (2,102 injectable weights, 134,528
+// stuck-at faults) used as the exhaustive-validation substrate. The paper
+// validated its statistical campaigns against exhaustive FI on ResNet-20 /
+// MobileNetV2 using 37-54 GPU-days; MicroNet makes the same
+// statistical-vs-exhaustive comparison tractable on one CPU core while
+// preserving everything the comparison measures (see DESIGN.md §2).
+//
+// Architecture: conv 3->6 /relu/avgpool2, conv 6->10 /relu/avgpool2,
+// conv 10->14 /relu, global-avg-pool, FC 14->num_classes.
+// All layers support backward(), so MicroNet can be trained by the built-in
+// SGD trainer into a functioning classifier.
+
+#include "nn/network.hpp"
+
+namespace statfi::models {
+
+nn::Network make_micronet(int num_classes = 10);
+
+/// Number of injectable weights in MicroNet (compile-time documented
+/// constant, asserted in tests): 162 + 540 + 1260 + 140.
+inline constexpr std::uint64_t kMicroNetWeightCount = 2102;
+
+}  // namespace statfi::models

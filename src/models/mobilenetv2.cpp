@@ -1,0 +1,97 @@
+#include "models/mobilenetv2.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace statfi::models {
+
+namespace {
+
+struct BlockCfg {
+    std::int64_t expansion;
+    std::int64_t out_channels;
+    int repeats;
+    std::int64_t stride;  // stride of the first repeat
+};
+
+/// Appends one inverted-residual block; returns its output node id.
+int add_inverted_residual(nn::Network& net, const std::string& prefix,
+                          int input_id, std::int64_t in_channels,
+                          std::int64_t out_channels, std::int64_t expansion,
+                          std::int64_t stride) {
+    using namespace statfi::nn;
+    const std::int64_t hidden = in_channels * expansion;
+
+    int id = net.add(prefix + ".expand",
+                     std::make_unique<Conv2d>(in_channels, hidden, 1, 1, 0),
+                     {input_id});
+    id = net.add(prefix + ".bn1", std::make_unique<BatchNorm2d>(hidden), {id});
+    id = net.add(prefix + ".relu1", std::make_unique<ReLU6>(), {id});
+
+    id = net.add(prefix + ".depthwise",
+                 std::make_unique<DepthwiseConv2d>(hidden, 3, stride, 1), {id});
+    id = net.add(prefix + ".bn2", std::make_unique<BatchNorm2d>(hidden), {id});
+    id = net.add(prefix + ".relu2", std::make_unique<ReLU6>(), {id});
+
+    id = net.add(prefix + ".project",
+                 std::make_unique<Conv2d>(hidden, out_channels, 1, 1, 0), {id});
+    id = net.add(prefix + ".bn3", std::make_unique<BatchNorm2d>(out_channels),
+                 {id});
+
+    if (stride == 1 && in_channels == out_channels)
+        id = net.add(prefix + ".add", std::make_unique<Add>(), {id, input_id});
+    return id;
+}
+
+}  // namespace
+
+nn::Network make_mobilenetv2(int num_classes) {
+    using namespace statfi::nn;
+    if (num_classes < 2)
+        throw std::invalid_argument("make_mobilenetv2: num_classes < 2");
+
+    // (t, c, n, s) with the CIFAR stride adjustment on the 24-channel stage.
+    constexpr std::array<BlockCfg, 7> cfg{{{1, 16, 1, 1},
+                                           {6, 24, 2, 1},
+                                           {6, 32, 3, 2},
+                                           {6, 64, 4, 2},
+                                           {6, 96, 3, 1},
+                                           {6, 160, 3, 2},
+                                           {6, 320, 1, 1}}};
+
+    Network net;
+    int id = net.add("conv1", std::make_unique<Conv2d>(3, 32, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("bn1", std::make_unique<BatchNorm2d>(32), {id});
+    id = net.add("relu1", std::make_unique<ReLU6>(), {id});
+
+    std::int64_t in_channels = 32;
+    int block_index = 0;
+    for (const auto& stage : cfg) {
+        for (int r = 0; r < stage.repeats; ++r) {
+            const std::int64_t stride = (r == 0) ? stage.stride : 1;
+            const std::string prefix = "block" + std::to_string(block_index++);
+            id = add_inverted_residual(net, prefix, id, in_channels,
+                                       stage.out_channels, stage.expansion,
+                                       stride);
+            in_channels = stage.out_channels;
+        }
+    }
+
+    id = net.add("conv2", std::make_unique<Conv2d>(in_channels, 1280, 1, 1, 0),
+                 {id});
+    id = net.add("bn2", std::make_unique<BatchNorm2d>(1280), {id});
+    id = net.add("relu2", std::make_unique<ReLU6>(), {id});
+    id = net.add("avgpool", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(1280, num_classes), {id});
+    return net;
+}
+
+}  // namespace statfi::models

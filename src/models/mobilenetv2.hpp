@@ -1,0 +1,24 @@
+#pragma once
+// MobileNetV2 (Sandler et al. 2018), CIFAR-10 variant — the paper's second
+// case study: "54 layers, 2,203,584 parameters (32-bit FP)" (Table II).
+//
+// The exact variant reproducing those figures is:
+//  * stem conv 3x3, stride 1 (CIFAR resolution);
+//  * 17 inverted-residual blocks, EVERY block carrying all three convs
+//    (expand 1x1 / depthwise 3x3 / project 1x1) including the first t=1
+//    block;
+//  * block config (t, c, n, s): (1,16,1,1) (6,24,2,1) (6,32,3,2) (6,64,4,2)
+//    (6,96,3,1) (6,160,3,2) (6,320,1,1) — the stride-2 of the 24-block is
+//    dropped for 32x32 inputs;
+//  * identity residuals only (stride 1 and in == out); no shortcut convs;
+//  * head conv 1x1 to 1280, global average pool, FC to num_classes.
+// Weight layers: 1 stem + 17*3 block convs + 1 head + 1 FC = 54; injectable
+// weights sum to exactly 2,203,584. Verified in tests/models_test.cpp.
+
+#include "nn/network.hpp"
+
+namespace statfi::models {
+
+nn::Network make_mobilenetv2(int num_classes = 10);
+
+}  // namespace statfi::models

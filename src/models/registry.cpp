@@ -1,0 +1,37 @@
+#include "models/registry.hpp"
+
+#include <stdexcept>
+
+#include "models/micronet.hpp"
+#include "models/mobilenetv2.hpp"
+#include "models/resnet_cifar.hpp"
+
+namespace statfi::models {
+
+std::vector<ModelInfo> available_models() {
+    return {
+        {"micronet", "validation-scale CNN (2,102 weights) for exhaustive FI",
+         Shape{3, 32, 32}, 10},
+        {"resnet20", "CIFAR ResNet-20 (268,336 injectable weights)",
+         Shape{3, 32, 32}, 10},
+        {"resnet32", "CIFAR ResNet-32", Shape{3, 32, 32}, 10},
+        {"mobilenetv2", "MobileNetV2 CIFAR variant (2,203,584 weights)",
+         Shape{3, 32, 32}, 10},
+    };
+}
+
+nn::Network build_model(const std::string& name, int num_classes) {
+    if (name == "micronet") return make_micronet(num_classes);
+    if (name == "resnet20") return make_resnet_cifar(3, num_classes);
+    if (name == "resnet32") return make_resnet_cifar(5, num_classes);
+    if (name == "mobilenetv2") return make_mobilenetv2(num_classes);
+    throw std::invalid_argument("build_model: unknown model '" + name + "'");
+}
+
+ModelInfo model_info(const std::string& name) {
+    for (const auto& info : available_models())
+        if (info.name == name) return info;
+    throw std::invalid_argument("model_info: unknown model '" + name + "'");
+}
+
+}  // namespace statfi::models

@@ -1,0 +1,29 @@
+#pragma once
+// Model registry: name -> (builder, input shape, metadata). Examples and
+// benches select models by string so every binary shares one source of truth.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace statfi::models {
+
+struct ModelInfo {
+    std::string name;
+    std::string description;
+    Shape input_shape;  // single-image shape (C, H, W) with N left to callers
+    int num_classes = 10;
+};
+
+/// Registered model names: "resnet20", "resnet32", "mobilenetv2", "micronet".
+std::vector<ModelInfo> available_models();
+
+/// Builds the named model (weights uninitialized).
+/// @throws std::invalid_argument for unknown names.
+nn::Network build_model(const std::string& name, int num_classes = 10);
+
+/// Info for one model. @throws std::invalid_argument for unknown names.
+ModelInfo model_info(const std::string& name);
+
+}  // namespace statfi::models

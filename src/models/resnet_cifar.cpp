@@ -1,0 +1,81 @@
+#include "models/resnet_cifar.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace statfi::models {
+
+namespace {
+
+/// Appends one basic block; returns the id of its output node.
+int add_basic_block(nn::Network& net, const std::string& prefix, int input_id,
+                    std::int64_t in_channels, std::int64_t out_channels,
+                    std::int64_t stride) {
+    using namespace statfi::nn;
+    int id = net.add(prefix + ".conv1",
+                     std::make_unique<Conv2d>(in_channels, out_channels, 3,
+                                              stride, 1),
+                     {input_id});
+    id = net.add(prefix + ".bn1", std::make_unique<BatchNorm2d>(out_channels),
+                 {id});
+    id = net.add(prefix + ".relu1", std::make_unique<ReLU>(), {id});
+    id = net.add(prefix + ".conv2",
+                 std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1),
+                 {id});
+    id = net.add(prefix + ".bn2", std::make_unique<BatchNorm2d>(out_channels),
+                 {id});
+
+    int shortcut_id = input_id;
+    if (stride != 1 || in_channels != out_channels) {
+        // Option-A shortcut: subsample + zero-pad channels; no parameters,
+        // so it adds no fault population (matches the paper's layer table).
+        shortcut_id = net.add(prefix + ".shortcut",
+                              std::make_unique<PadShortcut>(in_channels,
+                                                            out_channels, stride),
+                              {input_id});
+    }
+    id = net.add(prefix + ".add", std::make_unique<Add>(), {id, shortcut_id});
+    return net.add(prefix + ".relu2", std::make_unique<ReLU>(), {id});
+}
+
+}  // namespace
+
+nn::Network make_resnet_cifar(int blocks_per_stage, int num_classes) {
+    using namespace statfi::nn;
+    if (blocks_per_stage < 1)
+        throw std::invalid_argument("make_resnet_cifar: blocks_per_stage < 1");
+    if (num_classes < 2)
+        throw std::invalid_argument("make_resnet_cifar: num_classes < 2");
+
+    Network net;
+    int id = net.add("conv1", std::make_unique<Conv2d>(3, 16, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("bn1", std::make_unique<BatchNorm2d>(16), {id});
+    id = net.add("relu1", std::make_unique<ReLU>(), {id});
+
+    constexpr std::int64_t widths[3] = {16, 32, 64};
+    std::int64_t in_channels = 16;
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int block = 0; block < blocks_per_stage; ++block) {
+            const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+            const std::string prefix =
+                "stage" + std::to_string(stage + 1) + ".block" +
+                std::to_string(block + 1);
+            id = add_basic_block(net, prefix, id, in_channels, widths[stage],
+                                 stride);
+            in_channels = widths[stage];
+        }
+    }
+
+    id = net.add("avgpool", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(64, num_classes), {id});
+    return net;
+}
+
+}  // namespace statfi::models

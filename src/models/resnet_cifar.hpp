@@ -1,0 +1,26 @@
+#pragma once
+// CIFAR ResNet family (He et al. 2016, §4.2): 6n+2 layers, option-A
+// (parameter-free) shortcuts. ResNet-20 is n=3 — the paper's first case
+// study. Weight-layer ordering matches the paper's Table I exactly:
+// layer 0 = stem conv (432 params), layers 1..18 = block convs,
+// layer 19 = FC (640 params); total 268,336 injectable weights.
+// (Table I prints 9,226 for layer 11 — a typo for 9,216; see EXPERIMENTS.md.)
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+
+namespace statfi::models {
+
+/// Builds a CIFAR ResNet with @p blocks_per_stage blocks per stage
+/// (ResNet-20: 3, ResNet-32: 5, ResNet-44: 7, ResNet-56: 9).
+/// Input (N, 3, 32, 32); output (N, num_classes) logits.
+/// BN layers are initialized to identity; call nn::init_network_kaiming (or
+/// load trained parameters) before use.
+nn::Network make_resnet_cifar(int blocks_per_stage, int num_classes = 10);
+
+inline nn::Network make_resnet20(int num_classes = 10) {
+    return make_resnet_cifar(3, num_classes);
+}
+
+}  // namespace statfi::models

@@ -1,0 +1,306 @@
+#include "nn/conv.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+
+namespace statfi::nn {
+
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding) {
+    const std::int64_t out = (in + 2 * padding - kernel) / stride + 1;
+    if (out <= 0)
+        throw std::invalid_argument("conv_out_size: non-positive output size");
+    return out;
+}
+
+void im2col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* cols) {
+    const std::int64_t oh = conv_out_size(height, kernel, stride, padding);
+    const std::int64_t ow = conv_out_size(width, kernel, stride, padding);
+    const std::int64_t out_plane = oh * ow;
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const float* plane = input + c * height * width;
+        for (std::int64_t kh = 0; kh < kernel; ++kh) {
+            for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
+                float* dst = cols + row * out_plane;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t in_y = y * stride + kh - padding;
+                    if (in_y < 0 || in_y >= height) {
+                        std::memset(dst + y * ow, 0,
+                                    static_cast<std::size_t>(ow) * sizeof(float));
+                        continue;
+                    }
+                    const float* src_row = plane + in_y * width;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t in_x = x * stride + kw - padding;
+                        dst[y * ow + x] = (in_x >= 0 && in_x < width)
+                                              ? src_row[in_x]
+                                              : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const float* cols, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* input) {
+    const std::int64_t oh = conv_out_size(height, kernel, stride, padding);
+    const std::int64_t ow = conv_out_size(width, kernel, stride, padding);
+    const std::int64_t out_plane = oh * ow;
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < channels; ++c) {
+        float* plane = input + c * height * width;
+        for (std::int64_t kh = 0; kh < kernel; ++kh) {
+            for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
+                const float* src = cols + row * out_plane;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t in_y = y * stride + kh - padding;
+                    if (in_y < 0 || in_y >= height) continue;
+                    float* dst_row = plane + in_y * width;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t in_x = x * stride + kw - padding;
+                        if (in_x >= 0 && in_x < width)
+                            dst_row[in_x] += src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+namespace {
+void check_single_4d_input(std::span<const Shape> inputs, std::int64_t channels,
+                           const char* who) {
+    if (inputs.size() != 1)
+        throw std::invalid_argument(std::string(who) + ": expects 1 input");
+    if (inputs[0].rank() != 4)
+        throw std::invalid_argument(std::string(who) + ": expects NCHW input");
+    if (inputs[0][1] != channels)
+        throw std::invalid_argument(std::string(who) + ": channel mismatch (got " +
+                                    std::to_string(inputs[0][1]) + ", want " +
+                                    std::to_string(channels) + ")");
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d --
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      weight_grad_(Shape{out_channels, in_channels, kernel, kernel}) {
+    if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+        padding < 0)
+        throw std::invalid_argument("Conv2d: invalid geometry");
+}
+
+Shape Conv2d::output_shape(std::span<const Shape> inputs) const {
+    check_single_4d_input(inputs, in_channels_, "Conv2d");
+    const auto& in = inputs[0];
+    return Shape{in[0], out_channels_,
+                 conv_out_size(in[2], kernel_, stride_, padding_),
+                 conv_out_size(in[3], kernel_, stride_, padding_)};
+}
+
+void Conv2d::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
+    const Tensor& x = *inputs[0];
+    const auto& in = x.shape();
+    const Shape out_shape = output_shape(std::array{in});
+    ensure_shape(out, out_shape);
+
+    const std::int64_t N = in[0], H = in[2], W = in[3];
+    const std::int64_t OH = out_shape[2], OW = out_shape[3];
+    const std::size_t col_rows =
+        static_cast<std::size_t>(in_channels_ * kernel_ * kernel_);
+    const std::size_t out_plane = static_cast<std::size_t>(OH * OW);
+
+    // K=1, s=1, p=0 convolutions (MobileNetV2's pointwise layers) are plain
+    // GEMMs over the input as-is; skip the im2col copy entirely.
+    const bool pointwise = kernel_ == 1 && stride_ == 1 && padding_ == 0;
+    std::vector<float> cols;
+    if (!pointwise) cols.resize(col_rows * out_plane);
+
+    const std::size_t in_image = static_cast<std::size_t>(in_channels_ * H * W);
+    const std::size_t out_image =
+        static_cast<std::size_t>(out_channels_) * out_plane;
+    for (std::int64_t n = 0; n < N; ++n) {
+        const float* src = x.data() + static_cast<std::size_t>(n) * in_image;
+        const float* b = src;
+        if (!pointwise) {
+            im2col(src, in_channels_, H, W, kernel_, stride_, padding_,
+                   cols.data());
+            b = cols.data();
+        }
+        gemm(static_cast<std::size_t>(out_channels_), out_plane, col_rows,
+             weight_.data(), b, out.data() + static_cast<std::size_t>(n) * out_image);
+    }
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+    return std::make_unique<Conv2d>(*this);
+}
+
+void Conv2d::backward(std::span<const Tensor* const> inputs, const Tensor&,
+                      const Tensor& grad_out, std::vector<Tensor>& grad_inputs) {
+    const Tensor& x = *inputs[0];
+    const auto& in = x.shape();
+    const std::int64_t N = in[0], H = in[2], W = in[3];
+    const std::int64_t OH = grad_out.shape()[2], OW = grad_out.shape()[3];
+    const std::size_t col_rows =
+        static_cast<std::size_t>(in_channels_ * kernel_ * kernel_);
+    const std::size_t out_plane = static_cast<std::size_t>(OH * OW);
+
+    grad_inputs.resize(1);
+    ensure_shape(grad_inputs[0], in);
+    grad_inputs[0].zero();
+
+    std::vector<float> cols(col_rows * out_plane);
+    std::vector<float> col_grad(col_rows * out_plane);
+    const std::size_t in_image = static_cast<std::size_t>(in_channels_ * H * W);
+    const std::size_t out_image =
+        static_cast<std::size_t>(out_channels_) * out_plane;
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        const float* src = x.data() + static_cast<std::size_t>(n) * in_image;
+        const float* go = grad_out.data() + static_cast<std::size_t>(n) * out_image;
+        im2col(src, in_channels_, H, W, kernel_, stride_, padding_, cols.data());
+        // dW[Cout, CKK] += dY[Cout, OHW] * cols[CKK, OHW]^T
+        gemm_a_bt_accumulate(static_cast<std::size_t>(out_channels_), col_rows,
+                             out_plane, go, cols.data(), weight_grad_.data());
+        // dcols[CKK, OHW] = W[Cout, CKK]^T * dY[Cout, OHW]
+        gemm_at_b(col_rows, out_plane, static_cast<std::size_t>(out_channels_),
+                  weight_.data(), go, col_grad.data());
+        col2im(col_grad.data(), in_channels_, H, W, kernel_, stride_, padding_,
+               grad_inputs[0].data() + static_cast<std::size_t>(n) * in_image);
+    }
+}
+
+std::vector<ParamRef> Conv2d::params() {
+    return {ParamRef{&weight_, &weight_grad_}};
+}
+
+void Conv2d::zero_grad() { weight_grad_.zero(); }
+
+// ------------------------------------------------------- DepthwiseConv2d --
+
+DepthwiseConv2d::DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                                 std::int64_t stride, std::int64_t padding)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(Shape{channels, 1, kernel, kernel}),
+      weight_grad_(Shape{channels, 1, kernel, kernel}) {
+    if (channels <= 0 || kernel <= 0 || stride <= 0 || padding < 0)
+        throw std::invalid_argument("DepthwiseConv2d: invalid geometry");
+}
+
+Shape DepthwiseConv2d::output_shape(std::span<const Shape> inputs) const {
+    check_single_4d_input(inputs, channels_, "DepthwiseConv2d");
+    const auto& in = inputs[0];
+    return Shape{in[0], channels_,
+                 conv_out_size(in[2], kernel_, stride_, padding_),
+                 conv_out_size(in[3], kernel_, stride_, padding_)};
+}
+
+void DepthwiseConv2d::forward(std::span<const Tensor* const> inputs,
+                              Tensor& out) const {
+    const Tensor& x = *inputs[0];
+    const auto& in = x.shape();
+    const Shape out_shape = output_shape(std::array{in});
+    ensure_shape(out, out_shape);
+
+    const std::int64_t N = in[0], H = in[2], W = in[3];
+    const std::int64_t OH = out_shape[2], OW = out_shape[3];
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            const float* plane =
+                x.data() + static_cast<std::size_t>((n * channels_ + c) * H * W);
+            const float* k =
+                weight_.data() + static_cast<std::size_t>(c * kernel_ * kernel_);
+            float* dst = out.data() +
+                         static_cast<std::size_t>((n * channels_ + c) * OH * OW);
+            for (std::int64_t y = 0; y < OH; ++y) {
+                for (std::int64_t x2 = 0; x2 < OW; ++x2) {
+                    float acc = 0.0f;
+                    for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+                        const std::int64_t in_y = y * stride_ + kh - padding_;
+                        if (in_y < 0 || in_y >= H) continue;
+                        for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                            const std::int64_t in_x = x2 * stride_ + kw - padding_;
+                            if (in_x < 0 || in_x >= W) continue;
+                            acc += plane[in_y * W + in_x] * k[kh * kernel_ + kw];
+                        }
+                    }
+                    dst[y * OW + x2] = acc;
+                }
+            }
+        }
+    }
+}
+
+std::unique_ptr<Layer> DepthwiseConv2d::clone() const {
+    return std::make_unique<DepthwiseConv2d>(*this);
+}
+
+void DepthwiseConv2d::backward(std::span<const Tensor* const> inputs,
+                               const Tensor&, const Tensor& grad_out,
+                               std::vector<Tensor>& grad_inputs) {
+    const Tensor& x = *inputs[0];
+    const auto& in = x.shape();
+    const std::int64_t N = in[0], H = in[2], W = in[3];
+    const std::int64_t OH = grad_out.shape()[2], OW = grad_out.shape()[3];
+
+    grad_inputs.resize(1);
+    ensure_shape(grad_inputs[0], in);
+    grad_inputs[0].zero();
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            const float* plane =
+                x.data() + static_cast<std::size_t>((n * channels_ + c) * H * W);
+            const float* go = grad_out.data() +
+                              static_cast<std::size_t>((n * channels_ + c) * OH * OW);
+            const float* k =
+                weight_.data() + static_cast<std::size_t>(c * kernel_ * kernel_);
+            float* kg = weight_grad_.data() +
+                        static_cast<std::size_t>(c * kernel_ * kernel_);
+            float* gi = grad_inputs[0].data() +
+                        static_cast<std::size_t>((n * channels_ + c) * H * W);
+            for (std::int64_t y = 0; y < OH; ++y) {
+                for (std::int64_t x2 = 0; x2 < OW; ++x2) {
+                    const float g = go[y * OW + x2];
+                    if (g == 0.0f) continue;
+                    for (std::int64_t kh = 0; kh < kernel_; ++kh) {
+                        const std::int64_t in_y = y * stride_ + kh - padding_;
+                        if (in_y < 0 || in_y >= H) continue;
+                        for (std::int64_t kw = 0; kw < kernel_; ++kw) {
+                            const std::int64_t in_x = x2 * stride_ + kw - padding_;
+                            if (in_x < 0 || in_x >= W) continue;
+                            kg[kh * kernel_ + kw] += g * plane[in_y * W + in_x];
+                            gi[in_y * W + in_x] += g * k[kh * kernel_ + kw];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<ParamRef> DepthwiseConv2d::params() {
+    return {ParamRef{&weight_, &weight_grad_}};
+}
+
+void DepthwiseConv2d::zero_grad() { weight_grad_.zero(); }
+
+}  // namespace statfi::nn

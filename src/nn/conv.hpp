@@ -1,0 +1,103 @@
+#pragma once
+// 2-D convolutions: standard (im2col + GEMM) and depthwise (direct loops).
+// Convolution weights are THE fault-injection target of the paper; both
+// classes expose their weight tensor through Layer::injectable_weight().
+// Biases are intentionally absent: the CIFAR ResNet / MobileNetV2 conv
+// layers are bias-free (BN provides the affine part), matching the paper's
+// parameter counts.
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace statfi::nn {
+
+/// im2col: expand input patch columns. @p input is one image (C,H,W) laid
+/// out contiguously; @p cols has shape [C*K*K, OH*OW] row-major.
+void im2col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* cols);
+
+/// col2im: scatter-accumulate columns back to an image buffer (zeroed by the
+/// caller). Inverse companion of im2col for gradient computation.
+void col2im(const float* cols, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* input);
+
+/// Output spatial size for a conv/pool: floor((in + 2p - k)/s) + 1.
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding);
+
+/// Standard 2-D convolution, square kernel, no bias, no dilation/groups.
+class Conv2d final : public Layer {
+public:
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+           std::int64_t kernel, std::int64_t stride = 1, std::int64_t padding = 0);
+
+    [[nodiscard]] std::string kind() const override { return "conv2d"; }
+    [[nodiscard]] Shape output_shape(std::span<const Shape> inputs) const override;
+    void forward(std::span<const Tensor* const> inputs, Tensor& out) const override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] bool has_injectable_weight() const override { return true; }
+    [[nodiscard]] Tensor* injectable_weight() override { return &weight_; }
+    [[nodiscard]] const Tensor* injectable_weight() const override {
+        return &weight_;
+    }
+
+    [[nodiscard]] bool supports_backward() const override { return true; }
+    void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                  const Tensor& grad_out, std::vector<Tensor>& grad_inputs) override;
+    [[nodiscard]] std::vector<ParamRef> params() override;
+    void zero_grad() override;
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] const Tensor& weight() const { return weight_; }
+    [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
+    [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+    [[nodiscard]] std::int64_t kernel() const { return kernel_; }
+    [[nodiscard]] std::int64_t stride() const { return stride_; }
+    [[nodiscard]] std::int64_t padding() const { return padding_; }
+
+private:
+    std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+    Tensor weight_;       // (Cout, Cin, K, K)
+    Tensor weight_grad_;  // same shape
+};
+
+/// Depthwise 2-D convolution (groups == channels), square kernel, no bias.
+class DepthwiseConv2d final : public Layer {
+public:
+    DepthwiseConv2d(std::int64_t channels, std::int64_t kernel,
+                    std::int64_t stride = 1, std::int64_t padding = 0);
+
+    [[nodiscard]] std::string kind() const override { return "dwconv2d"; }
+    [[nodiscard]] Shape output_shape(std::span<const Shape> inputs) const override;
+    void forward(std::span<const Tensor* const> inputs, Tensor& out) const override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] bool has_injectable_weight() const override { return true; }
+    [[nodiscard]] Tensor* injectable_weight() override { return &weight_; }
+    [[nodiscard]] const Tensor* injectable_weight() const override {
+        return &weight_;
+    }
+
+    [[nodiscard]] bool supports_backward() const override { return true; }
+    void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                  const Tensor& grad_out, std::vector<Tensor>& grad_inputs) override;
+    [[nodiscard]] std::vector<ParamRef> params() override;
+    void zero_grad() override;
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] std::int64_t channels() const { return channels_; }
+    [[nodiscard]] std::int64_t kernel() const { return kernel_; }
+    [[nodiscard]] std::int64_t stride() const { return stride_; }
+    [[nodiscard]] std::int64_t padding() const { return padding_; }
+
+private:
+    std::int64_t channels_, kernel_, stride_, padding_;
+    Tensor weight_;       // (C, 1, K, K)
+    Tensor weight_grad_;  // same shape
+};
+
+}  // namespace statfi::nn

@@ -1,0 +1,81 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace statfi::nn {
+
+namespace {
+// Block sizes tuned for ~32 KiB L1 / 256 KiB L2; the kernel is an i-k-j
+// loop nest whose inner loop the compiler auto-vectorizes.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+
+void gemm_block(std::size_t m0, std::size_t m1, std::size_t k0, std::size_t k1,
+                std::size_t n0, std::size_t n1, std::size_t N, std::size_t K,
+                const float* A, const float* B, float* C) {
+    for (std::size_t i = m0; i < m1; ++i) {
+        for (std::size_t k = k0; k < k1; ++k) {
+            const float a = A[i * K + k];
+            if (a == 0.0f) continue;  // common after ReLU-sparsified inputs
+            const float* brow = B + k * N;
+            float* crow = C + i * N;
+            for (std::size_t j = n0; j < n1; ++j) crow[j] += a * brow[j];
+        }
+    }
+}
+}  // namespace
+
+void gemm_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                     const float* A, const float* B, float* C) {
+    for (std::size_t k0 = 0; k0 < K; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k0 + kBlockK, K);
+        for (std::size_t m0 = 0; m0 < M; m0 += kBlockM) {
+            const std::size_t m1 = std::min(m0 + kBlockM, M);
+            for (std::size_t n0 = 0; n0 < N; n0 += kBlockN) {
+                const std::size_t n1 = std::min(n0 + kBlockN, N);
+                gemm_block(m0, m1, k0, k1, n0, n1, N, K, A, B, C);
+            }
+        }
+    }
+}
+
+void gemm(std::size_t M, std::size_t N, std::size_t K, const float* A,
+          const float* B, float* C) {
+    std::memset(C, 0, M * N * sizeof(float));
+    gemm_accumulate(M, N, K, A, B, C);
+}
+
+void gemm_at_b(std::size_t M, std::size_t N, std::size_t K, const float* A,
+               const float* B, float* C) {
+    std::memset(C, 0, M * N * sizeof(float));
+    // C[i,j] = sum_k A[k,i] * B[k,j]
+    for (std::size_t k = 0; k < K; ++k) {
+        const float* arow = A + k * M;
+        const float* brow = B + k * N;
+        for (std::size_t i = 0; i < M; ++i) {
+            const float a = arow[i];
+            if (a == 0.0f) continue;
+            float* crow = C + i * N;
+            for (std::size_t j = 0; j < N; ++j) crow[j] += a * brow[j];
+        }
+    }
+}
+
+void gemm_a_bt_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                          const float* A, const float* B, float* C) {
+    // C[i,j] += sum_k A[i,k] * B[j,k]
+    for (std::size_t i = 0; i < M; ++i) {
+        const float* arow = A + i * K;
+        float* crow = C + i * N;
+        for (std::size_t j = 0; j < N; ++j) {
+            const float* brow = B + j * K;
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+            crow[j] += acc;
+        }
+    }
+}
+
+}  // namespace statfi::nn

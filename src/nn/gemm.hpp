@@ -1,0 +1,26 @@
+#pragma once
+// Small blocked single-precision GEMM. Backs the im2col convolution path and
+// the fully-connected layer. Not a BLAS replacement — just cache-blocked,
+// vectorizer-friendly loops that are fast enough for fault campaigns on CPU.
+
+#include <cstddef>
+
+namespace statfi::nn {
+
+/// C[M,N] = A[M,K] * B[K,N]  (row-major, C overwritten).
+void gemm(std::size_t M, std::size_t N, std::size_t K, const float* A,
+          const float* B, float* C);
+
+/// C[M,N] += A[M,K] * B[K,N]  (row-major).
+void gemm_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                     const float* A, const float* B, float* C);
+
+/// C[M,N] = A[K,M]^T * B[K,N]  (row-major) — used by conv weight gradients.
+void gemm_at_b(std::size_t M, std::size_t N, std::size_t K, const float* A,
+               const float* B, float* C);
+
+/// C[M,N] += A[M,K] * B[N,K]^T (row-major) — used by conv input gradients.
+void gemm_a_bt_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                          const float* A, const float* B, float* C);
+
+}  // namespace statfi::nn

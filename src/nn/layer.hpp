@@ -1,0 +1,78 @@
+#pragma once
+// Layer abstraction of the inference engine.
+//
+// Layers are value-ish objects owned by a Network. They compute forward
+// passes into caller-provided output tensors (so campaign executors can
+// reuse buffers), optionally expose an injectable weight tensor (conv / FC
+// weights — the fault targets of the paper), and optionally support
+// backward passes for the built-in SGD trainer.
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace statfi::nn {
+
+/// A (value, gradient) pair for one trainable parameter tensor.
+struct ParamRef {
+    Tensor* value = nullptr;
+    Tensor* grad = nullptr;
+};
+
+/// Resizes @p t to @p shape iff necessary (keeps allocation otherwise).
+void ensure_shape(Tensor& t, const Shape& shape);
+
+class Layer {
+public:
+    virtual ~Layer() = default;
+
+    /// Short kind tag, e.g. "conv2d", "linear", "relu".
+    [[nodiscard]] virtual std::string kind() const = 0;
+
+    /// Output shape for the given input shapes; throws on mismatch.
+    [[nodiscard]] virtual Shape output_shape(
+        std::span<const Shape> inputs) const = 0;
+
+    /// Forward pass. @p inputs are the producing nodes' outputs in graph
+    /// order; @p out is resized as needed.
+    virtual void forward(std::span<const Tensor* const> inputs,
+                         Tensor& out) const = 0;
+
+    /// Deep copy (used to give each campaign worker a private network).
+    [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+    // -- fault-injection surface ------------------------------------------
+
+    /// True if this layer owns an injectable weight tensor (conv/FC weight).
+    /// BatchNorm parameters and biases are *not* injectable, matching the
+    /// paper's fault model (static conv+FC weights only).
+    [[nodiscard]] virtual bool has_injectable_weight() const { return false; }
+    [[nodiscard]] virtual Tensor* injectable_weight() { return nullptr; }
+    [[nodiscard]] virtual const Tensor* injectable_weight() const {
+        return nullptr;
+    }
+
+    // -- training surface --------------------------------------------------
+
+    [[nodiscard]] virtual bool supports_backward() const { return false; }
+
+    /// Backward pass: given the forward inputs, the produced output, and the
+    /// gradient w.r.t. the output, fill @p grad_inputs (one tensor per
+    /// input, same shapes as the inputs) and accumulate parameter gradients
+    /// internally. Default: unsupported.
+    virtual void backward(std::span<const Tensor* const> inputs,
+                          const Tensor& output, const Tensor& grad_out,
+                          std::vector<Tensor>& grad_inputs);
+
+    /// Trainable parameters with their gradient buffers (empty by default).
+    [[nodiscard]] virtual std::vector<ParamRef> params() { return {}; }
+
+    /// Zero all parameter gradients.
+    virtual void zero_grad() {}
+};
+
+}  // namespace statfi::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Fully-connected layer. Its weight matrix is a fault-injection target
+// (the paper's ResNet-20 "layer 19": 64x10 = 640 weights). The bias is
+// optional and, like BN parameters, never injected.
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace statfi::nn {
+
+class Linear final : public Layer {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features,
+           bool with_bias = false);
+
+    [[nodiscard]] std::string kind() const override { return "linear"; }
+    [[nodiscard]] Shape output_shape(std::span<const Shape> inputs) const override;
+    void forward(std::span<const Tensor* const> inputs, Tensor& out) const override;
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] bool has_injectable_weight() const override { return true; }
+    [[nodiscard]] Tensor* injectable_weight() override { return &weight_; }
+    [[nodiscard]] const Tensor* injectable_weight() const override {
+        return &weight_;
+    }
+
+    [[nodiscard]] bool supports_backward() const override { return true; }
+    void backward(std::span<const Tensor* const> inputs, const Tensor& output,
+                  const Tensor& grad_out, std::vector<Tensor>& grad_inputs) override;
+    [[nodiscard]] std::vector<ParamRef> params() override;
+    void zero_grad() override;
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] const Tensor& weight() const { return weight_; }
+    [[nodiscard]] Tensor& bias() { return bias_; }
+    [[nodiscard]] bool with_bias() const { return with_bias_; }
+    [[nodiscard]] std::int64_t in_features() const { return in_features_; }
+    [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+
+private:
+    std::int64_t in_features_, out_features_;
+    bool with_bias_;
+    Tensor weight_;  // (out, in)
+    Tensor bias_;    // (out) if with_bias_
+    Tensor weight_grad_;
+    Tensor bias_grad_;
+};
+
+}  // namespace statfi::nn

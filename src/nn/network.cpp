@@ -1,0 +1,192 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+namespace statfi::nn {
+
+int Network::add(std::string name, std::unique_ptr<Layer> layer,
+                 std::vector<int> inputs) {
+    if (!layer) throw std::invalid_argument("Network::add: null layer");
+    const int id = node_count();
+    for (int in : inputs)
+        if (in != kInputId && (in < 0 || in >= id))
+            throw std::invalid_argument(
+                "Network::add: node '" + name +
+                "' references invalid input id " + std::to_string(in));
+    nodes_.push_back(Node{std::move(name), std::move(layer), std::move(inputs)});
+    return id;
+}
+
+int Network::add(std::string name, std::unique_ptr<Layer> layer) {
+    const int prev = nodes_.empty() ? kInputId : node_count() - 1;
+    return add(std::move(name), std::move(layer), std::vector<int>{prev});
+}
+
+std::size_t Network::checked(int id) const {
+    if (id < 0 || id >= node_count())
+        throw std::out_of_range("Network: node id " + std::to_string(id) +
+                                " out of range");
+    return static_cast<std::size_t>(id);
+}
+
+std::vector<Shape> Network::infer_shapes(const Shape& input_shape) const {
+    std::vector<Shape> shapes;
+    shapes.reserve(nodes_.size());
+    std::vector<Shape> in_shapes;
+    for (const auto& node : nodes_) {
+        in_shapes.clear();
+        for (int in : node.inputs)
+            in_shapes.push_back(in == kInputId ? input_shape
+                                               : shapes[static_cast<std::size_t>(in)]);
+        try {
+            shapes.push_back(node.layer->output_shape(in_shapes));
+        } catch (const std::exception& e) {
+            throw std::invalid_argument("Network: shape error at node '" +
+                                        node.name + "': " + e.what());
+        }
+    }
+    return shapes;
+}
+
+void Network::gather_inputs(int id, const Tensor& input,
+                            const std::vector<Tensor>& outputs,
+                            std::vector<const Tensor*>& ptrs) const {
+    const auto& node = nodes_[static_cast<std::size_t>(id)];
+    ptrs.clear();
+    for (int in : node.inputs)
+        ptrs.push_back(in == kInputId ? &input
+                                      : &outputs[static_cast<std::size_t>(in)]);
+}
+
+Tensor Network::forward(const Tensor& input) const {
+    std::vector<Tensor> acts;
+    forward_all(input, acts);
+    if (acts.empty()) return input;
+    return std::move(acts.back());
+}
+
+void Network::forward_all(const Tensor& input,
+                          std::vector<Tensor>& activations) const {
+    activations.resize(nodes_.size());
+    std::vector<const Tensor*> ptrs;
+    for (int id = 0; id < node_count(); ++id) {
+        gather_inputs(id, input, activations, ptrs);
+        nodes_[static_cast<std::size_t>(id)].layer->forward(
+            ptrs, activations[static_cast<std::size_t>(id)]);
+    }
+}
+
+const Tensor& Network::forward_from(int first_dirty, const Tensor& input,
+                                    const std::vector<Tensor>& golden,
+                                    std::vector<Tensor>& scratch) const {
+    if (golden.size() != nodes_.size())
+        throw std::invalid_argument("Network::forward_from: golden cache size "
+                                    "mismatch");
+    if (nodes_.empty()) return input;
+    if (first_dirty < 0) first_dirty = 0;
+    if (first_dirty >= node_count()) return golden.back();
+
+    scratch.resize(nodes_.size());
+    std::vector<const Tensor*> ptrs;
+    for (int id = first_dirty; id < node_count(); ++id) {
+        const auto& node = nodes_[static_cast<std::size_t>(id)];
+        ptrs.clear();
+        for (int in : node.inputs) {
+            if (in == kInputId)
+                ptrs.push_back(&input);
+            else if (in < first_dirty)
+                ptrs.push_back(&golden[static_cast<std::size_t>(in)]);
+            else
+                ptrs.push_back(&scratch[static_cast<std::size_t>(in)]);
+        }
+        node.layer->forward(ptrs, scratch[static_cast<std::size_t>(id)]);
+    }
+    return scratch.back();
+}
+
+Network Network::clone() const {
+    Network copy;
+    copy.nodes_.reserve(nodes_.size());
+    for (const auto& node : nodes_)
+        copy.nodes_.push_back(
+            Node{node.name, node.layer->clone(), node.inputs});
+    return copy;
+}
+
+std::vector<Network::WeightLayerRef> Network::weight_layers() {
+    std::vector<WeightLayerRef> refs;
+    for (int id = 0; id < node_count(); ++id) {
+        auto& node = nodes_[static_cast<std::size_t>(id)];
+        if (node.layer->has_injectable_weight())
+            refs.push_back(WeightLayerRef{id, node.name,
+                                          node.layer->injectable_weight()});
+    }
+    return refs;
+}
+
+std::uint64_t Network::total_weight_count() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_)
+        if (node.layer->has_injectable_weight())
+            total += node.layer->injectable_weight()->numel();
+    return total;
+}
+
+std::vector<ParamRef> Network::params() {
+    std::vector<ParamRef> all;
+    for (auto& node : nodes_)
+        for (auto& p : node.layer->params()) all.push_back(p);
+    return all;
+}
+
+void Network::zero_grad() {
+    for (auto& node : nodes_) node.layer->zero_grad();
+}
+
+void Network::backward(const Tensor& input,
+                       const std::vector<Tensor>& activations,
+                       const Tensor& grad_output) {
+    if (activations.size() != nodes_.size())
+        throw std::invalid_argument("Network::backward: activation cache size "
+                                    "mismatch");
+    if (nodes_.empty()) return;
+
+    std::vector<std::optional<Tensor>> grads(nodes_.size());
+    grads.back() = grad_output;
+
+    std::vector<const Tensor*> ptrs;
+    std::vector<Tensor> grad_inputs;
+    for (int id = node_count() - 1; id >= 0; --id) {
+        auto& slot = grads[static_cast<std::size_t>(id)];
+        if (!slot.has_value()) continue;  // node not on any gradient path
+        auto& node = nodes_[static_cast<std::size_t>(id)];
+        gather_inputs(id, input, activations, ptrs);
+        grad_inputs.clear();
+        node.layer->backward(ptrs, activations[static_cast<std::size_t>(id)],
+                             *slot, grad_inputs);
+        if (grad_inputs.size() != node.inputs.size())
+            throw std::logic_error("Network::backward: layer '" + node.name +
+                                   "' returned wrong grad_inputs count");
+        for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+            const int producer = node.inputs[k];
+            if (producer == kInputId) continue;  // input gradient unused
+            auto& dst = grads[static_cast<std::size_t>(producer)];
+            if (!dst.has_value())
+                dst = std::move(grad_inputs[k]);
+            else
+                dst->add_(grad_inputs[k]);
+        }
+        slot.reset();  // free as soon as consumed
+    }
+}
+
+int argmax_row(const Tensor& logits, std::int64_t n) {
+    const std::int64_t F = logits.shape()[1];
+    const float* row = logits.data() + static_cast<std::size_t>(n * F);
+    int best = 0;
+    for (std::int64_t f = 1; f < F; ++f)
+        if (row[f] > row[best]) best = static_cast<int>(f);
+    return best;
+}
+
+}  // namespace statfi::nn

@@ -1,0 +1,128 @@
+#pragma once
+// Network: a DAG of layers executed in topological order.
+//
+// Construction order IS topological order: add() only accepts inputs with
+// smaller node ids (or kInputId for the network input), so no separate
+// sorting/cycle detection is needed and "recompute nodes >= k" is a correct
+// downstream re-execution set.
+//
+// Two execution modes matter for fault injection:
+//  * forward_all(): computes and keeps every node output (the golden
+//    activation cache for a batch of images);
+//  * forward_from(k): recomputes only nodes >= k, reading the golden cache
+//    for anything older — a permanent fault in node k's weights cannot
+//    change nodes < k, which is what makes exhaustive campaigns tractable.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace statfi::nn {
+
+class Network {
+public:
+    /// Pseudo node id denoting the network's input tensor.
+    static constexpr int kInputId = -1;
+
+    Network() = default;
+    Network(Network&&) noexcept = default;
+    Network& operator=(Network&&) noexcept = default;
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /// Append a node consuming the given producer ids. Returns its node id.
+    /// @throws std::invalid_argument if any input id >= the new node's id.
+    int add(std::string name, std::unique_ptr<Layer> layer,
+            std::vector<int> inputs);
+
+    /// Append a node consuming the previously added node (or the network
+    /// input when the graph is empty).
+    int add(std::string name, std::unique_ptr<Layer> layer);
+
+    [[nodiscard]] int node_count() const noexcept {
+        return static_cast<int>(nodes_.size());
+    }
+    [[nodiscard]] Layer& layer(int id) { return *nodes_.at(checked(id)).layer; }
+    [[nodiscard]] const Layer& layer(int id) const {
+        return *nodes_.at(checked(id)).layer;
+    }
+    [[nodiscard]] const std::string& node_name(int id) const {
+        return nodes_.at(checked(id)).name;
+    }
+    [[nodiscard]] const std::vector<int>& node_inputs(int id) const {
+        return nodes_.at(checked(id)).inputs;
+    }
+
+    /// Shape-check the whole graph for a given input shape; returns one
+    /// output shape per node. Throws with the offending node's name.
+    [[nodiscard]] std::vector<Shape> infer_shapes(const Shape& input_shape) const;
+
+    /// Full forward pass; returns the last node's output.
+    [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+    /// Full forward pass keeping every node output in @p activations
+    /// (resized to node_count()).
+    void forward_all(const Tensor& input, std::vector<Tensor>& activations) const;
+
+    /// Partial re-execution: recompute nodes with id >= @p first_dirty using
+    /// @p golden for older inputs; recomputed outputs land in @p scratch
+    /// (resized to node_count(); entries < first_dirty are untouched).
+    /// Returns the final output (scratch.back(), or golden.back() when
+    /// first_dirty is past the end).
+    const Tensor& forward_from(int first_dirty, const Tensor& input,
+                               const std::vector<Tensor>& golden,
+                               std::vector<Tensor>& scratch) const;
+
+    /// Deep copy (layers cloned). Used to give campaign workers private
+    /// weight storage.
+    [[nodiscard]] Network clone() const;
+
+    // -- fault-injection surface ------------------------------------------
+
+    /// One entry per layer owning an injectable weight tensor, in graph
+    /// order. This ordering defines the paper's "layer index" (ResNet-20:
+    /// 0 = first conv, 19 = FC).
+    struct WeightLayerRef {
+        int node_id = 0;
+        std::string name;
+        Tensor* weight = nullptr;
+    };
+    [[nodiscard]] std::vector<WeightLayerRef> weight_layers();
+
+    /// Total injectable weight count (sum over weight_layers()).
+    [[nodiscard]] std::uint64_t total_weight_count() const;
+
+    // -- training surface ---------------------------------------------------
+
+    [[nodiscard]] std::vector<ParamRef> params();
+    void zero_grad();
+
+    /// Reverse-mode pass: with @p activations from forward_all() on
+    /// @p input, propagate @p grad_output (gradient w.r.t. the last node)
+    /// and accumulate parameter gradients. Every layer on a gradient path
+    /// must support backward().
+    void backward(const Tensor& input, const std::vector<Tensor>& activations,
+                  const Tensor& grad_output);
+
+private:
+    struct Node {
+        std::string name;
+        std::unique_ptr<Layer> layer;
+        std::vector<int> inputs;
+    };
+
+    [[nodiscard]] std::size_t checked(int id) const;
+    void gather_inputs(int id, const Tensor& input,
+                       const std::vector<Tensor>& outputs,
+                       std::vector<const Tensor*>& ptrs) const;
+
+    std::vector<Node> nodes_;
+};
+
+/// Index of the maximum logit in row @p n of a (N, F) tensor.
+int argmax_row(const Tensor& logits, std::int64_t n);
+
+}  // namespace statfi::nn

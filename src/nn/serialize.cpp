@@ -1,0 +1,101 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace statfi::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'F', 'I', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+struct NamedParam {
+    std::string key;
+    Tensor* tensor;
+};
+
+std::vector<NamedParam> named_params(Network& net) {
+    std::vector<NamedParam> out;
+    for (int id = 0; id < net.node_count(); ++id) {
+        auto ps = net.layer(id).params();
+        for (std::size_t k = 0; k < ps.size(); ++k)
+            out.push_back(
+                NamedParam{net.node_name(id) + "#" + std::to_string(k),
+                           ps[k].value});
+    }
+    return out;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!is) throw std::runtime_error("serialize: truncated file");
+    return v;
+}
+
+}  // namespace
+
+void save_parameters(Network& net, const std::string& path) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, kVersion);
+    auto params = named_params(net);
+    write_pod(os, static_cast<std::uint64_t>(params.size()));
+    for (const auto& p : params) {
+        write_pod(os, static_cast<std::uint32_t>(p.key.size()));
+        os.write(p.key.data(), static_cast<std::streamsize>(p.key.size()));
+        const auto& dims = p.tensor->shape().dims();
+        write_pod(os, static_cast<std::uint32_t>(dims.size()));
+        for (auto d : dims) write_pod(os, static_cast<std::int64_t>(d));
+        os.write(reinterpret_cast<const char*>(p.tensor->data()),
+                 static_cast<std::streamsize>(p.tensor->numel() * sizeof(float)));
+    }
+    if (!os) throw std::runtime_error("save_parameters: write failed for " + path);
+}
+
+void load_parameters(Network& net, const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::string_view(magic, 4) != std::string_view(kMagic, 4))
+        throw std::runtime_error("load_parameters: bad magic in " + path);
+    const auto version = read_pod<std::uint32_t>(is);
+    if (version != kVersion)
+        throw std::runtime_error("load_parameters: unsupported version " +
+                                 std::to_string(version));
+    auto params = named_params(net);
+    const auto count = read_pod<std::uint64_t>(is);
+    if (count != params.size())
+        throw std::runtime_error("load_parameters: parameter count mismatch (file " +
+                                 std::to_string(count) + ", network " +
+                                 std::to_string(params.size()) + ")");
+    for (auto& p : params) {
+        const auto name_len = read_pod<std::uint32_t>(is);
+        std::string key(name_len, '\0');
+        is.read(key.data(), name_len);
+        if (!is || key != p.key)
+            throw std::runtime_error("load_parameters: parameter '" + p.key +
+                                     "' mismatch (file has '" + key + "')");
+        const auto rank = read_pod<std::uint32_t>(is);
+        std::vector<std::int64_t> dims(rank);
+        for (auto& d : dims) d = read_pod<std::int64_t>(is);
+        if (!(Shape(dims) == p.tensor->shape()))
+            throw std::runtime_error("load_parameters: shape mismatch for '" +
+                                     p.key + "'");
+        is.read(reinterpret_cast<char*>(p.tensor->data()),
+                static_cast<std::streamsize>(p.tensor->numel() * sizeof(float)));
+        if (!is) throw std::runtime_error("load_parameters: truncated data");
+    }
+}
+
+}  // namespace statfi::nn

@@ -1,0 +1,23 @@
+#pragma once
+// Binary (de)serialization of network parameters. Format "SFIW" v1:
+//   magic "SFIW" | u32 version | u64 param_count |
+//   per param: u32 name_len | name bytes | u32 rank | i64 dims[rank] |
+//              f32 data[numel]
+// Little-endian, matching every platform we target. Used to persist the
+// trained MicroNet so campaign benches don't retrain.
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace statfi::nn {
+
+/// Save every trainable parameter (keyed "<node_name>#<param_index>").
+/// @throws std::runtime_error on I/O failure.
+void save_parameters(Network& net, const std::string& path);
+
+/// Load parameters written by save_parameters into an identically-built
+/// network. @throws std::runtime_error on I/O failure or structure mismatch.
+void load_parameters(Network& net, const std::string& path);
+
+}  // namespace statfi::nn

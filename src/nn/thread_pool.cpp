@@ -1,0 +1,78 @@
+#include "nn/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace statfi::nn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0)
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    const std::size_t workers = size();
+    if (workers <= 1 || count < 2) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    const std::size_t chunks = std::min(workers, count);
+    const std::size_t per_chunk = (count + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = c * per_chunk;
+        const std::size_t hi = std::min(lo + per_chunk, count);
+        if (lo >= hi) break;
+        submit([lo, hi, &fn] {
+            for (std::size_t i = lo; i < hi; ++i) fn(i);
+        });
+    }
+    wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace statfi::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Small fixed-size thread pool with a parallel_for convenience. Campaign
+// executors use it to spread fault batches across cores; on single-core
+// hosts it degrades gracefully to inline execution.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace statfi::nn {
+
+class ThreadPool {
+public:
+    /// @param threads 0 = hardware_concurrency (at least 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task; tasks must not throw (std::terminate otherwise).
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has completed.
+    void wait_idle();
+
+    /// Run fn(i) for i in [0, count), partitioned into contiguous chunks
+    /// across the pool (runs inline when the pool has one thread or count
+    /// is small). Blocks until done.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace statfi::nn

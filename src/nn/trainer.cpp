@@ -1,0 +1,136 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::nn {
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             Tensor& grad_logits) {
+    const std::int64_t N = logits.shape()[0], F = logits.shape()[1];
+    if (labels.size() != static_cast<std::size_t>(N))
+        throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+    ensure_shape(grad_logits, logits.shape());
+    double loss = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(N);
+    for (std::int64_t n = 0; n < N; ++n) {
+        const float* row = logits.data() + static_cast<std::size_t>(n * F);
+        float* grow = grad_logits.data() + static_cast<std::size_t>(n * F);
+        float mx = row[0];
+        for (std::int64_t f = 1; f < F; ++f) mx = std::max(mx, row[f]);
+        double denom = 0.0;
+        for (std::int64_t f = 0; f < F; ++f)
+            denom += std::exp(static_cast<double>(row[f] - mx));
+        const int y = labels[static_cast<std::size_t>(n)];
+        if (y < 0 || y >= F)
+            throw std::invalid_argument("softmax_cross_entropy: label out of range");
+        loss -= (static_cast<double>(row[y] - mx) - std::log(denom)) * inv_n;
+        for (std::int64_t f = 0; f < F; ++f) {
+            const double p = std::exp(static_cast<double>(row[f] - mx)) / denom;
+            grow[f] = static_cast<float>((p - (f == y ? 1.0 : 0.0)) * inv_n);
+        }
+    }
+    return loss;
+}
+
+double top1_accuracy(const Tensor& logits, const std::vector<int>& labels) {
+    const std::int64_t N = logits.shape()[0];
+    if (labels.size() != static_cast<std::size_t>(N))
+        throw std::invalid_argument("top1_accuracy: label count mismatch");
+    if (N == 0) return 0.0;
+    int correct = 0;
+    for (std::int64_t n = 0; n < N; ++n)
+        if (argmax_row(logits, n) == labels[static_cast<std::size_t>(n)]) ++correct;
+    return static_cast<double>(correct) / static_cast<double>(N);
+}
+
+SgdOptimizer::SgdOptimizer(Network& net, SgdConfig config)
+    : net_(&net), config_(config) {
+    for (auto& p : net.params()) velocity_.emplace_back(p.value->shape());
+}
+
+void SgdOptimizer::step(double batch_divisor) {
+    auto params = net_->params();
+    if (params.size() != velocity_.size())
+        throw std::logic_error("SgdOptimizer: parameter set changed");
+    const auto lr = static_cast<float>(config_.learning_rate);
+    const auto mu = static_cast<float>(config_.momentum);
+    const auto wd = static_cast<float>(config_.weight_decay);
+    const auto inv_div = static_cast<float>(1.0 / batch_divisor);
+    for (std::size_t k = 0; k < params.size(); ++k) {
+        Tensor& w = *params[k].value;
+        Tensor& g = *params[k].grad;
+        Tensor& v = velocity_[k];
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+            const float grad = g[i] * inv_div + wd * w[i];
+            v[i] = mu * v[i] + grad;
+            w[i] -= lr * v[i];
+        }
+    }
+}
+
+TrainReport train_classifier(Network& net, const Tensor& images,
+                             const std::vector<int>& labels, int epochs,
+                             std::int64_t batch_size, SgdConfig config,
+                             stats::Rng& rng) {
+    const auto& d = images.shape().dims();
+    if (d.size() != 4)
+        throw std::invalid_argument("train_classifier: expects NCHW images");
+    const std::int64_t total = d[0];
+    if (labels.size() != static_cast<std::size_t>(total))
+        throw std::invalid_argument("train_classifier: label count mismatch");
+    if (batch_size <= 0 || epochs <= 0)
+        throw std::invalid_argument("train_classifier: bad epochs/batch_size");
+
+    const std::size_t image_size = static_cast<std::size_t>(d[1] * d[2] * d[3]);
+    SgdOptimizer opt(net, config);
+    const double lr0 = config.learning_rate;
+
+    std::vector<std::uint64_t> order(static_cast<std::size_t>(total));
+    std::iota(order.begin(), order.end(), 0);
+
+    TrainReport report;
+    std::vector<Tensor> acts;
+    Tensor batch;
+    Tensor grad_logits;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        stats::shuffle(order, rng);
+        // Cosine learning-rate decay over the epoch budget.
+        const double progress = static_cast<double>(epoch) / epochs;
+        opt.set_learning_rate(lr0 * 0.5 * (1.0 + std::cos(progress * 3.14159265)));
+
+        double loss_sum = 0.0, acc_sum = 0.0;
+        int batches = 0;
+        for (std::int64_t start = 0; start < total; start += batch_size) {
+            const std::int64_t bs = std::min(batch_size, total - start);
+            ensure_shape(batch, Shape{bs, d[1], d[2], d[3]});
+            std::vector<int> batch_labels(static_cast<std::size_t>(bs));
+            for (std::int64_t i = 0; i < bs; ++i) {
+                const auto src = order[static_cast<std::size_t>(start + i)];
+                std::copy(images.data() + src * image_size,
+                          images.data() + (src + 1) * image_size,
+                          batch.data() + static_cast<std::size_t>(i) * image_size);
+                batch_labels[static_cast<std::size_t>(i)] =
+                    labels[static_cast<std::size_t>(src)];
+            }
+            net.zero_grad();
+            net.forward_all(batch, acts);
+            const Tensor& logits = acts.back();
+            loss_sum += softmax_cross_entropy(logits, batch_labels, grad_logits);
+            acc_sum += top1_accuracy(logits, batch_labels);
+            net.backward(batch, acts, grad_logits);
+            opt.step();
+            ++batches;
+        }
+        report.epochs = epoch + 1;
+        report.final_train_loss = loss_sum / std::max(batches, 1);
+        report.final_train_accuracy = acc_sum / std::max(batches, 1);
+    }
+    return report;
+}
+
+}  // namespace statfi::nn

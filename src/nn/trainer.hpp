@@ -1,0 +1,64 @@
+#pragma once
+// Minimal SGD training loop: enough to train the validation-scale MicroNet
+// to a functioning classifier, so criticality campaigns measure real
+// mispredictions rather than noise. Not a general training framework.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::nn {
+
+/// Softmax cross-entropy over (N, F) logits with integer labels.
+/// Returns mean loss; fills @p grad_logits (same shape) with d(mean loss)/d(logits).
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int>& labels,
+                             Tensor& grad_logits);
+
+/// Top-1 accuracy of (N, F) logits against labels, in [0, 1].
+double top1_accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+struct SgdConfig {
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+};
+
+/// SGD with classical momentum and decoupled-from-nothing L2 weight decay.
+class SgdOptimizer {
+public:
+    SgdOptimizer(Network& net, SgdConfig config);
+
+    /// Apply one update from the currently accumulated gradients, scaled by
+    /// 1/batch_divisor (pass the batch count if gradients are summed over
+    /// batches; the built-in loss already averages, so 1.0 is typical).
+    void step(double batch_divisor = 1.0);
+
+    void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
+    [[nodiscard]] double learning_rate() const noexcept {
+        return config_.learning_rate;
+    }
+
+private:
+    Network* net_;
+    SgdConfig config_;
+    std::vector<Tensor> velocity_;  // one per parameter
+};
+
+struct TrainReport {
+    int epochs = 0;
+    double final_train_loss = 0.0;
+    double final_train_accuracy = 0.0;
+};
+
+/// Train @p net on (images, labels) with shuffled mini-batches for
+/// @p epochs; cosine-decays the learning rate. The network's last node must
+/// produce (N, F) logits and every layer must support backward().
+TrainReport train_classifier(Network& net, const Tensor& images,
+                             const std::vector<int>& labels, int epochs,
+                             std::int64_t batch_size, SgdConfig config,
+                             stats::Rng& rng);
+
+}  // namespace statfi::nn

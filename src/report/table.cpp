@@ -1,0 +1,139 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace statfi::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table::add_row: expected " +
+                                    std::to_string(headers_.size()) +
+                                    " cells, got " + std::to_string(cells.size()));
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s)
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == ',' || c == '-' || c == '+' || c == '%' || c == 'e' ||
+              c == 'E'))
+            return false;
+    return true;
+}
+
+std::string csv_escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+    const std::size_t cols = headers_.size();
+    std::vector<std::size_t> widths(cols);
+    std::vector<bool> numeric(cols, true);
+    for (std::size_t c = 0; c < cols; ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < cols; ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+            if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+        }
+
+    auto print_row = [&](const std::vector<std::string>& row, bool align) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c) os << "  ";
+            if (align && numeric[c])
+                os << std::setw(static_cast<int>(widths[c])) << std::right
+                   << row[c];
+            else
+                os << std::setw(static_cast<int>(widths[c])) << std::left
+                   << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_, false);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row, true);
+}
+
+std::string Table::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void Table::write_csv(std::ostream& os) const {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c) os << ',';
+        os << csv_escape(headers_[c]);
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << csv_escape(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+std::string fmt_u64(std::uint64_t value) {
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0) out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string fmt_double(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+    return fmt_double(fraction * 100.0, precision);
+}
+
+std::string bar(const std::string& label, double value, double max_value,
+                int width, int label_width) {
+    std::ostringstream os;
+    os << std::setw(label_width) << std::left << label << ' ';
+    int filled = 0;
+    if (max_value > 0.0 && value > 0.0)
+        filled = static_cast<int>(
+            std::lround(value / max_value * static_cast<double>(width)));
+    filled = std::clamp(filled, value > 0.0 ? 1 : 0, width);
+    os << std::string(static_cast<std::size_t>(filled), '#')
+       << std::string(static_cast<std::size_t>(width - filled), '.') << ' '
+       << fmt_double(value, 6);
+    return os.str();
+}
+
+}  // namespace statfi::report

@@ -1,0 +1,45 @@
+#pragma once
+// Text reporting: aligned ASCII tables (what the bench binaries print to
+// mirror the paper's tables), CSV export, and simple text "series" used for
+// figure reproduction on a terminal.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace statfi::report {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends one row; must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Render with column alignment; numbers (right-alignable cells) are
+    /// right-aligned, text left-aligned.
+    void print(std::ostream& os) const;
+    [[nodiscard]] std::string to_string() const;
+
+    /// CSV form (RFC-4180-style quoting for cells with commas/quotes).
+    void write_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across benches.
+std::string fmt_u64(std::uint64_t value);                  // 1,234,567
+std::string fmt_double(double value, int precision = 4);   // fixed precision
+std::string fmt_percent(double fraction, int precision = 2);  // 12.34
+
+/// Horizontal text bar chart row: label, bar scaled to width, value.
+std::string bar(const std::string& label, double value, double max_value,
+                int width = 48, int label_width = 14);
+
+}  // namespace statfi::report

@@ -1,0 +1,195 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace statfi::stats {
+
+namespace {
+constexpr double kSqrt2 = 1.41421356237309504880;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+}  // namespace
+
+double normal_pdf(double x) noexcept {
+    return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) noexcept {
+    return 0.5 * std::erfc(-x / kSqrt2);
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0))
+        throw std::domain_error("normal_quantile: p must be in (0,1)");
+
+    // Acklam's rational approximation.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+
+    double x = 0.0;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step using the exact CDF brings the error to
+    // ~1e-15 in the central region.
+    const double e = normal_cdf(x) - p;
+    const double u = e / normal_pdf(x);
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double normal_two_sided_z(double confidence) {
+    if (!(confidence > 0.0 && confidence < 1.0))
+        throw std::domain_error("normal_two_sided_z: confidence must be in (0,1)");
+    return normal_quantile(0.5 + confidence / 2.0);
+}
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+    if (k > n)
+        throw std::domain_error("log_binomial_coefficient: k > n");
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) {
+    if (k > n) return 0.0;
+    if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p >= 1.0) return k == n ? 1.0 : 0.0;
+    const double logp = log_binomial_coefficient(n, k) +
+                        static_cast<double>(k) * std::log(p) +
+                        static_cast<double>(n - k) * std::log1p(-p);
+    return std::exp(logp);
+}
+
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p) {
+    if (k >= n) return 1.0;
+    if (p <= 0.0) return 1.0;
+    if (p >= 1.0) return 0.0;
+    // P(X <= k) = I_{1-p}(n-k, k+1) via the incomplete beta — O(1) and stable
+    // for the large n encountered in fault populations.
+    return incomplete_beta(static_cast<double>(n - k), static_cast<double>(k) + 1.0,
+                           1.0 - p);
+}
+
+double binomial_mean(std::uint64_t n, double p) noexcept {
+    return static_cast<double>(n) * p;
+}
+
+double binomial_variance(std::uint64_t n, double p) noexcept {
+    return static_cast<double>(n) * p * (1.0 - p);
+}
+
+double hypergeometric_pmf(std::uint64_t k, std::uint64_t N, std::uint64_t K,
+                          std::uint64_t n) {
+    if (K > N || n > N)
+        throw std::domain_error("hypergeometric_pmf: K and n must not exceed N");
+    if (k > n || k > K) return 0.0;
+    if (n - k > N - K) return 0.0;  // not enough failures in the population
+    const double logp = log_binomial_coefficient(K, k) +
+                        log_binomial_coefficient(N - K, n - k) -
+                        log_binomial_coefficient(N, n);
+    return std::exp(logp);
+}
+
+double hypergeometric_mean(std::uint64_t N, std::uint64_t K,
+                           std::uint64_t n) noexcept {
+    if (N == 0) return 0.0;
+    return static_cast<double>(n) * static_cast<double>(K) / static_cast<double>(N);
+}
+
+double hypergeometric_variance(std::uint64_t N, std::uint64_t K,
+                               std::uint64_t n) noexcept {
+    if (N <= 1) return 0.0;
+    const double Nd = static_cast<double>(N);
+    const double p = static_cast<double>(K) / Nd;
+    const double fpc = (Nd - static_cast<double>(n)) / (Nd - 1.0);
+    return static_cast<double>(n) * p * (1.0 - p) * fpc;
+}
+
+double incomplete_beta(double a, double b, double x) {
+    if (!(a > 0.0) || !(b > 0.0))
+        throw std::domain_error("incomplete_beta: a, b must be positive");
+    if (x < 0.0 || x > 1.0)
+        throw std::domain_error("incomplete_beta: x must be in [0,1]");
+    if (x == 0.0) return 0.0;
+    if (x == 1.0) return 1.0;
+
+    // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to keep the continued
+    // fraction in its rapidly-converging region.
+    if (x > (a + 1.0) / (a + b + 2.0))
+        return 1.0 - incomplete_beta(b, a, 1.0 - x);
+
+    const double log_front = a * std::log(x) + b * std::log1p(-x) -
+                             std::log(a) -
+                             (std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b));
+    const double front = std::exp(log_front);
+
+    // Lentz's modified continued fraction.
+    constexpr double tiny = 1e-300;
+    constexpr double eps = 1e-15;
+    double f = 1.0, c = 1.0, d = 0.0;
+    for (int i = 0; i <= 400; ++i) {
+        const int m = i / 2;
+        double numerator = 0.0;
+        if (i == 0) {
+            numerator = 1.0;
+        } else if (i % 2 == 0) {
+            numerator = (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+        } else {
+            numerator = -((a + m) * (a + b + m) * x) /
+                        ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+        }
+        d = 1.0 + numerator * d;
+        if (std::fabs(d) < tiny) d = tiny;
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if (std::fabs(c) < tiny) c = tiny;
+        const double delta = c * d;
+        f *= delta;
+        if (std::fabs(1.0 - delta) < eps) break;
+    }
+    return front * (f - 1.0);
+}
+
+double incomplete_beta_inv(double a, double b, double p) {
+    if (p <= 0.0) return 0.0;
+    if (p >= 1.0) return 1.0;
+    // Bisection to 1e-12; robust for all (a, b) we encounter, and the cost
+    // (≈40 beta evaluations) is irrelevant next to fault simulation.
+    double lo = 0.0, hi = 1.0;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (incomplete_beta(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-14) break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace statfi::stats

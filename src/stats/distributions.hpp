@@ -1,0 +1,64 @@
+#pragma once
+// Probability distributions needed by the statistical fault-injection
+// machinery: the standard normal (for confidence coefficients and the normal
+// approximation to the binomial), the binomial itself (exact checks and
+// Clopper–Pearson intervals), and the hypergeometric distribution (the exact
+// law of sampling faults *without replacement* from a finite population).
+
+#include <cstdint>
+
+namespace statfi::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution function, Phi(x).
+double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (quantile), Acklam's rational approximation
+/// refined by one Halley step; |error| < 1e-13 over (0,1).
+/// @pre 0 < p < 1
+double normal_quantile(double p);
+
+/// Two-sided confidence coefficient: z such that P(|Z| <= z) = confidence.
+/// E.g. confidence 0.99 -> 2.5758...
+/// @pre 0 < confidence < 1
+double normal_two_sided_z(double confidence);
+
+/// log(n choose k) via lgamma; exact enough for n up to ~1e15.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Binomial pmf P(X = k), X ~ B(n, p). Computed in log-space.
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p);
+
+/// Binomial cdf P(X <= k), X ~ B(n, p). Direct summation in log-space;
+/// intended for the moderate n used in interval inversion and tests.
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p);
+
+/// Mean and variance of B(n, p): n*p and n*p*(1-p)  (the paper's Eq. 2).
+double binomial_mean(std::uint64_t n, double p) noexcept;
+double binomial_variance(std::uint64_t n, double p) noexcept;
+
+/// Hypergeometric pmf: probability of k successes in a sample of n drawn
+/// without replacement from a population of N containing K successes.
+double hypergeometric_pmf(std::uint64_t k, std::uint64_t N, std::uint64_t K,
+                          std::uint64_t n);
+
+/// Hypergeometric mean n*K/N and variance with the finite population
+/// correction factor (N-n)/(N-1) that Eq. 1 of the paper applies.
+double hypergeometric_mean(std::uint64_t N, std::uint64_t K,
+                           std::uint64_t n) noexcept;
+double hypergeometric_variance(std::uint64_t N, std::uint64_t K,
+                               std::uint64_t n) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Lentz). Used for exact binomial tail probabilities and
+/// Clopper–Pearson interval endpoints.
+/// @pre a > 0, b > 0, 0 <= x <= 1
+double incomplete_beta(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta in x: finds x with
+/// I_x(a, b) = p by bisection + Newton. @pre 0 <= p <= 1
+double incomplete_beta_inv(double a, double b, double p);
+
+}  // namespace statfi::stats

@@ -1,0 +1,77 @@
+#include "stats/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/sample_size.hpp"
+
+namespace statfi::stats {
+
+namespace {
+
+void validate(std::uint64_t successes, std::uint64_t n, double confidence) {
+    if (n == 0) throw std::domain_error("interval: n must be > 0");
+    if (successes > n) throw std::domain_error("interval: successes > n");
+    if (!(confidence > 0.0 && confidence < 1.0))
+        throw std::domain_error("interval: confidence must be in (0,1)");
+}
+
+Interval clip(double lo, double hi) noexcept {
+    return Interval{std::max(0.0, lo), std::min(1.0, hi)};
+}
+
+}  // namespace
+
+Interval wald_interval_fpc(std::uint64_t successes, std::uint64_t n,
+                           std::uint64_t population, double confidence) {
+    validate(successes, n, confidence);
+    if (population < n)
+        throw std::domain_error("wald_interval_fpc: population < n");
+    const double p_hat = static_cast<double>(successes) / static_cast<double>(n);
+    const double t = normal_two_sided_z(confidence);
+    const double e = achieved_error_margin_at(population, n, p_hat, t);
+    return clip(p_hat - e, p_hat + e);
+}
+
+Interval wald_interval(std::uint64_t successes, std::uint64_t n,
+                       double confidence) {
+    validate(successes, n, confidence);
+    const double p_hat = static_cast<double>(successes) / static_cast<double>(n);
+    const double z = normal_two_sided_z(confidence);
+    const double e = z * std::sqrt(p_hat * (1.0 - p_hat) / static_cast<double>(n));
+    return clip(p_hat - e, p_hat + e);
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t n,
+                         double confidence) {
+    validate(successes, n, confidence);
+    const double p_hat = static_cast<double>(successes) / static_cast<double>(n);
+    const double z = normal_two_sided_z(confidence);
+    const double z2 = z * z;
+    const double nd = static_cast<double>(n);
+    const double denom = 1.0 + z2 / nd;
+    const double center = (p_hat + z2 / (2.0 * nd)) / denom;
+    const double half =
+        z * std::sqrt(p_hat * (1.0 - p_hat) / nd + z2 / (4.0 * nd * nd)) / denom;
+    return clip(center - half, center + half);
+}
+
+Interval clopper_pearson_interval(std::uint64_t successes, std::uint64_t n,
+                                  double confidence) {
+    validate(successes, n, confidence);
+    const double alpha = 1.0 - confidence;
+    const double k = static_cast<double>(successes);
+    const double nd = static_cast<double>(n);
+    Interval iv;
+    iv.lo = (successes == 0)
+                ? 0.0
+                : incomplete_beta_inv(k, nd - k + 1.0, alpha / 2.0);
+    iv.hi = (successes == n)
+                ? 1.0
+                : incomplete_beta_inv(k + 1.0, nd - k, 1.0 - alpha / 2.0);
+    return iv;
+}
+
+}  // namespace statfi::stats

@@ -1,0 +1,47 @@
+#pragma once
+// Confidence intervals for a binomial/hypergeometric proportion — used to
+// attach error margins to fault-injection campaign estimates, and to ablate
+// the paper's normal-approximation margin against interval constructions
+// with better small-sample coverage.
+
+#include <cstdint>
+
+namespace statfi::stats {
+
+/// A two-sided confidence interval [lo, hi] for a proportion.
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    [[nodiscard]] double width() const noexcept { return hi - lo; }
+    [[nodiscard]] double center() const noexcept { return 0.5 * (lo + hi); }
+    [[nodiscard]] bool contains(double value) const noexcept {
+        return value >= lo && value <= hi;
+    }
+};
+
+/// Normal-approximation (Wald) interval with the finite-population
+/// correction — exactly the margin construction the paper uses:
+///   p_hat ± t * sqrt(p_hat(1-p_hat)/n * (N-n)/(N-1)),   clipped to [0,1].
+/// @param successes number of critical faults observed
+/// @param n sample size (> 0)
+/// @param population total population N (>= n)
+/// @param confidence two-sided confidence level in (0,1)
+Interval wald_interval_fpc(std::uint64_t successes, std::uint64_t n,
+                           std::uint64_t population, double confidence);
+
+/// Wald interval without the finite-population correction (infinite N).
+Interval wald_interval(std::uint64_t successes, std::uint64_t n,
+                       double confidence);
+
+/// Wilson score interval — much better coverage than Wald for p near 0 or 1,
+/// which is where most per-bit fault criticalities live.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t n,
+                         double confidence);
+
+/// Clopper–Pearson "exact" interval via the incomplete beta inverse;
+/// guaranteed coverage >= confidence at the cost of conservatism.
+Interval clopper_pearson_interval(std::uint64_t successes, std::uint64_t n,
+                                  double confidence);
+
+}  // namespace statfi::stats

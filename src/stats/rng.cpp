@@ -1,0 +1,119 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace statfi::stats {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) noexcept {
+    // FNV-1a 64-bit over the bytes, then a splitmix64 finalize for avalanche.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : label) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    std::uint64_t s = h;
+    return splitmix64(s);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+    // xoshiro's all-zero state is absorbing; splitmix64 cannot emit four
+    // zeros in a row, but guard anyway for hand-crafted seeds.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork(std::string_view label) const noexcept {
+    // Combine current state with the label hash; the temporary copy keeps
+    // fork() const so a parent stream is unaffected by derivation.
+    std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+    return Rng(mix ^ hash_label(label));
+}
+
+Rng Rng::fork(std::uint64_t index) const noexcept {
+    std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+    std::uint64_t sm = index + 0x632be59bd9b4e019ULL;
+    return Rng(mix ^ splitmix64(sm));
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 in (0,1] to avoid log(0).
+    double u1 = 0.0;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+}  // namespace statfi::stats

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible fault
+// injection campaigns.
+//
+// Every random decision in StatFI (fault sampling, dataset synthesis, weight
+// initialization) flows from a named Rng stream so that experiments are
+// bit-for-bit reproducible across runs and machines. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64 as its authors
+// recommend.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace statfi::stats {
+
+/// Splitmix64 step: the canonical seeding/stream-derivation mixer.
+/// Advances @p state and returns the next 64-bit output.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Hash a label into a 64-bit value, for deriving named sub-streams.
+/// FNV-1a followed by a splitmix64 finalizer; stable across platforms.
+std::uint64_t hash_label(std::string_view label) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with 256-bit state.
+///
+/// Satisfies std::uniform_random_bit_generator so it can drive standard
+/// <random> distributions, though StatFI prefers the bias-free members below.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds all 256 bits of state from @p seed via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    /// Derive an independent, reproducible sub-stream for @p label.
+    /// Streams with different labels (or parents) are statistically
+    /// independent for all practical purposes.
+    [[nodiscard]] Rng fork(std::string_view label) const noexcept;
+    /// Derive an independent sub-stream for a numeric index (e.g. sample id).
+    [[nodiscard]] Rng fork(std::uint64_t index) const noexcept;
+
+    /// Next raw 64-bit output.
+    std::uint64_t next() noexcept;
+
+    std::uint64_t operator()() noexcept { return next(); }
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+    /// @pre bound > 0
+    std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. @pre lo <= hi
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1) with 53 random mantissa bits.
+    double uniform01() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// Standard normal variate (Box–Muller, cached pair).
+    double normal() noexcept;
+
+    /// Normal variate with the given mean and standard deviation.
+    double normal(double mean, double stddev) noexcept;
+
+    /// Bernoulli trial with success probability @p p.
+    bool bernoulli(double p) noexcept;
+
+private:
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace statfi::stats

@@ -1,0 +1,88 @@
+#include "stats/sample_size.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace statfi::stats {
+
+namespace {
+
+void validate(const SampleSpec& spec) {
+    if (!(spec.error_margin > 0.0))
+        throw std::domain_error("SampleSpec: error_margin must be > 0");
+    if (!(spec.confidence > 0.0 && spec.confidence < 1.0))
+        throw std::domain_error("SampleSpec: confidence must be in (0,1)");
+    if (!(spec.p >= 0.0 && spec.p <= 1.0))
+        throw std::domain_error("SampleSpec: p must be in [0,1]");
+}
+
+}  // namespace
+
+double confidence_coefficient(double confidence, ConfidenceCoefficient mode) {
+    if (!(confidence > 0.0 && confidence < 1.0))
+        throw std::domain_error("confidence_coefficient: confidence must be in (0,1)");
+    if (mode == ConfidenceCoefficient::Table) {
+        // Classic two-sided normal table values, as used by the paper.
+        if (std::fabs(confidence - 0.90) < 1e-12) return 1.645;
+        if (std::fabs(confidence - 0.95) < 1e-12) return 1.96;
+        if (std::fabs(confidence - 0.99) < 1e-12) return 2.58;
+        if (std::fabs(confidence - 0.999) < 1e-12) return 3.29;
+    }
+    return normal_two_sided_z(confidence);
+}
+
+double sample_size_infinite(const SampleSpec& spec) {
+    validate(spec);
+    const double t = spec.t();
+    const double pq = spec.p * (1.0 - spec.p);
+    return t * t * pq / (spec.error_margin * spec.error_margin);
+}
+
+double sample_size_real(std::uint64_t population, const SampleSpec& spec) {
+    validate(spec);
+    if (population == 0) return 0.0;
+    const double N = static_cast<double>(population);
+    const double t = spec.t();
+    const double pq = spec.p * (1.0 - spec.p);
+    if (pq == 0.0) {
+        // Degenerate prior: every trial has a certain outcome; a single
+        // observation determines the population (n = 1).
+        return 1.0;
+    }
+    const double e2 = spec.error_margin * spec.error_margin;
+    return N / (1.0 + e2 * (N - 1.0) / (t * t * pq));
+}
+
+std::uint64_t sample_size(std::uint64_t population, const SampleSpec& spec) {
+    if (population == 0) return 0;
+    const double n_real = sample_size_real(population, spec);
+    auto n = static_cast<std::uint64_t>(std::llround(n_real));
+    n = std::max<std::uint64_t>(n, 1);
+    n = std::min(n, population);
+    return n;
+}
+
+double achieved_error_margin(std::uint64_t population, std::uint64_t n,
+                             const SampleSpec& spec) {
+    validate(spec);
+    return achieved_error_margin_at(population, n, spec.p, spec.t());
+}
+
+double achieved_error_margin_at(std::uint64_t population, std::uint64_t n,
+                                double p_hat, double t) {
+    if (n == 0)
+        throw std::domain_error("achieved_error_margin: n must be > 0");
+    if (n > population)
+        throw std::domain_error("achieved_error_margin: n must not exceed N");
+    if (population <= 1 || n == population) return 0.0;
+    const double N = static_cast<double>(population);
+    const double nd = static_cast<double>(n);
+    const double pq = p_hat * (1.0 - p_hat);
+    const double fpc = (N - nd) / (N - 1.0);
+    return t * std::sqrt(pq / nd * fpc);
+}
+
+}  // namespace statfi::stats

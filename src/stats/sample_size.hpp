@@ -1,0 +1,71 @@
+#pragma once
+// Sample-size determination for statistical fault injection — the paper's
+// Eq. 1 and its inversion.
+//
+//   n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))          (Eq. 1)
+//
+// where N is the fault-population size, e the desired error margin, t the
+// confidence coefficient, and p the a-priori probability that an injected
+// fault becomes a critical failure. The formula is the normal approximation
+// to the binomial with the finite-population correction factor applied
+// (Leveugle et al., DATE 2009).
+//
+// NOTE on t: the paper's published sample sizes (e.g. layer-wise n = 10,389
+// for N = 27,648 at e = 1%, 99% confidence) are reproduced exactly with the
+// classic *table* value t = 2.58, not the exact quantile 2.5758. Both are
+// available; ConfidenceCoefficient::Table is the default so our tables match
+// the paper digit-for-digit.
+
+#include <cstdint>
+
+namespace statfi::stats {
+
+/// How to turn a confidence level into the t coefficient of Eq. 1.
+enum class ConfidenceCoefficient {
+    Table,  ///< classic rounded table values (0.90->1.645, 0.95->1.96, 0.99->2.58)
+    Exact,  ///< exact two-sided normal quantile
+};
+
+/// Returns the confidence coefficient t for a two-sided confidence level.
+/// Table mode falls back to the exact quantile for levels without a classic
+/// table entry.
+double confidence_coefficient(double confidence,
+                              ConfidenceCoefficient mode = ConfidenceCoefficient::Table);
+
+/// Parameters of a statistical fault-injection sample-size computation.
+struct SampleSpec {
+    double error_margin = 0.01;  ///< e: half-width of the confidence interval
+    double confidence = 0.99;    ///< two-sided confidence level
+    double p = 0.5;              ///< a-priori probability of success (critical fault)
+    ConfidenceCoefficient mode = ConfidenceCoefficient::Table;
+
+    /// The t coefficient implied by confidence/mode.
+    [[nodiscard]] double t() const { return confidence_coefficient(confidence, mode); }
+};
+
+/// Sample size for an *infinite* population: n0 = t^2 p (1-p) / e^2.
+double sample_size_infinite(const SampleSpec& spec);
+
+/// Eq. 1: sample size for a finite population of @p population faults,
+/// rounded to the nearest integer and clamped to [min(1, N), N].
+/// Throws std::domain_error for invalid spec values (e <= 0, p outside
+/// [0, 1], confidence outside (0, 1)).
+std::uint64_t sample_size(std::uint64_t population, const SampleSpec& spec);
+
+/// Exact (unrounded) value of Eq. 1; exposed for tests and analysis.
+double sample_size_real(std::uint64_t population, const SampleSpec& spec);
+
+/// Inversion of Eq. 1: the error margin achieved by a sample of size @p n
+/// from a population of @p N at probability @p p and coefficient t:
+///   e = t * sqrt( p(1-p)/n * (N-n)/(N-1) )
+/// This is the half-width the paper reports as the "error margin" of a
+/// statistical campaign. For n == N the margin is exactly 0.
+double achieved_error_margin(std::uint64_t population, std::uint64_t n,
+                             const SampleSpec& spec);
+
+/// As above but evaluated at the *observed* success rate p_hat (post-campaign
+/// margin around the estimate, rather than the planning margin at p = 0.5).
+double achieved_error_margin_at(std::uint64_t population, std::uint64_t n,
+                                double p_hat, double t);
+
+}  // namespace statfi::stats

@@ -1,0 +1,60 @@
+#include "stats/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace statfi::stats {
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
+                                                      std::uint64_t n, Rng& rng) {
+    if (n > population)
+        throw std::domain_error("sample_without_replacement: n > population");
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(n) * 2);
+    // Floyd: for j = N-n .. N-1, pick t in [0, j]; insert t, or j if t taken.
+    for (std::uint64_t j = population - n; j < population; ++j) {
+        const std::uint64_t t = rng.uniform_below(j + 1);
+        if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    std::vector<std::uint64_t> result(chosen.begin(), chosen.end());
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<std::uint64_t> selection_sample(std::uint64_t population,
+                                            std::uint64_t n, Rng& rng) {
+    if (n > population)
+        throw std::domain_error("selection_sample: n > population");
+    std::vector<std::uint64_t> result;
+    result.reserve(static_cast<std::size_t>(n));
+    std::uint64_t remaining_pop = population;
+    std::uint64_t remaining_n = n;
+    for (std::uint64_t i = 0; i < population && remaining_n > 0; ++i) {
+        // Include i with probability remaining_n / remaining_pop.
+        if (rng.uniform_below(remaining_pop) < remaining_n) {
+            result.push_back(i);
+            --remaining_n;
+        }
+        --remaining_pop;
+    }
+    return result;
+}
+
+std::vector<std::uint64_t> sample_indices(std::uint64_t population,
+                                          std::uint64_t n, Rng& rng) {
+    if (n > population)
+        throw std::domain_error("sample_indices: n > population");
+    if (n == population) {
+        std::vector<std::uint64_t> all(static_cast<std::size_t>(population));
+        for (std::uint64_t i = 0; i < population; ++i)
+            all[static_cast<std::size_t>(i)] = i;
+        return all;
+    }
+    // Above ~25% sampling fraction the O(N) streaming pass beats the hash
+    // set in both time constant and memory locality.
+    if (population < 4 * n) return selection_sample(population, n, rng);
+    return sample_without_replacement(population, n, rng);
+}
+
+}  // namespace statfi::stats

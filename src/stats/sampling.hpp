@@ -1,0 +1,61 @@
+#pragma once
+// Random-sampling algorithms used to draw fault samples from (sub)populations
+// without materializing the population. Fault populations reach 1.4e8
+// elements (MobileNetV2), so everything here is O(n) or O(n log n) in the
+// *sample* size, never in the population size.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace statfi::stats {
+
+/// Draw @p n distinct indices uniformly from [0, population) without
+/// replacement, using Robert Floyd's algorithm: O(n) expected time, O(n)
+/// memory, independent of population size. Result is sorted ascending so
+/// downstream fault enumeration can stream through it.
+/// @pre n <= population
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
+                                                      std::uint64_t n, Rng& rng);
+
+/// Selection sampling (Knuth's Algorithm S): O(population) time, O(n) memory,
+/// emits indices in increasing order with exactly uniform inclusion
+/// probability. Preferable when n is a large fraction of the population
+/// (Floyd's hash set would hold nearly everything anyway).
+std::vector<std::uint64_t> selection_sample(std::uint64_t population,
+                                            std::uint64_t n, Rng& rng);
+
+/// Chooses between Floyd and Algorithm S based on the sampling fraction.
+std::vector<std::uint64_t> sample_indices(std::uint64_t population,
+                                          std::uint64_t n, Rng& rng);
+
+/// Reservoir sampling (Algorithm R) over a stream of unknown length:
+/// returns min(n, stream length) items. Provided for streaming fault sources.
+template <typename Iter>
+std::vector<typename std::iterator_traits<Iter>::value_type> reservoir_sample(
+    Iter first, Iter last, std::uint64_t n, Rng& rng) {
+    std::vector<typename std::iterator_traits<Iter>::value_type> reservoir;
+    reservoir.reserve(static_cast<std::size_t>(n));
+    std::uint64_t seen = 0;
+    for (; first != last; ++first, ++seen) {
+        if (reservoir.size() < n) {
+            reservoir.push_back(*first);
+        } else {
+            const std::uint64_t j = rng.uniform_below(seen + 1);
+            if (j < n) reservoir[static_cast<std::size_t>(j)] = *first;
+        }
+    }
+    return reservoir;
+}
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_below(i));
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+}  // namespace statfi::stats

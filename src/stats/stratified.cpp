@@ -1,0 +1,121 @@
+#include "stats/stratified.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace statfi::stats {
+
+namespace {
+
+/// Distribute `total` according to non-negative weights, largest-remainder
+/// rounding, capping stratum h at cap[h]. Returns allocation summing to
+/// min(total, sum(cap)).
+std::vector<std::uint64_t> weighted_allocation(
+    const std::vector<double>& weights, const std::vector<std::uint64_t>& caps,
+    std::uint64_t total) {
+    const std::size_t H = weights.size();
+    std::vector<std::uint64_t> alloc(H, 0);
+    std::uint64_t capacity = 0;
+    for (auto c : caps) capacity += c;
+    std::uint64_t budget = std::min(total, capacity);
+
+    // Iterate because capping a stratum frees budget for the others.
+    std::vector<bool> capped(H, false);
+    while (budget > 0) {
+        double weight_sum = 0.0;
+        for (std::size_t h = 0; h < H; ++h)
+            if (!capped[h]) weight_sum += weights[h];
+        if (weight_sum <= 0.0) {
+            // No weight left: spread the remainder over uncapped strata.
+            for (std::size_t h = 0; h < H && budget > 0; ++h) {
+                if (capped[h]) continue;
+                const std::uint64_t room = caps[h] - alloc[h];
+                const std::uint64_t take = std::min(room, budget);
+                alloc[h] += take;
+                budget -= take;
+            }
+            break;
+        }
+        // Provisional shares + remainders.
+        std::vector<double> remainder(H, 0.0);
+        std::vector<std::uint64_t> add(H, 0);
+        std::uint64_t assigned = 0;
+        for (std::size_t h = 0; h < H; ++h) {
+            if (capped[h]) continue;
+            const double share =
+                static_cast<double>(budget) * weights[h] / weight_sum;
+            add[h] = static_cast<std::uint64_t>(std::floor(share));
+            remainder[h] = share - std::floor(share);
+            assigned += add[h];
+        }
+        // Largest remainders get the leftover units.
+        std::vector<std::size_t> order;
+        for (std::size_t h = 0; h < H; ++h)
+            if (!capped[h]) order.push_back(h);
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return remainder[a] > remainder[b];
+        });
+        std::uint64_t leftover = budget - assigned;
+        for (std::size_t h : order) {
+            if (leftover == 0) break;
+            ++add[h];
+            --leftover;
+        }
+        // Apply with caps; anything over a cap returns to the budget.
+        std::uint64_t used = 0;
+        bool newly_capped = false;
+        for (std::size_t h = 0; h < H; ++h) {
+            if (capped[h] || add[h] == 0) continue;
+            const std::uint64_t room = caps[h] - alloc[h];
+            const std::uint64_t take = std::min(room, add[h]);
+            alloc[h] += take;
+            used += take;
+            if (alloc[h] == caps[h]) {
+                capped[h] = true;
+                newly_capped = true;
+            }
+        }
+        budget -= used;
+        if (used == 0 && !newly_capped) break;  // cannot make progress
+    }
+    return alloc;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> proportional_allocation(
+    const std::vector<std::uint64_t>& stratum_sizes, std::uint64_t total) {
+    std::vector<double> weights(stratum_sizes.size());
+    for (std::size_t h = 0; h < stratum_sizes.size(); ++h)
+        weights[h] = static_cast<double>(stratum_sizes[h]);
+    return weighted_allocation(weights, stratum_sizes, total);
+}
+
+std::vector<std::uint64_t> neyman_allocation(
+    const std::vector<std::uint64_t>& stratum_sizes,
+    const std::vector<double>& stratum_stddevs, std::uint64_t total) {
+    if (stratum_sizes.size() != stratum_stddevs.size())
+        throw std::domain_error("neyman_allocation: size/stddev length mismatch");
+    std::vector<double> weights(stratum_sizes.size());
+    for (std::size_t h = 0; h < stratum_sizes.size(); ++h) {
+        if (stratum_stddevs[h] < 0.0)
+            throw std::domain_error("neyman_allocation: negative stddev");
+        weights[h] = static_cast<double>(stratum_sizes[h]) * stratum_stddevs[h];
+    }
+    auto alloc = weighted_allocation(weights, stratum_sizes, total);
+    // Guarantee observability: one sample for zero-variance strata if the
+    // budget allows, taken from the largest allocation.
+    for (std::size_t h = 0; h < alloc.size(); ++h) {
+        if (alloc[h] > 0 || stratum_sizes[h] == 0) continue;
+        auto donor = std::max_element(alloc.begin(), alloc.end());
+        if (donor != alloc.end() && *donor > 1) {
+            --(*donor);
+            alloc[h] = 1;
+        }
+    }
+    return alloc;
+}
+
+}  // namespace statfi::stats

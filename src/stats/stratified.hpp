@@ -1,0 +1,25 @@
+#pragma once
+// Stratified-sampling allocation. A network-wise SFI that still wants
+// per-layer detail must split its total budget across strata (layers or
+// bit×layer subpopulations); these are the classic allocation rules.
+
+#include <cstdint>
+#include <vector>
+
+namespace statfi::stats {
+
+/// Allocate @p total sample slots across strata proportionally to stratum
+/// sizes, using largest-remainder rounding so the result sums exactly to
+/// min(total, sum(sizes)) and never exceeds any stratum size.
+std::vector<std::uint64_t> proportional_allocation(
+    const std::vector<std::uint64_t>& stratum_sizes, std::uint64_t total);
+
+/// Neyman (optimal) allocation: slots proportional to N_h * sigma_h, with
+/// largest-remainder rounding and per-stratum capping at N_h. Strata with
+/// zero variance receive a minimal allocation of 1 (if any budget remains)
+/// so their rate remains observable.
+std::vector<std::uint64_t> neyman_allocation(
+    const std::vector<std::uint64_t>& stratum_sizes,
+    const std::vector<double>& stratum_stddevs, std::uint64_t total);
+
+}  // namespace statfi::stats

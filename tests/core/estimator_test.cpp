@@ -1,0 +1,225 @@
+// Tests for estimation and exhaustive validation: margins, stratified
+// composition, and containment checking.
+
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/micronet.hpp"
+#include "stats/distributions.hpp"
+#include "stats/sample_size.hpp"
+
+namespace statfi::core {
+namespace {
+
+SubpopResult make_result(int layer, int bit, std::uint64_t population,
+                         std::uint64_t injected, std::uint64_t critical) {
+    SubpopResult r;
+    r.plan.layer = layer;
+    r.plan.bit = bit;
+    r.plan.population = population;
+    r.plan.sample_size = injected;
+    r.injected = injected;
+    r.critical = critical;
+    return r;
+}
+
+TEST(Estimate, RateAndMarginAtObservedPHat) {
+    const auto est = estimate_subpop(make_result(0, -1, 100'000, 10'000, 100));
+    EXPECT_DOUBLE_EQ(est.rate, 0.01);
+    // Margin at p_hat with FPC, t = 2.58.
+    const double expected =
+        stats::achieved_error_margin_at(100'000, 10'000, 0.01, 2.58);
+    EXPECT_NEAR(est.margin, expected, 1e-12);
+    EXPECT_NEAR(est.interval.lo, 0.01 - expected, 1e-12);
+    EXPECT_NEAR(est.interval.hi, 0.01 + expected, 1e-12);
+}
+
+TEST(Estimate, FullCensusHasZeroMargin) {
+    const auto est = estimate_subpop(make_result(0, -1, 500, 500, 37));
+    EXPECT_DOUBLE_EQ(est.rate, 37.0 / 500.0);
+    EXPECT_DOUBLE_EQ(est.margin, 0.0);
+}
+
+TEST(Estimate, ZeroSuccessesZeroMarginByDefault) {
+    // The paper's construction: p_hat = 0 contributes no margin.
+    const auto est = estimate_subpop(make_result(0, -1, 10'000, 100, 0));
+    EXPECT_DOUBLE_EQ(est.rate, 0.0);
+    EXPECT_DOUBLE_EQ(est.margin, 0.0);
+}
+
+TEST(Estimate, LaplaceSmoothingGivesHonestMargin) {
+    EstimatorConfig config;
+    config.laplace_smoothing = true;
+    const auto est =
+        estimate_subpop(make_result(0, -1, 10'000, 100, 0), config);
+    EXPECT_DOUBLE_EQ(est.rate, 0.0);
+    EXPECT_GT(est.margin, 0.0);
+    const double smoothed = 1.0 / 102.0;
+    EXPECT_NEAR(est.margin,
+                stats::achieved_error_margin_at(10'000, 100, smoothed, 2.58),
+                1e-12);
+}
+
+TEST(Estimate, NoDataMeansFullIgnorance) {
+    const auto est = estimate_subpop(make_result(0, -1, 1'000, 0, 0));
+    EXPECT_DOUBLE_EQ(est.margin, 1.0);
+    EXPECT_TRUE(est.contains(0.0));
+    EXPECT_TRUE(est.contains(1.0));
+}
+
+TEST(Estimate, ExactConfidenceCoefficientOption) {
+    EstimatorConfig config;
+    config.mode = stats::ConfidenceCoefficient::Exact;
+    const auto est =
+        estimate_subpop(make_result(0, -1, 100'000, 10'000, 100), config);
+    const double expected = stats::achieved_error_margin_at(
+        100'000, 10'000, 0.01, stats::normal_two_sided_z(0.99));
+    EXPECT_NEAR(est.margin, expected, 1e-12);
+}
+
+TEST(Estimate, ContainsChecksInterval) {
+    const auto est = estimate_subpop(make_result(0, -1, 100'000, 10'000, 100));
+    EXPECT_TRUE(est.contains(0.01));
+    EXPECT_TRUE(est.contains(0.01 + est.margin * 0.99));
+    EXPECT_FALSE(est.contains(0.01 + est.margin * 1.01));
+}
+
+// ------------------------------------------------ layer composition tests --
+
+/// Builds a fault universe over MicroNet for layer arithmetic.
+fault::FaultUniverse micronet_universe() {
+    static auto net = models::make_micronet();
+    return fault::FaultUniverse::stuck_at(net);
+}
+
+TEST(EstimateLayers, SingleSubpopPerLayerPassesThrough) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    result.approach = Approach::LayerWise;
+    for (int l = 0; l < 4; ++l)
+        result.subpops.push_back(
+            make_result(l, -1, u.layer_population(l), 1000, 10 * (l + 1)));
+    const auto layers = estimate_layers(u, result);
+    ASSERT_EQ(layers.size(), 4u);
+    for (int l = 0; l < 4; ++l) {
+        EXPECT_EQ(layers[static_cast<std::size_t>(l)].layer, l);
+        EXPECT_DOUBLE_EQ(layers[static_cast<std::size_t>(l)].estimate.rate,
+                         0.01 * (l + 1));
+    }
+}
+
+TEST(EstimateLayers, BitSubpopsComposeWeighted) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    result.approach = Approach::DataUnaware;
+    // Layer 0 has 32 bit-subpops of equal size; give bit 30 rate 0.5 and the
+    // rest 0. Composite layer rate = 0.5/32.
+    for (int bit = 0; bit < 32; ++bit) {
+        const std::uint64_t pop = u.bit_population(0);
+        result.subpops.push_back(
+            make_result(0, bit, pop, 100, bit == 30 ? 50 : 0));
+    }
+    const auto layers = estimate_layers(u, result);
+    const auto& l0 = layers[0].estimate;
+    EXPECT_NEAR(l0.rate, 0.5 / 32.0, 1e-12);
+    EXPECT_GT(l0.margin, 0.0);
+    // Composite margin must be far below the bit-30 margin (weight 1/32).
+    const auto bit30 = estimate_subpop(result.subpops[30]);
+    EXPECT_LT(l0.margin, bit30.margin);
+}
+
+TEST(EstimateLayers, SpanningSubpopUsesPerLayerTallies) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    result.approach = Approach::NetworkWise;
+    SubpopResult sp = make_result(-1, -1, u.total(), 400, 12);
+    sp.layer_injected = {100, 100, 100, 100};
+    sp.layer_critical = {0, 4, 8, 0};
+    result.subpops.push_back(sp);
+    const auto layers = estimate_layers(u, result);
+    ASSERT_EQ(layers.size(), 4u);
+    EXPECT_DOUBLE_EQ(layers[1].estimate.rate, 0.04);
+    EXPECT_DOUBLE_EQ(layers[2].estimate.rate, 0.08);
+    EXPECT_DOUBLE_EQ(layers[0].estimate.rate, 0.0);
+    EXPECT_EQ(layers[3].estimate.injected, 100u);
+}
+
+TEST(EstimateLayers, SpanningWithoutTalliesThrows) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    result.subpops.push_back(make_result(-1, -1, u.total(), 100, 1));
+    EXPECT_THROW(estimate_layers(u, result), std::invalid_argument);
+}
+
+TEST(EstimateNetwork, NetworkWisePassThrough) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    SubpopResult sp = make_result(-1, -1, u.total(), 1000, 20);
+    sp.layer_injected.assign(4, 250);
+    sp.layer_critical.assign(4, 5);
+    result.subpops.push_back(sp);
+    const auto est = estimate_network(u, result);
+    EXPECT_DOUBLE_EQ(est.rate, 0.02);
+    EXPECT_EQ(est.injected, 1000u);
+}
+
+TEST(EstimateNetwork, StratifiedComposition) {
+    const auto u = micronet_universe();
+    CampaignResult result;
+    result.approach = Approach::LayerWise;
+    double expected_rate = 0.0;
+    for (int l = 0; l < 4; ++l) {
+        const std::uint64_t pop = u.layer_population(l);
+        result.subpops.push_back(make_result(l, -1, pop, 500, 5));
+        expected_rate += 0.01 * static_cast<double>(pop);
+    }
+    expected_rate /= static_cast<double>(u.total());
+    const auto est = estimate_network(u, result);
+    EXPECT_NEAR(est.rate, expected_rate, 1e-12);
+    EXPECT_EQ(est.population, u.total());
+}
+
+TEST(AverageLayerMargin, Mean) {
+    std::vector<LayerEstimate> layers(2);
+    layers[0].estimate.margin = 0.02;
+    layers[1].estimate.margin = 0.04;
+    EXPECT_DOUBLE_EQ(average_layer_margin(layers), 0.03);
+    EXPECT_DOUBLE_EQ(average_layer_margin({}), 0.0);
+}
+
+TEST(Validation, PerfectEstimatesContainTruth) {
+    const auto u = micronet_universe();
+    // Exhaustive truth: bit 30 of every layer critical for sa1 -> rate 0.25
+    // in the bit-30 subpop... simpler: all NonCritical.
+    ExhaustiveOutcomes truth(u.total());
+    CampaignResult result;
+    result.approach = Approach::LayerWise;
+    for (int l = 0; l < 4; ++l)
+        result.subpops.push_back(make_result(l, -1, u.layer_population(l), 100, 0));
+    const auto v = validate_against_exhaustive(u, result, truth);
+    EXPECT_EQ(v.layers_total, 4);
+    EXPECT_EQ(v.layers_contained, 4);  // rate 0 == truth 0, margin 0 contains
+    EXPECT_TRUE(v.network_contained);
+    EXPECT_DOUBLE_EQ(v.max_layer_abs_error, 0.0);
+}
+
+TEST(Validation, DetectsNonContainment) {
+    const auto u = micronet_universe();
+    // Truth: half of layer 0's faults critical; estimate says 0.
+    ExhaustiveOutcomes truth(u.total());
+    for (std::uint64_t i = 0; i < u.layer_population(0); i += 2)
+        truth.set(i, FaultOutcome::Critical);
+    CampaignResult result;
+    result.approach = Approach::LayerWise;
+    for (int l = 0; l < 4; ++l)
+        result.subpops.push_back(make_result(l, -1, u.layer_population(l), 100, 0));
+    const auto v = validate_against_exhaustive(u, result, truth);
+    EXPECT_EQ(v.layers_contained, 3);
+    EXPECT_NEAR(v.max_layer_abs_error, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace statfi::core

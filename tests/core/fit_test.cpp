@@ -1,0 +1,113 @@
+// Tests for the FIT-rate translation module.
+
+#include "core/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/micronet.hpp"
+#include "models/resnet_cifar.hpp"
+
+namespace statfi::core {
+namespace {
+
+TEST(Fit, PmhfBudgets) {
+    EXPECT_DOUBLE_EQ(pmhf_budget_fit(AsilLevel::AsilD), 10.0);
+    EXPECT_DOUBLE_EQ(pmhf_budget_fit(AsilLevel::AsilC), 100.0);
+    EXPECT_DOUBLE_EQ(pmhf_budget_fit(AsilLevel::AsilB), 100.0);
+    EXPECT_TRUE(std::isinf(pmhf_budget_fit(AsilLevel::AsilA)));
+    EXPECT_TRUE(std::isinf(pmhf_budget_fit(AsilLevel::QM)));
+}
+
+TEST(Fit, LevelNames) {
+    EXPECT_STREQ(to_string(AsilLevel::AsilD), "ASIL-D");
+    EXPECT_STREQ(to_string(AsilLevel::QM), "QM");
+}
+
+TEST(Fit, WeightStorageSize) {
+    auto net = models::make_resnet20();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    // 268,336 weights * 32 bits = 8,586,752 bits = ~8.59 Mbit
+    // (total() counts sa0+sa1, which must not double the storage).
+    EXPECT_NEAR(weight_storage_mbit(u), 8.586752, 1e-9);
+}
+
+TEST(Fit, DeviceFitScalesLinearly) {
+    auto net = models::make_micronet();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    Estimate rate;
+    rate.rate = 0.02;
+    rate.margin = 0.005;
+    SoftErrorSpec spec;
+    spec.fit_per_mbit = 1000.0;
+    const auto fit = device_fit(u, rate, spec);
+    // 2102 weights * 32 bits = 67,264 bits = 0.067264 Mbit.
+    EXPECT_NEAR(fit.storage_mbit, 0.067264, 1e-9);
+    EXPECT_NEAR(fit.fit, 1000.0 * 0.067264 * 0.02, 1e-9);
+    EXPECT_NEAR(fit.margin, 1000.0 * 0.067264 * 0.005, 1e-9);
+
+    // Doubling the rate doubles the FIT.
+    rate.rate = 0.04;
+    EXPECT_NEAR(device_fit(u, rate, spec).fit, 2.0 * fit.fit, 1e-9);
+}
+
+TEST(Fit, DeratingApplies) {
+    auto net = models::make_micronet();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    Estimate rate;
+    rate.rate = 0.02;
+    SoftErrorSpec spec;
+    spec.fit_per_mbit = 1000.0;
+    spec.derating = 0.5;
+    EXPECT_NEAR(device_fit(u, rate, spec).fit, 0.5 * 1000.0 * 0.067264 * 0.02,
+                1e-9);
+}
+
+TEST(Fit, MeetsUsesUpperBound) {
+    FitEstimate fe;
+    fe.fit = 9.0;
+    fe.margin = 0.5;
+    EXPECT_TRUE(fe.meets(AsilLevel::AsilD));   // 9.5 < 10
+    fe.margin = 1.5;
+    EXPECT_FALSE(fe.meets(AsilLevel::AsilD));  // 10.5 >= 10
+    EXPECT_TRUE(fe.meets(AsilLevel::AsilB));
+}
+
+TEST(Fit, StrictestMetOrdering) {
+    FitEstimate fe;
+    fe.fit = 5.0;
+    EXPECT_EQ(fe.strictest_met(), AsilLevel::AsilD);
+    fe.fit = 50.0;
+    EXPECT_EQ(fe.strictest_met(), AsilLevel::AsilC);
+    fe.fit = 500.0;
+    EXPECT_EQ(fe.strictest_met(), AsilLevel::QM);
+}
+
+TEST(Fit, LayerContributionsSumToDevice) {
+    auto net = models::make_micronet();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    // Build population-weighted layer estimates summing to a network rate.
+    std::vector<LayerEstimate> layers;
+    double weighted_rate = 0.0;
+    for (int l = 0; l < u.layer_count(); ++l) {
+        LayerEstimate le;
+        le.layer = l;
+        le.estimate.population = u.layer_population(l);
+        le.estimate.rate = 0.01 * (l + 1);
+        layers.push_back(le);
+        weighted_rate += le.estimate.rate *
+                         static_cast<double>(u.layer_population(l)) /
+                         static_cast<double>(u.total());
+    }
+    Estimate network;
+    network.rate = weighted_rate;
+    const SoftErrorSpec spec;
+    const auto per_layer = layer_fit(u, layers, spec);
+    double sum = 0.0;
+    for (const auto& fe : per_layer) sum += fe.fit;
+    EXPECT_NEAR(sum, device_fit(u, network, spec).fit, 1e-9);
+}
+
+}  // namespace
+}  // namespace statfi::core

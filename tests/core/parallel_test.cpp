@@ -1,0 +1,110 @@
+// Tests for the parallel campaign executor: results must be bit-identical
+// to the serial executor for any worker count.
+
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+
+namespace statfi::core {
+namespace {
+
+struct Fixture {
+    nn::Network net;
+    data::Dataset eval;
+    fault::FaultUniverse universe;
+
+    static Fixture make() {
+        auto net = models::make_micronet();
+        stats::Rng rng(777);
+        nn::init_network_kaiming(net, rng);
+        data::SyntheticSpec spec;
+        spec.noise_stddev = 0.8;
+        auto train = data::make_synthetic(spec, 256, "train");
+        nn::train_classifier(net, train.images, train.labels, 3, 32, {}, rng);
+        auto eval = data::make_synthetic(spec, 4, "test");
+        auto universe = fault::FaultUniverse::stuck_at(net);
+        return Fixture{std::move(net), std::move(eval), std::move(universe)};
+    }
+};
+
+TEST(Parallel, GoldenAccuracyMatchesSerial) {
+    auto fx = Fixture::make();
+    CampaignExecutor serial(fx.net, fx.eval);
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, {}, 3);
+    EXPECT_EQ(parallel.worker_count(), 3u);
+    EXPECT_DOUBLE_EQ(parallel.golden_accuracy(), serial.golden_accuracy());
+}
+
+TEST(Parallel, RunMatchesSerialBitForBit) {
+    auto fx = Fixture::make();
+    stats::SampleSpec spec;
+    spec.error_margin = 0.03;  // keep n modest for test speed
+
+    CampaignExecutor serial(fx.net, fx.eval);
+    const auto plan = plan_layer_wise(fx.universe, spec);
+    const auto expected = serial.run(fx.universe, plan, stats::Rng(11));
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        ParallelCampaignExecutor parallel(fx.net, fx.eval, {}, threads);
+        const auto got = parallel.run(fx.universe, plan, stats::Rng(11));
+        ASSERT_EQ(got.subpops.size(), expected.subpops.size());
+        for (std::size_t s = 0; s < got.subpops.size(); ++s) {
+            EXPECT_EQ(got.subpops[s].injected, expected.subpops[s].injected)
+                << threads << " threads, subpop " << s;
+            EXPECT_EQ(got.subpops[s].critical, expected.subpops[s].critical)
+                << threads << " threads, subpop " << s;
+            EXPECT_EQ(got.subpops[s].masked, expected.subpops[s].masked);
+        }
+    }
+}
+
+TEST(Parallel, NetworkWisePerLayerTalliesMatchSerial) {
+    auto fx = Fixture::make();
+    stats::SampleSpec spec;
+    spec.error_margin = 0.05;
+    const auto plan = plan_network_wise(fx.universe, spec);
+
+    CampaignExecutor serial(fx.net, fx.eval);
+    const auto expected = serial.run(fx.universe, plan, stats::Rng(22));
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, {}, 2);
+    const auto got = parallel.run(fx.universe, plan, stats::Rng(22));
+    ASSERT_EQ(got.subpops.size(), 1u);
+    EXPECT_EQ(got.subpops[0].layer_injected,
+              expected.subpops[0].layer_injected);
+    EXPECT_EQ(got.subpops[0].layer_critical,
+              expected.subpops[0].layer_critical);
+}
+
+TEST(Parallel, ExhaustiveMatchesSerial) {
+    auto fx = Fixture::make();
+    CampaignExecutor serial(fx.net, fx.eval);
+    const auto expected = serial.run_exhaustive(fx.universe);
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, {}, 2);
+    const auto got = parallel.run_exhaustive(fx.universe);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::uint64_t i = 0; i < got.size(); i += 13)
+        ASSERT_EQ(got.at(i), expected.at(i)) << "fault " << i;
+    EXPECT_DOUBLE_EQ(got.network_critical_rate(),
+                     expected.network_critical_rate());
+}
+
+TEST(Parallel, WorkerWeightsStayIsolated) {
+    // A campaign must leave the original network untouched (workers clone).
+    auto fx = Fixture::make();
+    const Tensor before = fx.net.forward(fx.eval.images);
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, {}, 2);
+    stats::SampleSpec spec;
+    spec.error_margin = 0.05;
+    (void)parallel.run(fx.universe, plan_network_wise(fx.universe, spec),
+                       stats::Rng(3));
+    const Tensor after = fx.net.forward(fx.eval.images);
+    for (std::size_t i = 0; i < before.numel(); ++i)
+        ASSERT_EQ(before[i], after[i]);
+}
+
+}  // namespace
+}  // namespace statfi::core

@@ -1,0 +1,172 @@
+// Tests for the four campaign planners, including full-table regressions
+// against the paper's Table I / Table II.
+
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/micronet.hpp"
+#include "models/mobilenetv2.hpp"
+#include "models/resnet_cifar.hpp"
+#include "nn/init.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::core {
+namespace {
+
+fault::FaultUniverse resnet20_universe() {
+    static auto net = models::make_resnet20();
+    return fault::FaultUniverse::stuck_at(net);
+}
+
+TEST(Planner, ExhaustivePlanCoversEverything) {
+    auto net = models::make_micronet();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    const auto plan = plan_exhaustive(u);
+    EXPECT_EQ(plan.approach, Approach::Exhaustive);
+    EXPECT_EQ(plan.subpops.size(), 4u * 32u);
+    EXPECT_EQ(plan.total_population(), u.total());
+    EXPECT_EQ(plan.total_sample_size(), u.total());
+}
+
+TEST(Planner, NetworkWiseSingleSubpopulation) {
+    const auto u = resnet20_universe();
+    const auto plan = plan_network_wise(u, stats::SampleSpec{});
+    ASSERT_EQ(plan.subpops.size(), 1u);
+    EXPECT_EQ(plan.subpops[0].layer, -1);
+    EXPECT_EQ(plan.subpops[0].bit, -1);
+    EXPECT_EQ(plan.subpops[0].population, u.total());
+    // Paper Table I: 16,625 total FIs.
+    EXPECT_EQ(plan.total_sample_size(), 16'625u);
+}
+
+TEST(Planner, NetworkWisePerLayerAttributionMatchesTableI) {
+    const auto u = resnet20_universe();
+    const auto plan = plan_network_wise(u, stats::SampleSpec{});
+    // Paper's per-layer network-wise column: 27, 143, ..., 2284, 40.
+    EXPECT_EQ(plan.layer_sample_size(u, 0), 27u);
+    EXPECT_EQ(plan.layer_sample_size(u, 1), 143u);
+    EXPECT_EQ(plan.layer_sample_size(u, 7), 285u);
+    EXPECT_EQ(plan.layer_sample_size(u, 8), 571u);
+    EXPECT_EQ(plan.layer_sample_size(u, 13), 1'142u);
+    EXPECT_EQ(plan.layer_sample_size(u, 14), 2'284u);
+    EXPECT_EQ(plan.layer_sample_size(u, 19), 40u);
+}
+
+TEST(Planner, LayerWiseMatchesTableI) {
+    const auto u = resnet20_universe();
+    const auto plan = plan_layer_wise(u, stats::SampleSpec{});
+    ASSERT_EQ(plan.subpops.size(), 20u);
+    EXPECT_EQ(plan.layer_sample_size(u, 0), 10'389u);
+    EXPECT_EQ(plan.layer_sample_size(u, 1), 14'954u);
+    EXPECT_EQ(plan.layer_sample_size(u, 7), 15'752u);
+    EXPECT_EQ(plan.layer_sample_size(u, 8), 16'184u);
+    EXPECT_EQ(plan.layer_sample_size(u, 13), 16'410u);
+    EXPECT_EQ(plan.layer_sample_size(u, 14), 16'524u);
+    EXPECT_EQ(plan.layer_sample_size(u, 19), 11'834u);
+    // Paper total 307,650 (with its layer-11 9,226-param typo; ours 307,649).
+    EXPECT_NEAR(static_cast<double>(plan.total_sample_size()), 307'650.0, 2.0);
+}
+
+TEST(Planner, DataUnawareMatchesTableI) {
+    const auto u = resnet20_universe();
+    const auto plan = plan_data_unaware(u, stats::SampleSpec{});
+    ASSERT_EQ(plan.subpops.size(), 20u * 32u);
+    EXPECT_EQ(plan.layer_sample_size(u, 0), 26'272u);
+    EXPECT_EQ(plan.layer_sample_size(u, 1), 115'488u);
+    EXPECT_EQ(plan.layer_sample_size(u, 7), 189'792u);
+    EXPECT_EQ(plan.layer_sample_size(u, 8), 279'872u);
+    EXPECT_EQ(plan.layer_sample_size(u, 13), 366'912u);
+    EXPECT_EQ(plan.layer_sample_size(u, 14), 434'464u);
+    EXPECT_EQ(plan.layer_sample_size(u, 19), 38'048u);
+    // Paper total 4,885,760 (ours 4,885,632 with the corrected layer 11).
+    EXPECT_NEAR(static_cast<double>(plan.total_sample_size()), 4'885'760.0,
+                200.0);
+    for (const auto& sp : plan.subpops) EXPECT_DOUBLE_EQ(sp.p, 0.5);
+}
+
+TEST(Planner, MobileNetV2TotalsMatchTableII) {
+    auto net = models::make_mobilenetv2();
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    EXPECT_EQ(plan_network_wise(u, stats::SampleSpec{}).total_sample_size(),
+              16'639u);
+    // Paper: layer-wise 838,988; data-unaware 14,894,400.
+    EXPECT_EQ(plan_layer_wise(u, stats::SampleSpec{}).total_sample_size(),
+              838'988u);
+    EXPECT_EQ(plan_data_unaware(u, stats::SampleSpec{}).total_sample_size(),
+              14'894'400u);
+}
+
+TEST(Planner, DataAwareUsesPerBitP) {
+    auto net = models::make_micronet();
+    stats::Rng rng(3);
+    nn::init_network_kaiming(net, rng);
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    const auto crit = analyze_network(net);
+    const auto plan = plan_data_aware(u, stats::SampleSpec{}, crit);
+    ASSERT_EQ(plan.subpops.size(), 4u * 32u);
+    for (const auto& sp : plan.subpops)
+        EXPECT_DOUBLE_EQ(sp.p, crit.p[static_cast<std::size_t>(sp.bit)])
+            << "bit " << sp.bit;
+}
+
+TEST(Planner, DataAwareNeverExceedsDataUnaware) {
+    auto net = models::make_micronet();
+    stats::Rng rng(4);
+    nn::init_network_kaiming(net, rng);
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    const auto crit = analyze_network(net);
+    const auto aware = plan_data_aware(u, stats::SampleSpec{}, crit);
+    const auto unaware = plan_data_unaware(u, stats::SampleSpec{});
+    ASSERT_EQ(aware.subpops.size(), unaware.subpops.size());
+    for (std::size_t i = 0; i < aware.subpops.size(); ++i)
+        EXPECT_LE(aware.subpops[i].sample_size, unaware.subpops[i].sample_size);
+}
+
+TEST(Planner, PaperApproachOrdering) {
+    // Table III ordering: network-wise < data-aware < layer-wise <
+    // data-unaware < exhaustive.
+    auto net = models::make_resnet20();
+    stats::Rng rng(5);
+    nn::init_network_kaiming(net, rng);
+    const auto u = fault::FaultUniverse::stuck_at(net);
+    const auto crit = analyze_network(net);
+    const auto nw = plan_network_wise(u, stats::SampleSpec{}).total_sample_size();
+    const auto da = plan_data_aware(u, stats::SampleSpec{}, crit).total_sample_size();
+    const auto lw = plan_layer_wise(u, stats::SampleSpec{}).total_sample_size();
+    const auto du = plan_data_unaware(u, stats::SampleSpec{}).total_sample_size();
+    EXPECT_LT(nw, da);
+    EXPECT_LT(da, lw);
+    EXPECT_LT(lw, du);
+    EXPECT_LT(du, u.total());
+}
+
+TEST(Planner, DataAwareRejectsBitCountMismatch) {
+    auto net = models::make_micronet();
+    const auto u = fault::FaultUniverse::stuck_at(net);  // 32-bit universe
+    BitCriticality crit;
+    crit.p.assign(16, 0.5);  // 16-bit profile
+    EXPECT_THROW(plan_data_aware(u, stats::SampleSpec{}, crit),
+                 std::invalid_argument);
+}
+
+TEST(Planner, TighterSpecNeedsMoreFaults) {
+    const auto u = resnet20_universe();
+    stats::SampleSpec loose;
+    loose.error_margin = 0.05;
+    stats::SampleSpec tight;
+    tight.error_margin = 0.005;
+    EXPECT_LT(plan_layer_wise(u, loose).total_sample_size(),
+              plan_layer_wise(u, tight).total_sample_size());
+}
+
+TEST(Planner, ApproachNames) {
+    EXPECT_STREQ(to_string(Approach::Exhaustive), "exhaustive");
+    EXPECT_STREQ(to_string(Approach::NetworkWise), "network-wise");
+    EXPECT_STREQ(to_string(Approach::LayerWise), "layer-wise");
+    EXPECT_STREQ(to_string(Approach::DataUnaware), "data-unaware");
+    EXPECT_STREQ(to_string(Approach::DataAware), "data-aware");
+}
+
+}  // namespace
+}  // namespace statfi::core

@@ -1,0 +1,94 @@
+// Tests for the shared validation testbed: determinism, caching behaviour,
+// and the properties the benches rely on.
+
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace statfi::core {
+namespace {
+
+/// Redirect the cache into a scratch directory for the test's lifetime.
+class TestbedTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        scratch_ = std::filesystem::temp_directory_path() /
+                   "statfi_testbed_test_cache";
+        std::filesystem::remove_all(scratch_);
+        setenv("STATFI_CACHE_DIR", scratch_.c_str(), 1);
+    }
+    void TearDown() override {
+        unsetenv("STATFI_CACHE_DIR");
+        std::filesystem::remove_all(scratch_);
+    }
+    std::filesystem::path scratch_;
+};
+
+TestbedConfig small_config() {
+    // Large enough to learn (the default noise level needs a few hundred
+    // samples), small enough that the whole suite stays in seconds.
+    TestbedConfig config;
+    config.train_images = 768;
+    config.epochs = 8;
+    config.eval_images = 3;
+    return config;
+}
+
+TEST_F(TestbedTest, CacheDirectoryCreated) {
+    const auto dir = cache_directory();
+    EXPECT_TRUE(std::filesystem::exists(dir));
+    EXPECT_EQ(dir, scratch_.string());
+}
+
+TEST_F(TestbedTest, TrainsAndCachesWeights) {
+    Testbed first(small_config());
+    EXPECT_GT(first.test_accuracy(), 0.3);  // far above the 10% chance level
+    // Weight cache file must exist now.
+    bool found_weights = false;
+    for (const auto& entry : std::filesystem::directory_iterator(scratch_))
+        found_weights |= entry.path().extension() == ".sfiw";
+    EXPECT_TRUE(found_weights);
+
+    // A second testbed loads the cache and agrees exactly.
+    Testbed second(small_config());
+    EXPECT_DOUBLE_EQ(first.test_accuracy(), second.test_accuracy());
+    EXPECT_DOUBLE_EQ(first.golden_accuracy(), second.golden_accuracy());
+}
+
+TEST_F(TestbedTest, GroundTruthIsCachedAndStable) {
+    Testbed testbed(small_config());
+    const auto& truth = testbed.ground_truth(/*verbose=*/false);
+    EXPECT_EQ(truth.size(), testbed.universe().total());
+
+    bool found_outcomes = false;
+    for (const auto& entry : std::filesystem::directory_iterator(scratch_))
+        found_outcomes |= entry.path().extension() == ".sfio";
+    EXPECT_TRUE(found_outcomes);
+
+    Testbed reloaded(small_config());
+    const auto& again = reloaded.ground_truth(/*verbose=*/false);
+    ASSERT_EQ(again.size(), truth.size());
+    for (std::uint64_t i = 0; i < truth.size(); i += 97)
+        ASSERT_EQ(again.at(i), truth.at(i)) << "fault " << i;
+}
+
+TEST_F(TestbedTest, NamedRngStreamsAreStable) {
+    Testbed testbed(small_config());
+    auto a = testbed.rng("experiment-x");
+    auto b = testbed.rng("experiment-x");
+    EXPECT_EQ(a.next(), b.next());
+    auto c = testbed.rng("experiment-y");
+    EXPECT_NE(testbed.rng("experiment-x").next(), c.next());
+}
+
+TEST_F(TestbedTest, EvalSetMatchesConfig) {
+    Testbed testbed(small_config());
+    EXPECT_EQ(testbed.eval_set().size(), 3);
+    EXPECT_EQ(testbed.universe().layer_count(), 4);
+}
+
+}  // namespace
+}  // namespace statfi::core

@@ -1,0 +1,122 @@
+// Tests for the synthetic dataset generator.
+
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace statfi::data {
+namespace {
+
+TEST(Synthetic, ShapesAndLabels) {
+    SyntheticSpec spec;
+    const auto ds = make_synthetic(spec, 50, "test");
+    EXPECT_EQ(ds.size(), 50);
+    EXPECT_EQ(ds.images.shape(), Shape({50, 3, 32, 32}));
+    ASSERT_EQ(ds.labels.size(), 50u);
+    for (const int label : ds.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, spec.num_classes);
+    }
+}
+
+TEST(Synthetic, BalancedClasses) {
+    SyntheticSpec spec;
+    const auto ds = make_synthetic(spec, 100, "train");
+    int counts[10] = {};
+    for (const int label : ds.labels) ++counts[label];
+    for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Synthetic, Deterministic) {
+    SyntheticSpec spec;
+    const auto a = make_synthetic(spec, 10, "train");
+    const auto b = make_synthetic(spec, 10, "train");
+    for (std::size_t i = 0; i < a.images.numel(); ++i)
+        ASSERT_EQ(a.images[i], b.images[i]);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, PartitionsDiffer) {
+    SyntheticSpec spec;
+    const auto train = make_synthetic(spec, 10, "train");
+    const auto test = make_synthetic(spec, 10, "test");
+    bool any_diff = false;
+    for (std::size_t i = 0; i < train.images.numel(); ++i)
+        any_diff |= train.images[i] != test.images[i];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SeedChangesPrototypes) {
+    SyntheticSpec a, b;
+    b.seed = a.seed + 1;
+    const auto da = make_synthetic(a, 5, "train");
+    const auto db = make_synthetic(b, 5, "train");
+    bool any_diff = false;
+    for (std::size_t i = 0; i < da.images.numel(); ++i)
+        any_diff |= da.images[i] != db.images[i];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SameClassSharesStructure) {
+    // Two samples of the same class must correlate far more than samples of
+    // different classes (prototype + noise construction).
+    SyntheticSpec spec;
+    spec.noise_stddev = 0.2;
+    const auto ds = make_synthetic(spec, 30, "train");
+    auto correlation = [&](std::int64_t i, std::int64_t j) {
+        const auto a = ds.image(i), b = ds.image(j);
+        double dot = 0, na = 0, nb = 0;
+        for (std::size_t k = 0; k < a.numel(); ++k) {
+            dot += static_cast<double>(a[k]) * b[k];
+            na += static_cast<double>(a[k]) * a[k];
+            nb += static_cast<double>(b[k]) * b[k];
+        }
+        return dot / std::sqrt(na * nb);
+    };
+    // Samples 0, 10, 20 share class 0; samples 1, 11 share class 1.
+    EXPECT_GT(correlation(0, 10), 0.5);
+    EXPECT_GT(correlation(1, 11), 0.5);
+    EXPECT_LT(std::fabs(correlation(0, 1)), 0.5);
+}
+
+TEST(Synthetic, FiniteValues) {
+    SyntheticSpec spec;
+    const auto ds = make_synthetic(spec, 20, "train");
+    EXPECT_TRUE(ds.images.all_finite());
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+    SyntheticSpec spec;
+    EXPECT_THROW(make_synthetic(spec, 0, "x"), std::invalid_argument);
+    spec.num_classes = 1;
+    EXPECT_THROW(make_synthetic(spec, 10, "x"), std::invalid_argument);
+}
+
+TEST(Dataset, ImageExtraction) {
+    SyntheticSpec spec;
+    const auto ds = make_synthetic(spec, 5, "train");
+    const Tensor img = ds.image(3);
+    EXPECT_EQ(img.shape(), Shape({1, 3, 32, 32}));
+    const std::size_t sz = 3 * 32 * 32;
+    for (std::size_t i = 0; i < sz; ++i)
+        ASSERT_EQ(img[i], ds.images[3 * sz + i]);
+    EXPECT_THROW(ds.image(5), std::out_of_range);
+    EXPECT_THROW(ds.image(-1), std::out_of_range);
+}
+
+TEST(Dataset, TakePrefix) {
+    SyntheticSpec spec;
+    const auto ds = make_synthetic(spec, 10, "train");
+    const auto sub = ds.take(4);
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.labels, std::vector<int>(ds.labels.begin(),
+                                           ds.labels.begin() + 4));
+    for (std::size_t i = 0; i < sub.images.numel(); ++i)
+        ASSERT_EQ(sub.images[i], ds.images[i]);
+    EXPECT_THROW(ds.take(11), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace statfi::data

@@ -1,0 +1,183 @@
+// Tests for the transient activation-fault universe and campaign executor.
+
+#include "fault/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/activation_campaign.hpp"
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::fault {
+namespace {
+
+nn::Network trained_net() {
+    auto net = models::make_micronet();
+    stats::Rng rng(55);
+    nn::init_network_kaiming(net, rng);
+    data::SyntheticSpec spec;
+    spec.noise_stddev = 0.8;
+    auto train = data::make_synthetic(spec, 256, "train");
+    nn::train_classifier(net, train.images, train.labels, 3, 32, {}, rng);
+    return net;
+}
+
+TEST(ActivationUniverse, PopulationsMatchActivationShapes) {
+    auto net = models::make_micronet();
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+    ASSERT_EQ(u.node_count(), net.node_count());
+    // conv1 output: 6x32x32 = 6144 elements -> 6144*32 faults.
+    EXPECT_EQ(u.node_elements(0), 6u * 32 * 32);
+    EXPECT_EQ(u.node_population(0), 6u * 32 * 32 * 32);
+    // Final FC output: 10 logits.
+    EXPECT_EQ(u.node_elements(u.node_count() - 1), 10u);
+    std::uint64_t sum = 0;
+    for (int n = 0; n < u.node_count(); ++n) sum += u.node_population(n);
+    EXPECT_EQ(sum, u.total());
+}
+
+TEST(ActivationUniverse, EncodeDecodeBijection) {
+    auto net = models::make_micronet();
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+    stats::Rng rng(7);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const std::uint64_t idx = rng.uniform_below(u.total());
+        const ActivationFault f = u.decode(idx);
+        EXPECT_EQ(u.encode(f), idx);
+        EXPECT_GE(f.node, 0);
+        EXPECT_LT(f.node, u.node_count());
+        EXPECT_LT(f.element, u.node_elements(f.node));
+        EXPECT_GE(f.bit, 0);
+        EXPECT_LT(f.bit, 32);
+    }
+}
+
+TEST(ActivationUniverse, NodeOffsetsAreContiguous) {
+    auto net = models::make_micronet();
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+    std::uint64_t expected = 0;
+    for (int n = 0; n < u.node_count(); ++n) {
+        EXPECT_EQ(u.node_offset(n), expected);
+        const auto first = u.decode(expected);
+        EXPECT_EQ(first.node, n);
+        expected += u.node_population(n);
+    }
+    EXPECT_EQ(expected, u.total());
+}
+
+TEST(ActivationUniverse, RejectsOutOfRange) {
+    auto net = models::make_micronet();
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+    EXPECT_THROW(u.decode(u.total()), std::out_of_range);
+    EXPECT_THROW(u.node_population(-1), std::out_of_range);
+    ActivationFault bad;
+    bad.node = u.node_count();
+    EXPECT_THROW(u.encode(bad), std::out_of_range);
+}
+
+TEST(ActivationUniverse, ToStringReadable) {
+    ActivationFault f;
+    f.node = 2;
+    f.element = 99;
+    f.bit = 30;
+    EXPECT_EQ(f.to_string(), "N2.e99.b30");
+}
+
+TEST(ActivationCampaign, EvaluateRestoresGoldenState) {
+    auto net = trained_net();
+    data::SyntheticSpec spec;
+    spec.noise_stddev = 0.8;
+    auto eval = data::make_synthetic(spec, 3, "test");
+    core::ActivationCampaignExecutor exec(net, eval);
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+
+    stats::Rng rng(9);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto f = u.decode(rng.uniform_below(u.total()));
+        const auto a = exec.evaluate(f, trial % 3);
+        const auto b = exec.evaluate(f, trial % 3);
+        EXPECT_EQ(a, b) << f.to_string();  // deterministic => state restored
+    }
+}
+
+TEST(ActivationCampaign, ExponentMsbFlipOnLogitsIsCritical) {
+    auto net = trained_net();
+    data::SyntheticSpec spec;
+    spec.noise_stddev = 0.8;
+    auto eval = data::make_synthetic(spec, 2, "test");
+    core::ExecutorConfig config;
+    config.policy = core::ClassificationPolicy::GoldenMismatch;
+    core::ActivationCampaignExecutor exec(net, eval, config);
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+
+    // Flip the exponent MSB of each logit: a *positive* non-winning logit
+    // explodes past the winner (critical); a negative one sinks further
+    // (benign). With ~half the logits positive, several must flip the top-1.
+    const int last = u.node_count() - 1;
+    int critical = 0;
+    for (std::uint64_t e = 0; e < u.node_elements(last); ++e) {
+        ActivationFault f;
+        f.node = last;
+        f.element = e;
+        f.bit = 30;
+        critical += exec.evaluate(f, 0) == core::FaultOutcome::Critical;
+    }
+    EXPECT_GE(critical, 2);
+    EXPECT_LT(critical, 10);  // the winner's own flip only reinforces it
+}
+
+TEST(ActivationCampaign, MantissaLsbFlipIsBenign) {
+    auto net = trained_net();
+    data::SyntheticSpec spec;
+    spec.noise_stddev = 0.8;
+    auto eval = data::make_synthetic(spec, 2, "test");
+    core::ActivationCampaignExecutor exec(net, eval);
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+    stats::Rng rng(10);
+    for (int trial = 0; trial < 50; ++trial) {
+        ActivationFault f;
+        f.node = static_cast<int>(rng.uniform_below(
+            static_cast<std::uint64_t>(u.node_count())));
+        f.element = rng.uniform_below(u.node_elements(f.node));
+        f.bit = 0;
+        EXPECT_EQ(exec.evaluate(f, 0), core::FaultOutcome::NonCritical)
+            << f.to_string();
+    }
+}
+
+TEST(ActivationCampaign, NodeWisePlanAndRun) {
+    auto net = trained_net();
+    data::SyntheticSpec spec;
+    spec.noise_stddev = 0.8;
+    auto eval = data::make_synthetic(spec, 3, "test");
+    core::ActivationCampaignExecutor exec(net, eval);
+    const ActivationUniverse u(net, Shape{3, 32, 32});
+
+    stats::SampleSpec sample_spec;
+    sample_spec.error_margin = 0.05;
+    const auto plan = exec.plan_node_wise(u, sample_spec);
+    ASSERT_EQ(plan.subpops.size(), static_cast<std::size_t>(u.node_count()));
+    const auto result = exec.run(u, plan, stats::Rng(77));
+    ASSERT_EQ(result.subpops.size(), plan.subpops.size());
+    for (std::size_t s = 0; s < result.subpops.size(); ++s) {
+        EXPECT_EQ(result.subpops[s].injected, plan.subpops[s].sample_size);
+        EXPECT_LE(result.subpops[s].critical, result.subpops[s].injected);
+    }
+}
+
+TEST(ActivationCampaign, RejectsBadIndices) {
+    auto net = trained_net();
+    data::SyntheticSpec spec;
+    auto eval = data::make_synthetic(spec, 2, "test");
+    core::ActivationCampaignExecutor exec(net, eval);
+    ActivationFault f;
+    EXPECT_THROW(exec.evaluate(f, 5), std::out_of_range);
+    f.node = 0;
+    f.element = 1u << 30;
+    EXPECT_THROW(exec.evaluate(f, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace statfi::fault

@@ -1,0 +1,230 @@
+// Bit-exact tests for the data-type codecs and fault arithmetic, including
+// the paper's Fig. 2 bit-flip distance example.
+
+#include "fault/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace statfi::fault {
+namespace {
+
+TEST(BitWidth, PerDataType) {
+    EXPECT_EQ(bit_width(DataType::Float32), 32);
+    EXPECT_EQ(bit_width(DataType::Float16), 16);
+    EXPECT_EQ(bit_width(DataType::BFloat16), 16);
+    EXPECT_EQ(bit_width(DataType::Int8), 8);
+}
+
+TEST(FloatBits, KnownPatterns) {
+    EXPECT_EQ(float_bits(0.0f), 0u);
+    EXPECT_EQ(float_bits(1.0f), 0x3F800000u);
+    EXPECT_EQ(float_bits(-2.0f), 0xC0000000u);
+    EXPECT_EQ(float_from_bits(0x40490FDBu), 3.14159274f);  // pi
+}
+
+TEST(Fp32Codec, EncodeDecodeIsIdentity) {
+    for (const float v : {0.0f, -0.0f, 1.0f, -1.5f, 3.14f, 1e-30f, 1e30f}) {
+        EXPECT_EQ(decode(encode(v, DataType::Float32), DataType::Float32), v);
+        EXPECT_EQ(quantize(v, DataType::Float32), v);
+    }
+}
+
+TEST(BitOf, ReadsSignExponentMantissa) {
+    // 1.0f = 0x3F800000: sign 0, exponent 0111_1111, mantissa 0.
+    EXPECT_FALSE(bit_of(1.0f, 31, DataType::Float32));
+    EXPECT_FALSE(bit_of(1.0f, 30, DataType::Float32));
+    for (int b = 23; b <= 29; ++b)
+        EXPECT_TRUE(bit_of(1.0f, b, DataType::Float32)) << "bit " << b;
+    EXPECT_FALSE(bit_of(1.0f, 0, DataType::Float32));
+    EXPECT_TRUE(bit_of(-1.0f, 31, DataType::Float32));
+}
+
+TEST(StuckAt, ForcesBitValue) {
+    // Stuck-at-1 on the sign of 1.0 -> -1.0; stuck-at-0 is masked.
+    EXPECT_EQ(apply_stuck_at(1.0f, 31, true, DataType::Float32), -1.0f);
+    EXPECT_EQ(apply_stuck_at(1.0f, 31, false, DataType::Float32), 1.0f);
+    // Stuck-at-1 on exponent MSB of 1.0: exponent 0111_1111 -> 1111_1111 ->
+    // Inf (mantissa 0).
+    EXPECT_TRUE(std::isinf(apply_stuck_at(1.0f, 30, true, DataType::Float32)));
+}
+
+TEST(BitFlip, IsInvolution) {
+    for (const float v : {0.37f, -12.5f, 1e-10f}) {
+        for (int b = 0; b < 32; ++b) {
+            const float once = apply_bit_flip(v, b, DataType::Float32);
+            const float twice = apply_bit_flip(once, b, DataType::Float32);
+            EXPECT_EQ(float_bits(twice), float_bits(v)) << "bit " << b;
+        }
+    }
+}
+
+TEST(BitFlip, SignFlipNegates) {
+    EXPECT_EQ(apply_bit_flip(3.5f, 31, DataType::Float32), -3.5f);
+}
+
+class BitRangeCheck : public ::testing::TestWithParam<DataType> {};
+
+TEST_P(BitRangeCheck, RejectsOutOfRangeBits) {
+    const DataType dt = GetParam();
+    EXPECT_THROW(bit_of(1.0f, -1, dt), std::domain_error);
+    EXPECT_THROW(bit_of(1.0f, bit_width(dt), dt), std::domain_error);
+    EXPECT_THROW(apply_bit_flip(1.0f, bit_width(dt), dt), std::domain_error);
+    EXPECT_THROW(apply_stuck_at(1.0f, bit_width(dt), true, dt),
+                 std::domain_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, BitRangeCheck,
+                         ::testing::Values(DataType::Float32, DataType::Float16,
+                                           DataType::BFloat16, DataType::Int8));
+
+TEST(BitFlipDistance, Fig2MantissaExample) {
+    // Fig. 2 of the paper illustrates the distance caused by a bit 28 flip.
+    // Bit 28 carries exponent weight 2^5 = 32: flipping it on w = 0.75
+    // (exponent 126 = 0111_1110) clears it to 94 (0101_1110), scaling the
+    // value by 2^-32.
+    const float w = 0.75f;
+    const float faulty = apply_bit_flip(w, 28, DataType::Float32);
+    EXPECT_FLOAT_EQ(faulty, std::ldexp(0.75f, -32));
+    EXPECT_NEAR(bit_flip_distance(w, 28, DataType::Float32),
+                0.75 - std::ldexp(0.75, -32), 1e-9);
+}
+
+TEST(BitFlipDistance, ExponentMsbDominates) {
+    // For |w| < 2 the exponent MSB is 0; setting it multiplies the value by
+    // 2^128/2^k — the astronomically dominant distance of Fig. 3/4.
+    const double d30 = bit_flip_distance(0.05f, 30, DataType::Float32);
+    const double d23 = bit_flip_distance(0.05f, 23, DataType::Float32);
+    const double d0 = bit_flip_distance(0.05f, 0, DataType::Float32);
+    EXPECT_GT(d30, 1e30);
+    EXPECT_GT(d23, d0);
+    EXPECT_LT(d0, 1e-7);
+}
+
+TEST(BitFlipDistance, InfinityScoredAsFltMax) {
+    // 1.5f has exponent 0111_1111; flipping bit 30 -> 1111_1111, which with
+    // the non-zero mantissa of 1.5 is a NaN encoding.
+    const float faulty = apply_bit_flip(1.5f, 30, DataType::Float32);
+    EXPECT_FALSE(std::isfinite(faulty));
+    EXPECT_EQ(bit_flip_distance(1.5f, 30, DataType::Float32),
+              static_cast<double>(std::numeric_limits<float>::max()));
+}
+
+// ------------------------------------------------------------------- FP16 --
+
+TEST(Fp16Codec, ExactValuesRoundTrip) {
+    for (const float v : {0.0f, 1.0f, -2.0f, 0.5f, 1024.0f, -0.25f})
+        EXPECT_EQ(quantize(v, DataType::Float16), v) << v;
+}
+
+TEST(Fp16Codec, RoundsToNearest) {
+    // 1 + 2^-11 is halfway between fp16 neighbours 1.0 and 1+2^-10;
+    // round-to-even keeps 1.0.
+    EXPECT_EQ(quantize(1.0f + 0.00048828125f, DataType::Float16), 1.0f);
+    // 1 + 3*2^-11 rounds up to 1 + 2^-9... check against known value.
+    EXPECT_NEAR(quantize(1.0015f, DataType::Float16), 1.0015f, 0.0005f);
+}
+
+TEST(Fp16Codec, OverflowToInfinity) {
+    EXPECT_TRUE(std::isinf(quantize(1e6f, DataType::Float16)));
+    EXPECT_TRUE(std::isinf(quantize(65520.0f, DataType::Float16)));
+    EXPECT_EQ(quantize(65504.0f, DataType::Float16), 65504.0f);  // fp16 max
+}
+
+TEST(Fp16Codec, SubnormalsPreserved) {
+    const float sub = std::ldexp(3.0f, -24);  // 3 * 2^-24, fp16 subnormal
+    EXPECT_EQ(quantize(sub, DataType::Float16), sub);
+    EXPECT_EQ(quantize(-sub, DataType::Float16), -sub);
+}
+
+TEST(Fp16Codec, UnderflowToZero) {
+    EXPECT_EQ(quantize(1e-12f, DataType::Float16), 0.0f);
+}
+
+TEST(Fp16Fault, SignBitIs15) {
+    EXPECT_EQ(apply_bit_flip(1.0f, 15, DataType::Float16), -1.0f);
+}
+
+TEST(Fp16Fault, ExponentMsbExplodes) {
+    // fp16 exponent MSB (bit 14) of 1.0 (exp 01111) -> 11111 -> Inf.
+    EXPECT_TRUE(
+        std::isinf(apply_stuck_at(1.0f, 14, true, DataType::Float16)));
+}
+
+// ------------------------------------------------------------------- BF16 --
+
+TEST(Bf16Codec, TruncatedFp32Semantics) {
+    for (const float v : {1.0f, -2.0f, 0.5f, 128.0f})
+        EXPECT_EQ(quantize(v, DataType::BFloat16), v);
+}
+
+TEST(Bf16Codec, RoundsMantissa) {
+    // bf16 keeps 7 mantissa bits; 1 + 2^-9 rounds to 1 + 2^-8 or 1.
+    const float v = 1.0f + 0.001953125f;  // 1 + 2^-9, halfway
+    const float q = quantize(v, DataType::BFloat16);
+    EXPECT_TRUE(q == 1.0f || q == 1.0f + 0.00390625f);
+}
+
+TEST(Bf16Codec, HugeRangeSurvives) {
+    // 2^126 is exactly representable in bf16 (unlike 1e38, which rounds).
+    const float big = std::ldexp(1.0f, 126);
+    EXPECT_EQ(quantize(big, DataType::BFloat16), big);
+    EXPECT_NEAR(quantize(1e38f, DataType::BFloat16), 1e38f, 1e38f * 0.004f);
+}
+
+TEST(Bf16Fault, SignBitIs15) {
+    EXPECT_EQ(apply_bit_flip(2.0f, 15, DataType::BFloat16), -2.0f);
+}
+
+// ------------------------------------------------------------------- INT8 --
+
+TEST(Int8Codec, SymmetricQuantization) {
+    QuantParams qp{0.01f};
+    EXPECT_EQ(quantize(0.5f, DataType::Int8, qp), 0.5f);
+    EXPECT_EQ(quantize(-0.5f, DataType::Int8, qp), -0.5f);
+    EXPECT_EQ(quantize(0.004f, DataType::Int8, qp), 0.0f);   // rounds to 0
+    EXPECT_EQ(quantize(0.006f, DataType::Int8, qp), 0.01f);  // rounds to 1
+}
+
+TEST(Int8Codec, ClampsToPlusMinus127) {
+    QuantParams qp{0.01f};
+    EXPECT_EQ(quantize(10.0f, DataType::Int8, qp), 1.27f);
+    EXPECT_EQ(quantize(-10.0f, DataType::Int8, qp), -1.27f);
+}
+
+TEST(Int8Codec, RejectsBadScale) {
+    EXPECT_THROW(encode(1.0f, DataType::Int8, QuantParams{0.0f}),
+                 std::domain_error);
+    EXPECT_THROW(encode(1.0f, DataType::Int8, QuantParams{-1.0f}),
+                 std::domain_error);
+}
+
+TEST(Int8Fault, SignBitFlipIsTwosComplement) {
+    QuantParams qp{1.0f};
+    // +5 (0000_0101) with bit 7 flipped -> 1000_0101 = -123.
+    EXPECT_EQ(apply_bit_flip(5.0f, 7, DataType::Int8, qp), -123.0f);
+    // Bit 1 flip: 5 -> 7.
+    EXPECT_EQ(apply_bit_flip(5.0f, 1, DataType::Int8, qp), 7.0f);
+}
+
+TEST(Int8Fault, DistanceScalesWithBitPosition) {
+    QuantParams qp{0.5f};
+    double prev = 0.0;
+    for (int b = 0; b < 7; ++b) {
+        const double d = bit_flip_distance(3.0f, b, DataType::Int8, qp);
+        EXPECT_GT(d, prev) << "bit " << b;
+        prev = d;
+    }
+}
+
+TEST(ToString, Names) {
+    EXPECT_STREQ(to_string(DataType::Float32), "fp32");
+    EXPECT_STREQ(to_string(DataType::Float16), "fp16");
+    EXPECT_STREQ(to_string(DataType::BFloat16), "bf16");
+    EXPECT_STREQ(to_string(DataType::Int8), "int8");
+}
+
+}  // namespace
+}  // namespace statfi::fault

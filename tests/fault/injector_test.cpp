@@ -1,0 +1,198 @@
+// Tests for the weight injector: corruption semantics, restoration, masking,
+// and the RAII guard.
+
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::fault {
+namespace {
+
+nn::Network test_net() {
+    auto net = models::make_micronet();
+    stats::Rng rng(101);
+    nn::init_network_kaiming(net, rng);
+    return net;
+}
+
+Fault make_fault(int layer, std::uint64_t w, int bit, FaultModel m) {
+    Fault f;
+    f.layer = layer;
+    f.weight_index = w;
+    f.bit = bit;
+    f.model = m;
+    return f;
+}
+
+TEST(Injector, ApplyThenRestoreIsIdentity) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    const auto universe = FaultUniverse::stuck_at(net);
+    stats::Rng rng(5);
+
+    // Snapshot all weights.
+    std::vector<std::vector<float>> snapshot;
+    for (auto& ref : net.weight_layers())
+        snapshot.emplace_back(ref.weight->data(),
+                              ref.weight->data() + ref.weight->numel());
+
+    for (int trial = 0; trial < 2000; ++trial) {
+        const Fault f = universe.decode(rng.uniform_below(universe.total()));
+        const auto record = injector.apply(f);
+        injector.restore(f, record);
+    }
+    auto layers = net.weight_layers();
+    for (std::size_t l = 0; l < layers.size(); ++l)
+        for (std::size_t i = 0; i < layers[l].weight->numel(); ++i)
+            ASSERT_EQ((*layers[l].weight)[i], snapshot[l][i])
+                << "layer " << l << " weight " << i;
+}
+
+TEST(Injector, StuckAt1SetsTargetBit) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    const Fault f = make_fault(0, 3, 30, FaultModel::StuckAt1);
+    const auto record = injector.apply(f);
+    EXPECT_TRUE(bit_of(record.faulty, 30, DataType::Float32));
+    EXPECT_FALSE(record.masked);  // Kaiming weights have |w| < 2 -> bit30 = 0
+    injector.restore(f, record);
+}
+
+TEST(Injector, MaskedFaultLeavesValueUnchanged) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    // Kaiming weights: bit 30 is 0 -> stuck-at-0 there is masked.
+    const Fault f = make_fault(0, 3, 30, FaultModel::StuckAt0);
+    EXPECT_TRUE(injector.masked(f));
+    const auto record = injector.apply(f);
+    EXPECT_TRUE(record.masked);
+    EXPECT_EQ(record.faulty, record.original);
+    injector.restore(f, record);
+}
+
+TEST(Injector, MaskedConsistentWithBitValue) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    const auto universe = FaultUniverse::stuck_at(net);
+    stats::Rng rng(7);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const Fault f = universe.decode(rng.uniform_below(universe.total()));
+        const bool golden_bit =
+            bit_of(injector.golden_value(f), f.bit, DataType::Float32);
+        const bool expect_masked = (f.model == FaultModel::StuckAt0)
+                                       ? !golden_bit
+                                       : golden_bit;
+        EXPECT_EQ(injector.masked(f), expect_masked) << f.to_string();
+    }
+}
+
+TEST(Injector, ExactlyHalfOfStuckAtsAreMasked) {
+    // For every (weight, bit), exactly one of sa0/sa1 is masked.
+    auto net = test_net();
+    WeightInjector injector(net);
+    const auto universe = FaultUniverse::stuck_at(net);
+    std::uint64_t masked = 0;
+    const std::uint64_t probe = 20000;
+    for (std::uint64_t i = 0; i < probe; i += 2) {
+        const Fault sa0 = universe.decode(i);
+        const Fault sa1 = universe.decode(i + 1);
+        EXPECT_NE(injector.masked(sa0), injector.masked(sa1));
+        masked += injector.masked(sa0) + injector.masked(sa1);
+    }
+    EXPECT_EQ(masked, probe / 2);
+}
+
+TEST(Injector, ScopedGuardRestoresOnScopeExit) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    const Fault f = make_fault(1, 10, 30, FaultModel::StuckAt1);
+    const float before = (*net.weight_layers()[1].weight)[10];
+    {
+        WeightInjector::Scoped guard(injector, f);
+        EXPECT_NE((*net.weight_layers()[1].weight)[10], before);
+        EXPECT_FALSE(guard.record().masked);
+    }
+    EXPECT_EQ((*net.weight_layers()[1].weight)[10], before);
+}
+
+TEST(Injector, BitFlipFaultsNeverMasked) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    const auto universe = FaultUniverse::bit_flip(net);
+    stats::Rng rng(9);
+    for (int trial = 0; trial < 500; ++trial) {
+        const Fault f = universe.decode(rng.uniform_below(universe.total()));
+        EXPECT_FALSE(injector.masked(f));
+        const auto record = injector.apply(f);
+        EXPECT_NE(float_bits(record.faulty), float_bits(record.original));
+        injector.restore(f, record);
+    }
+}
+
+TEST(Injector, NodeOfLayerPointsAtWeightOwners) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    auto refs = net.weight_layers();
+    ASSERT_EQ(injector.layer_count(), 4);
+    for (int l = 0; l < 4; ++l)
+        EXPECT_EQ(injector.node_of_layer(l), refs[static_cast<std::size_t>(l)].node_id);
+    EXPECT_THROW(injector.node_of_layer(4), std::out_of_range);
+    EXPECT_THROW(injector.node_of_layer(-1), std::out_of_range);
+}
+
+TEST(Injector, RejectsOutOfRangeFaults) {
+    auto net = test_net();
+    WeightInjector injector(net);
+    EXPECT_THROW(injector.apply(make_fault(9, 0, 0, FaultModel::StuckAt0)),
+                 std::out_of_range);
+    EXPECT_THROW(injector.apply(make_fault(0, 1'000'000, 0, FaultModel::StuckAt0)),
+                 std::out_of_range);
+}
+
+TEST(Injector, Int8UsesPerLayerScales) {
+    auto net = test_net();
+    WeightInjector injector(net, DataType::Int8);
+    for (int l = 0; l < injector.layer_count(); ++l) {
+        const float scale = injector.quant_params(l).scale;
+        EXPECT_GT(scale, 0.0f);
+        // max|w| must quantize to +-127.
+        const float max_abs = net.weight_layers()[static_cast<std::size_t>(l)]
+                                  .weight->max_abs();
+        EXPECT_NEAR(max_abs / scale, 127.0f, 0.5f);
+    }
+}
+
+TEST(Injector, Int8GoldenValueIsQuantized) {
+    auto net = test_net();
+    WeightInjector injector(net, DataType::Int8);
+    Fault f = make_fault(0, 5, 3, FaultModel::StuckAt1);
+    const float golden = injector.golden_value(f);
+    const QuantParams qp = injector.quant_params(0);
+    EXPECT_EQ(golden, quantize((*net.weight_layers()[0].weight)[5],
+                               DataType::Int8, qp));
+}
+
+TEST(Injector, Fp16ApplyRestoreRoundTrip) {
+    auto net = test_net();
+    WeightInjector injector(net, DataType::Float16);
+    const auto universe = FaultUniverse::stuck_at(net, DataType::Float16);
+    EXPECT_EQ(universe.bits(), 16);
+    stats::Rng rng(11);
+    for (int trial = 0; trial < 500; ++trial) {
+        const Fault f = universe.decode(rng.uniform_below(universe.total()));
+        const float before = (*net.weight_layers()[static_cast<std::size_t>(
+            f.layer)].weight)[f.weight_index];
+        const auto record = injector.apply(f);
+        injector.restore(f, record);
+        EXPECT_EQ((*net.weight_layers()[static_cast<std::size_t>(f.layer)]
+                       .weight)[f.weight_index],
+                  before);
+    }
+}
+
+}  // namespace
+}  // namespace statfi::fault

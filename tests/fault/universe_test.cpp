@@ -1,0 +1,174 @@
+// Tests for fault-universe enumeration: population sizes (against the
+// paper's Table I/II), and the index <-> Fault bijection.
+
+#include "fault/universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/micronet.hpp"
+#include "models/mobilenetv2.hpp"
+#include "models/resnet_cifar.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::fault {
+namespace {
+
+TEST(Universe, MicroNetPopulations) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    EXPECT_EQ(u.layer_count(), 4);
+    EXPECT_EQ(u.bits(), 32);
+    EXPECT_EQ(u.polarities(), 2);
+    EXPECT_TRUE(u.permanent());
+    EXPECT_EQ(u.total(), models::kMicroNetWeightCount * 64);
+    // conv1: 3*6*9 = 162 weights.
+    EXPECT_EQ(u.layer(0).weight_count, 162u);
+    EXPECT_EQ(u.layer_population(0), 162u * 64);
+    EXPECT_EQ(u.bit_population(0), 162u * 2);
+}
+
+TEST(Universe, ResNet20MatchesTableI) {
+    auto net = models::make_resnet20();
+    const auto u = FaultUniverse::stuck_at(net);
+    ASSERT_EQ(u.layer_count(), 20);
+    // Table I per-layer parameter counts (layer 11 corrected to 9,216).
+    const std::uint64_t params[20] = {432,  2304, 2304, 2304, 2304, 2304, 2304,
+                                      4608, 9216, 9216, 9216, 9216, 9216, 18432,
+                                      36864, 36864, 36864, 36864, 36864, 640};
+    for (int l = 0; l < 20; ++l) {
+        EXPECT_EQ(u.layer(l).weight_count, params[l]) << "layer " << l;
+        EXPECT_EQ(u.layer_population(l), params[l] * 64) << "layer " << l;
+    }
+    EXPECT_EQ(u.total(), 268'336u * 64);  // 17,173,504
+}
+
+TEST(Universe, MobileNetV2MatchesTableII) {
+    auto net = models::make_mobilenetv2();
+    const auto u = FaultUniverse::stuck_at(net);
+    EXPECT_EQ(u.layer_count(), 54);
+    EXPECT_EQ(u.total(), 141'029'376u);
+}
+
+TEST(Universe, BitFlipUniverseHalvesPopulation) {
+    auto net = models::make_micronet();
+    const auto sa = FaultUniverse::stuck_at(net);
+    const auto bf = FaultUniverse::bit_flip(net);
+    EXPECT_EQ(bf.polarities(), 1);
+    EXPECT_FALSE(bf.permanent());
+    EXPECT_EQ(sa.total(), 2 * bf.total());
+}
+
+TEST(Universe, DecodeEncodeBijectionSweep) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    stats::Rng rng(17);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const std::uint64_t idx = rng.uniform_below(u.total());
+        const Fault f = u.decode(idx);
+        EXPECT_EQ(u.encode(f), idx);
+        EXPECT_GE(f.layer, 0);
+        EXPECT_LT(f.layer, u.layer_count());
+        EXPECT_GE(f.bit, 0);
+        EXPECT_LT(f.bit, 32);
+        EXPECT_LT(f.weight_index,
+                  u.layer(f.layer).weight_count);
+        EXPECT_TRUE(f.model == FaultModel::StuckAt0 ||
+                    f.model == FaultModel::StuckAt1);
+    }
+}
+
+TEST(Universe, FirstAndLastIndices) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    const Fault first = u.decode(0);
+    EXPECT_EQ(first.layer, 0);
+    EXPECT_EQ(first.bit, 0);
+    EXPECT_EQ(first.weight_index, 0u);
+    EXPECT_EQ(first.model, FaultModel::StuckAt0);
+    const Fault second = u.decode(1);
+    EXPECT_EQ(second.model, FaultModel::StuckAt1);
+    EXPECT_EQ(second.weight_index, 0u);
+
+    const Fault last = u.decode(u.total() - 1);
+    EXPECT_EQ(last.layer, u.layer_count() - 1);
+    EXPECT_EQ(last.bit, 31);
+    EXPECT_EQ(last.weight_index, u.layer(last.layer).weight_count - 1);
+    EXPECT_EQ(last.model, FaultModel::StuckAt1);
+}
+
+TEST(Universe, SubpopulationsAreContiguousAndComplete) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    std::uint64_t expected_offset = 0;
+    for (int l = 0; l < u.layer_count(); ++l)
+        for (int bit = 0; bit < u.bits(); ++bit) {
+            EXPECT_EQ(u.subpop_offset(l, bit), expected_offset);
+            // Every fault in the subpop decodes back to (l, bit).
+            const Fault lo = u.decode(expected_offset);
+            EXPECT_EQ(lo.layer, l);
+            EXPECT_EQ(lo.bit, bit);
+            const Fault hi = u.decode(expected_offset + u.bit_population(l) - 1);
+            EXPECT_EQ(hi.layer, l);
+            EXPECT_EQ(hi.bit, bit);
+            expected_offset += u.bit_population(l);
+        }
+    EXPECT_EQ(expected_offset, u.total());
+}
+
+TEST(Universe, DecodeInSubpopMatchesGlobalDecode) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    stats::Rng rng(23);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const int l = static_cast<int>(rng.uniform_below(
+            static_cast<std::uint64_t>(u.layer_count())));
+        const int bit = static_cast<int>(rng.uniform_below(32));
+        const std::uint64_t local = rng.uniform_below(u.bit_population(l));
+        const Fault a = u.decode_in_subpop(l, bit, local);
+        const Fault b = u.decode(u.subpop_offset(l, bit) + local);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Universe, BitFlipDecodeYieldsFlipModel) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::bit_flip(net);
+    const Fault f = u.decode(12345);
+    EXPECT_EQ(f.model, FaultModel::BitFlip);
+    EXPECT_EQ(u.encode(f), 12345u);
+}
+
+TEST(Universe, RejectsOutOfRange) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::stuck_at(net);
+    EXPECT_THROW(u.decode(u.total()), std::out_of_range);
+    EXPECT_THROW(u.layer_population(-1), std::out_of_range);
+    EXPECT_THROW(u.layer_population(4), std::out_of_range);
+    EXPECT_THROW(u.subpop_offset(0, 32), std::out_of_range);
+    EXPECT_THROW(u.decode_in_subpop(0, 0, u.bit_population(0)),
+                 std::out_of_range);
+}
+
+TEST(Universe, EncodeRejectsWrongModelFamily) {
+    auto net = models::make_micronet();
+    const auto sa = FaultUniverse::stuck_at(net);
+    const auto bf = FaultUniverse::bit_flip(net);
+    Fault flip;
+    flip.model = FaultModel::BitFlip;
+    EXPECT_THROW(sa.encode(flip), std::invalid_argument);
+    Fault stuck;
+    stuck.model = FaultModel::StuckAt0;
+    EXPECT_THROW(bf.encode(stuck), std::invalid_argument);
+}
+
+TEST(Fault, ToStringIsReadable) {
+    Fault f;
+    f.layer = 2;
+    f.weight_index = 17;
+    f.bit = 30;
+    f.model = FaultModel::StuckAt1;
+    EXPECT_EQ(f.to_string(), "L2.w17.b30.sa1");
+}
+
+}  // namespace
+}  // namespace statfi::fault

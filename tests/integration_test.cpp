@@ -1,0 +1,198 @@
+// End-to-end integration: train a classifier, run exhaustive ground truth,
+// then check that the paper's central claims hold on this substrate:
+//  * every statistical approach estimates the network-level critical rate
+//    within its error margin;
+//  * fine-grained approaches (layer-wise, data-unaware, data-aware) produce
+//    valid per-layer estimates;
+//  * the approaches order as published in FI cost.
+
+#include <gtest/gtest.h>
+
+#include "core/data_aware.hpp"
+#include "core/estimator.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "data/synthetic.hpp"
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+
+namespace statfi::core {
+namespace {
+
+/// Shared expensive setup: trained net + exhaustive ground truth.
+class IntegrationTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        net_ = new nn::Network(models::make_micronet());
+        stats::Rng rng(20230417);  // DATE'23 dates
+        nn::init_network_kaiming(*net_, rng);
+        data::SyntheticSpec spec;
+        spec.noise_stddev = 1.0;
+        auto train = data::make_synthetic(spec, 512, "train");
+        nn::train_classifier(*net_, train.images, train.labels, 5, 32, {}, rng);
+        eval_ = new data::Dataset(data::make_synthetic(spec, 6, "test"));
+        universe_ = new fault::FaultUniverse(fault::FaultUniverse::stuck_at(*net_));
+        executor_ = new CampaignExecutor(*net_, *eval_);
+        truth_ = new ExhaustiveOutcomes(executor_->run_exhaustive(*universe_));
+    }
+
+    static void TearDownTestSuite() {
+        delete truth_;
+        delete executor_;
+        delete universe_;
+        delete eval_;
+        delete net_;
+    }
+
+    static nn::Network* net_;
+    static data::Dataset* eval_;
+    static fault::FaultUniverse* universe_;
+    static CampaignExecutor* executor_;
+    static ExhaustiveOutcomes* truth_;
+};
+
+nn::Network* IntegrationTest::net_ = nullptr;
+data::Dataset* IntegrationTest::eval_ = nullptr;
+fault::FaultUniverse* IntegrationTest::universe_ = nullptr;
+CampaignExecutor* IntegrationTest::executor_ = nullptr;
+ExhaustiveOutcomes* IntegrationTest::truth_ = nullptr;
+
+TEST_F(IntegrationTest, GoldenNetworkIsFunctional) {
+    EXPECT_GT(executor_->golden_accuracy(), 0.6);
+}
+
+TEST_F(IntegrationTest, ExhaustiveCriticalRateIsSmallButNonzero) {
+    const double rate = truth_->network_critical_rate();
+    EXPECT_GT(rate, 0.001);
+    EXPECT_LT(rate, 0.25);
+}
+
+TEST_F(IntegrationTest, ApproachesOrderAsInTableIII) {
+    // Table III ordering of the granular approaches. (The paper's
+    // network-wise < data-aware additionally needs a large N, where the
+    // network-wise n saturates near 16.6k; on MicroNet's small population
+    // the FPC keeps network-wise at N/9 — see planner_test's
+    // PaperApproachOrdering for the full ordering at ResNet-20 scale.)
+    const stats::SampleSpec spec;
+    const auto crit = analyze_network(*net_);
+    const auto da =
+        plan_data_aware(*universe_, spec, crit).total_sample_size();
+    const auto lw = plan_layer_wise(*universe_, spec).total_sample_size();
+    const auto du = plan_data_unaware(*universe_, spec).total_sample_size();
+    EXPECT_LT(da, lw);
+    EXPECT_LT(lw, du);
+    EXPECT_LT(du, universe_->total());
+}
+
+TEST_F(IntegrationTest, NetworkWiseEstimateContainsTruth) {
+    const auto plan = plan_network_wise(*universe_, stats::SampleSpec{});
+    const auto result = replay(*universe_, plan, *truth_, stats::Rng(101));
+    const auto est = estimate_network(*universe_, result);
+    EXPECT_TRUE(est.contains(truth_->network_critical_rate()))
+        << "estimate " << est.rate << " +- " << est.margin << " vs truth "
+        << truth_->network_critical_rate();
+    EXPECT_LE(est.margin, 0.011);  // the 1% requirement (network level)
+}
+
+TEST_F(IntegrationTest, LayerWiseEstimatesContainTruthPerLayer) {
+    const auto plan = plan_layer_wise(*universe_, stats::SampleSpec{});
+    const auto result = replay(*universe_, plan, *truth_, stats::Rng(202));
+    const auto v = validate_against_exhaustive(*universe_, result, *truth_);
+    EXPECT_EQ(v.layers_contained, v.layers_total);
+    EXPECT_LT(v.avg_layer_margin, 0.01);
+}
+
+TEST_F(IntegrationTest, DataUnawareEstimatesContainTruthPerLayer) {
+    const auto plan = plan_data_unaware(*universe_, stats::SampleSpec{});
+    const auto result = replay(*universe_, plan, *truth_, stats::Rng(303));
+    const auto v = validate_against_exhaustive(*universe_, result, *truth_);
+    EXPECT_EQ(v.layers_contained, v.layers_total);
+    EXPECT_LT(v.avg_layer_margin, 0.01);
+    EXPECT_LT(v.max_layer_abs_error, 0.01);
+}
+
+TEST_F(IntegrationTest, DataAwareIsAccurateWithFarFewerFaults) {
+    const auto crit = analyze_network(*net_);
+    const auto plan = plan_data_aware(*universe_, stats::SampleSpec{}, crit);
+    const auto unaware_plan = plan_data_unaware(*universe_, stats::SampleSpec{});
+    EXPECT_LT(plan.total_sample_size(), unaware_plan.total_sample_size() / 5);
+
+    const auto result = replay(*universe_, plan, *truth_, stats::Rng(404));
+    const auto layers = estimate_layers(*universe_, result);
+    // At MicroNet scale most bit subpopulations get n = 1, so a single
+    // critical draw moves a layer estimate by 1/32 ~ 3.1%; the bound below
+    // allows one such excursion. (At paper scale the same subpopulations
+    // receive hundreds of samples; the planner regressions cover that.)
+    for (const auto& le : layers) {
+        const double truth_rate =
+            truth_->layer_critical_rate(*universe_, le.layer);
+        EXPECT_NEAR(le.estimate.rate, truth_rate, 0.05)
+            << "layer " << le.layer;
+    }
+    // The composed network estimate averages the per-layer noise away.
+    const auto network = estimate_network(*universe_, result);
+    EXPECT_NEAR(network.rate, truth_->network_critical_rate(), 0.01);
+}
+
+TEST_F(IntegrationTest, NetworkWiseResolvesLayersWorseThanLayerWise) {
+    // The paper's motivating claim (Fig. 7): a network-wise sample spreads
+    // its budget across layers, so its per-layer margins are strictly worse
+    // than the layer-wise ones. On MicroNet (only 4 layers) the gap is a
+    // factor of a few; at ResNet-20/MobileNetV2 scale it is catastrophic
+    // (27 faults in layer 0 — see planner_test and bench_fig7).
+    const auto nw_result = replay(
+        *universe_, plan_network_wise(*universe_, stats::SampleSpec{}), *truth_,
+        stats::Rng(505));
+    const auto lw_result = replay(
+        *universe_, plan_layer_wise(*universe_, stats::SampleSpec{}), *truth_,
+        stats::Rng(505));
+    EstimatorConfig config;
+    config.laplace_smoothing = true;  // honest margins for tiny samples
+    const auto nw_layers = estimate_layers(*universe_, nw_result, config);
+    const auto lw_layers = estimate_layers(*universe_, lw_result, config);
+    EXPECT_GT(average_layer_margin(nw_layers),
+              2.0 * average_layer_margin(lw_layers));
+    // Every individual layer is resolved worse.
+    for (std::size_t l = 0; l < nw_layers.size(); ++l)
+        EXPECT_GT(nw_layers[l].estimate.margin,
+                  lw_layers[l].estimate.margin)
+            << "layer " << l;
+}
+
+TEST_F(IntegrationTest, CoverageAcrossManySamples) {
+    // Fig. 6 methodology: repeated samples S0..S9; the exhaustive result
+    // must fall inside the error margin in nearly all of them. With 99%
+    // confidence intervals, 10/10 containment is expected (miss chance
+    // ~1% per sample); tolerate one miss.
+    const auto plan = plan_layer_wise(*universe_, stats::SampleSpec{});
+    int contained = 0;
+    for (int s = 0; s < 10; ++s) {
+        const auto result =
+            replay(*universe_, plan, *truth_, stats::Rng(7000 + s));
+        const auto est = estimate_network(*universe_, result);
+        contained += est.contains(truth_->network_critical_rate());
+    }
+    EXPECT_GE(contained, 9);
+}
+
+TEST_F(IntegrationTest, MaskedFaultsAreExactlyHalf) {
+    std::uint64_t masked = 0;
+    for (std::uint64_t i = 0; i < truth_->size(); ++i)
+        masked += truth_->at(i) == FaultOutcome::Masked;
+    EXPECT_EQ(masked, universe_->total() / 2);
+}
+
+TEST_F(IntegrationTest, ExponentMsbIsTheCriticalBit) {
+    // Fig. 3/4 narrative: criticality concentrates at the exponent MSB.
+    for (int l = 0; l < universe_->layer_count(); ++l) {
+        const double msb = truth_->subpop_critical_rate(*universe_, l, 30);
+        for (const int bit : {0, 5, 10, 15, 20}) {
+            EXPECT_GE(msb, truth_->subpop_critical_rate(*universe_, l, bit))
+                << "layer " << l << " bit " << bit;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace statfi::core

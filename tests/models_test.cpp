@@ -1,0 +1,177 @@
+// Architecture regressions: the models must reproduce the paper's layer
+// structures and parameter counts exactly (Table I / Table II).
+
+#include <gtest/gtest.h>
+
+#include "models/micronet.hpp"
+#include "models/mobilenetv2.hpp"
+#include "models/registry.hpp"
+#include "models/resnet_cifar.hpp"
+#include "nn/init.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::models {
+namespace {
+
+TEST(ResNet20, HasTwentyWeightLayers) {
+    auto net = make_resnet20();
+    EXPECT_EQ(net.weight_layers().size(), 20u);
+}
+
+TEST(ResNet20, PerLayerParameterCountsMatchTableI) {
+    auto net = make_resnet20();
+    const auto refs = net.weight_layers();
+    const std::uint64_t expected[20] = {432,  2304, 2304, 2304, 2304, 2304,
+                                        2304, 4608, 9216, 9216, 9216, 9216,
+                                        9216, 18432, 36864, 36864, 36864,
+                                        36864, 36864, 640};
+    for (std::size_t l = 0; l < 20; ++l)
+        EXPECT_EQ(refs[l].weight->numel(), expected[l]) << "layer " << l;
+    EXPECT_EQ(net.total_weight_count(), 268'336u);
+}
+
+TEST(ResNet20, FirstAndLastLayerNames) {
+    auto net = make_resnet20();
+    const auto refs = net.weight_layers();
+    EXPECT_EQ(refs.front().name, "conv1");
+    EXPECT_EQ(refs.back().name, "fc");
+}
+
+TEST(ResNet20, ForwardShape) {
+    auto net = make_resnet20();
+    const auto shapes = net.infer_shapes(Shape{2, 3, 32, 32});
+    EXPECT_EQ(shapes.back(), Shape({2, 10}));
+}
+
+TEST(ResNet20, SpatialPyramid) {
+    auto net = make_resnet20();
+    const auto shapes = net.infer_shapes(Shape{1, 3, 32, 32});
+    // Stage outputs: 16x32x32 -> 32x16x16 -> 64x8x8.
+    bool saw_16x16 = false, saw_8x8 = false;
+    for (const auto& s : shapes) {
+        if (s.rank() != 4) continue;
+        if (s[1] == 32 && s[2] == 16) saw_16x16 = true;
+        if (s[1] == 64 && s[2] == 8) saw_8x8 = true;
+    }
+    EXPECT_TRUE(saw_16x16);
+    EXPECT_TRUE(saw_8x8);
+}
+
+TEST(ResNet20, RunsForward) {
+    auto net = make_resnet20();
+    stats::Rng rng(1);
+    nn::init_network_kaiming(net, rng);
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    const Tensor out = net.forward(x);
+    EXPECT_EQ(out.shape(), Shape({1, 10}));
+    EXPECT_TRUE(out.all_finite());
+}
+
+TEST(ResNetFamily, DeeperVariants) {
+    auto r32 = make_resnet_cifar(5);
+    EXPECT_EQ(r32.weight_layers().size(), 32u);
+    auto r56 = make_resnet_cifar(9);
+    EXPECT_EQ(r56.weight_layers().size(), 56u);
+    EXPECT_THROW(make_resnet_cifar(0), std::invalid_argument);
+    EXPECT_THROW(make_resnet_cifar(3, 1), std::invalid_argument);
+}
+
+TEST(MobileNetV2, HasFiftyFourWeightLayers) {
+    auto net = make_mobilenetv2();
+    EXPECT_EQ(net.weight_layers().size(), 54u);
+}
+
+TEST(MobileNetV2, TotalParametersMatchTableII) {
+    auto net = make_mobilenetv2();
+    EXPECT_EQ(net.total_weight_count(), 2'203'584u);
+}
+
+TEST(MobileNetV2, StemHeadAndClassifierCounts) {
+    auto net = make_mobilenetv2();
+    const auto refs = net.weight_layers();
+    EXPECT_EQ(refs.front().name, "conv1");
+    EXPECT_EQ(refs.front().weight->numel(), 864u);  // 32*3*3*3
+    EXPECT_EQ(refs[refs.size() - 2].name, "conv2");
+    EXPECT_EQ(refs[refs.size() - 2].weight->numel(), 409'600u);  // 320*1280
+    EXPECT_EQ(refs.back().name, "fc");
+    EXPECT_EQ(refs.back().weight->numel(), 12'800u);  // 1280*10
+}
+
+TEST(MobileNetV2, ForwardShape) {
+    auto net = make_mobilenetv2();
+    const auto shapes = net.infer_shapes(Shape{1, 3, 32, 32});
+    EXPECT_EQ(shapes.back(), Shape({1, 10}));
+    // Three stride-2 stages: final spatial size 4x4 before pooling.
+    bool saw_final_4x4 = false;
+    for (const auto& s : shapes)
+        if (s.rank() == 4 && s[1] == 1280 && s[2] == 4) saw_final_4x4 = true;
+    EXPECT_TRUE(saw_final_4x4);
+}
+
+TEST(MobileNetV2, RunsForward) {
+    auto net = make_mobilenetv2();
+    stats::Rng rng(2);
+    nn::init_network_kaiming(net, rng);
+    Tensor x(Shape{1, 3, 32, 32}, 0.1f);
+    const Tensor out = net.forward(x);
+    EXPECT_EQ(out.shape(), Shape({1, 10}));
+    EXPECT_TRUE(out.all_finite());
+}
+
+TEST(MicroNet, WeightCountMatchesDocumentedConstant) {
+    auto net = make_micronet();
+    EXPECT_EQ(net.total_weight_count(), kMicroNetWeightCount);
+    const auto refs = net.weight_layers();
+    ASSERT_EQ(refs.size(), 4u);
+    EXPECT_EQ(refs[0].weight->numel(), 162u);
+    EXPECT_EQ(refs[1].weight->numel(), 540u);
+    EXPECT_EQ(refs[2].weight->numel(), 1260u);
+    EXPECT_EQ(refs[3].weight->numel(), 140u);
+}
+
+TEST(MicroNet, ForwardShape) {
+    auto net = make_micronet();
+    const auto shapes = net.infer_shapes(Shape{3, 3, 32, 32});
+    EXPECT_EQ(shapes.back(), Shape({3, 10}));
+}
+
+TEST(MicroNet, AllLayersSupportBackward) {
+    auto net = make_micronet();
+    for (int id = 0; id < net.node_count(); ++id)
+        EXPECT_TRUE(net.layer(id).supports_backward())
+            << net.node_name(id);
+}
+
+TEST(Registry, ListsAllModels) {
+    const auto models = available_models();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0].name, "micronet");
+}
+
+TEST(Registry, BuildsEveryRegisteredModel) {
+    for (const auto& info : available_models()) {
+        auto net = build_model(info.name);
+        EXPECT_GT(net.node_count(), 0) << info.name;
+        EXPECT_GT(net.total_weight_count(), 0u) << info.name;
+    }
+}
+
+TEST(Registry, CustomClassCount) {
+    auto net = build_model("micronet", 5);
+    const auto shapes = net.infer_shapes(Shape{1, 3, 32, 32});
+    EXPECT_EQ(shapes.back(), Shape({1, 5}));
+}
+
+TEST(Registry, UnknownNameThrows) {
+    EXPECT_THROW(build_model("vgg16"), std::invalid_argument);
+    EXPECT_THROW(model_info("vgg16"), std::invalid_argument);
+}
+
+TEST(Registry, InfoMatchesBuild) {
+    const auto info = model_info("resnet20");
+    EXPECT_EQ(info.input_shape, Shape({3, 32, 32}));
+    EXPECT_EQ(info.num_classes, 10);
+}
+
+}  // namespace
+}  // namespace statfi::models

@@ -1,0 +1,267 @@
+// Gradient checks: every backward() implementation is verified against
+// central finite differences, both per-layer and through a whole network.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/linear.hpp"
+#include "nn/network.hpp"
+#include "nn/pooling.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::nn {
+namespace {
+
+Tensor random_tensor(const Shape& shape, stats::Rng& rng, double scale = 1.0) {
+    Tensor t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, scale));
+    return t;
+}
+
+/// Scalar loss used for gradient checking: weighted sum of outputs (weights
+/// fixed pseudo-randomly so every output element participates).
+double weighted_sum(const Tensor& out) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        acc += static_cast<double>(out[i]) * (0.3 + 0.1 * static_cast<double>(i % 7));
+    return acc;
+}
+
+Tensor weighted_sum_grad(const Shape& shape) {
+    Tensor g(shape);
+    for (std::size_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(0.3 + 0.1 * static_cast<double>(i % 7));
+    return g;
+}
+
+/// Checks layer input- and weight-gradients against finite differences.
+void check_layer_gradients(Layer& layer, Tensor x, float eps = 1e-2f,
+                           float tol = 2e-2f) {
+    const Tensor* in = &x;
+    const std::span<const Tensor* const> inputs(&in, 1);
+    Tensor out;
+    layer.forward(inputs, out);
+    const Tensor grad_out = weighted_sum_grad(out.shape());
+
+    layer.zero_grad();
+    std::vector<Tensor> grad_inputs;
+    layer.backward(inputs, out, grad_out, grad_inputs);
+    ASSERT_EQ(grad_inputs.size(), 1u);
+
+    // Input gradients.
+    Tensor probe;
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const float saved = x[i];
+        x[i] = saved + eps;
+        layer.forward(inputs, probe);
+        const double up = weighted_sum(probe);
+        x[i] = saved - eps;
+        layer.forward(inputs, probe);
+        const double down = weighted_sum(probe);
+        x[i] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        ASSERT_NEAR(grad_inputs[0][i], numeric, tol) << "input elem " << i;
+    }
+
+    // Parameter gradients.
+    for (auto& p : layer.params()) {
+        Tensor& w = *p.value;
+        const Tensor& g = *p.grad;
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+            const float saved = w[i];
+            w[i] = saved + eps;
+            layer.forward(inputs, probe);
+            const double up = weighted_sum(probe);
+            w[i] = saved - eps;
+            layer.forward(inputs, probe);
+            const double down = weighted_sum(probe);
+            w[i] = saved;
+            const double numeric = (up - down) / (2.0 * eps);
+            ASSERT_NEAR(g[i], numeric, tol) << "param elem " << i;
+        }
+    }
+}
+
+TEST(Backward, Conv2dGradients) {
+    stats::Rng rng(21);
+    Conv2d conv(2, 3, 3, 1, 1);
+    conv.weight() = random_tensor(conv.weight().shape(), rng, 0.5);
+    check_layer_gradients(conv, random_tensor(Shape{2, 2, 5, 5}, rng));
+}
+
+TEST(Backward, Conv2dStridedGradients) {
+    stats::Rng rng(22);
+    Conv2d conv(2, 2, 3, 2, 1);
+    conv.weight() = random_tensor(conv.weight().shape(), rng, 0.5);
+    check_layer_gradients(conv, random_tensor(Shape{1, 2, 6, 6}, rng));
+}
+
+TEST(Backward, PointwiseConvGradients) {
+    stats::Rng rng(23);
+    Conv2d conv(3, 4, 1, 1, 0);
+    conv.weight() = random_tensor(conv.weight().shape(), rng, 0.5);
+    check_layer_gradients(conv, random_tensor(Shape{2, 3, 4, 4}, rng));
+}
+
+TEST(Backward, DepthwiseConvGradients) {
+    stats::Rng rng(24);
+    DepthwiseConv2d dw(3, 3, 1, 1);
+    dw.weight() = random_tensor(dw.weight().shape(), rng, 0.5);
+    check_layer_gradients(dw, random_tensor(Shape{1, 3, 5, 5}, rng));
+}
+
+TEST(Backward, DepthwiseStridedGradients) {
+    stats::Rng rng(25);
+    DepthwiseConv2d dw(2, 3, 2, 1);
+    dw.weight() = random_tensor(dw.weight().shape(), rng, 0.5);
+    check_layer_gradients(dw, random_tensor(Shape{1, 2, 6, 6}, rng));
+}
+
+TEST(Backward, LinearGradients) {
+    stats::Rng rng(26);
+    Linear fc(6, 4, /*with_bias=*/true);
+    fc.weight() = random_tensor(fc.weight().shape(), rng, 0.5);
+    check_layer_gradients(fc, random_tensor(Shape{3, 6}, rng));
+}
+
+TEST(Backward, ReLUGradients) {
+    stats::Rng rng(27);
+    ReLU relu;
+    // Keep activations away from the kink where finite differences lie.
+    Tensor x = random_tensor(Shape{2, 3, 4, 4}, rng);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+    check_layer_gradients(relu, x);
+}
+
+TEST(Backward, ReLU6Gradients) {
+    stats::Rng rng(28);
+    ReLU6 relu6;
+    Tensor x = random_tensor(Shape{1, 2, 3, 3}, rng, 3.0);
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+        if (std::fabs(x[i] - 6.0f) < 0.05f) x[i] = 5.0f;
+    }
+    check_layer_gradients(relu6, x);
+}
+
+TEST(Backward, AvgPoolGradients) {
+    stats::Rng rng(29);
+    AvgPool2d pool(2);
+    check_layer_gradients(pool, random_tensor(Shape{1, 2, 4, 4}, rng));
+}
+
+TEST(Backward, MaxPoolGradients) {
+    stats::Rng rng(30);
+    MaxPool2d pool(2);
+    check_layer_gradients(pool, random_tensor(Shape{1, 2, 4, 4}, rng));
+}
+
+TEST(Backward, GlobalAvgPoolGradients) {
+    stats::Rng rng(31);
+    GlobalAvgPool gap;
+    check_layer_gradients(gap, random_tensor(Shape{2, 3, 3, 3}, rng));
+}
+
+TEST(Backward, FlattenGradients) {
+    stats::Rng rng(32);
+    Flatten flat;
+    check_layer_gradients(flat, random_tensor(Shape{2, 2, 2, 2}, rng));
+}
+
+TEST(Backward, PadShortcutGradients) {
+    stats::Rng rng(33);
+    PadShortcut sc(2, 4, 2);
+    check_layer_gradients(sc, random_tensor(Shape{1, 2, 4, 4}, rng));
+}
+
+TEST(Backward, AddPropagatesToBothInputs) {
+    Add add;
+    Tensor a(Shape{2, 2}, 1.0f), b(Shape{2, 2}, 2.0f);
+    const Tensor* ins[2] = {&a, &b};
+    Tensor out;
+    add.forward(std::span<const Tensor* const>(ins, 2), out);
+    Tensor grad_out(Shape{2, 2});
+    for (std::size_t i = 0; i < 4; ++i) grad_out[i] = static_cast<float>(i);
+    std::vector<Tensor> grads;
+    add.backward(std::span<const Tensor* const>(ins, 2), out, grad_out, grads);
+    ASSERT_EQ(grads.size(), 2u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(grads[0][i], grad_out[i]);
+        EXPECT_FLOAT_EQ(grads[1][i], grad_out[i]);
+    }
+}
+
+TEST(Backward, UnsupportedLayerThrows) {
+    Softmax sm;
+    Tensor x(Shape{1, 3}, 0.5f);
+    const Tensor* in = &x;
+    Tensor out;
+    sm.forward(std::span<const Tensor* const>(&in, 1), out);
+    std::vector<Tensor> grads;
+    EXPECT_THROW(
+        sm.backward(std::span<const Tensor* const>(&in, 1), out, out, grads),
+        std::logic_error);
+}
+
+TEST(Backward, NetworkEndToEndGradientCheck) {
+    // A residual micro-network: checks gradient accumulation across branch
+    // points and through every layer kind the trainer touches.
+    stats::Rng rng(34);
+    Network net;
+    int id = net.add("conv1", std::make_unique<Conv2d>(2, 3, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("relu1", std::make_unique<ReLU>(), {id});
+    const int branch = id;
+    id = net.add("conv2", std::make_unique<Conv2d>(3, 3, 3, 1, 1), {id});
+    id = net.add("add", std::make_unique<Add>(), {id, branch});
+    id = net.add("gap", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(3, 2), {id});
+    for (auto& ref : net.weight_layers()) {
+        auto stream = rng.fork(ref.name);
+        *ref.weight = random_tensor(ref.weight->shape(), stream, 0.4);
+    }
+
+    Tensor x = random_tensor(Shape{1, 2, 5, 5}, rng);
+    // Avoid ReLU kinks for clean finite differences.
+    std::vector<Tensor> acts;
+    net.forward_all(x, acts);
+
+    const Tensor grad_out = weighted_sum_grad(acts.back().shape());
+    net.zero_grad();
+    net.backward(x, acts, grad_out);
+
+    const float eps = 1e-2f;
+    for (auto& p : net.params()) {
+        Tensor& w = *p.value;
+        const Tensor& g = *p.grad;
+        // Spot-check a handful of weights per tensor to keep runtime sane.
+        for (std::size_t i = 0; i < w.numel(); i += std::max<std::size_t>(1, w.numel() / 7)) {
+            const float saved = w[i];
+            w[i] = saved + eps;
+            const double up = weighted_sum(net.forward(x));
+            w[i] = saved - eps;
+            const double down = weighted_sum(net.forward(x));
+            w[i] = saved;
+            EXPECT_NEAR(g[i], (up - down) / (2.0 * eps), 5e-2) << "elem " << i;
+        }
+    }
+}
+
+TEST(Backward, NetworkRejectsWrongCacheSize) {
+    stats::Rng rng(35);
+    Network net;
+    net.add("relu", std::make_unique<ReLU>());
+    Tensor x(Shape{1, 4}, 1.0f);
+    std::vector<Tensor> wrong;
+    EXPECT_THROW(net.backward(x, wrong, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statfi::nn

@@ -1,0 +1,415 @@
+// Layer forward-pass tests: each optimized implementation is checked against
+// an obviously-correct naive reference over a parameter sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::nn {
+namespace {
+
+Tensor random_tensor(const Shape& shape, stats::Rng& rng) {
+    Tensor t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    return t;
+}
+
+/// Naive direct convolution, the reference for the im2col/GEMM path.
+Tensor conv_reference(const Tensor& x, const Tensor& w, std::int64_t stride,
+                      std::int64_t padding) {
+    const auto& xd = x.shape().dims();
+    const auto& wd = w.shape().dims();
+    const std::int64_t N = xd[0], Cin = xd[1], H = xd[2], W = xd[3];
+    const std::int64_t Cout = wd[0], K = wd[2];
+    const std::int64_t OH = (H + 2 * padding - K) / stride + 1;
+    const std::int64_t OW = (W + 2 * padding - K) / stride + 1;
+    Tensor out(Shape{N, Cout, OH, OW});
+    for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t co = 0; co < Cout; ++co)
+            for (std::int64_t y = 0; y < OH; ++y)
+                for (std::int64_t xx = 0; xx < OW; ++xx) {
+                    double acc = 0.0;
+                    for (std::int64_t ci = 0; ci < Cin; ++ci)
+                        for (std::int64_t kh = 0; kh < K; ++kh)
+                            for (std::int64_t kw = 0; kw < K; ++kw) {
+                                const std::int64_t iy = y * stride + kh - padding;
+                                const std::int64_t ix = xx * stride + kw - padding;
+                                if (iy < 0 || iy >= H || ix < 0 || ix >= W)
+                                    continue;
+                                acc += static_cast<double>(x.at4(n, ci, iy, ix)) *
+                                       w.at4(co, ci, kh, kw);
+                            }
+                    out.at4(n, co, y, xx) = static_cast<float>(acc);
+                }
+    return out;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a[i], b[i], tol) << "element " << i;
+}
+
+struct ConvCase {
+    std::int64_t batch, cin, cout, hw, kernel, stride, padding;
+};
+
+class Conv2dSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dSweep, MatchesNaiveReference) {
+    const auto c = GetParam();
+    stats::Rng rng(c.cin * 1000 + c.kernel * 100 + c.stride * 10 + c.padding);
+    Conv2d conv(c.cin, c.cout, c.kernel, c.stride, c.padding);
+    conv.weight() = random_tensor(conv.weight().shape(), rng);
+    const Tensor x = random_tensor(Shape{c.batch, c.cin, c.hw, c.hw}, rng);
+    Tensor out;
+    const Tensor* in = &x;
+    conv.forward(std::span<const Tensor* const>(&in, 1), out);
+    expect_close(out, conv_reference(x, conv.weight(), c.stride, c.padding));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv2dSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 5, 1, 1, 0},   // pointwise minimal
+                      ConvCase{2, 3, 4, 8, 3, 1, 1},   // the CNN stem shape
+                      ConvCase{1, 4, 6, 9, 3, 2, 1},   // strided
+                      ConvCase{1, 2, 2, 7, 5, 1, 2},   // big kernel
+                      ConvCase{3, 8, 4, 6, 1, 1, 0},   // pointwise fast path
+                      ConvCase{1, 3, 5, 10, 3, 2, 0},  // stride no pad
+                      ConvCase{2, 6, 3, 4, 3, 1, 1}));
+
+TEST(Conv2d, OutputShape) {
+    Conv2d conv(3, 16, 3, 1, 1);
+    const Shape in{4, 3, 32, 32};
+    EXPECT_EQ(conv.output_shape(std::array{in}), Shape({4, 16, 32, 32}));
+}
+
+TEST(Conv2d, StridedOutputShape) {
+    Conv2d conv(16, 32, 3, 2, 1);
+    const Shape in{1, 16, 32, 32};
+    EXPECT_EQ(conv.output_shape(std::array{in}), Shape({1, 32, 16, 16}));
+}
+
+TEST(Conv2d, RejectsChannelMismatch) {
+    Conv2d conv(3, 8, 3, 1, 1);
+    const Shape in{1, 4, 8, 8};
+    EXPECT_THROW(conv.output_shape(std::array{in}), std::invalid_argument);
+}
+
+TEST(Conv2d, RejectsInvalidGeometry) {
+    EXPECT_THROW(Conv2d(0, 1, 3), std::invalid_argument);
+    EXPECT_THROW(Conv2d(1, 1, 0), std::invalid_argument);
+    EXPECT_THROW(Conv2d(1, 1, 3, 0), std::invalid_argument);
+    EXPECT_THROW(Conv2d(1, 1, 3, 1, -1), std::invalid_argument);
+}
+
+TEST(Conv2d, ExposesInjectableWeight) {
+    Conv2d conv(3, 16, 3);
+    EXPECT_TRUE(conv.has_injectable_weight());
+    EXPECT_EQ(conv.injectable_weight()->numel(), 3u * 16u * 9u);
+    EXPECT_EQ(conv.injectable_weight(), &conv.weight());
+}
+
+struct DwCase {
+    std::int64_t batch, channels, hw, kernel, stride, padding;
+};
+
+class DepthwiseSweep : public ::testing::TestWithParam<DwCase> {};
+
+TEST_P(DepthwiseSweep, MatchesGroupedNaiveReference) {
+    const auto c = GetParam();
+    stats::Rng rng(c.channels * 7 + c.stride);
+    DepthwiseConv2d dw(c.channels, c.kernel, c.stride, c.padding);
+    dw.weight() = random_tensor(dw.weight().shape(), rng);
+    const Tensor x = random_tensor(Shape{c.batch, c.channels, c.hw, c.hw}, rng);
+    Tensor out;
+    const Tensor* in = &x;
+    dw.forward(std::span<const Tensor* const>(&in, 1), out);
+
+    // Reference: per-channel 1-in-1-out convolution.
+    for (std::int64_t ch = 0; ch < c.channels; ++ch) {
+        Tensor xc(Shape{c.batch, 1, c.hw, c.hw});
+        for (std::int64_t n = 0; n < c.batch; ++n)
+            for (std::int64_t y = 0; y < c.hw; ++y)
+                for (std::int64_t xx = 0; xx < c.hw; ++xx)
+                    xc.at4(n, 0, y, xx) = x.at4(n, ch, y, xx);
+        Tensor wc(Shape{1, 1, c.kernel, c.kernel});
+        for (std::int64_t kh = 0; kh < c.kernel; ++kh)
+            for (std::int64_t kw = 0; kw < c.kernel; ++kw)
+                wc.at4(0, 0, kh, kw) = dw.weight().at4(ch, 0, kh, kw);
+        const Tensor ref = conv_reference(xc, wc, c.stride, c.padding);
+        for (std::int64_t n = 0; n < c.batch; ++n)
+            for (std::int64_t y = 0; y < ref.shape()[2]; ++y)
+                for (std::int64_t xx = 0; xx < ref.shape()[3]; ++xx)
+                    ASSERT_NEAR(out.at4(n, ch, y, xx), ref.at4(n, 0, y, xx),
+                                1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DepthwiseSweep,
+                         ::testing::Values(DwCase{1, 3, 6, 3, 1, 1},
+                                           DwCase{2, 4, 8, 3, 2, 1},
+                                           DwCase{1, 2, 5, 3, 1, 0},
+                                           DwCase{1, 5, 7, 5, 1, 2}));
+
+TEST(Linear, MatchesManualComputation) {
+    Linear fc(3, 2);
+    // W = [[1,2,3],[4,5,6]]
+    for (std::size_t i = 0; i < 6; ++i)
+        fc.weight()[i] = static_cast<float>(i + 1);
+    Tensor x(Shape{1, 3});
+    x[0] = 1.0f;
+    x[1] = 0.5f;
+    x[2] = -1.0f;
+    Tensor out;
+    const Tensor* in = &x;
+    fc.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 1.0f + 1.0f - 3.0f);          // 1*1+2*.5+3*-1
+    EXPECT_FLOAT_EQ(out[1], 4.0f + 2.5f - 6.0f);
+}
+
+TEST(Linear, BiasApplied) {
+    Linear fc(2, 2, /*with_bias=*/true);
+    fc.weight().zero();
+    fc.bias()[0] = 1.5f;
+    fc.bias()[1] = -2.0f;
+    Tensor x(Shape{1, 2}, 1.0f);
+    Tensor out;
+    const Tensor* in = &x;
+    fc.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 1.5f);
+    EXPECT_FLOAT_EQ(out[1], -2.0f);
+}
+
+TEST(Linear, BatchedRows) {
+    stats::Rng rng(4);
+    Linear fc(5, 3);
+    fc.weight() = random_tensor(fc.weight().shape(), rng);
+    const Tensor x = random_tensor(Shape{4, 5}, rng);
+    Tensor out;
+    const Tensor* in = &x;
+    fc.forward(std::span<const Tensor* const>(&in, 1), out);
+    for (std::int64_t n = 0; n < 4; ++n)
+        for (std::int64_t o = 0; o < 3; ++o) {
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < 5; ++i)
+                acc += static_cast<double>(x.at2(n, i)) * fc.weight().at2(o, i);
+            EXPECT_NEAR(out.at2(n, o), acc, 1e-4);
+        }
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+    Linear fc(3, 2);
+    const Shape bad{1, 4};
+    EXPECT_THROW(fc.output_shape(std::array{bad}), std::invalid_argument);
+}
+
+TEST(BatchNorm, IdentityByDefault) {
+    stats::Rng rng(5);
+    BatchNorm2d bn(3);
+    const Tensor x = random_tensor(Shape{2, 3, 4, 4}, rng);
+    Tensor out;
+    const Tensor* in = &x;
+    bn.forward(std::span<const Tensor* const>(&in, 1), out);
+    expect_close(out, x);
+}
+
+TEST(BatchNorm, FoldsStatistics) {
+    BatchNorm2d bn(1, /*eps=*/0.0f);
+    Tensor gamma(Shape{1}, 2.0f), beta(Shape{1}, 1.0f);
+    Tensor mean(Shape{1}, 3.0f), var(Shape{1}, 4.0f);
+    bn.set_statistics(gamma, beta, mean, var);
+    Tensor x(Shape{1, 1, 1, 2});
+    x[0] = 3.0f;  // (3-3)/2*2+1 = 1
+    x[1] = 5.0f;  // (5-3)/2*2+1 = 3
+    Tensor out;
+    const Tensor* in = &x;
+    bn.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 1.0f);
+    EXPECT_FLOAT_EQ(out[1], 3.0f);
+}
+
+TEST(BatchNorm, RejectsSizeMismatch) {
+    BatchNorm2d bn(2);
+    Tensor one(Shape{1}, 1.0f);
+    EXPECT_THROW(bn.set_statistics(one, one, one, one), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+    ReLU relu;
+    Tensor x(Shape{4});
+    x[0] = -1.0f;
+    x[1] = 0.0f;
+    x[2] = 2.0f;
+    x[3] = -0.1f;
+    Tensor out;
+    const Tensor* in = &x;
+    relu.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_FLOAT_EQ(out[2], 2.0f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLU6, ClampsBothSides) {
+    ReLU6 relu6;
+    Tensor x(Shape{3});
+    x[0] = -2.0f;
+    x[1] = 3.0f;
+    x[2] = 9.0f;
+    Tensor out;
+    const Tensor* in = &x;
+    relu6.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 3.0f);
+    EXPECT_FLOAT_EQ(out[2], 6.0f);
+}
+
+TEST(AvgPool, TwoByTwo) {
+    AvgPool2d pool(2);
+    Tensor x(Shape{1, 1, 2, 2});
+    x[0] = 1.0f;
+    x[1] = 2.0f;
+    x[2] = 3.0f;
+    x[3] = 6.0f;
+    Tensor out;
+    const Tensor* in = &x;
+    pool.forward(std::span<const Tensor* const>(&in, 1), out);
+    ASSERT_EQ(out.shape(), Shape({1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(AvgPool, DefaultStrideEqualsKernel) {
+    AvgPool2d pool(2);
+    const Shape in{1, 3, 8, 8};
+    EXPECT_EQ(pool.output_shape(std::array{in}), Shape({1, 3, 4, 4}));
+}
+
+TEST(MaxPool, PicksMaximum) {
+    MaxPool2d pool(2);
+    Tensor x(Shape{1, 1, 2, 2});
+    x[0] = 1.0f;
+    x[1] = -2.0f;
+    x[2] = 0.5f;
+    x[3] = 0.9f;
+    Tensor out;
+    const Tensor* in = &x;
+    pool.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_FLOAT_EQ(out[0], 1.0f);
+}
+
+TEST(GlobalAvgPool, AveragesPlane) {
+    GlobalAvgPool gap;
+    Tensor x(Shape{1, 2, 2, 2});
+    for (std::size_t i = 0; i < 4; ++i) x[i] = 2.0f;       // channel 0
+    for (std::size_t i = 4; i < 8; ++i) x[i] = static_cast<float>(i);  // 4..7
+    Tensor out;
+    const Tensor* in = &x;
+    gap.forward(std::span<const Tensor* const>(&in, 1), out);
+    ASSERT_EQ(out.shape(), Shape({1, 2}));
+    EXPECT_FLOAT_EQ(out[0], 2.0f);
+    EXPECT_FLOAT_EQ(out[1], 5.5f);
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+    Flatten flat;
+    Tensor x(Shape{2, 3, 2, 2});
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+    Tensor out;
+    const Tensor* in = &x;
+    flat.forward(std::span<const Tensor* const>(&in, 1), out);
+    ASSERT_EQ(out.shape(), Shape({2, 12}));
+    EXPECT_FLOAT_EQ(out[13], 13.0f);
+}
+
+TEST(Add, SumsElementwise) {
+    Add add;
+    Tensor a(Shape{2, 2}, 1.0f), b(Shape{2, 2}, 2.0f);
+    Tensor out;
+    const Tensor* ins[2] = {&a, &b};
+    add.forward(std::span<const Tensor* const>(ins, 2), out);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 3.0f);
+}
+
+TEST(Add, RejectsShapeMismatch) {
+    Add add;
+    const Shape a{2, 2}, b{2, 3};
+    const std::array shapes{a, b};
+    EXPECT_THROW(add.output_shape(shapes), std::invalid_argument);
+}
+
+TEST(PadShortcut, SubsamplesAndZeroPadsChannels) {
+    PadShortcut sc(2, 4, 2);
+    Tensor x(Shape{1, 2, 4, 4});
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i + 1);
+    Tensor out;
+    const Tensor* in = &x;
+    sc.forward(std::span<const Tensor* const>(&in, 1), out);
+    ASSERT_EQ(out.shape(), Shape({1, 4, 2, 2}));
+    EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), x.at4(0, 0, 0, 0));
+    EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), x.at4(0, 0, 2, 2));
+    EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 1), x.at4(0, 1, 0, 2));
+    // Padded channels are zero.
+    EXPECT_FLOAT_EQ(out.at4(0, 2, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at4(0, 3, 1, 1), 0.0f);
+}
+
+TEST(PadShortcut, HasNoInjectableWeights) {
+    PadShortcut sc(16, 32, 2);
+    EXPECT_FALSE(sc.has_injectable_weight());
+    EXPECT_EQ(sc.injectable_weight(), nullptr);
+}
+
+TEST(Softmax, RowsSumToOne) {
+    Softmax sm;
+    stats::Rng rng(9);
+    const Tensor x = random_tensor(Shape{3, 5}, rng);
+    Tensor out;
+    const Tensor* in = &x;
+    sm.forward(std::span<const Tensor* const>(&in, 1), out);
+    for (std::int64_t n = 0; n < 3; ++n) {
+        double sum = 0.0;
+        for (std::int64_t f = 0; f < 5; ++f) {
+            EXPECT_GT(out.at2(n, f), 0.0f);
+            sum += out.at2(n, f);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+    Softmax sm;
+    Tensor x(Shape{1, 3});
+    x[0] = 1000.0f;
+    x[1] = 1001.0f;
+    x[2] = 999.0f;
+    Tensor out;
+    const Tensor* in = &x;
+    sm.forward(std::span<const Tensor* const>(&in, 1), out);
+    EXPECT_TRUE(out.all_finite());
+    EXPECT_GT(out[1], out[0]);
+    EXPECT_GT(out[0], out[2]);
+}
+
+TEST(Layers, CloneIsDeep) {
+    stats::Rng rng(10);
+    Conv2d conv(2, 3, 3, 1, 1);
+    conv.weight() = random_tensor(conv.weight().shape(), rng);
+    auto copy = conv.clone();
+    auto* cloned = dynamic_cast<Conv2d*>(copy.get());
+    ASSERT_NE(cloned, nullptr);
+    cloned->weight()[0] += 1.0f;
+    EXPECT_NE(conv.weight()[0], cloned->weight()[0]);
+}
+
+}  // namespace
+}  // namespace statfi::nn

@@ -1,0 +1,201 @@
+// Tests for the Network DAG container — especially the partial re-execution
+// equivalence that fault campaigns rely on.
+
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::nn {
+namespace {
+
+Tensor random_tensor(const Shape& shape, stats::Rng& rng) {
+    Tensor t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    return t;
+}
+
+/// A small residual network exercising multi-input nodes.
+Network make_residual_net(stats::Rng& rng) {
+    Network net;
+    int id = net.add("conv1", std::make_unique<Conv2d>(3, 4, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("relu1", std::make_unique<ReLU>(), {id});
+    const int branch_point = id;
+    id = net.add("conv2", std::make_unique<Conv2d>(4, 4, 3, 1, 1), {id});
+    id = net.add("add", std::make_unique<Add>(), {id, branch_point});
+    id = net.add("relu2", std::make_unique<ReLU>(), {id});
+    id = net.add("gap", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(4, 3), {id});
+    init_network_kaiming(net, rng);
+    return net;
+}
+
+TEST(Network, AddEnforcesTopologicalOrder) {
+    Network net;
+    EXPECT_THROW(net.add("bad", std::make_unique<ReLU>(), {0}),
+                 std::invalid_argument);
+    const int id = net.add("relu", std::make_unique<ReLU>(), {Network::kInputId});
+    EXPECT_EQ(id, 0);
+    EXPECT_THROW(net.add("self", std::make_unique<ReLU>(), {1}),
+                 std::invalid_argument);
+    EXPECT_THROW(net.add("null", nullptr, {0}), std::invalid_argument);
+}
+
+TEST(Network, AddChainsImplicitly) {
+    Network net;
+    net.add("a", std::make_unique<ReLU>());
+    net.add("b", std::make_unique<ReLU>());
+    EXPECT_EQ(net.node_inputs(0), std::vector<int>{Network::kInputId});
+    EXPECT_EQ(net.node_inputs(1), std::vector<int>{0});
+}
+
+TEST(Network, InferShapesPropagates) {
+    stats::Rng rng(1);
+    Network net = make_residual_net(rng);
+    const auto shapes = net.infer_shapes(Shape{2, 3, 8, 8});
+    EXPECT_EQ(shapes.front(), Shape({2, 4, 8, 8}));
+    EXPECT_EQ(shapes.back(), Shape({2, 3}));
+}
+
+TEST(Network, InferShapesNamesOffendingNode) {
+    Network net;
+    net.add("conv1", std::make_unique<Conv2d>(3, 4, 3), {Network::kInputId});
+    try {
+        net.infer_shapes(Shape{1, 5, 8, 8});
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("conv1"), std::string::npos);
+    }
+}
+
+TEST(Network, ForwardMatchesForwardAll) {
+    stats::Rng rng(2);
+    Network net = make_residual_net(rng);
+    const Tensor x = random_tensor(Shape{2, 3, 8, 8}, rng);
+    const Tensor direct = net.forward(x);
+    std::vector<Tensor> acts;
+    net.forward_all(x, acts);
+    ASSERT_EQ(acts.size(), static_cast<std::size_t>(net.node_count()));
+    for (std::size_t i = 0; i < direct.numel(); ++i)
+        EXPECT_FLOAT_EQ(direct[i], acts.back()[i]);
+}
+
+TEST(Network, ForwardFromEveryNodeMatchesFullRecompute) {
+    // THE invariant behind fast fault campaigns: after perturbing node k's
+    // weights, recomputing from k with golden upstream activations must equal
+    // a full forward pass.
+    stats::Rng rng(3);
+    Network net = make_residual_net(rng);
+    const Tensor x = random_tensor(Shape{1, 3, 8, 8}, rng);
+    std::vector<Tensor> golden;
+    net.forward_all(x, golden);
+
+    auto weight_layers = net.weight_layers();
+    for (const auto& ref : weight_layers) {
+        Tensor& w = *net.layer(ref.node_id).injectable_weight();
+        const float saved = w[0];
+        w[0] = saved + 10.0f;  // perturb
+
+        const Tensor full = net.forward(x);
+        std::vector<Tensor> scratch;
+        const Tensor& partial = net.forward_from(ref.node_id, x, golden, scratch);
+        ASSERT_EQ(full.shape(), partial.shape());
+        for (std::size_t i = 0; i < full.numel(); ++i)
+            ASSERT_FLOAT_EQ(full[i], partial[i])
+                << "node " << ref.name << " elem " << i;
+
+        w[0] = saved;
+    }
+}
+
+TEST(Network, ForwardFromZeroEqualsFullForward) {
+    stats::Rng rng(4);
+    Network net = make_residual_net(rng);
+    const Tensor x = random_tensor(Shape{1, 3, 8, 8}, rng);
+    std::vector<Tensor> golden;
+    net.forward_all(x, golden);
+    std::vector<Tensor> scratch;
+    const Tensor& out = net.forward_from(0, x, golden, scratch);
+    const Tensor full = net.forward(x);
+    for (std::size_t i = 0; i < full.numel(); ++i)
+        EXPECT_FLOAT_EQ(out[i], full[i]);
+}
+
+TEST(Network, ForwardFromPastEndReturnsGolden) {
+    stats::Rng rng(5);
+    Network net = make_residual_net(rng);
+    const Tensor x = random_tensor(Shape{1, 3, 8, 8}, rng);
+    std::vector<Tensor> golden;
+    net.forward_all(x, golden);
+    std::vector<Tensor> scratch;
+    const Tensor& out = net.forward_from(net.node_count(), x, golden, scratch);
+    EXPECT_EQ(&out, &golden.back());
+}
+
+TEST(Network, ForwardFromRejectsBadCache) {
+    stats::Rng rng(6);
+    Network net = make_residual_net(rng);
+    const Tensor x = random_tensor(Shape{1, 3, 8, 8}, rng);
+    std::vector<Tensor> wrong(2), scratch;
+    EXPECT_THROW(net.forward_from(0, x, wrong, scratch), std::invalid_argument);
+}
+
+TEST(Network, CloneIsIndependent) {
+    stats::Rng rng(7);
+    Network net = make_residual_net(rng);
+    Network copy = net.clone();
+    const Tensor x = random_tensor(Shape{1, 3, 8, 8}, rng);
+    const Tensor before = net.forward(x);
+
+    // Corrupt the clone; the original must not change.
+    (*copy.weight_layers()[0].weight)[0] += 100.0f;
+    const Tensor after = net.forward(x);
+    for (std::size_t i = 0; i < before.numel(); ++i)
+        EXPECT_FLOAT_EQ(before[i], after[i]);
+
+    const Tensor cloned_out = copy.forward(x);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < before.numel(); ++i)
+        any_diff |= cloned_out[i] != before[i];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Network, WeightLayersOrderAndCount) {
+    stats::Rng rng(8);
+    Network net = make_residual_net(rng);
+    const auto refs = net.weight_layers();
+    ASSERT_EQ(refs.size(), 3u);  // conv1, conv2, fc
+    EXPECT_EQ(refs[0].name, "conv1");
+    EXPECT_EQ(refs[1].name, "conv2");
+    EXPECT_EQ(refs[2].name, "fc");
+    EXPECT_EQ(net.total_weight_count(),
+              refs[0].weight->numel() + refs[1].weight->numel() +
+                  refs[2].weight->numel());
+}
+
+TEST(Network, NodeAccessorsValidateIds) {
+    Network net;
+    net.add("a", std::make_unique<ReLU>());
+    EXPECT_THROW(net.layer(-1), std::out_of_range);
+    EXPECT_THROW(net.node_name(1), std::out_of_range);
+}
+
+TEST(ArgmaxRow, PicksMaximumPerRow) {
+    Tensor logits(Shape{2, 4});
+    logits.at2(0, 2) = 5.0f;
+    logits.at2(1, 0) = 1.0f;
+    EXPECT_EQ(argmax_row(logits, 0), 2);
+    EXPECT_EQ(argmax_row(logits, 1), 0);
+}
+
+}  // namespace
+}  // namespace statfi::nn

@@ -1,0 +1,81 @@
+// Tests for the thread pool used by campaign parallelization.
+
+#include "nn/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace statfi::nn {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.wait_idle();  // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(257, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallel_for(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadRunsInline) {
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallel_for(5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));  // no data race inline
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    for (int batch = 0; batch < 10; ++batch) {
+        pool.parallel_for(100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+    }
+    EXPECT_EQ(sum.load(), 10L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, DestructionWithPendingWorkCompletes) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        // Destructor joins after draining the queue.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace statfi::nn

@@ -1,0 +1,216 @@
+// Tests for the loss, optimizer, training loop, and parameter serialization.
+
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/serialize.hpp"
+#include "data/synthetic.hpp"
+
+namespace statfi::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+    Tensor logits(Shape{2, 4}, 0.0f);
+    Tensor grad;
+    const double loss = softmax_cross_entropy(logits, {0, 3}, grad);
+    EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+    Tensor logits(Shape{2, 3});
+    logits.at2(0, 0) = 2.0f;
+    logits.at2(1, 2) = -1.0f;
+    Tensor grad;
+    softmax_cross_entropy(logits, {1, 2}, grad);
+    for (std::int64_t n = 0; n < 2; ++n) {
+        double sum = 0.0;
+        for (std::int64_t f = 0; f < 3; ++f) sum += grad.at2(n, f);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+    Tensor logits(Shape{1, 3});
+    logits[0] = 0.3f;
+    logits[1] = -0.2f;
+    logits[2] = 0.9f;
+    Tensor grad;
+    softmax_cross_entropy(logits, {2}, grad);
+    const float eps = 1e-3f;
+    Tensor probe_grad;
+    for (std::size_t i = 0; i < 3; ++i) {
+        Tensor up = logits, down = logits;
+        up[i] += eps;
+        down[i] -= eps;
+        const double lu = softmax_cross_entropy(up, {2}, probe_grad);
+        const double ld = softmax_cross_entropy(down, {2}, probe_grad);
+        EXPECT_NEAR(grad[i], (lu - ld) / (2 * eps), 1e-4);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesInputs) {
+    Tensor logits(Shape{2, 3});
+    Tensor grad;
+    EXPECT_THROW(softmax_cross_entropy(logits, {0}, grad),
+                 std::invalid_argument);
+    EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}, grad),
+                 std::invalid_argument);
+}
+
+TEST(Top1Accuracy, CountsCorrectRows) {
+    Tensor logits(Shape{3, 2});
+    logits.at2(0, 1) = 1.0f;  // pred 1
+    logits.at2(1, 0) = 1.0f;  // pred 0
+    logits.at2(2, 1) = 1.0f;  // pred 1
+    EXPECT_DOUBLE_EQ(top1_accuracy(logits, {1, 0, 0}), 2.0 / 3.0);
+    EXPECT_THROW(top1_accuracy(logits, {1}), std::invalid_argument);
+}
+
+TEST(SgdOptimizer, PlainStepMovesAgainstGradient) {
+    Network net;
+    net.add("fc", std::make_unique<Linear>(2, 1), {Network::kInputId});
+    auto params = net.params();
+    params[0].value->fill(1.0f);
+    params[0].grad->fill(0.5f);
+    SgdConfig cfg;
+    cfg.learning_rate = 0.1;
+    cfg.momentum = 0.0;
+    cfg.weight_decay = 0.0;
+    SgdOptimizer opt(net, cfg);
+    opt.step();
+    EXPECT_NEAR((*net.params()[0].value)[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(SgdOptimizer, MomentumAccumulates) {
+    Network net;
+    net.add("fc", std::make_unique<Linear>(1, 1), {Network::kInputId});
+    auto params = net.params();
+    params[0].value->fill(0.0f);
+    SgdConfig cfg;
+    cfg.learning_rate = 1.0;
+    cfg.momentum = 0.5;
+    cfg.weight_decay = 0.0;
+    SgdOptimizer opt(net, cfg);
+    params[0].grad->fill(1.0f);
+    opt.step();  // v=1, w=-1
+    params[0].grad->fill(1.0f);
+    opt.step();  // v=1.5, w=-2.5
+    EXPECT_NEAR((*net.params()[0].value)[0], -2.5f, 1e-6);
+}
+
+TEST(SgdOptimizer, WeightDecayShrinksWeights) {
+    Network net;
+    net.add("fc", std::make_unique<Linear>(1, 1), {Network::kInputId});
+    (*net.params()[0].value)[0] = 2.0f;
+    net.zero_grad();
+    SgdConfig cfg;
+    cfg.learning_rate = 0.1;
+    cfg.momentum = 0.0;
+    cfg.weight_decay = 0.5;
+    SgdOptimizer opt(net, cfg);
+    opt.step();
+    EXPECT_NEAR((*net.params()[0].value)[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6);
+}
+
+Network tiny_classifier(stats::Rng& rng) {
+    Network net;
+    int id = net.add("conv", std::make_unique<Conv2d>(1, 4, 3, 1, 1),
+                     {Network::kInputId});
+    id = net.add("relu", std::make_unique<ReLU>(), {id});
+    id = net.add("gap", std::make_unique<GlobalAvgPool>(), {id});
+    net.add("fc", std::make_unique<Linear>(4, 2), {id});
+    init_network_kaiming(net, rng);
+    return net;
+}
+
+TEST(TrainClassifier, LearnsSeparableToyTask) {
+    stats::Rng rng(55);
+    Network net = tiny_classifier(rng);
+
+    // Class 0: bright images; class 1: dark images.
+    constexpr std::int64_t n = 64;
+    Tensor images(Shape{n, 1, 6, 6});
+    std::vector<int> labels(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const int label = static_cast<int>(i % 2);
+        labels[static_cast<std::size_t>(i)] = label;
+        for (std::int64_t k = 0; k < 36; ++k)
+            images[static_cast<std::size_t>(i * 36 + k)] =
+                (label == 0 ? 1.0f : -1.0f) +
+                static_cast<float>(rng.normal(0.0, 0.3));
+    }
+
+    auto report = train_classifier(net, images, labels, 12, 16,
+                                   SgdConfig{0.1, 0.9, 0.0}, rng);
+    EXPECT_EQ(report.epochs, 12);
+    EXPECT_GT(report.final_train_accuracy, 0.95);
+    EXPECT_LT(report.final_train_loss, 0.3);
+}
+
+TEST(TrainClassifier, ValidatesArguments) {
+    stats::Rng rng(56);
+    Network net = tiny_classifier(rng);
+    Tensor images(Shape{4, 1, 6, 6});
+    std::vector<int> labels{0, 1};  // wrong count
+    EXPECT_THROW(train_classifier(net, images, labels, 1, 2, {}, rng),
+                 std::invalid_argument);
+    std::vector<int> ok{0, 1, 0, 1};
+    EXPECT_THROW(train_classifier(net, images, ok, 0, 2, {}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(train_classifier(net, images.reshaped(Shape{4, 36}), ok, 1, 2,
+                                  {}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Serialize, RoundTripsAllParameters) {
+    stats::Rng rng(57);
+    Network net = tiny_classifier(rng);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "statfi_serialize_test.sfiw")
+            .string();
+    save_parameters(net, path);
+
+    Network other = tiny_classifier(rng);  // different random weights
+    load_parameters(other, path);
+    auto a = net.params();
+    auto b = other.params();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k)
+        for (std::size_t i = 0; i < a[k].value->numel(); ++i)
+            ASSERT_EQ((*a[k].value)[i], (*b[k].value)[i]);
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, DetectsStructureMismatch) {
+    stats::Rng rng(58);
+    Network net = tiny_classifier(rng);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "statfi_serialize_bad.sfiw")
+            .string();
+    save_parameters(net, path);
+
+    Network different;
+    different.add("fc", std::make_unique<Linear>(4, 2), {Network::kInputId});
+    EXPECT_THROW(load_parameters(different, path), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+    stats::Rng rng(59);
+    Network net = tiny_classifier(rng);
+    EXPECT_THROW(load_parameters(net, "/nonexistent/statfi.sfiw"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace statfi::nn

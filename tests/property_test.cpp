@@ -1,0 +1,242 @@
+// Cross-cutting property tests: randomized invariants that span modules —
+// codec round trips under fuzzing, sampling/estimation coverage of the full
+// statistical pipeline, and consistency laws between fault models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator.hpp"
+#include "core/planner.hpp"
+#include "fault/codec.hpp"
+#include "fault/universe.hpp"
+#include "models/micronet.hpp"
+#include "stats/rng.hpp"
+#include "stats/sample_size.hpp"
+
+namespace statfi {
+namespace {
+
+using fault::DataType;
+
+// ---------------------------------------------------------- codec fuzzing --
+
+class CodecFuzz : public ::testing::TestWithParam<DataType> {};
+
+TEST_P(CodecFuzz, QuantizeIsIdempotent) {
+    // quantize(quantize(x)) == quantize(x): the codec is a projection.
+    const DataType dtype = GetParam();
+    fault::QuantParams qp{0.01f};
+    stats::Rng rng(101);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const auto x = static_cast<float>(rng.normal(0.0, 0.5));
+        const float once = fault::quantize(x, dtype, qp);
+        const float twice = fault::quantize(once, dtype, qp);
+        ASSERT_EQ(fault::float_bits(twice), fault::float_bits(once))
+            << fault::to_string(dtype) << " x=" << x;
+    }
+}
+
+TEST_P(CodecFuzz, StuckAtIsIdempotent) {
+    // Applying the same stuck-at twice equals applying it once.
+    const DataType dtype = GetParam();
+    fault::QuantParams qp{0.01f};
+    stats::Rng rng(102);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const auto x = static_cast<float>(rng.normal(0.0, 0.5));
+        const int bit =
+            static_cast<int>(rng.uniform_below(fault::bit_width(dtype)));
+        const bool to_one = rng.bernoulli(0.5);
+        const float once = fault::apply_stuck_at(x, bit, to_one, dtype, qp);
+        // Idempotence holds on codec fixed points; a faulty word may decode
+        // outside them (fp16/bf16 NaN payload canonicalization, int8 -128
+        // clamping) — those are storage-domain values with no float-domain
+        // fixed point, so re-application legitimately renormalizes.
+        if (fault::float_bits(fault::quantize(once, dtype, qp)) !=
+            fault::float_bits(once))
+            continue;
+        const float twice = fault::apply_stuck_at(once, bit, to_one, dtype, qp);
+        ASSERT_EQ(fault::float_bits(twice), fault::float_bits(once));
+    }
+}
+
+TEST_P(CodecFuzz, StuckAtForcesTheBit) {
+    const DataType dtype = GetParam();
+    fault::QuantParams qp{0.01f};
+    stats::Rng rng(103);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const auto x = static_cast<float>(rng.normal(0.0, 0.5));
+        const int bit =
+            static_cast<int>(rng.uniform_below(fault::bit_width(dtype)));
+        const bool to_one = rng.bernoulli(0.5);
+        const float faulty = fault::apply_stuck_at(x, bit, to_one, dtype, qp);
+        if (fault::float_bits(fault::quantize(faulty, dtype, qp)) !=
+            fault::float_bits(faulty))
+            continue;  // not a codec fixed point (see StuckAtIsIdempotent)
+        ASSERT_EQ(fault::bit_of(faulty, bit, dtype, qp), to_one)
+            << fault::to_string(dtype) << " bit " << bit;
+    }
+}
+
+TEST_P(CodecFuzz, MaskedStuckAtPreservesQuantizedValue) {
+    const DataType dtype = GetParam();
+    fault::QuantParams qp{0.01f};
+    stats::Rng rng(104);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const auto x = static_cast<float>(rng.normal(0.0, 0.5));
+        const int bit =
+            static_cast<int>(rng.uniform_below(fault::bit_width(dtype)));
+        const bool golden = fault::bit_of(x, bit, dtype, qp);
+        // Stuck-at equal to the golden bit must decode to quantize(x).
+        const float faulty = fault::apply_stuck_at(x, bit, golden, dtype, qp);
+        ASSERT_EQ(fault::float_bits(faulty),
+                  fault::float_bits(fault::quantize(x, dtype, qp)));
+    }
+}
+
+TEST_P(CodecFuzz, FlipDistanceIsSymmetricInDirection) {
+    // |corrupt(x) - x| must equal the distance computed from the corrupted
+    // value flipped back (distances are between the same two points).
+    const DataType dtype = GetParam();
+    fault::QuantParams qp{0.01f};
+    stats::Rng rng(105);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto x =
+            fault::quantize(static_cast<float>(rng.normal(0.0, 0.5)), dtype, qp);
+        const int bit =
+            static_cast<int>(rng.uniform_below(fault::bit_width(dtype)));
+        const float y = fault::apply_bit_flip(x, bit, dtype, qp);
+        if (!std::isfinite(y)) continue;  // capped distances are asymmetric
+        ASSERT_NEAR(fault::bit_flip_distance(x, bit, dtype, qp),
+                    fault::bit_flip_distance(y, bit, dtype, qp),
+                    1e-6 * (1.0 + std::fabs(x)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CodecFuzz,
+                         ::testing::Values(DataType::Float32, DataType::Float16,
+                                           DataType::BFloat16, DataType::Int8));
+
+// ----------------------------------------- statistical pipeline coverage --
+
+/// End-to-end coverage: plant a known critical rate into a synthetic
+/// outcome table, replay the paper's layer-wise pipeline many times, and
+/// check the confidence intervals cover the truth at ~nominal frequency.
+TEST(PipelineCoverage, LayerWiseIntervalsCoverPlantedTruth) {
+    auto net = models::make_micronet();
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+    core::ExhaustiveOutcomes truth(universe.total());
+    // Plant rates 1%..4% per layer, spread uniformly over the population.
+    for (int l = 0; l < universe.layer_count(); ++l) {
+        const std::uint64_t begin = universe.subpop_offset(l, 0);
+        const std::uint64_t count = universe.layer_population(l);
+        const std::uint64_t stride = 100 / static_cast<std::uint64_t>(l + 1);
+        for (std::uint64_t i = 0; i < count; i += stride)
+            truth.set(begin + i, core::FaultOutcome::Critical);
+    }
+
+    stats::SampleSpec spec;
+    spec.error_margin = 0.02;  // keep replication cheap
+    spec.confidence = 0.95;
+    const auto plan = core::plan_layer_wise(universe, spec);
+    core::EstimatorConfig est_config;
+    est_config.confidence = 0.95;
+    est_config.laplace_smoothing = true;
+
+    constexpr int kReplications = 60;
+    int covered = 0, total = 0;
+    for (int rep = 0; rep < kReplications; ++rep) {
+        const auto result = core::replay(universe, plan, truth,
+                                         stats::Rng(9000 + rep));
+        for (const auto& le :
+             core::estimate_layers(universe, result, est_config)) {
+            const double exact =
+                truth.layer_critical_rate(universe, le.layer);
+            covered += le.estimate.contains(exact);
+            ++total;
+        }
+    }
+    // 95% nominal; demand >= 90% empirical over 240 intervals.
+    EXPECT_GE(static_cast<double>(covered) / total, 0.90)
+        << covered << "/" << total;
+}
+
+TEST(PipelineCoverage, EstimatesAreUnbiased) {
+    auto net = models::make_micronet();
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+    core::ExhaustiveOutcomes truth(universe.total());
+    for (std::uint64_t i = 0; i < truth.size(); i += 37)
+        truth.set(i, core::FaultOutcome::Critical);
+    const double exact = truth.network_critical_rate();
+
+    stats::SampleSpec spec;
+    spec.error_margin = 0.02;
+    const auto plan = core::plan_network_wise(universe, spec);
+    double mean = 0.0;
+    constexpr int kReplications = 80;
+    for (int rep = 0; rep < kReplications; ++rep) {
+        const auto result = core::replay(universe, plan, truth,
+                                         stats::Rng(400 + rep));
+        mean += core::estimate_network(universe, result).rate;
+    }
+    mean /= kReplications;
+    EXPECT_NEAR(mean, exact, 0.002);
+}
+
+// ----------------------------------------------- fault-model consistency --
+
+TEST(FaultModelLaws, BitFlipEqualsUnmaskedStuckAt) {
+    // For every (weight, bit): the flip outcome equals whichever stuck-at is
+    // NOT masked. This is the law that makes flip rates ~2x stuck-at rates.
+    stats::Rng rng(77);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const auto x = static_cast<float>(rng.normal(0.0, 0.5));
+        const int bit = static_cast<int>(rng.uniform_below(32));
+        const bool golden = fault::bit_of(x, bit, DataType::Float32);
+        const float flip = fault::apply_bit_flip(x, bit, DataType::Float32);
+        const float live_stuck =
+            fault::apply_stuck_at(x, bit, !golden, DataType::Float32);
+        ASSERT_EQ(fault::float_bits(flip), fault::float_bits(live_stuck));
+    }
+}
+
+TEST(FaultModelLaws, SampleSizeDominatedByExhaustive) {
+    // For any spec, every planner's total is at most the universe total and
+    // at least 1 per nonempty subpopulation.
+    auto net = models::make_micronet();
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+    stats::Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        stats::SampleSpec spec;
+        spec.error_margin = rng.uniform(0.002, 0.2);
+        spec.confidence = rng.uniform(0.8, 0.999);
+        spec.p = rng.uniform(0.01, 0.99);
+        for (const auto& plan :
+             {core::plan_network_wise(universe, spec),
+              core::plan_layer_wise(universe, spec),
+              core::plan_data_unaware(universe, spec)}) {
+            ASSERT_LE(plan.total_sample_size(), universe.total());
+            for (const auto& sp : plan.subpops) {
+                ASSERT_GE(sp.sample_size, 1u);
+                ASSERT_LE(sp.sample_size, sp.population);
+            }
+        }
+    }
+}
+
+TEST(FaultModelLaws, MarginMonotoneInSampleSize) {
+    // Fixing N and p_hat, the achieved margin is non-increasing in n.
+    stats::Rng rng(6);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t N = 1000 + rng.uniform_below(1'000'000);
+        const double p = rng.uniform(0.001, 0.999);
+        const std::uint64_t n1 = 1 + rng.uniform_below(N - 1);
+        const std::uint64_t n2 = n1 + rng.uniform_below(N - n1) + 1;
+        ASSERT_GE(stats::achieved_error_margin_at(N, n1, p, 2.58),
+                  stats::achieved_error_margin_at(N, std::min(n2, N), p, 2.58) -
+                      1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace statfi

@@ -1,0 +1,88 @@
+// Tests for the text reporting helpers.
+
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace statfi::report {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+    Table t({"Layer", "Faults"});
+    t.add_row({"conv1", "123"});
+    t.add_row({"fc", "4"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("Layer"), std::string::npos);
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+    Table t({"A", "B"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+    Table t({"Name", "Count"});
+    t.add_row({"x", "5"});
+    t.add_row({"y", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    // "5" must be right-aligned to the width of "12345".
+    EXPECT_NE(s.find("    5"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+    Table t({"Name", "Note"});
+    t.add_row({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.write_csv(os);
+    EXPECT_EQ(os.str(), "Name,Note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(FmtU64, ThousandsSeparators) {
+    EXPECT_EQ(fmt_u64(0), "0");
+    EXPECT_EQ(fmt_u64(999), "999");
+    EXPECT_EQ(fmt_u64(1000), "1,000");
+    EXPECT_EQ(fmt_u64(17'174'144), "17,174,144");
+    EXPECT_EQ(fmt_u64(141'029'376), "141,029,376");
+}
+
+TEST(FmtDouble, FixedPrecision) {
+    EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+    EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtPercent, ScalesFraction) {
+    EXPECT_EQ(fmt_percent(0.0156, 2), "1.56");
+    EXPECT_EQ(fmt_percent(1.0, 0), "100");
+}
+
+TEST(Bar, ScalesToWidth) {
+    const std::string full = bar("x", 1.0, 1.0, 10, 4);
+    EXPECT_NE(full.find("##########"), std::string::npos);
+    const std::string half = bar("x", 0.5, 1.0, 10, 4);
+    EXPECT_NE(half.find("#####....."), std::string::npos);
+    const std::string zero = bar("x", 0.0, 1.0, 10, 4);
+    EXPECT_NE(zero.find(".........."), std::string::npos);
+}
+
+TEST(Bar, NonZeroValuesAlwaysVisible) {
+    // A tiny but non-zero value shows at least one '#'.
+    const std::string tiny = bar("x", 1e-9, 1.0, 10, 4);
+    EXPECT_NE(tiny.find("#"), std::string::npos);
+}
+
+TEST(Bar, ZeroMaxDoesNotDivide) {
+    const std::string s = bar("x", 0.0, 0.0, 10, 4);
+    EXPECT_NE(s.find(".........."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statfi::report

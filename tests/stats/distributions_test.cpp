@@ -1,0 +1,170 @@
+// Tests for the probability distributions backing the SFI statistics.
+
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace statfi::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(normal_cdf(2.5758293035489004), 0.995, 1e-9);
+}
+
+TEST(NormalPdf, KnownValues) {
+    EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+    EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+    EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+    const double p = GetParam();
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 0.001, 0.01, 0.025, 0.1,
+                                           0.3, 0.5, 0.7, 0.9, 0.975, 0.99,
+                                           0.999999, 1.0 - 1e-10));
+
+TEST(NormalQuantile, KnownValues) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+}
+
+TEST(NormalTwoSidedZ, PaperConfidenceLevels) {
+    EXPECT_NEAR(normal_two_sided_z(0.99), 2.5758293035489004, 1e-8);
+    EXPECT_NEAR(normal_two_sided_z(0.95), 1.959963984540054, 1e-8);
+    EXPECT_THROW(normal_two_sided_z(1.0), std::domain_error);
+}
+
+TEST(LogBinomialCoefficient, SmallExactValues) {
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 10)), 1.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_binomial_coefficient(52, 5)), 2598960.0, 1.0);
+    EXPECT_THROW(log_binomial_coefficient(3, 4), std::domain_error);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+    for (const double p : {0.1, 0.5, 0.83}) {
+        double sum = 0.0;
+        for (std::uint64_t k = 0; k <= 30; ++k) sum += binomial_pmf(k, 30, p);
+        EXPECT_NEAR(sum, 1.0, 1e-10) << "p=" << p;
+    }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+    EXPECT_EQ(binomial_pmf(0, 10, 0.0), 1.0);
+    EXPECT_EQ(binomial_pmf(3, 10, 0.0), 0.0);
+    EXPECT_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+    EXPECT_EQ(binomial_pmf(11, 10, 0.5), 0.0);
+}
+
+TEST(BinomialCdf, MatchesPmfSum) {
+    const std::uint64_t n = 25;
+    const double p = 0.3;
+    double running = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        running += binomial_pmf(k, n, p);
+        EXPECT_NEAR(binomial_cdf(k, n, p), running, 1e-9) << "k=" << k;
+    }
+    EXPECT_EQ(binomial_cdf(n, n, p), 1.0);
+}
+
+TEST(BinomialMoments, PaperEq2) {
+    // Eq. 2 of the paper: sigma^2 = n p (1-p).
+    EXPECT_DOUBLE_EQ(binomial_mean(100, 0.25), 25.0);
+    EXPECT_DOUBLE_EQ(binomial_variance(100, 0.25), 18.75);
+    EXPECT_DOUBLE_EQ(binomial_variance(100, 0.5), 25.0);  // max at p = 0.5
+    EXPECT_GT(binomial_variance(100, 0.5), binomial_variance(100, 0.4));
+    EXPECT_GT(binomial_variance(100, 0.5), binomial_variance(100, 0.6));
+}
+
+TEST(HypergeometricPmf, SumsToOne) {
+    const std::uint64_t N = 40, K = 12, n = 15;
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= n; ++k) sum += hypergeometric_pmf(k, N, K, n);
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(HypergeometricPmf, ImpossibleOutcomes) {
+    EXPECT_EQ(hypergeometric_pmf(5, 10, 3, 6), 0.0);   // k > K
+    EXPECT_EQ(hypergeometric_pmf(0, 10, 8, 5), 0.0);   // too many failures
+    EXPECT_THROW(hypergeometric_pmf(0, 10, 11, 5), std::domain_error);
+    EXPECT_THROW(hypergeometric_pmf(0, 10, 5, 11), std::domain_error);
+}
+
+TEST(HypergeometricMoments, MatchPmf) {
+    const std::uint64_t N = 60, K = 21, n = 18;
+    double mean = 0.0, var = 0.0;
+    for (std::uint64_t k = 0; k <= n; ++k) {
+        const double pk = hypergeometric_pmf(k, N, K, n);
+        mean += static_cast<double>(k) * pk;
+    }
+    for (std::uint64_t k = 0; k <= n; ++k) {
+        const double pk = hypergeometric_pmf(k, N, K, n);
+        var += (static_cast<double>(k) - mean) * (static_cast<double>(k) - mean) * pk;
+    }
+    EXPECT_NEAR(mean, hypergeometric_mean(N, K, n), 1e-9);
+    EXPECT_NEAR(var, hypergeometric_variance(N, K, n), 1e-9);
+}
+
+TEST(HypergeometricVariance, FinitePopulationCorrection) {
+    // Sampling the whole population leaves zero variance.
+    EXPECT_DOUBLE_EQ(hypergeometric_variance(50, 20, 50), 0.0);
+    // FPC shrinks variance relative to the binomial.
+    const double p = 20.0 / 50.0;
+    EXPECT_LT(hypergeometric_variance(50, 20, 25), binomial_variance(25, p));
+}
+
+TEST(IncompleteBeta, KnownValues) {
+    // I_x(1, 1) = x.
+    for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+    // I_x(2, 2) = 3x^2 - 2x^3.
+    for (const double x : {0.1, 0.4, 0.9})
+        EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x, 1e-10);
+    // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+    EXPECT_NEAR(incomplete_beta(3.5, 1.25, 0.3),
+                1.0 - incomplete_beta(1.25, 3.5, 0.7), 1e-10);
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+    EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::domain_error);
+    EXPECT_THROW(incomplete_beta(1.0, -1.0, 0.5), std::domain_error);
+    EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), std::domain_error);
+}
+
+TEST(IncompleteBetaInv, RoundTrip) {
+    for (const double a : {0.5, 2.0, 10.0})
+        for (const double b : {0.5, 3.0, 20.0})
+            for (const double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+                const double x = incomplete_beta_inv(a, b, p);
+                EXPECT_NEAR(incomplete_beta(a, b, x), p, 1e-8)
+                    << "a=" << a << " b=" << b << " p=" << p;
+            }
+}
+
+TEST(IncompleteBetaInv, Boundaries) {
+    EXPECT_EQ(incomplete_beta_inv(2.0, 3.0, 0.0), 0.0);
+    EXPECT_EQ(incomplete_beta_inv(2.0, 3.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace statfi::stats

@@ -1,0 +1,154 @@
+// Tests for confidence-interval constructions, including empirical coverage
+// properties measured by simulation.
+
+#include "stats/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace statfi::stats {
+namespace {
+
+TEST(Interval, Basics) {
+    Interval iv{0.2, 0.6};
+    EXPECT_DOUBLE_EQ(iv.width(), 0.4);
+    EXPECT_DOUBLE_EQ(iv.center(), 0.4);
+    EXPECT_TRUE(iv.contains(0.2));
+    EXPECT_TRUE(iv.contains(0.6));
+    EXPECT_FALSE(iv.contains(0.61));
+}
+
+TEST(Wald, CenterIsObservedRate) {
+    const auto iv = wald_interval(30, 100, 0.95);
+    EXPECT_NEAR(iv.center(), 0.3, 1e-12);
+}
+
+TEST(Wald, KnownHalfWidth) {
+    // z(0.95) * sqrt(0.3*0.7/100) = 1.959964 * 0.0458258 = 0.0898167.
+    const auto iv = wald_interval(30, 100, 0.95);
+    EXPECT_NEAR(iv.width() / 2.0, 0.0898167, 1e-6);
+}
+
+TEST(Wald, DegenerateObservationsCollapse) {
+    const auto zero = wald_interval(0, 50, 0.99);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_DOUBLE_EQ(zero.hi, 0.0);
+    const auto full = wald_interval(50, 50, 0.99);
+    EXPECT_DOUBLE_EQ(full.lo, 1.0);
+}
+
+TEST(WaldFpc, FullCensusHasZeroWidth) {
+    const auto iv = wald_interval_fpc(7, 100, 100, 0.99);
+    EXPECT_DOUBLE_EQ(iv.width(), 0.0);
+    EXPECT_DOUBLE_EQ(iv.center(), 0.07);
+}
+
+TEST(WaldFpc, NarrowerThanInfinitePopulation) {
+    const auto finite = wald_interval_fpc(40, 200, 400, 0.95);
+    const auto infinite = wald_interval(40, 200, 0.95);
+    EXPECT_LT(finite.width(), infinite.width());
+    EXPECT_NEAR(finite.center(), infinite.center(), 1e-12);
+}
+
+TEST(WaldFpc, RejectsPopulationSmallerThanSample) {
+    EXPECT_THROW(wald_interval_fpc(1, 10, 5, 0.95), std::domain_error);
+}
+
+TEST(Wilson, ContainsObservedRate) {
+    const auto iv = wilson_interval(3, 10, 0.95);
+    EXPECT_TRUE(iv.contains(0.3));
+}
+
+TEST(Wilson, NonDegenerateAtZeroSuccesses) {
+    // Unlike Wald, Wilson keeps honest width at the boundary.
+    const auto iv = wilson_interval(0, 50, 0.95);
+    EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+    EXPECT_GT(iv.hi, 0.0);
+}
+
+TEST(Wilson, CenterShrinksTowardHalf) {
+    const auto iv = wilson_interval(0, 10, 0.95);
+    EXPECT_GT(iv.center(), 0.0);  // pulled toward 0.5
+    const auto iv2 = wilson_interval(10, 10, 0.95);
+    EXPECT_LT(iv2.center(), 1.0);
+}
+
+TEST(ClopperPearson, BoundariesExact) {
+    const auto zero = clopper_pearson_interval(0, 20, 0.95);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    // Upper bound solves (1-p)^20 = 0.025 -> p = 1 - 0.025^(1/20).
+    EXPECT_NEAR(zero.hi, 1.0 - std::pow(0.025, 1.0 / 20.0), 1e-6);
+    const auto all = clopper_pearson_interval(20, 20, 0.95);
+    EXPECT_DOUBLE_EQ(all.hi, 1.0);
+    EXPECT_NEAR(all.lo, std::pow(0.025, 1.0 / 20.0), 1e-6);
+}
+
+TEST(ClopperPearson, WiderThanWilson) {
+    // CP is conservative; Wilson is approximate but tighter.
+    for (const std::uint64_t k : {1ull, 5ull, 25ull, 49ull}) {
+        const auto cp = clopper_pearson_interval(k, 50, 0.95);
+        const auto wi = wilson_interval(k, 50, 0.95);
+        EXPECT_GE(cp.width(), wi.width() * 0.98) << "k=" << k;
+    }
+}
+
+TEST(Intervals, RejectBadArguments) {
+    EXPECT_THROW(wald_interval(5, 0, 0.95), std::domain_error);
+    EXPECT_THROW(wald_interval(11, 10, 0.95), std::domain_error);
+    EXPECT_THROW(wilson_interval(1, 10, 0.0), std::domain_error);
+    EXPECT_THROW(clopper_pearson_interval(1, 10, 1.0), std::domain_error);
+}
+
+/// Empirical coverage of an interval construction under binomial sampling.
+template <typename MakeInterval>
+double coverage(double p, std::uint64_t n, double confidence,
+                MakeInterval make, int trials, Rng& rng) {
+    int covered = 0;
+    for (int t = 0; t < trials; ++t) {
+        std::uint64_t k = 0;
+        for (std::uint64_t i = 0; i < n; ++i) k += rng.bernoulli(p) ? 1 : 0;
+        if (make(k, n, confidence).contains(p)) ++covered;
+    }
+    return static_cast<double>(covered) / trials;
+}
+
+struct CoverageCase {
+    double p;
+    std::uint64_t n;
+};
+
+class CoverageTest : public ::testing::TestWithParam<CoverageCase> {};
+
+TEST_P(CoverageTest, ClopperPearsonIsConservative) {
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(GetParam().p * 1000));
+    const double cov = coverage(GetParam().p, GetParam().n, 0.95,
+                                clopper_pearson_interval, 600, rng);
+    EXPECT_GE(cov, 0.93) << "p=" << GetParam().p << " n=" << GetParam().n;
+}
+
+TEST_P(CoverageTest, WilsonNearNominal) {
+    Rng rng(0xBEEF + GetParam().n);
+    const double cov =
+        coverage(GetParam().p, GetParam().n, 0.95, wilson_interval, 600, rng);
+    EXPECT_GE(cov, 0.88) << "p=" << GetParam().p << " n=" << GetParam().n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CoverageTest,
+                         ::testing::Values(CoverageCase{0.5, 30},
+                                           CoverageCase{0.1, 50},
+                                           CoverageCase{0.02, 200},
+                                           CoverageCase{0.9, 40}));
+
+TEST(Coverage, WaldUndercoversNearBoundary) {
+    // The known pathology motivating Wilson/CP: Wald at small p and modest n.
+    Rng rng(0xABCD);
+    const double cov = coverage(0.02, 50, 0.95, wald_interval, 800, rng);
+    EXPECT_LT(cov, 0.93);
+}
+
+}  // namespace
+}  // namespace statfi::stats

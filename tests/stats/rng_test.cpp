@@ -1,0 +1,184 @@
+// Tests for the deterministic RNG: reproducibility, stream independence, and
+// the statistical sanity of every variate generator.
+
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace statfi::stats {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 64; ++i) seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 60u);  // not stuck
+}
+
+TEST(Rng, ForkByLabelIsDeterministic) {
+    Rng parent(7);
+    Rng a = parent.fork("layer0");
+    Rng b = parent.fork("layer0");
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkDifferentLabelsAreIndependent) {
+    Rng parent(7);
+    Rng a = parent.fork("layer0");
+    Rng b = parent.fork("layer1");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ForkByIndexMatchesRepeatably) {
+    Rng parent(7);
+    EXPECT_EQ(parent.fork(std::uint64_t{3}).next(),
+              parent.fork(std::uint64_t{3}).next());
+    EXPECT_NE(parent.fork(std::uint64_t{3}).next(),
+              parent.fork(std::uint64_t{4}).next());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+    Rng a(9), b(9);
+    (void)a.fork("x");
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, HashLabelStable) {
+    EXPECT_EQ(hash_label("conv1"), hash_label("conv1"));
+    EXPECT_NE(hash_label("conv1"), hash_label("conv2"));
+    EXPECT_NE(hash_label(""), hash_label("a"));
+}
+
+class UniformBelowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBelowTest, StaysInRange) {
+    const std::uint64_t bound = GetParam();
+    Rng rng(bound);
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+}
+
+TEST_P(UniformBelowTest, HitsAllSmallValues) {
+    const std::uint64_t bound = GetParam();
+    if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+    Rng rng(bound + 1);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) seen.insert(rng.uniform_below(bound));
+    EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBelowTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 1000, 1u << 20,
+                                           (1ull << 33) + 17,
+                                           ~std::uint64_t{0} - 1));
+
+TEST(Rng, UniformBelowIsUnbiased) {
+    // chi-square-ish check across 8 buckets.
+    Rng rng(1234);
+    constexpr int buckets = 8;
+    constexpr int draws = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i) ++counts[rng.uniform_below(buckets)];
+    const double expected = draws / static_cast<double>(buckets);
+    double chi2 = 0.0;
+    for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+    EXPECT_LT(chi2, 30.0);  // 7 dof; P(chi2 > 30) < 1e-4
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniform_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01Moments) {
+    Rng rng(77);
+    double sum = 0.0, sum2 = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform01();
+        sum += u;
+        sum2 += u * u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(88);
+    double sum = 0.0, sum2 = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+    Rng rng(99);
+    double sum = 0.0, sum2 = 0.0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sum2 += (x - 3.0) * (x - 3.0);
+    }
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 4.0, 0.15);
+}
+
+class BernoulliTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliTest, ObservedRateMatches) {
+    const double p = GetParam();
+    Rng rng(static_cast<std::uint64_t>(p * 1e6) + 11);
+    int hits = 0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BernoulliTest,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace statfi::stats

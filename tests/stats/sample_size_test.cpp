@@ -1,0 +1,223 @@
+// Tests for the paper's Eq. 1 sample-size machinery, including direct
+// regressions against the published Table I / Table II values.
+
+#include "stats/sample_size.hpp"
+
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace statfi::stats {
+namespace {
+
+SampleSpec paper_spec() {
+    // e = 1%, 99% confidence, p = 0.5, classic table t = 2.58.
+    return SampleSpec{};
+}
+
+TEST(ConfidenceCoefficient, TableValues) {
+    EXPECT_DOUBLE_EQ(confidence_coefficient(0.99), 2.58);
+    EXPECT_DOUBLE_EQ(confidence_coefficient(0.95), 1.96);
+    EXPECT_DOUBLE_EQ(confidence_coefficient(0.90), 1.645);
+    EXPECT_DOUBLE_EQ(confidence_coefficient(0.999), 3.29);
+}
+
+TEST(ConfidenceCoefficient, ExactValues) {
+    EXPECT_NEAR(confidence_coefficient(0.99, ConfidenceCoefficient::Exact),
+                2.5758293035489004, 1e-8);
+    EXPECT_NEAR(confidence_coefficient(0.95, ConfidenceCoefficient::Exact),
+                1.959963984540054, 1e-8);
+}
+
+TEST(ConfidenceCoefficient, TableFallsBackToExact) {
+    EXPECT_NEAR(confidence_coefficient(0.98, ConfidenceCoefficient::Table),
+                normal_two_sided_z(0.98), 1e-12);
+}
+
+TEST(SampleSizeInfinite, ClassicValue) {
+    // t^2 p q / e^2 with t = 2.58: 2.58^2 * 0.25 / 0.0001 = 16,641.
+    EXPECT_NEAR(sample_size_infinite(paper_spec()), 16641.0, 1e-6);
+}
+
+// --- Regressions against the paper's published sample sizes (Table I/II) ---
+
+TEST(PaperRegression, ResNet20NetworkWise) {
+    // Table I: N = 17,174,144 faults -> n = 16,625 network-wise.
+    // (Our N uses the corrected 268,336-weight count: 17,173,504; the
+    // resulting n matches the paper's 16,625 regardless.)
+    EXPECT_EQ(sample_size(17'173'504, paper_spec()), 16'625u);
+    EXPECT_EQ(sample_size(17'174'144, paper_spec()), 16'625u);
+}
+
+TEST(PaperRegression, MobileNetV2NetworkWise) {
+    // Table II: N = 141,029,376 -> n = 16,639.
+    EXPECT_EQ(sample_size(141'029'376, paper_spec()), 16'639u);
+}
+
+struct LayerCase {
+    std::uint64_t population;  // N_l = params * 64
+    std::uint64_t expected_n;  // paper's layer-wise column
+};
+
+class ResNet20LayerWise : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(ResNet20LayerWise, MatchesTableI) {
+    EXPECT_EQ(sample_size(GetParam().population, paper_spec()),
+              GetParam().expected_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ResNet20LayerWise,
+    ::testing::Values(LayerCase{27'648, 10'389},      // layer 0
+                      LayerCase{147'456, 14'954},     // layers 1-6
+                      LayerCase{294'912, 15'752},     // layer 7
+                      LayerCase{589'824, 16'184},     // layers 8-12
+                      LayerCase{1'179'648, 16'410},   // layer 13
+                      LayerCase{2'359'296, 16'524},   // layers 14-18
+                      LayerCase{40'960, 11'834}));    // layer 19 (fc)
+
+class ResNet20DataUnawarePerBit : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(ResNet20DataUnawarePerBit, MatchesTableI) {
+    // Data-unaware column = 32 * n(N_(i,l)) with N_(i,l) = params * 2.
+    EXPECT_EQ(32 * sample_size(GetParam().population, paper_spec()),
+              GetParam().expected_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ResNet20DataUnawarePerBit,
+    ::testing::Values(LayerCase{864, 26'272},        // layer 0: 432*2
+                      LayerCase{4'608, 115'488},     // layers 1-6
+                      LayerCase{9'216, 189'792},     // layer 7
+                      LayerCase{18'432, 279'872},    // layers 8-12
+                      LayerCase{36'864, 366'912},    // layer 13
+                      LayerCase{73'728, 434'464},    // layers 14-18
+                      LayerCase{1'280, 38'048}));    // layer 19
+
+// --------------------------------------------------------------------------
+
+TEST(SampleSize, NeverExceedsPopulation) {
+    for (const std::uint64_t N : {1ull, 2ull, 10ull, 100ull, 12345ull})
+        EXPECT_LE(sample_size(N, paper_spec()), N) << "N=" << N;
+}
+
+TEST(SampleSize, TinyPopulationsAreNearlyExhaustive) {
+    // When N is far below the infinite-population n0, Eq. 1 ~ N (the FPC
+    // still shaves a little: N = 100 -> 99.4 -> 99).
+    EXPECT_EQ(sample_size(1, paper_spec()), 1u);
+    EXPECT_EQ(sample_size(10, paper_spec()), 10u);
+    EXPECT_EQ(sample_size(100, paper_spec()), 99u);
+}
+
+TEST(SampleSize, ZeroPopulation) {
+    EXPECT_EQ(sample_size(0, paper_spec()), 0u);
+}
+
+TEST(SampleSize, MonotoneInPopulation) {
+    std::uint64_t prev = 0;
+    for (const std::uint64_t N :
+         {100ull, 1000ull, 10000ull, 100000ull, 1000000ull, 100000000ull}) {
+        const auto n = sample_size(N, paper_spec());
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(SampleSize, ConvergesToInfinitePopulationLimit) {
+    const auto n = sample_size(std::uint64_t{1} << 40, paper_spec());
+    EXPECT_NEAR(static_cast<double>(n), sample_size_infinite(paper_spec()), 2.0);
+}
+
+TEST(SampleSize, MonotoneDecreasingInErrorMargin) {
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const double e : {0.005, 0.01, 0.02, 0.05, 0.1}) {
+        SampleSpec spec;
+        spec.error_margin = e;
+        const auto n = sample_size(1'000'000, spec);
+        EXPECT_LT(n, prev) << "e=" << e;
+        prev = n;
+    }
+}
+
+TEST(SampleSize, MaximalAtPHalf) {
+    // Fig. 1 (left): p(1-p) peaks at 0.5, hence so does n.
+    SampleSpec half;
+    const auto n_half = sample_size(1'000'000, half);
+    for (const double p : {0.01, 0.1, 0.3, 0.45, 0.55, 0.7, 0.99}) {
+        SampleSpec spec;
+        spec.p = p;
+        EXPECT_LT(sample_size(1'000'000, spec), n_half) << "p=" << p;
+    }
+}
+
+TEST(SampleSize, SymmetricInP) {
+    SampleSpec a, b;
+    a.p = 0.2;
+    b.p = 0.8;
+    EXPECT_EQ(sample_size(1'000'000, a), sample_size(1'000'000, b));
+}
+
+TEST(SampleSize, DegeneratePYieldsMinimalSample) {
+    SampleSpec spec;
+    spec.p = 0.0;
+    EXPECT_EQ(sample_size(1'000'000, spec), 1u);
+    spec.p = 1.0;
+    EXPECT_EQ(sample_size(1'000'000, spec), 1u);
+}
+
+TEST(SampleSize, RejectsInvalidSpecs) {
+    SampleSpec bad;
+    bad.error_margin = 0.0;
+    EXPECT_THROW(sample_size(100, bad), std::domain_error);
+    bad = SampleSpec{};
+    bad.confidence = 1.0;
+    EXPECT_THROW(sample_size(100, bad), std::domain_error);
+    bad = SampleSpec{};
+    bad.p = -0.1;
+    EXPECT_THROW(sample_size(100, bad), std::domain_error);
+    bad = SampleSpec{};
+    bad.p = 1.5;
+    EXPECT_THROW(sample_size(100, bad), std::domain_error);
+}
+
+TEST(AchievedErrorMargin, InvertsSampleSize) {
+    // Computing n for margin e, then the margin for n, must return ~e
+    // (up to integer rounding of n).
+    for (const std::uint64_t N : {10'000ull, 589'824ull, 17'173'504ull}) {
+        const auto spec = paper_spec();
+        const auto n = sample_size(N, spec);
+        const double e = achieved_error_margin(N, n, spec);
+        EXPECT_NEAR(e, spec.error_margin, 1e-4) << "N=" << N;
+    }
+}
+
+TEST(AchievedErrorMargin, FullSampleHasZeroMargin) {
+    EXPECT_DOUBLE_EQ(achieved_error_margin(500, 500, paper_spec()), 0.0);
+    EXPECT_DOUBLE_EQ(achieved_error_margin(1, 1, paper_spec()), 0.0);
+}
+
+TEST(AchievedErrorMargin, ShrinksWithSampleSize) {
+    const auto spec = paper_spec();
+    double prev = 1.0;
+    for (const std::uint64_t n : {10ull, 100ull, 1000ull, 10000ull}) {
+        const double e = achieved_error_margin(1'000'000, n, spec);
+        EXPECT_LT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(AchievedErrorMarginAt, SmallerAwayFromHalf) {
+    EXPECT_LT(achieved_error_margin_at(100000, 1000, 0.01, 2.58),
+              achieved_error_margin_at(100000, 1000, 0.5, 2.58));
+}
+
+TEST(AchievedErrorMargin, RejectsBadInputs) {
+    EXPECT_THROW(achieved_error_margin(100, 0, paper_spec()), std::domain_error);
+    EXPECT_THROW(achieved_error_margin(100, 101, paper_spec()),
+                 std::domain_error);
+}
+
+}  // namespace
+}  // namespace statfi::stats

@@ -1,0 +1,155 @@
+// Tests for the without-replacement samplers that draw fault samples.
+
+#include "stats/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace statfi::stats {
+namespace {
+
+struct SamplerCase {
+    std::uint64_t population;
+    std::uint64_t n;
+};
+
+class SamplerTest : public ::testing::TestWithParam<SamplerCase> {};
+
+TEST_P(SamplerTest, FloydProducesDistinctSortedInRange) {
+    Rng rng(11);
+    const auto [N, n] = GetParam();
+    const auto sample = sample_without_replacement(N, n, rng);
+    ASSERT_EQ(sample.size(), n);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) == sample.end());
+    for (const auto idx : sample) EXPECT_LT(idx, N);
+}
+
+TEST_P(SamplerTest, SelectionProducesDistinctSortedInRange) {
+    Rng rng(13);
+    const auto [N, n] = GetParam();
+    if (N > 10'000'000) GTEST_SKIP() << "Algorithm S is O(N) by design";
+    const auto sample = selection_sample(N, n, rng);
+    ASSERT_EQ(sample.size(), n);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) == sample.end());
+    for (const auto idx : sample) EXPECT_LT(idx, N);
+}
+
+TEST_P(SamplerTest, DispatcherProducesCorrectCount) {
+    Rng rng(17);
+    const auto [N, n] = GetParam();
+    EXPECT_EQ(sample_indices(N, n, rng).size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SamplerTest,
+                         ::testing::Values(SamplerCase{10, 0}, SamplerCase{10, 1},
+                                           SamplerCase{10, 10},
+                                           SamplerCase{1000, 37},
+                                           SamplerCase{1000, 999},
+                                           SamplerCase{1'000'000, 100},
+                                           SamplerCase{1ull << 40, 1000}));
+
+TEST(Sampler, FullSampleIsIdentity) {
+    Rng rng(3);
+    const auto sample = sample_indices(100, 100, rng);
+    for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Sampler, RejectsOversizedSample) {
+    Rng rng(3);
+    EXPECT_THROW(sample_without_replacement(5, 6, rng), std::domain_error);
+    EXPECT_THROW(selection_sample(5, 6, rng), std::domain_error);
+    EXPECT_THROW(sample_indices(5, 6, rng), std::domain_error);
+}
+
+TEST(Sampler, Deterministic) {
+    Rng a(99), b(99);
+    EXPECT_EQ(sample_without_replacement(10000, 50, a),
+              sample_without_replacement(10000, 50, b));
+}
+
+TEST(Sampler, UniformInclusionProbability) {
+    // Every element of [0, 20) should be included ~n/N of the time.
+    constexpr std::uint64_t N = 20, n = 5;
+    constexpr int trials = 20000;
+    std::map<std::uint64_t, int> counts;
+    Rng rng(123);
+    for (int t = 0; t < trials; ++t)
+        for (const auto idx : sample_without_replacement(N, n, rng))
+            ++counts[idx];
+    for (std::uint64_t i = 0; i < N; ++i)
+        EXPECT_NEAR(counts[i] / static_cast<double>(trials),
+                    static_cast<double>(n) / N, 0.02)
+            << "element " << i;
+}
+
+TEST(Sampler, SelectionUniformInclusionProbability) {
+    constexpr std::uint64_t N = 12, n = 4;
+    constexpr int trials = 15000;
+    std::map<std::uint64_t, int> counts;
+    Rng rng(321);
+    for (int t = 0; t < trials; ++t)
+        for (const auto idx : selection_sample(N, n, rng)) ++counts[idx];
+    for (std::uint64_t i = 0; i < N; ++i)
+        EXPECT_NEAR(counts[i] / static_cast<double>(trials),
+                    static_cast<double>(n) / N, 0.02);
+}
+
+TEST(Reservoir, ShortStreamReturnsEverything) {
+    std::vector<int> stream{1, 2, 3};
+    Rng rng(5);
+    const auto sample = reservoir_sample(stream.begin(), stream.end(), 10, rng);
+    EXPECT_EQ(sample, stream);
+}
+
+TEST(Reservoir, LongStreamKeepsExactlyN) {
+    std::vector<int> stream(1000);
+    std::iota(stream.begin(), stream.end(), 0);
+    Rng rng(5);
+    const auto sample = reservoir_sample(stream.begin(), stream.end(), 32, rng);
+    ASSERT_EQ(sample.size(), 32u);
+    std::set<int> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 32u);
+}
+
+TEST(Reservoir, UniformInclusion) {
+    std::vector<int> stream(25);
+    std::iota(stream.begin(), stream.end(), 0);
+    std::map<int, int> counts;
+    Rng rng(6);
+    constexpr int trials = 20000;
+    for (int t = 0; t < trials; ++t)
+        for (const int v : reservoir_sample(stream.begin(), stream.end(), 5, rng))
+            ++counts[v];
+    for (const int v : stream)
+        EXPECT_NEAR(counts[v] / static_cast<double>(trials), 0.2, 0.02);
+}
+
+TEST(Shuffle, IsAPermutation) {
+    std::vector<int> items(200);
+    std::iota(items.begin(), items.end(), 0);
+    auto expected = items;
+    Rng rng(7);
+    shuffle(items, rng);
+    EXPECT_NE(items, expected);  // astronomically unlikely to be identity
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, expected);
+}
+
+TEST(Shuffle, HandlesDegenerateSizes) {
+    std::vector<int> empty;
+    std::vector<int> one{42};
+    Rng rng(8);
+    shuffle(empty, rng);
+    shuffle(one, rng);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace statfi::stats

@@ -1,0 +1,100 @@
+// Tests for stratified-sampling allocation rules.
+
+#include "stats/stratified.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace statfi::stats {
+namespace {
+
+std::uint64_t total(const std::vector<std::uint64_t>& xs) {
+    return std::accumulate(xs.begin(), xs.end(), std::uint64_t{0});
+}
+
+TEST(Proportional, SumsExactly) {
+    const std::vector<std::uint64_t> sizes{100, 200, 700};
+    const auto alloc = proportional_allocation(sizes, 100);
+    EXPECT_EQ(total(alloc), 100u);
+    EXPECT_EQ(alloc[0], 10u);
+    EXPECT_EQ(alloc[1], 20u);
+    EXPECT_EQ(alloc[2], 70u);
+}
+
+TEST(Proportional, LargestRemainderRounding) {
+    const std::vector<std::uint64_t> sizes{1, 1, 1};
+    const auto alloc = proportional_allocation(sizes, 2);
+    EXPECT_EQ(total(alloc), 2u);
+    for (const auto a : alloc) EXPECT_LE(a, 1u);
+}
+
+TEST(Proportional, RespectsCaps) {
+    const std::vector<std::uint64_t> sizes{2, 1000};
+    const auto alloc = proportional_allocation(sizes, 500);
+    EXPECT_EQ(total(alloc), 500u);
+    EXPECT_LE(alloc[0], 2u);
+}
+
+TEST(Proportional, BudgetExceedsCapacity) {
+    const std::vector<std::uint64_t> sizes{3, 4};
+    const auto alloc = proportional_allocation(sizes, 100);
+    EXPECT_EQ(alloc[0], 3u);
+    EXPECT_EQ(alloc[1], 4u);
+}
+
+TEST(Proportional, ZeroBudget) {
+    const auto alloc = proportional_allocation({10, 20}, 0);
+    EXPECT_EQ(total(alloc), 0u);
+}
+
+TEST(Proportional, EmptyStrata) {
+    EXPECT_TRUE(proportional_allocation({}, 10).empty());
+}
+
+TEST(Proportional, ZeroSizedStratumGetsNothing) {
+    const auto alloc = proportional_allocation({0, 100}, 50);
+    EXPECT_EQ(alloc[0], 0u);
+    EXPECT_EQ(alloc[1], 50u);
+}
+
+TEST(Neyman, WeightsBySigma) {
+    // Equal sizes, one stratum twice as variable -> ~2x allocation.
+    const std::vector<std::uint64_t> sizes{1000, 1000};
+    const std::vector<double> sds{1.0, 2.0};
+    const auto alloc = neyman_allocation(sizes, sds, 300);
+    EXPECT_EQ(total(alloc), 300u);
+    EXPECT_EQ(alloc[0], 100u);
+    EXPECT_EQ(alloc[1], 200u);
+}
+
+TEST(Neyman, MatchesProportionalForEqualSigma) {
+    const std::vector<std::uint64_t> sizes{100, 300, 600};
+    const std::vector<double> sds{0.5, 0.5, 0.5};
+    EXPECT_EQ(neyman_allocation(sizes, sds, 100),
+              proportional_allocation(sizes, 100));
+}
+
+TEST(Neyman, ZeroVarianceStratumStaysObservable) {
+    const std::vector<std::uint64_t> sizes{1000, 1000};
+    const std::vector<double> sds{0.0, 1.0};
+    const auto alloc = neyman_allocation(sizes, sds, 100);
+    EXPECT_EQ(total(alloc), 100u);
+    EXPECT_GE(alloc[0], 1u);  // minimal allocation despite zero variance
+}
+
+TEST(Neyman, RespectsCaps) {
+    const std::vector<std::uint64_t> sizes{5, 10000};
+    const std::vector<double> sds{100.0, 0.1};
+    const auto alloc = neyman_allocation(sizes, sds, 600);
+    EXPECT_LE(alloc[0], 5u);
+    EXPECT_EQ(total(alloc), 600u);
+}
+
+TEST(Neyman, RejectsMismatchedInputs) {
+    EXPECT_THROW(neyman_allocation({1, 2}, {0.5}, 10), std::domain_error);
+    EXPECT_THROW(neyman_allocation({1}, {-0.5}, 10), std::domain_error);
+}
+
+}  // namespace
+}  // namespace statfi::stats

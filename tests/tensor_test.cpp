@@ -1,0 +1,118 @@
+// Tests for the Tensor/Shape substrate.
+
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace statfi {
+namespace {
+
+TEST(Shape, RankAndNumel) {
+    const Shape s{2, 3, 4, 5};
+    EXPECT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.numel(), 120u);
+    EXPECT_EQ(s[2], 4);
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, RejectsNegativeDims) {
+    EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, EqualityAndToString) {
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_FALSE(Shape({1, 2}) == Shape({2, 1}));
+    EXPECT_EQ(Shape({3, 4}).to_string(), "[3, 4]");
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+    EXPECT_THROW(Shape({2}).dim(1), std::out_of_range);
+}
+
+TEST(Tensor, ConstructAndFill) {
+    Tensor t(Shape{2, 3}, 1.5f);
+    EXPECT_EQ(t.numel(), 6u);
+    for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 1.5f);
+    t.zero();
+    EXPECT_EQ(t[3], 0.0f);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+    Tensor t(Shape{2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 9.0f;
+    EXPECT_EQ(t[static_cast<std::size_t>(((1 * 3 + 2) * 4 + 3) * 5 + 4)], 9.0f);
+    EXPECT_EQ(t.at4(1, 2, 3, 4), 9.0f);
+}
+
+TEST(Tensor, At2Layout) {
+    Tensor t(Shape{3, 4});
+    t.at2(2, 1) = 5.0f;
+    EXPECT_EQ(t[9], 5.0f);
+}
+
+TEST(Tensor, AccessorsRejectWrongRank) {
+    Tensor t2(Shape{2, 2});
+    Tensor t4(Shape{1, 1, 2, 2});
+    EXPECT_THROW(t2.at4(0, 0, 0, 0), std::logic_error);
+    EXPECT_THROW(t4.at2(0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t(Shape{2, 6});
+    for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+    const Tensor r = t.reshaped(Shape{3, 4});
+    EXPECT_EQ(r.shape(), Shape({3, 4}));
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, ReshapeRejectsNumelMismatch) {
+    EXPECT_THROW(Tensor(Shape{2, 3}).reshaped(Shape{7}), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlace) {
+    Tensor a(Shape{4}, 1.0f), b(Shape{4}, 2.5f);
+    a.add_(b);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], 3.5f);
+    EXPECT_THROW(a.add_(Tensor(Shape{5})), std::invalid_argument);
+}
+
+TEST(Tensor, Scale) {
+    Tensor a(Shape{3}, 2.0f);
+    a.scale_(-0.5f);
+    EXPECT_EQ(a[1], -1.0f);
+}
+
+TEST(Tensor, MaxAbsAndSum) {
+    Tensor t(Shape{4});
+    t[0] = -3.0f;
+    t[1] = 2.0f;
+    t[2] = 0.5f;
+    t[3] = -0.5f;
+    EXPECT_EQ(t.max_abs(), 3.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), -1.0);
+}
+
+TEST(Tensor, AllFiniteDetectsNanAndInf) {
+    Tensor t(Shape{3}, 1.0f);
+    EXPECT_TRUE(t.all_finite());
+    t[1] = std::nanf("");
+    EXPECT_FALSE(t.all_finite());
+    t[1] = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numel(), 0u);
+}
+
+}  // namespace
+}  // namespace statfi

@@ -1,0 +1,312 @@
+// statfi — command-line front end for the StatFI library.
+//
+//   statfi models
+//   statfi profile  --model <name> [--dtype fp32|fp16|bf16|int8] [--seed S]
+//   statfi plan     --model <name> --approach <a> [--margin E] [--confidence C]
+//                   [--dtype T] [--seed S]
+//   statfi campaign --model <name> --approach <a> [--margin E] [--confidence C]
+//                   [--images N] [--policy any|golden|drop] [--train]
+//                   [--dtype T] [--seed S]
+//   statfi exhaustive --model <name> [--images N] [--policy ...] [--train]
+//
+// Approaches: network-wise | layer-wise | data-unaware | data-aware.
+// --train fits the model on the synthetic dataset first (recommended for
+// micronet; the big topologies run with Kaiming weights and the
+// golden-mismatch policy unless trained).
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/data_aware.hpp"
+#include "core/estimator.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
+#include "data/synthetic.hpp"
+#include "models/registry.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace statfi;
+
+struct Options {
+    std::string command;
+    std::string model = "micronet";
+    std::string approach = "data-aware";
+    double margin = 0.01;
+    double confidence = 0.99;
+    std::int64_t images = 8;
+    std::string policy = "any";
+    bool train = false;
+    fault::DataType dtype = fault::DataType::Float32;
+    std::uint64_t seed = 2023;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+    if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+    std::cerr <<
+        "usage: statfi <command> [options]\n"
+        "commands:\n"
+        "  models                      list available model topologies\n"
+        "  profile                     data-aware bit-criticality profile\n"
+        "  plan                        print campaign plan (no injections)\n"
+        "  campaign                    run a statistical FI campaign\n"
+        "  exhaustive                  run the exhaustive census\n"
+        "options:\n"
+        "  --model NAME                micronet|resnet20|resnet32|mobilenetv2\n"
+        "  --approach A                network-wise|layer-wise|data-unaware|data-aware\n"
+        "  --margin E                  error margin (default 0.01)\n"
+        "  --confidence C              confidence level (default 0.99)\n"
+        "  --images N                  evaluation images per fault (default 8)\n"
+        "  --policy P                  any|golden|drop (default any)\n"
+        "  --train                     train the model first (synthetic data)\n"
+        "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
+        "  --seed S                    master seed (default 2023)\n";
+    std::exit(2);
+}
+
+fault::DataType parse_dtype(const std::string& s) {
+    if (s == "fp32") return fault::DataType::Float32;
+    if (s == "fp16") return fault::DataType::Float16;
+    if (s == "bf16") return fault::DataType::BFloat16;
+    if (s == "int8") return fault::DataType::Int8;
+    usage("unknown dtype '" + s + "'");
+}
+
+Options parse(int argc, char** argv) {
+    if (argc < 2) usage();
+    Options opt;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage("missing value for " + flag);
+            return argv[++i];
+        };
+        if (flag == "--model") opt.model = value();
+        else if (flag == "--approach") opt.approach = value();
+        else if (flag == "--margin") opt.margin = std::atof(value().c_str());
+        else if (flag == "--confidence") opt.confidence = std::atof(value().c_str());
+        else if (flag == "--images") opt.images = std::atoll(value().c_str());
+        else if (flag == "--policy") opt.policy = value();
+        else if (flag == "--train") opt.train = true;
+        else if (flag == "--dtype") opt.dtype = parse_dtype(value());
+        else if (flag == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else usage("unknown flag '" + flag + "'");
+    }
+    if (opt.margin <= 0 || opt.margin >= 1) usage("--margin must be in (0,1)");
+    if (opt.confidence <= 0 || opt.confidence >= 1)
+        usage("--confidence must be in (0,1)");
+    if (opt.images <= 0) usage("--images must be positive");
+    return opt;
+}
+
+int cmd_models() {
+    report::Table table({"Name", "Input", "Weights", "Description"});
+    for (const auto& info : models::available_models()) {
+        auto net = models::build_model(info.name);
+        table.add_row({info.name, info.input_shape.to_string(),
+                       report::fmt_u64(net.total_weight_count()),
+                       info.description});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+nn::Network prepare_model(const Options& opt, double* accuracy_out = nullptr) {
+    auto net = models::build_model(opt.model);
+    stats::Rng rng(opt.seed);
+    auto init_rng = rng.fork("init");
+    nn::init_network_kaiming(net, init_rng);
+    if (opt.train) {
+        data::SyntheticSpec spec;
+        spec.seed = opt.seed;
+        const auto train = data::make_synthetic(spec, 1024, "train");
+        std::cerr << "training " << opt.model << " on synthetic data...\n";
+        auto train_rng = rng.fork("train");
+        nn::train_classifier(net, train.images, train.labels, 8, 32,
+                             nn::SgdConfig{}, train_rng);
+        const auto test = data::make_synthetic(spec, 256, "test");
+        const double acc =
+            nn::top1_accuracy(net.forward(test.images), test.labels);
+        std::cerr << "test accuracy: " << report::fmt_percent(acc, 1) << "%\n";
+        if (accuracy_out) *accuracy_out = acc;
+    }
+    return net;
+}
+
+core::DataAwareConfig data_aware_config(const Options& opt, nn::Network& net) {
+    core::DataAwareConfig config;
+    config.dtype = opt.dtype;
+    if (opt.dtype == fault::DataType::Int8) {
+        float max_abs = 0.0f;
+        for (auto& ref : net.weight_layers())
+            max_abs = std::max(max_abs, ref.weight->max_abs());
+        config.quant.scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+    }
+    return config;
+}
+
+core::CampaignPlan make_plan(const Options& opt, nn::Network& net,
+                             const fault::FaultUniverse& universe) {
+    stats::SampleSpec spec;
+    spec.error_margin = opt.margin;
+    spec.confidence = opt.confidence;
+    if (opt.approach == "network-wise")
+        return core::plan_network_wise(universe, spec);
+    if (opt.approach == "layer-wise")
+        return core::plan_layer_wise(universe, spec);
+    if (opt.approach == "data-unaware")
+        return core::plan_data_unaware(universe, spec);
+    if (opt.approach == "data-aware")
+        return core::plan_data_aware(
+            universe, spec, core::analyze_network(net, data_aware_config(opt, net)));
+    usage("unknown approach '" + opt.approach + "'");
+}
+
+int cmd_profile(const Options& opt) {
+    auto net = prepare_model(opt);
+    const auto crit =
+        core::analyze_network(net, data_aware_config(opt, net));
+    report::Table table({"Bit", "f1 [%]", "Davg", "p(i)"});
+    for (int bit = crit.bits() - 1; bit >= 0; --bit) {
+        const auto i = static_cast<std::size_t>(bit);
+        table.add_row({std::to_string(bit), report::fmt_percent(crit.f1[i], 1),
+                       report::fmt_double(crit.davg[i], 6),
+                       report::fmt_double(crit.p[i], 5)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_plan(const Options& opt) {
+    auto net = prepare_model(opt);
+    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
+    const auto plan = make_plan(opt, net, universe);
+    report::Table table({"Layer", "Name", "Population", "Planned FIs"});
+    for (int l = 0; l < universe.layer_count(); ++l)
+        table.add_row({std::to_string(l), universe.layer(l).name,
+                       report::fmt_u64(universe.layer_population(l)),
+                       report::fmt_u64(plan.layer_sample_size(universe, l))});
+    table.add_row({"Total", "", report::fmt_u64(universe.total()),
+                   report::fmt_u64(plan.total_sample_size())});
+    table.print(std::cout);
+    std::cout << "\n" << core::to_string(plan.approach) << " @ e="
+              << report::fmt_percent(opt.margin, 1) << "%, conf="
+              << report::fmt_percent(opt.confidence, 0) << "%, dtype="
+              << fault::to_string(opt.dtype) << ": injects "
+              << report::fmt_percent(
+                     static_cast<double>(plan.total_sample_size()) /
+                         static_cast<double>(universe.total()),
+                     2)
+              << "% of the exhaustive census\n";
+    return 0;
+}
+
+core::ExecutorConfig executor_config(const Options& opt) {
+    core::ExecutorConfig config;
+    config.dtype = opt.dtype;
+    if (opt.policy == "any")
+        config.policy = core::ClassificationPolicy::AnyMisprediction;
+    else if (opt.policy == "golden")
+        config.policy = core::ClassificationPolicy::GoldenMismatch;
+    else if (opt.policy == "drop")
+        config.policy = core::ClassificationPolicy::AccuracyDrop;
+    else
+        usage("unknown policy '" + opt.policy + "'");
+    return config;
+}
+
+void print_estimates(const fault::FaultUniverse& universe,
+                     const core::CampaignResult& result, double confidence) {
+    core::EstimatorConfig est_config;
+    est_config.confidence = confidence;
+    const auto network = core::estimate_network(universe, result, est_config);
+    std::cout << "\nnetwork critical-fault rate: "
+              << report::fmt_percent(network.rate, 3) << "% +- "
+              << report::fmt_percent(network.margin, 3) << "%\n\n";
+    report::Table table({"Layer", "Name", "Critical [%]", "Margin [%]", "FIs"});
+    for (const auto& le :
+         core::estimate_layers(universe, result, est_config))
+        table.add_row({std::to_string(le.layer), universe.layer(le.layer).name,
+                       report::fmt_percent(le.estimate.rate, 3),
+                       report::fmt_percent(le.estimate.margin, 3),
+                       report::fmt_u64(le.estimate.injected)});
+    table.print(std::cout);
+}
+
+int cmd_campaign(const Options& opt) {
+    auto net = prepare_model(opt);
+    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
+    const auto plan = make_plan(opt, net, universe);
+    std::cout << core::to_string(plan.approach) << " campaign: "
+              << report::fmt_u64(plan.total_sample_size()) << " of "
+              << report::fmt_u64(universe.total()) << " faults, "
+              << opt.images << " image(s) per fault, policy " << opt.policy
+              << "\n";
+
+    data::SyntheticSpec spec;
+    spec.seed = opt.seed;
+    const auto eval = data::make_synthetic(spec, opt.images, "test");
+    core::CampaignExecutor executor(net, eval, executor_config(opt));
+    std::cout << "golden accuracy on evaluation set: "
+              << report::fmt_percent(executor.golden_accuracy(), 1) << "%\n"
+              << "running...\n";
+    const auto result = executor.run(universe, plan,
+                                     stats::Rng(opt.seed).fork("campaign"));
+    std::cout << "done in " << report::fmt_double(result.wall_seconds, 1)
+              << "s (" << report::fmt_u64(executor.inference_count())
+              << " faulty inferences)\n";
+    print_estimates(universe, result, opt.confidence);
+    return 0;
+}
+
+int cmd_exhaustive(const Options& opt) {
+    auto net = prepare_model(opt);
+    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
+    data::SyntheticSpec spec;
+    spec.seed = opt.seed;
+    const auto eval = data::make_synthetic(spec, opt.images, "test");
+    core::CampaignExecutor executor(net, eval, executor_config(opt));
+    std::cout << "exhaustive census: " << report::fmt_u64(universe.total())
+              << " faults x " << opt.images << " image(s)\n";
+    const auto truth = executor.run_exhaustive(
+        universe, [](std::uint64_t done, std::uint64_t total) {
+            if (done % 65536 == 0 || done == total)
+                std::cerr << "\r  " << done << "/" << total << std::flush;
+            if (done == total) std::cerr << "\n";
+        });
+    std::cout << "critical rate: "
+              << report::fmt_percent(truth.network_critical_rate(), 4)
+              << "%\n\n";
+    report::Table table({"Layer", "Name", "Critical [%]"});
+    for (int l = 0; l < universe.layer_count(); ++l)
+        table.add_row(
+            {std::to_string(l), universe.layer(l).name,
+             report::fmt_percent(truth.layer_critical_rate(universe, l), 4)});
+    table.print(std::cout);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Options opt = parse(argc, argv);
+        if (opt.command == "models") return cmd_models();
+        if (opt.command == "profile") return cmd_profile(opt);
+        if (opt.command == "plan") return cmd_plan(opt);
+        if (opt.command == "campaign") return cmd_campaign(opt);
+        if (opt.command == "exhaustive") return cmd_exhaustive(opt);
+        usage("unknown command '" + opt.command + "'");
+    } catch (const std::exception& e) {
+        std::cerr << "statfi: " << e.what() << "\n";
+        return 1;
+    }
+}
