@@ -1,0 +1,173 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/checksum.hpp"
+
+namespace statfi::core {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'S', 'F', 'I', 'J'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kRecordSize = 8 + 1 + 4;  // index + outcome + crc
+
+void put_u32(std::string& buf, std::uint32_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put_u64(std::string& buf, std::uint64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Header bytes after the magic: version + fingerprint + crc over the
+/// preceding fields. Byte order is the writing machine's — journals and
+/// caches are machine-local scratch, not interchange files.
+std::string encode_header(const CampaignFingerprint& fp) {
+    std::string body;
+    put_u32(body, kJournalVersion);
+    put_u64(body, fp.universe_size);
+    body.push_back(static_cast<char>(fp.dtype));
+    body.push_back(static_cast<char>(fp.policy));
+    std::uint64_t threshold_bits = 0;
+    static_assert(sizeof(threshold_bits) == sizeof(fp.accuracy_drop_threshold));
+    std::memcpy(&threshold_bits, &fp.accuracy_drop_threshold,
+                sizeof(threshold_bits));
+    put_u64(body, threshold_bits);
+    put_u32(body, fp.eval_hash);
+    put_u32(body, fp.weights_hash);
+    put_u32(body, static_cast<std::uint32_t>(fp.model_id.size()));
+    body.append(fp.model_id);
+
+    std::string header(kJournalMagic, sizeof(kJournalMagic));
+    header += body;
+    put_u32(header, io::crc32(body.data(), body.size()));
+    return header;
+}
+
+std::string encode_record(std::uint64_t fault_index, std::uint8_t outcome) {
+    std::string rec;
+    put_u64(rec, fault_index);
+    rec.push_back(static_cast<char>(outcome));
+    put_u32(rec, io::crc32(rec.data(), rec.size()));
+    return rec;
+}
+
+std::string hex(std::uint32_t v) {
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string CampaignFingerprint::describe() const {
+    std::ostringstream os;
+    os << "model=" << model_id << " N=" << universe_size
+       << " dtype=" << static_cast<int>(dtype)
+       << " policy=" << static_cast<int>(policy)
+       << " threshold=" << accuracy_drop_threshold << " eval=" << hex(eval_hash)
+       << " weights=" << hex(weights_hash);
+    return os.str();
+}
+
+CampaignJournal::Recovery CampaignJournal::recover(
+    const std::string& path, const CampaignFingerprint& expected) {
+    Recovery result;
+    std::string bytes;
+    if (!io::read_file(path, bytes)) {
+        result.note = "no journal at " + path;
+        return result;
+    }
+    const std::string header = encode_header(expected);
+    if (bytes.size() < header.size()) {
+        result.note = "journal header truncated (" +
+                      std::to_string(bytes.size()) + " bytes, need " +
+                      std::to_string(header.size()) + ") in " + path;
+        return result;
+    }
+    if (bytes.compare(0, sizeof(kJournalMagic), kJournalMagic,
+                      sizeof(kJournalMagic)) != 0) {
+        result.note = "bad journal magic in " + path;
+        return result;
+    }
+    // Comparing the raw header bytes checks the version, every fingerprint
+    // field, and the header CRC in one pass; any difference means the file
+    // belongs to a different campaign (or a corrupted header).
+    if (bytes.compare(0, header.size(), header) != 0) {
+        result.note = "journal fingerprint mismatch in " + path +
+                      " (expected " + expected.describe() +
+                      "); discarding and starting fresh";
+        return result;
+    }
+
+    std::size_t offset = header.size();
+    while (bytes.size() - offset >= kRecordSize) {
+        std::uint32_t stored_crc = 0;
+        std::memcpy(&stored_crc, bytes.data() + offset + 9, sizeof(stored_crc));
+        if (io::crc32(bytes.data() + offset, 9) != stored_crc) break;
+        JournalRecord rec;
+        std::memcpy(&rec.fault_index, bytes.data() + offset, sizeof(rec.fault_index));
+        rec.outcome = static_cast<std::uint8_t>(bytes[offset + 8]);
+        result.records.push_back(rec);
+        offset += kRecordSize;
+    }
+    result.valid_bytes = offset;
+    if (offset != bytes.size()) {
+        result.tail_dropped = true;
+        result.note = "dropped " + std::to_string(bytes.size() - offset) +
+                      " torn/corrupt tail byte(s) after " +
+                      std::to_string(result.records.size()) +
+                      " valid record(s) in " + path;
+    }
+    return result;
+}
+
+CampaignJournal CampaignJournal::open(const std::string& path,
+                                      const CampaignFingerprint& fingerprint,
+                                      std::uint64_t keep_bytes) {
+    CampaignJournal journal;
+    journal.path_ = path;
+    if (keep_bytes > 0) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, keep_bytes, ec);
+        if (ec)
+            throw std::runtime_error("CampaignJournal::open: cannot truncate " +
+                                     path + " to valid prefix: " + ec.message());
+        journal.out_.open(path, std::ios::binary | std::ios::app);
+        if (!journal.out_)
+            throw std::runtime_error("CampaignJournal::open: cannot append to " +
+                                     path);
+    } else {
+        journal.out_.open(path, std::ios::binary | std::ios::trunc);
+        if (!journal.out_)
+            throw std::runtime_error("CampaignJournal::open: cannot create " +
+                                     path);
+        const std::string header = encode_header(fingerprint);
+        journal.out_.write(header.data(),
+                           static_cast<std::streamsize>(header.size()));
+        journal.out_.flush();
+        if (!journal.out_)
+            throw std::runtime_error(
+                "CampaignJournal::open: cannot write header to " + path);
+    }
+    return journal;
+}
+
+void CampaignJournal::append(std::uint64_t fault_index, std::uint8_t outcome) {
+    const std::string rec = encode_record(fault_index, outcome);
+    out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    ++appended_;
+}
+
+void CampaignJournal::flush() {
+    out_.flush();
+    if (!out_)
+        throw std::runtime_error("CampaignJournal::flush: write failed for " +
+                                 path_);
+}
+
+}  // namespace statfi::core

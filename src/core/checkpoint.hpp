@@ -1,0 +1,110 @@
+#pragma once
+// Durable campaign state: the journal that lets a multi-hour census survive
+// a crash, a kill, or a Ctrl-C.
+//
+// Design (DESIGN.md §5 "Durability"):
+//  * The journal is append-only. Each record is (fault_index u64, outcome
+//    u8, crc32 u32) — 13 bytes — so a record torn by a crash fails its CRC
+//    and is dropped at recovery, never parsed as data. Everything before
+//    the first bad record is trusted; everything after is discarded.
+//  * The header carries a CampaignFingerprint: universe size, data type,
+//    classification policy, and hashes of the evaluation set and golden
+//    weights. A journal written by a *different* campaign (retrained model,
+//    different eval set, different policy) fingerprints differently and is
+//    discarded with a warning instead of resumed into wrong results.
+//  * Because each fault's outcome is a deterministic function of (network,
+//    eval set, fault), replaying journal records and re-classifying only
+//    the remainder is bit-identical to an uninterrupted run — for any
+//    interruption point and any worker count (asserted in
+//    tests/core/durability_test.cpp).
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace statfi::core {
+
+/// Cooperative cancellation: set from a signal handler or another thread,
+/// polled by the executors between fault classifications. Lock-free and
+/// async-signal-safe to set.
+class CancellationToken {
+public:
+    void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> stop_{false};
+};
+
+/// Identity of a campaign. Journals and resumable caches are only reused
+/// when every field matches; any mismatch means the stored outcomes answer
+/// a different question.
+struct CampaignFingerprint {
+    std::string model_id;                  ///< topology name, free-form
+    std::uint64_t universe_size = 0;       ///< N (faults in the universe)
+    std::uint8_t dtype = 0;                ///< fault::DataType
+    std::uint8_t policy = 0;               ///< ClassificationPolicy
+    double accuracy_drop_threshold = 0.0;  ///< AccuracyDrop parameter
+    std::uint32_t eval_hash = 0;           ///< CRC32 of eval images + labels
+    std::uint32_t weights_hash = 0;        ///< CRC32 of golden weights
+
+    [[nodiscard]] bool operator==(const CampaignFingerprint&) const = default;
+    /// "model=micronet N=134528 dtype=0 policy=0 eval=0x.. weights=0x.."
+    [[nodiscard]] std::string describe() const;
+};
+
+struct JournalRecord {
+    std::uint64_t fault_index = 0;
+    std::uint8_t outcome = 0;
+};
+
+/// Append-only, CRC-protected record of classified faults.
+class CampaignJournal {
+public:
+    struct Recovery {
+        std::vector<JournalRecord> records;  ///< valid records, append order
+        std::uint64_t valid_bytes = 0;  ///< parse-clean prefix of the file
+        bool tail_dropped = false;      ///< a torn/corrupt tail was discarded
+        std::string note;  ///< names the failed invariant; empty = clean file
+    };
+
+    /// Scan an existing journal. A missing file, short/corrupt header, or a
+    /// fingerprint belonging to a different campaign yields an empty
+    /// recovery whose `note` names which invariant failed — the caller
+    /// starts fresh. A torn or bit-flipped tail yields the valid prefix
+    /// with tail_dropped set; it is a warning, not an error.
+    static Recovery recover(const std::string& path,
+                            const CampaignFingerprint& expected);
+
+    /// Open @p path for appending. @p keep_bytes (from Recovery::valid_bytes)
+    /// nonzero: the file is truncated to that prefix — dropping any torn
+    /// tail — and appended to. Zero: the file is recreated with a fresh
+    /// header. Throws std::runtime_error when the file cannot be opened.
+    static CampaignJournal open(const std::string& path,
+                                const CampaignFingerprint& fingerprint,
+                                std::uint64_t keep_bytes = 0);
+
+    CampaignJournal(CampaignJournal&&) = default;
+    CampaignJournal& operator=(CampaignJournal&&) = default;
+
+    /// Buffered append; call flush() to force records to disk.
+    void append(std::uint64_t fault_index, std::uint8_t outcome);
+    void flush();
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+private:
+    CampaignJournal() = default;
+
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t appended_ = 0;
+};
+
+}  // namespace statfi::core

@@ -2,10 +2,15 @@
 
 #include <chrono>
 #include <cmath>
-#include <fstream>
+#include <cstring>
+#include <iostream>
 #include <numeric>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
+#include "io/checksum.hpp"
 #include "stats/sampling.hpp"
 
 namespace statfi::core {
@@ -80,36 +85,72 @@ double ExhaustiveOutcomes::network_critical_rate() const {
 
 namespace {
 constexpr char kOutcomeMagic[4] = {'S', 'F', 'I', 'O'};
+// v2 adds the version word and a CRC32 trailer over the payload; v1 files
+// (no version, no checksum) fail the version check and are regenerated.
+constexpr std::uint32_t kOutcomeVersion = 2;
+constexpr std::size_t kOutcomeHeaderSize =
+    sizeof(kOutcomeMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+std::string hex32(std::uint32_t v) {
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
 }
+}  // namespace
 
 void ExhaustiveOutcomes::save(const std::string& path) const {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        throw std::runtime_error("ExhaustiveOutcomes::save: cannot open " + path);
-    os.write(kOutcomeMagic, sizeof(kOutcomeMagic));
-    const std::uint64_t size = outcomes_.size();
-    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
-    os.write(reinterpret_cast<const char*>(outcomes_.data()),
-             static_cast<std::streamsize>(outcomes_.size()));
-    if (!os)
-        throw std::runtime_error("ExhaustiveOutcomes::save: write failed: " + path);
+    io::write_file_atomic(path, [&](std::ostream& os) {
+        os.write(kOutcomeMagic, sizeof(kOutcomeMagic));
+        const std::uint32_t version = kOutcomeVersion;
+        os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+        const std::uint64_t size = outcomes_.size();
+        os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+        os.write(reinterpret_cast<const char*>(outcomes_.data()),
+                 static_cast<std::streamsize>(outcomes_.size()));
+        const std::uint32_t checksum =
+            io::crc32(outcomes_.data(), outcomes_.size());
+        os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    });
 }
 
 ExhaustiveOutcomes ExhaustiveOutcomes::load(const std::string& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    const auto fail = [&](const std::string& why) -> std::runtime_error {
+        return std::runtime_error("ExhaustiveOutcomes::load: " + why + " in " +
+                                  path);
+    };
+    std::string bytes;
+    if (!io::read_file(path, bytes))
         throw std::runtime_error("ExhaustiveOutcomes::load: cannot open " + path);
-    char magic[4];
-    is.read(magic, sizeof(magic));
-    if (!is || std::string_view(magic, 4) != std::string_view(kOutcomeMagic, 4))
-        throw std::runtime_error("ExhaustiveOutcomes::load: bad magic in " + path);
+    if (bytes.size() < kOutcomeHeaderSize)
+        throw fail("short header (" + std::to_string(bytes.size()) +
+                   " bytes, need " + std::to_string(kOutcomeHeaderSize) + ")");
+    if (bytes.compare(0, sizeof(kOutcomeMagic), kOutcomeMagic,
+                      sizeof(kOutcomeMagic)) != 0)
+        throw fail("bad magic (want \"SFIO\")");
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + sizeof(kOutcomeMagic), sizeof(version));
+    if (version != kOutcomeVersion)
+        throw fail("unsupported version " + std::to_string(version) +
+                   " (supported: " + std::to_string(kOutcomeVersion) + ")");
     std::uint64_t size = 0;
-    is.read(reinterpret_cast<char*>(&size), sizeof(size));
+    std::memcpy(&size, bytes.data() + sizeof(kOutcomeMagic) + sizeof(version),
+                sizeof(size));
+    const std::uint64_t expected =
+        kOutcomeHeaderSize + size + sizeof(std::uint32_t);
+    if (bytes.size() != expected)
+        throw fail("truncated payload (header promises " +
+                   std::to_string(size) + " outcomes = " +
+                   std::to_string(expected) + " bytes, file has " +
+                   std::to_string(bytes.size()) + ")");
+    const char* payload = bytes.data() + kOutcomeHeaderSize;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, payload + size, sizeof(stored));
+    const std::uint32_t computed = io::crc32(payload, size);
+    if (stored != computed)
+        throw fail("checksum mismatch (stored " + hex32(stored) +
+                   ", computed " + hex32(computed) + ")");
     ExhaustiveOutcomes out(size);
-    is.read(reinterpret_cast<char*>(out.outcomes_.data()),
-            static_cast<std::streamsize>(size));
-    if (!is)
-        throw std::runtime_error("ExhaustiveOutcomes::load: truncated: " + path);
+    std::memcpy(out.outcomes_.data(), payload, size);
     return out;
 }
 
@@ -217,7 +258,8 @@ FaultOutcome CampaignExecutor::evaluate(const fault::Fault& fault) {
 }
 
 CampaignResult CampaignExecutor::run(const fault::FaultUniverse& universe,
-                                     const CampaignPlan& plan, stats::Rng rng) {
+                                     const CampaignPlan& plan, stats::Rng rng,
+                                     const CancellationToken* cancel) {
     const auto start = std::chrono::steady_clock::now();
     CampaignResult result;
     result.approach = plan.approach;
@@ -239,6 +281,10 @@ CampaignResult CampaignExecutor::run(const fault::FaultUniverse& universe,
         const auto indices =
             stats::sample_indices(sp.population, sp.sample_size, stream);
         for (const std::uint64_t local : indices) {
+            if (cancel && cancel->stop_requested()) {
+                result.interrupted = true;
+                break;
+            }
             fault::Fault fault;
             if (sp.layer >= 0 && sp.bit >= 0) {
                 fault = universe.decode_in_subpop(sp.layer, sp.bit, local);
@@ -259,6 +305,7 @@ CampaignResult CampaignExecutor::run(const fault::FaultUniverse& universe,
             }
         }
         result.subpops.push_back(std::move(tally));
+        if (result.interrupted) break;
     }
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -266,25 +313,117 @@ CampaignResult CampaignExecutor::run(const fault::FaultUniverse& universe,
     return result;
 }
 
+CampaignFingerprint CampaignExecutor::fingerprint(
+    const fault::FaultUniverse& universe, std::string model_id) const {
+    CampaignFingerprint fp;
+    fp.model_id = std::move(model_id);
+    fp.universe_size = universe.total();
+    fp.dtype = static_cast<std::uint8_t>(config_.dtype);
+    fp.policy = static_cast<std::uint8_t>(config_.policy);
+    fp.accuracy_drop_threshold = config_.accuracy_drop_threshold;
+
+    io::Crc32 eval;
+    for (const auto& image : images_)
+        eval.update(image.data(), image.numel() * sizeof(float));
+    for (const int label : labels_) eval.update(&label, sizeof(label));
+    fp.eval_hash = eval.value();
+
+    io::Crc32 weights;
+    for (const auto& ref : net_->weight_layers())
+        weights.update(ref.weight->data(), ref.weight->numel() * sizeof(float));
+    fp.weights_hash = weights.value();
+    return fp;
+}
+
 ExhaustiveOutcomes CampaignExecutor::run_exhaustive(
     const fault::FaultUniverse& universe, const Progress& progress) {
-    ExhaustiveOutcomes outcomes(universe.total());
+    return run_exhaustive_durable(universe, DurabilityOptions{}, progress)
+        .outcomes;
+}
+
+ExhaustiveRun CampaignExecutor::run_exhaustive_durable(
+    const fault::FaultUniverse& universe, const DurabilityOptions& options,
+    const Progress& progress) {
+    ExhaustiveRun run;
+    run.outcomes = ExhaustiveOutcomes(universe.total());
     const std::uint64_t total = universe.total();
-    std::uint64_t done = 0;
+
+    // Resume: replay every journaled record, then classify the remainder.
+    std::vector<std::uint8_t> already_done;
+    std::optional<CampaignJournal> journal;
+    if (!options.journal_path.empty()) {
+        const CampaignFingerprint fp = fingerprint(universe, options.model_id);
+        auto recovery = CampaignJournal::recover(options.journal_path, fp);
+        if (!recovery.note.empty())
+            std::cerr << "statfi: " << recovery.note << "\n";
+        already_done.assign(total, 0);
+        for (const JournalRecord& rec : recovery.records) {
+            if (rec.fault_index >= total) continue;  // defensive; CRC passed
+            run.outcomes.set(rec.fault_index,
+                             static_cast<FaultOutcome>(rec.outcome));
+            if (!already_done[rec.fault_index]) {
+                already_done[rec.fault_index] = 1;
+                ++run.resumed;
+            }
+        }
+        journal.emplace(CampaignJournal::open(options.journal_path, fp,
+                                              recovery.valid_bytes));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t done = run.resumed;
+    std::uint64_t since_flush = 0;
+    const auto report = [&] {
+        ProgressInfo info;
+        info.done = done;
+        info.total = total;
+        info.elapsed_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        info.faults_per_second =
+            info.elapsed_seconds > 0.0
+                ? static_cast<double>(run.classified) / info.elapsed_seconds
+                : 0.0;
+        info.eta_seconds = info.faults_per_second > 0.0
+                               ? static_cast<double>(total - done) /
+                                     info.faults_per_second
+                               : 0.0;
+        progress(info);
+    };
+
     for (int l = 0; l < universe.layer_count(); ++l) {
         for (int bit = 0; bit < universe.bits(); ++bit) {
             const std::uint64_t base = universe.subpop_offset(l, bit);
             const std::uint64_t subpop = universe.bit_population(l);
             for (std::uint64_t local = 0; local < subpop; ++local) {
+                const std::uint64_t index = base + local;
+                if (!already_done.empty() && already_done[index]) continue;
+                if (options.cancel && options.cancel->stop_requested()) {
+                    if (journal) journal->flush();
+                    run.complete = false;
+                    return run;
+                }
                 const fault::Fault fault =
                     universe.decode_in_subpop(l, bit, local);
-                outcomes.set(base + local, evaluate(fault));
-                if (progress && (++done & 0xFFF) == 0) progress(done, total);
+                const FaultOutcome outcome = evaluate(fault);
+                run.outcomes.set(index, outcome);
+                ++run.classified;
+                if (journal) {
+                    journal->append(index, static_cast<std::uint8_t>(outcome));
+                    if (++since_flush >= options.flush_interval) {
+                        journal->flush();
+                        since_flush = 0;
+                    }
+                }
+                ++done;
+                if (progress && (done & 0xFFF) == 0) report();
             }
         }
     }
-    if (progress) progress(total, total);
-    return outcomes;
+    done = total;
+    if (journal) journal->flush();
+    if (progress) report();
+    return run;
 }
 
 // ----------------------------------------------------------------- replay --

@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/planner.hpp"
 #include "data/synthetic.hpp"
 #include "fault/injector.hpp"
@@ -76,6 +77,9 @@ struct CampaignResult {
     stats::SampleSpec spec;
     std::vector<SubpopResult> subpops;
     double wall_seconds = 0.0;
+    /// True when a CancellationToken stopped the campaign early; tallies
+    /// cover only the faults classified before the stop.
+    bool interrupted = false;
 
     [[nodiscard]] std::uint64_t total_injected() const;
     [[nodiscard]] std::uint64_t total_critical() const;
@@ -110,12 +114,45 @@ public:
                                               int layer, int bit) const;
     [[nodiscard]] double network_critical_rate() const;
 
-    /// Binary persistence ("SFIO" format); load() validates the size.
+    /// Binary persistence ("SFIO" v2: versioned header + CRC32 trailer),
+    /// written to a temporary and atomically renamed so a crash mid-save
+    /// never leaves a torn file. load() names the violated invariant
+    /// (short header, bad magic, unsupported version, truncated payload,
+    /// checksum mismatch) in the exception message.
     void save(const std::string& path) const;
     static ExhaustiveOutcomes load(const std::string& path);
 
 private:
     std::vector<std::uint8_t> outcomes_;
+};
+
+/// Heartbeat passed to campaign Progress callbacks.
+struct ProgressInfo {
+    std::uint64_t done = 0;   ///< faults classified or resumed so far
+    std::uint64_t total = 0;  ///< universe size
+    double elapsed_seconds = 0.0;
+    double faults_per_second = 0.0;  ///< classification rate of this run
+    double eta_seconds = 0.0;        ///< estimated remaining wall time
+};
+using ProgressFn = std::function<void(const ProgressInfo&)>;
+
+/// Durability knobs for long-running exhaustive campaigns.
+struct DurabilityOptions {
+    /// Append-only checkpoint journal; empty disables journaling. When the
+    /// file already holds a journal with a matching fingerprint, the run
+    /// resumes after its last valid record.
+    std::string journal_path;
+    std::string model_id = "campaign";  ///< fingerprint component
+    std::uint64_t flush_interval = 4096;  ///< journal flush every K records
+    const CancellationToken* cancel = nullptr;  ///< optional cooperative stop
+};
+
+/// Outcome of a durable exhaustive run.
+struct ExhaustiveRun {
+    ExhaustiveOutcomes outcomes;
+    bool complete = true;  ///< false: cancelled — journal holds progress
+    std::uint64_t classified = 0;  ///< faults classified by this run
+    std::uint64_t resumed = 0;     ///< outcomes replayed from the journal
 };
 
 class CampaignExecutor {
@@ -142,16 +179,32 @@ public:
 
     /// Execute a statistical plan: per subpopulation, draw the planned
     /// number of faults without replacement (independent sub-streams of
-    /// @p rng) and classify each.
+    /// @p rng) and classify each. @p cancel (optional) stops between
+    /// faults; the partial result is marked interrupted.
     CampaignResult run(const fault::FaultUniverse& universe,
-                       const CampaignPlan& plan, stats::Rng rng);
+                       const CampaignPlan& plan, stats::Rng rng,
+                       const CancellationToken* cancel = nullptr);
 
-    using Progress = std::function<void(std::uint64_t done, std::uint64_t total)>;
+    using Progress = ProgressFn;
 
     /// Classify every fault in the universe. @p progress (optional) is
-    /// invoked every few thousand faults.
+    /// invoked every few thousand faults with rate/ETA heartbeat.
     ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
                                       const Progress& progress = {});
+
+    /// run_exhaustive with durability: journaled checkpoints every record
+    /// (flushed every flush_interval), resume from a matching journal, and
+    /// cooperative cancellation. Resuming an interrupted run produces
+    /// outcomes bit-identical to an uninterrupted one.
+    ExhaustiveRun run_exhaustive_durable(const fault::FaultUniverse& universe,
+                                         const DurabilityOptions& options,
+                                         const Progress& progress = {});
+
+    /// Campaign identity for journals/caches: universe size, dtype, policy,
+    /// plus CRC32 hashes of the evaluation set and the golden weights. A
+    /// retrained model or different eval set fingerprints differently.
+    [[nodiscard]] CampaignFingerprint fingerprint(
+        const fault::FaultUniverse& universe, std::string model_id) const;
 
 private:
     FaultOutcome classify_active_fault(int first_dirty_node);

@@ -1,6 +1,10 @@
 #include "core/parallel.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <iostream>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "stats/sampling.hpp"
@@ -40,7 +44,7 @@ double ParallelCampaignExecutor::golden_accuracy() const {
 
 CampaignResult ParallelCampaignExecutor::run(
     const fault::FaultUniverse& universe, const CampaignPlan& plan,
-    stats::Rng rng) {
+    stats::Rng rng, const CancellationToken* cancel) {
     const auto start = std::chrono::steady_clock::now();
     CampaignResult result;
     result.approach = plan.approach;
@@ -82,19 +86,27 @@ CampaignResult ParallelCampaignExecutor::run(
     // Classify in parallel; outcomes are deterministic per fault, so the
     // partitioning cannot change the tallies.
     std::vector<std::uint8_t> outcomes(items.size());
+    std::vector<std::uint8_t> evaluated(items.size(), 0);
     const std::size_t workers = workers_.size();
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
-            for (std::size_t i = w; i < items.size(); i += workers)
+            for (std::size_t i = w; i < items.size(); i += workers) {
+                if (cancel && cancel->stop_requested()) return;
                 outcomes[i] = static_cast<std::uint8_t>(
                     workers_[w]->executor.evaluate(items[i].fault));
+                evaluated[i] = 1;
+            }
         });
     }
     for (auto& t : threads) t.join();
 
     for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!evaluated[i]) {
+            result.interrupted = true;
+            continue;
+        }
         auto& tally = result.subpops[items[i].subpop];
         const auto outcome = static_cast<FaultOutcome>(outcomes[i]);
         ++tally.injected;
@@ -113,10 +125,50 @@ CampaignResult ParallelCampaignExecutor::run(
 }
 
 ExhaustiveOutcomes ParallelCampaignExecutor::run_exhaustive(
-    const fault::FaultUniverse& universe) {
-    ExhaustiveOutcomes outcomes(universe.total());
-    const std::size_t workers = workers_.size();
+    const fault::FaultUniverse& universe, const ProgressFn& progress) {
+    return run_exhaustive_durable(universe, DurabilityOptions{}, progress)
+        .outcomes;
+}
+
+ExhaustiveRun ParallelCampaignExecutor::run_exhaustive_durable(
+    const fault::FaultUniverse& universe, const DurabilityOptions& options,
+    const ProgressFn& progress) {
+    ExhaustiveRun run;
+    run.outcomes = ExhaustiveOutcomes(universe.total());
     const std::uint64_t total = universe.total();
+
+    std::vector<std::uint8_t> already_done;
+    std::optional<CampaignJournal> journal;
+    if (!options.journal_path.empty()) {
+        const CampaignFingerprint fp =
+            workers_.front()->executor.fingerprint(universe, options.model_id);
+        auto recovery = CampaignJournal::recover(options.journal_path, fp);
+        if (!recovery.note.empty())
+            std::cerr << "statfi: " << recovery.note << "\n";
+        already_done.assign(total, 0);
+        for (const JournalRecord& rec : recovery.records) {
+            if (rec.fault_index >= total) continue;
+            run.outcomes.set(rec.fault_index,
+                             static_cast<FaultOutcome>(rec.outcome));
+            if (!already_done[rec.fault_index]) {
+                already_done[rec.fault_index] = 1;
+                ++run.resumed;
+            }
+        }
+        journal.emplace(CampaignJournal::open(options.journal_path, fp,
+                                              recovery.valid_bytes));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> classified{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex sink_mutex;  // guards journal appends + progress callback
+    std::uint64_t since_flush = 0;
+
+    // Per-worker contiguous index ranges; each element of the outcome table
+    // is written by exactly one worker, so only the journal/progress sink
+    // needs the lock.
+    const std::size_t workers = workers_.size();
     const std::uint64_t chunk = (total + workers - 1) / workers;
     std::vector<std::thread> threads;
     threads.reserve(workers);
@@ -124,13 +176,69 @@ ExhaustiveOutcomes ParallelCampaignExecutor::run_exhaustive(
         threads.emplace_back([&, w] {
             const std::uint64_t lo = w * chunk;
             const std::uint64_t hi = std::min(lo + chunk, total);
-            for (std::uint64_t i = lo; i < hi; ++i)
-                outcomes.set(i, workers_[w]->executor.evaluate(
-                                    universe.decode(i)));
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                if (!already_done.empty() && already_done[i]) continue;
+                if (cancelled.load(std::memory_order_relaxed)) return;
+                if (options.cancel && options.cancel->stop_requested()) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                const FaultOutcome outcome =
+                    workers_[w]->executor.evaluate(universe.decode(i));
+                run.outcomes.set(i, outcome);
+                const std::uint64_t n =
+                    classified.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (journal || (progress && ((run.resumed + n) & 0xFFF) == 0)) {
+                    std::lock_guard<std::mutex> lock(sink_mutex);
+                    if (journal) {
+                        journal->append(i, static_cast<std::uint8_t>(outcome));
+                        if (++since_flush >= options.flush_interval) {
+                            journal->flush();
+                            since_flush = 0;
+                        }
+                    }
+                    if (progress && ((run.resumed + n) & 0xFFF) == 0) {
+                        ProgressInfo info;
+                        info.done = run.resumed + n;
+                        info.total = total;
+                        info.elapsed_seconds =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+                        info.faults_per_second =
+                            info.elapsed_seconds > 0.0
+                                ? static_cast<double>(n) / info.elapsed_seconds
+                                : 0.0;
+                        info.eta_seconds =
+                            info.faults_per_second > 0.0
+                                ? static_cast<double>(total - info.done) /
+                                      info.faults_per_second
+                                : 0.0;
+                        progress(info);
+                    }
+                }
+            }
         });
     }
     for (auto& t : threads) t.join();
-    return outcomes;
+
+    run.classified = classified.load();
+    run.complete = !cancelled.load();
+    if (journal) journal->flush();
+    if (progress && run.complete) {
+        ProgressInfo info;
+        info.done = total;
+        info.total = total;
+        info.elapsed_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        info.faults_per_second =
+            info.elapsed_seconds > 0.0
+                ? static_cast<double>(run.classified) / info.elapsed_seconds
+                : 0.0;
+        progress(info);
+    }
+    return run;
 }
 
 }  // namespace statfi::core

@@ -31,12 +31,26 @@ public:
     [[nodiscard]] double golden_accuracy() const;
 
     /// Parallel equivalent of CampaignExecutor::run() — same sampling, same
-    /// tallies, independent of the thread count.
+    /// tallies, independent of the thread count. @p cancel (optional) stops
+    /// all workers between faults; the partial result is marked interrupted
+    /// and tallies only the faults classified before the stop.
     CampaignResult run(const fault::FaultUniverse& universe,
-                       const CampaignPlan& plan, stats::Rng rng);
+                       const CampaignPlan& plan, stats::Rng rng,
+                       const CancellationToken* cancel = nullptr);
 
     /// Parallel exhaustive census (contiguous index ranges per worker).
-    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe);
+    /// @p progress receives the same rate/ETA heartbeat as the serial
+    /// executor (invoked under a lock, from worker threads).
+    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
+                                      const ProgressFn& progress = {});
+
+    /// Durable parallel census: journaled, resumable, cancellable — the
+    /// parallel twin of CampaignExecutor::run_exhaustive_durable(). Journal
+    /// appends are serialized under a lock; record order varies across runs
+    /// but the recovered outcome table does not.
+    ExhaustiveRun run_exhaustive_durable(const fault::FaultUniverse& universe,
+                                         const DurabilityOptions& options,
+                                         const ProgressFn& progress = {});
 
 private:
     struct Worker;

@@ -78,9 +78,11 @@ const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
                 truth_ = std::move(loaded);
                 return *truth_;
             }
-            std::cerr << "testbed: outcome cache size mismatch, re-running\n";
+            std::cerr << "testbed: outcome cache size mismatch (file "
+                      << loaded.size() << ", universe " << universe_->total()
+                      << "), discarding and re-running\n";
         } catch (const std::exception& e) {
-            std::cerr << "testbed: stale outcome cache (" << e.what()
+            std::cerr << "testbed: discarding outcome cache (" << e.what()
                       << "), re-running\n";
         }
     }
@@ -89,14 +91,30 @@ const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
                   << universe_->total() << " faults (cached for later runs)\n";
     CampaignExecutor::Progress progress;
     if (verbose)
-        progress = [](std::uint64_t done, std::uint64_t total) {
-            if (done % 32768 == 0 || done == total)
-                std::cerr << "\r  exhaustive: " << done << "/" << total
-                          << std::flush;
-            if (done == total) std::cerr << '\n';
+        progress = [](const ProgressInfo& p) {
+            if (p.done % 32768 == 0 || p.done == p.total)
+                std::cerr << "\r  exhaustive: " << p.done << "/" << p.total
+                          << "  (" << static_cast<std::uint64_t>(
+                                          p.faults_per_second)
+                          << " faults/s, ~" << static_cast<std::uint64_t>(
+                                                   p.eta_seconds)
+                          << "s left)" << std::flush;
+            if (p.done == p.total) std::cerr << '\n';
         };
-    truth_ = executor_->run_exhaustive(*universe_, progress);
+    // Journal the census so a killed bench resumes instead of restarting;
+    // the journal is replaced by the atomic cache file on completion.
+    DurabilityOptions durability;
+    durability.journal_path = path + ".sfij";
+    durability.model_id = "micronet";
+    auto run = executor_->run_exhaustive_durable(*universe_, durability, progress);
+    if (verbose && run.resumed > 0)
+        std::cerr << "testbed: resumed " << run.resumed
+                  << " outcomes from journal, classified " << run.classified
+                  << " more\n";
+    truth_ = std::move(run.outcomes);
     truth_->save(path);
+    std::error_code ec;
+    std::filesystem::remove(durability.journal_path, ec);
     return *truth_;
 }
 

@@ -1,0 +1,202 @@
+// Tests for the durability primitives: CRC32, atomic file writes, and the
+// checkpoint journal (round trip, torn-tail truncation, corruption,
+// fingerprint mismatch).
+
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/atomic_file.hpp"
+#include "io/checksum.hpp"
+
+namespace statfi::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() / "statfi_checkpoint_test";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    [[nodiscard]] std::string path(const char* name) const {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+CampaignFingerprint fingerprint() {
+    CampaignFingerprint fp;
+    fp.model_id = "micronet";
+    fp.universe_size = 1000;
+    fp.dtype = 0;
+    fp.policy = 1;
+    fp.eval_hash = 0xDEADBEEF;
+    fp.weights_hash = 0x12345678;
+    return fp;
+}
+
+TEST_F(CheckpointTest, Crc32KnownAnswer) {
+    // The canonical CRC32 check value.
+    EXPECT_EQ(io::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(io::crc32("", 0), 0u);
+    // Incremental updates equal the one-shot result.
+    io::Crc32 crc;
+    crc.update("1234", 4);
+    crc.update("56789", 5);
+    EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST_F(CheckpointTest, AtomicWriteReplacesAndLeavesNoTemp) {
+    const auto file = path("atomic.bin");
+    io::write_file_atomic(file, [](std::ostream& os) { os << "first"; });
+    io::write_file_atomic(file, [](std::ostream& os) { os << "second"; });
+    std::string content;
+    ASSERT_TRUE(io::read_file(file, content));
+    EXPECT_EQ(content, "second");
+    // No .tmp* siblings survive.
+    for (const auto& entry : std::filesystem::directory_iterator(dir_))
+        EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+            << entry.path();
+}
+
+TEST_F(CheckpointTest, ReadFileMissingReturnsFalse) {
+    std::string content = "untouched";
+    EXPECT_FALSE(io::read_file(path("nope.bin"), content));
+    EXPECT_EQ(content, "untouched");
+}
+
+TEST_F(CheckpointTest, JournalRoundTrip) {
+    const auto file = path("roundtrip.sfij");
+    const auto fp = fingerprint();
+    {
+        auto journal = CampaignJournal::open(file, fp);
+        for (std::uint64_t i = 0; i < 100; ++i)
+            journal.append(i * 3, static_cast<std::uint8_t>(i % 3));
+        journal.flush();
+        EXPECT_EQ(journal.appended(), 100u);
+    }
+    const auto recovery = CampaignJournal::recover(file, fp);
+    EXPECT_FALSE(recovery.tail_dropped);
+    EXPECT_TRUE(recovery.note.empty()) << recovery.note;
+    ASSERT_EQ(recovery.records.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(recovery.records[i].fault_index, i * 3);
+        EXPECT_EQ(recovery.records[i].outcome, i % 3);
+    }
+}
+
+TEST_F(CheckpointTest, MissingJournalYieldsEmptyRecoveryWithNote) {
+    const auto recovery =
+        CampaignJournal::recover(path("absent.sfij"), fingerprint());
+    EXPECT_TRUE(recovery.records.empty());
+    EXPECT_EQ(recovery.valid_bytes, 0u);
+    EXPECT_NE(recovery.note.find("no journal"), std::string::npos)
+        << recovery.note;
+}
+
+TEST_F(CheckpointTest, BadMagicYieldsEmptyRecovery) {
+    const auto file = path("garbage.sfij");
+    std::ofstream(file, std::ios::binary)
+        << "this is long enough to cover a whole header but is not a journal "
+           "file at all, not even close";
+    const auto recovery = CampaignJournal::recover(file, fingerprint());
+    EXPECT_TRUE(recovery.records.empty());
+    EXPECT_NE(recovery.note.find("magic"), std::string::npos) << recovery.note;
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchDiscardsJournal) {
+    const auto file = path("mismatch.sfij");
+    {
+        auto journal = CampaignJournal::open(file, fingerprint());
+        journal.append(1, 1);
+        journal.flush();
+    }
+    auto other = fingerprint();
+    other.weights_hash ^= 1;  // e.g. the model was retrained
+    const auto recovery = CampaignJournal::recover(file, other);
+    EXPECT_TRUE(recovery.records.empty());
+    EXPECT_NE(recovery.note.find("fingerprint mismatch"), std::string::npos)
+        << recovery.note;
+}
+
+TEST_F(CheckpointTest, TornTailIsTruncatedNotFatal) {
+    const auto file = path("torn.sfij");
+    const auto fp = fingerprint();
+    {
+        auto journal = CampaignJournal::open(file, fp);
+        for (std::uint64_t i = 0; i < 10; ++i) journal.append(i, 0);
+        journal.flush();
+    }
+    // Simulate a crash mid-append: 5 stray bytes of a half-written record.
+    {
+        std::ofstream os(file, std::ios::binary | std::ios::app);
+        os.write("\x01\x02\x03\x04\x05", 5);
+    }
+    const auto recovery = CampaignJournal::recover(file, fp);
+    EXPECT_TRUE(recovery.tail_dropped);
+    EXPECT_NE(recovery.note.find("torn"), std::string::npos) << recovery.note;
+    ASSERT_EQ(recovery.records.size(), 10u);
+
+    // Re-opening at valid_bytes drops the tail; appends continue cleanly.
+    {
+        auto journal = CampaignJournal::open(file, fp, recovery.valid_bytes);
+        journal.append(99, 2);
+        journal.flush();
+    }
+    const auto after = CampaignJournal::recover(file, fp);
+    EXPECT_FALSE(after.tail_dropped);
+    ASSERT_EQ(after.records.size(), 11u);
+    EXPECT_EQ(after.records.back().fault_index, 99u);
+    EXPECT_EQ(after.records.back().outcome, 2u);
+}
+
+TEST_F(CheckpointTest, FlippedByteStopsAtLastValidRecord) {
+    const auto file = path("flipped.sfij");
+    const auto fp = fingerprint();
+    std::uint64_t header_size = 0;
+    {
+        auto journal = CampaignJournal::open(file, fp);
+        journal.flush();
+        header_size = std::filesystem::file_size(file);
+        for (std::uint64_t i = 0; i < 20; ++i) journal.append(i, 1);
+        journal.flush();
+    }
+    // Flip one byte inside record 7's payload.
+    constexpr std::uint64_t kRecordSize = 13;
+    {
+        std::fstream fs(file, std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(static_cast<std::streamoff>(header_size + 7 * kRecordSize + 3));
+        fs.put('\xFF');
+    }
+    const auto recovery = CampaignJournal::recover(file, fp);
+    EXPECT_TRUE(recovery.tail_dropped);
+    ASSERT_EQ(recovery.records.size(), 7u);  // records 0..6 survive
+    EXPECT_EQ(recovery.valid_bytes, header_size + 7 * kRecordSize);
+}
+
+TEST_F(CheckpointTest, FingerprintDescribeNamesEveryField) {
+    const auto text = fingerprint().describe();
+    EXPECT_NE(text.find("micronet"), std::string::npos);
+    EXPECT_NE(text.find("N=1000"), std::string::npos);
+    EXPECT_NE(text.find("eval="), std::string::npos);
+    EXPECT_NE(text.find("weights="), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CancellationTokenTogglesAndResets) {
+    CancellationToken token;
+    EXPECT_FALSE(token.stop_requested());
+    token.request_stop();
+    EXPECT_TRUE(token.stop_requested());
+    token.reset();
+    EXPECT_FALSE(token.stop_requested());
+}
+
+}  // namespace
+}  // namespace statfi::core

@@ -1,0 +1,301 @@
+// Tests for the durable campaign layer: interrupt/resume bit-identity
+// (serial and parallel), corruption of every cached artifact degrading to
+// recompute instead of crashing, and cooperative cancellation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/executor.hpp"
+#include "core/parallel.hpp"
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+
+namespace statfi::core {
+namespace {
+
+/// Kaiming-initialized MicroNet under GoldenMismatch: outcomes are
+/// meaningful (golden top-1 is well-defined) without paying for training.
+struct Fixture {
+    nn::Network net;
+    data::Dataset eval;
+    fault::FaultUniverse universe;
+    ExecutorConfig config;
+
+    static Fixture make() {
+        auto net = models::make_micronet();
+        stats::Rng rng(424242);
+        nn::init_network_kaiming(net, rng);
+        auto eval = data::make_synthetic({}, 2, "test");
+        auto universe = fault::FaultUniverse::stuck_at(net);
+        ExecutorConfig config;
+        config.policy = ClassificationPolicy::GoldenMismatch;
+        return Fixture{std::move(net), std::move(eval), std::move(universe),
+                       config};
+    }
+};
+
+class DurabilityTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() / "statfi_durability_test";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    [[nodiscard]] std::string path(const char* name) const {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+void expect_identical(const ExhaustiveOutcomes& a, const ExhaustiveOutcomes& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::uint64_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.at(i), b.at(i)) << "fault " << i;
+}
+
+TEST_F(DurabilityTest, SerialResumeIsBitIdentical) {
+    auto fx = Fixture::make();
+    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    const auto baseline = exec.run_exhaustive(fx.universe);
+
+    // Interrupt mid-census: the token trips at the first progress heartbeat
+    // (a few thousand faults in — an arbitrary point, not a boundary).
+    CancellationToken cancel;
+    DurabilityOptions options;
+    options.journal_path = path("serial.sfij");
+    options.model_id = "micronet";
+    options.flush_interval = 100;
+    options.cancel = &cancel;
+    const auto first = exec.run_exhaustive_durable(
+        fx.universe, options,
+        [&](const ProgressInfo&) { cancel.request_stop(); });
+    EXPECT_FALSE(first.complete);
+    EXPECT_GT(first.classified, 0u);
+    EXPECT_LT(first.classified, fx.universe.total());
+    EXPECT_TRUE(std::filesystem::exists(options.journal_path));
+
+    // Resume: replays the journal, classifies only the remainder, and the
+    // merged table matches the uninterrupted run exactly.
+    options.cancel = nullptr;
+    const auto second = exec.run_exhaustive_durable(fx.universe, options);
+    EXPECT_TRUE(second.complete);
+    EXPECT_EQ(second.resumed, first.classified);
+    EXPECT_EQ(second.resumed + second.classified, fx.universe.total());
+    expect_identical(second.outcomes, baseline);
+}
+
+TEST_F(DurabilityTest, ParallelResumeIsBitIdentical) {
+    auto fx = Fixture::make();
+    CampaignExecutor serial(fx.net, fx.eval, fx.config);
+    const auto baseline = serial.run_exhaustive(fx.universe);
+
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, fx.config, 2);
+    CancellationToken cancel;
+    DurabilityOptions options;
+    options.journal_path = path("parallel.sfij");
+    options.model_id = "micronet";
+    options.flush_interval = 100;
+    options.cancel = &cancel;
+    const auto first = parallel.run_exhaustive_durable(
+        fx.universe, options,
+        [&](const ProgressInfo&) { cancel.request_stop(); });
+    EXPECT_FALSE(first.complete);
+    EXPECT_LT(first.classified, fx.universe.total());
+
+    options.cancel = nullptr;
+    const auto second = parallel.run_exhaustive_durable(fx.universe, options);
+    EXPECT_TRUE(second.complete);
+    EXPECT_EQ(second.resumed, first.classified);
+    expect_identical(second.outcomes, baseline);
+}
+
+TEST_F(DurabilityTest, TornJournalTailResumesBitIdentical) {
+    auto fx = Fixture::make();
+    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    const auto baseline = exec.run_exhaustive(fx.universe);
+
+    CancellationToken cancel;
+    DurabilityOptions options;
+    options.journal_path = path("torn.sfij");
+    options.model_id = "micronet";
+    options.cancel = &cancel;
+    const auto first = exec.run_exhaustive_durable(
+        fx.universe, options,
+        [&](const ProgressInfo&) { cancel.request_stop(); });
+    ASSERT_FALSE(first.complete);
+
+    // Simulate a crash mid-append: half a record at the end of the file.
+    {
+        std::ofstream os(options.journal_path,
+                         std::ios::binary | std::ios::app);
+        os.write("\x07\x00\x00\x00\x00\x00", 6);
+    }
+    options.cancel = nullptr;
+    const auto second = exec.run_exhaustive_durable(fx.universe, options);
+    EXPECT_TRUE(second.complete);
+    EXPECT_GT(second.resumed, 0u);
+    expect_identical(second.outcomes, baseline);
+}
+
+TEST_F(DurabilityTest, StaleFingerprintAfterRetrainingForcesRecompute) {
+    auto fx = Fixture::make();
+    const std::string journal = path("stale.sfij");
+    {
+        CampaignExecutor exec(fx.net, fx.eval, fx.config);
+        CancellationToken cancel;
+        DurabilityOptions options;
+        options.journal_path = journal;
+        options.model_id = "micronet";
+        options.cancel = &cancel;
+        const auto first = exec.run_exhaustive_durable(
+            fx.universe, options,
+            [&](const ProgressInfo&) { cancel.request_stop(); });
+        ASSERT_FALSE(first.complete);
+    }
+    // "Retrain": perturb one weight. The journal's weights hash no longer
+    // matches, so its records describe a different network and must not be
+    // resumed into this one.
+    fx.net.weight_layers()[0].weight->data()[0] += 0.5f;
+    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    DurabilityOptions options;
+    options.journal_path = journal;
+    options.model_id = "micronet";
+    const auto run = exec.run_exhaustive_durable(fx.universe, options);
+    EXPECT_TRUE(run.complete);
+    EXPECT_EQ(run.resumed, 0u);  // journal discarded, full recompute
+    EXPECT_EQ(run.classified, fx.universe.total());
+    expect_identical(run.outcomes, exec.run_exhaustive(fx.universe));
+}
+
+TEST_F(DurabilityTest, FlippedByteInCensusCacheIsCaughtByChecksum) {
+    ExhaustiveOutcomes outcomes(512);
+    outcomes.set(100, FaultOutcome::Critical);
+    const auto file = path("census.sfio");
+    outcomes.save(file);
+    {
+        std::fstream fs(file, std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(16 + 200);  // one payload byte
+        fs.put('\x01');
+    }
+    try {
+        ExhaustiveOutcomes::load(file);
+        FAIL() << "corrupted cache loaded without error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(DurabilityTest, TruncatedCensusCacheNamesTheInvariant) {
+    ExhaustiveOutcomes outcomes(512);
+    const auto file = path("truncated.sfio");
+    outcomes.save(file);
+    std::filesystem::resize_file(file, 16 + 100);
+    try {
+        ExhaustiveOutcomes::load(file);
+        FAIL() << "truncated cache loaded without error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated payload"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(DurabilityTest, WrongVersionCensusCacheNamesTheInvariant) {
+    ExhaustiveOutcomes outcomes(16);
+    const auto file = path("version.sfio");
+    outcomes.save(file);
+    {
+        std::fstream fs(file, std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(4);  // the version word follows the magic
+        fs.put('\x63');
+    }
+    try {
+        ExhaustiveOutcomes::load(file);
+        FAIL() << "wrong-version cache loaded without error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("unsupported version"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(DurabilityTest, FlippedByteInWeightCacheIsCaughtByChecksum) {
+    auto net = models::make_micronet();
+    stats::Rng rng(7);
+    nn::init_network_kaiming(net, rng);
+    const auto file = path("weights.sfiw");
+    nn::save_parameters(net, file);
+    nn::load_parameters(net, file);  // clean round trip
+    {
+        std::fstream fs(file, std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(static_cast<std::streamoff>(
+            std::filesystem::file_size(file) / 2));
+        fs.put('\x7F');
+    }
+    try {
+        nn::load_parameters(net, file);
+        FAIL() << "corrupted weight cache loaded without error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(DurabilityTest, CancelledStatisticalRunsAreMarkedInterrupted) {
+    auto fx = Fixture::make();
+    const auto plan = plan_network_wise(fx.universe, stats::SampleSpec{});
+    CancellationToken cancel;
+    cancel.request_stop();
+
+    CampaignExecutor serial(fx.net, fx.eval, fx.config);
+    const auto serial_result =
+        serial.run(fx.universe, plan, stats::Rng(5), &cancel);
+    EXPECT_TRUE(serial_result.interrupted);
+    EXPECT_EQ(serial_result.total_injected(), 0u);
+
+    ParallelCampaignExecutor parallel(fx.net, fx.eval, fx.config, 2);
+    const auto parallel_result =
+        parallel.run(fx.universe, plan, stats::Rng(5), &cancel);
+    EXPECT_TRUE(parallel_result.interrupted);
+    EXPECT_EQ(parallel_result.total_injected(), 0u);
+
+    // A null token leaves the result uninterrupted (and untouched).
+    cancel.reset();
+    stats::SampleSpec tiny;
+    tiny.error_margin = 0.2;
+    const auto small_plan = plan_network_wise(fx.universe, tiny);
+    const auto clean =
+        serial.run(fx.universe, small_plan, stats::Rng(5), &cancel);
+    EXPECT_FALSE(clean.interrupted);
+    EXPECT_GT(clean.total_injected(), 0u);
+}
+
+TEST_F(DurabilityTest, FingerprintTracksConfigAndWeights) {
+    auto fx = Fixture::make();
+    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    const auto base = exec.fingerprint(fx.universe, "micronet");
+    EXPECT_EQ(base, exec.fingerprint(fx.universe, "micronet"));
+    EXPECT_NE(base, exec.fingerprint(fx.universe, "othernet"));
+
+    auto other_config = fx.config;
+    other_config.policy = ClassificationPolicy::AnyMisprediction;
+    CampaignExecutor other_exec(fx.net, fx.eval, other_config);
+    EXPECT_NE(base.policy, other_exec.fingerprint(fx.universe, "micronet").policy);
+
+    fx.net.weight_layers()[0].weight->data()[0] += 1.0f;
+    CampaignExecutor perturbed(fx.net, fx.eval, fx.config);
+    EXPECT_NE(base.weights_hash,
+              perturbed.fingerprint(fx.universe, "micronet").weights_hash);
+}
+
+}  // namespace
+}  // namespace statfi::core

@@ -203,9 +203,11 @@ TEST(Executor, ExhaustiveOutcomeTableShape) {
     std::uint64_t last_done = 0;
     const auto truth = exec.run_exhaustive(
         fx.universe,
-        [&](std::uint64_t done, std::uint64_t total) {
-            EXPECT_LE(done, total);
-            last_done = done;
+        [&](const ProgressInfo& p) {
+            EXPECT_LE(p.done, p.total);
+            EXPECT_GE(p.faults_per_second, 0.0);
+            EXPECT_GE(p.eta_seconds, 0.0);
+            last_done = p.done;
         });
     EXPECT_EQ(last_done, fx.universe.total());
     EXPECT_EQ(truth.size(), fx.universe.total());

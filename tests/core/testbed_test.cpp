@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 namespace statfi::core {
 namespace {
@@ -72,6 +73,51 @@ TEST_F(TestbedTest, GroundTruthIsCachedAndStable) {
     const auto& again = reloaded.ground_truth(/*verbose=*/false);
     ASSERT_EQ(again.size(), truth.size());
     for (std::uint64_t i = 0; i < truth.size(); i += 97)
+        ASSERT_EQ(again.at(i), truth.at(i)) << "fault " << i;
+}
+
+TEST_F(TestbedTest, CorruptWeightCacheRetrainsInsteadOfCrashing) {
+    Testbed first(small_config());
+    std::filesystem::path weights;
+    for (const auto& entry : std::filesystem::directory_iterator(scratch_))
+        if (entry.path().extension() == ".sfiw") weights = entry.path();
+    ASSERT_FALSE(weights.empty());
+    // Flip one byte in the middle of the cached weights; the checksum must
+    // catch it and the testbed must retrain, reproducing the same model.
+    {
+        std::fstream fs(weights, std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(static_cast<std::streamoff>(
+            std::filesystem::file_size(weights) / 2));
+        char byte = 0;
+        fs.get(byte);
+        fs.seekp(-1, std::ios::cur);
+        fs.put(static_cast<char>(byte ^ 0x40));
+    }
+    Testbed second(small_config());
+    EXPECT_DOUBLE_EQ(first.test_accuracy(), second.test_accuracy());
+    EXPECT_DOUBLE_EQ(first.golden_accuracy(), second.golden_accuracy());
+}
+
+TEST_F(TestbedTest, CorruptOutcomeCacheRecomputesInsteadOfCrashing) {
+    Testbed first(small_config());
+    const auto& truth = first.ground_truth(/*verbose=*/false);
+    std::filesystem::path outcomes;
+    for (const auto& entry : std::filesystem::directory_iterator(scratch_))
+        if (entry.path().extension() == ".sfio") outcomes = entry.path();
+    ASSERT_FALSE(outcomes.empty());
+    {
+        std::fstream fs(outcomes,
+                        std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(16 + 1000);  // a payload byte
+        char byte = 0;
+        fs.get(byte);
+        fs.seekp(-1, std::ios::cur);
+        fs.put(static_cast<char>(byte ^ 0x01));
+    }
+    Testbed second(small_config());
+    const auto& again = second.ground_truth(/*verbose=*/false);
+    ASSERT_EQ(again.size(), truth.size());
+    for (std::uint64_t i = 0; i < truth.size(); i += 131)
         ASSERT_EQ(again.at(i), truth.at(i)) << "fault " << i;
 }
 

@@ -8,13 +8,21 @@
 //                   [--images N] [--policy any|golden|drop] [--train]
 //                   [--dtype T] [--seed S]
 //   statfi exhaustive --model <name> [--images N] [--policy ...] [--train]
+//                     [--resume] [--journal PATH]
 //
 // Approaches: network-wise | layer-wise | data-unaware | data-aware.
 // --train fits the model on the synthetic dataset first (recommended for
 // micronet; the big topologies run with Kaiming weights and the
 // golden-mismatch policy unless trained).
+//
+// Durability: `exhaustive` journals every classified fault to a checkpoint
+// file in the cache directory. Ctrl-C flushes the journal and exits
+// cleanly; rerunning with --resume continues from the last valid record
+// and produces outcomes bit-identical to an uninterrupted run.
 
+#include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -25,6 +33,7 @@
 #include "core/estimator.hpp"
 #include "core/executor.hpp"
 #include "core/planner.hpp"
+#include "core/testbed.hpp"
 #include "data/synthetic.hpp"
 #include "models/registry.hpp"
 #include "nn/init.hpp"
@@ -34,6 +43,10 @@
 namespace {
 
 using namespace statfi;
+
+core::CancellationToken g_interrupt;
+
+void handle_sigint(int) { g_interrupt.request_stop(); }
 
 struct Options {
     std::string command;
@@ -46,6 +59,8 @@ struct Options {
     bool train = false;
     fault::DataType dtype = fault::DataType::Float32;
     std::uint64_t seed = 2023;
+    bool resume = false;    ///< continue from an existing matching journal
+    std::string journal;    ///< override the default journal path
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -67,7 +82,11 @@ struct Options {
         "  --policy P                  any|golden|drop (default any)\n"
         "  --train                     train the model first (synthetic data)\n"
         "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
-        "  --seed S                    master seed (default 2023)\n";
+        "  --seed S                    master seed (default 2023)\n"
+        "  --resume                    exhaustive: continue from the journal\n"
+        "                              left by an interrupted run\n"
+        "  --journal PATH              exhaustive: checkpoint journal path\n"
+        "                              (default: under the cache directory)\n";
     std::exit(2);
 }
 
@@ -98,6 +117,8 @@ Options parse(int argc, char** argv) {
         else if (flag == "--train") opt.train = true;
         else if (flag == "--dtype") opt.dtype = parse_dtype(value());
         else if (flag == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--resume") opt.resume = true;
+        else if (flag == "--journal") opt.journal = value();
         else usage("unknown flag '" + flag + "'");
     }
     if (opt.margin <= 0 || opt.margin >= 1) usage("--margin must be in (0,1)");
@@ -257,14 +278,23 @@ int cmd_campaign(const Options& opt) {
     core::CampaignExecutor executor(net, eval, executor_config(opt));
     std::cout << "golden accuracy on evaluation set: "
               << report::fmt_percent(executor.golden_accuracy(), 1) << "%\n"
-              << "running...\n";
+              << "running... (Ctrl-C stops cleanly)\n";
+    std::signal(SIGINT, handle_sigint);
     const auto result = executor.run(universe, plan,
-                                     stats::Rng(opt.seed).fork("campaign"));
+                                     stats::Rng(opt.seed).fork("campaign"),
+                                     &g_interrupt);
+    std::signal(SIGINT, SIG_DFL);
+    if (result.interrupted)
+        std::cout << "interrupted after "
+                  << report::fmt_u64(result.total_injected()) << " of "
+                  << report::fmt_u64(plan.total_sample_size())
+                  << " planned injections; estimates below cover the "
+                     "classified sample only\n";
     std::cout << "done in " << report::fmt_double(result.wall_seconds, 1)
               << "s (" << report::fmt_u64(executor.inference_count())
               << " faulty inferences)\n";
     print_estimates(universe, result, opt.confidence);
-    return 0;
+    return result.interrupted ? 130 : 0;
 }
 
 int cmd_exhaustive(const Options& opt) {
@@ -275,13 +305,49 @@ int cmd_exhaustive(const Options& opt) {
     const auto eval = data::make_synthetic(spec, opt.images, "test");
     core::CampaignExecutor executor(net, eval, executor_config(opt));
     std::cout << "exhaustive census: " << report::fmt_u64(universe.total())
-              << " faults x " << opt.images << " image(s)\n";
-    const auto truth = executor.run_exhaustive(
-        universe, [](std::uint64_t done, std::uint64_t total) {
-            if (done % 65536 == 0 || done == total)
-                std::cerr << "\r  " << done << "/" << total << std::flush;
-            if (done == total) std::cerr << "\n";
+              << " faults x " << opt.images
+              << " image(s)  (Ctrl-C checkpoints; rerun with --resume)\n";
+
+    core::DurabilityOptions durability;
+    durability.model_id = opt.model;
+    durability.cancel = &g_interrupt;
+    durability.journal_path =
+        opt.journal.empty()
+            ? core::cache_directory() + "/cli_exhaustive_" + opt.model + "_" +
+                  fault::to_string(opt.dtype) + "_" + opt.policy + "_n" +
+                  std::to_string(opt.images) + "_s" + std::to_string(opt.seed) +
+                  ".sfij"
+            : opt.journal;
+    // Without --resume any leftover journal is discarded so the census
+    // restarts from scratch; with --resume a matching journal continues.
+    if (!opt.resume) std::filesystem::remove(durability.journal_path);
+
+    std::signal(SIGINT, handle_sigint);
+    const auto run = executor.run_exhaustive_durable(
+        universe, durability, [](const core::ProgressInfo& p) {
+            std::cerr << "\r  " << p.done << "/" << p.total << "  ("
+                      << report::fmt_u64(static_cast<std::uint64_t>(
+                             p.faults_per_second))
+                      << " faults/s, ~"
+                      << report::fmt_u64(
+                             static_cast<std::uint64_t>(p.eta_seconds))
+                      << "s left)   " << std::flush;
+            if (p.done == p.total) std::cerr << "\n";
         });
+    std::signal(SIGINT, SIG_DFL);
+    if (!run.complete) {
+        std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
+                  << " newly classified fault(s) checkpointed to "
+                  << durability.journal_path << "\nrerun with --resume to "
+                  << "continue from the journal\n";
+        return 130;
+    }
+    std::filesystem::remove(durability.journal_path);
+    if (run.resumed > 0)
+        std::cout << "resumed " << report::fmt_u64(run.resumed)
+                  << " outcome(s) from the journal, classified "
+                  << report::fmt_u64(run.classified) << " more\n";
+    const auto& truth = run.outcomes;
     std::cout << "critical rate: "
               << report::fmt_percent(truth.network_critical_rate(), 4)
               << "%\n\n";
