@@ -54,7 +54,7 @@ int main() {
         // Run a small real (non-replayed) data-aware campaign per dtype.
         core::ExecutorConfig exec_config;
         exec_config.dtype = dtype;
-        core::CampaignExecutor exec(net, testbed.eval_set(), exec_config);
+        core::CampaignEngine exec(net, testbed.eval_set(), exec_config);
         stats::SampleSpec coarse = spec;
         coarse.error_margin = 0.05;  // keep runtime in seconds
         const auto small_plan = core::plan_data_aware(universe, coarse, crit);

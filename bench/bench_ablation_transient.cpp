@@ -25,7 +25,7 @@ int main() {
 
     // --- permanent stuck-at on weights (the paper's model) -----------------
     auto sa_universe = fault::FaultUniverse::stuck_at(net);
-    auto& executor = testbed.executor();
+    auto& executor = testbed.engine();
     const auto sa_result =
         executor.run(sa_universe, core::plan_layer_wise(sa_universe, spec),
                      testbed.rng("transient-sa"));

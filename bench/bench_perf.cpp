@@ -2,11 +2,23 @@
 // campaign throughput — forward passes, partial re-execution, injection,
 // sampling, and planning. Not a paper table; quantifies DESIGN.md §5's
 // claims (partial re-execution speedup, masked short-circuit).
+//
+// Besides the google-benchmark suite, `bench_perf --engine-json PATH`
+// runs an end-to-end census throughput measurement on a fixed fixture and
+// writes a small JSON report (BENCH_engine.json) with faults/second,
+// inferences/fault and wall seconds next to the pre-refactor baseline —
+// the regression check CI runs as a smoke step (capped via --faults).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
 #include "core/data_aware.hpp"
-#include "core/executor.hpp"
+#include "core/engine.hpp"
 #include "core/planner.hpp"
 #include "data/synthetic.hpp"
 #include "fault/injector.hpp"
@@ -80,13 +92,13 @@ void BM_MaskedShortCircuit(benchmark::State& state) {
     auto net = prepared("micronet");
     data::SyntheticSpec spec;
     auto eval = data::make_synthetic(spec, 4, "test");
-    core::CampaignExecutor exec(net, eval);
+    core::CampaignEngine engine(net, eval);
     fault::Fault f;  // bit 30 stuck-at-0: masked on Kaiming weights
     f.layer = 2;
     f.weight_index = 5;
     f.bit = 30;
     f.model = fault::FaultModel::StuckAt0;
-    for (auto _ : state) benchmark::DoNotOptimize(exec.evaluate(f));
+    for (auto _ : state) benchmark::DoNotOptimize(engine.evaluate(f));
 }
 BENCHMARK(BM_MaskedShortCircuit);
 
@@ -94,13 +106,13 @@ void BM_FaultEvaluation(benchmark::State& state) {
     auto net = prepared("micronet");
     data::SyntheticSpec spec;
     auto eval = data::make_synthetic(spec, 4, "test");
-    core::CampaignExecutor exec(net, eval);
+    core::CampaignEngine engine(net, eval);
     fault::Fault f;  // bit flips are never masked: guaranteed live inference
     f.layer = 2;
     f.weight_index = 5;
     f.bit = 12;
     f.model = fault::FaultModel::BitFlip;
-    for (auto _ : state) benchmark::DoNotOptimize(exec.evaluate(f));
+    for (auto _ : state) benchmark::DoNotOptimize(engine.evaluate(f));
 }
 BENCHMARK(BM_FaultEvaluation);
 
@@ -131,6 +143,117 @@ void BM_AnalyzeWeights(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeWeights);
 
+// --- end-to-end engine throughput (--engine-json) -------------------------
+
+/// Pre-refactor numbers for the same fixture, measured at commit 51af8be
+/// (CampaignExecutor serial census, best of two runs) on the reference
+/// single-core builder. Kept in the report so every BENCH_engine.json is a
+/// self-contained before/after comparison.
+constexpr double kBaselineFaultsPerSecond = 14172.6;
+constexpr double kBaselineInferencesPerFault = 1.96632;
+constexpr double kBaselineWallSeconds = 9.49213;
+constexpr const char* kBaselineCommit = "51af8be";
+
+/// Census throughput on a fixed fixture: micronet, Kaiming init with
+/// Rng(424242), 4 synthetic "test" images, GoldenMismatch policy. The
+/// fixture matches the pre-refactor baseline measurement exactly, so
+/// critical_rate doubles as an empirical bit-identity check against the
+/// retired serial executor (expected 0.011663 on the full universe).
+int run_engine_report(const std::string& json_path, std::uint64_t max_faults,
+                      std::size_t threads) {
+    auto net = models::build_model("micronet");
+    stats::Rng rng(424242);
+    nn::init_network_kaiming(net, rng);
+    const auto eval = data::make_synthetic({}, 4, "test");
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+
+    core::ExecutorConfig config;
+    config.policy = core::ClassificationPolicy::GoldenMismatch;
+    core::CampaignEngine engine(net, eval, config, threads);
+
+    const std::uint64_t total = universe.total();
+    const std::uint64_t faults =
+        max_faults == 0 ? total : std::min(max_faults, total);
+
+    std::uint64_t critical = 0;
+    const auto start = std::chrono::steady_clock::now();
+    if (faults == total) {
+        const auto outcomes = engine.run_exhaustive(universe);
+        critical = outcomes.critical_count(0, total);
+    } else {
+        // Capped smoke run: same ascending-index walk as the census chunk,
+        // on worker 0 only (keeps the cap deterministic across thread counts).
+        for (std::uint64_t i = 0; i < faults; ++i)
+            critical += engine.evaluate(universe.decode(i)) ==
+                        core::FaultOutcome::Critical;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const double fps = wall > 0 ? static_cast<double>(faults) / wall : 0.0;
+    const double ipf =
+        static_cast<double>(engine.inference_count()) /
+        static_cast<double>(faults);
+    const double crit_rate =
+        static_cast<double>(critical) / static_cast<double>(faults);
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet kaiming(424242), 4 synthetic test "
+           "images, GoldenMismatch, stuck-at universe\",\n"
+        << "  \"universe\": " << total << ",\n"
+        << "  \"faults\": " << faults << ",\n"
+        << "  \"full_census\": " << (faults == total ? "true" : "false")
+        << ",\n"
+        << "  \"workers\": " << engine.worker_count() << ",\n"
+        << "  \"wall_seconds\": " << wall << ",\n"
+        << "  \"faults_per_second\": " << fps << ",\n"
+        << "  \"inferences\": " << engine.inference_count() << ",\n"
+        << "  \"inferences_per_fault\": " << ipf << ",\n"
+        << "  \"critical_rate\": " << crit_rate << ",\n"
+        << "  \"baseline\": {\n"
+        << "    \"commit\": \"" << kBaselineCommit << "\",\n"
+        << "    \"faults_per_second\": " << kBaselineFaultsPerSecond << ",\n"
+        << "    \"inferences_per_fault\": " << kBaselineInferencesPerFault
+        << ",\n"
+        << "    \"wall_seconds\": " << kBaselineWallSeconds << "\n"
+        << "  }\n"
+        << "}\n";
+    std::cout << "engine throughput: " << fps << " faults/s (" << faults
+              << " faults, " << wall << " s, " << ipf
+              << " inferences/fault, critical_rate " << crit_rate
+              << "); baseline " << kBaselineFaultsPerSecond
+              << " faults/s @ " << kBaselineCommit << "\n"
+              << "report written to " << json_path << "\n";
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::uint64_t max_faults = 0;  // 0 = full census
+    std::size_t threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine-json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--faults" && i + 1 < argc) {
+            max_faults = std::stoull(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::stoul(argv[++i]);
+        }
+    }
+    if (!json_path.empty()) return run_engine_report(json_path, max_faults, threads);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

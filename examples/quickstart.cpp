@@ -13,9 +13,8 @@
 #include <iostream>
 
 #include "core/data_aware.hpp"
+#include "core/engine.hpp"
 #include "core/estimator.hpp"
-#include "core/executor.hpp"
-#include "core/planner.hpp"
 #include "data/synthetic.hpp"
 #include "models/micronet.hpp"
 #include "nn/init.hpp"
@@ -53,9 +52,14 @@ int main() {
               << criticality.p[30] << ", mantissa LSB p(0) = "
               << report::fmt_double(criticality.p[0], 6) << "\n\n";
 
-    // 4. Plan the campaign: Eq. 3 with per-bit subpopulations.
-    const stats::SampleSpec spec;  // e = 1%, 99% confidence
-    const auto plan = core::plan_data_aware(universe, spec, criticality);
+    // 4. The campaign engine: spec -> plan -> run. The engine owns cloned
+    // weights, the golden-activation cache, and (optionally) a worker pool;
+    // plan() sizes every per-bit subpopulation via Eq. 3.
+    const auto eval = test.take(8);
+    core::CampaignEngine engine(net, eval);
+    core::CampaignSpec campaign;
+    campaign.approach = core::Approach::DataAware;  // e = 1%, 99% confidence
+    const auto plan = engine.plan(universe, campaign);
     std::cout << "data-aware plan: " << report::fmt_u64(plan.total_sample_size())
               << " injections ("
               << report::fmt_percent(
@@ -65,18 +69,16 @@ int main() {
               << "% of exhaustive)\n";
 
     // 5. Run it (weights are corrupted and restored fault by fault).
-    const auto eval = test.take(8);
-    core::CampaignExecutor executor(net, eval);
     std::cout << "running " << report::fmt_u64(plan.total_sample_size())
               << " fault injections...\n";
-    const auto result = executor.run(universe, plan, rng.fork("campaign"));
+    const auto result = engine.run(universe, plan, rng.fork("campaign"));
 
     const auto estimate = core::estimate_network(universe, result);
     std::cout << "\nestimated critical-fault rate: "
               << report::fmt_percent(estimate.rate, 3) << "% +- "
               << report::fmt_percent(estimate.margin, 3) << "% (99% conf.)\n"
               << "campaign wall time: " << report::fmt_double(result.wall_seconds, 1)
-              << "s, " << executor.inference_count() << " faulty inferences\n";
+              << "s, " << engine.inference_count() << " faulty inferences\n";
 
     // Bonus: the per-layer view the paper says network-wise SFIs cannot give.
     report::Table table({"Layer", "Critical [%]", "Margin [%]", "FIs"});

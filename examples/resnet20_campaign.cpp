@@ -13,9 +13,8 @@
 #include <iostream>
 
 #include "core/data_aware.hpp"
+#include "core/engine.hpp"
 #include "core/estimator.hpp"
-#include "core/executor.hpp"
-#include "core/planner.hpp"
 #include "data/synthetic.hpp"
 #include "models/resnet_cifar.hpp"
 #include "nn/init.hpp"
@@ -43,10 +42,13 @@ int main(int argc, char** argv) {
     std::cout << "ResNet-20 stuck-at universe: N = "
               << report::fmt_u64(universe.total()) << " faults\n";
 
-    const auto criticality = core::analyze_network(net);
-    stats::SampleSpec spec;
-    spec.error_margin = margin_pct / 100.0;
-    const auto plan = core::plan_data_aware(universe, spec, criticality);
+    core::ExecutorConfig exec_config;
+    exec_config.policy = core::ClassificationPolicy::GoldenMismatch;
+    core::CampaignEngine engine(net, eval, exec_config);
+    core::CampaignSpec campaign;
+    campaign.approach = core::Approach::DataAware;
+    campaign.sample.error_margin = margin_pct / 100.0;
+    const auto plan = engine.plan(universe, campaign);
     std::cout << "data-aware plan at e = " << margin_pct << "%: "
               << report::fmt_u64(plan.total_sample_size()) << " injections ("
               << report::fmt_percent(
@@ -55,11 +57,8 @@ int main(int argc, char** argv) {
                      3)
               << "% of exhaustive), " << images << " image(s) per fault\n";
 
-    core::ExecutorConfig exec_config;
-    exec_config.policy = core::ClassificationPolicy::GoldenMismatch;
-    core::CampaignExecutor executor(net, eval, exec_config);
     std::cout << "running...\n";
-    const auto result = executor.run(universe, plan, rng.fork("resnet20"));
+    const auto result = engine.run(universe, plan, rng.fork("resnet20"));
 
     const auto network = core::estimate_network(universe, result);
     std::cout << "\nnetwork critical-fault rate: "

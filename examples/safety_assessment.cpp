@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
     std::cout << "running data-aware campaign ("
               << report::fmt_u64(plan.total_sample_size()) << " of "
               << report::fmt_u64(universe.total()) << " faults)...\n";
-    auto& executor = testbed.executor();
+    auto& engine = testbed.engine();
     const auto result =
-        executor.run(universe, plan, testbed.rng("safety-assessment"));
+        engine.run(universe, plan, testbed.rng("safety-assessment"));
 
     // 2. FIT translation.
     const auto network = core::estimate_network(universe, result);

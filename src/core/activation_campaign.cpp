@@ -10,34 +10,14 @@ namespace statfi::core {
 
 ActivationCampaignExecutor::ActivationCampaignExecutor(
     nn::Network& net, const data::Dataset& eval, ExecutorConfig config)
-    : net_(&net), config_(config) {
-    const std::int64_t count = eval.size();
-    if (count == 0)
-        throw std::invalid_argument(
-            "ActivationCampaignExecutor: empty evaluation set");
-    labels_ = eval.labels;
-    golden_acts_.resize(static_cast<std::size_t>(count));
-    golden_preds_.resize(static_cast<std::size_t>(count));
-    std::uint64_t correct = 0;
-    for (std::int64_t i = 0; i < count; ++i) {
-        images_.push_back(eval.image(i));
-        auto& acts = golden_acts_[static_cast<std::size_t>(i)];
-        net.forward_all(images_.back(), acts);
-        golden_preds_[static_cast<std::size_t>(i)] =
-            nn::argmax_row(acts.back(), 0);
-        correct += golden_preds_[static_cast<std::size_t>(i)] ==
-                   labels_[static_cast<std::size_t>(i)];
-    }
-    golden_accuracy_ =
-        static_cast<double>(correct) / static_cast<double>(count);
-}
+    : net_(&net), config_(config), golden_(build_golden_cache(net, eval)) {}
 
 FaultOutcome ActivationCampaignExecutor::evaluate(
     const fault::ActivationFault& fault, std::int64_t image_index) {
     const auto i = static_cast<std::size_t>(image_index);
-    if (i >= images_.size())
+    if (i >= golden_.images.size())
         throw std::out_of_range("ActivationCampaignExecutor: image index");
-    auto& acts = golden_acts_[i];
+    auto& acts = golden_.acts[i];
     Tensor& act = acts[static_cast<std::size_t>(fault.node)];
     if (fault.element >= act.numel())
         throw std::out_of_range("ActivationCampaignExecutor: element index");
@@ -48,7 +28,7 @@ FaultOutcome ActivationCampaignExecutor::evaluate(
     // Only nodes AFTER the corrupted one re-run; when the corrupted node is
     // the last one, forward_from returns the (corrupted) golden output.
     const Tensor& logits =
-        net_->forward_from(fault.node + 1, images_[i], acts, scratch_);
+        net_->forward_from(fault.node + 1, golden_.images[i], acts, scratch_);
     int prediction = nn::argmax_row(logits, 0);
     if (!std::isfinite(logits[static_cast<std::size_t>(prediction)]))
         prediction = -1;
@@ -56,13 +36,13 @@ FaultOutcome ActivationCampaignExecutor::evaluate(
 
     switch (config_.policy) {
         case ClassificationPolicy::AnyMisprediction:
-            return (golden_preds_[i] == labels_[i] && prediction != labels_[i])
+            return (golden_.preds[i] == golden_.labels[i] && prediction != golden_.labels[i])
                        ? FaultOutcome::Critical
                        : FaultOutcome::NonCritical;
         case ClassificationPolicy::GoldenMismatch:
         case ClassificationPolicy::AccuracyDrop:  // single-inference fault:
                                                   // drop == one flip
-            return prediction != golden_preds_[i] ? FaultOutcome::Critical
+            return prediction != golden_.preds[i] ? FaultOutcome::Critical
                                                   : FaultOutcome::NonCritical;
     }
     return FaultOutcome::NonCritical;
@@ -105,7 +85,7 @@ CampaignResult ActivationCampaignExecutor::run(
             const auto fault =
                 universe.decode(universe.node_offset(sp.layer) + local);
             const auto image = static_cast<std::int64_t>(
-                fault_counter++ % images_.size());
+                fault_counter++ % golden_.images.size());
             const FaultOutcome outcome = evaluate(fault, image);
             ++tally.injected;
             if (outcome == FaultOutcome::Critical) ++tally.critical;

@@ -7,7 +7,7 @@
 // configured policy. Images are assigned to sampled faults round-robin so a
 // campaign integrates over the evaluation set without a per-fault RNG.
 
-#include "core/executor.hpp"
+#include "core/classification_core.hpp"
 #include "fault/activation.hpp"
 
 namespace statfi::core {
@@ -18,7 +18,7 @@ public:
                                ExecutorConfig config = {});
 
     [[nodiscard]] double golden_accuracy() const noexcept {
-        return golden_accuracy_;
+        return golden_.accuracy;
     }
 
     /// Classify one activation fault during image @p image_index's inference.
@@ -39,11 +39,7 @@ public:
 private:
     nn::Network* net_;
     ExecutorConfig config_;
-    std::vector<Tensor> images_;
-    std::vector<int> labels_;
-    std::vector<std::vector<Tensor>> golden_acts_;
-    std::vector<int> golden_preds_;
-    double golden_accuracy_ = 0.0;
+    GoldenCache golden_;  ///< shared golden pass (see build_golden_cache)
     std::vector<Tensor> scratch_;
 };
 

@@ -84,13 +84,13 @@ AdaptiveResult run_two_phase(
 
 }  // namespace
 
-AdaptiveResult run_adaptive(CampaignExecutor& executor,
+AdaptiveResult run_adaptive(ClassificationCore& core,
                             const fault::FaultUniverse& universe,
                             const AdaptiveConfig& config, stats::Rng rng) {
     return run_two_phase(
         universe, config, rng,
         [&](int layer, int bit, std::uint64_t local) {
-            return executor.evaluate(
+            return core.evaluate(
                 universe.decode_in_subpop(layer, bit, local));
         });
 }

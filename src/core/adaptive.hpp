@@ -11,7 +11,7 @@
 // otherwise unrealizable (the variances are not known up front), at the
 // cost of one extra planning round trip.
 
-#include "core/executor.hpp"
+#include "core/classification_core.hpp"
 
 namespace statfi::core {
 
@@ -35,7 +35,7 @@ struct AdaptiveResult {
 /// Runs the two-phase campaign over every (bit, layer) subpopulation of
 /// @p universe. Phase-2 samples are drawn independently and merged with the
 /// pilot (duplicates evaluated once); tallies count distinct faults.
-AdaptiveResult run_adaptive(CampaignExecutor& executor,
+AdaptiveResult run_adaptive(ClassificationCore& core,
                             const fault::FaultUniverse& universe,
                             const AdaptiveConfig& config, stats::Rng rng);
 

@@ -1,0 +1,159 @@
+#include "core/classification_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "io/checksum.hpp"
+
+namespace statfi::core {
+
+GoldenCache build_golden_cache(const nn::Network& net,
+                               const data::Dataset& eval) {
+    const std::int64_t count = eval.size();
+    if (count == 0)
+        throw std::invalid_argument(
+            "ClassificationCore: empty evaluation set");
+    GoldenCache golden;
+    golden.labels = eval.labels;
+
+    // One batched pass over the whole eval tensor, then split each node's
+    // (N, ...) output back into per-image rows. Every layer computes batch
+    // rows independently, so the rows are bit-identical to N single-image
+    // passes — while the batched pass amortizes per-call overhead and
+    // im2col/workspace setup N-fold.
+    std::vector<Tensor> batched;
+    net.forward_all(eval.images, batched);
+
+    golden.images.reserve(static_cast<std::size_t>(count));
+    golden.acts.resize(static_cast<std::size_t>(count));
+    golden.preds.resize(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        golden.images.push_back(eval.image(i));
+        auto& acts = golden.acts[s];
+        acts.reserve(batched.size());
+        for (const Tensor& node_out : batched)
+            acts.push_back(node_out.slice_row(i));
+        golden.preds[s] = nn::argmax_row(acts.back(), 0);
+        if (golden.preds[s] == golden.labels[s]) ++golden.correct;
+    }
+    golden.accuracy =
+        static_cast<double>(golden.correct) / static_cast<double>(count);
+
+    golden.correct_order.resize(static_cast<std::size_t>(count));
+    std::iota(golden.correct_order.begin(), golden.correct_order.end(), 0);
+    std::stable_partition(golden.correct_order.begin(),
+                          golden.correct_order.end(), [&](std::size_t i) {
+                              return golden.preds[i] == golden.labels[i];
+                          });
+    return golden;
+}
+
+ClassificationCore::ClassificationCore(nn::Network& net,
+                                       const data::Dataset& eval,
+                                       ExecutorConfig config)
+    : net_(&net), config_(config), injector_(net, config.dtype),
+      golden_(build_golden_cache(net, eval)) {
+    // Warm the scratch arena (and each conv's im2col workspace) at
+    // single-image shapes so the hot loop never allocates. Not an injected
+    // inference, so it stays out of inference_count().
+    net_->forward_from(0, golden_.images[0], golden_.acts[0], scratch_);
+}
+
+namespace {
+/// Top-1 prediction; -1 when the winning logit is not finite (numerically
+/// exploded network counts as a misprediction).
+int predict(const Tensor& logits) {
+    const int best = nn::argmax_row(logits, 0);
+    const float v = logits[static_cast<std::size_t>(best)];
+    if (!std::isfinite(v)) return -1;
+    return best;
+}
+}  // namespace
+
+FaultOutcome ClassificationCore::classify_active_fault(int first_dirty_node) {
+    const auto count = golden_.images.size();
+    switch (config_.policy) {
+        case ClassificationPolicy::AnyMisprediction: {
+            for (std::size_t k = 0; k < count; ++k) {
+                const std::size_t i = golden_.correct_order[k];
+                if (golden_.preds[i] != golden_.labels[i])
+                    break;  // incorrect tail
+                const Tensor& logits =
+                    net_->forward_from(first_dirty_node, golden_.images[i],
+                                       golden_.acts[i], scratch_);
+                ++inferences_;
+                if (predict(logits) != golden_.labels[i])
+                    return FaultOutcome::Critical;
+            }
+            return FaultOutcome::NonCritical;
+        }
+        case ClassificationPolicy::GoldenMismatch: {
+            for (std::size_t i = 0; i < count; ++i) {
+                const Tensor& logits =
+                    net_->forward_from(first_dirty_node, golden_.images[i],
+                                       golden_.acts[i], scratch_);
+                ++inferences_;
+                if (predict(logits) != golden_.preds[i])
+                    return FaultOutcome::Critical;
+            }
+            return FaultOutcome::NonCritical;
+        }
+        case ClassificationPolicy::AccuracyDrop: {
+            const double threshold =
+                config_.accuracy_drop_threshold * static_cast<double>(count);
+            std::uint64_t faulty_correct = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                const Tensor& logits =
+                    net_->forward_from(first_dirty_node, golden_.images[i],
+                                       golden_.acts[i], scratch_);
+                ++inferences_;
+                if (predict(logits) == golden_.labels[i]) ++faulty_correct;
+                // Even if every remaining image is correct, is the drop
+                // already unavoidable?
+                const std::uint64_t remaining = count - 1 - i;
+                const double best_case =
+                    static_cast<double>(golden_.correct) -
+                    static_cast<double>(faulty_correct + remaining);
+                if (best_case > threshold) return FaultOutcome::Critical;
+            }
+            const double drop = static_cast<double>(golden_.correct) -
+                                static_cast<double>(faulty_correct);
+            return drop > threshold ? FaultOutcome::Critical
+                                    : FaultOutcome::NonCritical;
+        }
+    }
+    return FaultOutcome::NonCritical;
+}
+
+FaultOutcome ClassificationCore::evaluate(const fault::Fault& fault) {
+    if (injector_.masked(fault)) return FaultOutcome::Masked;
+    fault::WeightInjector::Scoped guard(injector_, fault);
+    return classify_active_fault(injector_.node_of_layer(fault.layer));
+}
+
+CampaignFingerprint ClassificationCore::fingerprint(
+    const fault::FaultUniverse& universe, std::string model_id) const {
+    CampaignFingerprint fp;
+    fp.model_id = std::move(model_id);
+    fp.universe_size = universe.total();
+    fp.dtype = static_cast<std::uint8_t>(config_.dtype);
+    fp.policy = static_cast<std::uint8_t>(config_.policy);
+    fp.accuracy_drop_threshold = config_.accuracy_drop_threshold;
+
+    io::Crc32 eval;
+    for (const auto& image : golden_.images)
+        eval.update(image.data(), image.numel() * sizeof(float));
+    for (const int label : golden_.labels) eval.update(&label, sizeof(label));
+    fp.eval_hash = eval.value();
+
+    io::Crc32 weights;
+    for (const auto& ref : net_->weight_layers())
+        weights.update(ref.weight->data(), ref.weight->numel() * sizeof(float));
+    fp.weights_hash = weights.value();
+    return fp;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,95 @@
+#pragma once
+// ClassificationCore: the fault -> outcome kernel. One core = one network's
+// weight storage + one golden-activation cache + one scratch arena; the
+// CampaignEngine owns one core per worker and everything above this layer
+// (sampling, journaling, progress, fan-out) is core-count agnostic.
+//
+// Performance model (what makes exhaustive validation feasible on a CPU):
+//  * the golden activations of every node are cached once, via a SINGLE
+//    batched forward_all over the whole (N,C,H,W) evaluation tensor, then
+//    split back into per-image rows (bit-identical to per-image passes:
+//    every layer computes batch rows independently — see nn/gemm.hpp);
+//  * a weight fault in graph node k only dirties nodes >= k, so each faulty
+//    inference re-runs only the downstream sub-graph (Network::forward_from);
+//  * a stuck-at equal to the golden bit is masked by construction and is
+//    classified Non-critical without any inference (half of a stuck-at
+//    universe on average);
+//  * per-image early exit: a fault is Critical as soon as one image trips
+//    the policy, so critical faults rarely scan the whole evaluation set;
+//  * the scratch arena (and each Conv2d's im2col workspace) is preallocated
+//    by a warm-up pass, so the ~10^5-fault hot loop never allocates.
+
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "data/synthetic.hpp"
+#include "fault/injector.hpp"
+
+namespace statfi::core {
+
+/// Golden forward-pass state shared by the weight-fault core and the
+/// activation-fault campaign: per-image inputs, per-node activations,
+/// top-1 predictions, and the evaluation order that makes early exit pay.
+struct GoldenCache {
+    std::vector<Tensor> images;             ///< (1, C, H, W) each
+    std::vector<int> labels;
+    std::vector<std::vector<Tensor>> acts;  ///< per image, per node
+    std::vector<int> preds;                 ///< golden top-1 per image
+    /// Golden-correct images first: under AnyMisprediction only they can
+    /// flip a fault to Critical, and early exit hits sooner when they lead.
+    std::vector<std::size_t> correct_order;
+    std::uint64_t correct = 0;  ///< images the golden network gets right
+    double accuracy = 0.0;
+};
+
+/// Build the cache with one batched forward_all over eval.images.
+/// @throws std::invalid_argument on an empty evaluation set.
+GoldenCache build_golden_cache(const nn::Network& net,
+                               const data::Dataset& eval);
+
+class ClassificationCore {
+public:
+    /// Clones nothing: operates directly on @p net's weights (restoring
+    /// them after every fault). Caches golden activations in the
+    /// constructor and warms the scratch arena with one (uncounted)
+    /// full-depth forward_from.
+    ClassificationCore(nn::Network& net, const data::Dataset& eval,
+                       ExecutorConfig config = {});
+
+    [[nodiscard]] const ExecutorConfig& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] double golden_accuracy() const noexcept {
+        return golden_.accuracy;
+    }
+    [[nodiscard]] const std::vector<int>& golden_predictions() const noexcept {
+        return golden_.preds;
+    }
+    /// Total faulty inferences (image evaluations) performed so far.
+    [[nodiscard]] std::uint64_t inference_count() const noexcept {
+        return inferences_;
+    }
+
+    /// Classify one fault (weights are corrupted and restored internally).
+    FaultOutcome evaluate(const fault::Fault& fault);
+
+    /// Campaign identity for journals/caches: universe size, dtype, policy,
+    /// plus CRC32 hashes of the evaluation set and the golden weights. A
+    /// retrained model or different eval set fingerprints differently.
+    /// Worker count never enters the fingerprint: it cannot change outcomes.
+    [[nodiscard]] CampaignFingerprint fingerprint(
+        const fault::FaultUniverse& universe, std::string model_id) const;
+
+private:
+    FaultOutcome classify_active_fault(int first_dirty_node);
+
+    nn::Network* net_;
+    ExecutorConfig config_;
+    fault::WeightInjector injector_;
+    GoldenCache golden_;
+    std::uint64_t inferences_ = 0;
+    std::vector<Tensor> scratch_;
+};
+
+}  // namespace statfi::core

@@ -1,0 +1,318 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "stats/sampling.hpp"
+
+namespace statfi::core {
+
+/// One worker: a private network clone and a per-clone classification core.
+struct CampaignEngine::Worker {
+    nn::Network net;
+    ClassificationCore core;
+
+    Worker(const nn::Network& source, const data::Dataset& eval,
+           const ExecutorConfig& config)
+        : net(source.clone()), core(net, eval, config) {}
+};
+
+CampaignEngine::CampaignEngine(const nn::Network& net,
+                               const data::Dataset& eval,
+                               ExecutorConfig config, std::size_t threads) {
+    if (threads == 0)
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+        workers_.push_back(std::make_unique<Worker>(net, eval, config));
+}
+
+CampaignEngine::~CampaignEngine() = default;
+CampaignEngine::CampaignEngine(CampaignEngine&&) noexcept = default;
+CampaignEngine& CampaignEngine::operator=(CampaignEngine&&) noexcept = default;
+
+std::size_t CampaignEngine::worker_count() const noexcept {
+    return workers_.size();
+}
+
+const ExecutorConfig& CampaignEngine::config() const noexcept {
+    return workers_.front()->core.config();
+}
+
+double CampaignEngine::golden_accuracy() const {
+    return workers_.front()->core.golden_accuracy();
+}
+
+const std::vector<int>& CampaignEngine::golden_predictions() const {
+    return workers_.front()->core.golden_predictions();
+}
+
+std::uint64_t CampaignEngine::inference_count() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->core.inference_count();
+    return total;
+}
+
+ClassificationCore& CampaignEngine::core(std::size_t worker) {
+    return workers_.at(worker)->core;
+}
+
+FaultOutcome CampaignEngine::evaluate(const fault::Fault& fault) {
+    return workers_.front()->core.evaluate(fault);
+}
+
+CampaignFingerprint CampaignEngine::fingerprint(
+    const fault::FaultUniverse& universe, std::string model_id) const {
+    return workers_.front()->core.fingerprint(universe, std::move(model_id));
+}
+
+CampaignPlan CampaignEngine::plan(const fault::FaultUniverse& universe,
+                                  const CampaignSpec& spec) {
+    switch (spec.approach) {
+        case Approach::Exhaustive: return plan_exhaustive(universe);
+        case Approach::NetworkWise:
+            return plan_network_wise(universe, spec.sample);
+        case Approach::LayerWise:
+            return plan_layer_wise(universe, spec.sample);
+        case Approach::DataUnaware:
+            return plan_data_unaware(universe, spec.sample);
+        case Approach::DataAware: {
+            DataAwareConfig analysis = spec.analysis;
+            analysis.dtype = config().dtype;
+            nn::Network& net = workers_.front()->net;
+            if (analysis.dtype == fault::DataType::Int8) {
+                // Symmetric per-network scheme, scale from the golden
+                // weights — the same storage view the injector corrupts.
+                float max_abs = 0.0f;
+                for (auto& ref : net.weight_layers())
+                    max_abs = std::max(max_abs, ref.weight->max_abs());
+                analysis.quant.scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+            }
+            return plan_data_aware(universe, spec.sample,
+                                   analyze_network(net, analysis));
+        }
+    }
+    throw std::invalid_argument("CampaignEngine::plan: unknown approach");
+}
+
+CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
+                                   const CampaignPlan& plan, stats::Rng rng,
+                                   const CancellationToken* cancel) {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    result.subpops.resize(plan.subpops.size());
+
+    // Draw every sample up front, one forked stream per subpopulation, so
+    // the drawn faults are a function of (plan, rng) alone — never of the
+    // worker count or the partitioning.
+    struct WorkItem {
+        std::size_t subpop;
+        fault::Fault fault;
+    };
+    std::vector<WorkItem> items;
+    std::uint64_t subpop_index = 0;
+    for (std::size_t s = 0; s < plan.subpops.size(); ++s) {
+        const auto& sp = plan.subpops[s];
+        auto& tally = result.subpops[s];
+        tally.plan = sp;
+        if (sp.layer < 0) {
+            tally.layer_injected.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+            tally.layer_critical.assign(
+                static_cast<std::size_t>(universe.layer_count()), 0);
+        }
+        auto stream = rng.fork(subpop_index++);
+        for (const std::uint64_t local :
+             stats::sample_indices(sp.population, sp.sample_size, stream)) {
+            fault::Fault fault;
+            if (sp.layer >= 0 && sp.bit >= 0)
+                fault = universe.decode_in_subpop(sp.layer, sp.bit, local);
+            else if (sp.layer >= 0)
+                fault = universe.decode(universe.subpop_offset(sp.layer, 0) +
+                                        local);
+            else
+                fault = universe.decode(local);
+            items.push_back(WorkItem{s, fault});
+        }
+    }
+
+    // Classify; outcomes are deterministic per fault, so the partitioning
+    // cannot change the tallies.
+    std::vector<std::uint8_t> outcomes(items.size());
+    std::vector<std::uint8_t> evaluated(items.size(), 0);
+    const std::size_t workers = workers_.size();
+    const auto work = [&](std::size_t w) {
+        for (std::size_t i = w; i < items.size(); i += workers) {
+            if (cancel && cancel->stop_requested()) return;
+            outcomes[i] = static_cast<std::uint8_t>(
+                workers_[w]->core.evaluate(items[i].fault));
+            evaluated[i] = 1;
+        }
+    };
+    if (workers == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
+        for (auto& t : threads) t.join();
+    }
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!evaluated[i]) {
+            result.interrupted = true;
+            continue;
+        }
+        auto& tally = result.subpops[items[i].subpop];
+        const auto outcome = static_cast<FaultOutcome>(outcomes[i]);
+        ++tally.injected;
+        if (outcome == FaultOutcome::Critical) ++tally.critical;
+        if (outcome == FaultOutcome::Masked) ++tally.masked;
+        if (!tally.layer_injected.empty()) {
+            const auto l = static_cast<std::size_t>(items[i].fault.layer);
+            ++tally.layer_injected[l];
+            if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
+        }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+CampaignResult CampaignEngine::run_campaign(const fault::FaultUniverse& universe,
+                                            const CampaignSpec& spec,
+                                            stats::Rng rng,
+                                            const CancellationToken* cancel) {
+    return run(universe, plan(universe, spec), rng, cancel);
+}
+
+ExhaustiveOutcomes CampaignEngine::run_exhaustive(
+    const fault::FaultUniverse& universe, const ProgressFn& progress) {
+    return run_exhaustive_durable(universe, DurabilityOptions{}, progress)
+        .outcomes;
+}
+
+ExhaustiveRun CampaignEngine::run_exhaustive_durable(
+    const fault::FaultUniverse& universe, const DurabilityOptions& options,
+    const ProgressFn& progress) {
+    ExhaustiveRun run;
+    run.outcomes = ExhaustiveOutcomes(universe.total());
+    const std::uint64_t total = universe.total();
+
+    // Resume: replay every journaled record, then classify the remainder.
+    std::vector<std::uint8_t> already_done;
+    std::optional<CampaignJournal> journal;
+    if (!options.journal_path.empty()) {
+        const CampaignFingerprint fp = fingerprint(universe, options.model_id);
+        auto recovery = CampaignJournal::recover(options.journal_path, fp);
+        if (!recovery.note.empty())
+            std::cerr << "statfi: " << recovery.note << "\n";
+        already_done.assign(total, 0);
+        for (const JournalRecord& rec : recovery.records) {
+            if (rec.fault_index >= total) continue;  // defensive; CRC passed
+            run.outcomes.set(rec.fault_index,
+                             static_cast<FaultOutcome>(rec.outcome));
+            if (!already_done[rec.fault_index]) {
+                already_done[rec.fault_index] = 1;
+                ++run.resumed;
+            }
+        }
+        journal.emplace(CampaignJournal::open(options.journal_path, fp,
+                                              recovery.valid_bytes));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> classified{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex sink_mutex;  // guards journal appends + progress callback
+    std::uint64_t since_flush = 0;
+
+    // Per-worker contiguous global-index ranges; ascending index order
+    // within a chunk matches the universe's nested (layer, bit, local)
+    // enumeration, and each table slot is written by exactly one worker,
+    // so only the journal/progress sink needs the lock.
+    const std::size_t workers = workers_.size();
+    const std::uint64_t chunk = (total + workers - 1) / workers;
+    const auto work = [&](std::size_t w) {
+        const std::uint64_t lo = w * chunk;
+        const std::uint64_t hi = std::min(lo + chunk, total);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (!already_done.empty() && already_done[i]) continue;
+            if (cancelled.load(std::memory_order_relaxed)) return;
+            if (options.cancel && options.cancel->stop_requested()) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const FaultOutcome outcome =
+                workers_[w]->core.evaluate(universe.decode(i));
+            run.outcomes.set(i, outcome);
+            const std::uint64_t n =
+                classified.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (journal || (progress && ((run.resumed + n) & 0xFFF) == 0)) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                if (journal) {
+                    journal->append(i, static_cast<std::uint8_t>(outcome));
+                    if (++since_flush >= options.flush_interval) {
+                        journal->flush();
+                        since_flush = 0;
+                    }
+                }
+                if (progress && ((run.resumed + n) & 0xFFF) == 0) {
+                    ProgressInfo info;
+                    info.done = run.resumed + n;
+                    info.total = total;
+                    info.elapsed_seconds =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    info.faults_per_second =
+                        info.elapsed_seconds > 0.0
+                            ? static_cast<double>(n) / info.elapsed_seconds
+                            : 0.0;
+                    info.eta_seconds =
+                        info.faults_per_second > 0.0
+                            ? static_cast<double>(total - info.done) /
+                                  info.faults_per_second
+                            : 0.0;
+                    progress(info);
+                }
+            }
+        }
+    };
+    if (workers == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
+        for (auto& t : threads) t.join();
+    }
+
+    run.classified = classified.load();
+    run.complete = !cancelled.load();
+    if (journal) journal->flush();
+    if (progress && run.complete) {
+        ProgressInfo info;
+        info.done = total;
+        info.total = total;
+        info.elapsed_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        info.faults_per_second =
+            info.elapsed_seconds > 0.0
+                ? static_cast<double>(run.classified) / info.elapsed_seconds
+                : 0.0;
+        progress(info);
+    }
+    return run;
+}
+
+}  // namespace statfi::core

@@ -1,0 +1,105 @@
+#pragma once
+// CampaignEngine: the single execution facade for fault-injection
+// campaigns. CampaignSpec -> plan -> execute -> CampaignResult, with the
+// worker count a runtime knob instead of a class choice — serial execution
+// is simply the 1-worker case, so the statistical `run`, the durable
+// census, cancellation, and progress/ETA logic each exist exactly once.
+//
+// Determinism contract: results are bit-identical across worker counts and
+// across interrupt/resume points.
+//  * Statistical runs draw every sample up front with the same per-subpop
+//    RNG stream layout regardless of workers; classification of a fault is
+//    a deterministic function of (network, eval set, fault), so the
+//    work partitioning cannot change the tallies.
+//  * The census walks global fault indices in ascending order (contiguous
+//    per-worker chunks); each table slot is written by exactly one worker.
+//  * Worker count never enters the campaign fingerprint.
+// tests/core/engine_test.cpp and durability_test.cpp assert all of this.
+
+#include <memory>
+
+#include "core/classification_core.hpp"
+#include "core/data_aware.hpp"
+
+namespace statfi::core {
+
+/// What campaign to run, planner-level. dtype and policy live in
+/// ExecutorConfig (they identify the campaign); the spec picks the
+/// sampling approach and its statistical parameters.
+struct CampaignSpec {
+    Approach approach = Approach::NetworkWise;
+    stats::SampleSpec sample;
+    /// Data-aware analysis knobs (DataAware only). dtype/quant are derived
+    /// from the engine's config and weights; the rest is honored as given.
+    DataAwareConfig analysis;
+};
+
+class CampaignEngine {
+public:
+    /// Clones @p net once per worker, so campaign corruption never touches
+    /// the caller's weights. @p threads == 0 means hardware concurrency.
+    CampaignEngine(const nn::Network& net, const data::Dataset& eval,
+                   ExecutorConfig config = {}, std::size_t threads = 1);
+    ~CampaignEngine();
+    CampaignEngine(CampaignEngine&&) noexcept;
+    CampaignEngine& operator=(CampaignEngine&&) noexcept;
+
+    [[nodiscard]] std::size_t worker_count() const noexcept;
+    [[nodiscard]] const ExecutorConfig& config() const noexcept;
+    [[nodiscard]] double golden_accuracy() const;
+    [[nodiscard]] const std::vector<int>& golden_predictions() const;
+    /// Total faulty inferences summed over all workers.
+    [[nodiscard]] std::uint64_t inference_count() const;
+
+    /// Direct access to a worker's kernel (worker 0 by default) — for
+    /// single-fault probes and the adaptive refinement loop.
+    [[nodiscard]] ClassificationCore& core(std::size_t worker = 0);
+
+    /// Classify one fault on worker 0.
+    FaultOutcome evaluate(const fault::Fault& fault);
+
+    /// See ClassificationCore::fingerprint.
+    [[nodiscard]] CampaignFingerprint fingerprint(
+        const fault::FaultUniverse& universe, std::string model_id) const;
+
+    /// Turn a spec into a concrete plan. For DataAware this runs the
+    /// golden-weight bit-criticality analysis on worker 0's clone (deriving
+    /// the Int8 quantization scale from the weights when needed).
+    [[nodiscard]] CampaignPlan plan(const fault::FaultUniverse& universe,
+                                    const CampaignSpec& spec);
+
+    /// Execute a statistical plan: per subpopulation, draw the planned
+    /// number of faults without replacement (independent sub-streams of
+    /// @p rng) and classify each. @p cancel (optional) stops between
+    /// faults; the partial result is marked interrupted.
+    CampaignResult run(const fault::FaultUniverse& universe,
+                       const CampaignPlan& plan, stats::Rng rng,
+                       const CancellationToken* cancel = nullptr);
+
+    /// plan() + run() in one call — the facade the CLI, examples, and
+    /// benches use. Exhaustive specs run the whole universe through the
+    /// same path (every subpopulation fully sampled).
+    CampaignResult run_campaign(const fault::FaultUniverse& universe,
+                                const CampaignSpec& spec, stats::Rng rng,
+                                const CancellationToken* cancel = nullptr);
+
+    /// Classify every fault in the universe. @p progress (optional) is
+    /// invoked every few thousand faults with rate/ETA heartbeat.
+    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
+                                      const ProgressFn& progress = {});
+
+    /// run_exhaustive with durability: journaled checkpoints every record
+    /// (flushed every flush_interval), resume from a matching journal, and
+    /// cooperative cancellation. Resuming an interrupted run produces
+    /// outcomes bit-identical to an uninterrupted one, for any interruption
+    /// point and any worker count.
+    ExhaustiveRun run_exhaustive_durable(const fault::FaultUniverse& universe,
+                                         const DurabilityOptions& options,
+                                         const ProgressFn& progress = {});
+
+private:
+    struct Worker;
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace statfi::core

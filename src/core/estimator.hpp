@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "core/executor.hpp"
+#include "core/outcome.hpp"
 #include "stats/intervals.hpp"
 
 namespace statfi::core {

@@ -1,24 +1,20 @@
 #pragma once
-// Campaign execution: run fault-injection campaigns (statistical or
-// exhaustive) against a network and an evaluation set.
+// Campaign vocabulary shared by every execution path: how faults are
+// classified, how tallies are reported, and the dense exhaustive outcome
+// table that statistical plans replay against.
 //
-// Performance model (what makes exhaustive validation feasible on a CPU):
-//  * the golden activations of every node are cached once per image;
-//  * a weight fault in graph node k only dirties nodes >= k, so each faulty
-//    inference re-runs only the downstream sub-graph (Network::forward_from);
-//  * a stuck-at equal to the golden bit is masked by construction and is
-//    classified Non-critical without any inference (half of a stuck-at
-//    universe on average);
-//  * per-image early exit: a fault is Critical as soon as one image trips
-//    the policy, so critical faults rarely scan the whole evaluation set.
+// This header is deliberately execution-free — the fault->outcome kernel
+// lives in core/classification_core.hpp and the orchestration (worker
+// fan-out, journaling, progress) in core/engine.hpp, so that result
+// consumers (estimator, benches, replay) never pull in the engine.
 
+#include <atomic>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/planner.hpp"
-#include "data/synthetic.hpp"
-#include "fault/injector.hpp"
 #include "stats/rng.hpp"
 
 namespace statfi::core {
@@ -45,6 +41,9 @@ enum class FaultOutcome : std::uint8_t {
     Masked = 2,  ///< stored word unchanged -> Non-critical without inference
 };
 
+/// Classification knobs shared by every campaign executor. Worker count is
+/// NOT part of this config (it cannot change outcomes, so it must not enter
+/// the campaign fingerprint either).
 struct ExecutorConfig {
     ClassificationPolicy policy = ClassificationPolicy::AnyMisprediction;
     double accuracy_drop_threshold = 0.0;  ///< for AccuracyDrop: strict drop > threshold
@@ -88,10 +87,21 @@ struct CampaignResult {
 
 /// Dense per-fault outcome table from an exhaustive campaign — ground truth
 /// for validating the statistical approaches, replayable into any plan.
+///
+/// Range queries are served from a lazily built prefix-sum index (one O(N)
+/// build amortized over all queries), so the figure/table benches can ask
+/// for every (bit, layer) subpopulation rate without rescanning the
+/// universe each time. Writers invalidate the index; concurrent set() calls
+/// to distinct indices are safe, but queries must not race with writes.
 class ExhaustiveOutcomes {
 public:
     ExhaustiveOutcomes() = default;
     explicit ExhaustiveOutcomes(std::uint64_t universe_size);
+
+    ExhaustiveOutcomes(const ExhaustiveOutcomes& other);
+    ExhaustiveOutcomes& operator=(const ExhaustiveOutcomes& other);
+    ExhaustiveOutcomes(ExhaustiveOutcomes&& other) noexcept;
+    ExhaustiveOutcomes& operator=(ExhaustiveOutcomes&& other) noexcept;
 
     [[nodiscard]] std::uint64_t size() const noexcept { return outcomes_.size(); }
     [[nodiscard]] FaultOutcome at(std::uint64_t index) const {
@@ -99,6 +109,7 @@ public:
     }
     void set(std::uint64_t index, FaultOutcome outcome) {
         outcomes_.at(index) = static_cast<std::uint8_t>(outcome);
+        index_stale_.store(true, std::memory_order_relaxed);
     }
 
     /// Exact critical rate of an index range [begin, end).
@@ -123,7 +134,12 @@ public:
     static ExhaustiveOutcomes load(const std::string& path);
 
 private:
+    [[nodiscard]] const std::vector<std::uint64_t>& prefix() const;
+
     std::vector<std::uint8_t> outcomes_;
+    /// prefix_[i] = number of Critical outcomes in [0, i).
+    mutable std::vector<std::uint64_t> prefix_;
+    mutable std::atomic<bool> index_stale_{true};
 };
 
 /// Heartbeat passed to campaign Progress callbacks.
@@ -153,74 +169,6 @@ struct ExhaustiveRun {
     bool complete = true;  ///< false: cancelled — journal holds progress
     std::uint64_t classified = 0;  ///< faults classified by this run
     std::uint64_t resumed = 0;     ///< outcomes replayed from the journal
-};
-
-class CampaignExecutor {
-public:
-    /// Clones nothing: operates directly on @p net's weights (restoring them
-    /// after every fault). Caches golden activations for every image of
-    /// @p eval in the constructor.
-    CampaignExecutor(nn::Network& net, const data::Dataset& eval,
-                     ExecutorConfig config = {});
-
-    [[nodiscard]] double golden_accuracy() const noexcept {
-        return golden_accuracy_;
-    }
-    [[nodiscard]] const std::vector<int>& golden_predictions() const noexcept {
-        return golden_preds_;
-    }
-    /// Total faulty inferences (image evaluations) performed so far.
-    [[nodiscard]] std::uint64_t inference_count() const noexcept {
-        return inferences_;
-    }
-
-    /// Classify one fault (weights are corrupted and restored internally).
-    FaultOutcome evaluate(const fault::Fault& fault);
-
-    /// Execute a statistical plan: per subpopulation, draw the planned
-    /// number of faults without replacement (independent sub-streams of
-    /// @p rng) and classify each. @p cancel (optional) stops between
-    /// faults; the partial result is marked interrupted.
-    CampaignResult run(const fault::FaultUniverse& universe,
-                       const CampaignPlan& plan, stats::Rng rng,
-                       const CancellationToken* cancel = nullptr);
-
-    using Progress = ProgressFn;
-
-    /// Classify every fault in the universe. @p progress (optional) is
-    /// invoked every few thousand faults with rate/ETA heartbeat.
-    ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
-                                      const Progress& progress = {});
-
-    /// run_exhaustive with durability: journaled checkpoints every record
-    /// (flushed every flush_interval), resume from a matching journal, and
-    /// cooperative cancellation. Resuming an interrupted run produces
-    /// outcomes bit-identical to an uninterrupted one.
-    ExhaustiveRun run_exhaustive_durable(const fault::FaultUniverse& universe,
-                                         const DurabilityOptions& options,
-                                         const Progress& progress = {});
-
-    /// Campaign identity for journals/caches: universe size, dtype, policy,
-    /// plus CRC32 hashes of the evaluation set and the golden weights. A
-    /// retrained model or different eval set fingerprints differently.
-    [[nodiscard]] CampaignFingerprint fingerprint(
-        const fault::FaultUniverse& universe, std::string model_id) const;
-
-private:
-    FaultOutcome classify_active_fault(int first_dirty_node);
-
-    nn::Network* net_;
-    ExecutorConfig config_;
-    fault::WeightInjector injector_;
-    std::vector<Tensor> images_;                    // (1, C, H, W) each
-    std::vector<int> labels_;
-    std::vector<std::vector<Tensor>> golden_acts_;  // per image, per node
-    std::vector<int> golden_preds_;
-    std::vector<std::size_t> correct_order_;  // golden-correct images first
-    double golden_accuracy_ = 0.0;
-    std::uint64_t golden_correct_ = 0;
-    std::uint64_t inferences_ = 0;
-    std::vector<Tensor> scratch_;
 };
 
 /// Replay a statistical plan against exhaustive ground truth: sampling is

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace statfi::core {
 
@@ -14,6 +15,14 @@ const char* to_string(Approach approach) noexcept {
         case Approach::DataAware: return "data-aware";
     }
     return "?";
+}
+
+Approach approach_from_string(std::string_view name) {
+    for (const Approach a :
+         {Approach::Exhaustive, Approach::NetworkWise, Approach::LayerWise,
+          Approach::DataUnaware, Approach::DataAware})
+        if (name == to_string(a)) return a;
+    throw std::invalid_argument("unknown approach '" + std::string(name) + "'");
 }
 
 std::uint64_t CampaignPlan::total_population() const {

@@ -12,6 +12,7 @@
 //     bit-criticality analysis — far fewer injections (Eq. 3 + Eq. 5).
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/data_aware.hpp"
@@ -29,6 +30,10 @@ enum class Approach : std::uint8_t {
 };
 
 const char* to_string(Approach approach) noexcept;
+
+/// Inverse of to_string ("exhaustive", "network-wise", ...), for CLI
+/// routing. @throws std::invalid_argument on an unknown name.
+Approach approach_from_string(std::string_view name);
 
 /// One sampled subpopulation. layer/bit use -1 for "all" (e.g. the
 /// network-wise plan is a single subpopulation with layer = bit = -1).

@@ -62,7 +62,7 @@ Testbed::Testbed(TestbedConfig config)
     universe_ = fault::FaultUniverse::stuck_at(net_);
     ExecutorConfig exec_config;
     exec_config.policy = config_.policy;
-    executor_.emplace(net_, eval_, exec_config);
+    engine_.emplace(net_, eval_, exec_config);
 }
 
 const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
@@ -89,7 +89,7 @@ const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
     if (verbose)
         std::cerr << "testbed: running exhaustive campaign over "
                   << universe_->total() << " faults (cached for later runs)\n";
-    CampaignExecutor::Progress progress;
+    ProgressFn progress;
     if (verbose)
         progress = [](const ProgressInfo& p) {
             if (p.done % 32768 == 0 || p.done == p.total)
@@ -106,7 +106,7 @@ const ExhaustiveOutcomes& Testbed::ground_truth(bool verbose) {
     DurabilityOptions durability;
     durability.journal_path = path + ".sfij";
     durability.model_id = "micronet";
-    auto run = executor_->run_exhaustive_durable(*universe_, durability, progress);
+    auto run = engine_->run_exhaustive_durable(*universe_, durability, progress);
     if (verbose && run.resumed > 0)
         std::cerr << "testbed: resumed " << run.resumed
                   << " outcomes from journal, classified " << run.classified

@@ -15,7 +15,7 @@
 #include <optional>
 #include <string>
 
-#include "core/executor.hpp"
+#include "core/engine.hpp"
 #include "data/synthetic.hpp"
 #include "models/micronet.hpp"
 
@@ -44,9 +44,9 @@ public:
     [[nodiscard]] const fault::FaultUniverse& universe() const {
         return *universe_;
     }
-    [[nodiscard]] CampaignExecutor& executor() { return *executor_; }
+    [[nodiscard]] CampaignEngine& engine() { return *engine_; }
     [[nodiscard]] double golden_accuracy() const {
-        return executor_->golden_accuracy();
+        return engine_->golden_accuracy();
     }
     [[nodiscard]] double test_accuracy() const { return test_accuracy_; }
     [[nodiscard]] const TestbedConfig& config() const { return config_; }
@@ -65,7 +65,7 @@ private:
     data::Dataset eval_;
     double test_accuracy_ = 0.0;
     std::optional<fault::FaultUniverse> universe_;
-    std::optional<CampaignExecutor> executor_;
+    std::optional<CampaignEngine> engine_;
     std::optional<ExhaustiveOutcomes> truth_;
 };
 

@@ -127,8 +127,8 @@ void Conv2d::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
     // K=1, s=1, p=0 convolutions (MobileNetV2's pointwise layers) are plain
     // GEMMs over the input as-is; skip the im2col copy entirely.
     const bool pointwise = kernel_ == 1 && stride_ == 1 && padding_ == 0;
-    std::vector<float> cols;
-    if (!pointwise) cols.resize(col_rows * out_plane);
+    if (!pointwise && col_ws_.size() < col_rows * out_plane)
+        col_ws_.resize(col_rows * out_plane);
 
     const std::size_t in_image = static_cast<std::size_t>(in_channels_ * H * W);
     const std::size_t out_image =
@@ -138,8 +138,8 @@ void Conv2d::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
         const float* b = src;
         if (!pointwise) {
             im2col(src, in_channels_, H, W, kernel_, stride_, padding_,
-                   cols.data());
-            b = cols.data();
+                   col_ws_.data());
+            b = col_ws_.data();
         }
         gemm(static_cast<std::size_t>(out_channels_), out_plane, col_rows,
              weight_.data(), b, out.data() + static_cast<std::size_t>(n) * out_image);

@@ -63,6 +63,11 @@ private:
     std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
     Tensor weight_;       // (Cout, Cin, K, K)
     Tensor weight_grad_;  // same shape
+    /// Grow-only im2col workspace reused across forward calls — fault
+    /// campaigns run ~10^5 forwards per layer, and a fresh buffer per call
+    /// dominated the allocator profile. Each campaign worker owns a private
+    /// network clone, so the workspace is single-threaded by construction.
+    mutable std::vector<float> col_ws_;
 };
 
 /// Depthwise 2-D convolution (groups == channels), square kernel, no bias.

@@ -2,6 +2,13 @@
 // Small blocked single-precision GEMM. Backs the im2col convolution path and
 // the fully-connected layer. Not a BLAS replacement — just cache-blocked,
 // vectorizer-friendly loops that are fast enough for fault campaigns on CPU.
+//
+// Determinism note the campaign engine relies on: each output element
+// C[m,n] accumulates its K products in ascending-k order regardless of M or
+// N (the blocking never reorders a single element's additions). Rows of C
+// are therefore computed identically whether A arrives as one batched
+// matrix or row-by-row — which is why the batched golden pass in
+// core/classification_core.cpp is bit-identical to per-image passes.
 
 #include <cstddef>
 

@@ -1,5 +1,6 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -74,6 +75,23 @@ Tensor Tensor::reshaped(Shape new_shape) const {
     Tensor t;
     t.shape_ = std::move(new_shape);
     t.data_ = data_;
+    return t;
+}
+
+Tensor Tensor::slice_row(std::int64_t n) const {
+    if (shape_.rank() == 0)
+        throw std::invalid_argument("Tensor::slice_row: rank-0 tensor");
+    const std::int64_t rows = shape_[0];
+    if (n < 0 || n >= rows)
+        throw std::out_of_range("Tensor::slice_row: row " + std::to_string(n) +
+                                " out of " + std::to_string(rows));
+    std::vector<std::int64_t> dims = shape_.dims();
+    dims[0] = 1;
+    Tensor t{Shape(std::move(dims))};
+    const std::size_t stride = t.numel();
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(
+                                    stride * static_cast<std::size_t>(n)),
+                stride, t.data_.begin());
     return t;
 }
 

@@ -72,6 +72,11 @@ public:
     /// Reinterpret as a new shape with identical numel.
     [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 
+    /// Copy of row @p n along the leading (batch) dimension as a
+    /// (1, rest...) tensor. Splits a batched activation back into the
+    /// per-image views the fault executors early-exit over.
+    [[nodiscard]] Tensor slice_row(std::int64_t n) const;
+
     /// Elementwise helpers used by layers and tests.
     Tensor& add_(const Tensor& other);
     Tensor& scale_(float factor) noexcept;

@@ -131,12 +131,12 @@ TEST(Adaptive, LiveExecutionAgreesWithPolicy) {
     nn::train_classifier(net, train.images, train.labels, 3, 32, {}, rng);
     auto eval = data::make_synthetic(spec, 3, "test");
     auto universe = fault::FaultUniverse::stuck_at(net);
-    CampaignExecutor executor(net, eval);
+    ClassificationCore core(net, eval);
 
     AdaptiveConfig config;
     config.pilot_size = 10;
     config.spec.error_margin = 0.05;
-    const auto result = run_adaptive(executor, universe, config, stats::Rng(5));
+    const auto result = run_adaptive(core, universe, config, stats::Rng(5));
     EXPECT_GT(result.total_injected(), 0u);
     const auto network = estimate_network(universe, result.combined);
     EXPECT_GE(network.rate, 0.0);

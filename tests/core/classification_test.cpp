@@ -1,13 +1,15 @@
-// Tests for the campaign executor: classification correctness, the masked
-// short-circuit, run/replay equivalence, and outcome persistence.
+// Tests for the shared classification kernel and the campaign facade built
+// on it: classification correctness, the masked short-circuit, run/replay
+// equivalence, and outcome persistence.
 
-#include "core/executor.hpp"
+#include "core/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
 
+#include "core/planner.hpp"
 #include "models/micronet.hpp"
 #include "nn/init.hpp"
 #include "nn/trainer.hpp"
@@ -34,41 +36,54 @@ struct Fixture {
     }
 };
 
-TEST(Executor, GoldenAccuracyMatchesDirectEvaluation) {
+TEST(Classification, GoldenAccuracyMatchesDirectEvaluation) {
     auto fx = Fixture::make(16);
-    CampaignExecutor exec(fx.net, fx.eval);
+    CampaignEngine engine(fx.net, fx.eval);
     const Tensor logits = fx.net.forward(fx.eval.images);
-    EXPECT_DOUBLE_EQ(exec.golden_accuracy(),
+    EXPECT_DOUBLE_EQ(engine.golden_accuracy(),
                      nn::top1_accuracy(logits, fx.eval.labels));
-    ASSERT_EQ(exec.golden_predictions().size(), 16u);
+    ASSERT_EQ(engine.golden_predictions().size(), 16u);
 }
 
-TEST(Executor, RejectsEmptyEvalSet) {
+TEST(Classification, BatchedGoldenPassMatchesPerImageForwards) {
+    // The golden cache is built with one batched forward over the whole
+    // eval tensor; it must be bit-identical to forwarding image by image.
+    auto fx = Fixture::make(8);
+    ClassificationCore core(fx.net, fx.eval);
+    for (std::int64_t i = 0; i < fx.eval.size(); ++i) {
+        const Tensor logits = fx.net.forward(fx.eval.image(i));
+        EXPECT_EQ(core.golden_predictions()[static_cast<std::size_t>(i)],
+                  nn::argmax_row(logits, 0))
+            << "image " << i;
+    }
+}
+
+TEST(Classification, RejectsEmptyEvalSet) {
     auto fx = Fixture::make();
     data::Dataset empty;
-    EXPECT_THROW(CampaignExecutor(fx.net, empty), std::invalid_argument);
+    EXPECT_THROW(CampaignEngine(fx.net, empty), std::invalid_argument);
 }
 
-TEST(Executor, MaskedFaultSkipsInference) {
+TEST(Classification, MaskedFaultSkipsInference) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    ClassificationCore core(fx.net, fx.eval);
     // Find a masked fault (bit 30 stuck-at-0 on Kaiming weights).
     fault::Fault f;
     f.layer = 0;
     f.weight_index = 0;
     f.bit = 30;
     f.model = fault::FaultModel::StuckAt0;
-    const auto before = exec.inference_count();
-    EXPECT_EQ(exec.evaluate(f), FaultOutcome::Masked);
-    EXPECT_EQ(exec.inference_count(), before);
+    const auto before = core.inference_count();
+    EXPECT_EQ(core.evaluate(f), FaultOutcome::Masked);
+    EXPECT_EQ(core.inference_count(), before);
 }
 
-TEST(Executor, ExponentMsbStuckAt1IsOftenCritical) {
+TEST(Classification, ExponentMsbStuckAt1IsOftenCritical) {
     // Setting bit 30 makes |w| ~ 2^k astronomically large. A negative weight
     // can still be masked downstream by ReLU (the channel just dies), so not
     // every such fault is critical — but a large fraction must be.
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    ClassificationCore core(fx.net, fx.eval);
     int critical = 0;
     constexpr int kProbes = 50;
     for (int w = 0; w < kProbes; ++w) {
@@ -77,41 +92,41 @@ TEST(Executor, ExponentMsbStuckAt1IsOftenCritical) {
         f.weight_index = static_cast<std::uint64_t>(w);
         f.bit = 30;
         f.model = fault::FaultModel::StuckAt1;
-        critical += exec.evaluate(f) == FaultOutcome::Critical;
+        critical += core.evaluate(f) == FaultOutcome::Critical;
     }
     EXPECT_GE(critical, kProbes / 4);
 }
 
-TEST(Executor, MantissaLsbIsNonCritical) {
+TEST(Classification, MantissaLsbIsNonCritical) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    ClassificationCore core(fx.net, fx.eval);
     fault::Fault f;
     f.layer = 2;
     f.weight_index = 7;
     f.bit = 0;
     f.model = fault::FaultModel::StuckAt1;
-    const auto outcome = exec.evaluate(f);
+    const auto outcome = core.evaluate(f);
     EXPECT_TRUE(outcome == FaultOutcome::NonCritical ||
                 outcome == FaultOutcome::Masked);
 }
 
-TEST(Executor, EvaluateIsDeterministicAndRestores) {
+TEST(Classification, EvaluateIsDeterministicAndRestores) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    ClassificationCore core(fx.net, fx.eval);
     stats::Rng rng(9);
     for (int trial = 0; trial < 200; ++trial) {
         const auto f = fx.universe.decode(rng.uniform_below(fx.universe.total()));
-        const auto a = exec.evaluate(f);
-        const auto b = exec.evaluate(f);
+        const auto a = core.evaluate(f);
+        const auto b = core.evaluate(f);
         EXPECT_EQ(a, b) << f.to_string();
     }
     // Weights restored -> golden accuracy unchanged.
     const Tensor logits = fx.net.forward(fx.eval.images);
-    EXPECT_DOUBLE_EQ(exec.golden_accuracy(),
+    EXPECT_DOUBLE_EQ(core.golden_accuracy(),
                      nn::top1_accuracy(logits, fx.eval.labels));
 }
 
-TEST(Executor, PoliciesOrderedByStrictness) {
+TEST(Classification, PoliciesOrderedByStrictness) {
     // GoldenMismatch triggers at least as often as AnyMisprediction, which
     // triggers at least as often as a 50% accuracy-drop policy.
     auto fx = Fixture::make();
@@ -123,27 +138,27 @@ TEST(Executor, PoliciesOrderedByStrictness) {
     drop_cfg.policy = ClassificationPolicy::AccuracyDrop;
     drop_cfg.accuracy_drop_threshold = 0.5;
 
-    CampaignExecutor any_exec(fx.net, fx.eval, any_cfg);
-    CampaignExecutor golden_exec(fx.net, fx.eval, golden_cfg);
-    CampaignExecutor drop_exec(fx.net, fx.eval, drop_cfg);
+    CampaignEngine any_engine(fx.net, fx.eval, any_cfg);
+    CampaignEngine golden_engine(fx.net, fx.eval, golden_cfg);
+    CampaignEngine drop_engine(fx.net, fx.eval, drop_cfg);
 
     stats::Rng rng(10);
     int any_crit = 0, golden_crit = 0, drop_crit = 0;
     for (int trial = 0; trial < 300; ++trial) {
         const auto f = fx.universe.decode(rng.uniform_below(fx.universe.total()));
-        any_crit += any_exec.evaluate(f) == FaultOutcome::Critical;
-        golden_crit += golden_exec.evaluate(f) == FaultOutcome::Critical;
-        drop_crit += drop_exec.evaluate(f) == FaultOutcome::Critical;
+        any_crit += any_engine.evaluate(f) == FaultOutcome::Critical;
+        golden_crit += golden_engine.evaluate(f) == FaultOutcome::Critical;
+        drop_crit += drop_engine.evaluate(f) == FaultOutcome::Critical;
     }
     EXPECT_GE(golden_crit, any_crit);
     EXPECT_GE(any_crit, drop_crit);
 }
 
-TEST(Executor, RunCoversPlannedSampleSizes) {
+TEST(Classification, RunCoversPlannedSampleSizes) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    CampaignEngine engine(fx.net, fx.eval);
     const auto plan = plan_layer_wise(fx.universe, stats::SampleSpec{});
-    const auto result = exec.run(fx.universe, plan, stats::Rng(1));
+    const auto result = engine.run(fx.universe, plan, stats::Rng(1));
     EXPECT_EQ(result.approach, Approach::LayerWise);
     ASSERT_EQ(result.subpops.size(), plan.subpops.size());
     for (std::size_t i = 0; i < plan.subpops.size(); ++i) {
@@ -154,13 +169,13 @@ TEST(Executor, RunCoversPlannedSampleSizes) {
     EXPECT_GT(result.wall_seconds, 0.0);
 }
 
-TEST(Executor, NetworkWiseRunRecordsPerLayerTallies) {
+TEST(Classification, NetworkWiseRunRecordsPerLayerTallies) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval);
+    CampaignEngine engine(fx.net, fx.eval);
     stats::SampleSpec spec;
     spec.error_margin = 0.05;  // small n for test speed
     const auto plan = plan_network_wise(fx.universe, spec);
-    const auto result = exec.run(fx.universe, plan, stats::Rng(2));
+    const auto result = engine.run(fx.universe, plan, stats::Rng(2));
     ASSERT_EQ(result.subpops.size(), 1u);
     const auto& sp = result.subpops[0];
     ASSERT_EQ(sp.layer_injected.size(), 4u);
@@ -173,18 +188,18 @@ TEST(Executor, NetworkWiseRunRecordsPerLayerTallies) {
     EXPECT_EQ(crit, sp.critical);
 }
 
-TEST(Executor, ExhaustiveThenReplayEqualsDirectRun) {
+TEST(Classification, ExhaustiveThenReplayEqualsDirectRun) {
     // The central equivalence: replaying a plan against exhaustive outcomes
     // must produce bit-identical tallies to actually injecting the sample.
     auto fx = Fixture::make(4);
-    CampaignExecutor exec(fx.net, fx.eval);
-    const auto truth = exec.run_exhaustive(fx.universe);
+    CampaignEngine engine(fx.net, fx.eval);
+    const auto truth = engine.run_exhaustive(fx.universe);
 
     stats::SampleSpec spec;
     spec.error_margin = 0.03;
     for (const auto& plan : {plan_network_wise(fx.universe, spec),
                              plan_layer_wise(fx.universe, spec)}) {
-        const auto direct = exec.run(fx.universe, plan, stats::Rng(77));
+        const auto direct = engine.run(fx.universe, plan, stats::Rng(77));
         const auto replayed = replay(fx.universe, plan, truth, stats::Rng(77));
         ASSERT_EQ(direct.subpops.size(), replayed.subpops.size());
         for (std::size_t i = 0; i < direct.subpops.size(); ++i) {
@@ -197,11 +212,11 @@ TEST(Executor, ExhaustiveThenReplayEqualsDirectRun) {
     }
 }
 
-TEST(Executor, ExhaustiveOutcomeTableShape) {
+TEST(Classification, ExhaustiveOutcomeTableShape) {
     auto fx = Fixture::make(4);
-    CampaignExecutor exec(fx.net, fx.eval);
+    CampaignEngine engine(fx.net, fx.eval);
     std::uint64_t last_done = 0;
-    const auto truth = exec.run_exhaustive(
+    const auto truth = engine.run_exhaustive(
         fx.universe,
         [&](const ProgressInfo& p) {
             EXPECT_LE(p.done, p.total);
@@ -225,7 +240,7 @@ TEST(Executor, ExhaustiveOutcomeTableShape) {
     EXPECT_LT(truth.network_critical_rate(), 0.2);
 }
 
-TEST(Executor, OutcomesSaveLoadRoundTrip) {
+TEST(Classification, OutcomesSaveLoadRoundTrip) {
     ExhaustiveOutcomes outcomes(100);
     outcomes.set(3, FaultOutcome::Critical);
     outcomes.set(50, FaultOutcome::Masked);
@@ -242,7 +257,7 @@ TEST(Executor, OutcomesSaveLoadRoundTrip) {
     std::filesystem::remove(path);
 }
 
-TEST(Executor, OutcomesLoadRejectsGarbage) {
+TEST(Classification, OutcomesLoadRejectsGarbage) {
     const auto path =
         (std::filesystem::temp_directory_path() / "statfi_garbage.sfio").string();
     std::ofstream(path) << "not an outcome file";
@@ -252,14 +267,32 @@ TEST(Executor, OutcomesLoadRejectsGarbage) {
                  std::runtime_error);
 }
 
-TEST(Executor, OutcomeRangeChecks) {
+TEST(Classification, OutcomeRangeChecks) {
     ExhaustiveOutcomes outcomes(10);
     EXPECT_THROW(outcomes.critical_count(5, 11), std::out_of_range);
     EXPECT_THROW(outcomes.critical_count(7, 3), std::out_of_range);
     EXPECT_DOUBLE_EQ(outcomes.critical_rate(3, 3), 0.0);
 }
 
-TEST(Executor, ReplayRejectsSizeMismatch) {
+TEST(Classification, CriticalCountPrefixSumTracksMutation) {
+    // critical_count is backed by a lazily built prefix-sum index; it must
+    // stay consistent when outcomes are rewritten after the first query.
+    ExhaustiveOutcomes outcomes(64);
+    for (std::uint64_t i = 0; i < 64; i += 4)
+        outcomes.set(i, FaultOutcome::Critical);
+    EXPECT_EQ(outcomes.critical_count(0, 64), 16u);
+    EXPECT_EQ(outcomes.critical_count(0, 1), 1u);
+    EXPECT_EQ(outcomes.critical_count(1, 4), 0u);
+    outcomes.set(0, FaultOutcome::Masked);   // invalidates the index
+    outcomes.set(2, FaultOutcome::Critical);
+    EXPECT_EQ(outcomes.critical_count(0, 64), 16u);
+    EXPECT_EQ(outcomes.critical_count(0, 4), 1u);
+    // A copy answers independently of the original's cached index.
+    const ExhaustiveOutcomes copy = outcomes;
+    EXPECT_EQ(copy.critical_count(0, 64), 16u);
+}
+
+TEST(Classification, ReplayRejectsSizeMismatch) {
     auto fx = Fixture::make(4);
     ExhaustiveOutcomes wrong(10);
     const auto plan = plan_network_wise(fx.universe, stats::SampleSpec{});
@@ -267,7 +300,7 @@ TEST(Executor, ReplayRejectsSizeMismatch) {
                  std::invalid_argument);
 }
 
-TEST(Executor, PolicyNames) {
+TEST(Classification, PolicyNames) {
     EXPECT_STREQ(to_string(ClassificationPolicy::AnyMisprediction),
                  "any-misprediction");
     EXPECT_STREQ(to_string(ClassificationPolicy::GoldenMismatch),

@@ -1,5 +1,5 @@
 // Tests for the durable campaign layer: interrupt/resume bit-identity
-// (serial and parallel), corruption of every cached artifact degrading to
+// (any worker count), corruption of every cached artifact degrading to
 // recompute instead of crashing, and cooperative cancellation.
 
 #include <gtest/gtest.h>
@@ -7,8 +7,8 @@
 #include <filesystem>
 #include <fstream>
 
-#include "core/executor.hpp"
-#include "core/parallel.hpp"
+#include "core/engine.hpp"
+#include "core/planner.hpp"
 #include "models/micronet.hpp"
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
@@ -61,7 +61,7 @@ void expect_identical(const ExhaustiveOutcomes& a, const ExhaustiveOutcomes& b) 
 
 TEST_F(DurabilityTest, SerialResumeIsBitIdentical) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    CampaignEngine exec(fx.net, fx.eval, fx.config);
     const auto baseline = exec.run_exhaustive(fx.universe);
 
     // Interrupt mid-census: the token trips at the first progress heartbeat
@@ -90,12 +90,12 @@ TEST_F(DurabilityTest, SerialResumeIsBitIdentical) {
     expect_identical(second.outcomes, baseline);
 }
 
-TEST_F(DurabilityTest, ParallelResumeIsBitIdentical) {
+TEST_F(DurabilityTest, MultiWorkerResumeIsBitIdentical) {
     auto fx = Fixture::make();
-    CampaignExecutor serial(fx.net, fx.eval, fx.config);
+    CampaignEngine serial(fx.net, fx.eval, fx.config);
     const auto baseline = serial.run_exhaustive(fx.universe);
 
-    ParallelCampaignExecutor parallel(fx.net, fx.eval, fx.config, 2);
+    CampaignEngine parallel(fx.net, fx.eval, fx.config, 2);
     CancellationToken cancel;
     DurabilityOptions options;
     options.journal_path = path("parallel.sfij");
@@ -117,7 +117,7 @@ TEST_F(DurabilityTest, ParallelResumeIsBitIdentical) {
 
 TEST_F(DurabilityTest, TornJournalTailResumesBitIdentical) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    CampaignEngine exec(fx.net, fx.eval, fx.config);
     const auto baseline = exec.run_exhaustive(fx.universe);
 
     CancellationToken cancel;
@@ -147,7 +147,7 @@ TEST_F(DurabilityTest, StaleFingerprintAfterRetrainingForcesRecompute) {
     auto fx = Fixture::make();
     const std::string journal = path("stale.sfij");
     {
-        CampaignExecutor exec(fx.net, fx.eval, fx.config);
+        CampaignEngine exec(fx.net, fx.eval, fx.config);
         CancellationToken cancel;
         DurabilityOptions options;
         options.journal_path = journal;
@@ -162,7 +162,7 @@ TEST_F(DurabilityTest, StaleFingerprintAfterRetrainingForcesRecompute) {
     // matches, so its records describe a different network and must not be
     // resumed into this one.
     fx.net.weight_layers()[0].weight->data()[0] += 0.5f;
-    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    CampaignEngine exec(fx.net, fx.eval, fx.config);
     DurabilityOptions options;
     options.journal_path = journal;
     options.model_id = "micronet";
@@ -256,13 +256,13 @@ TEST_F(DurabilityTest, CancelledStatisticalRunsAreMarkedInterrupted) {
     CancellationToken cancel;
     cancel.request_stop();
 
-    CampaignExecutor serial(fx.net, fx.eval, fx.config);
+    CampaignEngine serial(fx.net, fx.eval, fx.config);
     const auto serial_result =
         serial.run(fx.universe, plan, stats::Rng(5), &cancel);
     EXPECT_TRUE(serial_result.interrupted);
     EXPECT_EQ(serial_result.total_injected(), 0u);
 
-    ParallelCampaignExecutor parallel(fx.net, fx.eval, fx.config, 2);
+    CampaignEngine parallel(fx.net, fx.eval, fx.config, 2);
     const auto parallel_result =
         parallel.run(fx.universe, plan, stats::Rng(5), &cancel);
     EXPECT_TRUE(parallel_result.interrupted);
@@ -281,18 +281,18 @@ TEST_F(DurabilityTest, CancelledStatisticalRunsAreMarkedInterrupted) {
 
 TEST_F(DurabilityTest, FingerprintTracksConfigAndWeights) {
     auto fx = Fixture::make();
-    CampaignExecutor exec(fx.net, fx.eval, fx.config);
+    CampaignEngine exec(fx.net, fx.eval, fx.config);
     const auto base = exec.fingerprint(fx.universe, "micronet");
     EXPECT_EQ(base, exec.fingerprint(fx.universe, "micronet"));
     EXPECT_NE(base, exec.fingerprint(fx.universe, "othernet"));
 
     auto other_config = fx.config;
     other_config.policy = ClassificationPolicy::AnyMisprediction;
-    CampaignExecutor other_exec(fx.net, fx.eval, other_config);
+    CampaignEngine other_exec(fx.net, fx.eval, other_config);
     EXPECT_NE(base.policy, other_exec.fingerprint(fx.universe, "micronet").policy);
 
     fx.net.weight_layers()[0].weight->data()[0] += 1.0f;
-    CampaignExecutor perturbed(fx.net, fx.eval, fx.config);
+    CampaignEngine perturbed(fx.net, fx.eval, fx.config);
     EXPECT_NE(base.weights_hash,
               perturbed.fingerprint(fx.universe, "micronet").weights_hash);
 }

@@ -1,0 +1,190 @@
+// Tests for the CampaignEngine facade: results must be bit-identical for
+// any worker count (serial is just the 1-worker case), every statistical
+// approach must run end-to-end through CampaignSpec -> plan -> run, and
+// replaying a plan against the engine's census must match direct injection.
+
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "models/micronet.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+
+namespace statfi::core {
+namespace {
+
+struct Fixture {
+    nn::Network net;
+    data::Dataset eval;
+    fault::FaultUniverse universe;
+
+    static Fixture make() {
+        auto net = models::make_micronet();
+        stats::Rng rng(777);
+        nn::init_network_kaiming(net, rng);
+        data::SyntheticSpec spec;
+        spec.noise_stddev = 0.8;
+        auto train = data::make_synthetic(spec, 256, "train");
+        nn::train_classifier(net, train.images, train.labels, 3, 32, {}, rng);
+        auto eval = data::make_synthetic(spec, 4, "test");
+        auto universe = fault::FaultUniverse::stuck_at(net);
+        return Fixture{std::move(net), std::move(eval), std::move(universe)};
+    }
+};
+
+/// The engine never mutates the source network (workers clone), so the
+/// trained fixture and its exhaustive census are shared across tests.
+Fixture& fixture() {
+    static Fixture fx = Fixture::make();
+    return fx;
+}
+
+const ExhaustiveOutcomes& ground_truth() {
+    static const ExhaustiveOutcomes truth = [] {
+        auto& fx = fixture();
+        CampaignEngine engine(fx.net, fx.eval);
+        return engine.run_exhaustive(fx.universe);
+    }();
+    return truth;
+}
+
+TEST(Engine, GoldenStateIdenticalAcrossWorkerCounts) {
+    auto& fx = fixture();
+    CampaignEngine serial(fx.net, fx.eval);
+    CampaignEngine parallel(fx.net, fx.eval, {}, 3);
+    EXPECT_EQ(serial.worker_count(), 1u);
+    EXPECT_EQ(parallel.worker_count(), 3u);
+    EXPECT_DOUBLE_EQ(parallel.golden_accuracy(), serial.golden_accuracy());
+    EXPECT_EQ(parallel.golden_predictions(), serial.golden_predictions());
+}
+
+TEST(Engine, RunIsBitIdenticalForAnyWorkerCount) {
+    auto& fx = fixture();
+    stats::SampleSpec spec;
+    spec.error_margin = 0.03;  // keep n modest for test speed
+
+    CampaignEngine serial(fx.net, fx.eval);
+    const auto plan = plan_layer_wise(fx.universe, spec);
+    const auto expected = serial.run(fx.universe, plan, stats::Rng(11));
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        CampaignEngine engine(fx.net, fx.eval, {}, threads);
+        const auto got = engine.run(fx.universe, plan, stats::Rng(11));
+        ASSERT_EQ(got.subpops.size(), expected.subpops.size());
+        for (std::size_t s = 0; s < got.subpops.size(); ++s) {
+            EXPECT_EQ(got.subpops[s].injected, expected.subpops[s].injected)
+                << threads << " threads, subpop " << s;
+            EXPECT_EQ(got.subpops[s].critical, expected.subpops[s].critical)
+                << threads << " threads, subpop " << s;
+            EXPECT_EQ(got.subpops[s].masked, expected.subpops[s].masked);
+        }
+    }
+}
+
+TEST(Engine, NetworkWisePerLayerTalliesMatchSerial) {
+    auto& fx = fixture();
+    stats::SampleSpec spec;
+    spec.error_margin = 0.05;
+    const auto plan = plan_network_wise(fx.universe, spec);
+
+    CampaignEngine serial(fx.net, fx.eval);
+    const auto expected = serial.run(fx.universe, plan, stats::Rng(22));
+    CampaignEngine parallel(fx.net, fx.eval, {}, 2);
+    const auto got = parallel.run(fx.universe, plan, stats::Rng(22));
+    ASSERT_EQ(got.subpops.size(), 1u);
+    EXPECT_EQ(got.subpops[0].layer_injected,
+              expected.subpops[0].layer_injected);
+    EXPECT_EQ(got.subpops[0].layer_critical,
+              expected.subpops[0].layer_critical);
+}
+
+TEST(Engine, ExhaustiveMatchesSerial) {
+    auto& fx = fixture();
+    const auto& expected = ground_truth();  // 1-worker census
+    CampaignEngine parallel(fx.net, fx.eval, {}, 2);
+    const auto got = parallel.run_exhaustive(fx.universe);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::uint64_t i = 0; i < got.size(); i += 13)
+        ASSERT_EQ(got.at(i), expected.at(i)) << "fault " << i;
+    EXPECT_DOUBLE_EQ(got.network_critical_rate(),
+                     expected.network_critical_rate());
+}
+
+TEST(Engine, RunCampaignCoversEveryStatisticalApproach) {
+    // The facade smoke test: every SFI approach goes CampaignSpec -> plan ->
+    // run through one entry point, and replaying the same plan against the
+    // exhaustive census gives bit-identical tallies.
+    auto& fx = fixture();
+    CampaignEngine engine(fx.net, fx.eval);
+    for (const auto approach :
+         {Approach::NetworkWise, Approach::LayerWise, Approach::DataUnaware,
+          Approach::DataAware}) {
+        CampaignSpec spec;
+        spec.approach = approach;
+        spec.sample.error_margin = 0.05;
+        const auto plan = engine.plan(fx.universe, spec);
+        EXPECT_EQ(plan.approach, approach);
+        EXPECT_GT(plan.total_sample_size(), 0u);
+
+        const auto direct = engine.run(fx.universe, plan, stats::Rng(99));
+        EXPECT_EQ(direct.approach, approach);
+        EXPECT_EQ(direct.total_injected(), plan.total_sample_size());
+
+        // run_campaign == plan + run with the same stream.
+        const auto combined =
+            engine.run_campaign(fx.universe, spec, stats::Rng(99));
+        EXPECT_EQ(combined.total_injected(), direct.total_injected());
+        EXPECT_EQ(combined.total_critical(), direct.total_critical());
+
+        const auto replayed =
+            replay(fx.universe, plan, ground_truth(), stats::Rng(99));
+        ASSERT_EQ(replayed.subpops.size(), direct.subpops.size());
+        for (std::size_t s = 0; s < direct.subpops.size(); ++s) {
+            EXPECT_EQ(direct.subpops[s].injected, replayed.subpops[s].injected)
+                << to_string(approach) << " subpop " << s;
+            EXPECT_EQ(direct.subpops[s].critical, replayed.subpops[s].critical)
+                << to_string(approach) << " subpop " << s;
+            EXPECT_EQ(direct.subpops[s].masked, replayed.subpops[s].masked);
+        }
+    }
+}
+
+TEST(Engine, ExhaustiveSpecRunsThroughTheStatisticalPath) {
+    // plan_exhaustive fully samples every subpopulation, so run_campaign
+    // with an Exhaustive spec must reproduce the census tallies exactly.
+    auto& fx = fixture();
+    CampaignEngine engine(fx.net, fx.eval, {}, 2);
+    CampaignSpec spec;
+    spec.approach = Approach::Exhaustive;
+    const auto result = engine.run_campaign(fx.universe, spec, stats::Rng(1));
+    EXPECT_EQ(result.total_injected(), fx.universe.total());
+    EXPECT_EQ(result.total_critical(),
+              ground_truth().critical_count(0, ground_truth().size()));
+}
+
+TEST(Engine, WorkerWeightsStayIsolated) {
+    // A campaign must leave the original network untouched (workers clone).
+    auto& fx = fixture();
+    const Tensor before = fx.net.forward(fx.eval.images);
+    CampaignEngine engine(fx.net, fx.eval, {}, 2);
+    stats::SampleSpec spec;
+    spec.error_margin = 0.05;
+    (void)engine.run(fx.universe, plan_network_wise(fx.universe, spec),
+                     stats::Rng(3));
+    const Tensor after = fx.net.forward(fx.eval.images);
+    for (std::size_t i = 0; i < before.numel(); ++i)
+        ASSERT_EQ(before[i], after[i]);
+}
+
+TEST(Engine, ApproachFromStringRoundTrips) {
+    for (const auto approach :
+         {Approach::Exhaustive, Approach::NetworkWise, Approach::LayerWise,
+          Approach::DataUnaware, Approach::DataAware})
+        EXPECT_EQ(approach_from_string(to_string(approach)), approach);
+    EXPECT_THROW(approach_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statfi::core

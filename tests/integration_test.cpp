@@ -10,7 +10,7 @@
 
 #include "core/data_aware.hpp"
 #include "core/estimator.hpp"
-#include "core/executor.hpp"
+#include "core/engine.hpp"
 #include "core/planner.hpp"
 #include "data/synthetic.hpp"
 #include "models/micronet.hpp"
@@ -33,13 +33,13 @@ protected:
         nn::train_classifier(*net_, train.images, train.labels, 5, 32, {}, rng);
         eval_ = new data::Dataset(data::make_synthetic(spec, 6, "test"));
         universe_ = new fault::FaultUniverse(fault::FaultUniverse::stuck_at(*net_));
-        executor_ = new CampaignExecutor(*net_, *eval_);
-        truth_ = new ExhaustiveOutcomes(executor_->run_exhaustive(*universe_));
+        engine_ = new CampaignEngine(*net_, *eval_);
+        truth_ = new ExhaustiveOutcomes(engine_->run_exhaustive(*universe_));
     }
 
     static void TearDownTestSuite() {
         delete truth_;
-        delete executor_;
+        delete engine_;
         delete universe_;
         delete eval_;
         delete net_;
@@ -48,18 +48,18 @@ protected:
     static nn::Network* net_;
     static data::Dataset* eval_;
     static fault::FaultUniverse* universe_;
-    static CampaignExecutor* executor_;
+    static CampaignEngine* engine_;
     static ExhaustiveOutcomes* truth_;
 };
 
 nn::Network* IntegrationTest::net_ = nullptr;
 data::Dataset* IntegrationTest::eval_ = nullptr;
 fault::FaultUniverse* IntegrationTest::universe_ = nullptr;
-CampaignExecutor* IntegrationTest::executor_ = nullptr;
+CampaignEngine* IntegrationTest::engine_ = nullptr;
 ExhaustiveOutcomes* IntegrationTest::truth_ = nullptr;
 
 TEST_F(IntegrationTest, GoldenNetworkIsFunctional) {
-    EXPECT_GT(executor_->golden_accuracy(), 0.6);
+    EXPECT_GT(engine_->golden_accuracy(), 0.6);
 }
 
 TEST_F(IntegrationTest, ExhaustiveCriticalRateIsSmallButNonzero) {

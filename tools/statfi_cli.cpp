@@ -6,9 +6,9 @@
 //                   [--dtype T] [--seed S]
 //   statfi campaign --model <name> --approach <a> [--margin E] [--confidence C]
 //                   [--images N] [--policy any|golden|drop] [--train]
-//                   [--dtype T] [--seed S]
+//                   [--dtype T] [--seed S] [--threads N]
 //   statfi exhaustive --model <name> [--images N] [--policy ...] [--train]
-//                     [--resume] [--journal PATH]
+//                     [--resume] [--journal PATH] [--threads N]
 //
 // Approaches: network-wise | layer-wise | data-unaware | data-aware.
 // --train fits the model on the synthetic dataset first (recommended for
@@ -30,9 +30,8 @@
 #include <vector>
 
 #include "core/data_aware.hpp"
+#include "core/engine.hpp"
 #include "core/estimator.hpp"
-#include "core/executor.hpp"
-#include "core/planner.hpp"
 #include "core/testbed.hpp"
 #include "data/synthetic.hpp"
 #include "models/registry.hpp"
@@ -61,6 +60,7 @@ struct Options {
     std::uint64_t seed = 2023;
     bool resume = false;    ///< continue from an existing matching journal
     std::string journal;    ///< override the default journal path
+    std::size_t threads = 1;  ///< campaign/exhaustive workers (0 = all cores)
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -83,6 +83,8 @@ struct Options {
         "  --train                     train the model first (synthetic data)\n"
         "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
         "  --seed S                    master seed (default 2023)\n"
+        "  --threads N                 campaign/exhaustive worker threads\n"
+        "                              (default 1; 0 = all hardware cores)\n"
         "  --resume                    exhaustive: continue from the journal\n"
         "                              left by an interrupted run\n"
         "  --journal PATH              exhaustive: checkpoint journal path\n"
@@ -117,6 +119,7 @@ Options parse(int argc, char** argv) {
         else if (flag == "--train") opt.train = true;
         else if (flag == "--dtype") opt.dtype = parse_dtype(value());
         else if (flag == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--threads") opt.threads = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--resume") opt.resume = true;
         else if (flag == "--journal") opt.journal = value();
         else usage("unknown flag '" + flag + "'");
@@ -174,21 +177,30 @@ core::DataAwareConfig data_aware_config(const Options& opt, nn::Network& net) {
     return config;
 }
 
-core::CampaignPlan make_plan(const Options& opt, nn::Network& net,
-                             const fault::FaultUniverse& universe) {
-    stats::SampleSpec spec;
-    spec.error_margin = opt.margin;
-    spec.confidence = opt.confidence;
-    if (opt.approach == "network-wise")
-        return core::plan_network_wise(universe, spec);
-    if (opt.approach == "layer-wise")
-        return core::plan_layer_wise(universe, spec);
-    if (opt.approach == "data-unaware")
-        return core::plan_data_unaware(universe, spec);
-    if (opt.approach == "data-aware")
-        return core::plan_data_aware(
-            universe, spec, core::analyze_network(net, data_aware_config(opt, net)));
-    usage("unknown approach '" + opt.approach + "'");
+core::CampaignSpec campaign_spec(const Options& opt) {
+    core::CampaignSpec spec;
+    try {
+        spec.approach = core::approach_from_string(opt.approach);
+    } catch (const std::invalid_argument& e) {
+        usage(e.what());
+    }
+    spec.sample.error_margin = opt.margin;
+    spec.sample.confidence = opt.confidence;
+    return spec;
+}
+
+core::ExecutorConfig executor_config(const Options& opt) {
+    core::ExecutorConfig config;
+    config.dtype = opt.dtype;
+    if (opt.policy == "any")
+        config.policy = core::ClassificationPolicy::AnyMisprediction;
+    else if (opt.policy == "golden")
+        config.policy = core::ClassificationPolicy::GoldenMismatch;
+    else if (opt.policy == "drop")
+        config.policy = core::ClassificationPolicy::AccuracyDrop;
+    else
+        usage("unknown policy '" + opt.policy + "'");
+    return config;
 }
 
 int cmd_profile(const Options& opt) {
@@ -209,7 +221,13 @@ int cmd_profile(const Options& opt) {
 int cmd_plan(const Options& opt) {
     auto net = prepare_model(opt);
     auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
-    const auto plan = make_plan(opt, net, universe);
+    // Planning needs the engine only for the data-aware weight analysis; a
+    // single evaluation image keeps the golden pass negligible.
+    data::SyntheticSpec spec;
+    spec.seed = opt.seed;
+    core::CampaignEngine engine(net, data::make_synthetic(spec, 1, "test"),
+                                executor_config(opt));
+    const auto plan = engine.plan(universe, campaign_spec(opt));
     report::Table table({"Layer", "Name", "Population", "Planned FIs"});
     for (int l = 0; l < universe.layer_count(); ++l)
         table.add_row({std::to_string(l), universe.layer(l).name,
@@ -228,20 +246,6 @@ int cmd_plan(const Options& opt) {
                      2)
               << "% of the exhaustive census\n";
     return 0;
-}
-
-core::ExecutorConfig executor_config(const Options& opt) {
-    core::ExecutorConfig config;
-    config.dtype = opt.dtype;
-    if (opt.policy == "any")
-        config.policy = core::ClassificationPolicy::AnyMisprediction;
-    else if (opt.policy == "golden")
-        config.policy = core::ClassificationPolicy::GoldenMismatch;
-    else if (opt.policy == "drop")
-        config.policy = core::ClassificationPolicy::AccuracyDrop;
-    else
-        usage("unknown policy '" + opt.policy + "'");
-    return config;
 }
 
 void print_estimates(const fault::FaultUniverse& universe,
@@ -265,24 +269,24 @@ void print_estimates(const fault::FaultUniverse& universe,
 int cmd_campaign(const Options& opt) {
     auto net = prepare_model(opt);
     auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
-    const auto plan = make_plan(opt, net, universe);
+    data::SyntheticSpec spec;
+    spec.seed = opt.seed;
+    const auto eval = data::make_synthetic(spec, opt.images, "test");
+    core::CampaignEngine engine(net, eval, executor_config(opt), opt.threads);
+    const auto plan = engine.plan(universe, campaign_spec(opt));
     std::cout << core::to_string(plan.approach) << " campaign: "
               << report::fmt_u64(plan.total_sample_size()) << " of "
               << report::fmt_u64(universe.total()) << " faults, "
               << opt.images << " image(s) per fault, policy " << opt.policy
               << "\n";
-
-    data::SyntheticSpec spec;
-    spec.seed = opt.seed;
-    const auto eval = data::make_synthetic(spec, opt.images, "test");
-    core::CampaignExecutor executor(net, eval, executor_config(opt));
     std::cout << "golden accuracy on evaluation set: "
-              << report::fmt_percent(executor.golden_accuracy(), 1) << "%\n"
-              << "running... (Ctrl-C stops cleanly)\n";
+              << report::fmt_percent(engine.golden_accuracy(), 1) << "%\n"
+              << "running on " << engine.worker_count()
+              << " worker(s)... (Ctrl-C stops cleanly)\n";
     std::signal(SIGINT, handle_sigint);
-    const auto result = executor.run(universe, plan,
-                                     stats::Rng(opt.seed).fork("campaign"),
-                                     &g_interrupt);
+    const auto result = engine.run(universe, plan,
+                                   stats::Rng(opt.seed).fork("campaign"),
+                                   &g_interrupt);
     std::signal(SIGINT, SIG_DFL);
     if (result.interrupted)
         std::cout << "interrupted after "
@@ -291,7 +295,7 @@ int cmd_campaign(const Options& opt) {
                   << " planned injections; estimates below cover the "
                      "classified sample only\n";
     std::cout << "done in " << report::fmt_double(result.wall_seconds, 1)
-              << "s (" << report::fmt_u64(executor.inference_count())
+              << "s (" << report::fmt_u64(engine.inference_count())
               << " faulty inferences)\n";
     print_estimates(universe, result, opt.confidence);
     return result.interrupted ? 130 : 0;
@@ -303,10 +307,11 @@ int cmd_exhaustive(const Options& opt) {
     data::SyntheticSpec spec;
     spec.seed = opt.seed;
     const auto eval = data::make_synthetic(spec, opt.images, "test");
-    core::CampaignExecutor executor(net, eval, executor_config(opt));
+    core::CampaignEngine engine(net, eval, executor_config(opt), opt.threads);
     std::cout << "exhaustive census: " << report::fmt_u64(universe.total())
-              << " faults x " << opt.images
-              << " image(s)  (Ctrl-C checkpoints; rerun with --resume)\n";
+              << " faults x " << opt.images << " image(s) on "
+              << engine.worker_count()
+              << " worker(s)  (Ctrl-C checkpoints; rerun with --resume)\n";
 
     core::DurabilityOptions durability;
     durability.model_id = opt.model;
@@ -323,7 +328,7 @@ int cmd_exhaustive(const Options& opt) {
     if (!opt.resume) std::filesystem::remove(durability.journal_path);
 
     std::signal(SIGINT, handle_sigint);
-    const auto run = executor.run_exhaustive_durable(
+    const auto run = engine.run_exhaustive_durable(
         universe, durability, [](const core::ProgressInfo& p) {
             std::cerr << "\r  " << p.done << "/" << p.total << "  ("
                       << report::fmt_u64(static_cast<std::uint64_t>(
