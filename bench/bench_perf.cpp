@@ -8,14 +8,23 @@
 // writes a small JSON report (BENCH_engine.json) with faults/second,
 // inferences/fault and wall seconds next to the pre-refactor baseline —
 // the regression check CI runs as a smoke step (capped via --faults).
+//
+// `bench_perf --shard-json PATH [--statfi BIN]` measures the scale-out
+// path: the same census run single-process in-process, then sharded via
+// `statfi shard run-all` subprocesses at --jobs 2 and 4, with the merged
+// result checked bit-identical against the single-process table
+// (BENCH_shard.json).
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/data_aware.hpp"
 #include "core/engine.hpp"
@@ -24,6 +33,9 @@
 #include "fault/injector.hpp"
 #include "models/registry.hpp"
 #include "nn/init.hpp"
+#include "shard/driver.hpp"
+#include "shard/fixture.hpp"
+#include "shard/merge.hpp"
 #include "stats/sampling.hpp"
 
 using namespace statfi;
@@ -233,21 +245,154 @@ int run_engine_report(const std::string& json_path, std::uint64_t max_faults,
     return 0;
 }
 
+// --- sharded census throughput (--shard-json) -----------------------------
+
+/// Sharded census on the shard fixture (micronet recipe, 4 images,
+/// GoldenMismatch, seed 424242): a single-process in-process census as the
+/// baseline, then `statfi shard run-all` at --jobs 2 and 4, merged and
+/// checked bit-identical against the baseline table. Reported per jobs
+/// count: wall seconds, faults/second and speedup over single-process.
+int run_shard_report(const std::string& json_path,
+                     const std::string& statfi_binary) {
+    shard::CampaignRecipe recipe;
+    recipe.model = "micronet";
+    recipe.approach = core::Approach::Exhaustive;
+    recipe.images = 4;
+    recipe.policy = core::ClassificationPolicy::GoldenMismatch;
+    recipe.seed = 424242;
+
+    const auto dir =
+        std::filesystem::temp_directory_path() / "statfi_shard_bench";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string manifest_path = (dir / "bench.sfim").string();
+
+    // Single-process baseline (also the bit-identity reference).
+    auto fx = shard::build_fixture(recipe);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+    const auto single_start = std::chrono::steady_clock::now();
+    const auto reference =
+        engine.run_exhaustive_durable(fx.universe, {}).outcomes;
+    const double single_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      single_start)
+            .count();
+    const std::uint64_t total = fx.universe.total();
+    const double single_fps = static_cast<double>(total) / single_wall;
+
+    shard::ShardManifest manifest;
+    manifest.recipe = recipe;
+    manifest.fingerprint = engine.fingerprint(fx.universe, recipe.model);
+    manifest.layer_count = static_cast<std::uint32_t>(fx.universe.layer_count());
+    manifest.plan.approach = core::Approach::Exhaustive;
+    manifest.item_count = total;
+    manifest.shards = shard::partition_items(total, 4);
+    manifest.save(manifest_path);
+
+    struct ShardRun {
+        std::size_t jobs;
+        double wall;
+        double fps;
+        bool identical;
+    };
+    std::vector<ShardRun> runs;
+    for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+        for (std::uint32_t k = 0; k < manifest.shards.size(); ++k)
+            std::filesystem::remove(shard::shard_result_path(manifest_path, k));
+        shard::DriveOptions drive;
+        drive.jobs = jobs;
+        drive.threads = 1;
+        drive.statfi_binary = statfi_binary;
+        const auto start = std::chrono::steady_clock::now();
+        const auto report =
+            shard::run_all_shards(manifest, manifest_path, drive);
+        if (!report.ok()) {
+            std::cerr << "bench_perf: shard run-all failed at jobs=" << jobs
+                      << "\n";
+            return 1;
+        }
+        const auto merged = shard::merge_shards(manifest, manifest_path);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        bool identical = merged.outcomes.size() == reference.size();
+        for (std::uint64_t i = 0; identical && i < total; ++i)
+            identical = merged.outcomes.at(i) == reference.at(i);
+        runs.push_back(
+            {jobs, wall, static_cast<double>(total) / wall, identical});
+    }
+    std::filesystem::remove_all(dir);
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet recipe seed 424242, 4 synthetic test "
+           "images, GoldenMismatch, stuck-at census, 4 shards\",\n"
+        << "  \"universe\": " << total << ",\n"
+        << "  \"shards\": " << manifest.shards.size() << ",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"single_process\": {\n"
+        << "    \"wall_seconds\": " << single_wall << ",\n"
+        << "    \"faults_per_second\": " << single_fps << "\n"
+        << "  },\n"
+        << "  \"run_all\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto& r = runs[i];
+        out << "    {\n"
+            << "      \"jobs\": " << r.jobs << ",\n"
+            << "      \"wall_seconds\": " << r.wall << ",\n"
+            << "      \"faults_per_second\": " << r.fps << ",\n"
+            << "      \"speedup\": " << r.fps / single_fps << ",\n"
+            << "      \"bit_identical\": " << (r.identical ? "true" : "false")
+            << "\n    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    bool all_identical = true;
+    for (const auto& r : runs) {
+        std::cout << "shard run-all jobs=" << r.jobs << ": " << r.fps
+                  << " faults/s (" << r.wall << " s, speedup "
+                  << r.fps / single_fps << "x, bit_identical "
+                  << (r.identical ? "yes" : "NO") << ")\n";
+        all_identical = all_identical && r.identical;
+    }
+    std::cout << "single-process: " << single_fps << " faults/s ("
+              << single_wall << " s)\nreport written to " << json_path << "\n";
+    return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string shard_json_path;
+    std::string statfi_binary;
     std::uint64_t max_faults = 0;  // 0 = full census
     std::size_t threads = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--engine-json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--shard-json" && i + 1 < argc) {
+            shard_json_path = argv[++i];
+        } else if (arg == "--statfi" && i + 1 < argc) {
+            statfi_binary = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
             max_faults = std::stoull(argv[++i]);
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::stoul(argv[++i]);
         }
+    }
+    if (!shard_json_path.empty()) {
+        if (statfi_binary.empty())
+            statfi_binary = (std::filesystem::path(argv[0]).parent_path() /
+                             ".." / "tools" / "statfi")
+                                .string();
+        return run_shard_report(shard_json_path, statfi_binary);
     }
     if (!json_path.empty()) return run_engine_report(json_path, max_faults, threads);
 

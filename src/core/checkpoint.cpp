@@ -82,6 +82,13 @@ CampaignJournal::Recovery CampaignJournal::recover(
         result.note = "no journal at " + path;
         return result;
     }
+    if (bytes.empty()) {
+        // A crash between open(O_CREAT) and the header write leaves a
+        // zero-byte file; distinct from a truncated header so the operator
+        // knows no work was lost.
+        result.note = "empty journal file (0 bytes) in " + path;
+        return result;
+    }
     const std::string header = encode_header(expected);
     if (bytes.size() < header.size()) {
         result.note = "journal header truncated (" +

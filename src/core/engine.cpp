@@ -100,34 +100,15 @@ CampaignPlan CampaignEngine::plan(const fault::FaultUniverse& universe,
     throw std::invalid_argument("CampaignEngine::plan: unknown approach");
 }
 
-CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
-                                   const CampaignPlan& plan, stats::Rng rng,
-                                   const CancellationToken* cancel) {
-    const auto start = std::chrono::steady_clock::now();
-    CampaignResult result;
-    result.approach = plan.approach;
-    result.spec = plan.spec;
-    result.subpops.resize(plan.subpops.size());
-
+std::vector<DrawnFault> draw_plan(const fault::FaultUniverse& universe,
+                                  const CampaignPlan& plan, stats::Rng rng) {
     // Draw every sample up front, one forked stream per subpopulation, so
     // the drawn faults are a function of (plan, rng) alone — never of the
     // worker count or the partitioning.
-    struct WorkItem {
-        std::size_t subpop;
-        fault::Fault fault;
-    };
-    std::vector<WorkItem> items;
+    std::vector<DrawnFault> items;
     std::uint64_t subpop_index = 0;
     for (std::size_t s = 0; s < plan.subpops.size(); ++s) {
         const auto& sp = plan.subpops[s];
-        auto& tally = result.subpops[s];
-        tally.plan = sp;
-        if (sp.layer < 0) {
-            tally.layer_injected.assign(
-                static_cast<std::size_t>(universe.layer_count()), 0);
-            tally.layer_critical.assign(
-                static_cast<std::size_t>(universe.layer_count()), 0);
-        }
         auto stream = rng.fork(subpop_index++);
         for (const std::uint64_t local :
              stats::sample_indices(sp.population, sp.sample_size, stream)) {
@@ -139,9 +120,20 @@ CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
                                         local);
             else
                 fault = universe.decode(local);
-            items.push_back(WorkItem{s, fault});
+            items.push_back(DrawnFault{s, fault});
         }
     }
+    return items;
+}
+
+CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
+                                   const CampaignPlan& plan, stats::Rng rng,
+                                   const CancellationToken* cancel) {
+    const auto start = std::chrono::steady_clock::now();
+    CampaignResult result = make_empty_result(
+        static_cast<std::size_t>(universe.layer_count()), plan);
+    const std::vector<DrawnFault> items =
+        draw_plan(universe, plan, std::move(rng));
 
     // Classify; outcomes are deterministic per fault, so the partitioning
     // cannot change the tallies.
@@ -170,16 +162,9 @@ CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
             result.interrupted = true;
             continue;
         }
-        auto& tally = result.subpops[items[i].subpop];
-        const auto outcome = static_cast<FaultOutcome>(outcomes[i]);
-        ++tally.injected;
-        if (outcome == FaultOutcome::Critical) ++tally.critical;
-        if (outcome == FaultOutcome::Masked) ++tally.masked;
-        if (!tally.layer_injected.empty()) {
-            const auto l = static_cast<std::size_t>(items[i].fault.layer);
-            ++tally.layer_injected[l];
-            if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
-        }
+        accumulate_outcome(result.subpops[items[i].subpop],
+                           items[i].fault.layer,
+                           static_cast<FaultOutcome>(outcomes[i]));
     }
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -206,6 +191,17 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     ExhaustiveRun run;
     run.outcomes = ExhaustiveOutcomes(universe.total());
     const std::uint64_t total = universe.total();
+    // Range restriction (shard runner hook): the run covers [lo_all, hi_all)
+    // and every count/heartbeat below is relative to that span.
+    const std::uint64_t lo_all = options.range_begin;
+    const std::uint64_t hi_all =
+        options.range_end == 0 ? total : options.range_end;
+    if (lo_all >= hi_all || hi_all > total)
+        throw std::invalid_argument(
+            "run_exhaustive_durable: fault range [" + std::to_string(lo_all) +
+            ", " + std::to_string(hi_all) + ") is empty or exceeds the " +
+            std::to_string(total) + "-fault universe");
+    const std::uint64_t span = hi_all - lo_all;
 
     // Resume: replay every journaled record, then classify the remainder.
     std::vector<std::uint8_t> already_done;
@@ -217,7 +213,10 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
             std::cerr << "statfi: " << recovery.note << "\n";
         already_done.assign(total, 0);
         for (const JournalRecord& rec : recovery.records) {
-            if (rec.fault_index >= total) continue;  // defensive; CRC passed
+            // Out-of-range records are defensive no-ops: a universe-sized
+            // index would be corruption (CRC passed, so unlikely), one
+            // outside [lo_all, hi_all) a journal shared across shards.
+            if (rec.fault_index < lo_all || rec.fault_index >= hi_all) continue;
             run.outcomes.set(rec.fault_index,
                              static_cast<FaultOutcome>(rec.outcome));
             if (!already_done[rec.fault_index]) {
@@ -240,10 +239,10 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     // enumeration, and each table slot is written by exactly one worker,
     // so only the journal/progress sink needs the lock.
     const std::size_t workers = workers_.size();
-    const std::uint64_t chunk = (total + workers - 1) / workers;
+    const std::uint64_t chunk = (span + workers - 1) / workers;
     const auto work = [&](std::size_t w) {
-        const std::uint64_t lo = w * chunk;
-        const std::uint64_t hi = std::min(lo + chunk, total);
+        const std::uint64_t lo = lo_all + w * chunk;
+        const std::uint64_t hi = std::min(lo + chunk, hi_all);
         for (std::uint64_t i = lo; i < hi; ++i) {
             if (!already_done.empty() && already_done[i]) continue;
             if (cancelled.load(std::memory_order_relaxed)) return;
@@ -268,7 +267,7 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
                 if (progress && ((run.resumed + n) & 0xFFF) == 0) {
                     ProgressInfo info;
                     info.done = run.resumed + n;
-                    info.total = total;
+                    info.total = span;
                     info.elapsed_seconds =
                         std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
@@ -279,7 +278,7 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
                             : 0.0;
                     info.eta_seconds =
                         info.faults_per_second > 0.0
-                            ? static_cast<double>(total - info.done) /
+                            ? static_cast<double>(span - info.done) /
                                   info.faults_per_second
                             : 0.0;
                     progress(info);
@@ -301,8 +300,8 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     if (journal) journal->flush();
     if (progress && run.complete) {
         ProgressInfo info;
-        info.done = total;
-        info.total = total;
+        info.done = span;
+        info.total = span;
         info.elapsed_seconds = std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() - start)
                                    .count();

@@ -34,6 +34,22 @@ struct CampaignSpec {
     DataAwareConfig analysis;
 };
 
+/// One drawn statistical sample item: the subpopulation it tallies into and
+/// the concrete fault.
+struct DrawnFault {
+    std::size_t subpop = 0;
+    fault::Fault fault;
+};
+
+/// Materialize a statistical plan's full drawn sample in the canonical item
+/// order (subpopulations in plan order, each subpopulation's indices
+/// ascending). A pure function of (universe, plan, rng): worker count and
+/// execution partitioning never enter, which is what lets a sharded run
+/// classify any contiguous item range independently and still merge
+/// bit-identical to an unsharded run (src/shard/).
+std::vector<DrawnFault> draw_plan(const fault::FaultUniverse& universe,
+                                  const CampaignPlan& plan, stats::Rng rng);
+
 class CampaignEngine {
 public:
     /// Clones @p net once per worker, so campaign corruption never touches

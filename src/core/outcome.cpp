@@ -38,6 +38,34 @@ double CampaignResult::critical_rate() const {
                     : 0.0;
 }
 
+CampaignResult make_empty_result(std::size_t layer_count,
+                                 const CampaignPlan& plan) {
+    CampaignResult result;
+    result.approach = plan.approach;
+    result.spec = plan.spec;
+    result.subpops.resize(plan.subpops.size());
+    for (std::size_t s = 0; s < plan.subpops.size(); ++s) {
+        auto& tally = result.subpops[s];
+        tally.plan = plan.subpops[s];
+        if (tally.plan.layer < 0) {
+            tally.layer_injected.assign(layer_count, 0);
+            tally.layer_critical.assign(layer_count, 0);
+        }
+    }
+    return result;
+}
+
+void accumulate_outcome(SubpopResult& tally, int layer, FaultOutcome outcome) {
+    ++tally.injected;
+    if (outcome == FaultOutcome::Critical) ++tally.critical;
+    if (outcome == FaultOutcome::Masked) ++tally.masked;
+    if (!tally.layer_injected.empty()) {
+        const auto l = static_cast<std::size_t>(layer);
+        ++tally.layer_injected.at(l);
+        if (outcome == FaultOutcome::Critical) ++tally.layer_critical.at(l);
+    }
+}
+
 // ----------------------------------------------------- ExhaustiveOutcomes --
 
 ExhaustiveOutcomes::ExhaustiveOutcomes(std::uint64_t universe_size)
@@ -149,6 +177,7 @@ ExhaustiveOutcomes ExhaustiveOutcomes::load(const std::string& path) {
     std::string bytes;
     if (!io::read_file(path, bytes))
         throw std::runtime_error("ExhaustiveOutcomes::load: cannot open " + path);
+    if (bytes.empty()) throw fail("empty file (0 bytes)");
     if (bytes.size() < kOutcomeHeaderSize)
         throw fail("short header (" + std::to_string(bytes.size()) +
                    " bytes, need " + std::to_string(kOutcomeHeaderSize) + ")");
@@ -189,23 +218,14 @@ CampaignResult replay(const fault::FaultUniverse& universe,
                       const ExhaustiveOutcomes& outcomes, stats::Rng rng) {
     if (outcomes.size() != universe.total())
         throw std::invalid_argument("replay: outcome table size mismatch");
-    CampaignResult result;
-    result.approach = plan.approach;
-    result.spec = plan.spec;
-    result.subpops.reserve(plan.subpops.size());
+    CampaignResult result = make_empty_result(
+        static_cast<std::size_t>(universe.layer_count()), plan);
 
     std::uint64_t subpop_index = 0;
-    for (const auto& sp : plan.subpops) {
+    for (std::size_t s = 0; s < plan.subpops.size(); ++s) {
+        const auto& sp = plan.subpops[s];
+        auto& tally = result.subpops[s];
         auto stream = rng.fork(subpop_index++);
-        SubpopResult tally;
-        tally.plan = sp;
-        const bool spanning = sp.layer < 0;
-        if (spanning) {
-            tally.layer_injected.assign(
-                static_cast<std::size_t>(universe.layer_count()), 0);
-            tally.layer_critical.assign(
-                static_cast<std::size_t>(universe.layer_count()), 0);
-        }
         const auto indices =
             stats::sample_indices(sp.population, sp.sample_size, stream);
         std::uint64_t base = 0;
@@ -214,18 +234,13 @@ CampaignResult replay(const fault::FaultUniverse& universe,
         else if (sp.layer >= 0)
             base = universe.subpop_offset(sp.layer, 0);
         for (const std::uint64_t local : indices) {
-            const FaultOutcome outcome = outcomes.at(base + local);
-            ++tally.injected;
-            if (outcome == FaultOutcome::Critical) ++tally.critical;
-            if (outcome == FaultOutcome::Masked) ++tally.masked;
-            if (spanning) {
-                const auto l = static_cast<std::size_t>(
-                    universe.decode(base + local).layer);
-                ++tally.layer_injected[l];
-                if (outcome == FaultOutcome::Critical) ++tally.layer_critical[l];
-            }
+            const std::uint64_t global = base + local;
+            // Only spanning subpopulations need the (costlier) decode to
+            // attribute the fault to a layer.
+            const int layer =
+                sp.layer >= 0 ? sp.layer : universe.decode(global).layer;
+            accumulate_outcome(tally, layer, outcomes.at(global));
         }
-        result.subpops.push_back(std::move(tally));
     }
     return result;
 }

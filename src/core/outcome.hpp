@@ -85,6 +85,17 @@ struct CampaignResult {
     [[nodiscard]] double critical_rate() const;
 };
 
+/// Seed an empty CampaignResult from a plan: approach/spec copied, one
+/// zeroed tally per subpopulation, layer-attribution vectors (sized
+/// @p layer_count) for subpopulations that span layers. The single tally
+/// shape shared by direct execution, replay, and the shard merger.
+CampaignResult make_empty_result(std::size_t layer_count,
+                                 const CampaignPlan& plan);
+
+/// Add one classified fault to its subpopulation tally. @p layer attributes
+/// spanning subpopulations (ignored for single-layer subpopulations).
+void accumulate_outcome(SubpopResult& tally, int layer, FaultOutcome outcome);
+
 /// Dense per-fault outcome table from an exhaustive campaign — ground truth
 /// for validating the statistical approaches, replayable into any plan.
 ///
@@ -161,6 +172,13 @@ struct DurabilityOptions {
     std::string model_id = "campaign";  ///< fingerprint component
     std::uint64_t flush_interval = 4096;  ///< journal flush every K records
     const CancellationToken* cancel = nullptr;  ///< optional cooperative stop
+    /// Restrict the census to global fault indices [range_begin, range_end)
+    /// — the shard runner's hook. range_end == 0 means the whole universe.
+    /// Outcome slots outside the range are left NonCritical; journal records
+    /// outside the range are ignored on resume. Progress/ETA cover the range
+    /// only, and `complete` means the range (not the universe) is done.
+    std::uint64_t range_begin = 0;
+    std::uint64_t range_end = 0;
 };
 
 /// Outcome of a durable exhaustive run.

@@ -1,0 +1,65 @@
+#include "io/artifact.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/checksum.hpp"
+
+namespace statfi::io {
+
+namespace {
+std::string hex32(std::uint32_t v) {
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+}  // namespace
+
+void write_framed_atomic(const std::string& path, const char magic[4],
+                         std::uint32_t version, std::string_view payload) {
+    write_file_atomic(path, [&](std::ostream& os) {
+        os.write(magic, 4);
+        os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+        os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        const std::uint32_t checksum = crc32(payload.data(), payload.size());
+        os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    });
+}
+
+std::string read_framed(const std::string& path, const char magic[4],
+                        std::uint32_t version, const std::string& what) {
+    const auto fail = [&](const std::string& why) -> std::runtime_error {
+        return std::runtime_error(what + ": " + why + " in " + path);
+    };
+    std::string bytes;
+    if (!read_file(path, bytes)) throw fail("cannot open file");
+    if (bytes.empty()) throw fail("empty file (0 bytes)");
+    constexpr std::size_t header = 4 + sizeof(std::uint32_t);
+    if (bytes.size() < header)
+        throw fail("short header (" + std::to_string(bytes.size()) +
+                   " bytes, need " + std::to_string(header) + ")");
+    if (bytes.compare(0, 4, magic, 4) != 0)
+        throw fail("bad magic (want \"" + std::string(magic, 4) + "\")");
+    std::uint32_t stored_version = 0;
+    std::memcpy(&stored_version, bytes.data() + 4, sizeof(stored_version));
+    if (stored_version != version)
+        throw fail("unsupported version " + std::to_string(stored_version) +
+                   " (supported: " + std::to_string(version) + ")");
+    if (bytes.size() < kFrameOverhead)
+        throw fail("truncated payload (no room for the checksum trailer; " +
+                   std::to_string(bytes.size()) + " bytes)");
+    const std::size_t payload_size = bytes.size() - kFrameOverhead;
+    const char* payload = bytes.data() + header;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, payload + payload_size, sizeof(stored));
+    const std::uint32_t computed = crc32(payload, payload_size);
+    if (stored != computed)
+        throw fail("checksum mismatch (stored " + hex32(stored) +
+                   ", computed " + hex32(computed) + ")");
+    return bytes.substr(header, payload_size);
+}
+
+}  // namespace statfi::io

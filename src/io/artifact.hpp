@@ -1,0 +1,43 @@
+#pragma once
+// Framed durable artifacts: the common [magic][version][payload][CRC32]
+// envelope every new on-disk format shares, so loaders get the same
+// failure taxonomy for free. A loader must be able to tell the operator
+// *which* invariant a bad file violates — an empty file left by a crashed
+// `open(O_CREAT)` is a different incident from a bit-flipped payload, and
+// lumping both under "checksum mismatch" sends the wrong debugging hint.
+//
+// Frame layout (byte order is the writing machine's — these are local
+// scratch artifacts, not interchange files):
+//   magic    4 bytes
+//   version  u32
+//   payload  N bytes
+//   crc32    u32 over the payload only
+//
+// Failure taxonomy of read_framed, in check order:
+//   cannot open -> empty file -> short header -> bad magic ->
+//   unsupported version -> truncated payload -> checksum mismatch.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace statfi::io {
+
+/// Bytes of the fixed frame envelope around the payload.
+inline constexpr std::size_t kFrameOverhead =
+    4 + sizeof(std::uint32_t) + sizeof(std::uint32_t);
+
+/// Write @p payload framed as above, via write_file_atomic (temp + rename),
+/// so a crash mid-save never leaves a torn or empty file on the final path.
+void write_framed_atomic(const std::string& path, const char magic[4],
+                         std::uint32_t version, std::string_view payload);
+
+/// Read and validate a framed artifact; returns the payload. @p what names
+/// the artifact kind in error messages ("shard manifest", ...). Throws
+/// std::runtime_error naming the violated invariant (see taxonomy above) —
+/// zero-length and short-header files get their own distinct errors, never
+/// a generic checksum failure.
+std::string read_framed(const std::string& path, const char magic[4],
+                        std::uint32_t version, const std::string& what);
+
+}  // namespace statfi::io

@@ -1,0 +1,157 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace statfi::report {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xFF);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+void JsonWriter::newline(std::size_t depth) {
+    if (indent_ <= 0) return;
+    out_ << '\n';
+    for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_); ++i)
+        out_ << ' ';
+}
+
+void JsonWriter::begin_value() {
+    if (done_) throw std::logic_error("JsonWriter: write after finish()");
+    if (scopes_.empty()) return;  // the document's root value
+    if (scopes_.back() == Scope::Object) {
+        if (!key_pending_)
+            throw std::logic_error("JsonWriter: value without key in object");
+        key_pending_ = false;
+        return;  // key() already handled comma/indent
+    }
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+    newline(scopes_.size());
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+    if (scopes_.empty() || scopes_.back() != Scope::Object)
+        throw std::logic_error("JsonWriter: key() outside an object");
+    if (key_pending_) throw std::logic_error("JsonWriter: key after key");
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+    newline(scopes_.size());
+    out_ << '"' << json_escape(name) << (indent_ > 0 ? "\": " : "\":");
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    begin_value();
+    out_ << '{';
+    scopes_.push_back(Scope::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    if (scopes_.empty() || scopes_.back() != Scope::Object || key_pending_)
+        throw std::logic_error("JsonWriter: mismatched end_object()");
+    const bool empty = first_.back();
+    scopes_.pop_back();
+    first_.pop_back();
+    if (!empty) newline(scopes_.size());
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    begin_value();
+    out_ << '[';
+    scopes_.push_back(Scope::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    if (scopes_.empty() || scopes_.back() != Scope::Array)
+        throw std::logic_error("JsonWriter: mismatched end_array()");
+    const bool empty = first_.back();
+    scopes_.pop_back();
+    first_.pop_back();
+    if (!empty) newline(scopes_.size());
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+    begin_value();
+    out_ << '"' << json_escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+    if (!std::isfinite(v)) return null();
+    begin_value();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    begin_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    begin_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    begin_value();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    begin_value();
+    out_ << "null";
+    return *this;
+}
+
+void JsonWriter::finish() {
+    if (!scopes_.empty())
+        throw std::logic_error("JsonWriter: finish() with open scopes");
+    out_ << '\n';
+    done_ = true;
+}
+
+}  // namespace statfi::report

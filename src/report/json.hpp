@@ -1,0 +1,69 @@
+#pragma once
+// Minimal streaming JSON writer for the CLI's --json output mode.
+//
+// Scope is deliberately narrow: the CLI emits one machine-readable document
+// per invocation on stdout (humans get stderr), so the writer only needs to
+// serialize — escaping, nesting, comma placement — not parse. Numbers are
+// written with enough precision to round-trip a double; non-finite values
+// become null (JSON has no NaN/Inf).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace statfi::report {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Stack-based writer: begin/end object/array, key(), value(). Misnesting
+/// (value without key inside an object, end without begin) throws
+/// std::logic_error — a CLI bug, not an I/O condition.
+class JsonWriter {
+public:
+    /// @p indent spaces per nesting level; 0 writes compact single-line JSON.
+    explicit JsonWriter(std::ostream& out, int indent = 2);
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /// key + value in one call.
+    template <typename T>
+    JsonWriter& field(const std::string& name, T v) {
+        key(name);
+        return value(v);
+    }
+
+    /// Finish the document with a trailing newline (all scopes must be
+    /// closed).
+    void finish();
+
+private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void begin_value();  ///< comma/newline/indent bookkeeping before a value
+    void newline(std::size_t depth);
+
+    std::ostream& out_;
+    int indent_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> first_;  ///< parallel to scopes_: no element emitted yet
+    bool key_pending_ = false;
+    bool done_ = false;
+};
+
+}  // namespace statfi::report

@@ -1,0 +1,122 @@
+#include "shard/driver.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+
+#include "shard/result.hpp"
+
+namespace statfi::shard {
+
+namespace {
+
+/// A shard is done when its result artifact loads cleanly AND belongs to
+/// this manifest/slot — anything else (missing, corrupt, foreign) means the
+/// shard must (re)run.
+bool shard_complete(const ShardManifest& manifest,
+                    const std::string& manifest_path, std::uint32_t shard) {
+    try {
+        const ShardResult r =
+            ShardResult::load(shard_result_path(manifest_path, shard));
+        return r.manifest_crc == manifest.crc() && r.shard_id == shard &&
+               r.range == manifest.shards[shard];
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+pid_t spawn_shard(const std::string& binary, const std::string& manifest_path,
+                  std::uint32_t shard, std::size_t threads) {
+    const std::vector<std::string> args = {
+        binary,         "shard",
+        "run",          "--manifest",
+        manifest_path,  "--shard",
+        std::to_string(shard),
+        "--threads",    std::to_string(threads),
+        "--resume",
+    };
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        throw std::runtime_error(std::string("shard driver: fork failed: ") +
+                                 std::strerror(errno));
+    if (pid == 0) {
+        // Child: keep the driver's stdout clean for scripted consumers.
+        ::dup2(STDERR_FILENO, STDOUT_FILENO);
+        ::execv(binary.c_str(), argv.data());
+        std::cerr << "statfi: cannot exec " << binary << ": "
+                  << std::strerror(errno) << "\n";
+        ::_exit(127);
+    }
+    return pid;
+}
+
+int exit_code_of(int wait_status) {
+    if (WIFEXITED(wait_status)) return WEXITSTATUS(wait_status);
+    if (WIFSIGNALED(wait_status)) return 128 + WTERMSIG(wait_status);
+    return 255;
+}
+
+}  // namespace
+
+DriveReport run_all_shards(const ShardManifest& manifest,
+                           const std::string& manifest_path,
+                           const DriveOptions& options) {
+    manifest.validate();
+    if (options.statfi_binary.empty())
+        throw std::invalid_argument("shard driver: statfi_binary not set");
+    const std::size_t jobs = options.jobs == 0 ? 1 : options.jobs;
+
+    DriveReport report;
+    report.shards.resize(manifest.shards.size());
+    std::vector<std::uint32_t> pending;
+    for (std::uint32_t k = 0; k < manifest.shards.size(); ++k) {
+        report.shards[k].shard = k;
+        if (shard_complete(manifest, manifest_path, k)) {
+            report.shards[k].skipped = true;
+            std::cerr << "statfi: shard " << k
+                      << " already has a valid result, skipping\n";
+        } else {
+            pending.push_back(k);
+        }
+    }
+
+    std::map<pid_t, std::uint32_t> running;
+    std::size_t next = 0;
+    while (next < pending.size() || !running.empty()) {
+        while (next < pending.size() && running.size() < jobs) {
+            const std::uint32_t shard = pending[next++];
+            const pid_t pid = spawn_shard(options.statfi_binary, manifest_path,
+                                          shard, options.threads);
+            std::cerr << "statfi: shard " << shard << " -> pid " << pid << "\n";
+            running.emplace(pid, shard);
+        }
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error(
+                std::string("shard driver: waitpid failed: ") +
+                std::strerror(errno));
+        }
+        const auto it = running.find(pid);
+        if (it == running.end()) continue;  // not one of ours
+        const std::uint32_t shard = it->second;
+        running.erase(it);
+        report.shards[shard].exit_code = exit_code_of(status);
+        std::cerr << "statfi: shard " << shard << " finished with exit code "
+                  << report.shards[shard].exit_code << "\n";
+    }
+    return report;
+}
+
+}  // namespace statfi::shard

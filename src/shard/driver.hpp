@@ -1,0 +1,52 @@
+#pragma once
+// Local shard driver: fan a manifest's shards out over subprocesses on this
+// machine (`statfi shard run-all --jobs J`).
+//
+// Each shard runs as a child `statfi shard run --resume` process, so a
+// crashing or killed shard cannot take the driver (or sibling shards) down,
+// and a rerun of the driver resumes every incomplete shard from its journal.
+// Shards whose result artifact already exists and validates against the
+// manifest are skipped — run-all is idempotent. Child stdout is redirected
+// onto stderr so the driver's own stdout stays clean for scripted use.
+//
+// This is the single-machine reference driver; on a cluster the same
+// manifest is handed to one `statfi shard run` job per shard instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/manifest.hpp"
+
+namespace statfi::shard {
+
+struct DriveOptions {
+    std::size_t jobs = 1;      ///< concurrent shard subprocesses
+    std::size_t threads = 1;   ///< engine workers per shard (0 = hardware)
+    std::string statfi_binary; ///< executable to spawn (the CLI passes its own)
+};
+
+struct ShardStatus {
+    std::uint32_t shard = 0;
+    bool skipped = false;  ///< valid result artifact already present
+    int exit_code = 0;     ///< 128+signal when the child died on a signal
+};
+
+struct DriveReport {
+    std::vector<ShardStatus> shards;
+    [[nodiscard]] bool ok() const {
+        for (const auto& s : shards)
+            if (s.exit_code != 0) return false;
+        return true;
+    }
+};
+
+/// Run every incomplete shard of @p manifest as a subprocess, at most
+/// @p options.jobs at a time. Returns per-shard statuses; does not throw on
+/// child failure (the report carries the exit codes) but does throw when the
+/// driver itself cannot fork.
+DriveReport run_all_shards(const ShardManifest& manifest,
+                           const std::string& manifest_path,
+                           const DriveOptions& options);
+
+}  // namespace statfi::shard

@@ -1,0 +1,51 @@
+#include "shard/fixture.hpp"
+
+#include <iostream>
+
+#include "models/registry.hpp"
+#include "nn/init.hpp"
+#include "nn/trainer.hpp"
+#include "report/table.hpp"
+
+namespace statfi::shard {
+
+CampaignFixture build_fixture(const CampaignRecipe& recipe) {
+    auto net = models::build_model(recipe.model);
+    stats::Rng rng(recipe.seed);
+    auto init_rng = rng.fork("init");
+    nn::init_network_kaiming(net, init_rng);
+    double test_accuracy = 0.0;
+    if (recipe.train) {
+        data::SyntheticSpec spec;
+        spec.seed = recipe.seed;
+        const auto train = data::make_synthetic(spec, 1024, "train");
+        std::cerr << "training " << recipe.model << " on synthetic data...\n";
+        auto train_rng = rng.fork("train");
+        nn::train_classifier(net, train.images, train.labels, 8, 32,
+                             nn::SgdConfig{}, train_rng);
+        const auto test = data::make_synthetic(spec, 256, "test");
+        test_accuracy = nn::top1_accuracy(net.forward(test.images), test.labels);
+        std::cerr << "test accuracy: "
+                  << report::fmt_percent(test_accuracy, 1) << "%\n";
+    }
+    data::SyntheticSpec spec;
+    spec.seed = recipe.seed;
+    auto eval = data::make_synthetic(spec, recipe.images, "test");
+    auto universe = fault::FaultUniverse::stuck_at(net, recipe.dtype);
+    core::ExecutorConfig config;
+    config.policy = recipe.policy;
+    config.accuracy_drop_threshold = recipe.accuracy_drop_threshold;
+    config.dtype = recipe.dtype;
+    return CampaignFixture{std::move(net), std::move(eval),
+                           std::move(universe), config, test_accuracy};
+}
+
+core::CampaignSpec campaign_spec(const CampaignRecipe& recipe) {
+    core::CampaignSpec spec;
+    spec.approach = recipe.approach;
+    spec.sample.error_margin = recipe.error_margin;
+    spec.sample.confidence = recipe.confidence;
+    return spec;
+}
+
+}  // namespace statfi::shard

@@ -1,0 +1,38 @@
+#pragma once
+// Campaign fixture reconstruction: recipe -> (network, evaluation set, fault
+// universe, executor config), identically in every process.
+//
+// The shard determinism contract hinges on this being a pure function of
+// the recipe: the planning process, each shard runner (possibly on another
+// machine), and the unsharded reference run all call build_fixture and land
+// on bit-identical weights and evaluation tensors — verified at run time by
+// comparing campaign fingerprints against the manifest. The `statfi` CLI
+// routes its campaign/exhaustive commands through the same function, so the
+// CLI and the shard subsystem cannot drift apart.
+
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "shard/manifest.hpp"
+
+namespace statfi::shard {
+
+struct CampaignFixture {
+    nn::Network net;
+    data::Dataset eval;
+    fault::FaultUniverse universe;
+    core::ExecutorConfig config;
+    /// Held-out test accuracy when recipe.train is set, else 0.
+    double test_accuracy = 0.0;
+};
+
+/// Rebuild the campaign fixture from a recipe: build the model, initialize
+/// Kaiming from Rng(seed).fork("init"), optionally train on 1024 synthetic
+/// images (Rng(seed).fork("train")), generate the evaluation set, and
+/// enumerate the stuck-at universe for the recipe's dtype. Training progress
+/// goes to stderr.
+CampaignFixture build_fixture(const CampaignRecipe& recipe);
+
+/// The campaign spec a recipe's statistical parameters describe.
+core::CampaignSpec campaign_spec(const CampaignRecipe& recipe);
+
+}  // namespace statfi::shard

@@ -1,0 +1,94 @@
+#include "shard/merge.hpp"
+
+#include <stdexcept>
+
+namespace statfi::shard {
+
+MergedCampaign merge_shards(const ShardManifest& manifest,
+                            const std::vector<std::string>& result_paths) {
+    manifest.validate();
+    const std::uint32_t expected_crc = manifest.crc();
+    const CampaignKind kind = manifest.kind();
+
+    // Load and slot every artifact; every check names the offending path.
+    std::vector<ShardResult> results(manifest.shards.size());
+    std::vector<std::uint8_t> present(manifest.shards.size(), 0);
+    for (const std::string& path : result_paths) {
+        ShardResult r = ShardResult::load(path);
+        if (r.manifest_crc != expected_crc)
+            throw std::runtime_error(
+                "shard merge: " + path +
+                " was produced from a different manifest (artifact crc " +
+                std::to_string(r.manifest_crc) + ", manifest crc " +
+                std::to_string(expected_crc) + ")");
+        if (r.kind != kind)
+            throw std::runtime_error(
+                "shard merge: " + path + " is a " +
+                std::string(to_string(r.kind)) + " result but the manifest is " +
+                to_string(kind));
+        if (r.shard_id >= manifest.shards.size())
+            throw std::runtime_error(
+                "shard merge: " + path + " claims shard " +
+                std::to_string(r.shard_id) + " but the manifest has only " +
+                std::to_string(manifest.shards.size()) + " shards");
+        if (present[r.shard_id])
+            throw std::runtime_error(
+                "shard merge: duplicate results for shard " +
+                std::to_string(r.shard_id) + " (second: " + path + ")");
+        if (r.range != manifest.shards[r.shard_id])
+            throw std::runtime_error(
+                "shard merge: " + path + " covers items [" +
+                std::to_string(r.range.begin) + ", " +
+                std::to_string(r.range.end) + ") but the manifest assigns [" +
+                std::to_string(manifest.shards[r.shard_id].begin) + ", " +
+                std::to_string(manifest.shards[r.shard_id].end) +
+                ") to shard " + std::to_string(r.shard_id));
+        present[r.shard_id] = 1;
+        results[r.shard_id] = std::move(r);
+    }
+    for (std::size_t k = 0; k < present.size(); ++k)
+        if (!present[k])
+            throw std::runtime_error("shard merge: no result for shard " +
+                                     std::to_string(k) + " of " +
+                                     std::to_string(present.size()));
+
+    MergedCampaign merged;
+    merged.kind = kind;
+    if (kind == CampaignKind::Census) {
+        merged.outcomes = core::ExhaustiveOutcomes(manifest.item_count);
+        for (const ShardResult& r : results)
+            for (std::uint64_t i = 0; i < r.range.size(); ++i)
+                merged.outcomes.set(
+                    r.range.begin + i,
+                    static_cast<core::FaultOutcome>(r.outcomes[i]));
+    } else {
+        merged.result =
+            core::make_empty_result(manifest.layer_count, manifest.plan);
+        // Item order (shards are range-ascending by validate()) — the same
+        // accumulation order as the unsharded engine's final tally loop.
+        for (const ShardResult& r : results)
+            for (std::uint64_t i = 0; i < r.range.size(); ++i) {
+                if (r.subpops[i] >= merged.result.subpops.size())
+                    throw std::runtime_error(
+                        "shard merge: shard " + std::to_string(r.shard_id) +
+                        " attributes an item to subpopulation " +
+                        std::to_string(r.subpops[i]) +
+                        " which the plan does not define");
+                core::accumulate_outcome(
+                    merged.result.subpops[r.subpops[i]], r.layers[i],
+                    static_cast<core::FaultOutcome>(r.outcomes[i]));
+            }
+    }
+    return merged;
+}
+
+MergedCampaign merge_shards(const ShardManifest& manifest,
+                            const std::string& manifest_path) {
+    std::vector<std::string> paths;
+    paths.reserve(manifest.shards.size());
+    for (std::uint32_t k = 0; k < manifest.shards.size(); ++k)
+        paths.push_back(shard_result_path(manifest_path, k));
+    return merge_shards(manifest, paths);
+}
+
+}  // namespace statfi::shard

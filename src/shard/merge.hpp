@@ -1,0 +1,51 @@
+#pragma once
+// Shard merger: validate every shard-result artifact against the manifest
+// and pool them into the exact result an unsharded run would have produced.
+//
+// The merger is deliberately paranoid — a merged campaign is only as
+// trustworthy as its weakest shard, so every artifact must prove (1) it was
+// produced from THIS manifest (payload CRC match), (2) it fills a distinct
+// shard slot (no duplicates, no missing shards), and (3) it covers exactly
+// the item range the manifest assigned to that slot. Gap/overlap freedom of
+// the ranges themselves is the manifest's validate() invariant. Artifact
+// corruption (truncation, bit flips) is caught by the framed-artifact
+// checksum before any of this runs.
+//
+// Census merges reassemble the dense ExhaustiveOutcomes table; statistical
+// merges pool subpopulation tallies in item order via the same
+// accumulate_outcome used by direct execution — both bit-identical to an
+// unsharded run of the same recipe.
+
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "shard/manifest.hpp"
+#include "shard/result.hpp"
+
+namespace statfi::shard {
+
+/// A merged campaign: exactly one of the two payloads is meaningful,
+/// selected by `kind`.
+struct MergedCampaign {
+    CampaignKind kind = CampaignKind::Census;
+    /// Census: the reassembled dense outcome table (size item_count).
+    core::ExhaustiveOutcomes outcomes;
+    /// Statistical: pooled subpopulation tallies (wall_seconds is zero — the
+    /// merger does no inference).
+    core::CampaignResult result;
+};
+
+/// Merge the shard results at @p result_paths (any order) under
+/// @p manifest. @throws std::runtime_error naming the violated invariant:
+/// unreadable/corrupt artifact, foreign manifest CRC, kind mismatch,
+/// shard id out of range, duplicate shard, range mismatch, missing shard.
+MergedCampaign merge_shards(const ShardManifest& manifest,
+                            const std::vector<std::string>& result_paths);
+
+/// Convenience: merge using the conventional sibling artifact paths next to
+/// @p manifest_path (shard_result_path for every shard in the manifest).
+MergedCampaign merge_shards(const ShardManifest& manifest,
+                            const std::string& manifest_path);
+
+}  // namespace statfi::shard

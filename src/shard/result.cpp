@@ -1,0 +1,88 @@
+#include "shard/result.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "io/artifact.hpp"
+
+namespace statfi::shard {
+
+namespace {
+constexpr char kResultMagic[4] = {'S', 'F', 'I', 'S'};
+constexpr std::uint32_t kResultVersion = 1;
+}  // namespace
+
+void ShardResult::save(const std::string& path) const {
+    const std::uint64_t items = range.size();
+    if (outcomes.size() != items)
+        throw std::invalid_argument("ShardResult::save: " +
+                                    std::to_string(outcomes.size()) +
+                                    " outcomes for a " + std::to_string(items) +
+                                    "-item range");
+    const bool statistical = kind == CampaignKind::Statistical;
+    if (statistical && (subpops.size() != items || layers.size() != items))
+        throw std::invalid_argument(
+            "ShardResult::save: attribution arrays mismatch the item range");
+
+    std::string body;
+    body.reserve(64 + items * (statistical ? 9 : 1));
+    const auto put = [&body](const void* data, std::size_t size) {
+        body.append(reinterpret_cast<const char*>(data), size);
+    };
+    put(&manifest_crc, sizeof(manifest_crc));
+    put(&shard_id, sizeof(shard_id));
+    body.push_back(static_cast<char>(kind));
+    put(&range.begin, sizeof(range.begin));
+    put(&range.end, sizeof(range.end));
+    put(outcomes.data(), outcomes.size());
+    if (statistical) {
+        put(subpops.data(), subpops.size() * sizeof(std::uint32_t));
+        put(layers.data(), layers.size() * sizeof(std::int32_t));
+    }
+    io::write_framed_atomic(path, kResultMagic, kResultVersion, body);
+}
+
+ShardResult ShardResult::load(const std::string& path) {
+    const std::string body =
+        io::read_framed(path, kResultMagic, kResultVersion, "shard result");
+    const auto fail = [&](const std::string& why) -> std::runtime_error {
+        return std::runtime_error("shard result: " + why + " in " + path);
+    };
+    constexpr std::size_t kFixed = 4 + 4 + 1 + 8 + 8;
+    if (body.size() < kFixed) throw fail("truncated payload (missing header fields)");
+    ShardResult result;
+    std::size_t pos = 0;
+    const auto get = [&](void* out, std::size_t size) {
+        std::memcpy(out, body.data() + pos, size);
+        pos += size;
+    };
+    get(&result.manifest_crc, sizeof(result.manifest_crc));
+    get(&result.shard_id, sizeof(result.shard_id));
+    const auto kind_byte = static_cast<std::uint8_t>(body[pos++]);
+    if (kind_byte > static_cast<std::uint8_t>(CampaignKind::Statistical))
+        throw fail("unknown campaign kind " + std::to_string(kind_byte));
+    result.kind = static_cast<CampaignKind>(kind_byte);
+    get(&result.range.begin, sizeof(result.range.begin));
+    get(&result.range.end, sizeof(result.range.end));
+    if (result.range.begin >= result.range.end)
+        throw fail("empty item range");
+    const std::uint64_t items = result.range.size();
+    const std::uint64_t expected =
+        kFixed + items * (result.kind == CampaignKind::Statistical ? 9 : 1);
+    if (body.size() != expected)
+        throw fail("truncated payload (range promises " +
+                   std::to_string(items) + " items = " +
+                   std::to_string(expected) + " payload bytes, have " +
+                   std::to_string(body.size()) + ")");
+    result.outcomes.resize(items);
+    get(result.outcomes.data(), items);
+    if (result.kind == CampaignKind::Statistical) {
+        result.subpops.resize(items);
+        get(result.subpops.data(), items * sizeof(std::uint32_t));
+        result.layers.resize(items);
+        get(result.layers.data(), items * sizeof(std::int32_t));
+    }
+    return result;
+}
+
+}  // namespace statfi::shard

@@ -1,0 +1,42 @@
+#pragma once
+// Shard-result artifact: one shard's classified slice, self-describing
+// enough for the merger to validate it without rebuilding the campaign.
+//
+// Besides the outcome bytes for its item range, a result records which
+// manifest produced it (the manifest's payload CRC) and which shard of that
+// manifest it is — so merging a result from a different campaign, a
+// different planning run, or the wrong slot fails loudly instead of
+// producing a silently wrong merged table. Statistical results additionally
+// carry each item's subpopulation and layer attribution, so the merger can
+// pool tallies without the model, the universe, or any RNG re-derivation.
+//
+// Framed artifact ("SFIS", CRC32-trailed, atomic rename — io/artifact.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/manifest.hpp"
+
+namespace statfi::shard {
+
+struct ShardResult {
+    std::uint32_t manifest_crc = 0;  ///< ShardManifest::crc() that produced it
+    std::uint32_t shard_id = 0;
+    CampaignKind kind = CampaignKind::Census;
+    ShardRange range;  ///< item slice [begin, end) this result covers
+
+    /// Per-item FaultOutcome bytes, item range.size() of them, in item order.
+    std::vector<std::uint8_t> outcomes;
+    /// Statistical only (empty for census), parallel to `outcomes`:
+    std::vector<std::uint32_t> subpops;  ///< plan subpopulation per item
+    std::vector<std::int32_t> layers;    ///< fault layer per item
+
+    /// Atomic, checksummed save/load ("SFIS" v1). load() reports the
+    /// violated invariant distinctly (empty file, short header, bad magic,
+    /// version, truncated payload, checksum, array-size mismatch).
+    void save(const std::string& path) const;
+    static ShardResult load(const std::string& path);
+};
+
+}  // namespace statfi::shard

@@ -1,0 +1,214 @@
+#include "shard/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "shard/fixture.hpp"
+
+namespace statfi::shard {
+
+namespace {
+
+/// Identity of a statistical shard's journal: the campaign fingerprint over
+/// the ITEM space instead of the fault universe. Swapping the size and
+/// tagging the model id guarantees a census journal never resumes into a
+/// statistical shard (and vice versa) even at the same path.
+core::CampaignFingerprint item_fingerprint(core::CampaignFingerprint fp,
+                                           std::uint64_t item_count) {
+    fp.universe_size = item_count;
+    fp.model_id += "#items";
+    return fp;
+}
+
+/// Classify the item slice [range.begin, range.end) of a drawn sample with
+/// journaled resume — the statistical twin of the engine's range-restricted
+/// durable census.
+void run_statistical_slice(core::CampaignEngine& engine,
+                           const std::vector<core::DrawnFault>& items,
+                           const ShardRange& range,
+                           const core::CampaignFingerprint& journal_fp,
+                           const ShardRunOptions& options,
+                           const std::string& journal_path,
+                           std::vector<std::uint8_t>& outcomes,
+                           ShardRunReport& report) {
+    const std::uint64_t span = range.size();
+    std::vector<std::uint8_t> done(span, 0);
+    auto recovery = core::CampaignJournal::recover(journal_path, journal_fp);
+    if (!recovery.note.empty()) std::cerr << "statfi: " << recovery.note << "\n";
+    for (const core::JournalRecord& rec : recovery.records) {
+        if (rec.fault_index < range.begin || rec.fault_index >= range.end)
+            continue;  // defensive: record outside this shard's slice
+        const std::uint64_t local = rec.fault_index - range.begin;
+        outcomes[local] = rec.outcome;
+        if (!done[local]) {
+            done[local] = 1;
+            ++report.resumed;
+        }
+    }
+    auto journal = core::CampaignJournal::open(journal_path, journal_fp,
+                                               recovery.valid_bytes);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> classified{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex sink_mutex;  // guards journal appends + progress callback
+    std::uint64_t since_flush = 0;
+
+    const std::size_t workers = engine.worker_count();
+    const std::uint64_t chunk = (span + workers - 1) / workers;
+    const auto work = [&](std::size_t w) {
+        const std::uint64_t lo = w * chunk;
+        const std::uint64_t hi = std::min(lo + chunk, span);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (done[i]) continue;
+            if (cancelled.load(std::memory_order_relaxed)) return;
+            if (options.cancel && options.cancel->stop_requested()) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const core::FaultOutcome outcome =
+                engine.core(w).evaluate(items[range.begin + i].fault);
+            outcomes[i] = static_cast<std::uint8_t>(outcome);
+            const std::uint64_t n =
+                classified.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            journal.append(range.begin + i, static_cast<std::uint8_t>(outcome));
+            if (++since_flush >= 4096) {
+                journal.flush();
+                since_flush = 0;
+            }
+            if (options.progress && ((report.resumed + n) & 0xFFF) == 0) {
+                core::ProgressInfo info;
+                info.done = report.resumed + n;
+                info.total = span;
+                info.elapsed_seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                info.faults_per_second =
+                    info.elapsed_seconds > 0.0
+                        ? static_cast<double>(n) / info.elapsed_seconds
+                        : 0.0;
+                info.eta_seconds =
+                    info.faults_per_second > 0.0
+                        ? static_cast<double>(span - info.done) /
+                              info.faults_per_second
+                        : 0.0;
+                options.progress(info);
+            }
+        }
+    };
+    if (workers == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
+        for (auto& t : threads) t.join();
+    }
+    journal.flush();
+    report.classified = classified.load();
+    report.complete = !cancelled.load();
+    if (options.progress && report.complete) {
+        core::ProgressInfo info;
+        info.done = span;
+        info.total = span;
+        info.elapsed_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        info.faults_per_second =
+            info.elapsed_seconds > 0.0
+                ? static_cast<double>(report.classified) / info.elapsed_seconds
+                : 0.0;
+        options.progress(info);
+    }
+}
+
+}  // namespace
+
+ShardRunReport run_shard(const ShardManifest& manifest,
+                         const std::string& manifest_path,
+                         const ShardRunOptions& options) {
+    manifest.validate();
+    if (options.shard >= manifest.shards.size())
+        throw std::invalid_argument(
+            "shard runner: shard " + std::to_string(options.shard) +
+            " out of range (manifest has " +
+            std::to_string(manifest.shards.size()) + ")");
+    const ShardRange range = manifest.shards[options.shard];
+
+    ShardRunReport report;
+    report.journal_path = shard_journal_path(manifest_path, options.shard);
+    report.result_path = shard_result_path(manifest_path, options.shard);
+
+    CampaignFixture fx = build_fixture(manifest.recipe);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, options.threads);
+    const core::CampaignFingerprint fp =
+        engine.fingerprint(fx.universe, manifest.recipe.model);
+    if (fp != manifest.fingerprint)
+        throw std::runtime_error(
+            "shard runner: rebuilt campaign fingerprint differs from the "
+            "manifest (rebuilt " + fp.describe() + "; manifest " +
+            manifest.fingerprint.describe() +
+            "); refusing to contribute wrong outcomes");
+
+    if (!options.resume) std::filesystem::remove(report.journal_path);
+
+    ShardResult result;
+    result.manifest_crc = manifest.crc();
+    result.shard_id = options.shard;
+    result.kind = manifest.kind();
+    result.range = range;
+
+    if (manifest.kind() == CampaignKind::Census) {
+        core::DurabilityOptions durability;
+        durability.journal_path = report.journal_path;
+        durability.model_id = manifest.recipe.model;
+        durability.cancel = options.cancel;
+        durability.range_begin = range.begin;
+        durability.range_end = range.end;
+        const core::ExhaustiveRun run =
+            engine.run_exhaustive_durable(fx.universe, durability,
+                                          options.progress);
+        report.complete = run.complete;
+        report.resumed = run.resumed;
+        report.classified = run.classified;
+        if (!run.complete) return report;
+        result.outcomes.resize(range.size());
+        for (std::uint64_t i = 0; i < range.size(); ++i)
+            result.outcomes[i] =
+                static_cast<std::uint8_t>(run.outcomes.at(range.begin + i));
+    } else {
+        const std::vector<core::DrawnFault> items = core::draw_plan(
+            fx.universe, manifest.plan,
+            stats::Rng(manifest.recipe.seed).fork("campaign"));
+        if (items.size() != manifest.item_count)
+            throw std::runtime_error(
+                "shard runner: drew " + std::to_string(items.size()) +
+                " items but the manifest promises " +
+                std::to_string(manifest.item_count) +
+                " — plan/draw divergence");
+        result.outcomes.assign(range.size(), 0);
+        run_statistical_slice(engine, items, range,
+                              item_fingerprint(fp, manifest.item_count),
+                              options, report.journal_path, result.outcomes,
+                              report);
+        if (!report.complete) return report;
+        result.subpops.resize(range.size());
+        result.layers.resize(range.size());
+        for (std::uint64_t i = 0; i < range.size(); ++i) {
+            const auto& item = items[range.begin + i];
+            result.subpops[i] = static_cast<std::uint32_t>(item.subpop);
+            result.layers[i] = item.fault.layer;
+        }
+    }
+    result.save(report.result_path);
+    std::filesystem::remove(report.journal_path);
+    return report;
+}
+
+}  // namespace statfi::shard

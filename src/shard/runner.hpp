@@ -1,0 +1,51 @@
+#pragma once
+// Shard runner: execute ONE shard of a manifest in this process, durably.
+//
+// The runner rebuilds the campaign fixture from the manifest's recipe,
+// proves the rebuild matches by comparing campaign fingerprints, and then
+// classifies its item slice through the ordinary CampaignEngine — so it
+// inherits the engine's checkpoint/resume journal, cooperative
+// cancellation, progress/ETA, and multi-worker execution unchanged. On
+// completion it writes the checksummed shard-result artifact next to the
+// manifest and removes its journal; on interruption it leaves the journal
+// for a `--resume` rerun.
+//
+// Census shards journal GLOBAL FAULT indices (the engine's range-restricted
+// durable census). Statistical shards journal ITEM indices into the
+// canonical drawn sample; their journal fingerprint swaps the universe size
+// for the item count and tags the model id, so a census journal can never
+// be resumed into a statistical shard or vice versa.
+
+#include <string>
+
+#include "core/outcome.hpp"
+#include "shard/manifest.hpp"
+#include "shard/result.hpp"
+
+namespace statfi::shard {
+
+struct ShardRunOptions {
+    std::uint32_t shard = 0;
+    bool resume = false;   ///< continue from a matching journal if present
+    std::size_t threads = 1;  ///< engine workers (0 = hardware concurrency)
+    const core::CancellationToken* cancel = nullptr;
+    core::ProgressFn progress;  ///< heartbeat over this shard's item span
+};
+
+struct ShardRunReport {
+    bool complete = false;
+    std::uint64_t resumed = 0;     ///< items replayed from the journal
+    std::uint64_t classified = 0;  ///< items classified by this run
+    std::string result_path;       ///< written artifact (complete runs only)
+    std::string journal_path;      ///< checkpoint journal (interrupted runs)
+};
+
+/// Run shard @p options.shard of @p manifest; artifacts are placed next to
+/// @p manifest_path. @throws std::runtime_error when the rebuilt fixture's
+/// fingerprint does not match the manifest (diverged binary/data), and
+/// std::invalid_argument for an out-of-range shard id.
+ShardRunReport run_shard(const ShardManifest& manifest,
+                         const std::string& manifest_path,
+                         const ShardRunOptions& options);
+
+}  // namespace statfi::shard

@@ -18,7 +18,13 @@ namespace {
 class CheckpointTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        dir_ = std::filesystem::temp_directory_path() / "statfi_checkpoint_test";
+        // Per-test directory: ctest runs each TEST as its own process, so a
+        // shared directory would let concurrent SetUps delete each other's
+        // files mid-test.
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               (std::string("statfi_checkpoint_test_") + info->name());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
     }
@@ -98,6 +104,19 @@ TEST_F(CheckpointTest, MissingJournalYieldsEmptyRecoveryWithNote) {
     EXPECT_TRUE(recovery.records.empty());
     EXPECT_EQ(recovery.valid_bytes, 0u);
     EXPECT_NE(recovery.note.find("no journal"), std::string::npos)
+        << recovery.note;
+}
+
+TEST_F(CheckpointTest, ZeroLengthJournalYieldsEmptyRecoveryWithNote) {
+    // A crash between open() and the first flush can leave a zero-length
+    // journal; recovery must name that case and restart cleanly.
+    const auto file = path("empty.sfij");
+    std::ofstream(file, std::ios::binary).flush();
+    const auto recovery = CampaignJournal::recover(file, fingerprint());
+    EXPECT_TRUE(recovery.records.empty());
+    EXPECT_EQ(recovery.valid_bytes, 0u);
+    EXPECT_NE(recovery.note.find("empty journal file (0 bytes)"),
+              std::string::npos)
         << recovery.note;
 }
 

@@ -40,7 +40,13 @@ struct Fixture {
 class DurabilityTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        dir_ = std::filesystem::temp_directory_path() / "statfi_durability_test";
+        // Per-test directory: ctest runs each TEST as its own process, so a
+        // shared directory would let concurrent SetUps delete each other's
+        // files mid-test.
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               (std::string("statfi_durability_test_") + info->name());
         std::filesystem::remove_all(dir_);
         std::filesystem::create_directories(dir_);
     }
@@ -203,6 +209,21 @@ TEST_F(DurabilityTest, TruncatedCensusCacheNamesTheInvariant) {
         FAIL() << "truncated cache loaded without error";
     } catch (const std::runtime_error& e) {
         EXPECT_NE(std::string(e.what()).find("truncated payload"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(DurabilityTest, ZeroLengthCensusCacheIsDistinctFromShortHeader) {
+    // A crash can leave a zero-length file; it must be reported as exactly
+    // that, not as a generic short-header failure.
+    const auto file = path("empty.sfio");
+    std::ofstream(file, std::ios::binary).flush();
+    try {
+        ExhaustiveOutcomes::load(file);
+        FAIL() << "zero-length cache loaded without error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("empty file (0 bytes)"),
                   std::string::npos)
             << e.what();
     }

@@ -164,6 +164,26 @@ TEST(Engine, ExhaustiveSpecRunsThroughTheStatisticalPath) {
               ground_truth().critical_count(0, ground_truth().size()));
 }
 
+TEST(Engine, CriticalCountIndexInvalidatesOnMutation) {
+    // critical_count is served from a lazily built prefix-sum index; a set()
+    // after the index is built must invalidate it, never serve stale counts.
+    ExhaustiveOutcomes outcomes(100);
+    for (std::uint64_t i = 0; i < 100; i += 2)
+        outcomes.set(i, FaultOutcome::Critical);
+    EXPECT_EQ(outcomes.critical_count(0, 100), 50u);  // builds the index
+    outcomes.set(1, FaultOutcome::Critical);
+    EXPECT_EQ(outcomes.critical_count(0, 100), 51u);
+    EXPECT_EQ(outcomes.critical_count(0, 2), 2u);
+    outcomes.set(0, FaultOutcome::NonCritical);
+    EXPECT_EQ(outcomes.critical_count(0, 100), 50u);
+    EXPECT_EQ(outcomes.critical_count(0, 2), 1u);
+    // A mutated copy must not disturb the original's index (and vice versa).
+    ExhaustiveOutcomes copy = outcomes;
+    copy.set(3, FaultOutcome::Critical);
+    EXPECT_EQ(copy.critical_count(0, 100), 51u);
+    EXPECT_EQ(outcomes.critical_count(0, 100), 50u);
+}
+
 TEST(Engine, WorkerWeightsStayIsolated) {
     // A campaign must leave the original network untouched (workers clone).
     auto& fx = fixture();

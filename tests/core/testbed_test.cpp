@@ -16,8 +16,13 @@ namespace {
 class TestbedTest : public ::testing::Test {
 protected:
     void SetUp() override {
+        // Per-test scratch: ctest runs each TEST as its own process, so a
+        // shared cache directory would let concurrent SetUps wipe each
+        // other's caches mid-test.
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
         scratch_ = std::filesystem::temp_directory_path() /
-                   "statfi_testbed_test_cache";
+                   (std::string("statfi_testbed_test_cache_") + info->name());
         std::filesystem::remove_all(scratch_);
         setenv("STATFI_CACHE_DIR", scratch_.c_str(), 1);
     }

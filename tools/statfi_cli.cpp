@@ -6,19 +6,36 @@
 //                   [--dtype T] [--seed S]
 //   statfi campaign --model <name> --approach <a> [--margin E] [--confidence C]
 //                   [--images N] [--policy any|golden|drop] [--train]
-//                   [--dtype T] [--seed S] [--threads N]
+//                   [--dtype T] [--seed S] [--threads N] [--json]
 //   statfi exhaustive --model <name> [--images N] [--policy ...] [--train]
-//                     [--resume] [--journal PATH] [--threads N]
+//                     [--resume] [--journal PATH] [--threads N] [--json]
+//                     [--out PATH]
+//   statfi shard plan    --manifest PATH --shards N --model <name>
+//                        --approach <a> [campaign options]
+//   statfi shard run     --manifest PATH --shard K [--resume] [--threads N]
+//   statfi shard run-all --manifest PATH [--jobs J] [--threads N]
+//   statfi shard merge   --manifest PATH [--out PATH] [--json]
 //
-// Approaches: network-wise | layer-wise | data-unaware | data-aware.
-// --train fits the model on the synthetic dataset first (recommended for
-// micronet; the big topologies run with Kaiming weights and the
-// golden-mismatch policy unless trained).
+// Approaches: exhaustive | network-wise | layer-wise | data-unaware |
+// data-aware. --train fits the model on the synthetic dataset first
+// (recommended for micronet; the big topologies run with Kaiming weights and
+// the golden-mismatch policy unless trained).
 //
-// Durability: `exhaustive` journals every classified fault to a checkpoint
-// file in the cache directory. Ctrl-C flushes the journal and exits
-// cleanly; rerunning with --resume continues from the last valid record
-// and produces outcomes bit-identical to an uninterrupted run.
+// Durability: `exhaustive` and `shard run` journal every classified fault to
+// a checkpoint file. Ctrl-C flushes the journal and exits cleanly; rerunning
+// with --resume continues from the last valid record and produces outcomes
+// bit-identical to an uninterrupted run.
+//
+// Scale-out: `shard plan` freezes a campaign (recipe + fingerprint + plan +
+// contiguous item ranges) into a checksummed manifest; `shard run` executes
+// one shard anywhere the manifest and binary are; `shard run-all` fans the
+// shards out over local subprocesses; `shard merge` validates every shard
+// artifact and reassembles the exact unsharded result.
+//
+// Output contract: --json prints exactly one JSON document on stdout;
+// everything human (banners, training chatter, progress heartbeats) goes to
+// stderr. Without --json, human output goes to stdout and heartbeats still
+// go to stderr.
 
 #include <csignal>
 #include <cstdlib>
@@ -35,20 +52,26 @@
 #include "core/testbed.hpp"
 #include "data/synthetic.hpp"
 #include "models/registry.hpp"
-#include "nn/init.hpp"
-#include "nn/trainer.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
+#include "shard/driver.hpp"
+#include "shard/fixture.hpp"
+#include "shard/manifest.hpp"
+#include "shard/merge.hpp"
+#include "shard/runner.hpp"
 
 namespace {
 
 using namespace statfi;
 
 core::CancellationToken g_interrupt;
+std::string g_argv0;
 
 void handle_sigint(int) { g_interrupt.request_stop(); }
 
 struct Options {
     std::string command;
+    std::string subcommand;  ///< for `shard`: plan|run|run-all|merge
     std::string model = "micronet";
     std::string approach = "data-aware";
     double margin = 0.01;
@@ -61,6 +84,12 @@ struct Options {
     bool resume = false;    ///< continue from an existing matching journal
     std::string journal;    ///< override the default journal path
     std::size_t threads = 1;  ///< campaign/exhaustive workers (0 = all cores)
+    bool json = false;      ///< machine-readable stdout, humans on stderr
+    std::string out;        ///< exhaustive/merge: write the outcome table here
+    std::string manifest;   ///< shard commands: manifest path
+    std::uint32_t shards = 0;  ///< shard plan: number of shards
+    std::uint32_t shard = 0;   ///< shard run: which shard
+    std::size_t jobs = 1;      ///< shard run-all: concurrent subprocesses
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -73,9 +102,14 @@ struct Options {
         "  plan                        print campaign plan (no injections)\n"
         "  campaign                    run a statistical FI campaign\n"
         "  exhaustive                  run the exhaustive census\n"
+        "  shard plan                  write a shard manifest for a campaign\n"
+        "  shard run                   run one shard of a manifest\n"
+        "  shard run-all               run all shards as local subprocesses\n"
+        "  shard merge                 validate + merge shard results\n"
         "options:\n"
         "  --model NAME                micronet|resnet20|resnet32|mobilenetv2\n"
-        "  --approach A                network-wise|layer-wise|data-unaware|data-aware\n"
+        "  --approach A                exhaustive|network-wise|layer-wise|\n"
+        "                              data-unaware|data-aware\n"
         "  --margin E                  error margin (default 0.01)\n"
         "  --confidence C              confidence level (default 0.99)\n"
         "  --images N                  evaluation images per fault (default 8)\n"
@@ -83,12 +117,20 @@ struct Options {
         "  --train                     train the model first (synthetic data)\n"
         "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
         "  --seed S                    master seed (default 2023)\n"
-        "  --threads N                 campaign/exhaustive worker threads\n"
-        "                              (default 1; 0 = all hardware cores)\n"
-        "  --resume                    exhaustive: continue from the journal\n"
-        "                              left by an interrupted run\n"
+        "  --threads N                 worker threads (default 1; 0 = all cores)\n"
+        "  --resume                    continue from the journal left by an\n"
+        "                              interrupted run\n"
         "  --journal PATH              exhaustive: checkpoint journal path\n"
-        "                              (default: under the cache directory)\n";
+        "                              (default: under the cache directory)\n"
+        "  --json                      one JSON document on stdout; all human\n"
+        "                              output and progress on stderr\n"
+        "  --out PATH                  exhaustive/shard merge: save the dense\n"
+        "                              outcome table (census) to PATH\n"
+        "  --manifest PATH             shard commands: the manifest artifact\n"
+        "  --shards N                  shard plan: partition into N shards\n"
+        "  --shard K                   shard run: which shard to execute\n"
+        "  --jobs J                    shard run-all: concurrent shard\n"
+        "                              subprocesses (default 1)\n";
     std::exit(2);
 }
 
@@ -100,11 +142,24 @@ fault::DataType parse_dtype(const std::string& s) {
     usage("unknown dtype '" + s + "'");
 }
 
+core::ClassificationPolicy parse_policy(const std::string& s) {
+    if (s == "any") return core::ClassificationPolicy::AnyMisprediction;
+    if (s == "golden") return core::ClassificationPolicy::GoldenMismatch;
+    if (s == "drop") return core::ClassificationPolicy::AccuracyDrop;
+    usage("unknown policy '" + s + "'");
+}
+
 Options parse(int argc, char** argv) {
     if (argc < 2) usage();
     Options opt;
     opt.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
+    int i = 2;
+    if (opt.command == "shard") {
+        if (argc < 3) usage("shard needs a subcommand (plan|run|run-all|merge)");
+        opt.subcommand = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
         const std::string flag = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc) usage("missing value for " + flag);
@@ -122,6 +177,14 @@ Options parse(int argc, char** argv) {
         else if (flag == "--threads") opt.threads = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--resume") opt.resume = true;
         else if (flag == "--journal") opt.journal = value();
+        else if (flag == "--json") opt.json = true;
+        else if (flag == "--out") opt.out = value();
+        else if (flag == "--manifest") opt.manifest = value();
+        else if (flag == "--shards")
+            opt.shards = static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--shard")
+            opt.shard = static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--jobs") opt.jobs = std::strtoull(value().c_str(), nullptr, 10);
         else usage("unknown flag '" + flag + "'");
     }
     if (opt.margin <= 0 || opt.margin >= 1) usage("--margin must be in (0,1)");
@@ -129,6 +192,46 @@ Options parse(int argc, char** argv) {
         usage("--confidence must be in (0,1)");
     if (opt.images <= 0) usage("--images must be positive");
     return opt;
+}
+
+/// The stream human-facing output goes to: stderr under --json (stdout is
+/// reserved for the document), stdout otherwise.
+std::ostream& human(const Options& opt) {
+    return opt.json ? std::cerr : std::cout;
+}
+
+/// Shared stderr progress heartbeat (exhaustive census and shard runs).
+core::ProgressFn stderr_progress() {
+    return [](const core::ProgressInfo& p) {
+        std::cerr << "\r  " << p.done << "/" << p.total << "  ("
+                  << report::fmt_u64(
+                         static_cast<std::uint64_t>(p.faults_per_second))
+                  << " faults/s, ~"
+                  << report::fmt_u64(static_cast<std::uint64_t>(p.eta_seconds))
+                  << "s left)   " << std::flush;
+        if (p.done == p.total) std::cerr << "\n";
+    };
+}
+
+/// The campaign recipe this invocation describes — the single definition the
+/// direct commands AND the shard planner both build from, so a sharded run
+/// can never quietly diverge from `statfi campaign` / `statfi exhaustive`.
+shard::CampaignRecipe recipe_from(const Options& opt) {
+    shard::CampaignRecipe recipe;
+    recipe.model = opt.model;
+    try {
+        recipe.approach = core::approach_from_string(opt.approach);
+    } catch (const std::invalid_argument& e) {
+        usage(e.what());
+    }
+    recipe.error_margin = opt.margin;
+    recipe.confidence = opt.confidence;
+    recipe.images = opt.images;
+    recipe.policy = parse_policy(opt.policy);
+    recipe.train = opt.train;
+    recipe.dtype = opt.dtype;
+    recipe.seed = opt.seed;
+    return recipe;
 }
 
 int cmd_models() {
@@ -143,28 +246,6 @@ int cmd_models() {
     return 0;
 }
 
-nn::Network prepare_model(const Options& opt, double* accuracy_out = nullptr) {
-    auto net = models::build_model(opt.model);
-    stats::Rng rng(opt.seed);
-    auto init_rng = rng.fork("init");
-    nn::init_network_kaiming(net, init_rng);
-    if (opt.train) {
-        data::SyntheticSpec spec;
-        spec.seed = opt.seed;
-        const auto train = data::make_synthetic(spec, 1024, "train");
-        std::cerr << "training " << opt.model << " on synthetic data...\n";
-        auto train_rng = rng.fork("train");
-        nn::train_classifier(net, train.images, train.labels, 8, 32,
-                             nn::SgdConfig{}, train_rng);
-        const auto test = data::make_synthetic(spec, 256, "test");
-        const double acc =
-            nn::top1_accuracy(net.forward(test.images), test.labels);
-        std::cerr << "test accuracy: " << report::fmt_percent(acc, 1) << "%\n";
-        if (accuracy_out) *accuracy_out = acc;
-    }
-    return net;
-}
-
 core::DataAwareConfig data_aware_config(const Options& opt, nn::Network& net) {
     core::DataAwareConfig config;
     config.dtype = opt.dtype;
@@ -177,36 +258,11 @@ core::DataAwareConfig data_aware_config(const Options& opt, nn::Network& net) {
     return config;
 }
 
-core::CampaignSpec campaign_spec(const Options& opt) {
-    core::CampaignSpec spec;
-    try {
-        spec.approach = core::approach_from_string(opt.approach);
-    } catch (const std::invalid_argument& e) {
-        usage(e.what());
-    }
-    spec.sample.error_margin = opt.margin;
-    spec.sample.confidence = opt.confidence;
-    return spec;
-}
-
-core::ExecutorConfig executor_config(const Options& opt) {
-    core::ExecutorConfig config;
-    config.dtype = opt.dtype;
-    if (opt.policy == "any")
-        config.policy = core::ClassificationPolicy::AnyMisprediction;
-    else if (opt.policy == "golden")
-        config.policy = core::ClassificationPolicy::GoldenMismatch;
-    else if (opt.policy == "drop")
-        config.policy = core::ClassificationPolicy::AccuracyDrop;
-    else
-        usage("unknown policy '" + opt.policy + "'");
-    return config;
-}
-
 int cmd_profile(const Options& opt) {
-    auto net = prepare_model(opt);
+    auto recipe = recipe_from(opt);
+    auto fx = shard::build_fixture(recipe);
     const auto crit =
-        core::analyze_network(net, data_aware_config(opt, net));
+        core::analyze_network(fx.net, data_aware_config(opt, fx.net));
     report::Table table({"Bit", "f1 [%]", "Davg", "p(i)"});
     for (int bit = crit.bits() - 1; bit >= 0; --bit) {
         const auto i = static_cast<std::size_t>(bit);
@@ -219,21 +275,19 @@ int cmd_profile(const Options& opt) {
 }
 
 int cmd_plan(const Options& opt) {
-    auto net = prepare_model(opt);
-    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
+    auto recipe = recipe_from(opt);
     // Planning needs the engine only for the data-aware weight analysis; a
     // single evaluation image keeps the golden pass negligible.
-    data::SyntheticSpec spec;
-    spec.seed = opt.seed;
-    core::CampaignEngine engine(net, data::make_synthetic(spec, 1, "test"),
-                                executor_config(opt));
-    const auto plan = engine.plan(universe, campaign_spec(opt));
+    recipe.images = 1;
+    auto fx = shard::build_fixture(recipe);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+    const auto plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
     report::Table table({"Layer", "Name", "Population", "Planned FIs"});
-    for (int l = 0; l < universe.layer_count(); ++l)
-        table.add_row({std::to_string(l), universe.layer(l).name,
-                       report::fmt_u64(universe.layer_population(l)),
-                       report::fmt_u64(plan.layer_sample_size(universe, l))});
-    table.add_row({"Total", "", report::fmt_u64(universe.total()),
+    for (int l = 0; l < fx.universe.layer_count(); ++l)
+        table.add_row({std::to_string(l), fx.universe.layer(l).name,
+                       report::fmt_u64(fx.universe.layer_population(l)),
+                       report::fmt_u64(plan.layer_sample_size(fx.universe, l))});
+    table.add_row({"Total", "", report::fmt_u64(fx.universe.total()),
                    report::fmt_u64(plan.total_sample_size())});
     table.print(std::cout);
     std::cout << "\n" << core::to_string(plan.approach) << " @ e="
@@ -242,76 +296,160 @@ int cmd_plan(const Options& opt) {
               << fault::to_string(opt.dtype) << ": injects "
               << report::fmt_percent(
                      static_cast<double>(plan.total_sample_size()) /
-                         static_cast<double>(universe.total()),
+                         static_cast<double>(fx.universe.total()),
                      2)
               << "% of the exhaustive census\n";
     return 0;
 }
 
-void print_estimates(const fault::FaultUniverse& universe,
+void print_estimates(std::ostream& out, const fault::FaultUniverse& universe,
                      const core::CampaignResult& result, double confidence) {
     core::EstimatorConfig est_config;
     est_config.confidence = confidence;
     const auto network = core::estimate_network(universe, result, est_config);
-    std::cout << "\nnetwork critical-fault rate: "
-              << report::fmt_percent(network.rate, 3) << "% +- "
-              << report::fmt_percent(network.margin, 3) << "%\n\n";
+    out << "\nnetwork critical-fault rate: "
+        << report::fmt_percent(network.rate, 3) << "% +- "
+        << report::fmt_percent(network.margin, 3) << "%\n\n";
     report::Table table({"Layer", "Name", "Critical [%]", "Margin [%]", "FIs"});
-    for (const auto& le :
-         core::estimate_layers(universe, result, est_config))
+    for (const auto& le : core::estimate_layers(universe, result, est_config))
         table.add_row({std::to_string(le.layer), universe.layer(le.layer).name,
                        report::fmt_percent(le.estimate.rate, 3),
                        report::fmt_percent(le.estimate.margin, 3),
                        report::fmt_u64(le.estimate.injected)});
-    table.print(std::cout);
+    table.print(out);
+}
+
+/// The statistical-campaign JSON document (campaign and shard merge).
+void emit_campaign_json(const Options& opt, const char* command,
+                        const fault::FaultUniverse& universe,
+                        const core::CampaignResult& result,
+                        double golden_accuracy) {
+    core::EstimatorConfig est_config;
+    est_config.confidence = opt.confidence;
+    const auto network = core::estimate_network(universe, result, est_config);
+    report::JsonWriter json(std::cout);
+    json.begin_object()
+        .field("command", command)
+        .field("model", opt.model)
+        .field("approach", core::to_string(result.approach))
+        .field("dtype", fault::to_string(opt.dtype))
+        .field("policy", opt.policy)
+        .field("seed", opt.seed)
+        .field("images", static_cast<std::int64_t>(opt.images))
+        .field("universe_size", universe.total())
+        .field("golden_accuracy", golden_accuracy)
+        .field("interrupted", result.interrupted)
+        .field("wall_seconds", result.wall_seconds)
+        .field("total_injected", result.total_injected())
+        .field("total_critical", result.total_critical());
+    json.key("network")
+        .begin_object()
+        .field("rate", network.rate)
+        .field("margin", network.margin)
+        .end_object();
+    json.key("layers").begin_array();
+    for (const auto& le : core::estimate_layers(universe, result, est_config))
+        json.begin_object()
+            .field("layer", le.layer)
+            .field("name", universe.layer(le.layer).name)
+            .field("rate", le.estimate.rate)
+            .field("margin", le.estimate.margin)
+            .field("injected", le.estimate.injected)
+            .end_object();
+    json.end_array().end_object();
+    json.finish();
 }
 
 int cmd_campaign(const Options& opt) {
-    auto net = prepare_model(opt);
-    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
-    data::SyntheticSpec spec;
-    spec.seed = opt.seed;
-    const auto eval = data::make_synthetic(spec, opt.images, "test");
-    core::CampaignEngine engine(net, eval, executor_config(opt), opt.threads);
-    const auto plan = engine.plan(universe, campaign_spec(opt));
-    std::cout << core::to_string(plan.approach) << " campaign: "
-              << report::fmt_u64(plan.total_sample_size()) << " of "
-              << report::fmt_u64(universe.total()) << " faults, "
-              << opt.images << " image(s) per fault, policy " << opt.policy
-              << "\n";
-    std::cout << "golden accuracy on evaluation set: "
-              << report::fmt_percent(engine.golden_accuracy(), 1) << "%\n"
-              << "running on " << engine.worker_count()
-              << " worker(s)... (Ctrl-C stops cleanly)\n";
+    const auto recipe = recipe_from(opt);
+    auto fx = shard::build_fixture(recipe);
+    std::ostream& out = human(opt);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads);
+    const auto plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
+    out << core::to_string(plan.approach) << " campaign: "
+        << report::fmt_u64(plan.total_sample_size()) << " of "
+        << report::fmt_u64(fx.universe.total()) << " faults, "
+        << opt.images << " image(s) per fault, policy " << opt.policy
+        << "\n";
+    out << "golden accuracy on evaluation set: "
+        << report::fmt_percent(engine.golden_accuracy(), 1) << "%\n"
+        << "running on " << engine.worker_count()
+        << " worker(s)... (Ctrl-C stops cleanly)\n";
     std::signal(SIGINT, handle_sigint);
-    const auto result = engine.run(universe, plan,
+    const auto result = engine.run(fx.universe, plan,
                                    stats::Rng(opt.seed).fork("campaign"),
                                    &g_interrupt);
     std::signal(SIGINT, SIG_DFL);
     if (result.interrupted)
-        std::cout << "interrupted after "
-                  << report::fmt_u64(result.total_injected()) << " of "
-                  << report::fmt_u64(plan.total_sample_size())
-                  << " planned injections; estimates below cover the "
-                     "classified sample only\n";
-    std::cout << "done in " << report::fmt_double(result.wall_seconds, 1)
-              << "s (" << report::fmt_u64(engine.inference_count())
-              << " faulty inferences)\n";
-    print_estimates(universe, result, opt.confidence);
+        out << "interrupted after "
+            << report::fmt_u64(result.total_injected()) << " of "
+            << report::fmt_u64(plan.total_sample_size())
+            << " planned injections; estimates below cover the "
+               "classified sample only\n";
+    out << "done in " << report::fmt_double(result.wall_seconds, 1)
+        << "s (" << report::fmt_u64(engine.inference_count())
+        << " faulty inferences)\n";
+    if (opt.json)
+        emit_campaign_json(opt, "campaign", fx.universe, result,
+                           engine.golden_accuracy());
+    else
+        print_estimates(out, fx.universe, result, opt.confidence);
     return result.interrupted ? 130 : 0;
 }
 
+void print_census_table(std::ostream& out,
+                        const fault::FaultUniverse& universe,
+                        const core::ExhaustiveOutcomes& truth) {
+    out << "critical rate: "
+        << report::fmt_percent(truth.network_critical_rate(), 4) << "%\n\n";
+    report::Table table({"Layer", "Name", "Critical [%]"});
+    for (int l = 0; l < universe.layer_count(); ++l)
+        table.add_row(
+            {std::to_string(l), universe.layer(l).name,
+             report::fmt_percent(truth.layer_critical_rate(universe, l), 4)});
+    table.print(out);
+}
+
+/// The census JSON document (exhaustive and shard merge).
+void emit_census_json(const Options& opt, const char* command,
+                      const fault::FaultUniverse& universe,
+                      const core::ExhaustiveOutcomes& truth,
+                      std::uint64_t resumed, std::uint64_t classified) {
+    report::JsonWriter json(std::cout);
+    json.begin_object()
+        .field("command", command)
+        .field("model", opt.model)
+        .field("dtype", fault::to_string(opt.dtype))
+        .field("policy", opt.policy)
+        .field("seed", opt.seed)
+        .field("images", static_cast<std::int64_t>(opt.images))
+        .field("universe_size", universe.total())
+        .field("interrupted", false)
+        .field("resumed", resumed)
+        .field("classified", classified)
+        .field("critical_rate", truth.network_critical_rate());
+    json.key("layers").begin_array();
+    for (int l = 0; l < universe.layer_count(); ++l)
+        json.begin_object()
+            .field("layer", l)
+            .field("name", universe.layer(l).name)
+            .field("critical_rate", truth.layer_critical_rate(universe, l))
+            .end_object();
+    json.end_array();
+    if (!opt.out.empty()) json.field("out", opt.out);
+    json.end_object();
+    json.finish();
+}
+
 int cmd_exhaustive(const Options& opt) {
-    auto net = prepare_model(opt);
-    auto universe = fault::FaultUniverse::stuck_at(net, opt.dtype);
-    data::SyntheticSpec spec;
-    spec.seed = opt.seed;
-    const auto eval = data::make_synthetic(spec, opt.images, "test");
-    core::CampaignEngine engine(net, eval, executor_config(opt), opt.threads);
-    std::cout << "exhaustive census: " << report::fmt_u64(universe.total())
-              << " faults x " << opt.images << " image(s) on "
-              << engine.worker_count()
-              << " worker(s)  (Ctrl-C checkpoints; rerun with --resume)\n";
+    const auto recipe = recipe_from(opt);
+    auto fx = shard::build_fixture(recipe);
+    std::ostream& out = human(opt);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads);
+    out << "exhaustive census: " << report::fmt_u64(fx.universe.total())
+        << " faults x " << opt.images << " image(s) on "
+        << engine.worker_count()
+        << " worker(s)  (Ctrl-C checkpoints; rerun with --resume)\n";
 
     core::DurabilityOptions durability;
     durability.model_id = opt.model;
@@ -328,46 +466,241 @@ int cmd_exhaustive(const Options& opt) {
     if (!opt.resume) std::filesystem::remove(durability.journal_path);
 
     std::signal(SIGINT, handle_sigint);
-    const auto run = engine.run_exhaustive_durable(
-        universe, durability, [](const core::ProgressInfo& p) {
-            std::cerr << "\r  " << p.done << "/" << p.total << "  ("
-                      << report::fmt_u64(static_cast<std::uint64_t>(
-                             p.faults_per_second))
-                      << " faults/s, ~"
-                      << report::fmt_u64(
-                             static_cast<std::uint64_t>(p.eta_seconds))
-                      << "s left)   " << std::flush;
-            if (p.done == p.total) std::cerr << "\n";
-        });
+    const auto run =
+        engine.run_exhaustive_durable(fx.universe, durability,
+                                      stderr_progress());
     std::signal(SIGINT, SIG_DFL);
     if (!run.complete) {
         std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
                   << " newly classified fault(s) checkpointed to "
                   << durability.journal_path << "\nrerun with --resume to "
                   << "continue from the journal\n";
+        if (opt.json) {
+            report::JsonWriter json(std::cout);
+            json.begin_object()
+                .field("command", "exhaustive")
+                .field("model", opt.model)
+                .field("interrupted", true)
+                .field("resumed", run.resumed)
+                .field("classified", run.classified)
+                .field("journal", durability.journal_path)
+                .end_object();
+            json.finish();
+        }
         return 130;
     }
     std::filesystem::remove(durability.journal_path);
     if (run.resumed > 0)
-        std::cout << "resumed " << report::fmt_u64(run.resumed)
-                  << " outcome(s) from the journal, classified "
-                  << report::fmt_u64(run.classified) << " more\n";
-    const auto& truth = run.outcomes;
-    std::cout << "critical rate: "
-              << report::fmt_percent(truth.network_critical_rate(), 4)
-              << "%\n\n";
-    report::Table table({"Layer", "Name", "Critical [%]"});
-    for (int l = 0; l < universe.layer_count(); ++l)
-        table.add_row(
-            {std::to_string(l), universe.layer(l).name,
-             report::fmt_percent(truth.layer_critical_rate(universe, l), 4)});
-    table.print(std::cout);
+        out << "resumed " << report::fmt_u64(run.resumed)
+            << " outcome(s) from the journal, classified "
+            << report::fmt_u64(run.classified) << " more\n";
+    if (!opt.out.empty()) {
+        run.outcomes.save(opt.out);
+        out << "outcome table saved to " << opt.out << "\n";
+    }
+    if (opt.json)
+        emit_census_json(opt, "exhaustive", fx.universe, run.outcomes,
+                         run.resumed, run.classified);
+    else
+        print_census_table(out, fx.universe, run.outcomes);
     return 0;
+}
+
+// --- shard subcommands -----------------------------------------------------
+
+int cmd_shard_plan(const Options& opt) {
+    if (opt.manifest.empty()) usage("shard plan needs --manifest");
+    if (opt.shards == 0) usage("shard plan needs --shards N");
+    const auto recipe = recipe_from(opt);
+    auto fx = shard::build_fixture(recipe);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+
+    shard::ShardManifest manifest;
+    manifest.recipe = recipe;
+    manifest.fingerprint = engine.fingerprint(fx.universe, recipe.model);
+    manifest.layer_count =
+        static_cast<std::uint32_t>(fx.universe.layer_count());
+    if (recipe.approach == core::Approach::Exhaustive) {
+        manifest.plan.approach = core::Approach::Exhaustive;
+        manifest.item_count = fx.universe.total();
+    } else {
+        manifest.plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
+        manifest.item_count = manifest.plan.total_sample_size();
+    }
+    manifest.shards = shard::partition_items(manifest.item_count, opt.shards);
+    manifest.save(opt.manifest);
+
+    std::ostream& out = human(opt);
+    out << to_string(manifest.kind()) << " campaign ("
+        << core::to_string(recipe.approach) << "): "
+        << report::fmt_u64(manifest.item_count) << " item(s) across "
+        << manifest.shards.size() << " shard(s)\n";
+    report::Table table({"Shard", "Items", "Range"});
+    for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+        const auto& r = manifest.shards[k];
+        table.add_row({std::to_string(k), report::fmt_u64(r.size()),
+                       "[" + std::to_string(r.begin) + ", " +
+                           std::to_string(r.end) + ")"});
+    }
+    table.print(out);
+    out << "manifest written to " << opt.manifest << "\n"
+        << "next: statfi shard run --manifest " << opt.manifest
+        << " --shard <k>   (or: shard run-all --jobs J)\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "shard-plan")
+            .field("manifest", opt.manifest)
+            .field("kind", to_string(manifest.kind()))
+            .field("approach", core::to_string(recipe.approach))
+            .field("item_count", manifest.item_count)
+            .field("shards", static_cast<std::uint64_t>(manifest.shards.size()))
+            .field("manifest_crc", static_cast<std::uint64_t>(manifest.crc()))
+            .end_object();
+        json.finish();
+    }
+    return 0;
+}
+
+int cmd_shard_run(const Options& opt) {
+    if (opt.manifest.empty()) usage("shard run needs --manifest");
+    const auto manifest = shard::ShardManifest::load(opt.manifest);
+    std::ostream& out = human(opt);
+    out << "shard " << opt.shard << "/" << manifest.shards.size() << " of "
+        << to_string(manifest.kind()) << " campaign (" << manifest.recipe.model
+        << ", " << report::fmt_u64(manifest.item_count)
+        << " items total)  (Ctrl-C checkpoints; rerun with --resume)\n";
+
+    shard::ShardRunOptions run_options;
+    run_options.shard = opt.shard;
+    run_options.resume = opt.resume;
+    run_options.threads = opt.threads;
+    run_options.cancel = &g_interrupt;
+    run_options.progress = stderr_progress();
+
+    std::signal(SIGINT, handle_sigint);
+    const auto run = shard::run_shard(manifest, opt.manifest, run_options);
+    std::signal(SIGINT, SIG_DFL);
+
+    if (!run.complete) {
+        std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
+                  << " newly classified item(s) checkpointed to "
+                  << run.journal_path
+                  << "\nrerun with --resume to continue\n";
+        return 130;
+    }
+    if (run.resumed > 0)
+        out << "resumed " << report::fmt_u64(run.resumed)
+            << " outcome(s) from the journal, classified "
+            << report::fmt_u64(run.classified) << " more\n";
+    out << "shard " << opt.shard << " complete: result written to "
+        << run.result_path << "\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "shard-run")
+            .field("manifest", opt.manifest)
+            .field("shard", static_cast<std::uint64_t>(opt.shard))
+            .field("resumed", run.resumed)
+            .field("classified", run.classified)
+            .field("result", run.result_path)
+            .end_object();
+        json.finish();
+    }
+    return 0;
+}
+
+int cmd_shard_run_all(const Options& opt) {
+    if (opt.manifest.empty()) usage("shard run-all needs --manifest");
+    const auto manifest = shard::ShardManifest::load(opt.manifest);
+
+    shard::DriveOptions drive;
+    drive.jobs = opt.jobs;
+    drive.threads = opt.threads;
+    // Spawn the very binary that is running, so manifest fingerprints can
+    // only mismatch on real divergence (data/seed), never on a stale PATH.
+    std::error_code ec;
+    const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    drive.statfi_binary = ec ? g_argv0 : self.string();
+
+    const auto drive_report =
+        shard::run_all_shards(manifest, opt.manifest, drive);
+    std::ostream& out = human(opt);
+    report::Table table({"Shard", "Status"});
+    for (const auto& s : drive_report.shards)
+        table.add_row({std::to_string(s.shard),
+                       s.skipped ? "skipped (already complete)"
+                       : s.exit_code == 0
+                           ? "ok"
+                           : "failed (exit " + std::to_string(s.exit_code) +
+                                 ")"});
+    table.print(out);
+    if (!drive_report.ok()) {
+        std::cerr << "statfi: some shards failed; rerun `shard run-all` to "
+                     "retry (completed shards are skipped)\n";
+        return 1;
+    }
+    out << "all " << drive_report.shards.size()
+        << " shard(s) complete; next: statfi shard merge --manifest "
+        << opt.manifest << "\n";
+    return 0;
+}
+
+int cmd_shard_merge(const Options& opt) {
+    if (opt.manifest.empty()) usage("shard merge needs --manifest");
+    const auto manifest = shard::ShardManifest::load(opt.manifest);
+    const auto merged = shard::merge_shards(manifest, opt.manifest);
+
+    // Human-facing readouts need layer names/index ranges — rebuild the
+    // fixture (the merge itself never needed it).
+    auto fx = shard::build_fixture(manifest.recipe);
+    std::ostream& out = human(opt);
+
+    Options view = opt;  // recipe fields drive the shared emitters
+    view.model = manifest.recipe.model;
+    view.policy = core::to_string(manifest.recipe.policy);
+    view.dtype = manifest.recipe.dtype;
+    view.seed = manifest.recipe.seed;
+    view.images = manifest.recipe.images;
+    view.confidence = manifest.recipe.confidence;
+
+    if (merged.kind == shard::CampaignKind::Census) {
+        if (!opt.out.empty()) {
+            merged.outcomes.save(opt.out);
+            out << "merged outcome table saved to " << opt.out << "\n";
+        }
+        if (opt.json)
+            emit_census_json(view, "shard-merge", fx.universe, merged.outcomes,
+                             0, 0);
+        else
+            print_census_table(out, fx.universe, merged.outcomes);
+    } else {
+        if (!opt.out.empty())
+            usage("--out applies to census merges only");
+        if (opt.json)
+            emit_campaign_json(view, "shard-merge", fx.universe, merged.result,
+                               0.0);
+        else
+            print_estimates(out, fx.universe, merged.result,
+                            manifest.recipe.confidence);
+    }
+    out << "merged " << manifest.shards.size() << " shard(s), "
+        << report::fmt_u64(manifest.item_count) << " item(s)\n";
+    return 0;
+}
+
+int cmd_shard(const Options& opt) {
+    if (opt.subcommand == "plan") return cmd_shard_plan(opt);
+    if (opt.subcommand == "run") return cmd_shard_run(opt);
+    if (opt.subcommand == "run-all") return cmd_shard_run_all(opt);
+    if (opt.subcommand == "merge") return cmd_shard_merge(opt);
+    usage("unknown shard subcommand '" + opt.subcommand + "'");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_argv0 = argv[0];
     try {
         const Options opt = parse(argc, argv);
         if (opt.command == "models") return cmd_models();
@@ -375,6 +708,7 @@ int main(int argc, char** argv) {
         if (opt.command == "plan") return cmd_plan(opt);
         if (opt.command == "campaign") return cmd_campaign(opt);
         if (opt.command == "exhaustive") return cmd_exhaustive(opt);
+        if (opt.command == "shard") return cmd_shard(opt);
         usage("unknown command '" + opt.command + "'");
     } catch (const std::exception& e) {
         std::cerr << "statfi: " << e.what() << "\n";
