@@ -14,6 +14,12 @@
 // `statfi shard run-all` subprocesses at --jobs 2 and 4, with the merged
 // result checked bit-identical against the single-process table
 // (BENCH_shard.json).
+//
+// `bench_perf --telemetry-json PATH` measures the telemetry subsystem's
+// overhead: the engine-report census with telemetry off vs on (metrics +
+// tracing), alternating reps, best-of wall per mode, outcomes checked
+// bit-identical. Fails when the enabled run costs more than 3% — the
+// "observability is near-free" claim in DESIGN.md §5.12 (BENCH_telemetry.json).
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +28,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +44,7 @@
 #include "shard/fixture.hpp"
 #include "shard/merge.hpp"
 #include "stats/sampling.hpp"
+#include "telemetry/session.hpp"
 
 using namespace statfi;
 
@@ -365,11 +373,117 @@ int run_shard_report(const std::string& json_path,
     return all_identical ? 0 : 1;
 }
 
+// --- telemetry overhead (--telemetry-json) --------------------------------
+
+/// The gate DESIGN.md §5.12 promises: a fully instrumented census (metrics
+/// + tracing) may cost at most this much over the null-sink run.
+constexpr double kMaxTelemetryOverheadPct = 3.0;
+constexpr int kTelemetryReps = 3;
+
+/// Telemetry off vs on over the engine-report fixture, reps alternating so
+/// thermal/frequency drift hits both modes equally; best-of wall per mode.
+/// Every run's outcome table must match the first run's bit for bit
+/// (telemetry only observes), and the enabled runs' statfi_faults_total
+/// counter must equal the census size.
+int run_telemetry_report(const std::string& json_path,
+                         std::uint64_t max_faults) {
+    const auto make_net = [] {
+        auto net = models::build_model("micronet");
+        stats::Rng rng(424242);
+        nn::init_network_kaiming(net, rng);
+        return net;
+    };
+    const auto eval = data::make_synthetic({}, 4, "test");
+    core::ExecutorConfig config;
+    config.policy = core::ClassificationPolicy::GoldenMismatch;
+
+    auto reference_net = make_net();
+    const auto universe = fault::FaultUniverse::stuck_at(reference_net);
+    const std::uint64_t total = universe.total();
+    const std::uint64_t faults =
+        max_faults == 0 ? total : std::min(max_faults, total);
+    core::DurabilityOptions durability;
+    durability.range_end = faults;
+
+    core::ExhaustiveOutcomes reference;
+    double best_wall[2] = {1e300, 1e300};  // [disabled, enabled]
+    bool identical = true;
+    std::uint64_t faults_counter = 0;
+    for (int rep = 0; rep < kTelemetryReps; ++rep) {
+        for (int mode = 0; mode < 2; ++mode) {
+            auto net = make_net();
+            std::unique_ptr<telemetry::Session> session;
+            if (mode == 1) session = std::make_unique<telemetry::Session>();
+            core::CampaignEngine engine(net, eval, config, 1, session.get());
+            const auto start = std::chrono::steady_clock::now();
+            const auto run = engine.run_exhaustive_durable(universe, durability);
+            const double wall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+            best_wall[mode] = std::min(best_wall[mode], wall);
+            if (rep == 0 && mode == 0) {
+                reference = run.outcomes;
+            } else {
+                for (std::uint64_t i = 0; identical && i < faults; ++i)
+                    identical = run.outcomes.at(i) == reference.at(i);
+            }
+            if (session) {
+                const auto snap = session->metrics().snapshot();
+                if (const auto* m = snap.find("statfi_faults_total"))
+                    faults_counter = m->counter;
+            }
+        }
+    }
+
+    const double overhead_pct =
+        (best_wall[1] - best_wall[0]) / best_wall[0] * 100.0;
+    const bool counter_matches = faults_counter == faults;
+    const bool pass =
+        identical && counter_matches && overhead_pct <= kMaxTelemetryOverheadPct;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet kaiming(424242), 4 synthetic test "
+           "images, GoldenMismatch, stuck-at universe\",\n"
+        << "  \"universe\": " << total << ",\n"
+        << "  \"faults\": " << faults << ",\n"
+        << "  \"reps_per_mode\": " << kTelemetryReps << ",\n"
+        << "  \"disabled_wall_seconds\": " << best_wall[0] << ",\n"
+        << "  \"enabled_wall_seconds\": " << best_wall[1] << ",\n"
+        << "  \"disabled_faults_per_second\": "
+        << static_cast<double>(faults) / best_wall[0] << ",\n"
+        << "  \"enabled_faults_per_second\": "
+        << static_cast<double>(faults) / best_wall[1] << ",\n"
+        << "  \"overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"max_overhead_pct\": " << kMaxTelemetryOverheadPct << ",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"faults_counter_matches\": "
+        << (counter_matches ? "true" : "false") << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "telemetry overhead: " << overhead_pct << "% (off "
+              << best_wall[0] << " s, on " << best_wall[1]
+              << " s, gate " << kMaxTelemetryOverheadPct
+              << "%), bit_identical " << (identical ? "yes" : "NO")
+              << ", faults counter " << faults_counter << "/" << faults
+              << "\nreport written to " << json_path << "\n";
+    if (!pass)
+        std::cerr << "bench_perf: telemetry gate FAILED (overhead "
+                  << overhead_pct << "% > " << kMaxTelemetryOverheadPct
+                  << "%, or divergence above)\n";
+    return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string json_path;
     std::string shard_json_path;
+    std::string telemetry_json_path;
     std::string statfi_binary;
     std::uint64_t max_faults = 0;  // 0 = full census
     std::size_t threads = 1;
@@ -379,6 +493,8 @@ int main(int argc, char** argv) {
             json_path = argv[++i];
         } else if (arg == "--shard-json" && i + 1 < argc) {
             shard_json_path = argv[++i];
+        } else if (arg == "--telemetry-json" && i + 1 < argc) {
+            telemetry_json_path = argv[++i];
         } else if (arg == "--statfi" && i + 1 < argc) {
             statfi_binary = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -387,6 +503,8 @@ int main(int argc, char** argv) {
             threads = std::stoul(argv[++i]);
         }
     }
+    if (!telemetry_json_path.empty())
+        return run_telemetry_report(telemetry_json_path, max_faults);
     if (!shard_json_path.empty()) {
         if (statfi_binary.empty())
             statfi_binary = (std::filesystem::path(argv[0]).parent_path() /

@@ -1,6 +1,7 @@
 #include "core/classification_core.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -129,9 +130,53 @@ FaultOutcome ClassificationCore::classify_active_fault(int first_dirty_node) {
 }
 
 FaultOutcome ClassificationCore::evaluate(const fault::Fault& fault) {
-    if (injector_.masked(fault)) return FaultOutcome::Masked;
-    fault::WeightInjector::Scoped guard(injector_, fault);
-    return classify_active_fault(injector_.node_of_layer(fault.layer));
+    if (!telemetry_) {
+        if (injector_.masked(fault)) return FaultOutcome::Masked;
+        fault::WeightInjector::Scoped guard(injector_, fault);
+        return classify_active_fault(injector_.node_of_layer(fault.layer));
+    }
+    return evaluate_instrumented(fault);
+}
+
+FaultOutcome ClassificationCore::evaluate_instrumented(
+    const fault::Fault& fault) {
+    using clock = std::chrono::steady_clock;
+    const auto ns_between = [](clock::time_point a, clock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+    };
+    auto& reg = telemetry_->metrics();
+    const telemetry::MetricIds& ids = telemetry_->ids();
+    const std::uint64_t inferences_before = inferences_;
+    const auto t0 = clock::now();
+
+    FaultOutcome outcome;
+    if (injector_.masked(fault)) {
+        outcome = FaultOutcome::Masked;
+        reg.inc(worker_, ids.masked_total);
+    } else {
+        clock::time_point applied, classified;
+        {
+            fault::WeightInjector::Scoped guard(injector_, fault);
+            applied = clock::now();
+            outcome =
+                classify_active_fault(injector_.node_of_layer(fault.layer));
+            classified = clock::now();
+        }
+        const auto restored = clock::now();
+        reg.inc(worker_, ids.inject_ns_total, ns_between(t0, applied));
+        reg.inc(worker_, ids.forward_ns_total, ns_between(applied, classified));
+        reg.inc(worker_, ids.restore_ns_total,
+                ns_between(classified, restored));
+    }
+    reg.inc(worker_, ids.faults_total);
+    if (outcome == FaultOutcome::Critical)
+        reg.inc(worker_, ids.critical_total);
+    reg.inc(worker_, ids.inferences_total, inferences_ - inferences_before);
+    reg.observe(worker_, ids.evaluate_seconds,
+                std::chrono::duration<double>(clock::now() - t0).count());
+    return outcome;
 }
 
 CampaignFingerprint ClassificationCore::fingerprint(

@@ -25,6 +25,7 @@
 #include "core/outcome.hpp"
 #include "data/synthetic.hpp"
 #include "fault/injector.hpp"
+#include "telemetry/session.hpp"
 
 namespace statfi::core {
 
@@ -74,6 +75,17 @@ public:
     /// Classify one fault (weights are corrupted and restored internally).
     FaultOutcome evaluate(const fault::Fault& fault);
 
+    /// Attach telemetry: this core reports into @p session's per-worker
+    /// slot @p worker (each engine worker owns exactly one slot — the
+    /// lock-free single-writer contract). nullptr detaches; the detached
+    /// hot path costs one pointer compare and never reads a clock, and
+    /// outcomes are identical either way (telemetry only observes).
+    void set_telemetry(telemetry::Session* session,
+                       std::size_t worker) noexcept {
+        telemetry_ = session;
+        worker_ = worker;
+    }
+
     /// Campaign identity for journals/caches: universe size, dtype, policy,
     /// plus CRC32 hashes of the evaluation set and the golden weights. A
     /// retrained model or different eval set fingerprints differently.
@@ -83,6 +95,7 @@ public:
 
 private:
     FaultOutcome classify_active_fault(int first_dirty_node);
+    FaultOutcome evaluate_instrumented(const fault::Fault& fault);
 
     nn::Network* net_;
     ExecutorConfig config_;
@@ -90,6 +103,8 @@ private:
     GoldenCache golden_;
     std::uint64_t inferences_ = 0;
     std::vector<Tensor> scratch_;
+    telemetry::Session* telemetry_ = nullptr;
+    std::size_t worker_ = 0;
 };
 
 }  // namespace statfi::core

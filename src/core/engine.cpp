@@ -24,12 +24,28 @@ struct CampaignEngine::Worker {
 
 CampaignEngine::CampaignEngine(const nn::Network& net,
                                const data::Dataset& eval,
-                               ExecutorConfig config, std::size_t threads) {
+                               ExecutorConfig config, std::size_t threads,
+                               telemetry::Session* telemetry)
+    : telemetry_(telemetry) {
     if (threads == 0)
         threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    workers_.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w)
-        workers_.push_back(std::make_unique<Worker>(net, eval, config));
+    if (telemetry_) telemetry_->bind_workers(threads);
+    {
+        // Worker construction runs the golden forward pass once per clone —
+        // the dominant startup cost, so it gets its own phase span.
+        telemetry::PhaseScope scope(telemetry_, "golden_pass");
+        workers_.reserve(threads);
+        for (std::size_t w = 0; w < threads; ++w) {
+            workers_.push_back(std::make_unique<Worker>(net, eval, config));
+            workers_.back()->core.set_telemetry(telemetry_, w);
+        }
+    }
+    if (telemetry_) {
+        auto& reg = telemetry_->metrics();
+        reg.set_gauge(telemetry_->ids().worker_count,
+                      static_cast<double>(threads));
+        reg.set_gauge(telemetry_->ids().golden_accuracy, golden_accuracy());
+    }
 }
 
 CampaignEngine::~CampaignEngine() = default;
@@ -73,6 +89,7 @@ CampaignFingerprint CampaignEngine::fingerprint(
 
 CampaignPlan CampaignEngine::plan(const fault::FaultUniverse& universe,
                                   const CampaignSpec& spec) {
+    telemetry::PhaseScope scope(telemetry_, "plan");
     switch (spec.approach) {
         case Approach::Exhaustive: return plan_exhaustive(universe);
         case Approach::NetworkWise:
@@ -129,6 +146,7 @@ std::vector<DrawnFault> draw_plan(const fault::FaultUniverse& universe,
 CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
                                    const CampaignPlan& plan, stats::Rng rng,
                                    const CancellationToken* cancel) {
+    telemetry::PhaseScope scope(telemetry_, "classify");
     const auto start = std::chrono::steady_clock::now();
     CampaignResult result = make_empty_result(
         static_cast<std::size_t>(universe.layer_count()), plan);
@@ -188,6 +206,7 @@ ExhaustiveOutcomes CampaignEngine::run_exhaustive(
 ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     const fault::FaultUniverse& universe, const DurabilityOptions& options,
     const ProgressFn& progress) {
+    telemetry::PhaseScope census_scope(telemetry_, "census");
     ExhaustiveRun run;
     run.outcomes = ExhaustiveOutcomes(universe.total());
     const std::uint64_t total = universe.total();
@@ -207,6 +226,7 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     std::vector<std::uint8_t> already_done;
     std::optional<CampaignJournal> journal;
     if (!options.journal_path.empty()) {
+        telemetry::PhaseScope replay_scope(telemetry_, "resume_replay");
         const CampaignFingerprint fp = fingerprint(universe, options.model_id);
         auto recovery = CampaignJournal::recover(options.journal_path, fp);
         if (!recovery.note.empty())
@@ -226,9 +246,18 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
         }
         journal.emplace(CampaignJournal::open(options.journal_path, fp,
                                               recovery.valid_bytes));
+        if (telemetry_)
+            telemetry_->metrics().inc(
+                0, telemetry_->ids().journal_resumed_total, run.resumed);
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    // Sink-side telemetry (journal appends, flushes) happens under
+    // sink_mutex, so it is serialized into worker 0's slot regardless of
+    // which worker reached the sink — the mutex provides the single-writer
+    // guarantee the registry's relaxed load+store increments need.
+    const telemetry::MetricIds* ids =
+        telemetry_ ? &telemetry_->ids() : nullptr;
+    telemetry::ProgressReporter reporter(progress, span, run.resumed);
     std::atomic<std::uint64_t> classified{0};
     std::atomic<bool> cancelled{false};
     std::mutex sink_mutex;  // guards journal appends + progress callback
@@ -255,34 +284,31 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
             run.outcomes.set(i, outcome);
             const std::uint64_t n =
                 classified.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (journal || (progress && ((run.resumed + n) & 0xFFF) == 0)) {
+            if (journal || reporter.due(run.resumed + n)) {
                 std::lock_guard<std::mutex> lock(sink_mutex);
                 if (journal) {
                     journal->append(i, static_cast<std::uint8_t>(outcome));
+                    if (telemetry_)
+                        telemetry_->metrics().inc(0, ids->journal_records_total);
                     if (++since_flush >= options.flush_interval) {
-                        journal->flush();
+                        if (telemetry_) {
+                            const auto t0 = std::chrono::steady_clock::now();
+                            journal->flush();
+                            telemetry_->metrics().observe(
+                                0, ids->flush_seconds,
+                                std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count());
+                            telemetry_->metrics().inc(
+                                0, ids->checkpoint_flushes_total);
+                        } else {
+                            journal->flush();
+                        }
                         since_flush = 0;
                     }
                 }
-                if (progress && ((run.resumed + n) & 0xFFF) == 0) {
-                    ProgressInfo info;
-                    info.done = run.resumed + n;
-                    info.total = span;
-                    info.elapsed_seconds =
-                        std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-                    info.faults_per_second =
-                        info.elapsed_seconds > 0.0
-                            ? static_cast<double>(n) / info.elapsed_seconds
-                            : 0.0;
-                    info.eta_seconds =
-                        info.faults_per_second > 0.0
-                            ? static_cast<double>(span - info.done) /
-                                  info.faults_per_second
-                            : 0.0;
-                    progress(info);
-                }
+                if (reporter.due(run.resumed + n))
+                    reporter.report(run.resumed + n);
             }
         }
     };
@@ -297,20 +323,12 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
 
     run.classified = classified.load();
     run.complete = !cancelled.load();
-    if (journal) journal->flush();
-    if (progress && run.complete) {
-        ProgressInfo info;
-        info.done = span;
-        info.total = span;
-        info.elapsed_seconds = std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - start)
-                                   .count();
-        info.faults_per_second =
-            info.elapsed_seconds > 0.0
-                ? static_cast<double>(run.classified) / info.elapsed_seconds
-                : 0.0;
-        progress(info);
+    if (journal) {
+        journal->flush();
+        if (telemetry_)
+            telemetry_->metrics().inc(0, ids->checkpoint_flushes_total);
     }
+    if (run.complete) reporter.finish(run.classified);
     return run;
 }
 

@@ -54,8 +54,12 @@ class CampaignEngine {
 public:
     /// Clones @p net once per worker, so campaign corruption never touches
     /// the caller's weights. @p threads == 0 means hardware concurrency.
+    /// @p telemetry (optional, borrowed — must outlive the engine) receives
+    /// phase spans, per-worker counters, and gauges; nullptr disables all
+    /// instrumentation at the cost of one pointer compare per fault.
     CampaignEngine(const nn::Network& net, const data::Dataset& eval,
-                   ExecutorConfig config = {}, std::size_t threads = 1);
+                   ExecutorConfig config = {}, std::size_t threads = 1,
+                   telemetry::Session* telemetry = nullptr);
     ~CampaignEngine();
     CampaignEngine(CampaignEngine&&) noexcept;
     CampaignEngine& operator=(CampaignEngine&&) noexcept;
@@ -113,9 +117,15 @@ public:
                                          const DurabilityOptions& options,
                                          const ProgressFn& progress = {});
 
+    /// The telemetry session this engine reports into (nullptr when off).
+    [[nodiscard]] telemetry::Session* telemetry() const noexcept {
+        return telemetry_;
+    }
+
 private:
     struct Worker;
     std::vector<std::unique_ptr<Worker>> workers_;
+    telemetry::Session* telemetry_ = nullptr;
 };
 
 }  // namespace statfi::core

@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/planner.hpp"
 #include "stats/rng.hpp"
+#include "telemetry/progress.hpp"
 
 namespace statfi::core {
 
@@ -153,15 +154,11 @@ private:
     mutable std::atomic<bool> index_stale_{true};
 };
 
-/// Heartbeat passed to campaign Progress callbacks.
-struct ProgressInfo {
-    std::uint64_t done = 0;   ///< faults classified or resumed so far
-    std::uint64_t total = 0;  ///< universe size
-    double elapsed_seconds = 0.0;
-    double faults_per_second = 0.0;  ///< classification rate of this run
-    double eta_seconds = 0.0;        ///< estimated remaining wall time
-};
-using ProgressFn = std::function<void(const ProgressInfo&)>;
+/// Heartbeat types live in the telemetry subsystem (the rate/ETA
+/// arithmetic is telemetry::ProgressReporter); aliased here so campaign
+/// code keeps its historical core:: spelling.
+using ProgressInfo = telemetry::ProgressInfo;
+using ProgressFn = telemetry::ProgressFn;
 
 /// Durability knobs for long-running exhaustive campaigns.
 struct DurabilityOptions {

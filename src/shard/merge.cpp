@@ -5,7 +5,13 @@
 namespace statfi::shard {
 
 MergedCampaign merge_shards(const ShardManifest& manifest,
-                            const std::vector<std::string>& result_paths) {
+                            const std::vector<std::string>& result_paths,
+                            telemetry::Session* telemetry) {
+    // A merge-only process never builds an engine, so freeze the metric
+    // schema here (single slot) unless a prior campaign already did.
+    if (telemetry && !telemetry->metrics().frozen())
+        telemetry->bind_workers(1);
+    telemetry::PhaseScope scope(telemetry, "shard_merge");
     manifest.validate();
     const std::uint32_t expected_crc = manifest.crc();
     const CampaignKind kind = manifest.kind();
@@ -44,6 +50,12 @@ MergedCampaign merge_shards(const ShardManifest& manifest,
                 std::to_string(manifest.shards[r.shard_id].end) +
                 ") to shard " + std::to_string(r.shard_id));
         present[r.shard_id] = 1;
+        if (telemetry) {
+            telemetry->metrics().inc(0,
+                                     telemetry->ids().merge_artifacts_total);
+            telemetry->metrics().inc(0, telemetry->ids().merge_items_total,
+                                     r.range.size());
+        }
         results[r.shard_id] = std::move(r);
     }
     for (std::size_t k = 0; k < present.size(); ++k)
@@ -83,12 +95,13 @@ MergedCampaign merge_shards(const ShardManifest& manifest,
 }
 
 MergedCampaign merge_shards(const ShardManifest& manifest,
-                            const std::string& manifest_path) {
+                            const std::string& manifest_path,
+                            telemetry::Session* telemetry) {
     std::vector<std::string> paths;
     paths.reserve(manifest.shards.size());
     for (std::uint32_t k = 0; k < manifest.shards.size(); ++k)
         paths.push_back(shard_result_path(manifest_path, k));
-    return merge_shards(manifest, paths);
+    return merge_shards(manifest, paths, telemetry);
 }
 
 }  // namespace statfi::shard

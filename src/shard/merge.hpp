@@ -22,6 +22,7 @@
 #include "core/outcome.hpp"
 #include "shard/manifest.hpp"
 #include "shard/result.hpp"
+#include "telemetry/session.hpp"
 
 namespace statfi::shard {
 
@@ -40,12 +41,16 @@ struct MergedCampaign {
 /// @p manifest. @throws std::runtime_error naming the violated invariant:
 /// unreadable/corrupt artifact, foreign manifest CRC, kind mismatch,
 /// shard id out of range, duplicate shard, range mismatch, missing shard.
+/// @p telemetry (optional, borrowed) records the "shard_merge" phase span
+/// plus merged-artifact/item counters.
 MergedCampaign merge_shards(const ShardManifest& manifest,
-                            const std::vector<std::string>& result_paths);
+                            const std::vector<std::string>& result_paths,
+                            telemetry::Session* telemetry = nullptr);
 
 /// Convenience: merge using the conventional sibling artifact paths next to
 /// @p manifest_path (shard_result_path for every shard in the manifest).
 MergedCampaign merge_shards(const ShardManifest& manifest,
-                            const std::string& manifest_path);
+                            const std::string& manifest_path,
+                            telemetry::Session* telemetry = nullptr);
 
 }  // namespace statfi::shard

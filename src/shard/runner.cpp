@@ -35,6 +35,7 @@ void run_statistical_slice(core::CampaignEngine& engine,
                            const std::string& journal_path,
                            std::vector<std::uint8_t>& outcomes,
                            ShardRunReport& report) {
+    telemetry::PhaseScope scope(options.telemetry, "shard_slice");
     const std::uint64_t span = range.size();
     std::vector<std::uint8_t> done(span, 0);
     auto recovery = core::CampaignJournal::recover(journal_path, journal_fp);
@@ -52,7 +53,14 @@ void run_statistical_slice(core::CampaignEngine& engine,
     auto journal = core::CampaignJournal::open(journal_path, journal_fp,
                                                recovery.valid_bytes);
 
-    const auto start = std::chrono::steady_clock::now();
+    // Sink-side counters land in worker 0's slot; sink_mutex serializes
+    // them, which satisfies the registry's single-writer increment contract.
+    telemetry::Session* const telemetry = options.telemetry;
+    if (telemetry)
+        telemetry->metrics().inc(0, telemetry->ids().journal_resumed_total,
+                                 report.resumed);
+    telemetry::ProgressReporter reporter(options.progress, span,
+                                         report.resumed);
     std::atomic<std::uint64_t> classified{0};
     std::atomic<bool> cancelled{false};
     std::mutex sink_mutex;  // guards journal appends + progress callback
@@ -77,29 +85,18 @@ void run_statistical_slice(core::CampaignEngine& engine,
                 classified.fetch_add(1, std::memory_order_relaxed) + 1;
             std::lock_guard<std::mutex> lock(sink_mutex);
             journal.append(range.begin + i, static_cast<std::uint8_t>(outcome));
+            if (telemetry)
+                telemetry->metrics().inc(
+                    0, telemetry->ids().journal_records_total);
             if (++since_flush >= 4096) {
                 journal.flush();
+                if (telemetry)
+                    telemetry->metrics().inc(
+                        0, telemetry->ids().checkpoint_flushes_total);
                 since_flush = 0;
             }
-            if (options.progress && ((report.resumed + n) & 0xFFF) == 0) {
-                core::ProgressInfo info;
-                info.done = report.resumed + n;
-                info.total = span;
-                info.elapsed_seconds =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-                info.faults_per_second =
-                    info.elapsed_seconds > 0.0
-                        ? static_cast<double>(n) / info.elapsed_seconds
-                        : 0.0;
-                info.eta_seconds =
-                    info.faults_per_second > 0.0
-                        ? static_cast<double>(span - info.done) /
-                              info.faults_per_second
-                        : 0.0;
-                options.progress(info);
-            }
+            if (reporter.due(report.resumed + n))
+                reporter.report(report.resumed + n);
         }
     };
     if (workers == 1) {
@@ -111,21 +108,12 @@ void run_statistical_slice(core::CampaignEngine& engine,
         for (auto& t : threads) t.join();
     }
     journal.flush();
+    if (telemetry)
+        telemetry->metrics().inc(0,
+                                 telemetry->ids().checkpoint_flushes_total);
     report.classified = classified.load();
     report.complete = !cancelled.load();
-    if (options.progress && report.complete) {
-        core::ProgressInfo info;
-        info.done = span;
-        info.total = span;
-        info.elapsed_seconds = std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - start)
-                                   .count();
-        info.faults_per_second =
-            info.elapsed_seconds > 0.0
-                ? static_cast<double>(report.classified) / info.elapsed_seconds
-                : 0.0;
-        options.progress(info);
-    }
+    if (report.complete) reporter.finish(report.classified);
 }
 
 }  // namespace
@@ -145,8 +133,12 @@ ShardRunReport run_shard(const ShardManifest& manifest,
     report.journal_path = shard_journal_path(manifest_path, options.shard);
     report.result_path = shard_result_path(manifest_path, options.shard);
 
-    CampaignFixture fx = build_fixture(manifest.recipe);
-    core::CampaignEngine engine(fx.net, fx.eval, fx.config, options.threads);
+    CampaignFixture fx = [&] {
+        telemetry::PhaseScope scope(options.telemetry, "fixture_build");
+        return build_fixture(manifest.recipe);
+    }();
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, options.threads,
+                                options.telemetry);
     const core::CampaignFingerprint fp =
         engine.fingerprint(fx.universe, manifest.recipe.model);
     if (fp != manifest.fingerprint)

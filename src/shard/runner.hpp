@@ -21,6 +21,7 @@
 #include "core/outcome.hpp"
 #include "shard/manifest.hpp"
 #include "shard/result.hpp"
+#include "telemetry/session.hpp"
 
 namespace statfi::shard {
 
@@ -30,6 +31,9 @@ struct ShardRunOptions {
     std::size_t threads = 1;  ///< engine workers (0 = hardware concurrency)
     const core::CancellationToken* cancel = nullptr;
     core::ProgressFn progress;  ///< heartbeat over this shard's item span
+    /// Optional telemetry sink (borrowed); handed to the shard's engine, so
+    /// counters/spans cover fixture build, classification, and journaling.
+    telemetry::Session* telemetry = nullptr;
 };
 
 struct ShardRunReport {

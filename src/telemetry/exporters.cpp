@@ -1,0 +1,156 @@
+#include "telemetry/exporters.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "report/json.hpp"
+
+namespace statfi::telemetry {
+
+namespace {
+
+/// Prometheus floating-point sample value / le label (%g round-trips the
+/// magnitudes we emit and matches the ecosystem's formatting habits).
+std::string fmt(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+const char* type_name(MetricKind kind) {
+    switch (kind) {
+        case MetricKind::Counter: return "counter";
+        case MetricKind::Gauge: return "gauge";
+        case MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+struct PerfFamily {
+    const char* name;
+    const char* help;
+    std::uint64_t PerfSample::* field;
+};
+
+constexpr PerfFamily kPerfFamilies[] = {
+    {"statfi_perf_instructions_total", "Instructions retired per phase",
+     &PerfSample::instructions},
+    {"statfi_perf_cycles_total", "CPU cycles per phase", &PerfSample::cycles},
+    {"statfi_perf_cache_misses_total", "Cache misses per phase",
+     &PerfSample::cache_misses},
+    {"statfi_perf_branch_misses_total", "Branch misses per phase",
+     &PerfSample::branch_misses},
+};
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap,
+                      const PerfPhases& perf) {
+    for (const MetricValue& m : snap.metrics) {
+        out << "# HELP " << m.name << " " << m.help << "\n";
+        out << "# TYPE " << m.name << " " << type_name(m.kind) << "\n";
+        switch (m.kind) {
+            case MetricKind::Counter:
+                out << m.name << " " << m.counter << "\n";
+                break;
+            case MetricKind::Gauge:
+                out << m.name << " " << fmt(m.gauge) << "\n";
+                break;
+            case MetricKind::Histogram: {
+                std::uint64_t cumulative = 0;
+                for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+                    cumulative += m.bucket_counts[b];
+                    out << m.name << "_bucket{le=\"" << fmt(m.bounds[b])
+                        << "\"} " << cumulative << "\n";
+                }
+                cumulative += m.bucket_counts.back();
+                out << m.name << "_bucket{le=\"+Inf\"} " << cumulative
+                    << "\n";
+                out << m.name << "_sum " << fmt(m.sum) << "\n";
+                out << m.name << "_count " << m.count << "\n";
+                break;
+            }
+        }
+    }
+    if (!perf.empty()) {
+        for (const PerfFamily& family : kPerfFamilies) {
+            out << "# HELP " << family.name << " " << family.help << "\n";
+            out << "# TYPE " << family.name << " counter\n";
+            for (const auto& [phase, sample] : perf)
+                out << family.name << "{phase=\"" << phase << "\"} "
+                    << sample.*family.field << "\n";
+        }
+    }
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap,
+                        const PerfPhases& perf) {
+    report::JsonWriter json(out);
+    json.begin_object();
+    json.field("workers", static_cast<std::uint64_t>(snap.workers));
+    json.key("metrics").begin_array();
+    for (const MetricValue& m : snap.metrics) {
+        json.begin_object()
+            .field("name", m.name)
+            .field("help", m.help)
+            .field("type", type_name(m.kind));
+        switch (m.kind) {
+            case MetricKind::Counter: json.field("value", m.counter); break;
+            case MetricKind::Gauge: json.field("value", m.gauge); break;
+            case MetricKind::Histogram:
+                json.key("bounds").begin_array();
+                for (const double b : m.bounds) json.value(b);
+                json.end_array();
+                json.key("bucket_counts").begin_array();
+                for (const std::uint64_t c : m.bucket_counts) json.value(c);
+                json.end_array();
+                json.field("count", m.count).field("sum", m.sum);
+                break;
+        }
+        json.end_object();
+    }
+    json.end_array();
+    json.key("perf_phases").begin_array();
+    for (const auto& [phase, sample] : perf) {
+        json.begin_object()
+            .field("phase", phase)
+            .field("instructions", sample.instructions)
+            .field("cycles", sample.cycles)
+            .field("cache_misses", sample.cache_misses)
+            .field("branch_misses", sample.branch_misses)
+            .end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.finish();
+}
+
+void export_metrics_file(const Session& session, const std::string& path) {
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("telemetry: cannot write metrics file " +
+                                 path);
+    const MetricsSnapshot snap = session.metrics().snapshot();
+    const PerfPhases perf = session.perf_phases();
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        write_metrics_json(out, snap, perf);
+    else
+        write_prometheus(out, snap, perf);
+}
+
+void export_trace_file(const Session& session, const std::string& path) {
+    const TraceRecorder* trace = session.trace();
+    if (!trace)
+        throw std::runtime_error(
+            "telemetry: tracing disabled on this session");
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("telemetry: cannot write trace file " +
+                                 path);
+    trace->write_chrome_trace(out);
+}
+
+}  // namespace statfi::telemetry

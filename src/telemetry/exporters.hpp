@@ -1,0 +1,46 @@
+#pragma once
+// Exporters: serialize a MetricsSnapshot (plus optional per-phase hardware
+// counters) as Prometheus text exposition or JSON.
+//
+// Prometheus exposition follows the text format v0.0.4 rules the ecosystem
+// scrapers expect: one # HELP / # TYPE pair per metric family, histogram
+// `_bucket` samples CUMULATIVE with inclusive `le` labels ending at
+// le="+Inf" (whose value equals `_count`), `_sum` and `_count` samples.
+// tools/check_prometheus.py validates exactly these invariants in CI.
+//
+// The JSON flavor reuses report::JsonWriter, so it inherits its escaping
+// and non-finite-double handling — one serializer to trust, not two.
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
+#include "telemetry/session.hpp"
+
+namespace statfi::telemetry {
+
+using PerfPhases = std::vector<std::pair<std::string, PerfSample>>;
+
+/// Prometheus text exposition of @p snap (+ statfi_perf_*_total{phase=...}
+/// families when @p perf is non-empty).
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap,
+                      const PerfPhases& perf = {});
+
+/// JSON document with the same content (workers, metrics, perf_phases).
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap,
+                        const PerfPhases& perf = {});
+
+/// Convenience: snapshot @p session and write to @p path. Format is chosen
+/// by extension — ".json" gets the JSON document, anything else Prometheus
+/// text. @throws std::runtime_error when the file cannot be written.
+void export_metrics_file(const Session& session, const std::string& path);
+
+/// Convenience: write @p session's trace as Chrome trace JSON to @p path.
+/// @throws std::runtime_error when tracing is disabled on the session or
+/// the file cannot be written.
+void export_trace_file(const Session& session, const std::string& path);
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/perf.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define STATFI_HAS_PERF_EVENTS 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define STATFI_HAS_PERF_EVENTS 0
+#endif
+
+namespace statfi::telemetry {
+
+PerfProbe::~PerfProbe() { close(); }
+
+bool PerfProbe::compiled_in() noexcept { return STATFI_HAS_PERF_EVENTS != 0; }
+
+#if STATFI_HAS_PERF_EVENTS
+
+namespace {
+
+constexpr std::uint64_t kConfigs[PerfProbe::kEvents] = {
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+constexpr const char* kNames[PerfProbe::kEvents] = {
+    "instructions", "cycles", "cache-misses", "branch-misses"};
+
+int open_event(std::uint64_t config) {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = config;
+    attr.disabled = 0;        // count from open()
+    attr.inherit = 1;         // include worker threads spawned later
+    attr.exclude_kernel = 1;  // unprivileged-friendly (paranoid <= 2)
+    attr.exclude_hv = 1;
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0 /* this process */,
+                -1 /* any cpu */, -1 /* no group: inherit forbids it */, 0));
+}
+
+}  // namespace
+
+bool PerfProbe::open() {
+    close();
+    for (int i = 0; i < kEvents; ++i) {
+        fds_[i] = open_event(kConfigs[i]);
+        if (fds_[i] < 0) {
+            reason_ = std::string("perf_event_open(") + kNames[i] +
+                      ") failed: " + std::strerror(errno) +
+                      " (container/CI without perf access? check "
+                      "kernel.perf_event_paranoid)";
+            close();
+            return false;
+        }
+    }
+    available_ = true;
+    reason_.clear();
+    return true;
+}
+
+void PerfProbe::close() {
+    for (int& fd : fds_) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+    }
+    available_ = false;
+    if (reason_.empty()) reason_ = "perf probe closed";
+}
+
+PerfSample PerfProbe::read() const {
+    PerfSample s;
+    if (!available_) return s;
+    std::uint64_t values[kEvents] = {};
+    for (int i = 0; i < kEvents; ++i) {
+        if (::read(fds_[i], &values[i], sizeof(values[i])) !=
+            sizeof(values[i]))
+            return s;  // valid stays false
+    }
+    s.instructions = values[0];
+    s.cycles = values[1];
+    s.cache_misses = values[2];
+    s.branch_misses = values[3];
+    s.valid = true;
+    return s;
+}
+
+#else  // !STATFI_HAS_PERF_EVENTS
+
+bool PerfProbe::open() {
+    reason_ = "perf_event_open not available on this platform";
+    return false;
+}
+
+void PerfProbe::close() {}
+
+PerfSample PerfProbe::read() const { return {}; }
+
+#endif
+
+PerfSample PerfProbe::delta_since(const PerfSample& earlier) const {
+    PerfSample now = read();
+    if (!now.valid || !earlier.valid) return {};
+    PerfSample d;
+    d.instructions = now.instructions - earlier.instructions;
+    d.cycles = now.cycles - earlier.cycles;
+    d.cache_misses = now.cache_misses - earlier.cache_misses;
+    d.branch_misses = now.branch_misses - earlier.branch_misses;
+    d.valid = true;
+    return d;
+}
+
+}  // namespace statfi::telemetry

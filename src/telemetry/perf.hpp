@@ -1,0 +1,79 @@
+#pragma once
+// PerfProbe: hardware performance counters per campaign phase via Linux
+// perf_event_open (instructions, cycles, cache-misses, branch-misses).
+//
+// Adapted from the probe pattern in perf-stat-collector's PerfProbes.h, with
+// two policy changes for a library setting:
+//  * compile-gated, not build-flag-gated: the implementation exists only
+//    when <linux/perf_event.h> is present; elsewhere every call is a no-op
+//    and compiled_in() is false.
+//  * graceful runtime fallback: perf_event_open routinely fails inside
+//    containers and CI (kernel.perf_event_paranoid, seccomp, missing PMU).
+//    open() reports failure through unavailable_reason() and the probe
+//    degrades to inert — telemetry still works, just without hardware
+//    counters (DESIGN.md §5.12 lists the caveats).
+//
+// Counters are opened with inherit=1 so worker threads spawned after open()
+// are counted too. inherit precludes PERF_FORMAT_GROUP reads, so the four
+// events are independent fds read separately — fine at phase granularity
+// (reads happen per campaign phase, not per fault).
+
+#include <cstdint>
+#include <string>
+
+namespace statfi::telemetry {
+
+struct PerfSample {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t branch_misses = 0;
+    bool valid = false;
+
+    PerfSample& operator+=(const PerfSample& o) {
+        instructions += o.instructions;
+        cycles += o.cycles;
+        cache_misses += o.cache_misses;
+        branch_misses += o.branch_misses;
+        valid = valid || o.valid;
+        return *this;
+    }
+};
+
+class PerfProbe {
+public:
+    PerfProbe() = default;
+    ~PerfProbe();
+    PerfProbe(const PerfProbe&) = delete;
+    PerfProbe& operator=(const PerfProbe&) = delete;
+
+    /// True when the platform support was compiled in at all.
+    static bool compiled_in() noexcept;
+
+    /// Try to open the counters for this process (+ future threads).
+    /// Returns available(); failure is not an error — see
+    /// unavailable_reason().
+    bool open();
+    void close();
+
+    [[nodiscard]] bool available() const noexcept { return available_; }
+    [[nodiscard]] const std::string& unavailable_reason() const noexcept {
+        return reason_;
+    }
+
+    /// Cumulative counts since open(). valid=false when unavailable or a
+    /// counter read failed.
+    [[nodiscard]] PerfSample read() const;
+
+    /// read() minus @p earlier — the per-phase delta helper.
+    [[nodiscard]] PerfSample delta_since(const PerfSample& earlier) const;
+
+    static constexpr int kEvents = 4;
+
+private:
+    int fds_[kEvents] = {-1, -1, -1, -1};
+    bool available_ = false;
+    std::string reason_ = "perf probe not opened";
+};
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,71 @@
+#include "telemetry/progress.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "report/table.hpp"
+
+namespace statfi::telemetry {
+
+ProgressReporter::ProgressReporter(ProgressFn fn, std::uint64_t total,
+                                   std::uint64_t resumed,
+                                   std::uint64_t stride)
+    : fn_(std::move(fn)), total_(total), resumed_(resumed),
+      start_(std::chrono::steady_clock::now()) {
+    if (stride == 0 || (stride & (stride - 1)) != 0)
+        throw std::invalid_argument(
+            "ProgressReporter: stride must be a power of two");
+    mask_ = stride - 1;
+}
+
+double ProgressReporter::elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+}
+
+void ProgressReporter::report(std::uint64_t done) const {
+    if (!fn_) return;
+    ProgressInfo info;
+    info.done = done;
+    info.total = total_;
+    info.elapsed_seconds = elapsed();
+    const auto classified = done - resumed_;
+    info.faults_per_second =
+        info.elapsed_seconds > 0.0
+            ? static_cast<double>(classified) / info.elapsed_seconds
+            : 0.0;
+    info.eta_seconds = info.faults_per_second > 0.0
+                           ? static_cast<double>(total_ - done) /
+                                 info.faults_per_second
+                           : 0.0;
+    fn_(info);
+}
+
+void ProgressReporter::finish(std::uint64_t classified) const {
+    if (!fn_) return;
+    ProgressInfo info;
+    info.done = total_;
+    info.total = total_;
+    info.elapsed_seconds = elapsed();
+    info.faults_per_second =
+        info.elapsed_seconds > 0.0
+            ? static_cast<double>(classified) / info.elapsed_seconds
+            : 0.0;
+    info.eta_seconds = 0.0;
+    fn_(info);
+}
+
+ProgressFn ProgressReporter::stream_heartbeat(std::ostream& out) {
+    return [&out](const ProgressInfo& p) {
+        out << "\r  " << p.done << "/" << p.total << "  ("
+            << report::fmt_u64(
+                   static_cast<std::uint64_t>(p.faults_per_second))
+            << " faults/s, ~"
+            << report::fmt_u64(static_cast<std::uint64_t>(p.eta_seconds))
+            << "s left)   " << std::flush;
+        if (p.done == p.total) out << "\n";
+    };
+}
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,79 @@
+#pragma once
+// ProgressReporter: the single implementation of campaign heartbeat/ETA.
+//
+// Before the telemetry subsystem, the rate/ETA arithmetic lived twice — in
+// the engine's durable census and again in the shard runner's statistical
+// slice — and a third fragment (the stderr formatting) in the CLI. All
+// three now route through this class. The reporting contract:
+//  * heartbeats are emitted every `stride` items (power of two, checked
+//    with a mask so the hot loop pays one AND + compare when no journal or
+//    reporter is attached);
+//  * `done` counts resumed + newly classified items, but the rate reflects
+//    only this run's work (resumed items were free);
+//  * heartbeats go wherever the ProgressFn sends them — the stock
+//    stderr_heartbeat() writes STRICTLY to its stream (stderr in the CLI),
+//    never stdout, so `--json` stdout stays a single valid JSON document
+//    (asserted in tests/telemetry/progress_test.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <chrono>
+
+namespace statfi::telemetry {
+
+/// Heartbeat passed to campaign progress callbacks.
+struct ProgressInfo {
+    std::uint64_t done = 0;   ///< items classified or resumed so far
+    std::uint64_t total = 0;  ///< items in this run's span
+    double elapsed_seconds = 0.0;
+    double faults_per_second = 0.0;  ///< classification rate of this run
+    double eta_seconds = 0.0;        ///< estimated remaining wall time
+};
+using ProgressFn = std::function<void(const ProgressInfo&)>;
+
+class ProgressReporter {
+public:
+    /// Inert reporter: due() is always false, report()/finish() no-ops.
+    ProgressReporter() = default;
+
+    /// @p total items in the span, of which @p resumed were replayed from a
+    /// journal before this run started. @p stride must be a power of two.
+    ProgressReporter(ProgressFn fn, std::uint64_t total,
+                     std::uint64_t resumed = 0, std::uint64_t stride = 4096);
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+        return static_cast<bool>(fn_);
+    }
+
+    /// Cheap hot-loop check: is @p done (resumed + classified) on a
+    /// heartbeat stride?
+    [[nodiscard]] bool due(std::uint64_t done) const noexcept {
+        return fn_ && (done & mask_) == 0;
+    }
+
+    /// Emit a heartbeat at @p done items. Rate counts only this run's work
+    /// (done - resumed); ETA extrapolates it over the remainder.
+    void report(std::uint64_t done) const;
+
+    /// Emit the final heartbeat: done == total, rate over @p classified
+    /// items actually classified by this run.
+    void finish(std::uint64_t classified) const;
+
+    /// The stock heartbeat sink: carriage-return status line on @p out
+    /// ("\r  done/total  (rate faults/s, ~eta s left)"), newline when the
+    /// span completes. The CLI passes std::cerr — stdout is reserved for
+    /// documents.
+    static ProgressFn stream_heartbeat(std::ostream& out);
+
+private:
+    [[nodiscard]] double elapsed() const;
+
+    ProgressFn fn_;
+    std::uint64_t total_ = 0;
+    std::uint64_t resumed_ = 0;
+    std::uint64_t mask_ = 0xFFF;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace statfi::telemetry

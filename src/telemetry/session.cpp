@@ -1,0 +1,103 @@
+#include "telemetry/session.hpp"
+
+namespace statfi::telemetry {
+
+namespace {
+
+/// Per-fault classification latency buckets: masked short-circuits land in
+/// the sub-microsecond buckets, live single-image micronet inferences
+/// around 10-100us, multi-image deep-topology faults up to seconds.
+std::vector<double> evaluate_bounds() {
+    return {1e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 1e-1, 1.0};
+}
+
+/// Checkpoint flush latency: page-cache appends are ~10us; a slow/remote
+/// filesystem shows up in the tail buckets.
+std::vector<double> flush_bounds() {
+    return {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(options) {
+    ids_.faults_total = metrics_.add_counter(
+        "statfi_faults_total", "Faults classified (including masked)");
+    ids_.masked_total = metrics_.add_counter(
+        "statfi_faults_masked_total",
+        "Masked stuck-at faults short-circuited without inference");
+    ids_.critical_total = metrics_.add_counter(
+        "statfi_faults_critical_total", "Faults classified Critical");
+    ids_.inferences_total = metrics_.add_counter(
+        "statfi_inferences_total", "Faulty image inferences executed");
+    ids_.inject_ns_total = metrics_.add_counter(
+        "statfi_inject_nanoseconds_total",
+        "Nanoseconds spent corrupting weights");
+    ids_.forward_ns_total = metrics_.add_counter(
+        "statfi_forward_nanoseconds_total",
+        "Nanoseconds spent in faulty forward passes");
+    ids_.restore_ns_total = metrics_.add_counter(
+        "statfi_restore_nanoseconds_total",
+        "Nanoseconds spent restoring golden weights");
+    ids_.journal_records_total = metrics_.add_counter(
+        "statfi_journal_records_total",
+        "Outcome records appended to the checkpoint journal");
+    ids_.checkpoint_flushes_total = metrics_.add_counter(
+        "statfi_checkpoint_flushes_total", "Checkpoint journal flushes");
+    ids_.journal_resumed_total = metrics_.add_counter(
+        "statfi_journal_resumed_total",
+        "Outcomes replayed from a checkpoint journal at startup");
+    ids_.merge_artifacts_total = metrics_.add_counter(
+        "statfi_shard_merge_artifacts_total",
+        "Shard result artifacts validated and merged");
+    ids_.merge_items_total = metrics_.add_counter(
+        "statfi_shard_merge_items_total", "Items pooled by shard merges");
+    ids_.worker_count = metrics_.add_gauge(
+        "statfi_worker_count", "Engine workers bound to this session");
+    ids_.golden_accuracy = metrics_.add_gauge(
+        "statfi_golden_accuracy",
+        "Golden top-1 accuracy on the evaluation set");
+    ids_.evaluate_seconds = metrics_.add_histogram(
+        "statfi_evaluate_seconds", "Per-fault classification latency",
+        evaluate_bounds());
+    ids_.flush_seconds = metrics_.add_histogram(
+        "statfi_checkpoint_flush_seconds", "Checkpoint flush latency",
+        flush_bounds());
+    if (options_.enable_perf) perf_.open();
+}
+
+void Session::add_perf_phase(const std::string& phase,
+                             const PerfSample& delta) {
+    if (!delta.valid) return;
+    std::lock_guard<std::mutex> lock(perf_mutex_);
+    for (auto& [name, sample] : perf_phases_) {
+        if (name == phase) {
+            sample += delta;
+            return;
+        }
+    }
+    perf_phases_.emplace_back(phase, delta);
+}
+
+std::vector<std::pair<std::string, PerfSample>> Session::perf_phases() const {
+    std::lock_guard<std::mutex> lock(perf_mutex_);
+    return perf_phases_;
+}
+
+PhaseScope::PhaseScope(Session* session, std::string phase, std::uint32_t tid)
+    : session_(session), phase_(std::move(phase)) {
+    if (!session_) return;
+    span_ = Span(session_->trace(), phase_, tid);
+    if (session_->perf_enabled())
+        perf_start_ = session_->perf_probe().read();
+}
+
+void PhaseScope::close() {
+    if (!session_) return;
+    span_.close();
+    if (session_->perf_enabled() && perf_start_.valid)
+        session_->add_perf_phase(
+            phase_, session_->perf_probe().delta_since(perf_start_));
+    session_ = nullptr;
+}
+
+}  // namespace statfi::telemetry

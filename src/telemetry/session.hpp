@@ -1,0 +1,127 @@
+#pragma once
+// Session: one telemetry context per campaign — the object the engine, the
+// durable census, and the shard runner/merger all report into.
+//
+// Null-sink contract: every producer takes `Session*` and treats nullptr as
+// "telemetry off". The disabled path is a single pointer compare — no clock
+// reads, no atomics — so campaigns without telemetry pay nothing, and
+// results are bit-identical either way because telemetry only ever observes
+// (asserted in tests/telemetry/identity_test.cpp).
+//
+// The session pre-registers the well-known StatFI metric schema (ids())
+// so the hot path never does name lookups, then freezes the registry when
+// the engine binds its worker count. The generic MetricsRegistry API stays
+// available for ad-hoc metrics registered before bind_workers().
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
+#include "telemetry/trace.hpp"
+
+namespace statfi::telemetry {
+
+struct SessionOptions {
+    bool enable_trace = true;  ///< record phase spans (Chrome trace export)
+    bool enable_perf = false;  ///< open perf_event_open hardware counters
+};
+
+/// Well-known metric ids, registered by the Session constructor.
+struct MetricIds {
+    // hot-path counters (per worker)
+    MetricId faults_total;        ///< faults classified (incl. masked)
+    MetricId masked_total;        ///< masked short-circuits (no inference)
+    MetricId critical_total;      ///< faults classified Critical
+    MetricId inferences_total;    ///< faulty image inferences
+    MetricId inject_ns_total;     ///< nanoseconds corrupting weights
+    MetricId forward_ns_total;    ///< nanoseconds in faulty forward passes
+    MetricId restore_ns_total;    ///< nanoseconds restoring golden weights
+    // durability counters
+    MetricId journal_records_total;
+    MetricId checkpoint_flushes_total;
+    MetricId journal_resumed_total;
+    // shard merge counters
+    MetricId merge_artifacts_total;
+    MetricId merge_items_total;
+    // gauges
+    MetricId worker_count;
+    MetricId golden_accuracy;
+    // histograms
+    MetricId evaluate_seconds;  ///< per-fault classification latency
+    MetricId flush_seconds;     ///< checkpoint flush latency
+};
+
+class Session {
+public:
+    explicit Session(SessionOptions options = {});
+
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+        return metrics_;
+    }
+    [[nodiscard]] const MetricIds& ids() const noexcept { return ids_; }
+
+    /// nullptr when tracing is disabled — Span on a null recorder is inert.
+    [[nodiscard]] TraceRecorder* trace() noexcept {
+        return options_.enable_trace ? &trace_ : nullptr;
+    }
+    [[nodiscard]] const TraceRecorder* trace() const noexcept {
+        return options_.enable_trace ? &trace_ : nullptr;
+    }
+
+    /// Freeze the metric schema for @p workers workers (idempotent for the
+    /// same count). Called by the engine; shard runners reuse the engine's
+    /// binding.
+    void bind_workers(std::size_t workers) { metrics_.freeze(workers); }
+
+    // --- hardware counters -------------------------------------------------
+    [[nodiscard]] bool perf_enabled() const noexcept {
+        return perf_.available();
+    }
+    [[nodiscard]] const PerfProbe& perf_probe() const noexcept {
+        return perf_;
+    }
+    /// Accumulate a per-phase hardware-counter delta (thread-safe).
+    void add_perf_phase(const std::string& phase, const PerfSample& delta);
+    /// Accumulated (phase, counters) pairs in first-seen order.
+    [[nodiscard]] std::vector<std::pair<std::string, PerfSample>> perf_phases()
+        const;
+
+private:
+    SessionOptions options_;
+    MetricsRegistry metrics_;
+    MetricIds ids_{};
+    TraceRecorder trace_;
+    PerfProbe perf_;
+    mutable std::mutex perf_mutex_;
+    std::vector<std::pair<std::string, PerfSample>> perf_phases_;
+};
+
+/// RAII campaign-phase scope: one trace span plus one per-phase hardware
+/// counter delta. The engine brackets plan / golden pass / census /
+/// checkpoint flush / shard merge with these. Inert when @p session is
+/// null.
+class PhaseScope {
+public:
+    PhaseScope() = default;
+    PhaseScope(Session* session, std::string phase, std::uint32_t tid = 0);
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    ~PhaseScope() { close(); }
+
+    /// End the phase early (idempotent).
+    void close();
+
+private:
+    Session* session_ = nullptr;
+    std::string phase_;
+    Span span_;
+    PerfSample perf_start_{};
+};
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,41 @@
+#include "telemetry/trace.hpp"
+
+#include "report/json.hpp"
+
+namespace statfi::telemetry {
+
+void TraceRecorder::record(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+    const std::vector<TraceEvent> events = this->events();
+    report::JsonWriter json(out);
+    json.begin_array();
+    for (const TraceEvent& e : events) {
+        json.begin_object()
+            .field("name", e.name)
+            .field("cat", "statfi")
+            .field("ph", "X")
+            .field("ts", e.ts_us)
+            .field("dur", e.dur_us)
+            .field("pid", 1)
+            .field("tid", static_cast<std::int64_t>(e.tid))
+            .end_object();
+    }
+    json.end_array();
+    json.finish();
+}
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,107 @@
+#pragma once
+// TraceRecorder: campaign-phase spans in the Chrome trace-event format.
+//
+// Spans are coarse by design — one per campaign phase (plan, golden pass,
+// census/classify, resume replay, checkpoint flush, shard merge), not one
+// per fault: a census classifies ~10^5 faults and a per-fault event stream
+// would dwarf the campaign it measures. Per-fault timing is aggregated in
+// MetricsRegistry histograms instead.
+//
+// The output of write_chrome_trace() is the JSON-array flavor of the
+// trace-event format: load it in chrome://tracing or https://ui.perfetto.dev
+// to see the campaign timeline per worker. Timestamps are microseconds since
+// recorder construction; `tid` is the engine worker index (0 for
+// orchestration work on the calling thread).
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace statfi::telemetry {
+
+struct TraceEvent {
+    std::string name;
+    double ts_us = 0.0;   ///< start, microseconds since recorder epoch
+    double dur_us = 0.0;  ///< duration, microseconds
+    std::uint32_t tid = 0;  ///< engine worker index (0 = orchestration)
+};
+
+class TraceRecorder {
+public:
+    TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+    /// Microseconds since the recorder was created.
+    [[nodiscard]] double now_us() const {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    /// Thread-safe append (mutex — spans are rare, contention is not a
+    /// concern at phase granularity).
+    void record(TraceEvent event);
+
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+    [[nodiscard]] std::size_t event_count() const;
+
+    /// Serialize every recorded event as a Chrome trace JSON array of
+    /// complete ("ph":"X") events.
+    void write_chrome_trace(std::ostream& out) const;
+
+private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records a complete event covering its lifetime. A span built
+/// on a null recorder is inert and costs no clock read — the null-sink
+/// contract that keeps disabled telemetry zero-cost.
+class Span {
+public:
+    Span() = default;
+    Span(TraceRecorder* recorder, std::string name, std::uint32_t tid = 0)
+        : recorder_(recorder), name_(std::move(name)), tid_(tid),
+          start_us_(recorder ? recorder->now_us() : 0.0) {}
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+        if (this != &other) {
+            close();
+            recorder_ = other.recorder_;
+            name_ = std::move(other.name_);
+            tid_ = other.tid_;
+            start_us_ = other.start_us_;
+            other.recorder_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~Span() { close(); }
+
+    /// End the span early (idempotent).
+    void close() {
+        if (!recorder_) return;
+        TraceEvent e;
+        e.name = std::move(name_);
+        e.ts_us = start_us_;
+        e.dur_us = recorder_->now_us() - start_us_;
+        e.tid = tid_;
+        recorder_->record(std::move(e));
+        recorder_ = nullptr;
+    }
+
+private:
+    TraceRecorder* recorder_ = nullptr;
+    std::string name_;
+    std::uint32_t tid_ = 0;
+    double start_us_ = 0.0;
+};
+
+}  // namespace statfi::telemetry

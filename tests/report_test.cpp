@@ -1,10 +1,16 @@
-// Tests for the text reporting helpers.
+// Tests for the text reporting helpers and the JSON writer.
 
 #include "report/table.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
+
+#include "report/json.hpp"
+#include "support/json_check.hpp"
 
 namespace statfi::report {
 namespace {
@@ -82,6 +88,80 @@ TEST(Bar, NonZeroValuesAlwaysVisible) {
 TEST(Bar, ZeroMaxDoesNotDivide) {
     const std::string s = bar("x", 0.0, 0.0, 10, 4);
     EXPECT_NE(s.find(".........."), std::string::npos);
+}
+
+TEST(JsonEscape, NamedEscapesAndQuoting) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+}
+
+TEST(JsonEscape, ControlCharsBelow0x20BecomeUnicodeEscapes) {
+    // Every control char without a named escape must become \u00XX — a raw
+    // one would make the document invalid JSON.
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+    std::string embedded_nul = "a";
+    embedded_nul.push_back('\0');
+    embedded_nul += "b";
+    EXPECT_EQ(json_escape(embedded_nul), "a\\u0000b");
+    // 0x7f and high bytes pass through untouched (writer emits raw UTF-8).
+    EXPECT_EQ(json_escape("\x7f"), "\x7f");
+
+    std::string all_controls;
+    for (int c = 0; c < 0x20; ++c) all_controls.push_back(static_cast<char>(c));
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object().field("s", all_controls).end_object();
+    json.finish();
+    EXPECT_TRUE(testsupport::is_valid_json(out.str())) << out.str();
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+    std::ostringstream out;
+    JsonWriter json(out, 0);
+    json.begin_object()
+        .field("nan", std::nan(""))
+        .field("inf", std::numeric_limits<double>::infinity())
+        .field("ninf", -std::numeric_limits<double>::infinity())
+        .field("finite", 1.5)
+        .end_object();
+    json.finish();
+    const std::string doc = out.str();
+    EXPECT_NE(doc.find("\"nan\":null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"inf\":null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ninf\":null"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"finite\":1.5"), std::string::npos) << doc;
+    EXPECT_EQ(doc.find("nan,"), std::string::npos);  // no bare nan token
+    EXPECT_TRUE(testsupport::is_valid_json(doc)) << doc;
+}
+
+TEST(JsonWriter, DoublesRoundTripAndIntsStayExact) {
+    std::ostringstream out;
+    JsonWriter json(out, 0);
+    json.begin_array()
+        .value(0.1)
+        .value(std::uint64_t{18446744073709551615ull})
+        .value(std::int64_t{-42})
+        .value(true)
+        .null()
+        .end_array();
+    json.finish();
+    const std::string doc = out.str();
+    EXPECT_NE(doc.find("18446744073709551615"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("-42"), std::string::npos);
+    EXPECT_TRUE(testsupport::is_valid_json(doc)) << doc;
+}
+
+TEST(JsonWriter, MisnestingThrowsLogicError) {
+    std::ostringstream out;
+    JsonWriter json(out, 0);
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+    EXPECT_THROW(json.end_array(), std::logic_error);
+    json.end_object();
+    EXPECT_NO_THROW(json.finish());
+    EXPECT_TRUE(testsupport::is_valid_json(out.str())) << out.str();
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#pragma once
+// Minimal recursive-descent JSON syntax checker for tests.
+//
+// Validates that a string is EXACTLY one well-formed JSON document (RFC
+// 8259 grammar, nothing but whitespace after it) — the output contract the
+// exporters and the CLI's --json mode promise. It builds no values, just
+// accepts or rejects with a position, which is all the tests need and keeps
+// it immune to number-precision questions.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace statfi::testsupport {
+
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+    /// True iff the whole input is one valid JSON document.
+    bool valid() {
+        pos_ = 0;
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+    /// Byte offset where checking stopped (== size() on success).
+    [[nodiscard]] std::size_t stopped_at() const noexcept { return pos_; }
+
+private:
+    [[nodiscard]] bool eof() const noexcept { return pos_ >= s_.size(); }
+    [[nodiscard]] char peek() const noexcept { return s_[pos_]; }
+
+    void skip_ws() {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                          peek() == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c) {
+        if (eof() || peek() != c) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool literal(const char* word) {
+        const std::size_t start = pos_;
+        for (const char* p = word; *p; ++p)
+            if (!consume(*p)) {
+                pos_ = start;
+                return false;
+            }
+        return true;
+    }
+
+    bool value() {
+        if (eof()) return false;
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+
+    bool object() {
+        if (!consume('{')) return false;
+        skip_ws();
+        if (consume('}')) return true;
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (!consume(':')) return false;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (consume('}')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+
+    bool array() {
+        if (!consume('[')) return false;
+        skip_ws();
+        if (consume(']')) return true;
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (consume(']')) return true;
+            if (!consume(',')) return false;
+        }
+    }
+
+    bool string() {
+        if (!consume('"')) return false;
+        while (!eof()) {
+            const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20) return false;  // raw control char: invalid JSON
+            if (c == '\\') {
+                ++pos_;
+                if (eof()) return false;
+                const char e = s_[pos_++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        if (eof() || !std::isxdigit(static_cast<unsigned char>(
+                                         s_[pos_])))
+                            return false;
+                        ++pos_;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    return false;
+                }
+            } else {
+                ++pos_;
+            }
+        }
+        return false;  // unterminated
+    }
+
+    bool number() {
+        const std::size_t start = pos_;
+        consume('-');
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            pos_ = start;
+            return false;
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return true;
+    }
+
+    std::string s_;
+    std::size_t pos_ = 0;
+};
+
+inline bool is_valid_json(const std::string& text) {
+    return JsonChecker(text).valid();
+}
+
+}  // namespace statfi::testsupport

@@ -1,0 +1,136 @@
+// Tests for ProgressReporter — the single heartbeat/ETA implementation the
+// engine's durable census, the shard runner, and the CLI all share — and
+// for the output contract that heartbeats never contaminate a JSON
+// document stream (the CLI's --json stdout).
+
+#include "telemetry/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "../support/json_check.hpp"
+#include "report/json.hpp"
+
+namespace statfi::telemetry {
+namespace {
+
+TEST(ProgressReporter, DefaultConstructedIsInert) {
+    ProgressReporter reporter;
+    EXPECT_FALSE(static_cast<bool>(reporter));
+    EXPECT_FALSE(reporter.due(0));
+    EXPECT_FALSE(reporter.due(4096));
+    reporter.report(10);   // no callback, no crash
+    reporter.finish(10);
+}
+
+TEST(ProgressReporter, NullCallbackIsNeverDue) {
+    ProgressReporter reporter({}, 100'000);
+    EXPECT_FALSE(reporter.due(4096));
+}
+
+TEST(ProgressReporter, StrideMustBePowerOfTwo) {
+    const auto noop = [](const ProgressInfo&) {};
+    EXPECT_THROW(ProgressReporter(noop, 100, 0, 0), std::invalid_argument);
+    EXPECT_THROW(ProgressReporter(noop, 100, 0, 3000), std::invalid_argument);
+    EXPECT_NO_THROW(ProgressReporter(noop, 100, 0, 1));
+    EXPECT_NO_THROW(ProgressReporter(noop, 100, 0, 4096));
+}
+
+TEST(ProgressReporter, DueOnStrideMultiplesOnly) {
+    ProgressReporter reporter([](const ProgressInfo&) {}, 100'000, 0, 4096);
+    EXPECT_TRUE(reporter.due(0));
+    EXPECT_FALSE(reporter.due(1));
+    EXPECT_FALSE(reporter.due(4095));
+    EXPECT_TRUE(reporter.due(4096));
+    EXPECT_TRUE(reporter.due(8192));
+    EXPECT_FALSE(reporter.due(8193));
+}
+
+TEST(ProgressReporter, ReportCarriesDoneTotalAndNonNegativeRate) {
+    std::vector<ProgressInfo> seen;
+    ProgressReporter reporter(
+        [&](const ProgressInfo& p) { seen.push_back(p); }, 10'000, 0, 16);
+    reporter.report(16);
+    reporter.report(32);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].done, 16u);
+    EXPECT_EQ(seen[0].total, 10'000u);
+    EXPECT_GE(seen[0].elapsed_seconds, 0.0);
+    EXPECT_GE(seen[0].faults_per_second, 0.0);
+    EXPECT_GE(seen[0].eta_seconds, 0.0);
+    EXPECT_EQ(seen[1].done, 32u);
+}
+
+/// Resumed items were free — the rate must reflect only this run's work.
+/// With done == resumed, zero items were classified here, so the rate is 0
+/// regardless of timing (which is what makes this deterministic).
+TEST(ProgressReporter, RateCountsOnlyThisRunsWork) {
+    std::vector<ProgressInfo> seen;
+    ProgressReporter reporter(
+        [&](const ProgressInfo& p) { seen.push_back(p); }, 10'000, 512, 16);
+    reporter.report(512);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].done, 512u);
+    EXPECT_DOUBLE_EQ(seen[0].faults_per_second, 0.0);
+}
+
+TEST(ProgressReporter, FinishReportsCompletionWithZeroEta) {
+    std::vector<ProgressInfo> seen;
+    ProgressReporter reporter(
+        [&](const ProgressInfo& p) { seen.push_back(p); }, 5'000, 0, 16);
+    reporter.finish(5'000);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].done, 5'000u);
+    EXPECT_EQ(seen[0].total, 5'000u);
+    EXPECT_DOUBLE_EQ(seen[0].eta_seconds, 0.0);
+}
+
+TEST(ProgressReporter, StreamHeartbeatFormatsStatusLine) {
+    std::ostringstream err;
+    const ProgressFn heartbeat = ProgressReporter::stream_heartbeat(err);
+    ProgressInfo p;
+    p.done = 4096;
+    p.total = 10'000;
+    p.faults_per_second = 1234.0;
+    p.eta_seconds = 5.0;
+    heartbeat(p);
+    const std::string line = err.str();
+    EXPECT_NE(line.find("\r"), std::string::npos);
+    EXPECT_NE(line.find("4096/10000"), std::string::npos);
+    EXPECT_NE(line.find("faults/s"), std::string::npos);
+    // Mid-run heartbeats stay on one rewritten line — no newline yet.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    p.done = p.total;
+    heartbeat(p);
+    EXPECT_NE(err.str().find('\n'), std::string::npos);
+}
+
+/// Regression for the CLI's --json output contract: heartbeats write
+/// STRICTLY to the stream they were given (stderr in the CLI), so a JSON
+/// document emitted to another stream stays exactly one valid document
+/// even with heartbeats interleaved mid-run.
+TEST(ProgressReporter, HeartbeatsNeverContaminateTheDocumentStream) {
+    std::ostringstream doc_stream;   // the CLI's stdout
+    std::ostringstream human_stream; // the CLI's stderr
+
+    ProgressReporter reporter(
+        ProgressReporter::stream_heartbeat(human_stream), 8192, 0, 4096);
+    report::JsonWriter json(doc_stream);
+    json.begin_object().field("command", "campaign");
+    reporter.report(4096);  // heartbeat fires mid-document
+    json.field("total_injected", std::uint64_t{8192}).end_object();
+    reporter.finish(8192);
+    json.finish();
+
+    EXPECT_TRUE(testsupport::is_valid_json(doc_stream.str()))
+        << doc_stream.str();
+    EXPECT_FALSE(human_stream.str().empty());
+    EXPECT_NE(human_stream.str().find("4096/8192"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statfi::telemetry

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (as written by --metrics-out).
+
+Checks the structural invariants the telemetry exporter promises
+(DESIGN.md §5.12), so CI can catch a format regression without a real
+Prometheus server in the loop:
+
+  * every sample line parses as `name{labels} value` with a finite or +Inf
+    value, and every sample is preceded by `# HELP` / `# TYPE` lines for
+    its metric family;
+  * TYPE is one of counter / gauge / histogram;
+  * histogram families are complete: `_bucket` samples with an `le` label,
+    cumulative (non-decreasing as le grows), terminated by le="+Inf", and
+    the +Inf bucket equals `_count`; `_sum` and `_count` are present;
+  * counters are non-negative.
+
+Usage:
+    check_prometheus.py FILE [--require NAME ...]
+
+`--require` fails unless the named metric family has at least one sample
+(e.g. --require statfi_faults_total).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def family_of(sample_name, types):
+    """Map a sample name to its metric family (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name.removesuffix(suffix)
+        if base != sample_name and types.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def check(path, required):
+    errors = []
+    helps = {}
+    types = {}
+    # family -> list of (labels-dict, value)
+    samples = {}
+
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 3:
+                    errors.append(f"line {lineno}: malformed HELP line")
+                    continue
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) != 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                ):
+                    errors.append(f"line {lineno}: malformed TYPE line: {line}")
+                    continue
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # free-form comment
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: unparseable sample: {line!r}")
+                continue
+            labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+            try:
+                value = parse_value(m.group("value"))
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: non-numeric value {m.group('value')!r}"
+                )
+                continue
+            if math.isnan(value):
+                errors.append(f"line {lineno}: NaN sample value")
+            family = family_of(m.group("name"), types)
+            if family not in types:
+                errors.append(
+                    f"line {lineno}: sample {m.group('name')!r} has no TYPE"
+                )
+            if family not in helps:
+                errors.append(
+                    f"line {lineno}: sample {m.group('name')!r} has no HELP"
+                )
+            samples.setdefault(family, []).append(
+                (m.group("name"), labels, value)
+            )
+
+    for family, kind in types.items():
+        rows = samples.get(family, [])
+        if kind == "counter":
+            for name, _labels, value in rows:
+                if value < 0:
+                    errors.append(f"{name}: negative counter value {value}")
+        elif kind == "histogram":
+            buckets = [
+                (labels, value)
+                for (name, labels, value) in rows
+                if name == family + "_bucket"
+            ]
+            counts = [v for (n, _l, v) in rows if n == family + "_count"]
+            sums = [v for (n, _l, v) in rows if n == family + "_sum"]
+            if not buckets or len(counts) != 1 or len(sums) != 1:
+                errors.append(
+                    f"{family}: histogram needs _bucket samples and exactly "
+                    f"one _sum and one _count"
+                )
+                continue
+            prev = -math.inf
+            cumulative = -1.0
+            for labels, value in buckets:
+                if "le" not in labels:
+                    errors.append(f"{family}: _bucket sample without le label")
+                    break
+                le = parse_value(labels["le"])
+                if le <= prev:
+                    errors.append(f"{family}: le bounds not increasing")
+                if value < cumulative:
+                    errors.append(f"{family}: bucket counts not cumulative")
+                prev, cumulative = le, value
+            else:
+                if not math.isinf(prev):
+                    errors.append(f'{family}: bucket series missing le="+Inf"')
+                elif cumulative != counts[0]:
+                    errors.append(
+                        f"{family}: +Inf bucket {cumulative} != _count "
+                        f"{counts[0]}"
+                    )
+
+    for name in required:
+        if not samples.get(name):
+            errors.append(f"required metric {name!r} has no samples")
+
+    return errors, len(samples)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="Prometheus text-exposition file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this metric family has samples (repeatable)",
+    )
+    args = parser.parse_args()
+
+    errors, families = check(args.file, args.require)
+    if errors:
+        for err in errors:
+            print(f"check_prometheus: {err}", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,12 +36,19 @@
 // everything human (banners, training chatter, progress heartbeats) goes to
 // stderr. Without --json, human output goes to stdout and heartbeats still
 // go to stderr.
+//
+// Observability: --metrics-out writes campaign counters/gauges/histograms
+// (Prometheus text, or JSON when the path ends in .json), --trace-out a
+// Chrome trace of the campaign phases (load into chrome://tracing or
+// Perfetto), --perf-counters folds per-phase hardware counters into the
+// metrics (Linux perf_event_open; degrades to a stderr note elsewhere).
 
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +66,7 @@
 #include "shard/manifest.hpp"
 #include "shard/merge.hpp"
 #include "shard/runner.hpp"
+#include "telemetry/exporters.hpp"
 
 namespace {
 
@@ -90,6 +98,9 @@ struct Options {
     std::uint32_t shards = 0;  ///< shard plan: number of shards
     std::uint32_t shard = 0;   ///< shard run: which shard
     std::size_t jobs = 1;      ///< shard run-all: concurrent subprocesses
+    std::string metrics_out;   ///< write metrics here (.json => JSON)
+    std::string trace_out;     ///< write Chrome trace JSON here
+    bool perf_counters = false;  ///< sample hardware perf counters
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -130,7 +141,14 @@ struct Options {
         "  --shards N                  shard plan: partition into N shards\n"
         "  --shard K                   shard run: which shard to execute\n"
         "  --jobs J                    shard run-all: concurrent shard\n"
-        "                              subprocesses (default 1)\n";
+        "                              subprocesses (default 1)\n"
+        "  --metrics-out PATH          campaign/exhaustive/shard run/merge:\n"
+        "                              write campaign metrics to PATH\n"
+        "                              (Prometheus text; .json => JSON)\n"
+        "  --trace-out PATH            write a Chrome trace (chrome://tracing\n"
+        "                              / Perfetto) of the campaign phases\n"
+        "  --perf-counters             include hardware perf counters per\n"
+        "                              phase (Linux perf_event_open)\n";
     std::exit(2);
 }
 
@@ -185,6 +203,9 @@ Options parse(int argc, char** argv) {
         else if (flag == "--shard")
             opt.shard = static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
         else if (flag == "--jobs") opt.jobs = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--metrics-out") opt.metrics_out = value();
+        else if (flag == "--trace-out") opt.trace_out = value();
+        else if (flag == "--perf-counters") opt.perf_counters = true;
         else usage("unknown flag '" + flag + "'");
     }
     if (opt.margin <= 0 || opt.margin >= 1) usage("--margin must be in (0,1)");
@@ -200,17 +221,43 @@ std::ostream& human(const Options& opt) {
     return opt.json ? std::cerr : std::cout;
 }
 
-/// Shared stderr progress heartbeat (exhaustive census and shard runs).
+/// Shared stderr progress heartbeat (exhaustive census and shard runs) —
+/// the telemetry subsystem's stock sink, pinned to stderr so --json stdout
+/// stays a single valid document.
 core::ProgressFn stderr_progress() {
-    return [](const core::ProgressInfo& p) {
-        std::cerr << "\r  " << p.done << "/" << p.total << "  ("
-                  << report::fmt_u64(
-                         static_cast<std::uint64_t>(p.faults_per_second))
-                  << " faults/s, ~"
-                  << report::fmt_u64(static_cast<std::uint64_t>(p.eta_seconds))
-                  << "s left)   " << std::flush;
-        if (p.done == p.total) std::cerr << "\n";
-    };
+    return telemetry::ProgressReporter::stream_heartbeat(std::cerr);
+}
+
+/// The telemetry session this invocation asked for, or nullptr when no
+/// telemetry flag was given (campaigns then pay one pointer compare per
+/// fault and zero clock reads).
+std::unique_ptr<telemetry::Session> make_session(const Options& opt) {
+    if (opt.metrics_out.empty() && opt.trace_out.empty() &&
+        !opt.perf_counters)
+        return nullptr;
+    telemetry::SessionOptions options;
+    options.enable_trace = !opt.trace_out.empty();
+    options.enable_perf = opt.perf_counters;
+    auto session = std::make_unique<telemetry::Session>(options);
+    if (opt.perf_counters && !session->perf_enabled())
+        std::cerr << "statfi: hardware perf counters unavailable ("
+                  << session->perf_probe().unavailable_reason()
+                  << "); continuing without them\n";
+    return session;
+}
+
+/// Write the telemetry artifacts the flags requested (interrupted runs
+/// included — a partial campaign's metrics are still worth having).
+void export_telemetry(const Options& opt, const telemetry::Session* session) {
+    if (!session) return;
+    if (!opt.metrics_out.empty()) {
+        telemetry::export_metrics_file(*session, opt.metrics_out);
+        std::cerr << "statfi: metrics written to " << opt.metrics_out << "\n";
+    }
+    if (!opt.trace_out.empty()) {
+        telemetry::export_trace_file(*session, opt.trace_out);
+        std::cerr << "statfi: trace written to " << opt.trace_out << "\n";
+    }
 }
 
 /// The campaign recipe this invocation describes — the single definition the
@@ -364,7 +411,9 @@ int cmd_campaign(const Options& opt) {
     const auto recipe = recipe_from(opt);
     auto fx = shard::build_fixture(recipe);
     std::ostream& out = human(opt);
-    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads);
+    const auto session = make_session(opt);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads,
+                                session.get());
     const auto plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
     out << core::to_string(plan.approach) << " campaign: "
         << report::fmt_u64(plan.total_sample_size()) << " of "
@@ -389,6 +438,7 @@ int cmd_campaign(const Options& opt) {
     out << "done in " << report::fmt_double(result.wall_seconds, 1)
         << "s (" << report::fmt_u64(engine.inference_count())
         << " faulty inferences)\n";
+    export_telemetry(opt, session.get());
     if (opt.json)
         emit_campaign_json(opt, "campaign", fx.universe, result,
                            engine.golden_accuracy());
@@ -445,7 +495,9 @@ int cmd_exhaustive(const Options& opt) {
     const auto recipe = recipe_from(opt);
     auto fx = shard::build_fixture(recipe);
     std::ostream& out = human(opt);
-    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads);
+    const auto session = make_session(opt);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads,
+                                session.get());
     out << "exhaustive census: " << report::fmt_u64(fx.universe.total())
         << " faults x " << opt.images << " image(s) on "
         << engine.worker_count()
@@ -470,6 +522,7 @@ int cmd_exhaustive(const Options& opt) {
         engine.run_exhaustive_durable(fx.universe, durability,
                                       stderr_progress());
     std::signal(SIGINT, SIG_DFL);
+    export_telemetry(opt, session.get());
     if (!run.complete) {
         std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
                   << " newly classified fault(s) checkpointed to "
@@ -571,16 +624,19 @@ int cmd_shard_run(const Options& opt) {
         << ", " << report::fmt_u64(manifest.item_count)
         << " items total)  (Ctrl-C checkpoints; rerun with --resume)\n";
 
+    const auto session = make_session(opt);
     shard::ShardRunOptions run_options;
     run_options.shard = opt.shard;
     run_options.resume = opt.resume;
     run_options.threads = opt.threads;
     run_options.cancel = &g_interrupt;
     run_options.progress = stderr_progress();
+    run_options.telemetry = session.get();
 
     std::signal(SIGINT, handle_sigint);
     const auto run = shard::run_shard(manifest, opt.manifest, run_options);
     std::signal(SIGINT, SIG_DFL);
+    export_telemetry(opt, session.get());
 
     if (!run.complete) {
         std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
@@ -649,7 +705,10 @@ int cmd_shard_run_all(const Options& opt) {
 int cmd_shard_merge(const Options& opt) {
     if (opt.manifest.empty()) usage("shard merge needs --manifest");
     const auto manifest = shard::ShardManifest::load(opt.manifest);
-    const auto merged = shard::merge_shards(manifest, opt.manifest);
+    const auto session = make_session(opt);
+    const auto merged =
+        shard::merge_shards(manifest, opt.manifest, session.get());
+    export_telemetry(opt, session.get());
 
     // Human-facing readouts need layer names/index ranges — rebuild the
     // fixture (the merge itself never needed it).
