@@ -20,6 +20,12 @@
 // tracing), alternating reps, best-of wall per mode, outcomes checked
 // bit-identical. Fails when the enabled run costs more than 3% — the
 // "observability is near-free" claim in DESIGN.md §5.12 (BENCH_telemetry.json).
+//
+// `bench_perf --observatory-json PATH` extends that gate to the FULL
+// observatory of DESIGN.md §5.13: metrics + tracing + JSONL event log on
+// disk + live StatusServer, vs the bare engine. Same alternating-rep
+// protocol, same 3% ceiling, same bit-identity requirement
+// (BENCH_observatory.json).
 
 #include <benchmark/benchmark.h>
 
@@ -33,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/convergence.hpp"
 #include "core/data_aware.hpp"
 #include "core/engine.hpp"
 #include "core/planner.hpp"
@@ -44,6 +51,8 @@
 #include "shard/fixture.hpp"
 #include "shard/merge.hpp"
 #include "stats/sampling.hpp"
+#include "telemetry/eventlog.hpp"
+#include "telemetry/http.hpp"
 #include "telemetry/session.hpp"
 
 using namespace statfi;
@@ -478,12 +487,138 @@ int run_telemetry_report(const std::string& json_path,
     return pass ? 0 : 1;
 }
 
+// --- full observatory overhead (--observatory-json) -----------------------
+
+/// The engine-report census bare vs under the full observatory: metrics,
+/// tracing, the JSONL event log streamed to disk, and a live StatusServer
+/// on an ephemeral loopback port. Alternating reps, best-of wall per mode;
+/// the instrumented run must stay within kMaxTelemetryOverheadPct of the
+/// bare run and its outcome table must match bit for bit.
+int run_observatory_report(const std::string& json_path,
+                           std::uint64_t max_faults) {
+    const auto make_net = [] {
+        auto net = models::build_model("micronet");
+        stats::Rng rng(424242);
+        nn::init_network_kaiming(net, rng);
+        return net;
+    };
+    const auto eval = data::make_synthetic({}, 4, "test");
+    core::ExecutorConfig config;
+    config.policy = core::ClassificationPolicy::GoldenMismatch;
+
+    auto reference_net = make_net();
+    const auto universe = fault::FaultUniverse::stuck_at(reference_net);
+    const std::uint64_t total = universe.total();
+    const std::uint64_t faults =
+        max_faults == 0 ? total : std::min(max_faults, total);
+    core::DurabilityOptions durability;
+    durability.range_end = faults;
+
+    const auto log_path = std::filesystem::temp_directory_path() /
+                          "statfi_observatory_bench.jsonl";
+
+    core::CampaignHeaderInfo header;
+    header.command = "bench";
+    header.model = "micronet";
+    header.approach = "exhaustive";
+    header.dtype = "fp32";
+    header.policy = "golden-mismatch";
+    header.seed = 424242;
+    header.images = 4;
+
+    core::ExhaustiveOutcomes reference;
+    double best_wall[2] = {1e300, 1e300};  // [bare, observatory]
+    bool identical = true;
+    std::uint64_t events_logged = 0;
+    std::uint64_t requests_served = 0;
+    for (int rep = 0; rep < kTelemetryReps; ++rep) {
+        for (int mode = 0; mode < 2; ++mode) {
+            auto net = make_net();
+            std::unique_ptr<telemetry::Session> session;
+            std::unique_ptr<telemetry::StatusServer> server;
+            if (mode == 1) {
+                session = std::make_unique<telemetry::Session>();
+                session->open_event_log(log_path.string());
+                core::emit_campaign_header(*session->events(), header);
+                server =
+                    std::make_unique<telemetry::StatusServer>(session.get(), 0);
+            }
+            core::CampaignEngine engine(net, eval, config, 1, session.get());
+            const auto start = std::chrono::steady_clock::now();
+            const auto run = engine.run_exhaustive_durable(universe, durability);
+            const double wall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+            best_wall[mode] = std::min(best_wall[mode], wall);
+            if (rep == 0 && mode == 0) {
+                reference = run.outcomes;
+            } else {
+                for (std::uint64_t i = 0; identical && i < faults; ++i)
+                    identical = run.outcomes.at(i) == reference.at(i);
+            }
+            if (session) {
+                core::emit_campaign_end(
+                    *session->events(), run.complete, faults,
+                    run.outcomes.critical_count(0, faults), wall);
+                events_logged = session->events()->events_written();
+                requests_served = server->requests_served();
+            }
+        }
+    }
+    std::filesystem::remove(log_path);
+
+    const double overhead_pct =
+        (best_wall[1] - best_wall[0]) / best_wall[0] * 100.0;
+    const bool logged = events_logged >= 2;  // header + campaign_end minimum
+    const bool pass =
+        identical && logged && overhead_pct <= kMaxTelemetryOverheadPct;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet kaiming(424242), 4 synthetic test "
+           "images, GoldenMismatch, stuck-at universe\",\n"
+        << "  \"instrumentation\": \"metrics + tracing + JSONL event log + "
+           "StatusServer (ephemeral loopback port)\",\n"
+        << "  \"universe\": " << total << ",\n"
+        << "  \"faults\": " << faults << ",\n"
+        << "  \"reps_per_mode\": " << kTelemetryReps << ",\n"
+        << "  \"bare_wall_seconds\": " << best_wall[0] << ",\n"
+        << "  \"observatory_wall_seconds\": " << best_wall[1] << ",\n"
+        << "  \"bare_faults_per_second\": "
+        << static_cast<double>(faults) / best_wall[0] << ",\n"
+        << "  \"observatory_faults_per_second\": "
+        << static_cast<double>(faults) / best_wall[1] << ",\n"
+        << "  \"overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"max_overhead_pct\": " << kMaxTelemetryOverheadPct << ",\n"
+        << "  \"events_logged\": " << events_logged << ",\n"
+        << "  \"http_requests_served\": " << requests_served << ",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "observatory overhead: " << overhead_pct << "% (bare "
+              << best_wall[0] << " s, instrumented " << best_wall[1]
+              << " s, gate " << kMaxTelemetryOverheadPct
+              << "%), bit_identical " << (identical ? "yes" : "NO") << ", "
+              << events_logged << " events logged\nreport written to "
+              << json_path << "\n";
+    if (!pass)
+        std::cerr << "bench_perf: observatory gate FAILED (overhead "
+                  << overhead_pct << "% > " << kMaxTelemetryOverheadPct
+                  << "%, or divergence above)\n";
+    return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string json_path;
     std::string shard_json_path;
     std::string telemetry_json_path;
+    std::string observatory_json_path;
     std::string statfi_binary;
     std::uint64_t max_faults = 0;  // 0 = full census
     std::size_t threads = 1;
@@ -495,6 +630,8 @@ int main(int argc, char** argv) {
             shard_json_path = argv[++i];
         } else if (arg == "--telemetry-json" && i + 1 < argc) {
             telemetry_json_path = argv[++i];
+        } else if (arg == "--observatory-json" && i + 1 < argc) {
+            observatory_json_path = argv[++i];
         } else if (arg == "--statfi" && i + 1 < argc) {
             statfi_binary = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -503,6 +640,8 @@ int main(int argc, char** argv) {
             threads = std::stoul(argv[++i]);
         }
     }
+    if (!observatory_json_path.empty())
+        return run_observatory_report(observatory_json_path, max_faults);
     if (!telemetry_json_path.empty())
         return run_telemetry_report(telemetry_json_path, max_faults);
     if (!shard_json_path.empty()) {

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "core/convergence.hpp"
 #include "stats/sampling.hpp"
 
 namespace statfi::core {
@@ -175,14 +177,39 @@ CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
         for (auto& t : threads) t.join();
     }
 
+    // The accumulation loop runs serially in canonical item order, so the
+    // estimator updates emitted here are a function of (plan, rng, model)
+    // alone — byte-identical across worker counts. Cadence: one update per
+    // stratum at each power-of-two done count, plus the final point below.
+    telemetry::EventLog* log = telemetry_ ? telemetry_->events() : nullptr;
+    std::vector<std::uint64_t> last_emit;
+    if (log)
+        last_emit.assign(plan.subpops.size(),
+                         std::numeric_limits<std::uint64_t>::max());
     for (std::size_t i = 0; i < items.size(); ++i) {
         if (!evaluated[i]) {
             result.interrupted = true;
             continue;
         }
-        accumulate_outcome(result.subpops[items[i].subpop],
-                           items[i].fault.layer,
+        const std::size_t s = items[i].subpop;
+        SubpopResult& tally = result.subpops[s];
+        accumulate_outcome(tally, items[i].fault.layer,
                            static_cast<FaultOutcome>(outcomes[i]));
+        if (log && (tally.injected & (tally.injected - 1)) == 0) {
+            emit_stratum_update(*log, s, tally.plan, tally.injected,
+                                tally.critical, plan.spec.confidence);
+            last_emit[s] = tally.injected;
+        }
+    }
+    if (log) {
+        // Final point per stratum — also the only point for strata an
+        // interruption left untouched (done = 0).
+        for (std::size_t s = 0; s < result.subpops.size(); ++s) {
+            const SubpopResult& sub = result.subpops[s];
+            if (last_emit[s] != sub.injected)
+                emit_stratum_update(*log, s, sub.plan, sub.injected,
+                                    sub.critical, plan.spec.confidence);
+        }
     }
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -246,9 +273,13 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
         }
         journal.emplace(CampaignJournal::open(options.journal_path, fp,
                                               recovery.valid_bytes));
-        if (telemetry_)
+        if (telemetry_) {
             telemetry_->metrics().inc(
                 0, telemetry_->ids().journal_resumed_total, run.resumed);
+            if (run.resumed && telemetry_->events())
+                telemetry_->events()->emit(
+                    telemetry::Event("resume").field("replayed", run.resumed));
+        }
     }
 
     // Sink-side telemetry (journal appends, flushes) happens under
@@ -329,6 +360,14 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
             telemetry_->metrics().inc(0, ids->checkpoint_flushes_total);
     }
     if (run.complete) reporter.finish(run.classified);
+    if (telemetry_ && telemetry_->events() && run.complete && lo_all == 0 &&
+        hi_all == total) {
+        // Exact per-(layer, bit) strata of a full census. Range-restricted
+        // (shard) runs skip this — their slice is not a population, the
+        // merger emits strata once all shards are pooled.
+        emit_census_strata(*telemetry_->events(), universe, run.outcomes,
+                           0.99);
+    }
     return run;
 }
 

@@ -1,0 +1,321 @@
+#include "report/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace statfi::report {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [name, value] : object)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+double JsonValue::get_num(std::string_view key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v ? v->num_or(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::get_uint(std::string_view key,
+                                  std::uint64_t fallback) const {
+    const JsonValue* v = find(key);
+    return v ? v->uint_or(fallback) : fallback;
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+    const JsonValue* v = find(key);
+    return v ? v->int_or(fallback) : fallback;
+}
+
+std::string JsonValue::get_str(std::string_view key,
+                               std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v ? v->str_or(std::move(fallback)) : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+    const JsonValue* v = find(key);
+    return v ? v->bool_or(fallback) : fallback;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue document() {
+        JsonValue v = value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': {
+                JsonValue v;
+                v.type = JsonValue::Type::String;
+                v.string = string();
+                return v;
+            }
+            case 't': {
+                if (!consume_literal("true")) fail("invalid literal");
+                JsonValue v;
+                v.type = JsonValue::Type::Bool;
+                v.boolean = true;
+                return v;
+            }
+            case 'f': {
+                if (!consume_literal("false")) fail("invalid literal");
+                JsonValue v;
+                v.type = JsonValue::Type::Bool;
+                v.boolean = false;
+                return v;
+            }
+            case 'n': {
+                if (!consume_literal("null")) fail("invalid literal");
+                return JsonValue{};
+            }
+            default: return number();
+        }
+    }
+
+    JsonValue object() {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            v.object.emplace_back(std::move(key), value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue array() {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    unsigned hex4() {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return cp;
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned cp = hex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // surrogate pair
+                        if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                            text_[pos_ + 1] == 'u') {
+                            pos_ += 2;
+                            const unsigned lo = hex4();
+                            if (lo < 0xDC00 || lo > 0xDFFF)
+                                fail("invalid low surrogate");
+                            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                                 (lo - 0xDC00);
+                        } else {
+                            fail("lone high surrogate");
+                        }
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        fail("lone low surrogate");
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: fail("invalid escape character");
+            }
+        }
+    }
+
+    JsonValue number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected after decimal point");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected in exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        // The slice is a valid JSON number, which strtod parses exactly.
+        v.number = std::strtod(std::string(text_.substr(start, pos_ - start))
+                                   .c_str(),
+                               nullptr);
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+    return Parser(text).document();
+}
+
+std::vector<JsonValue> parse_json_lines(std::string_view text) {
+    std::vector<JsonValue> docs;
+    std::size_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string_view line =
+            text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - pos);
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") != std::string_view::npos) {
+            try {
+                docs.push_back(parse_json(line));
+            } catch (const std::runtime_error& e) {
+                throw std::runtime_error("line " + std::to_string(lineno) +
+                                         ": " + e.what());
+            }
+        }
+        if (eol == std::string_view::npos) break;
+        pos = eol + 1;
+    }
+    return docs;
+}
+
+}  // namespace statfi::report

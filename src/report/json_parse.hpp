@@ -1,0 +1,86 @@
+#pragma once
+// Minimal recursive-descent JSON parser — the read half of the report
+// library, paired with JsonWriter (the write half).
+//
+// Scope mirrors the writer deliberately: the observatory consumes documents
+// this repo itself emitted (event-log lines, --json output), so the parser
+// targets exactly RFC 8259 — objects, arrays, strings with escapes
+// (\uXXXX included), numbers, booleans, null — and nothing beyond it (no
+// comments, no trailing commas, no NaN/Inf literals; the writer never
+// produces them). Errors throw std::runtime_error naming the byte offset,
+// so a truncated or hand-edited event log fails loudly instead of rendering
+// a silently wrong report.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace statfi::report {
+
+/// One parsed JSON value. Object members keep insertion order (event-log
+/// replay tests compare re-serialized lines, so order must round-trip).
+class JsonValue {
+public:
+    enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    [[nodiscard]] bool is_null() const noexcept { return type == Type::Null; }
+    [[nodiscard]] bool is_object() const noexcept {
+        return type == Type::Object;
+    }
+    [[nodiscard]] bool is_array() const noexcept { return type == Type::Array; }
+
+    /// Member lookup (objects only); nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+    // Typed accessors with defaults — the observatory reads optional schema
+    // fields without littering null checks everywhere.
+    [[nodiscard]] double num_or(double fallback) const noexcept {
+        return type == Type::Number ? number : fallback;
+    }
+    [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const noexcept {
+        return type == Type::Number ? static_cast<std::int64_t>(number)
+                                    : fallback;
+    }
+    [[nodiscard]] std::uint64_t uint_or(std::uint64_t fallback) const noexcept {
+        return type == Type::Number && number >= 0
+                   ? static_cast<std::uint64_t>(number)
+                   : fallback;
+    }
+    [[nodiscard]] bool bool_or(bool fallback) const noexcept {
+        return type == Type::Bool ? boolean : fallback;
+    }
+    [[nodiscard]] std::string str_or(std::string fallback) const {
+        return type == Type::String ? string : std::move(fallback);
+    }
+
+    /// find() + num_or and friends in one call.
+    [[nodiscard]] double get_num(std::string_view key,
+                                 double fallback = 0.0) const;
+    [[nodiscard]] std::uint64_t get_uint(std::string_view key,
+                                         std::uint64_t fallback = 0) const;
+    [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                       std::int64_t fallback = 0) const;
+    [[nodiscard]] std::string get_str(std::string_view key,
+                                      std::string fallback = "") const;
+    [[nodiscard]] bool get_bool(std::string_view key,
+                                bool fallback = false) const;
+};
+
+/// Parse exactly one JSON document; trailing non-whitespace throws.
+/// @throws std::runtime_error with the byte offset of the first error.
+JsonValue parse_json(std::string_view text);
+
+/// Parse a JSON-Lines buffer: one document per non-empty line.
+/// @throws std::runtime_error naming the 1-based line of the first error.
+std::vector<JsonValue> parse_json_lines(std::string_view text);
+
+}  // namespace statfi::report

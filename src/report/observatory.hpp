@@ -1,0 +1,151 @@
+#pragma once
+// Observatory report: turn a statfi.eventlog.v1 JSONL stream into an
+// in-memory campaign model, a self-contained single-file HTML report, and
+// an A/B stratum diff (DESIGN.md §5.13).
+//
+// The HTML is deliberately dependency-free — inline CSS, inline SVG, no
+// scripts, no external fetches of any kind (the tests assert the file
+// contains no src=/href= attribute at all) — so a report scp'd off a
+// cluster node opens anywhere. Chart grammar follows the repo's dataviz
+// conventions: magnitude (the per-(bit, layer) vulnerability heatmap) uses
+// one sequential blue ramp light->dark; identity never relies on color
+// alone (every mark carries a text <title> and the tables repeat the
+// numbers); marks are thin with recessive axes.
+//
+// The model is tolerant of *interrupted* logs (a valid prefix is a valid
+// report — the writer flushes per event) but strict about schema: a log
+// whose first event is not a campaign_header, or whose envelope is
+// malformed, throws with the offending line number.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json_parse.hpp"
+
+namespace statfi::report {
+
+/// One campaign reconstructed from its event log.
+struct ObservatoryModel {
+    // campaign_header
+    std::string command;
+    std::string model;
+    std::string approach;
+    std::string dtype;
+    std::string policy;
+    std::uint64_t seed = 0;
+    std::int64_t images = 0;
+    double confidence = 0.99;
+    double error_margin = 0.01;
+
+    // plan
+    std::uint64_t universe = 0;
+    std::uint64_t planned = 0;
+    std::uint64_t strata_planned = 0;
+    int bits = 0;
+    struct Layer {
+        int layer = -1;
+        std::string name;
+        std::uint64_t population = 0;
+    };
+    std::vector<Layer> layers;
+
+    // phase_begin/phase_end pairs, aggregated by phase name in first-seen
+    // order (nested and repeated phases sum their durations).
+    struct Phase {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t count = 0;  ///< completed begin/end pairs
+    };
+    std::vector<Phase> phases;
+
+    // stratum_update series, keyed by stratum id in first-seen order.
+    struct Point {
+        std::uint64_t done = 0;
+        std::uint64_t critical = 0;
+        double p_hat = 0.0;
+        double wilson_lo = 0.0, wilson_hi = 1.0;
+        double wald_lo = 0.0, wald_hi = 1.0;
+    };
+    struct Stratum {
+        std::uint64_t id = 0;
+        int layer = -1;
+        int bit = -1;
+        std::uint64_t population = 0;
+        std::uint64_t planned = 0;
+        std::vector<Point> points;  ///< ascending done (emission order)
+
+        [[nodiscard]] const Point* final_point() const noexcept {
+            return points.empty() ? nullptr : &points.back();
+        }
+    };
+    std::vector<Stratum> strata;
+
+    // shard lifecycle
+    struct Shard {
+        std::uint64_t shard = 0;
+        std::uint64_t range_begin = 0, range_end = 0;
+        bool ended = false;
+        bool complete = false;
+        std::uint64_t resumed = 0, classified = 0;
+    };
+    std::vector<Shard> shards;
+    std::uint64_t merge_artifacts = 0;
+
+    std::uint64_t resumed = 0;  ///< items replayed from a journal
+
+    // campaign_end (absent for interrupted-mid-write logs)
+    bool finished = false;
+    bool complete = false;
+    std::uint64_t injected = 0;
+    std::uint64_t critical = 0;
+    double wall_seconds = 0.0;
+
+    std::uint64_t event_count = 0;
+
+    /// Stratum for (layer, bit), or nullptr.
+    [[nodiscard]] const Stratum* find_stratum(int layer, int bit) const;
+};
+
+/// Build the model from parsed event-log lines (one JsonValue per line).
+/// @throws std::runtime_error on schema violations, naming the line.
+ObservatoryModel model_from_events(const std::vector<JsonValue>& events);
+
+/// Read + parse + model a JSONL event log from disk.
+/// @throws std::runtime_error when the file cannot be read or parsed.
+ObservatoryModel load_event_log(const std::string& path);
+
+/// Render the self-contained single-file HTML report. The document carries
+/// a machine-readable marker `<meta name="statfi-strata" content="N">`
+/// (N = number of strata with data) that CI smoke checks grep for.
+std::string render_observatory_html(const ObservatoryModel& m,
+                                    const std::string& title);
+
+/// One stratum whose A/B confidence intervals no longer overlap.
+struct StratumDiff {
+    int layer = -1;
+    int bit = -1;
+    double a_p = 0.0, a_lo = 0.0, a_hi = 0.0;
+    double b_p = 0.0, b_lo = 0.0, b_hi = 0.0;
+    bool regression = false;  ///< true: B's interval sits above A's
+};
+
+struct DiffReport {
+    std::vector<StratumDiff> flagged;  ///< disjoint-CI strata, A order
+    std::uint64_t compared = 0;        ///< strata present in both logs
+    std::uint64_t a_only = 0;
+    std::uint64_t b_only = 0;
+};
+
+/// Compare final Wilson intervals stratum-by-stratum (matched on
+/// (layer, bit)); a stratum is flagged when the intervals are disjoint —
+/// the two campaigns disagree beyond their own stated uncertainty.
+DiffReport diff_observatories(const ObservatoryModel& a,
+                              const ObservatoryModel& b);
+
+/// Render the A/B diff as the same kind of self-contained HTML document.
+std::string render_diff_html(const ObservatoryModel& a,
+                             const ObservatoryModel& b, const DiffReport& d,
+                             const std::string& title);
+
+}  // namespace statfi::report

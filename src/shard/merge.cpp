@@ -1,5 +1,6 @@
 #include "shard/merge.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace statfi::shard {
@@ -17,9 +18,14 @@ MergedCampaign merge_shards(const ShardManifest& manifest,
     const CampaignKind kind = manifest.kind();
 
     // Load and slot every artifact; every check names the offending path.
+    // Each artifact gets its own validate span (and, when an event log is
+    // attached, a merge_artifact event) so the /trace view and the HTML
+    // phase breakdown show where a slow merge spends its time.
     std::vector<ShardResult> results(manifest.shards.size());
     std::vector<std::uint8_t> present(manifest.shards.size(), 0);
     for (const std::string& path : result_paths) {
+        telemetry::PhaseScope validate_scope(telemetry, "merge_validate");
+        const auto artifact_start = std::chrono::steady_clock::now();
         ShardResult r = ShardResult::load(path);
         if (r.manifest_crc != expected_crc)
             throw std::runtime_error(
@@ -55,6 +61,17 @@ MergedCampaign merge_shards(const ShardManifest& manifest,
                                      telemetry->ids().merge_artifacts_total);
             telemetry->metrics().inc(0, telemetry->ids().merge_items_total,
                                      r.range.size());
+            if (telemetry::EventLog* log = telemetry->events())
+                log->emit(
+                    telemetry::Event("merge_artifact")
+                        .field("shard",
+                               static_cast<std::uint64_t>(r.shard_id))
+                        .field("items", r.range.size())
+                        .field("seconds",
+                               std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   artifact_start)
+                                   .count()));
         }
         results[r.shard_id] = std::move(r);
     }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/convergence.hpp"
 #include "shard/fixture.hpp"
 
 namespace statfi::shard {
@@ -133,6 +134,24 @@ ShardRunReport run_shard(const ShardManifest& manifest,
     report.journal_path = shard_journal_path(manifest_path, options.shard);
     report.result_path = shard_result_path(manifest_path, options.shard);
 
+    telemetry::EventLog* const log =
+        options.telemetry ? options.telemetry->events() : nullptr;
+    if (log)
+        log->emit(telemetry::Event("shard_begin")
+                      .field("shard",
+                             static_cast<std::uint64_t>(options.shard))
+                      .field("range_begin", range.begin)
+                      .field("range_end", range.end));
+    const auto emit_shard_end = [&] {
+        if (log)
+            log->emit(telemetry::Event("shard_end")
+                          .field("shard",
+                                 static_cast<std::uint64_t>(options.shard))
+                          .field("complete", report.complete)
+                          .field("resumed", report.resumed)
+                          .field("classified", report.classified));
+    };
+
     CampaignFixture fx = [&] {
         telemetry::PhaseScope scope(options.telemetry, "fixture_build");
         return build_fixture(manifest.recipe);
@@ -147,6 +166,13 @@ ShardRunReport run_shard(const ShardManifest& manifest,
             "manifest (rebuilt " + fp.describe() + "; manifest " +
             manifest.fingerprint.describe() +
             "); refusing to contribute wrong outcomes");
+
+    if (log) {
+        if (manifest.kind() == CampaignKind::Census)
+            core::emit_plan_event_census(*log, fx.universe);
+        else
+            core::emit_plan_event(*log, fx.universe, manifest.plan);
+    }
 
     if (!options.resume) std::filesystem::remove(report.journal_path);
 
@@ -169,11 +195,15 @@ ShardRunReport run_shard(const ShardManifest& manifest,
         report.complete = run.complete;
         report.resumed = run.resumed;
         report.classified = run.classified;
-        if (!run.complete) return report;
+        if (!run.complete) {
+            emit_shard_end();
+            return report;
+        }
         result.outcomes.resize(range.size());
         for (std::uint64_t i = 0; i < range.size(); ++i)
             result.outcomes[i] =
                 static_cast<std::uint8_t>(run.outcomes.at(range.begin + i));
+        report.critical = run.outcomes.critical_count(range.begin, range.end);
     } else {
         const std::vector<core::DrawnFault> items = core::draw_plan(
             fx.universe, manifest.plan,
@@ -189,7 +219,14 @@ ShardRunReport run_shard(const ShardManifest& manifest,
                               item_fingerprint(fp, manifest.item_count),
                               options, report.journal_path, result.outcomes,
                               report);
-        if (!report.complete) return report;
+        if (!report.complete) {
+            emit_shard_end();
+            return report;
+        }
+        for (const std::uint8_t o : result.outcomes)
+            if (static_cast<core::FaultOutcome>(o) ==
+                core::FaultOutcome::Critical)
+                ++report.critical;
         result.subpops.resize(range.size());
         result.layers.resize(range.size());
         for (std::uint64_t i = 0; i < range.size(); ++i) {
@@ -200,6 +237,7 @@ ShardRunReport run_shard(const ShardManifest& manifest,
     }
     result.save(report.result_path);
     std::filesystem::remove(report.journal_path);
+    emit_shard_end();
     return report;
 }
 

@@ -40,6 +40,7 @@ struct ShardRunReport {
     bool complete = false;
     std::uint64_t resumed = 0;     ///< items replayed from the journal
     std::uint64_t classified = 0;  ///< items classified by this run
+    std::uint64_t critical = 0;    ///< Critical outcomes in this shard's slice
     std::string result_path;       ///< written artifact (complete runs only)
     std::string journal_path;      ///< checkpoint journal (interrupted runs)
 };

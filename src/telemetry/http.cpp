@@ -1,0 +1,157 @@
+#include "telemetry/http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/exporters.hpp"
+
+namespace statfi::telemetry {
+
+namespace {
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type,
+                          const std::string& body, bool head_only) {
+    std::ostringstream out;
+    out << "HTTP/1.1 " << code << " " << reason << "\r\n"
+        << "Content-Type: " << content_type << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n";
+    if (!head_only) out << body;
+    return out.str();
+}
+
+}  // namespace
+
+StatusServer::StatusServer(Session* session, std::uint16_t port)
+    : session_(session) {
+    if (!session_)
+        throw std::runtime_error("status server: null telemetry session");
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error(std::string("status server: socket: ") +
+                                 std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        throw std::runtime_error(
+            "status server: cannot bind 127.0.0.1:" + std::to_string(port) +
+            ": " + std::strerror(err));
+    }
+    if (::listen(listen_fd_, 16) < 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        throw std::runtime_error(std::string("status server: listen: ") +
+                                 std::strerror(err));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread(&StatusServer::serve, this);
+}
+
+StatusServer::~StatusServer() { stop(); }
+
+void StatusServer::stop() {
+    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void StatusServer::serve() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        // 100ms poll tick bounds the shutdown latency without a self-pipe.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0) continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        handle(client);
+        ::close(client);
+    }
+}
+
+void StatusServer::handle(int client_fd) {
+    // One bounded read is enough: requests are tiny GETs and we only need
+    // the request line. Stop at the header terminator or 8 KiB.
+    std::string request;
+    char buf[2048];
+    while (request.size() < 8192 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = request.find("\r\n");
+    if (line_end == std::string::npos) return;
+    std::istringstream line(request.substr(0, line_end));
+    std::string method, target;
+    line >> method >> target;
+    const std::size_t query = target.find('?');
+    if (query != std::string::npos) target.resize(query);
+
+    const std::string response = respond(method, target);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+        const ssize_t n = ::send(client_fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string StatusServer::respond(const std::string& method,
+                                  const std::string& target) const {
+    const bool head = method == "HEAD";
+    if (!head && method != "GET")
+        return http_response(405, "Method Not Allowed", "text/plain",
+                             "read-only endpoint: GET or HEAD\n", false);
+    if (target == "/metrics") {
+        std::ostringstream body;
+        write_prometheus(body, session_->metrics().snapshot(),
+                         session_->perf_phases());
+        return http_response(200, "OK", "text/plain; version=0.0.4",
+                             body.str(), head);
+    }
+    if (target == "/status")
+        return http_response(200, "OK", "application/json",
+                             session_->status().snapshot_json(), head);
+    if (target == "/trace") {
+        const TraceRecorder* trace = session_->trace();
+        if (!trace)
+            return http_response(404, "Not Found", "text/plain",
+                                 "tracing disabled on this session\n", false);
+        std::ostringstream body;
+        trace->write_chrome_trace(body);
+        return http_response(200, "OK", "application/json", body.str(),
+                             head);
+    }
+    if (target == "/")
+        return http_response(200, "OK", "text/plain",
+                             "statfi campaign observatory\n"
+                             "  /metrics  Prometheus exposition\n"
+                             "  /status   JSON campaign snapshot\n"
+                             "  /trace    Chrome trace of phases\n",
+                             head);
+    return http_response(404, "Not Found", "text/plain",
+                         "unknown endpoint\n", false);
+}
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,73 @@
+#pragma once
+// StatusServer: a dependency-free, read-only HTTP/1.1 endpoint for live
+// campaign observation (DESIGN.md §5.13).
+//
+// Scope is deliberately tiny — this is a poll-based scrape target, not a
+// web framework: one accept loop on a background thread, one request per
+// connection (Connection: close), GET/HEAD only, bounded request size.
+// Endpoint contract:
+//   GET /metrics  Prometheus text exposition of the session's registry
+//                 (same bytes as --metrics-out)
+//   GET /status   JSON snapshot from the session's StatusBoard: state,
+//                 phase stack, campaign descriptor, progress/ETA
+//   GET /trace    Chrome trace JSON of the phases recorded so far
+//                 (404 when tracing is disabled on the session)
+//   GET /         text index of the endpoints
+// Everything else is 404; non-GET/HEAD is 405. The server binds
+// 127.0.0.1 only — campaign fleets are scraped through a tunnel or sidecar,
+// never exposed raw.
+//
+// The server only ever READS session state (metrics snapshots, the trace
+// buffer, the status board) — it cannot perturb campaign outcomes, which
+// stay bit-identical with or without it (asserted in
+// tests/telemetry/eventlog_test.cpp and gated in bench_perf
+// --observatory-json).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "telemetry/session.hpp"
+
+namespace statfi::telemetry {
+
+class StatusServer {
+public:
+    /// Bind 127.0.0.1:@p port (0 picks an ephemeral port — read the actual
+    /// one from port()) and start serving @p session. The session is
+    /// borrowed and must outlive the server.
+    /// @throws std::runtime_error when the socket cannot be bound.
+    StatusServer(Session* session, std::uint16_t port);
+    ~StatusServer();
+
+    StatusServer(const StatusServer&) = delete;
+    StatusServer& operator=(const StatusServer&) = delete;
+
+    /// The port actually bound (resolves port 0).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Requests served so far (tests / smoke diagnostics).
+    [[nodiscard]] std::uint64_t requests_served() const noexcept {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stop accepting and join the server thread (idempotent; also run by
+    /// the destructor).
+    void stop();
+
+private:
+    void serve();
+    void handle(int client_fd);
+    [[nodiscard]] std::string respond(const std::string& method,
+                                      const std::string& target) const;
+
+    Session* session_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::thread thread_;
+};
+
+}  // namespace statfi::telemetry

@@ -89,6 +89,10 @@ PhaseScope::PhaseScope(Session* session, std::string phase, std::uint32_t tid)
     span_ = Span(session_->trace(), phase_, tid);
     if (session_->perf_enabled())
         perf_start_ = session_->perf_probe().read();
+    start_ = std::chrono::steady_clock::now();
+    session_->status().push_phase(phase_);
+    if (EventLog* log = session_->events())
+        log->emit(Event("phase_begin").field("phase", phase_));
 }
 
 void PhaseScope::close() {
@@ -97,6 +101,16 @@ void PhaseScope::close() {
     if (session_->perf_enabled() && perf_start_.valid)
         session_->add_perf_phase(
             phase_, session_->perf_probe().delta_since(perf_start_));
+    if (EventLog* log = session_->events()) {
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        log->emit(Event("phase_end")
+                      .field("phase", phase_)
+                      .field("seconds", seconds));
+    }
+    session_->status().pop_phase();
     session_ = nullptr;
 }
 

@@ -13,6 +13,7 @@
 // the engine binds its worker count. The generic MetricsRegistry API stays
 // available for ad-hoc metrics registered before bind_workers().
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -20,8 +21,10 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/eventlog.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/perf.hpp"
+#include "telemetry/status.hpp"
 #include "telemetry/trace.hpp"
 
 namespace statfi::telemetry {
@@ -79,6 +82,28 @@ public:
     /// binding.
     void bind_workers(std::size_t workers) { metrics_.freeze(workers); }
 
+    // --- observatory -------------------------------------------------------
+    /// Structured JSONL event log; nullptr when none is attached. Producers
+    /// check the pointer and skip all event construction when it is null.
+    [[nodiscard]] EventLog* events() noexcept { return eventlog_.get(); }
+    /// Attach an event log writing to @p path (truncates; throws on open
+    /// failure). The owner must emit the campaign_header before any
+    /// PhaseScope opens — EventLog enforces the header-first invariant.
+    void open_event_log(const std::string& path) {
+        eventlog_ = std::make_unique<EventLog>(path);
+    }
+    /// Attach an event log writing to a borrowed stream (tests, benches).
+    void attach_event_log(std::ostream& out) {
+        eventlog_ = std::make_unique<EventLog>(out);
+    }
+
+    /// Live snapshot served by the HTTP /status endpoint. Always present;
+    /// writes cost a mutex at phase/heartbeat granularity only.
+    [[nodiscard]] StatusBoard& status() noexcept { return status_; }
+    [[nodiscard]] const StatusBoard& status() const noexcept {
+        return status_;
+    }
+
     // --- hardware counters -------------------------------------------------
     [[nodiscard]] bool perf_enabled() const noexcept {
         return perf_.available();
@@ -100,10 +125,14 @@ private:
     PerfProbe perf_;
     mutable std::mutex perf_mutex_;
     std::vector<std::pair<std::string, PerfSample>> perf_phases_;
+    std::unique_ptr<EventLog> eventlog_;
+    StatusBoard status_;
 };
 
-/// RAII campaign-phase scope: one trace span plus one per-phase hardware
-/// counter delta. The engine brackets plan / golden pass / census /
+/// RAII campaign-phase scope: one trace span, one per-phase hardware
+/// counter delta, a push/pop on the status board's phase stack, and (when
+/// an event log is attached) paired phase_begin / phase_end events with the
+/// measured duration. The engine brackets plan / golden pass / census /
 /// checkpoint flush / shard merge with these. Inert when @p session is
 /// null.
 class PhaseScope {
@@ -122,6 +151,7 @@ private:
     std::string phase_;
     Span span_;
     PerfSample perf_start_{};
+    std::chrono::steady_clock::time_point start_{};
 };
 
 }  // namespace statfi::telemetry

@@ -1,0 +1,94 @@
+#include "telemetry/status.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "report/json.hpp"
+
+namespace statfi::telemetry {
+
+void StatusBoard::set_descriptor(const Descriptor& d) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    descriptor_ = d;
+}
+
+void StatusBoard::push_phase(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phases_.push_back(name);
+}
+
+void StatusBoard::pop_phase() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!phases_.empty()) phases_.pop_back();
+}
+
+void StatusBoard::set_progress(const ProgressInfo& info) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    progress_ = info;
+    have_progress_ = true;
+}
+
+void StatusBoard::set_finished(bool complete) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished_ = complete ? 1 : 2;
+}
+
+std::string StatusBoard::snapshot_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object();
+    json.field("state", finished_ == 0   ? "running"
+                        : finished_ == 1 ? "complete"
+                                         : "interrupted");
+    json.field("phase", phases_.empty() ? std::string("idle")
+                                        : phases_.back());
+    json.key("phase_stack").begin_array();
+    for (const std::string& p : phases_) json.value(p);
+    json.end_array();
+    if (!descriptor_.command.empty()) {
+        json.key("campaign").begin_object();
+        json.field("command", descriptor_.command);
+        json.field("model", descriptor_.model);
+        if (!descriptor_.approach.empty())
+            json.field("approach", descriptor_.approach);
+        if (!descriptor_.dtype.empty())
+            json.field("dtype", descriptor_.dtype);
+        if (!descriptor_.policy.empty())
+            json.field("policy", descriptor_.policy);
+        json.field("seed", descriptor_.seed);
+        if (descriptor_.universe)
+            json.field("universe", descriptor_.universe);
+        if (descriptor_.planned) json.field("planned", descriptor_.planned);
+        if (descriptor_.strata) json.field("strata", descriptor_.strata);
+        if (descriptor_.shard >= 0) json.field("shard", descriptor_.shard);
+        json.end_object();
+    }
+    if (have_progress_) {
+        json.key("progress").begin_object();
+        json.field("done", progress_.done);
+        json.field("total", progress_.total);
+        json.field("fraction",
+                   progress_.total
+                       ? static_cast<double>(progress_.done) /
+                             static_cast<double>(progress_.total)
+                       : 0.0);
+        json.field("elapsed_seconds", progress_.elapsed_seconds);
+        json.field("faults_per_second", progress_.faults_per_second);
+        json.field("eta_seconds", progress_.eta_seconds);
+        json.end_object();
+    }
+    json.end_object();
+    json.finish();
+    return out.str();
+}
+
+ProgressFn board_progress(StatusBoard* board, ProgressFn inner) {
+    if (!board) return inner;
+    return [board, inner = std::move(inner)](const ProgressInfo& info) {
+        board->set_progress(info);
+        if (inner) inner(info);
+    };
+}
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,72 @@
+#pragma once
+// StatusBoard: the mutable "where is this campaign right now" snapshot the
+// HTTP /status endpoint serves.
+//
+// Every field is written by the campaign as it runs — PhaseScope pushes and
+// pops the phase stack, the progress callback (wrapped by
+// board_progress()) stores the latest heartbeat, the CLI stamps the static
+// campaign descriptor once up front — and read by the status server from
+// its own thread. A single mutex guards it all: updates happen at phase
+// granularity and heartbeat stride (a few per second at most), so
+// contention is irrelevant and the hot loop never touches the board.
+//
+// The snapshot is serialized as one JSON document per GET; its shape is
+// part of the Observatory endpoint contract (DESIGN.md §5.13).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/progress.hpp"
+
+namespace statfi::telemetry {
+
+class StatusBoard {
+public:
+    /// Static campaign descriptor, shown verbatim in every snapshot. Set
+    /// once by the CLI (model/approach/...); empty fields are omitted.
+    struct Descriptor {
+        std::string command;
+        std::string model;
+        std::string approach;
+        std::string dtype;
+        std::string policy;
+        std::uint64_t seed = 0;
+        std::uint64_t universe = 0;  ///< fault universe size (0 = unknown)
+        std::uint64_t planned = 0;   ///< planned items (0 = unknown)
+        std::uint64_t strata = 0;    ///< statistical subpopulations
+        std::int64_t shard = -1;     ///< shard id (-1 = unsharded)
+    };
+
+    void set_descriptor(const Descriptor& d);
+
+    /// Phase stack maintained by PhaseScope (nested scopes push/pop).
+    void push_phase(const std::string& name);
+    void pop_phase();
+
+    /// Latest heartbeat (done/total/rate/ETA).
+    void set_progress(const ProgressInfo& info);
+
+    /// Terminal state: "complete" or "interrupted". Once set, `state` in
+    /// the snapshot switches from "running".
+    void set_finished(bool complete);
+
+    /// One self-contained JSON document describing the current state.
+    [[nodiscard]] std::string snapshot_json() const;
+
+private:
+    mutable std::mutex mutex_;
+    Descriptor descriptor_;
+    std::vector<std::string> phases_;
+    ProgressInfo progress_;
+    bool have_progress_ = false;
+    int finished_ = 0;  ///< 0 running, 1 complete, 2 interrupted
+};
+
+/// Wrap @p inner so every heartbeat also lands on @p board before being
+/// forwarded. Either argument may be null/empty; returns inner unchanged
+/// when board is null.
+ProgressFn board_progress(StatusBoard* board, ProgressFn inner);
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,242 @@
+// Observatory model + renderer + diff: the event-log consumer side of
+// DESIGN.md §5.13. The logs under test are produced by the REAL emitters
+// (core/convergence + telemetry::EventLog), so these tests pin the
+// producer/consumer contract from both ends; the malformed-input cases use
+// raw strings because no conforming producer can write them.
+
+#include "report/observatory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/convergence.hpp"
+#include "report/json_parse.hpp"
+#include "telemetry/eventlog.hpp"
+
+namespace statfi::report {
+namespace {
+
+using core::emit_campaign_end;
+using core::emit_campaign_header;
+using core::emit_stratum_update;
+using telemetry::Event;
+using telemetry::EventLog;
+
+core::CampaignHeaderInfo header_info() {
+    core::CampaignHeaderInfo info;
+    info.command = "campaign";
+    info.model = "micronet";
+    info.approach = "data-aware";
+    info.dtype = "fp32";
+    info.policy = "any-misprediction";
+    info.seed = 7;
+    info.images = 4;
+    info.confidence = 0.99;
+    info.error_margin = 0.01;
+    return info;
+}
+
+void emit_plan(EventLog& log) {
+    log.emit(Event("plan")
+                 .field("approach", "data-aware")
+                 .field("universe", std::uint64_t{4096})
+                 .field("planned", std::uint64_t{300})
+                 .field("strata", std::uint64_t{2})
+                 .field("bits", 32)
+                 .raw("layers",
+                      R"([{"layer":0,"name":"conv1","population":2048},)"
+                      R"({"layer":1,"name":"fc","population":2048}])"));
+}
+
+core::SubpopPlan subpop(int layer, int bit, std::uint64_t population,
+                        std::uint64_t sample) {
+    core::SubpopPlan p;
+    p.layer = layer;
+    p.bit = bit;
+    p.population = population;
+    p.sample_size = sample;
+    return p;
+}
+
+/// A small but complete log: header, plan, two strata converging over a few
+/// updates, phases, campaign_end. @p critical1 parameterizes stratum 1's
+/// final tally so the diff test can separate two campaigns.
+std::string make_log(std::uint64_t critical1) {
+    std::ostringstream out;
+    EventLog log(out);
+    emit_campaign_header(log, header_info());
+    log.emit(Event("phase_begin").field("phase", "fixture_build"));
+    log.emit(Event("phase_end")
+                 .field("phase", "fixture_build")
+                 .field("seconds", 0.25));
+    emit_plan(log);
+    const auto s0 = subpop(0, 31, 2048, 200);
+    const auto s1 = subpop(1, 30, 2048, 100);
+    emit_stratum_update(log, 0, s0, 1, 0, 0.99);
+    emit_stratum_update(log, 0, s0, 64, 2, 0.99);
+    emit_stratum_update(log, 0, s0, 200, 6, 0.99);
+    emit_stratum_update(log, 1, s1, 100, critical1, 0.99);
+    log.emit(Event("phase_begin").field("phase", "classify"));
+    log.emit(
+        Event("phase_end").field("phase", "classify").field("seconds", 1.5));
+    emit_campaign_end(log, true, 300, 6 + critical1, 2.0);
+    return out.str();
+}
+
+ObservatoryModel model_of(const std::string& log) {
+    return model_from_events(parse_json_lines(log));
+}
+
+TEST(JsonParse, RoundTripsEventLines) {
+    const auto events = parse_json_lines(make_log(1));
+    ASSERT_GE(events.size(), 4u);
+    EXPECT_EQ(events[0].get_str("type"), "campaign_header");
+    EXPECT_EQ(events[0].get_uint("seed"), 7u);
+    EXPECT_DOUBLE_EQ(events[0].get_num("error_margin"), 0.01);
+    const JsonValue* layers = events[3].find("layers");
+    ASSERT_NE(layers, nullptr);
+    ASSERT_TRUE(layers->is_array());
+    EXPECT_EQ(layers->array[1].get_str("name"), "fc");
+}
+
+TEST(JsonParse, NamesTheFailingLine) {
+    try {
+        parse_json_lines("{\"v\":1}\nnot json\n");
+        FAIL() << "expected parse failure";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(ObservatoryModel, ReconstructsCampaign) {
+    const auto m = model_of(make_log(1));
+    EXPECT_EQ(m.command, "campaign");
+    EXPECT_EQ(m.model, "micronet");
+    EXPECT_EQ(m.universe, 4096u);
+    EXPECT_EQ(m.planned, 300u);
+    ASSERT_EQ(m.layers.size(), 2u);
+    EXPECT_EQ(m.layers[1].name, "fc");
+    ASSERT_EQ(m.strata.size(), 2u);
+    EXPECT_EQ(m.strata[0].points.size(), 3u);
+    EXPECT_EQ(m.strata[0].final_point()->done, 200u);
+    EXPECT_EQ(m.strata[0].final_point()->critical, 6u);
+    EXPECT_LT(m.strata[0].final_point()->wilson_lo,
+              m.strata[0].final_point()->p_hat);
+    EXPECT_GT(m.strata[0].final_point()->wilson_hi,
+              m.strata[0].final_point()->p_hat);
+    ASSERT_EQ(m.phases.size(), 2u);
+    EXPECT_EQ(m.phases[0].name, "fixture_build");
+    EXPECT_DOUBLE_EQ(m.phases[1].seconds, 1.5);
+    EXPECT_TRUE(m.finished);
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.injected, 300u);
+    ASSERT_NE(m.find_stratum(1, 30), nullptr);
+    EXPECT_EQ(m.find_stratum(1, 30)->planned, 100u);
+    EXPECT_EQ(m.find_stratum(3, 3), nullptr);
+}
+
+TEST(ObservatoryModel, ValidPrefixOfInterruptedLogStillModels) {
+    const std::string full = make_log(1);
+    // Cut after the 6th line — mid-campaign, no campaign_end.
+    std::size_t pos = 0;
+    for (int i = 0; i < 6; ++i) pos = full.find('\n', pos) + 1;
+    const auto m = model_of(full.substr(0, pos));
+    EXPECT_FALSE(m.finished);
+    EXPECT_EQ(m.universe, 4096u);
+    EXPECT_FALSE(m.strata.empty());
+}
+
+TEST(ObservatoryModel, RejectsHeaderlessLog) {
+    EXPECT_THROW(
+        model_of("{\"v\":1,\"seq\":0,\"ts\":0.1,\"type\":\"phase_begin\","
+                 "\"phase\":\"x\"}\n"),
+        std::runtime_error);
+}
+
+TEST(ObservatoryModel, RejectsBrokenSequence) {
+    const std::string log =
+        "{\"v\":1,\"seq\":0,\"ts\":0.0,\"type\":\"campaign_header\"}\n"
+        "{\"v\":1,\"seq\":5,\"ts\":0.1,\"type\":\"phase_begin\",\"phase\":"
+        "\"x\"}\n";
+    try {
+        model_of(log);
+        FAIL() << "expected schema error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(ObservatoryModel, SkipsUnknownEventTypesForForwardCompat) {
+    std::string log = make_log(1);
+    log +=
+        "{\"v\":1,\"seq\":11,\"ts\":9.9,\"type\":\"from_the_future\","
+        "\"x\":1}\n";
+    EXPECT_NO_THROW(model_of(log));
+}
+
+TEST(RenderHtml, SelfContainedWithMachineMarkers) {
+    const auto html =
+        render_observatory_html(model_of(make_log(1)), "test report");
+    // Single self-contained document: no external fetch of any kind.
+    EXPECT_EQ(html.find("src="), std::string::npos);
+    EXPECT_EQ(html.find("href="), std::string::npos);
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_NE(html.find("<meta name=\"statfi-strata\" content=\"2\">"),
+              std::string::npos);
+    EXPECT_NE(html.find("statfi.eventlog.v1"), std::string::npos);
+    // The report's sections: heatmap, convergence, phases, strata table.
+    EXPECT_NE(html.find("conv1"), std::string::npos);
+    EXPECT_NE(html.find("fixture_build"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+TEST(RenderHtml, EscapesModelText) {
+    auto m = model_of(make_log(1));
+    m.model = "<img>&co";
+    const auto html = render_observatory_html(m, "t");
+    EXPECT_EQ(html.find("<img>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;img&gt;&amp;co"), std::string::npos);
+}
+
+TEST(Diff, AgreeingCampaignsFlagNothing) {
+    const auto a = model_of(make_log(1));
+    const auto b = model_of(make_log(1));
+    const auto d = diff_observatories(a, b);
+    EXPECT_EQ(d.compared, 2u);
+    EXPECT_EQ(d.a_only, 0u);
+    EXPECT_TRUE(d.flagged.empty());
+}
+
+TEST(Diff, FlagsTheStratumWhoseIntervalsSeparated) {
+    // Stratum (1,30): A sees 1/100 critical, B sees 50/100 — the Wilson
+    // intervals are far disjoint; stratum (0,31) is identical in both.
+    const auto a = model_of(make_log(1));
+    const auto b = model_of(make_log(50));
+    const auto d = diff_observatories(a, b);
+    ASSERT_EQ(d.flagged.size(), 1u);
+    EXPECT_EQ(d.flagged[0].layer, 1);
+    EXPECT_EQ(d.flagged[0].bit, 30);
+    EXPECT_TRUE(d.flagged[0].regression);  // B's rate sits above A's
+    EXPECT_LT(d.flagged[0].a_hi, d.flagged[0].b_lo);
+
+    // And the mirrored comparison flags it as an improvement.
+    const auto reversed = diff_observatories(b, a);
+    ASSERT_EQ(reversed.flagged.size(), 1u);
+    EXPECT_FALSE(reversed.flagged[0].regression);
+}
+
+TEST(Diff, RendersSelfContainedHtml) {
+    const auto a = model_of(make_log(1));
+    const auto b = model_of(make_log(50));
+    const auto d = diff_observatories(a, b);
+    const auto html = render_diff_html(a, b, d, "diff");
+    EXPECT_EQ(html.find("src="), std::string::npos);
+    EXPECT_EQ(html.find("href="), std::string::npos);
+    EXPECT_NE(html.find("<meta name=\"statfi-diff-flagged\" content=\"1\">"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace statfi::report

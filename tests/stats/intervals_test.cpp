@@ -96,6 +96,60 @@ TEST(ClopperPearson, WiderThanWilson) {
     }
 }
 
+TEST(Wilson, SingleObservationStaysProper) {
+    // n = 1 is the first point the event log's convergence series emits;
+    // both degenerate tallies must still give a proper sub-[0,1] interval.
+    const auto miss = wilson_interval(0, 1, 0.99);
+    EXPECT_DOUBLE_EQ(miss.lo, 0.0);
+    EXPECT_GT(miss.hi, 0.0);
+    EXPECT_LT(miss.hi, 1.0);
+    const auto hit = wilson_interval(1, 1, 0.99);
+    EXPECT_DOUBLE_EQ(hit.hi, 1.0);
+    EXPECT_GT(hit.lo, 0.0);
+    EXPECT_LT(hit.lo, 1.0);
+    // Symmetry of the construction: 0/1 and 1/1 mirror around 1/2.
+    EXPECT_NEAR(miss.hi, 1.0 - hit.lo, 1e-12);
+}
+
+TEST(Wilson, AllSuccessesLowerBoundApproachesOne) {
+    // p-hat = 1: lo must grow with n (more evidence -> tighter from below).
+    double prev = 0.0;
+    for (const std::uint64_t n : {1ull, 10ull, 100ull, 10000ull}) {
+        const auto iv = wilson_interval(n, n, 0.99);
+        EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+        EXPECT_GT(iv.lo, prev);
+        prev = iv.lo;
+    }
+    EXPECT_GT(prev, 0.999);
+}
+
+TEST(WilsonVsWald, DivergeAtSmallNDegenerateTallies) {
+    // The motivating case for logging BOTH intervals per stratum_update: at
+    // 0/n Wald collapses to a zero-width interval at 0 (claiming
+    // certainty), while Wilson keeps honest width. The two constructions
+    // disagree most exactly where the fault-rate estimates matter most
+    // (rare critical faults).
+    for (const std::uint64_t n : {1ull, 2ull, 5ull, 20ull}) {
+        const auto wald = wald_interval(0, n, 0.99);
+        const auto wilson = wilson_interval(0, n, 0.99);
+        EXPECT_DOUBLE_EQ(wald.width(), 0.0) << "n=" << n;
+        EXPECT_GT(wilson.width(), 0.0) << "n=" << n;
+    }
+    // At large n with an interior rate they reconcile.
+    const auto wald = wald_interval(500, 10000, 0.99);
+    const auto wilson = wilson_interval(500, 10000, 0.99);
+    EXPECT_NEAR(wald.lo, wilson.lo, 1e-3);
+    EXPECT_NEAR(wald.hi, wilson.hi, 1e-3);
+}
+
+TEST(WaldFpc, FullCensusOfOneItem) {
+    // The n = N = 1 corner a single-item stratum hits: the FPC must zero
+    // the width without dividing by zero.
+    const auto iv = wald_interval_fpc(1, 1, 1, 0.99);
+    EXPECT_DOUBLE_EQ(iv.width(), 0.0);
+    EXPECT_DOUBLE_EQ(iv.center(), 1.0);
+}
+
 TEST(Intervals, RejectBadArguments) {
     EXPECT_THROW(wald_interval(5, 0, 0.95), std::domain_error);
     EXPECT_THROW(wald_interval(11, 10, 0.95), std::domain_error);

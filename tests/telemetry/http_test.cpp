@@ -1,0 +1,178 @@
+// StatusServer endpoint contract: /status, /metrics, /trace, the index,
+// 404/405 behavior, HEAD support, and loopback-only binding — exercised
+// with raw POSIX sockets so the test sees exactly the bytes a scraper
+// would.
+
+#include "telemetry/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "../support/json_check.hpp"
+
+namespace statfi::telemetry {
+namespace {
+
+/// One blocking HTTP exchange against 127.0.0.1:port; returns the full
+/// response (headers + body).
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string get(std::uint16_t port, const std::string& target,
+                const std::string& method = "GET") {
+    return http_exchange(port, method + " " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+    const auto pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+struct ServerFixture {
+    Session session;
+    StatusServer server;
+
+    ServerFixture() : session(traced()), server(&session, 0) {
+        session.bind_workers(1);
+        StatusBoard::Descriptor d;
+        d.command = "campaign";
+        d.model = "micronet";
+        session.status().set_descriptor(d);
+    }
+
+    static SessionOptions traced() {
+        SessionOptions o;
+        o.enable_trace = true;
+        return o;
+    }
+};
+
+TEST(StatusServer, EphemeralPortResolves) {
+    ServerFixture fx;
+    EXPECT_GT(fx.server.port(), 0);
+}
+
+TEST(StatusServer, StatusIsOneJsonDocument) {
+    ServerFixture fx;
+    fx.session.status().push_phase("classify");
+    const auto response = get(fx.server.port(), "/status");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    const auto body = body_of(response);
+    testsupport::JsonChecker checker(body);
+    EXPECT_TRUE(checker.valid()) << "not valid JSON at byte "
+                                 << checker.stopped_at() << ": " << body;
+    EXPECT_NE(body.find("\"state\":\"running\""), std::string::npos);
+    EXPECT_NE(body.find("\"phase\":\"classify\""), std::string::npos);
+    EXPECT_NE(body.find("\"model\":\"micronet\""), std::string::npos);
+}
+
+TEST(StatusServer, MetricsIsPrometheusText) {
+    ServerFixture fx;
+    fx.session.metrics().inc(0, fx.session.ids().faults_total, 42);
+    const auto response = get(fx.server.port(), "/metrics");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    const auto body = body_of(response);
+    EXPECT_NE(body.find("# TYPE statfi_faults_total counter"),
+              std::string::npos);
+    EXPECT_NE(body.find("statfi_faults_total 42"), std::string::npos);
+}
+
+TEST(StatusServer, TraceServedWhenEnabled) {
+    ServerFixture fx;
+    { PhaseScope scope(&fx.session, "golden_pass"); }
+    const auto response = get(fx.server.port(), "/trace");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(body_of(response).find("golden_pass"), std::string::npos);
+}
+
+TEST(StatusServer, TraceIs404WhenDisabled) {
+    SessionOptions options;
+    options.enable_trace = false;
+    Session session(options);
+    session.bind_workers(1);
+    StatusServer server(&session, 0);
+    const auto response = get(server.port(), "/trace");
+    EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(StatusServer, IndexListsEndpoints) {
+    ServerFixture fx;
+    const auto body = body_of(get(fx.server.port(), "/"));
+    EXPECT_NE(body.find("/status"), std::string::npos);
+    EXPECT_NE(body.find("/metrics"), std::string::npos);
+}
+
+TEST(StatusServer, UnknownTargetIs404) {
+    ServerFixture fx;
+    EXPECT_NE(get(fx.server.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+}
+
+TEST(StatusServer, NonGetIs405) {
+    ServerFixture fx;
+    EXPECT_NE(get(fx.server.port(), "/status", "POST").find("HTTP/1.1 405"),
+              std::string::npos);
+}
+
+TEST(StatusServer, HeadOmitsBody) {
+    ServerFixture fx;
+    const auto response = get(fx.server.port(), "/status", "HEAD");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_TRUE(body_of(response).empty());
+}
+
+TEST(StatusServer, CountsRequestsAndStopsIdempotently) {
+    ServerFixture fx;
+    get(fx.server.port(), "/status");
+    get(fx.server.port(), "/metrics");
+    EXPECT_GE(fx.server.requests_served(), 2u);
+    fx.server.stop();
+    fx.server.stop();  // second stop is a no-op
+}
+
+TEST(StatusServer, FinishedStateAppears) {
+    ServerFixture fx;
+    fx.session.status().set_finished(true);
+    EXPECT_NE(body_of(get(fx.server.port(), "/status"))
+                  .find("\"state\":\"complete\""),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace statfi::telemetry

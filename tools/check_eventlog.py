@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Validate a statfi.eventlog.v1 JSONL event log (as written by --log-out).
+
+Enforces the frozen v1 schema contract (DESIGN.md §5.13) so CI catches a
+format regression without rebuilding the report renderer:
+
+  * every line is exactly one compact JSON object;
+  * every event carries the envelope {"v":1,"seq":N,"ts":S,"type":...},
+    with `seq` strictly monotonic from 0 and `ts` a non-negative number;
+  * the FIRST event is a campaign_header naming the schema
+    "statfi.eventlog.v1" (header-first invariant);
+  * every known event type carries its required keys with sane types
+    (probabilities in [0,1], interval lo <= hi, done <= planned-or-more);
+  * unknown event types are tolerated (forward compatibility) unless
+    --strict is given.
+
+Usage:
+    check_eventlog.py FILE [--require-type TYPE ...] [--strict]
+
+`--require-type` fails unless at least one event of that type is present
+(e.g. --require-type stratum_update --require-type campaign_end).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "statfi.eventlog.v1"
+
+# Required payload keys (beyond the envelope) per event type, with the
+# accepted JSON types. bool is checked separately from int (bool is an int
+# subclass in Python).
+NUM = (int, float)
+REQUIRED = {
+    "campaign_header": {
+        "schema": str,
+        "command": str,
+        "model": str,
+        "approach": str,
+        "dtype": str,
+        "policy": str,
+        "seed": NUM,
+        "images": NUM,
+        "confidence": NUM,
+        "error_margin": NUM,
+    },
+    "plan": {
+        "universe": NUM,
+        "planned": NUM,
+        "strata": NUM,
+        "bits": NUM,
+        "layers": list,
+    },
+    "phase_begin": {"phase": str},
+    "phase_end": {"phase": str, "seconds": NUM},
+    "resume": {"replayed": NUM},
+    "stratum_update": {
+        "stratum": NUM,
+        "layer": NUM,
+        "bit": NUM,
+        "population": NUM,
+        "planned": NUM,
+        "done": NUM,
+        "critical": NUM,
+        "p_hat": NUM,
+        "wilson_lo": NUM,
+        "wilson_hi": NUM,
+        "wald_lo": NUM,
+        "wald_hi": NUM,
+    },
+    "shard_begin": {"shard": NUM, "range_begin": NUM, "range_end": NUM},
+    "shard_end": {
+        "shard": NUM,
+        "complete": bool,
+        "resumed": NUM,
+        "classified": NUM,
+    },
+    "merge_artifact": {"shard": NUM, "items": NUM, "seconds": NUM},
+    "campaign_end": {
+        "outcome": str,
+        "injected": NUM,
+        "critical": NUM,
+        "wall_seconds": NUM,
+    },
+}
+
+
+def type_ok(value, expected):
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is NUM:
+        return isinstance(value, NUM) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def check_payload(event, lineno, errors):
+    """Per-type required keys plus the numeric sanity rules."""
+    etype = event["type"]
+    spec = REQUIRED.get(etype)
+    if spec is None:
+        return False  # unknown type
+    for key, expected in spec.items():
+        if key not in event:
+            errors.append(f"line {lineno}: {etype} missing key {key!r}")
+        elif not type_ok(event[key], expected):
+            errors.append(
+                f"line {lineno}: {etype}.{key} has type "
+                f"{type(event[key]).__name__}, expected "
+                f"{'number' if expected is NUM else expected.__name__}"
+            )
+    if etype == "campaign_header" and event.get("schema") != SCHEMA_NAME:
+        errors.append(
+            f"line {lineno}: campaign_header.schema is "
+            f"{event.get('schema')!r}, expected {SCHEMA_NAME!r}"
+        )
+    if etype == "stratum_update":
+        for prob in ("p_hat", "wilson_lo", "wilson_hi", "wald_lo", "wald_hi"):
+            v = event.get(prob)
+            if isinstance(v, NUM) and not 0.0 <= v <= 1.0:
+                errors.append(
+                    f"line {lineno}: stratum_update.{prob} = {v} "
+                    f"outside [0, 1]"
+                )
+        for lo, hi in (("wilson_lo", "wilson_hi"), ("wald_lo", "wald_hi")):
+            if (
+                isinstance(event.get(lo), NUM)
+                and isinstance(event.get(hi), NUM)
+                and event[lo] > event[hi]
+            ):
+                errors.append(f"line {lineno}: stratum_update {lo} > {hi}")
+        done, critical = event.get("done"), event.get("critical")
+        if isinstance(done, NUM) and isinstance(critical, NUM):
+            if critical > done:
+                errors.append(
+                    f"line {lineno}: stratum_update critical {critical} > "
+                    f"done {done}"
+                )
+    if etype == "shard_begin":
+        lo, hi = event.get("range_begin"), event.get("range_end")
+        if isinstance(lo, NUM) and isinstance(hi, NUM) and lo >= hi:
+            errors.append(f"line {lineno}: shard_begin empty range [{lo},{hi})")
+    if etype == "campaign_end" and event.get("outcome") not in (
+        "complete",
+        "interrupted",
+    ):
+        errors.append(
+            f"line {lineno}: campaign_end.outcome is "
+            f"{event.get('outcome')!r}, expected complete|interrupted"
+        )
+    return True
+
+
+def check(path, required_types, strict):
+    errors = []
+    counts = {}
+    expected_seq = 0
+
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                errors.append(f"line {lineno}: blank line in event log")
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON: {exc}")
+                continue
+            if not isinstance(event, dict):
+                errors.append(f"line {lineno}: event is not a JSON object")
+                continue
+
+            # Envelope.
+            if event.get("v") != 1:
+                errors.append(
+                    f"line {lineno}: schema version {event.get('v')!r}, "
+                    f"expected 1"
+                )
+            seq = event.get("seq")
+            if seq != expected_seq:
+                errors.append(
+                    f"line {lineno}: seq {seq!r}, expected {expected_seq} "
+                    f"(strictly monotonic from 0)"
+                )
+            expected_seq = (seq if isinstance(seq, int) else expected_seq) + 1
+            ts = event.get("ts")
+            if not isinstance(ts, NUM) or isinstance(ts, bool) or ts < 0:
+                errors.append(f"line {lineno}: bad ts {ts!r}")
+            etype = event.get("type")
+            if not isinstance(etype, str) or not etype:
+                errors.append(f"line {lineno}: missing event type")
+                continue
+
+            # Header-first invariant.
+            if lineno == 1 and etype != "campaign_header":
+                errors.append(
+                    f"line 1: first event is {etype!r}, expected "
+                    f"campaign_header (header-first invariant)"
+                )
+
+            known = check_payload(event, lineno, errors)
+            if not known and strict:
+                errors.append(f"line {lineno}: unknown event type {etype!r}")
+            counts[etype] = counts.get(etype, 0) + 1
+
+    if expected_seq == 0:
+        errors.append("event log is empty")
+    for etype in required_types:
+        if not counts.get(etype):
+            errors.append(f"required event type {etype!r} has no events")
+    return errors, expected_seq, counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="JSONL event log (--log-out output)")
+    parser.add_argument(
+        "--require-type",
+        action="append",
+        default=[],
+        metavar="TYPE",
+        help="fail unless at least one event of TYPE is present (repeatable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on event types unknown to schema v1",
+    )
+    args = parser.parse_args()
+
+    errors, events, counts = check(args.file, args.require_type, args.strict)
+    if errors:
+        for err in errors:
+            print(f"check_eventlog: {err}", file=sys.stderr)
+        return 1
+    summary = ", ".join(f"{t}={n}" for t, n in sorted(counts.items()))
+    print(f"check_eventlog: OK ({events} events: {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

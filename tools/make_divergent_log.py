@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Copy a statfi event log, forcing stratum 0's estimate to p = 1.
+
+CI's divergence drill for `statfi report --diff`: given a real log, emit a
+copy whose stratum 0 claims every injected fault was critical, with a
+Wilson interval disjoint from any realistic fault rate. Diffing the
+original against the copy must flag exactly that stratum (exit code 3).
+
+Usage:
+    make_divergent_log.py IN.jsonl OUT.jsonl [--stratum K]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input")
+    parser.add_argument("output")
+    parser.add_argument(
+        "--stratum",
+        type=int,
+        default=0,
+        help="stratum index to push to p = 1 (default 0)",
+    )
+    args = parser.parse_args()
+
+    rewritten = 0
+    with open(args.input, encoding="utf-8") as src, open(
+        args.output, "w", encoding="utf-8"
+    ) as dst:
+        for line in src:
+            event = json.loads(line)
+            if (
+                event.get("type") == "stratum_update"
+                and event.get("stratum") == args.stratum
+            ):
+                event["critical"] = event["done"]
+                event["p_hat"] = 1.0
+                event["wilson_lo"] = 0.9
+                event["wilson_hi"] = 1.0
+                event["wald_lo"] = 1.0
+                event["wald_hi"] = 1.0
+                rewritten += 1
+            dst.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    if rewritten == 0:
+        print(
+            f"make_divergent_log: no stratum_update with stratum "
+            f"{args.stratum} in {args.input}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"make_divergent_log: {args.output}: stratum {args.stratum} forced "
+        f"to p=1 across {rewritten} update(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@
 //   statfi shard run     --manifest PATH --shard K [--resume] [--threads N]
 //   statfi shard run-all --manifest PATH [--jobs J] [--threads N]
 //   statfi shard merge   --manifest PATH [--out PATH] [--json]
+//   statfi report        --log PATH [--out PATH.html]
+//   statfi report        --manifest PATH [--out PATH.html]
+//   statfi report        --diff A.jsonl B.jsonl [--out PATH.html] [--json]
 //
 // Approaches: exhaustive | network-wise | layer-wise | data-unaware |
 // data-aware. --train fits the model on the synthetic dataset first
@@ -42,17 +45,31 @@
 // Chrome trace of the campaign phases (load into chrome://tracing or
 // Perfetto), --perf-counters folds per-phase hardware counters into the
 // metrics (Linux perf_event_open; degrades to a stderr note elsewhere).
+//
+// Observatory (DESIGN.md §5.13): --log-out appends the structured JSONL
+// event log (statfi.eventlog.v1 — header, phases, per-stratum estimator
+// convergence, shard lifecycle), --serve-status PORT starts a read-only
+// localhost HTTP endpoint (/status /metrics /trace; PORT 0 picks a free
+// port) for live observation, and `statfi report` turns an event log or a
+// merged shard campaign into a self-contained single-file HTML report
+// (`--diff A B` flags strata whose confidence intervals no longer
+// overlap). Telemetry never perturbs outcomes: results are bit-identical
+// with every flag on or off.
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/convergence.hpp"
 #include "core/data_aware.hpp"
 #include "core/engine.hpp"
 #include "core/estimator.hpp"
@@ -60,6 +77,7 @@
 #include "data/synthetic.hpp"
 #include "models/registry.hpp"
 #include "report/json.hpp"
+#include "report/observatory.hpp"
 #include "report/table.hpp"
 #include "shard/driver.hpp"
 #include "shard/fixture.hpp"
@@ -67,6 +85,7 @@
 #include "shard/merge.hpp"
 #include "shard/runner.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/http.hpp"
 
 namespace {
 
@@ -101,6 +120,10 @@ struct Options {
     std::string metrics_out;   ///< write metrics here (.json => JSON)
     std::string trace_out;     ///< write Chrome trace JSON here
     bool perf_counters = false;  ///< sample hardware perf counters
+    std::string log_out;       ///< write the JSONL event log here
+    int serve_status = -1;     ///< HTTP status port (-1 off, 0 ephemeral)
+    std::string log_in;        ///< report: event log to render
+    std::string diff_a, diff_b;  ///< report --diff: the two event logs
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -117,6 +140,9 @@ struct Options {
         "  shard run                   run one shard of a manifest\n"
         "  shard run-all               run all shards as local subprocesses\n"
         "  shard merge                 validate + merge shard results\n"
+        "  report                      render an event log (or a merged\n"
+        "                              shard campaign) as a self-contained\n"
+        "                              HTML report; --diff compares two logs\n"
         "options:\n"
         "  --model NAME                micronet|resnet20|resnet32|mobilenetv2\n"
         "  --approach A                exhaustive|network-wise|layer-wise|\n"
@@ -148,7 +174,15 @@ struct Options {
         "  --trace-out PATH            write a Chrome trace (chrome://tracing\n"
         "                              / Perfetto) of the campaign phases\n"
         "  --perf-counters             include hardware perf counters per\n"
-        "                              phase (Linux perf_event_open)\n";
+        "                              phase (Linux perf_event_open)\n"
+        "  --log-out PATH              write the structured JSONL event log\n"
+        "                              (statfi.eventlog.v1) of the campaign\n"
+        "  --serve-status PORT         serve /status /metrics /trace on\n"
+        "                              127.0.0.1:PORT while the campaign\n"
+        "                              runs (0 picks a free port)\n"
+        "  --log PATH                  report: the event log to render\n"
+        "  --diff A B                  report: flag strata whose confidence\n"
+        "                              intervals no longer overlap\n";
     std::exit(2);
 }
 
@@ -206,6 +240,18 @@ Options parse(int argc, char** argv) {
         else if (flag == "--metrics-out") opt.metrics_out = value();
         else if (flag == "--trace-out") opt.trace_out = value();
         else if (flag == "--perf-counters") opt.perf_counters = true;
+        else if (flag == "--log-out") opt.log_out = value();
+        else if (flag == "--serve-status") {
+            const long port = std::strtol(value().c_str(), nullptr, 10);
+            if (port < 0 || port > 65535)
+                usage("--serve-status PORT must be in [0, 65535]");
+            opt.serve_status = static_cast<int>(port);
+        }
+        else if (flag == "--log") opt.log_in = value();
+        else if (flag == "--diff") {
+            opt.diff_a = value();
+            opt.diff_b = value();
+        }
         else usage("unknown flag '" + flag + "'");
     }
     if (opt.margin <= 0 || opt.margin >= 1) usage("--margin must be in (0,1)");
@@ -233,10 +279,11 @@ core::ProgressFn stderr_progress() {
 /// fault and zero clock reads).
 std::unique_ptr<telemetry::Session> make_session(const Options& opt) {
     if (opt.metrics_out.empty() && opt.trace_out.empty() &&
-        !opt.perf_counters)
+        !opt.perf_counters && opt.log_out.empty() && opt.serve_status < 0)
         return nullptr;
     telemetry::SessionOptions options;
-    options.enable_trace = !opt.trace_out.empty();
+    // A live status server should answer /trace, so it implies tracing.
+    options.enable_trace = !opt.trace_out.empty() || opt.serve_status >= 0;
     options.enable_perf = opt.perf_counters;
     auto session = std::make_unique<telemetry::Session>(options);
     if (opt.perf_counters && !session->perf_enabled())
@@ -244,6 +291,93 @@ std::unique_ptr<telemetry::Session> make_session(const Options& opt) {
                   << session->perf_probe().unavailable_reason()
                   << "); continuing without them\n";
     return session;
+}
+
+/// Everything the Observatory flags stand up around one campaign command:
+/// the session, the attached event log (header already emitted), the
+/// status-board descriptor, and the HTTP status server. Destruction order
+/// (server before session) follows member order.
+struct Observatory {
+    std::unique_ptr<telemetry::Session> session;
+    std::unique_ptr<telemetry::StatusServer> server;
+    telemetry::StatusBoard::Descriptor descriptor;
+
+    [[nodiscard]] telemetry::Session* get() const noexcept {
+        return session.get();
+    }
+    [[nodiscard]] telemetry::EventLog* events() const noexcept {
+        return session ? session->events() : nullptr;
+    }
+
+    /// Fill in the plan-derived descriptor fields once the plan exists.
+    void stamp_plan(std::uint64_t universe, std::uint64_t planned,
+                    std::uint64_t strata) {
+        if (!session) return;
+        descriptor.universe = universe;
+        descriptor.planned = planned;
+        descriptor.strata = strata;
+        session->status().set_descriptor(descriptor);
+    }
+};
+
+core::CampaignHeaderInfo header_from(const shard::CampaignRecipe& recipe,
+                                     const std::string& command) {
+    core::CampaignHeaderInfo info;
+    info.command = command;
+    info.model = recipe.model;
+    info.approach = core::to_string(recipe.approach);
+    info.dtype = fault::to_string(recipe.dtype);
+    info.policy = core::to_string(recipe.policy);
+    info.seed = recipe.seed;
+    info.images = recipe.images;
+    info.confidence = recipe.confidence;
+    info.error_margin = recipe.error_margin;
+    return info;
+}
+
+Observatory open_observatory(const Options& opt,
+                             const shard::CampaignRecipe& recipe,
+                             const std::string& command, int shard = -1) {
+    Observatory obs;
+    obs.session = make_session(opt);
+    if (!obs.session) return obs;
+    if (!opt.log_out.empty()) {
+        obs.session->open_event_log(opt.log_out);
+        core::emit_campaign_header(*obs.session->events(),
+                                   header_from(recipe, command));
+    }
+    telemetry::StatusBoard::Descriptor& d = obs.descriptor;
+    d.command = command;
+    d.model = recipe.model;
+    d.approach = core::to_string(recipe.approach);
+    d.dtype = fault::to_string(recipe.dtype);
+    d.policy = core::to_string(recipe.policy);
+    d.seed = recipe.seed;
+    d.shard = shard;
+    obs.session->status().set_descriptor(d);
+    if (opt.serve_status >= 0) {
+        obs.server = std::make_unique<telemetry::StatusServer>(
+            obs.session.get(), static_cast<std::uint16_t>(opt.serve_status));
+        std::cerr << "statfi: observatory on http://127.0.0.1:"
+                  << obs.server->port() << "  (/status /metrics /trace)\n";
+    }
+    return obs;
+}
+
+/// Terminal bookkeeping: the campaign_end event, the status board's final
+/// state, and the stderr note pointing at the written log.
+void close_observatory(const Options& opt, Observatory& obs, bool complete,
+                       std::uint64_t injected, std::uint64_t critical,
+                       double wall_seconds) {
+    if (!obs.session) return;
+    if (telemetry::EventLog* log = obs.session->events()) {
+        core::emit_campaign_end(*log, complete, injected, critical,
+                                wall_seconds);
+        std::cerr << "statfi: event log written to " << opt.log_out << " ("
+                  << log->events_written() << " events)\n";
+    }
+    obs.session->status().set_finished(complete);
+    obs.server.reset();
 }
 
 /// Write the telemetry artifacts the flags requested (interrupted runs
@@ -409,12 +543,20 @@ void emit_campaign_json(const Options& opt, const char* command,
 
 int cmd_campaign(const Options& opt) {
     const auto recipe = recipe_from(opt);
-    auto fx = shard::build_fixture(recipe);
     std::ostream& out = human(opt);
-    const auto session = make_session(opt);
+    Observatory obs = open_observatory(opt, recipe, "campaign");
+    telemetry::Session* const session = obs.get();
+    auto fx = [&] {
+        telemetry::PhaseScope scope(session, "fixture_build");
+        return shard::build_fixture(recipe);
+    }();
     core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads,
-                                session.get());
+                                session);
     const auto plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
+    if (telemetry::EventLog* log = obs.events())
+        core::emit_plan_event(*log, fx.universe, plan);
+    obs.stamp_plan(fx.universe.total(), plan.total_sample_size(),
+                   plan.subpops.size());
     out << core::to_string(plan.approach) << " campaign: "
         << report::fmt_u64(plan.total_sample_size()) << " of "
         << report::fmt_u64(fx.universe.total()) << " faults, "
@@ -438,7 +580,10 @@ int cmd_campaign(const Options& opt) {
     out << "done in " << report::fmt_double(result.wall_seconds, 1)
         << "s (" << report::fmt_u64(engine.inference_count())
         << " faulty inferences)\n";
-    export_telemetry(opt, session.get());
+    close_observatory(opt, obs, !result.interrupted,
+                      result.total_injected(), result.total_critical(),
+                      result.wall_seconds);
+    export_telemetry(opt, session);
     if (opt.json)
         emit_campaign_json(opt, "campaign", fx.universe, result,
                            engine.golden_accuracy());
@@ -492,12 +637,22 @@ void emit_census_json(const Options& opt, const char* command,
 }
 
 int cmd_exhaustive(const Options& opt) {
-    const auto recipe = recipe_from(opt);
-    auto fx = shard::build_fixture(recipe);
+    auto recipe = recipe_from(opt);
+    recipe.approach = core::Approach::Exhaustive;
     std::ostream& out = human(opt);
-    const auto session = make_session(opt);
+    Observatory obs = open_observatory(opt, recipe, "exhaustive");
+    telemetry::Session* const session = obs.get();
+    auto fx = [&] {
+        telemetry::PhaseScope scope(session, "fixture_build");
+        return shard::build_fixture(recipe);
+    }();
+    if (telemetry::EventLog* log = obs.events())
+        core::emit_plan_event_census(*log, fx.universe);
+    obs.stamp_plan(fx.universe.total(), fx.universe.total(),
+                   static_cast<std::uint64_t>(fx.universe.layer_count()) *
+                       static_cast<std::uint64_t>(fx.universe.bits()));
     core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads,
-                                session.get());
+                                session);
     out << "exhaustive census: " << report::fmt_u64(fx.universe.total())
         << " faults x " << opt.images << " image(s) on "
         << engine.worker_count()
@@ -518,11 +673,20 @@ int cmd_exhaustive(const Options& opt) {
     if (!opt.resume) std::filesystem::remove(durability.journal_path);
 
     std::signal(SIGINT, handle_sigint);
-    const auto run =
-        engine.run_exhaustive_durable(fx.universe, durability,
-                                      stderr_progress());
+    const auto census_start = std::chrono::steady_clock::now();
+    const auto run = engine.run_exhaustive_durable(
+        fx.universe, durability,
+        telemetry::board_progress(session ? &session->status() : nullptr,
+                                  stderr_progress()));
+    const double census_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      census_start)
+            .count();
     std::signal(SIGINT, SIG_DFL);
-    export_telemetry(opt, session.get());
+    close_observatory(opt, obs, run.complete, run.resumed + run.classified,
+                      run.outcomes.critical_count(0, fx.universe.total()),
+                      census_wall);
+    export_telemetry(opt, session);
     if (!run.complete) {
         std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
                   << " newly classified fault(s) checkpointed to "
@@ -624,19 +788,31 @@ int cmd_shard_run(const Options& opt) {
         << ", " << report::fmt_u64(manifest.item_count)
         << " items total)  (Ctrl-C checkpoints; rerun with --resume)\n";
 
-    const auto session = make_session(opt);
+    Observatory obs = open_observatory(opt, manifest.recipe, "shard-run",
+                                       static_cast<int>(opt.shard));
+    telemetry::Session* const session = obs.get();
+    obs.stamp_plan(0, manifest.item_count,
+                   static_cast<std::uint64_t>(manifest.plan.subpops.size()));
     shard::ShardRunOptions run_options;
     run_options.shard = opt.shard;
     run_options.resume = opt.resume;
     run_options.threads = opt.threads;
     run_options.cancel = &g_interrupt;
-    run_options.progress = stderr_progress();
-    run_options.telemetry = session.get();
+    run_options.progress = telemetry::board_progress(
+        session ? &session->status() : nullptr, stderr_progress());
+    run_options.telemetry = session;
 
     std::signal(SIGINT, handle_sigint);
+    const auto shard_start = std::chrono::steady_clock::now();
     const auto run = shard::run_shard(manifest, opt.manifest, run_options);
+    const double shard_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      shard_start)
+            .count();
     std::signal(SIGINT, SIG_DFL);
-    export_telemetry(opt, session.get());
+    close_observatory(opt, obs, run.complete, run.resumed + run.classified,
+                      run.critical, shard_wall);
+    export_telemetry(opt, session);
 
     if (!run.complete) {
         std::cerr << "\ninterrupted: " << report::fmt_u64(run.classified)
@@ -659,6 +835,7 @@ int cmd_shard_run(const Options& opt) {
             .field("shard", static_cast<std::uint64_t>(opt.shard))
             .field("resumed", run.resumed)
             .field("classified", run.classified)
+            .field("critical", run.critical)
             .field("result", run.result_path)
             .end_object();
         json.finish();
@@ -705,14 +882,47 @@ int cmd_shard_run_all(const Options& opt) {
 int cmd_shard_merge(const Options& opt) {
     if (opt.manifest.empty()) usage("shard merge needs --manifest");
     const auto manifest = shard::ShardManifest::load(opt.manifest);
-    const auto session = make_session(opt);
-    const auto merged =
-        shard::merge_shards(manifest, opt.manifest, session.get());
-    export_telemetry(opt, session.get());
+    Observatory obs = open_observatory(opt, manifest.recipe, "shard-merge");
+    telemetry::Session* const session = obs.get();
+    const auto merge_start = std::chrono::steady_clock::now();
+    const auto merged = shard::merge_shards(manifest, opt.manifest, session);
 
-    // Human-facing readouts need layer names/index ranges — rebuild the
-    // fixture (the merge itself never needed it).
-    auto fx = shard::build_fixture(manifest.recipe);
+    // Human-facing readouts (and the merged campaign's strata events) need
+    // layer names/index ranges — rebuild the fixture (the merge itself
+    // never needed it).
+    auto fx = [&] {
+        telemetry::PhaseScope scope(session, "fixture_build");
+        return shard::build_fixture(manifest.recipe);
+    }();
+    obs.stamp_plan(fx.universe.total(), manifest.item_count,
+                   merged.kind == shard::CampaignKind::Census
+                       ? static_cast<std::uint64_t>(fx.universe.layer_count()) *
+                             static_cast<std::uint64_t>(fx.universe.bits())
+                       : static_cast<std::uint64_t>(
+                             manifest.plan.subpops.size()));
+    std::uint64_t merged_critical = 0;
+    if (telemetry::EventLog* log = obs.events()) {
+        // The merged campaign's log carries the same plan + final strata a
+        // direct run would have written, so `statfi report` treats both
+        // identically.
+        if (merged.kind == shard::CampaignKind::Census) {
+            core::emit_plan_event_census(*log, fx.universe);
+            core::emit_census_strata(*log, fx.universe, merged.outcomes,
+                                     manifest.recipe.confidence);
+        } else {
+            core::emit_plan_event(*log, fx.universe, manifest.plan);
+            core::emit_final_strata(*log, merged.result);
+        }
+    }
+    if (merged.kind == shard::CampaignKind::Census)
+        merged_critical = merged.outcomes.critical_count(0, fx.universe.total());
+    else
+        merged_critical = merged.result.total_critical();
+    close_observatory(opt, obs, true, manifest.item_count, merged_critical,
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - merge_start)
+                          .count());
+    export_telemetry(opt, session);
     std::ostream& out = human(opt);
 
     Options view = opt;  // recipe fields drive the shared emitters
@@ -748,6 +958,152 @@ int cmd_shard_merge(const Options& opt) {
     return 0;
 }
 
+// --- report ----------------------------------------------------------------
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("report: cannot write " + path);
+    file << text;
+    if (!file) throw std::runtime_error("report: write failed for " + path);
+}
+
+/// Merge a completed shard fleet and synthesize the event log a direct run
+/// would have produced (header, plan, final strata, campaign_end) — through
+/// the very same emitters — so the renderer has exactly one input format.
+report::ObservatoryModel model_from_manifest(const Options& opt) {
+    const auto manifest = shard::ShardManifest::load(opt.manifest);
+    const auto merge_start = std::chrono::steady_clock::now();
+    const auto merged = shard::merge_shards(manifest, opt.manifest, nullptr);
+    auto fx = shard::build_fixture(manifest.recipe);
+
+    std::ostringstream buffer;
+    telemetry::EventLog log(buffer);
+    core::emit_campaign_header(log, header_from(manifest.recipe, "shard-merge"));
+    std::uint64_t critical = 0;
+    if (merged.kind == shard::CampaignKind::Census) {
+        core::emit_plan_event_census(log, fx.universe);
+        core::emit_census_strata(log, fx.universe, merged.outcomes,
+                                 manifest.recipe.confidence);
+        critical = merged.outcomes.critical_count(0, fx.universe.total());
+    } else {
+        core::emit_plan_event(log, fx.universe, manifest.plan);
+        core::emit_final_strata(log, merged.result);
+        critical = merged.result.total_critical();
+    }
+    core::emit_campaign_end(log, true, manifest.item_count, critical,
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - merge_start)
+                                .count());
+    return report::model_from_events(report::parse_json_lines(buffer.str()));
+}
+
+int cmd_report_diff(const Options& opt) {
+    const auto a = report::load_event_log(opt.diff_a);
+    const auto b = report::load_event_log(opt.diff_b);
+    const auto diff = report::diff_observatories(a, b);
+    std::ostream& out = human(opt);
+    if (!opt.out.empty()) {
+        write_text_file(opt.out,
+                        report::render_diff_html(
+                            a, b, diff, a.model + " — A/B stratum diff"));
+        out << "diff report written to " << opt.out << "\n";
+    }
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "report-diff")
+            .field("a", opt.diff_a)
+            .field("b", opt.diff_b)
+            .field("compared", diff.compared)
+            .field("a_only", diff.a_only)
+            .field("b_only", diff.b_only)
+            .field("flagged",
+                   static_cast<std::uint64_t>(diff.flagged.size()));
+        json.key("strata").begin_array();
+        for (const auto& f : diff.flagged)
+            json.begin_object()
+                .field("layer", f.layer)
+                .field("bit", f.bit)
+                .field("a_p", f.a_p)
+                .field("a_lo", f.a_lo)
+                .field("a_hi", f.a_hi)
+                .field("b_p", f.b_p)
+                .field("b_lo", f.b_lo)
+                .field("b_hi", f.b_hi)
+                .field("regression", f.regression)
+                .end_object();
+        json.end_array().end_object();
+        json.finish();
+    } else {
+        out << "compared " << diff.compared << " strata ("
+            << diff.a_only << " only in A, " << diff.b_only
+            << " only in B): " << diff.flagged.size()
+            << " with disjoint confidence intervals\n";
+        if (!diff.flagged.empty()) {
+            report::Table table({"Layer", "Bit", "A p(hat) [CI]",
+                                 "B p(hat) [CI]", "Direction"});
+            for (const auto& f : diff.flagged)
+                table.add_row(
+                    {std::to_string(f.layer), std::to_string(f.bit),
+                     report::fmt_double(f.a_p, 5) + " [" +
+                         report::fmt_double(f.a_lo, 5) + ", " +
+                         report::fmt_double(f.a_hi, 5) + "]",
+                     report::fmt_double(f.b_p, 5) + " [" +
+                         report::fmt_double(f.b_lo, 5) + ", " +
+                         report::fmt_double(f.b_hi, 5) + "]",
+                     f.regression ? "B higher" : "B lower"});
+            table.print(out);
+        }
+    }
+    // Exit 0 when the campaigns statistically agree, 3 when strata moved —
+    // so CI can gate on a reliability regression without parsing output.
+    return diff.flagged.empty() ? 0 : 3;
+}
+
+int cmd_report(const Options& opt) {
+    const int sources = (opt.log_in.empty() ? 0 : 1) +
+                        (opt.manifest.empty() ? 0 : 1) +
+                        (opt.diff_a.empty() ? 0 : 1);
+    if (sources != 1)
+        usage("report needs exactly one of --log PATH, --manifest PATH, or "
+              "--diff A B");
+    if (!opt.diff_a.empty()) return cmd_report_diff(opt);
+
+    const std::string source =
+        opt.log_in.empty() ? opt.manifest : opt.log_in;
+    const report::ObservatoryModel model =
+        opt.log_in.empty() ? model_from_manifest(opt)
+                           : report::load_event_log(opt.log_in);
+    const std::string html = report::render_observatory_html(
+        model, model.model + " " + model.command + " — statfi observatory");
+    const std::string out_path =
+        opt.out.empty() ? source + ".html" : opt.out;
+    write_text_file(out_path, html);
+
+    std::ostream& out = human(opt);
+    out << "observatory report written to " << out_path << " ("
+        << model.strata.size() << " strata, " << model.event_count
+        << " events)\n";
+    if (!model.finished)
+        out << "note: the log has no campaign_end event — the report covers "
+               "an interrupted or still-running campaign\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "report")
+            .field("source", source)
+            .field("out", out_path)
+            .field("strata",
+                   static_cast<std::uint64_t>(model.strata.size()))
+            .field("events", model.event_count)
+            .field("finished", model.finished)
+            .field("complete", model.complete)
+            .end_object();
+        json.finish();
+    }
+    return 0;
+}
+
 int cmd_shard(const Options& opt) {
     if (opt.subcommand == "plan") return cmd_shard_plan(opt);
     if (opt.subcommand == "run") return cmd_shard_run(opt);
@@ -768,6 +1124,7 @@ int main(int argc, char** argv) {
         if (opt.command == "campaign") return cmd_campaign(opt);
         if (opt.command == "exhaustive") return cmd_exhaustive(opt);
         if (opt.command == "shard") return cmd_shard(opt);
+        if (opt.command == "report") return cmd_report(opt);
         usage("unknown command '" + opt.command + "'");
     } catch (const std::exception& e) {
         std::cerr << "statfi: " << e.what() << "\n";
