@@ -7,7 +7,6 @@
 
 #include <iostream>
 
-#include "core/activation_campaign.hpp"
 #include "core/estimator.hpp"
 #include "core/testbed.hpp"
 #include "report/table.hpp"
@@ -56,19 +55,21 @@ int main() {
                  "critical rate is ~2x the stuck-at rate)\n\n";
 
     // --- transient bit flip on activations ---------------------------------
-    core::ActivationCampaignExecutor act_exec(net, testbed.eval_set());
-    fault::ActivationUniverse act_universe(net, Shape{3, 32, 32});
-    const auto act_plan = act_exec.plan_node_wise(act_universe, spec);
-    const auto act_result =
-        act_exec.run(act_universe, act_plan, testbed.rng("transient-act"));
+    // Same engine, same plan/run path as the weight models: the activation
+    // universe's "layers" are graph nodes.
+    const auto act_universe =
+        fault::FaultUniverse::activation(net, Shape{3, 32, 32});
+    const auto act_result = executor.run(
+        act_universe, core::plan_layer_wise(act_universe, spec),
+        testbed.rng("transient-act"));
 
     report::Table act_table({"Node", "Elements/inference", "N", "FIs",
                              "Critical [%]"});
     for (std::size_t s = 0; s < act_result.subpops.size(); ++s) {
         const auto& sp = act_result.subpops[s];
         const int node = sp.plan.layer;
-        act_table.add_row({act_universe.node_name(node),
-                           report::fmt_u64(act_universe.node_elements(node)),
+        act_table.add_row({act_universe.layer(node).name,
+                           report::fmt_u64(act_universe.layer(node).weight_count),
                            report::fmt_u64(sp.plan.population),
                            report::fmt_u64(sp.injected),
                            report::fmt_percent(sp.critical_rate(), 2)});

@@ -39,6 +39,9 @@ std::string encode_header(const CampaignFingerprint& fp) {
     put_u64(body, threshold_bits);
     put_u32(body, fp.eval_hash);
     put_u32(body, fp.weights_hash);
+    body.push_back(static_cast<char>(fp.fault_model));
+    body.push_back(static_cast<char>(fp.mbu_k));
+    put_u32(body, fp.mitigation_hash);
     put_u32(body, static_cast<std::uint32_t>(fp.model_id.size()));
     body.append(fp.model_id);
 
@@ -70,7 +73,10 @@ std::string CampaignFingerprint::describe() const {
        << " dtype=" << static_cast<int>(dtype)
        << " policy=" << static_cast<int>(policy)
        << " threshold=" << accuracy_drop_threshold << " eval=" << hex(eval_hash)
-       << " weights=" << hex(weights_hash);
+       << " weights=" << hex(weights_hash)
+       << " fault_model=" << static_cast<int>(fault_model)
+       << " k=" << static_cast<int>(mbu_k)
+       << " mitigation=" << hex(mitigation_hash);
     return os.str();
 }
 

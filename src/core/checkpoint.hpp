@@ -52,6 +52,9 @@ struct CampaignFingerprint {
     double accuracy_drop_threshold = 0.0;  ///< AccuracyDrop parameter
     std::uint32_t eval_hash = 0;           ///< CRC32 of eval images + labels
     std::uint32_t weights_hash = 0;        ///< CRC32 of golden weights
+    std::uint8_t fault_model = 0;          ///< fault::FaultModelKind
+    std::uint8_t mbu_k = 1;                ///< multi-bit upset k (else 1)
+    std::uint32_t mitigation_hash = 0;     ///< MitigationConfig descriptor CRC
 
     [[nodiscard]] bool operator==(const CampaignFingerprint&) const = default;
     /// "model=micronet N=134528 dtype=0 policy=0 eval=0x.. weights=0x.."

@@ -52,10 +52,37 @@ GoldenCache build_golden_cache(const nn::Network& net,
     return golden;
 }
 
+namespace {
+/// Resolve the mitigation config against the graph and deploy it: clip
+/// rules install a node hook clamping protected outputs, so every forward
+/// pass from here on (the golden pass included) runs the hardened network.
+fault::ResolvedMitigation deploy_mitigation(
+    const fault::MitigationConfig& config, nn::Network& net) {
+    auto resolved = fault::resolve_mitigation(config, net);
+    if (resolved.any_clip) {
+        net.set_node_hook(
+            [clips = resolved.node_clips](int id, Tensor& out) {
+                const auto& range = clips[static_cast<std::size_t>(id)];
+                if (!range) return;
+                const float lo = range->first, hi = range->second;
+                float* data = out.data();
+                const std::int64_t n = out.numel();
+                // NaN passes through (clamp circuits bound magnitude, they
+                // do not repair invalid encodings).
+                for (std::int64_t e = 0; e < n; ++e)
+                    data[e] = std::clamp(data[e], lo, hi);
+            });
+    }
+    return resolved;
+}
+}  // namespace
+
 ClassificationCore::ClassificationCore(nn::Network& net,
                                        const data::Dataset& eval,
                                        ExecutorConfig config)
-    : net_(&net), config_(config), injector_(net, config.dtype),
+    : net_(&net), config_(std::move(config)),
+      mitigation_(deploy_mitigation(config_.mitigation, net)),
+      injector_(net, config_.dtype),
       golden_(build_golden_cache(net, eval)) {
     // Warm the scratch arena (and each conv's im2col workspace) at
     // single-image shapes so the hot loop never allocates. Not an injected
@@ -129,9 +156,51 @@ FaultOutcome ClassificationCore::classify_active_fault(int first_dirty_node) {
     return FaultOutcome::NonCritical;
 }
 
+FaultOutcome ClassificationCore::evaluate_activation(const fault::Fault& fault) {
+    // A transient fault lives in ONE inference: pick the target image,
+    // corrupt one element of one node's golden activation, re-run only the
+    // downstream sub-graph, restore. fault.layer is the graph-node id and
+    // fault.weight_index the element within its batch-1 output.
+    const std::size_t images = golden_.images.size();
+    const auto i = static_cast<std::size_t>(
+        (fault.weight_index + static_cast<std::uint64_t>(fault.bit)) % images);
+    auto& acts = golden_.acts[i];
+    Tensor& act = acts.at(static_cast<std::size_t>(fault.layer));
+    if (fault.weight_index >= static_cast<std::uint64_t>(act.numel()))
+        throw std::out_of_range(
+            "ClassificationCore: activation element index out of range");
+    const auto element = static_cast<std::size_t>(fault.weight_index);
+    const float saved = act[element];
+    act[element] = fault::apply_bit_flip(saved, fault.bit, config_.dtype);
+    // Only nodes AFTER the corrupted one re-run; when the corrupted node is
+    // the last one, forward_from returns the (corrupted) golden output.
+    const Tensor& logits =
+        net_->forward_from(fault.layer + 1, golden_.images[i], acts, scratch_);
+    ++inferences_;
+    const int prediction = predict(logits);
+    act[element] = saved;
+
+    switch (config_.policy) {
+        case ClassificationPolicy::AnyMisprediction:
+            return (golden_.preds[i] == golden_.labels[i] &&
+                    prediction != golden_.labels[i])
+                       ? FaultOutcome::Critical
+                       : FaultOutcome::NonCritical;
+        case ClassificationPolicy::GoldenMismatch:
+        case ClassificationPolicy::AccuracyDrop:  // single-inference fault:
+                                                  // drop == one flip
+            return prediction != golden_.preds[i] ? FaultOutcome::Critical
+                                                  : FaultOutcome::NonCritical;
+    }
+    return FaultOutcome::NonCritical;
+}
+
 FaultOutcome ClassificationCore::evaluate(const fault::Fault& fault) {
     if (!telemetry_) {
-        if (injector_.masked(fault)) return FaultOutcome::Masked;
+        if (fault.model == fault::FaultModel::ActivationFlip)
+            return evaluate_activation(fault);
+        if (mitigation_.tmr_protects(fault.layer) || injector_.masked(fault))
+            return FaultOutcome::Masked;
         fault::WeightInjector::Scoped guard(injector_, fault);
         return classify_active_fault(injector_.node_of_layer(fault.layer));
     }
@@ -152,7 +221,12 @@ FaultOutcome ClassificationCore::evaluate_instrumented(
     const auto t0 = clock::now();
 
     FaultOutcome outcome;
-    if (injector_.masked(fault)) {
+    if (fault.model == fault::FaultModel::ActivationFlip) {
+        outcome = evaluate_activation(fault);
+        // One corrupted inference: the whole evaluation is forward time.
+        reg.inc(worker_, ids.forward_ns_total, ns_between(t0, clock::now()));
+    } else if (mitigation_.tmr_protects(fault.layer) ||
+               injector_.masked(fault)) {
         outcome = FaultOutcome::Masked;
         reg.inc(worker_, ids.masked_total);
     } else {
@@ -198,6 +272,10 @@ CampaignFingerprint ClassificationCore::fingerprint(
     for (const auto& ref : net_->weight_layers())
         weights.update(ref.weight->data(), ref.weight->numel() * sizeof(float));
     fp.weights_hash = weights.value();
+
+    fp.fault_model = static_cast<std::uint8_t>(universe.kind());
+    fp.mbu_k = static_cast<std::uint8_t>(universe.mbu_k());
+    fp.mitigation_hash = config_.mitigation.descriptor_hash();
     return fp;
 }
 

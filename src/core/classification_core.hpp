@@ -52,9 +52,10 @@ GoldenCache build_golden_cache(const nn::Network& net,
 class ClassificationCore {
 public:
     /// Clones nothing: operates directly on @p net's weights (restoring
-    /// them after every fault). Caches golden activations in the
-    /// constructor and warms the scratch arena with one (uncounted)
-    /// full-depth forward_from.
+    /// them after every fault). Resolves and deploys the config's
+    /// mitigations on @p net (clip rules install a node hook, so the golden
+    /// pass measures the hardened network), caches golden activations, and
+    /// warms the scratch arena with one (uncounted) full-depth forward_from.
     ClassificationCore(nn::Network& net, const data::Dataset& eval,
                        ExecutorConfig config = {});
 
@@ -72,7 +73,15 @@ public:
         return inferences_;
     }
 
-    /// Classify one fault (weights are corrupted and restored internally).
+    /// Classify one fault (weights or activations are corrupted and
+    /// restored internally). Dispatches on fault.model: weight faults
+    /// corrupt stored weight words and re-run the downstream sub-graph per
+    /// image; ActivationFlip faults corrupt one element of one node's
+    /// golden activation during ONE inference whose image is a pure
+    /// function of the fault — (element + bit) mod |eval| — so transient
+    /// campaigns stay bit-identical across worker counts, shard splits, and
+    /// interrupt/resume points. Weight/multi-bit faults in a TMR-protected
+    /// layer are outvoted and Masked without inference.
     FaultOutcome evaluate(const fault::Fault& fault);
 
     /// Attach telemetry: this core reports into @p session's per-worker
@@ -95,10 +104,14 @@ public:
 
 private:
     FaultOutcome classify_active_fault(int first_dirty_node);
+    FaultOutcome evaluate_activation(const fault::Fault& fault);
     FaultOutcome evaluate_instrumented(const fault::Fault& fault);
 
     nn::Network* net_;
     ExecutorConfig config_;
+    /// Resolved before injector_/golden_: construction installs the clip
+    /// hook on net_, and the golden cache below must see it.
+    fault::ResolvedMitigation mitigation_;
     fault::WeightInjector injector_;
     GoldenCache golden_;
     std::uint64_t inferences_ = 0;

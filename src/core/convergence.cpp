@@ -21,13 +21,20 @@ void emit_campaign_header(EventLog& log, const CampaignHeaderInfo& info) {
                  .field("seed", info.seed)
                  .field("images", info.images)
                  .field("confidence", info.confidence)
-                 .field("error_margin", info.error_margin));
+                 .field("error_margin", info.error_margin)
+                 .field("fault_model", info.fault_model)
+                 .field("mitigation", info.mitigation));
 }
 
 namespace {
 
 /// The layer table every `plan` event carries: the report keys heatmap rows
 /// and per-layer tallies on it.
+/// Canonical fault-model spelling of a universe ("stuck-at", "mbu-k2", ...).
+std::string universe_fault_model(const fault::FaultUniverse& universe) {
+    return fault::FaultModelSpec{universe.kind(), universe.mbu_k()}.describe();
+}
+
 std::string layers_json(const fault::FaultUniverse& universe) {
     std::ostringstream out;
     report::JsonWriter json(out, 0);
@@ -55,6 +62,7 @@ void emit_plan_event(EventLog& log, const fault::FaultUniverse& universe,
                      const CampaignPlan& plan) {
     log.emit(Event("plan")
                  .field("approach", to_string(plan.approach))
+                 .field("fault_model", universe_fault_model(universe))
                  .field("universe", universe.total())
                  .field("planned", plan.total_sample_size())
                  .field("strata",
@@ -70,6 +78,7 @@ void emit_plan_event_census(EventLog& log,
         static_cast<std::uint64_t>(universe.bits());
     log.emit(Event("plan")
                  .field("approach", "exhaustive")
+                 .field("fault_model", universe_fault_model(universe))
                  .field("universe", universe.total())
                  .field("planned", universe.total())
                  .field("strata", strata)

@@ -48,6 +48,10 @@ struct CampaignHeaderInfo {
     std::int64_t images = 0;
     double confidence = 0.99;
     double error_margin = 0.01;
+    /// FaultModelSpec::describe() spelling ("stuck-at", "flip", "mbu-k2",
+    /// "activation") and MitigationConfig::describe() ("none" when empty).
+    std::string fault_model = "stuck-at";
+    std::string mitigation = "none";
 };
 
 /// Emit the mandatory first event (schema name + recipe identity).

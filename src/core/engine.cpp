@@ -101,6 +101,15 @@ CampaignPlan CampaignEngine::plan(const fault::FaultUniverse& universe,
         case Approach::DataUnaware:
             return plan_data_unaware(universe, spec.sample);
         case Approach::DataAware: {
+            // Data-aware p(i) comes from per-bit weight criticality; combo
+            // ranks and activation elements have no such profile.
+            if (universe.kind() != fault::FaultModelKind::WeightStuckAt &&
+                universe.kind() != fault::FaultModelKind::WeightBitFlip)
+                throw std::invalid_argument(
+                    "CampaignEngine::plan: data-aware planning needs "
+                    "single-bit weight strata; fault model '" +
+                    std::string(fault::to_string(universe.kind())) +
+                    "' has none — use layer-wise or data-unaware instead");
             DataAwareConfig analysis = spec.analysis;
             analysis.dtype = config().dtype;
             nn::Network& net = workers_.front()->net;
@@ -215,6 +224,173 @@ CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     return result;
+}
+
+CampaignFingerprint item_space_fingerprint(CampaignFingerprint fp,
+                                           std::uint64_t item_count) {
+    fp.universe_size = item_count;
+    fp.model_id += "#items";
+    return fp;
+}
+
+StatisticalRun CampaignEngine::run_durable(const fault::FaultUniverse& universe,
+                                           const CampaignPlan& plan,
+                                           const std::vector<DrawnFault>& items,
+                                           const DurabilityOptions& options,
+                                           const ProgressFn& progress) {
+    telemetry::PhaseScope scope(telemetry_, "classify");
+    const auto start = std::chrono::steady_clock::now();
+    StatisticalRun run;
+    const auto total = static_cast<std::uint64_t>(items.size());
+    const std::uint64_t lo_all = options.range_begin;
+    const std::uint64_t hi_all =
+        options.range_end == 0 ? total : options.range_end;
+    if (lo_all >= hi_all || hi_all > total)
+        throw std::invalid_argument(
+            "run_durable: item range [" + std::to_string(lo_all) + ", " +
+            std::to_string(hi_all) + ") is empty or exceeds the " +
+            std::to_string(total) + "-item sample");
+    const std::uint64_t span = hi_all - lo_all;
+    run.outcomes.assign(span, 0);
+    // done[i] == 1: the outcome of item lo_all + i is known (journal replay
+    // or fresh classification). Each slot is owned by exactly one worker.
+    std::vector<std::uint8_t> done(span, 0);
+
+    std::optional<CampaignJournal> journal;
+    if (!options.journal_path.empty()) {
+        telemetry::PhaseScope replay_scope(telemetry_, "resume_replay");
+        const CampaignFingerprint fp = item_space_fingerprint(
+            fingerprint(universe, options.model_id), total);
+        auto recovery = CampaignJournal::recover(options.journal_path, fp);
+        if (!recovery.note.empty())
+            std::cerr << "statfi: " << recovery.note << "\n";
+        for (const JournalRecord& rec : recovery.records) {
+            if (rec.fault_index < lo_all || rec.fault_index >= hi_all) continue;
+            const std::uint64_t local = rec.fault_index - lo_all;
+            run.outcomes[local] = rec.outcome;
+            if (!done[local]) {
+                done[local] = 1;
+                ++run.resumed;
+            }
+        }
+        journal.emplace(CampaignJournal::open(options.journal_path, fp,
+                                              recovery.valid_bytes));
+        if (telemetry_) {
+            telemetry_->metrics().inc(
+                0, telemetry_->ids().journal_resumed_total, run.resumed);
+            if (run.resumed && telemetry_->events())
+                telemetry_->events()->emit(
+                    telemetry::Event("resume").field("replayed", run.resumed));
+        }
+    }
+
+    const telemetry::MetricIds* ids = telemetry_ ? &telemetry_->ids() : nullptr;
+    // Statistical samples are often a few hundred items — far below the
+    // census default stride of 4096 — so scale the heartbeat to ~64 beats
+    // per run (stride must stay a power of two).
+    std::uint64_t stride = 1;
+    while (stride * 64 < span) stride <<= 1;
+    telemetry::ProgressReporter reporter(progress, span, run.resumed, stride);
+    std::atomic<std::uint64_t> classified{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex sink_mutex;  // guards journal appends + progress callback
+    std::uint64_t since_flush = 0;
+
+    const std::size_t workers = workers_.size();
+    const std::uint64_t chunk = (span + workers - 1) / workers;
+    const auto work = [&](std::size_t w) {
+        const std::uint64_t lo = w * chunk;
+        const std::uint64_t hi = std::min(lo + chunk, span);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (done[i]) continue;
+            if (cancelled.load(std::memory_order_relaxed)) return;
+            if (options.cancel && options.cancel->stop_requested()) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const FaultOutcome outcome =
+                workers_[w]->core.evaluate(items[lo_all + i].fault);
+            run.outcomes[i] = static_cast<std::uint8_t>(outcome);
+            done[i] = 1;
+            const std::uint64_t n =
+                classified.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (journal || reporter.due(run.resumed + n)) {
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                if (journal) {
+                    journal->append(lo_all + i,
+                                    static_cast<std::uint8_t>(outcome));
+                    if (telemetry_)
+                        telemetry_->metrics().inc(0,
+                                                  ids->journal_records_total);
+                    if (++since_flush >= options.flush_interval) {
+                        journal->flush();
+                        if (telemetry_)
+                            telemetry_->metrics().inc(
+                                0, ids->checkpoint_flushes_total);
+                        since_flush = 0;
+                    }
+                }
+                if (reporter.due(run.resumed + n))
+                    reporter.report(run.resumed + n);
+            }
+        }
+    };
+    if (workers == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
+        for (auto& t : threads) t.join();
+    }
+
+    run.classified = classified.load();
+    run.complete = !cancelled.load();
+    if (journal) {
+        journal->flush();
+        if (telemetry_)
+            telemetry_->metrics().inc(0, ids->checkpoint_flushes_total);
+    }
+    if (run.complete) reporter.finish(run.classified);
+
+    // Serial accumulation in canonical item order — identical to run()'s,
+    // so resumed/sharded tallies are byte-identical to an uninterrupted
+    // single-process run. Only full-range runs emit estimator updates: a
+    // shard's slice is not a population.
+    run.result = make_empty_result(
+        static_cast<std::size_t>(universe.layer_count()), plan);
+    run.result.interrupted = !run.complete;
+    const bool full_range = lo_all == 0 && hi_all == total;
+    telemetry::EventLog* log =
+        (telemetry_ && full_range) ? telemetry_->events() : nullptr;
+    std::vector<std::uint64_t> last_emit;
+    if (log)
+        last_emit.assign(plan.subpops.size(),
+                         std::numeric_limits<std::uint64_t>::max());
+    for (std::uint64_t i = lo_all; i < hi_all; ++i) {
+        if (!done[i - lo_all]) continue;
+        const std::size_t s = items[i].subpop;
+        SubpopResult& tally = run.result.subpops[s];
+        accumulate_outcome(tally, items[i].fault.layer,
+                           static_cast<FaultOutcome>(run.outcomes[i - lo_all]));
+        if (log && (tally.injected & (tally.injected - 1)) == 0) {
+            emit_stratum_update(*log, s, tally.plan, tally.injected,
+                                tally.critical, plan.spec.confidence);
+            last_emit[s] = tally.injected;
+        }
+    }
+    if (log) {
+        for (std::size_t s = 0; s < run.result.subpops.size(); ++s) {
+            const SubpopResult& sub = run.result.subpops[s];
+            if (last_emit[s] != sub.injected)
+                emit_stratum_update(*log, s, sub.plan, sub.injected,
+                                    sub.critical, plan.spec.confidence);
+        }
+    }
+    run.result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return run;
 }
 
 CampaignResult CampaignEngine::run_campaign(const fault::FaultUniverse& universe,

@@ -50,6 +50,13 @@ struct DrawnFault {
 std::vector<DrawnFault> draw_plan(const fault::FaultUniverse& universe,
                                   const CampaignPlan& plan, stats::Rng rng);
 
+/// Identity of a statistical run's journal: the campaign fingerprint over
+/// the ITEM space instead of the fault universe. Swapping the size and
+/// tagging the model id guarantees a census journal never resumes into a
+/// statistical run (and vice versa) even at the same path.
+CampaignFingerprint item_space_fingerprint(CampaignFingerprint fp,
+                                           std::uint64_t item_count);
+
 class CampaignEngine {
 public:
     /// Clones @p net once per worker, so campaign corruption never touches
@@ -107,6 +114,20 @@ public:
     /// invoked every few thousand faults with rate/ETA heartbeat.
     ExhaustiveOutcomes run_exhaustive(const fault::FaultUniverse& universe,
                                       const ProgressFn& progress = {});
+
+    /// run() with durability — the statistical twin of
+    /// run_exhaustive_durable, shared by the shard runner and the CLI's
+    /// resumable campaigns. Classifies the drawn items of
+    /// [options.range_begin, options.range_end) (whole sample when
+    /// range_end == 0), journaling absolute ITEM indices under the
+    /// item-space fingerprint. Full-range runs emit the same canonical
+    /// stratum_update cadence as run(); range-restricted (shard) runs skip
+    /// emission — their slice is not a population.
+    StatisticalRun run_durable(const fault::FaultUniverse& universe,
+                               const CampaignPlan& plan,
+                               const std::vector<DrawnFault>& items,
+                               const DurabilityOptions& options,
+                               const ProgressFn& progress = {});
 
     /// run_exhaustive with durability: journaled checkpoints every record
     /// (flushed every flush_interval), resume from a matching journal, and

@@ -15,6 +15,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/planner.hpp"
+#include "fault/mitigation.hpp"
 #include "stats/rng.hpp"
 #include "telemetry/progress.hpp"
 
@@ -49,6 +50,9 @@ struct ExecutorConfig {
     ClassificationPolicy policy = ClassificationPolicy::AnyMisprediction;
     double accuracy_drop_threshold = 0.0;  ///< for AccuracyDrop: strict drop > threshold
     fault::DataType dtype = fault::DataType::Float32;
+    /// Mitigations deployed on the network under test (clipping changes the
+    /// golden pass too — the hardened network is measured against itself).
+    fault::MitigationConfig mitigation;
 };
 
 /// Per-subpopulation campaign tallies.
@@ -183,6 +187,17 @@ struct ExhaustiveRun {
     ExhaustiveOutcomes outcomes;
     bool complete = true;  ///< false: cancelled — journal holds progress
     std::uint64_t classified = 0;  ///< faults classified by this run
+    std::uint64_t resumed = 0;     ///< outcomes replayed from the journal
+};
+
+/// Outcome of a durable statistical run (CampaignEngine::run_durable): the
+/// canonical tallies plus the raw per-item outcomes of the classified item
+/// range (what shard results persist).
+struct StatisticalRun {
+    CampaignResult result;
+    std::vector<std::uint8_t> outcomes;  ///< FaultOutcome per item in range
+    bool complete = true;  ///< false: cancelled — journal holds progress
+    std::uint64_t classified = 0;  ///< items classified by this run
     std::uint64_t resumed = 0;     ///< outcomes replayed from the journal
 };
 

@@ -177,6 +177,61 @@ float apply_bit_flip(float value, int bit, DataType dtype, QuantParams qp) {
     return decode(encode(value, dtype, qp) ^ (1u << bit), dtype, qp);
 }
 
+float apply_multi_flip(float value, std::uint32_t bit_mask, DataType dtype,
+                       QuantParams qp) {
+    const int width = bit_width(dtype);
+    if (width < 32 && (bit_mask >> width) != 0u)
+        throw std::domain_error(
+            "codec: multi-flip mask has bits outside the data type width");
+    return decode(encode(value, dtype, qp) ^ bit_mask, dtype, qp);
+}
+
+std::uint64_t combination_count(int n, int k) {
+    if (n < 0 || k < 0)
+        throw std::domain_error("combination_count: negative n or k");
+    if (k > n) return 0;
+    if (k > n - k) k = n - k;
+    // Multiplicative form; exact for n <= 32 (max C(32,16) < 2^31).
+    std::uint64_t result = 1;
+    for (int i = 1; i <= k; ++i)
+        result = result * static_cast<std::uint64_t>(n - k + i) /
+                 static_cast<std::uint64_t>(i);
+    return result;
+}
+
+std::uint32_t combo_mask(std::uint64_t rank, int n, int k) {
+    if (n < 1 || n > 32 || k < 1 || k > n)
+        throw std::domain_error("combo_mask: need 1 <= k <= n <= 32");
+    if (rank >= combination_count(n, k))
+        throw std::out_of_range("combo_mask: rank out of range");
+    // Greedy combinadic decode: the i-th highest member c_i is the largest
+    // bit position with C(c_i, i) <= remaining rank.
+    std::uint32_t mask = 0;
+    int c = n;
+    for (int i = k; i >= 1; --i) {
+        do {
+            --c;
+        } while (combination_count(c, i) > rank);
+        rank -= combination_count(c, i);
+        mask |= 1u << c;
+    }
+    return mask;
+}
+
+std::uint64_t combo_rank(std::uint32_t mask, int k) {
+    std::uint64_t rank = 0;
+    int seen = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+        if ((mask >> bit) & 1u) {
+            ++seen;
+            rank += combination_count(bit, seen);
+        }
+    }
+    if (seen != k)
+        throw std::domain_error("combo_rank: mask popcount does not match k");
+    return rank;
+}
+
 double bit_flip_distance(float value, int bit, DataType dtype, QuantParams qp) {
     const float golden = quantize(value, dtype, qp);
     const float faulty = apply_bit_flip(value, bit, dtype, qp);

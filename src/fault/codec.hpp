@@ -46,6 +46,31 @@ float apply_stuck_at(float value, int bit, bool stuck_to_one, DataType dtype,
 /// Transient single-bit-flip fault: toggle bit and decode.
 float apply_bit_flip(float value, int bit, DataType dtype, QuantParams qp = {});
 
+/// Transient multi-bit upset: XOR @p bit_mask into the stored word and
+/// decode. The mask must fit in bit_width(dtype).
+float apply_multi_flip(float value, std::uint32_t bit_mask, DataType dtype,
+                       QuantParams qp = {});
+
+// -- combinadic codec for multi-bit upsets -----------------------------------
+//
+// A k-bit upset within one stored word is a k-subset of its bit positions.
+// The combinatorial number system gives a dense bijection
+// rank in [0, C(n,k)) <-> k-subset, so multi-bit universes enumerate without
+// materialization exactly like the single-bit ones (for k=1, rank == bit).
+
+/// C(n, k) without overflow for n <= 32. C(n, 0) == 1; k > n yields 0.
+/// @throws std::domain_error for negative n or k.
+std::uint64_t combination_count(int n, int k);
+
+/// Decode a combinadic rank into the k-subset bit mask over n bit positions.
+/// @throws std::domain_error for invalid n/k, std::out_of_range for
+/// rank >= C(n, k).
+std::uint32_t combo_mask(std::uint64_t rank, int n, int k);
+
+/// Encode a k-bit mask back to its combinadic rank (inverse of combo_mask).
+/// @throws std::domain_error if popcount(mask) != k.
+std::uint64_t combo_rank(std::uint32_t mask, int k);
+
 /// |faulty - golden| for a bit flip at @p bit, in double precision. A flip
 /// producing Inf/NaN (e.g. exponent 0xFE -> 0xFF) is scored as FLT_MAX so
 /// averages stay finite — such faults are maximally critical anyway.

@@ -7,14 +7,20 @@ const char* to_string(FaultModel model) noexcept {
         case FaultModel::StuckAt0: return "sa0";
         case FaultModel::StuckAt1: return "sa1";
         case FaultModel::BitFlip: return "flip";
+        case FaultModel::MultiFlip: return "mbu";
+        case FaultModel::ActivationFlip: return "act";
     }
     return "?";
 }
 
 std::string Fault::to_string() const {
-    return std::string("L") + std::to_string(layer) + ".w" +
-           std::to_string(weight_index) + ".b" + std::to_string(bit) + "." +
-           fault::to_string(model);
+    const char* site = model == FaultModel::ActivationFlip ? ".e" : ".w";
+    const char* axis = model == FaultModel::MultiFlip ? ".c" : ".b";
+    std::string s = std::string(model == FaultModel::ActivationFlip ? "N" : "L") +
+                    std::to_string(layer) + site + std::to_string(weight_index) +
+                    axis + std::to_string(bit) + "." + fault::to_string(model);
+    if (model == FaultModel::MultiFlip) s += std::to_string(k);
+    return s;
 }
 
 float corrupt(float value, const Fault& fault, DataType dtype, QuantParams qp) {
@@ -24,17 +30,28 @@ float corrupt(float value, const Fault& fault, DataType dtype, QuantParams qp) {
         case FaultModel::StuckAt1:
             return apply_stuck_at(value, fault.bit, true, dtype, qp);
         case FaultModel::BitFlip:
+        case FaultModel::ActivationFlip:
             return apply_bit_flip(value, fault.bit, dtype, qp);
+        case FaultModel::MultiFlip:
+            return apply_multi_flip(
+                value,
+                combo_mask(static_cast<std::uint64_t>(fault.bit),
+                           bit_width(dtype), fault.k),
+                dtype, qp);
     }
     return value;
 }
 
 bool is_masked(float value, const Fault& fault, DataType dtype, QuantParams qp) {
-    const bool golden_bit = bit_of(value, fault.bit, dtype, qp);
     switch (fault.model) {
-        case FaultModel::StuckAt0: return !golden_bit;
-        case FaultModel::StuckAt1: return golden_bit;
-        case FaultModel::BitFlip: return false;
+        case FaultModel::StuckAt0:
+            return !bit_of(value, fault.bit, dtype, qp);
+        case FaultModel::StuckAt1:
+            return bit_of(value, fault.bit, dtype, qp);
+        case FaultModel::BitFlip:
+        case FaultModel::MultiFlip:
+        case FaultModel::ActivationFlip:
+            return false;
     }
     return false;
 }

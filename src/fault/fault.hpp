@@ -11,18 +11,24 @@
 namespace statfi::fault {
 
 enum class FaultModel : std::uint8_t {
-    StuckAt0,  ///< permanent: bit forced to 0
-    StuckAt1,  ///< permanent: bit forced to 1
-    BitFlip,   ///< transient: bit toggled (extension beyond the paper)
+    StuckAt0,        ///< permanent: bit forced to 0
+    StuckAt1,        ///< permanent: bit forced to 1
+    BitFlip,         ///< transient: bit toggled (extension beyond the paper)
+    MultiFlip,       ///< transient: k bits of one stored word toggled at once
+    ActivationFlip,  ///< transient: bit toggled in one activation element
 };
 
 const char* to_string(FaultModel model) noexcept;
 
 struct Fault {
-    std::int32_t layer = 0;          ///< weight-layer index l (paper's layer id)
-    std::uint64_t weight_index = 0;  ///< flat index within that layer's weight tensor
-    std::int32_t bit = 0;            ///< bit position i, 0 = LSB
+    std::int32_t layer = 0;          ///< weight-layer index l (paper's layer id),
+                                     ///< or graph-node id for activation faults
+    std::uint64_t weight_index = 0;  ///< flat index within that layer's weight
+                                     ///< tensor (or the node's output tensor)
+    std::int32_t bit = 0;            ///< bit position i, 0 = LSB; for MultiFlip
+                                     ///< the combinadic rank of the k-subset
     FaultModel model = FaultModel::StuckAt0;
+    std::uint8_t k = 1;              ///< simultaneous flips (MultiFlip only)
 
     [[nodiscard]] bool operator==(const Fault&) const noexcept = default;
     [[nodiscard]] std::string to_string() const;

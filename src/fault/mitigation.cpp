@@ -1,0 +1,100 @@
+#include "fault/mitigation.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/checksum.hpp"
+
+namespace statfi::fault {
+
+namespace {
+
+std::string fmt_float(float v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+[[noreturn]] void clip_error(std::size_t ordinal, const ClipRule& rule,
+                             const std::string& what) {
+    throw std::invalid_argument("clip rule #" + std::to_string(ordinal + 1) +
+                                " (node '" + rule.node + "'): " + what);
+}
+
+[[noreturn]] void tmr_error(std::size_t ordinal, const TmrRule& rule,
+                            const std::string& what) {
+    throw std::invalid_argument("tmr rule #" + std::to_string(ordinal + 1) +
+                                " ('" + rule.layer + "'): " + what);
+}
+
+}  // namespace
+
+std::string MitigationConfig::describe() const {
+    if (empty()) return "none";
+    std::string out;
+    for (const auto& c : clips) {
+        if (!out.empty()) out += "+";
+        out += "clip(" + c.node + ":" + fmt_float(c.lo) + ":" + fmt_float(c.hi) +
+               ")";
+    }
+    for (const auto& t : tmr) {
+        if (!out.empty()) out += "+";
+        out += "tmr(" + t.layer + ")";
+    }
+    return out;
+}
+
+std::uint32_t MitigationConfig::descriptor_hash() const {
+    if (empty()) return 0;
+    const std::string d = describe();
+    return io::crc32(d.data(), d.size());
+}
+
+ResolvedMitigation resolve_mitigation(const MitigationConfig& config,
+                                      nn::Network& net) {
+    ResolvedMitigation resolved;
+    resolved.node_clips.assign(static_cast<std::size_t>(net.node_count()),
+                               std::nullopt);
+
+    for (std::size_t r = 0; r < config.clips.size(); ++r) {
+        const ClipRule& rule = config.clips[r];
+        if (!(rule.lo < rule.hi))
+            clip_error(r, rule,
+                       "invalid range [" + fmt_float(rule.lo) + ", " +
+                           fmt_float(rule.hi) + "): lo must be < hi");
+        bool matched = false;
+        for (int id = 0; id < net.node_count(); ++id) {
+            if (rule.node != "*" && net.node_name(id) != rule.node) continue;
+            resolved.node_clips[static_cast<std::size_t>(id)] =
+                std::make_pair(rule.lo, rule.hi);
+            matched = true;
+        }
+        if (!matched) clip_error(r, rule, "unknown graph node");
+        resolved.any_clip = true;
+    }
+
+    const auto weights = net.weight_layers();
+    resolved.tmr_layers.assign(weights.size(), 0);
+    for (std::size_t r = 0; r < config.tmr.size(); ++r) {
+        const TmrRule& rule = config.tmr[r];
+        bool matched = false;
+        for (std::size_t l = 0; l < weights.size(); ++l) {
+            if (rule.layer != "*" && weights[l].name != rule.layer) continue;
+            resolved.tmr_layers[l] = 1;
+            matched = true;
+        }
+        if (matched) continue;
+        // Distinguish "no such name" from "a node, but not a weight layer".
+        bool is_node = false;
+        for (int id = 0; id < net.node_count() && !is_node; ++id)
+            is_node = net.node_name(id) == rule.layer;
+        if (is_node)
+            tmr_error(r, rule,
+                      "node has no injectable weights; TMR protects weight "
+                      "layers only");
+        tmr_error(r, rule, "unknown weight layer");
+    }
+    return resolved;
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,83 @@
+#pragma once
+// Mitigation layer: cheap architectural hardening evaluated as a campaign
+// axis.
+//
+// Two mitigations with well-studied hardware analogues:
+//   * activation range clipping — each protected node's output is clamped to
+//     [lo, hi] after it is computed, bounding the astronomically large values
+//     an exponent-bit flip produces (Hoang et al.'s Ranger, Vinck et al.);
+//   * selective TMR on weights — a protected layer's weight words are
+//     triple-stored and majority-voted, so any single-word fault (stuck-at,
+//     flip, or multi-bit upset confined to one word) is outvoted and Masked
+//     without running inference.
+//
+// Clipping applies to the *deployed* network: the golden pass runs with the
+// same clamp, so a mitigated campaign measures the hardened network against
+// its own fault-free behaviour, not against the unhardened baseline.
+//
+// Rules are validated against the actual graph by resolve_mitigation(); bad
+// rules raise rule-attributed errors instead of silently matching nothing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace statfi::fault {
+
+/// Clamp node @p node's output to [lo, hi]. node == "*" protects every node.
+struct ClipRule {
+    std::string node;
+    float lo = 0.0f;
+    float hi = 0.0f;
+    [[nodiscard]] bool operator==(const ClipRule&) const noexcept = default;
+};
+
+/// Triple-store the named weight layer. layer == "*" protects every layer.
+struct TmrRule {
+    std::string layer;
+    [[nodiscard]] bool operator==(const TmrRule&) const noexcept = default;
+};
+
+struct MitigationConfig {
+    std::vector<ClipRule> clips;
+    std::vector<TmrRule> tmr;
+
+    [[nodiscard]] bool operator==(const MitigationConfig&) const noexcept =
+        default;
+    [[nodiscard]] bool empty() const noexcept {
+        return clips.empty() && tmr.empty();
+    }
+    /// Canonical human/log descriptor: "none", or e.g.
+    /// "clip(*:-6:6)+tmr(conv1)".
+    [[nodiscard]] std::string describe() const;
+    /// CRC32 of describe() — folded into journal/manifest fingerprints so a
+    /// resumed campaign can never silently change mitigations.
+    [[nodiscard]] std::uint32_t descriptor_hash() const;
+};
+
+/// MitigationConfig resolved against a concrete graph.
+struct ResolvedMitigation {
+    /// One entry per graph node: the clip range, if any.
+    std::vector<std::optional<std::pair<float, float>>> node_clips;
+    /// One entry per weight layer (FaultUniverse layer index): TMR protected?
+    std::vector<char> tmr_layers;
+    bool any_clip = false;
+
+    [[nodiscard]] bool tmr_protects(int layer) const noexcept {
+        return layer >= 0 &&
+               static_cast<std::size_t>(layer) < tmr_layers.size() &&
+               tmr_layers[static_cast<std::size_t>(layer)] != 0;
+    }
+};
+
+/// Validate @p config against @p net and index its rules by node/layer id.
+/// @throws std::invalid_argument with the offending rule's ordinal and name
+/// for unknown node/layer names, lo >= hi clip ranges, and TMR rules naming
+/// graph nodes without injectable weights.
+ResolvedMitigation resolve_mitigation(const MitigationConfig& config,
+                                      nn::Network& net);
+
+}  // namespace statfi::fault

@@ -1,0 +1,49 @@
+#include "fault/model.hpp"
+
+#include <stdexcept>
+
+namespace statfi::fault {
+
+const char* to_string(FaultModelKind kind) noexcept {
+    switch (kind) {
+        case FaultModelKind::WeightStuckAt: return "stuck-at";
+        case FaultModelKind::WeightBitFlip: return "flip";
+        case FaultModelKind::ActivationBitFlip: return "activation";
+        case FaultModelKind::MultiBitUpset: return "mbu";
+    }
+    return "?";
+}
+
+std::string FaultModelSpec::describe() const {
+    if (kind == FaultModelKind::MultiBitUpset)
+        return "mbu-k" + std::to_string(mbu_k);
+    return to_string(kind);
+}
+
+FaultModelSpec fault_model_from_string(const std::string& name) {
+    FaultModelSpec spec;
+    if (name == "stuck-at") {
+        spec.kind = FaultModelKind::WeightStuckAt;
+    } else if (name == "flip") {
+        spec.kind = FaultModelKind::WeightBitFlip;
+    } else if (name == "activation") {
+        spec.kind = FaultModelKind::ActivationBitFlip;
+    } else if (name == "mbu" || name.rfind("mbu-k", 0) == 0) {
+        spec.kind = FaultModelKind::MultiBitUpset;
+        if (name != "mbu") {
+            try {
+                spec.mbu_k = std::stoi(name.substr(5));
+            } catch (const std::exception&) {
+                throw std::invalid_argument(
+                    "fault model '" + name + "': bad multi-bit k");
+            }
+        }
+    } else {
+        throw std::invalid_argument(
+            "unknown fault model '" + name +
+            "' (expected stuck-at|flip|activation|mbu[-kN])");
+    }
+    return spec;
+}
+
+}  // namespace statfi::fault

@@ -1,0 +1,41 @@
+#pragma once
+// Fault-model layer: one name for each injectable universe.
+//
+// The paper's statistical machinery (per-stratum sampling, Eq. 1/3) never
+// looks inside a fault — it only needs a dense index space partitioned into
+// subpopulations. FaultModelKind names the four universes the engine can
+// enumerate; FaultModelSpec is the campaign-level descriptor carried through
+// recipes, manifests, journal fingerprints and the event log so a resumed or
+// sharded campaign can never silently switch fault models.
+
+#include <string>
+
+#include "fault/codec.hpp"
+
+namespace statfi::fault {
+
+enum class FaultModelKind : std::uint8_t {
+    WeightStuckAt,      ///< permanent weight stuck-at (the paper's model)
+    WeightBitFlip,      ///< transient single-bit weight flip
+    ActivationBitFlip,  ///< transient single-bit activation flip
+    MultiBitUpset,      ///< transient k-bit upset within one weight word
+};
+
+const char* to_string(FaultModelKind kind) noexcept;
+
+/// Campaign-level fault-model descriptor.
+struct FaultModelSpec {
+    FaultModelKind kind = FaultModelKind::WeightStuckAt;
+    int mbu_k = 2;  ///< simultaneous flips (MultiBitUpset only)
+
+    [[nodiscard]] bool operator==(const FaultModelSpec&) const noexcept =
+        default;
+    /// Human/log descriptor: "stuck-at", "flip", "activation", "mbu-k2".
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Parse "stuck-at" | "flip" | "activation" | "mbu" | "mbu-kN".
+/// @throws std::invalid_argument on unknown names or bad k.
+FaultModelSpec fault_model_from_string(const std::string& name);
+
+}  // namespace statfi::fault

@@ -5,11 +5,8 @@
 
 namespace statfi::fault {
 
-FaultUniverse::FaultUniverse(nn::Network& net, DataType dtype, int polarities)
-    : dtype_(dtype), bits_(bit_width(dtype)), polarities_(polarities) {
-    for (const auto& ref : net.weight_layers())
-        layers_.push_back(LayerInfo{ref.name, ref.weight->numel()});
-    layer_offsets_.resize(layers_.size() + 1, 0);
+void FaultUniverse::build_offsets() {
+    layer_offsets_.assign(layers_.size() + 1, 0);
     for (std::size_t l = 0; l < layers_.size(); ++l)
         layer_offsets_[l + 1] =
             layer_offsets_[l] + layers_[l].weight_count *
@@ -18,12 +15,74 @@ FaultUniverse::FaultUniverse(nn::Network& net, DataType dtype, int polarities)
     total_ = layer_offsets_.back();
 }
 
+FaultUniverse::FaultUniverse(nn::Network& net, DataType dtype, int polarities)
+    : dtype_(dtype), bits_(bit_width(dtype)), polarities_(polarities) {
+    for (const auto& ref : net.weight_layers())
+        layers_.push_back(LayerInfo{ref.name, ref.weight->numel()});
+    build_offsets();
+}
+
 FaultUniverse FaultUniverse::stuck_at(nn::Network& net, DataType dtype) {
-    return FaultUniverse(net, dtype, 2);
+    FaultUniverse u(net, dtype, 2);
+    u.kind_ = FaultModelKind::WeightStuckAt;
+    return u;
 }
 
 FaultUniverse FaultUniverse::bit_flip(nn::Network& net, DataType dtype) {
-    return FaultUniverse(net, dtype, 1);
+    FaultUniverse u(net, dtype, 1);
+    u.kind_ = FaultModelKind::WeightBitFlip;
+    return u;
+}
+
+FaultUniverse FaultUniverse::multi_bit(nn::Network& net, int k, DataType dtype) {
+    const int width = bit_width(dtype);
+    if (k < 1 || k > width)
+        throw std::invalid_argument(
+            "FaultUniverse::multi_bit: k must be in [1, " +
+            std::to_string(width) + "] for " + to_string(dtype) + ", got " +
+            std::to_string(k));
+    FaultUniverse u(net, dtype, 1);
+    u.kind_ = FaultModelKind::MultiBitUpset;
+    u.k_ = k;
+    u.bits_ = static_cast<int>(combination_count(width, k));
+    u.build_offsets();
+    return u;
+}
+
+FaultUniverse FaultUniverse::activation(const nn::Network& net,
+                                        const Shape& image_shape,
+                                        DataType dtype) {
+    FaultUniverse u;
+    u.kind_ = FaultModelKind::ActivationBitFlip;
+    u.dtype_ = dtype;
+    u.bits_ = bit_width(dtype);
+    u.polarities_ = 1;
+    // Populations are defined over batch-1 activation shapes: one transient
+    // corruption of one element of one node's output during one inference.
+    std::vector<std::int64_t> with_batch{1};
+    for (std::size_t i = 0; i < image_shape.rank(); ++i)
+        with_batch.push_back(image_shape[i]);
+    const auto shapes = net.infer_shapes(Shape(with_batch));
+    for (int id = 0; id < net.node_count(); ++id)
+        u.layers_.push_back(LayerInfo{
+            net.node_name(id),
+            static_cast<std::uint64_t>(
+                shapes[static_cast<std::size_t>(id)].numel())});
+    u.build_offsets();
+    return u;
+}
+
+FaultUniverse FaultUniverse::make(nn::Network& net, const FaultModelSpec& spec,
+                                  const Shape& image_shape, DataType dtype) {
+    switch (spec.kind) {
+        case FaultModelKind::WeightStuckAt: return stuck_at(net, dtype);
+        case FaultModelKind::WeightBitFlip: return bit_flip(net, dtype);
+        case FaultModelKind::MultiBitUpset:
+            return multi_bit(net, spec.mbu_k, dtype);
+        case FaultModelKind::ActivationBitFlip:
+            return activation(net, image_shape, dtype);
+    }
+    throw std::invalid_argument("FaultUniverse::make: bad fault-model kind");
 }
 
 std::uint64_t FaultUniverse::layer_population(int l) const {
@@ -60,18 +119,35 @@ std::uint64_t FaultUniverse::encode(const Fault& fault) const {
         throw std::out_of_range("FaultUniverse::encode: bad bit");
     if (fault.weight_index >= layers_[static_cast<std::size_t>(l)].weight_count)
         throw std::out_of_range("FaultUniverse::encode: bad weight index");
+    FaultModel expected = FaultModel::StuckAt0;
     std::uint64_t polarity = 0;
-    switch (fault.model) {
-        case FaultModel::StuckAt0: polarity = 0; break;
-        case FaultModel::StuckAt1: polarity = 1; break;
-        case FaultModel::BitFlip: polarity = 0; break;
+    switch (kind_) {
+        case FaultModelKind::WeightStuckAt:
+            if (fault.model != FaultModel::StuckAt0 &&
+                fault.model != FaultModel::StuckAt1)
+                throw std::invalid_argument(
+                    "FaultUniverse::encode: non-stuck-at fault in stuck-at "
+                    "universe");
+            polarity = fault.model == FaultModel::StuckAt1 ? 1 : 0;
+            break;
+        case FaultModelKind::WeightBitFlip:
+            expected = FaultModel::BitFlip;
+            break;
+        case FaultModelKind::MultiBitUpset:
+            expected = FaultModel::MultiFlip;
+            break;
+        case FaultModelKind::ActivationBitFlip:
+            expected = FaultModel::ActivationFlip;
+            break;
     }
-    if (!permanent() && fault.model != FaultModel::BitFlip)
+    if (kind_ != FaultModelKind::WeightStuckAt && fault.model != expected)
         throw std::invalid_argument(
-            "FaultUniverse::encode: stuck-at fault in bit-flip universe");
-    if (permanent() && fault.model == FaultModel::BitFlip)
+            std::string("FaultUniverse::encode: ") +
+            fault::to_string(fault.model) + " fault in " + to_string(kind_) +
+            " universe");
+    if (kind_ == FaultModelKind::MultiBitUpset && fault.k != k_)
         throw std::invalid_argument(
-            "FaultUniverse::encode: bit-flip fault in stuck-at universe");
+            "FaultUniverse::encode: fault k does not match universe k");
     return subpop_offset(l, fault.bit) +
            fault.weight_index * static_cast<std::uint64_t>(polarities_) +
            polarity;
@@ -92,11 +168,21 @@ Fault FaultUniverse::decode_in_subpop(int l, int bit,
     fault.layer = l;
     fault.bit = bit;
     fault.weight_index = local_index / static_cast<std::uint64_t>(polarities_);
-    if (permanent()) {
-        fault.model = (local_index % 2 == 0) ? FaultModel::StuckAt0
-                                             : FaultModel::StuckAt1;
-    } else {
-        fault.model = FaultModel::BitFlip;
+    switch (kind_) {
+        case FaultModelKind::WeightStuckAt:
+            fault.model = (local_index % 2 == 0) ? FaultModel::StuckAt0
+                                                 : FaultModel::StuckAt1;
+            break;
+        case FaultModelKind::WeightBitFlip:
+            fault.model = FaultModel::BitFlip;
+            break;
+        case FaultModelKind::MultiBitUpset:
+            fault.model = FaultModel::MultiFlip;
+            fault.k = static_cast<std::uint8_t>(k_);
+            break;
+        case FaultModelKind::ActivationBitFlip:
+            fault.model = FaultModel::ActivationFlip;
+            break;
     }
     return fault;
 }

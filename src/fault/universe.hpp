@@ -1,13 +1,20 @@
 #pragma once
-// FaultUniverse: the enumerable population of faults over a network's
-// injectable weights.
+// FaultUniverse: the enumerable population of faults for one fault model.
 //
-// The paper's populations:
+// The paper's populations (weight universes):
 //   N        = total faults              = sum_l  weights_l * I * polarities
 //   N_l      = faults in layer l         = weights_l * I * polarities
 //   N_(i,l)  = faults in (bit i, layer l)= weights_l * polarities
 // where I = bit width of the data type and polarities = 2 for permanent
 // stuck-at (sa0 + sa1) or 1 for transient bit flips.
+//
+// The same structure covers the other fault models by reinterpreting the two
+// strata axes:
+//   * activation bit flips: "layer" = graph node, "weight" = activation
+//     element of that node's batch-1 output;
+//   * multi-bit upsets: "bit" = combinadic rank of the k-subset of flipped
+//     bits within one stored word, so I becomes C(bit_width, k). For k = 1,
+//     C(I, 1) = I and rank == bit — the single-bit flip universe exactly.
 //
 // The universe defines a dense bijection between [0, N) and Fault structs so
 // samplers can draw indices without materializing faults. Index layout, from
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/model.hpp"
 #include "nn/network.hpp"
 
 namespace statfi::fault {
@@ -37,8 +45,27 @@ public:
     /// Transient bit-flip universe (polarities = 1).
     static FaultUniverse bit_flip(nn::Network& net,
                                   DataType dtype = DataType::Float32);
+    /// Transient k-bit upset universe: every k-subset of one stored word's
+    /// bits, enumerated via the combinadic codec.
+    /// @throws std::invalid_argument unless 1 <= k <= bit_width(dtype).
+    static FaultUniverse multi_bit(nn::Network& net, int k,
+                                   DataType dtype = DataType::Float32);
+    /// Transient single-bit activation universe over all graph nodes for a
+    /// fixed single-image input shape; "layers" are graph nodes and
+    /// "weights" are elements of each node's batch-1 output.
+    static FaultUniverse activation(const nn::Network& net,
+                                    const Shape& image_shape,
+                                    DataType dtype = DataType::Float32);
+    /// Universe for an arbitrary campaign-level fault-model spec.
+    static FaultUniverse make(nn::Network& net, const FaultModelSpec& spec,
+                              const Shape& image_shape,
+                              DataType dtype = DataType::Float32);
 
+    [[nodiscard]] FaultModelKind kind() const noexcept { return kind_; }
+    [[nodiscard]] int mbu_k() const noexcept { return k_; }
     [[nodiscard]] DataType dtype() const noexcept { return dtype_; }
+    /// Size of the per-layer strata axis: the bit position for single-bit
+    /// universes, the combinadic rank for multi-bit upsets.
     [[nodiscard]] int bits() const noexcept { return bits_; }
     [[nodiscard]] int polarities() const noexcept { return polarities_; }
     [[nodiscard]] bool permanent() const noexcept { return polarities_ == 2; }
@@ -66,8 +93,12 @@ public:
                                          std::uint64_t local_index) const;
 
 private:
+    FaultUniverse() = default;
     FaultUniverse(nn::Network& net, DataType dtype, int polarities);
+    void build_offsets();
 
+    FaultModelKind kind_ = FaultModelKind::WeightStuckAt;
+    int k_ = 1;  ///< simultaneous flips (MultiBitUpset only)
     DataType dtype_ = DataType::Float32;
     int bits_ = 32;
     int polarities_ = 2;

@@ -73,6 +73,7 @@ void Network::forward_all(const Tensor& input,
         gather_inputs(id, input, activations, ptrs);
         nodes_[static_cast<std::size_t>(id)].layer->forward(
             ptrs, activations[static_cast<std::size_t>(id)]);
+        if (node_hook_) node_hook_(id, activations[static_cast<std::size_t>(id)]);
     }
 }
 
@@ -100,6 +101,7 @@ const Tensor& Network::forward_from(int first_dirty, const Tensor& input,
                 ptrs.push_back(&scratch[static_cast<std::size_t>(in)]);
         }
         node.layer->forward(ptrs, scratch[static_cast<std::size_t>(id)]);
+        if (node_hook_) node_hook_(id, scratch[static_cast<std::size_t>(id)]);
     }
     return scratch.back();
 }

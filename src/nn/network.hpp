@@ -13,6 +13,7 @@
 //    for anything older — a permanent fault in node k's weights cannot
 //    change nodes < k, which is what makes exhaustive campaigns tractable.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -77,8 +78,14 @@ public:
                                std::vector<Tensor>& scratch) const;
 
     /// Deep copy (layers cloned). Used to give campaign workers private
-    /// weight storage.
+    /// weight storage. The node hook is not copied.
     [[nodiscard]] Network clone() const;
+
+    /// Optional hook run on each node's output right after it is computed,
+    /// in both forward_all() and forward_from() (mitigation clipping). The
+    /// hook is part of the deployed network: golden passes see it too.
+    using NodeHook = std::function<void(int node_id, Tensor& output)>;
+    void set_node_hook(NodeHook hook) { node_hook_ = std::move(hook); }
 
     // -- fault-injection surface ------------------------------------------
 
@@ -120,6 +127,7 @@ private:
                        std::vector<const Tensor*>& ptrs) const;
 
     std::vector<Node> nodes_;
+    NodeHook node_hook_;
 };
 
 /// Index of the maximum logit in row @p n of a (N, F) tensor.

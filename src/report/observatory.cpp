@@ -59,12 +59,16 @@ ObservatoryModel model_from_events(const std::vector<JsonValue>& events) {
             m.images = e.get_int("images");
             m.confidence = e.get_num("confidence", 0.99);
             m.error_margin = e.get_num("error_margin", 0.01);
+            m.fault_model = e.get_str("fault_model");
+            m.mitigation = e.get_str("mitigation");
         } else if (type == "plan") {
             m.universe = e.get_uint("universe");
             m.planned = e.get_uint("planned");
             m.strata_planned = e.get_uint("strata");
             m.bits = static_cast<int>(e.get_int("bits"));
             if (m.approach.empty()) m.approach = e.get_str("approach");
+            if (m.fault_model.empty())
+                m.fault_model = e.get_str("fault_model");
             m.layers.clear();
             if (const JsonValue* layers = e.find("layers"))
                 for (const JsonValue& l : layers->array)
@@ -285,18 +289,38 @@ void tile(std::ostringstream& out, const std::string& label,
     out << "</div>\n";
 }
 
+/// Activation campaigns stratify over graph nodes; multi-bit upsets over
+/// combinadic ranks. Labels follow the campaign's fault model so the
+/// heatmap/table rows read as what they are.
+bool is_activation_model(const ObservatoryModel& m) {
+    return m.fault_model == "activation";
+}
+
+bool is_mbu_model(const ObservatoryModel& m) {
+    return m.fault_model.rfind("mbu", 0) == 0;
+}
+
+/// The strata axis next to the layer: bit position, or combo rank for MBU.
+const char* bit_axis_prefix(const ObservatoryModel& m) {
+    return is_mbu_model(m) ? "c" : "b";
+}
+
 std::string layer_name(const ObservatoryModel& m, int layer) {
     for (const auto& l : m.layers)
         if (l.layer == layer) return l.name;
-    return layer < 0 ? std::string("all layers")
-                     : "layer " + std::to_string(layer);
+    if (layer < 0)
+        return is_activation_model(m) ? std::string("all nodes")
+                                      : std::string("all layers");
+    return (is_activation_model(m) ? "node " : "layer ") +
+           std::to_string(layer);
 }
 
 std::string stratum_label(const ObservatoryModel& m,
                           const ObservatoryModel::Stratum& s) {
     if (s.layer < 0 && s.bit < 0) return "network";
     if (s.bit < 0) return layer_name(m, s.layer);
-    return layer_name(m, s.layer) + " b" + std::to_string(s.bit);
+    return layer_name(m, s.layer) + " " + bit_axis_prefix(m) +
+           std::to_string(s.bit);
 }
 
 // --- heatmap ---------------------------------------------------------------
@@ -324,7 +348,10 @@ void render_heatmap(std::ostringstream& out, const ObservatoryModel& m) {
     const int height =
         top + static_cast<int>(rows.size()) * (cell + gap) + legend_h;
 
-    out << "<h2>Per-(bit, layer) vulnerability</h2>\n<div class=\"card\">\n"
+    const std::string axis = is_mbu_model(m) ? "combo" : "bit";
+    const std::string rows_name = is_activation_model(m) ? "node" : "layer";
+    out << "<h2>Per-(" << axis << ", " << rows_name
+        << ") vulnerability</h2>\n<div class=\"card\">\n"
         << "<svg width=\"" << width << "\" height=\"" << height
         << "\" role=\"img\" aria-label=\"vulnerability heatmap\">\n";
     // bit axis labels every 4 columns
@@ -351,7 +378,8 @@ void render_heatmap(std::ostringstream& out, const ObservatoryModel& m) {
             out << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
                 << cell << "\" height=\"" << cell << "\" rx=\"2\" fill=\""
                 << ramp_color(p->p_hat / scale_max) << "\"><title>"
-                << html_escape(layer_name(m, rows[r])) << " bit " << b
+                << html_escape(layer_name(m, rows[r])) << " " << axis << " "
+                << b
                 << "\np_hat = " << fmt_g(p->p_hat) << " (" << p->critical
                 << "/" << p->done << ")\nWilson [" << fmt_g(p->wilson_lo)
                 << ", " << fmt_g(p->wilson_hi) << "]</title></rect>\n";
@@ -371,8 +399,9 @@ void render_heatmap(std::ostringstream& out, const ObservatoryModel& m) {
         << "<text x=\"" << left + lw + 12 << "\" y=\"" << ly + 10
         << "\">critical probability p&#770;</text>\n"
         << "</svg>\n"
-        << "<p class=\"note\">Cell shade: final p&#770; per (bit, layer) "
-           "stratum, light&#8594;dark over one hue; hover a cell for the "
+        << "<p class=\"note\">Cell shade: final p&#770; per (" << axis
+        << ", " << rows_name
+        << ") stratum, light&#8594;dark over one hue; hover a cell for the "
            "exact estimate and Wilson interval. Outlined cells have no "
            "injections.</p>\n</div>\n";
 }
@@ -543,11 +572,14 @@ void render_strata_table(std::ostringstream& out,
 std::string describe_recipe(const ObservatoryModel& m) {
     std::string sub = m.model;
     if (!m.approach.empty()) sub += " · " + m.approach;
+    if (!m.fault_model.empty()) sub += " · " + m.fault_model;
     if (!m.dtype.empty()) sub += " · " + m.dtype;
     if (!m.policy.empty()) sub += " · " + m.policy;
     sub += " · seed " + std::to_string(m.seed);
     sub += " · " + std::to_string(m.images) + " image(s)";
     sub += " · " + fmt_pct(m.confidence) + " confidence";
+    if (!m.mitigation.empty() && m.mitigation != "none")
+        sub += " · mitigated: " + m.mitigation;
     return sub;
 }
 

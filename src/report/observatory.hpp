@@ -37,6 +37,12 @@ struct ObservatoryModel {
     std::int64_t images = 0;
     double confidence = 0.99;
     double error_margin = 0.01;
+    /// Fault-model spelling ("stuck-at", "flip", "mbu-k2", "activation")
+    /// from the header, falling back to the plan event; empty for pre-fault-
+    /// model logs. Drives stratum labeling: activation strata are graph
+    /// nodes, mbu strata axis is the combo rank, not a bit position.
+    std::string fault_model;
+    std::string mitigation;  ///< mitigation descriptor ("none" when absent)
 
     // plan
     std::uint64_t universe = 0;

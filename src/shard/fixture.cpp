@@ -31,11 +31,14 @@ CampaignFixture build_fixture(const CampaignRecipe& recipe) {
     data::SyntheticSpec spec;
     spec.seed = recipe.seed;
     auto eval = data::make_synthetic(spec, recipe.images, "test");
-    auto universe = fault::FaultUniverse::stuck_at(net, recipe.dtype);
+    auto universe = fault::FaultUniverse::make(
+        net, recipe.fault_model, Shape{spec.channels, spec.height, spec.width},
+        recipe.dtype);
     core::ExecutorConfig config;
     config.policy = recipe.policy;
     config.accuracy_drop_threshold = recipe.accuracy_drop_threshold;
     config.dtype = recipe.dtype;
+    config.mitigation = recipe.mitigation;
     return CampaignFixture{std::move(net), std::move(eval),
                            std::move(universe), config, test_accuracy};
 }

@@ -28,8 +28,11 @@ struct CampaignFixture {
 /// Rebuild the campaign fixture from a recipe: build the model, initialize
 /// Kaiming from Rng(seed).fork("init"), optionally train on 1024 synthetic
 /// images (Rng(seed).fork("train")), generate the evaluation set, and
-/// enumerate the stuck-at universe for the recipe's dtype. Training progress
-/// goes to stderr.
+/// enumerate the recipe's fault-model universe for its dtype (stuck-at,
+/// bit-flip, multi-bit, or activation — fault::FaultUniverse::make). The
+/// recipe's mitigation config is carried into the executor config, so every
+/// runner deploys the same hardened network. Training progress goes to
+/// stderr.
 CampaignFixture build_fixture(const CampaignRecipe& recipe);
 
 /// The campaign spec a recipe's statistical parameters describe.

@@ -12,7 +12,9 @@ namespace statfi::shard {
 namespace {
 
 constexpr char kManifestMagic[4] = {'S', 'F', 'I', 'M'};
-constexpr std::uint32_t kManifestVersion = 1;
+// v2 adds the fault-model spec + mitigation config to the recipe and the
+// fault_model/mbu_k/mitigation_hash fields to the fingerprint.
+constexpr std::uint32_t kManifestVersion = 2;
 
 // --- payload encode/decode (machine-local byte order, like every other
 // statfi artifact) ---------------------------------------------------------
@@ -104,6 +106,16 @@ std::string encode(const ShardManifest& m) {
     put_u8(body, m.recipe.train ? 1 : 0);
     put_u8(body, static_cast<std::uint8_t>(m.recipe.dtype));
     put_u64(body, m.recipe.seed);
+    put_u8(body, static_cast<std::uint8_t>(m.recipe.fault_model.kind));
+    put_i32(body, m.recipe.fault_model.mbu_k);
+    put_u32(body, static_cast<std::uint32_t>(m.recipe.mitigation.clips.size()));
+    for (const auto& clip : m.recipe.mitigation.clips) {
+        put_string(body, clip.node);
+        put_f64(body, clip.lo);
+        put_f64(body, clip.hi);
+    }
+    put_u32(body, static_cast<std::uint32_t>(m.recipe.mitigation.tmr.size()));
+    for (const auto& tmr : m.recipe.mitigation.tmr) put_string(body, tmr.layer);
     // fingerprint
     put_string(body, m.fingerprint.model_id);
     put_u64(body, m.fingerprint.universe_size);
@@ -112,6 +124,9 @@ std::string encode(const ShardManifest& m) {
     put_f64(body, m.fingerprint.accuracy_drop_threshold);
     put_u32(body, m.fingerprint.eval_hash);
     put_u32(body, m.fingerprint.weights_hash);
+    put_u8(body, m.fingerprint.fault_model);
+    put_u8(body, m.fingerprint.mbu_k);
+    put_u32(body, m.fingerprint.mitigation_hash);
     // plan
     put_u8(body, static_cast<std::uint8_t>(m.plan.approach));
     put_f64(body, m.plan.spec.error_margin);
@@ -150,6 +165,21 @@ ShardManifest decode(const std::string& body) {
     m.recipe.train = in.u8() != 0;
     m.recipe.dtype = static_cast<fault::DataType>(in.u8());
     m.recipe.seed = in.u64();
+    m.recipe.fault_model.kind = static_cast<fault::FaultModelKind>(in.u8());
+    m.recipe.fault_model.mbu_k = in.i32();
+    const std::uint32_t clip_count = in.u32();
+    m.recipe.mitigation.clips.reserve(clip_count);
+    for (std::uint32_t c = 0; c < clip_count; ++c) {
+        fault::ClipRule clip;
+        clip.node = in.str();
+        clip.lo = static_cast<float>(in.f64());
+        clip.hi = static_cast<float>(in.f64());
+        m.recipe.mitigation.clips.push_back(std::move(clip));
+    }
+    const std::uint32_t tmr_count = in.u32();
+    m.recipe.mitigation.tmr.reserve(tmr_count);
+    for (std::uint32_t t = 0; t < tmr_count; ++t)
+        m.recipe.mitigation.tmr.push_back(fault::TmrRule{in.str()});
     m.fingerprint.model_id = in.str();
     m.fingerprint.universe_size = in.u64();
     m.fingerprint.dtype = in.u8();
@@ -157,6 +187,9 @@ ShardManifest decode(const std::string& body) {
     m.fingerprint.accuracy_drop_threshold = in.f64();
     m.fingerprint.eval_hash = in.u32();
     m.fingerprint.weights_hash = in.u32();
+    m.fingerprint.fault_model = in.u8();
+    m.fingerprint.mbu_k = in.u8();
+    m.fingerprint.mitigation_hash = in.u32();
     m.plan.approach = static_cast<core::Approach>(in.u8());
     m.plan.spec.error_margin = in.f64();
     m.plan.spec.confidence = in.f64();

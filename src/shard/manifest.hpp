@@ -32,6 +32,8 @@
 #include "core/checkpoint.hpp"
 #include "core/outcome.hpp"
 #include "core/planner.hpp"
+#include "fault/mitigation.hpp"
+#include "fault/model.hpp"
 
 namespace statfi::shard {
 
@@ -56,6 +58,12 @@ struct CampaignRecipe {
     bool train = false;                ///< fit on synthetic data first
     fault::DataType dtype = fault::DataType::Float32;
     std::uint64_t seed = 2023;
+    /// Which fault universe the campaign enumerates (stuck-at weights by
+    /// default; flip / mbu-kN / activation select the other models).
+    fault::FaultModelSpec fault_model;
+    /// Mitigations deployed on every runner's network (part of the campaign
+    /// identity — the fingerprint hashes the descriptor).
+    fault::MitigationConfig mitigation;
 };
 
 /// One shard's contiguous slice [begin, end) of the item space.

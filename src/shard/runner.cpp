@@ -1,123 +1,11 @@
 #include "shard/runner.hpp"
 
-#include <atomic>
-#include <chrono>
 #include <filesystem>
-#include <iostream>
-#include <mutex>
-#include <thread>
 
 #include "core/convergence.hpp"
 #include "shard/fixture.hpp"
 
 namespace statfi::shard {
-
-namespace {
-
-/// Identity of a statistical shard's journal: the campaign fingerprint over
-/// the ITEM space instead of the fault universe. Swapping the size and
-/// tagging the model id guarantees a census journal never resumes into a
-/// statistical shard (and vice versa) even at the same path.
-core::CampaignFingerprint item_fingerprint(core::CampaignFingerprint fp,
-                                           std::uint64_t item_count) {
-    fp.universe_size = item_count;
-    fp.model_id += "#items";
-    return fp;
-}
-
-/// Classify the item slice [range.begin, range.end) of a drawn sample with
-/// journaled resume — the statistical twin of the engine's range-restricted
-/// durable census.
-void run_statistical_slice(core::CampaignEngine& engine,
-                           const std::vector<core::DrawnFault>& items,
-                           const ShardRange& range,
-                           const core::CampaignFingerprint& journal_fp,
-                           const ShardRunOptions& options,
-                           const std::string& journal_path,
-                           std::vector<std::uint8_t>& outcomes,
-                           ShardRunReport& report) {
-    telemetry::PhaseScope scope(options.telemetry, "shard_slice");
-    const std::uint64_t span = range.size();
-    std::vector<std::uint8_t> done(span, 0);
-    auto recovery = core::CampaignJournal::recover(journal_path, journal_fp);
-    if (!recovery.note.empty()) std::cerr << "statfi: " << recovery.note << "\n";
-    for (const core::JournalRecord& rec : recovery.records) {
-        if (rec.fault_index < range.begin || rec.fault_index >= range.end)
-            continue;  // defensive: record outside this shard's slice
-        const std::uint64_t local = rec.fault_index - range.begin;
-        outcomes[local] = rec.outcome;
-        if (!done[local]) {
-            done[local] = 1;
-            ++report.resumed;
-        }
-    }
-    auto journal = core::CampaignJournal::open(journal_path, journal_fp,
-                                               recovery.valid_bytes);
-
-    // Sink-side counters land in worker 0's slot; sink_mutex serializes
-    // them, which satisfies the registry's single-writer increment contract.
-    telemetry::Session* const telemetry = options.telemetry;
-    if (telemetry)
-        telemetry->metrics().inc(0, telemetry->ids().journal_resumed_total,
-                                 report.resumed);
-    telemetry::ProgressReporter reporter(options.progress, span,
-                                         report.resumed);
-    std::atomic<std::uint64_t> classified{0};
-    std::atomic<bool> cancelled{false};
-    std::mutex sink_mutex;  // guards journal appends + progress callback
-    std::uint64_t since_flush = 0;
-
-    const std::size_t workers = engine.worker_count();
-    const std::uint64_t chunk = (span + workers - 1) / workers;
-    const auto work = [&](std::size_t w) {
-        const std::uint64_t lo = w * chunk;
-        const std::uint64_t hi = std::min(lo + chunk, span);
-        for (std::uint64_t i = lo; i < hi; ++i) {
-            if (done[i]) continue;
-            if (cancelled.load(std::memory_order_relaxed)) return;
-            if (options.cancel && options.cancel->stop_requested()) {
-                cancelled.store(true, std::memory_order_relaxed);
-                return;
-            }
-            const core::FaultOutcome outcome =
-                engine.core(w).evaluate(items[range.begin + i].fault);
-            outcomes[i] = static_cast<std::uint8_t>(outcome);
-            const std::uint64_t n =
-                classified.fetch_add(1, std::memory_order_relaxed) + 1;
-            std::lock_guard<std::mutex> lock(sink_mutex);
-            journal.append(range.begin + i, static_cast<std::uint8_t>(outcome));
-            if (telemetry)
-                telemetry->metrics().inc(
-                    0, telemetry->ids().journal_records_total);
-            if (++since_flush >= 4096) {
-                journal.flush();
-                if (telemetry)
-                    telemetry->metrics().inc(
-                        0, telemetry->ids().checkpoint_flushes_total);
-                since_flush = 0;
-            }
-            if (reporter.due(report.resumed + n))
-                reporter.report(report.resumed + n);
-        }
-    };
-    if (workers == 1) {
-        work(0);
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
-        for (auto& t : threads) t.join();
-    }
-    journal.flush();
-    if (telemetry)
-        telemetry->metrics().inc(0,
-                                 telemetry->ids().checkpoint_flushes_total);
-    report.classified = classified.load();
-    report.complete = !cancelled.load();
-    if (report.complete) reporter.finish(report.classified);
-}
-
-}  // namespace
 
 ShardRunReport run_shard(const ShardManifest& manifest,
                          const std::string& manifest_path,
@@ -214,11 +102,20 @@ ShardRunReport run_shard(const ShardManifest& manifest,
                 " items but the manifest promises " +
                 std::to_string(manifest.item_count) +
                 " — plan/draw divergence");
-        result.outcomes.assign(range.size(), 0);
-        run_statistical_slice(engine, items, range,
-                              item_fingerprint(fp, manifest.item_count),
-                              options, report.journal_path, result.outcomes,
-                              report);
+        // The engine's durable statistical path: journaled ITEM indices
+        // under the item-space fingerprint, range-restricted to this slice.
+        core::DurabilityOptions durability;
+        durability.journal_path = report.journal_path;
+        durability.model_id = manifest.recipe.model;
+        durability.cancel = options.cancel;
+        durability.range_begin = range.begin;
+        durability.range_end = range.end;
+        core::StatisticalRun run = engine.run_durable(
+            fx.universe, manifest.plan, items, durability, options.progress);
+        report.complete = run.complete;
+        report.resumed = run.resumed;
+        report.classified = run.classified;
+        result.outcomes = std::move(run.outcomes);
         if (!report.complete) {
             emit_shard_end();
             return report;

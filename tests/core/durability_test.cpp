@@ -318,5 +318,135 @@ TEST_F(DurabilityTest, FingerprintTracksConfigAndWeights) {
               perturbed.fingerprint(fx.universe, "micronet").weights_hash);
 }
 
+TEST_F(DurabilityTest, FingerprintTracksFaultModelAndMitigation) {
+    auto fx = Fixture::make();
+    CampaignEngine stuck(fx.net, fx.eval, fx.config);
+    const auto base = stuck.fingerprint(fx.universe, "micronet");
+    EXPECT_EQ(base.fault_model,
+              static_cast<std::uint8_t>(fault::FaultModelKind::WeightStuckAt));
+    EXPECT_EQ(base.mitigation_hash, 0u);
+
+    // A different fault model over the same network fingerprints differently
+    // even when universe sizes happen to collide.
+    const auto mbu = fault::FaultUniverse::multi_bit(fx.net, 2);
+    const auto mbu_fp = stuck.fingerprint(mbu, "micronet");
+    EXPECT_NE(base, mbu_fp);
+    EXPECT_EQ(mbu_fp.mbu_k, 2);
+
+    auto mitigated_config = fx.config;
+    mitigated_config.mitigation.clips.push_back(
+        fault::ClipRule{"*", -6.0f, 6.0f});
+    CampaignEngine mitigated(fx.net, fx.eval, mitigated_config);
+    EXPECT_NE(mitigated.fingerprint(fx.universe, "micronet").mitigation_hash,
+              base.mitigation_hash);
+}
+
+/// run_durable over @p universe: interrupt mid-run, resume, and require the
+/// merged tallies to be bit-identical to an uninterrupted run — for any
+/// worker count on either side of the interruption.
+void check_statistical_resume(nn::Network& net, const data::Dataset& eval,
+                              const ExecutorConfig& config,
+                              const fault::FaultUniverse& universe,
+                              const std::string& journal) {
+    CampaignEngine engine(net, eval, config);
+    CampaignSpec spec;
+    spec.approach = Approach::NetworkWise;
+    spec.sample.error_margin = 0.05;
+    const auto plan = engine.plan(universe, spec);
+    const auto items = draw_plan(universe, plan, stats::Rng(11));
+    ASSERT_GT(items.size(), 200u);
+
+    DurabilityOptions options;
+    options.journal_path = journal;
+    options.model_id = "micronet";
+    options.flush_interval = 32;
+    const StatisticalRun baseline =
+        engine.run_durable(universe, plan, items, options);
+    ASSERT_TRUE(baseline.complete);
+    ASSERT_EQ(baseline.outcomes.size(), items.size());
+    std::filesystem::remove(journal);
+
+    CancellationToken cancel;
+    options.cancel = &cancel;
+    int beats = 0;
+    const StatisticalRun first = engine.run_durable(
+        universe, plan, items, options,
+        [&](const ProgressInfo&) { if (++beats >= 1) cancel.request_stop(); });
+    EXPECT_FALSE(first.complete);
+    EXPECT_TRUE(first.result.interrupted);
+    EXPECT_GT(first.classified, 0u);
+    EXPECT_LT(first.classified, items.size());
+
+    // Resume on a DIFFERENT worker count: partitioning must not matter.
+    options.cancel = nullptr;
+    CampaignEngine wide(net, eval, config, 3);
+    const StatisticalRun second =
+        wide.run_durable(universe, plan, items, options);
+    EXPECT_TRUE(second.complete);
+    EXPECT_EQ(second.resumed, first.classified);
+    EXPECT_EQ(second.resumed + second.classified, items.size());
+    ASSERT_EQ(second.outcomes.size(), baseline.outcomes.size());
+    for (std::size_t i = 0; i < baseline.outcomes.size(); ++i)
+        ASSERT_EQ(second.outcomes[i], baseline.outcomes[i]) << "item " << i;
+    ASSERT_EQ(second.result.subpops.size(), baseline.result.subpops.size());
+    for (std::size_t s = 0; s < baseline.result.subpops.size(); ++s) {
+        EXPECT_EQ(second.result.subpops[s].injected,
+                  baseline.result.subpops[s].injected);
+        EXPECT_EQ(second.result.subpops[s].critical,
+                  baseline.result.subpops[s].critical);
+    }
+}
+
+TEST_F(DurabilityTest, StatisticalWeightResumeIsBitIdentical) {
+    auto fx = Fixture::make();
+    check_statistical_resume(fx.net, fx.eval, fx.config, fx.universe,
+                             path("stat_weight.sfij"));
+}
+
+TEST_F(DurabilityTest, StatisticalMultiBitResumeIsBitIdentical) {
+    auto fx = Fixture::make();
+    const auto universe = fault::FaultUniverse::multi_bit(fx.net, 2);
+    check_statistical_resume(fx.net, fx.eval, fx.config, universe,
+                             path("stat_mbu.sfij"));
+}
+
+TEST_F(DurabilityTest, StatisticalActivationResumeIsBitIdentical) {
+    auto fx = Fixture::make();
+    const auto universe =
+        fault::FaultUniverse::activation(fx.net, Shape{3, 32, 32});
+    check_statistical_resume(fx.net, fx.eval, fx.config, universe,
+                             path("stat_act.sfij"));
+}
+
+TEST_F(DurabilityTest, StatisticalJournalNeverResumesIntoCensus) {
+    // The item-space fingerprint tags the model id and swaps the size, so a
+    // statistical journal at a census path (or vice versa) is discarded, not
+    // misread.
+    auto fx = Fixture::make();
+    const auto fp = CampaignEngine(fx.net, fx.eval, fx.config)
+                        .fingerprint(fx.universe, "micronet");
+    const auto item_fp = item_space_fingerprint(fp, 1234);
+    EXPECT_NE(fp, item_fp);
+    EXPECT_EQ(item_fp.universe_size, 1234u);
+    EXPECT_NE(fp.model_id, item_fp.model_id);
+}
+
+TEST_F(DurabilityTest, RunDurableRejectsEmptyOrOverlongRanges) {
+    auto fx = Fixture::make();
+    CampaignEngine engine(fx.net, fx.eval, fx.config);
+    CampaignSpec spec;
+    spec.approach = Approach::NetworkWise;
+    spec.sample.error_margin = 0.2;
+    const auto plan = engine.plan(fx.universe, spec);
+    const auto items = draw_plan(fx.universe, plan, stats::Rng(11));
+    DurabilityOptions options;
+    options.journal_path = path("range.sfij");
+    options.model_id = "micronet";
+    options.range_begin = items.size();
+    options.range_end = items.size() + 1;
+    EXPECT_THROW(engine.run_durable(fx.universe, plan, items, options),
+                 std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace statfi::core

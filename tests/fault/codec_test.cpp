@@ -226,5 +226,84 @@ TEST(ToString, Names) {
     EXPECT_STREQ(to_string(DataType::Int8), "int8");
 }
 
+// ------------------------------------------------------- combinadic codec --
+
+TEST(Combinadic, CombinationCounts) {
+    EXPECT_EQ(combination_count(32, 0), 1u);
+    EXPECT_EQ(combination_count(32, 1), 32u);
+    EXPECT_EQ(combination_count(32, 2), 496u);
+    EXPECT_EQ(combination_count(32, 3), 4960u);
+    EXPECT_EQ(combination_count(32, 32), 1u);
+    EXPECT_EQ(combination_count(16, 2), 120u);
+    EXPECT_EQ(combination_count(8, 2), 28u);
+    EXPECT_EQ(combination_count(4, 5), 0u);  // k > n: no subsets
+    EXPECT_THROW(combination_count(-1, 2), std::domain_error);
+    EXPECT_THROW(combination_count(32, -1), std::domain_error);
+}
+
+TEST(Combinadic, MaskRankRoundTripExhaustive) {
+    // Every rank of C(8,3) = 56 decodes to a distinct 3-bit mask and encodes
+    // back to itself.
+    const std::uint64_t count = combination_count(8, 3);
+    std::uint32_t seen_or = 0;
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+        const std::uint32_t mask = combo_mask(rank, 8, 3);
+        EXPECT_EQ(__builtin_popcount(mask), 3) << "rank " << rank;
+        EXPECT_LT(mask, 1u << 8);
+        EXPECT_EQ(combo_rank(mask, 3), rank);
+        seen_or |= mask;
+    }
+    EXPECT_EQ(seen_or, 0xFFu);  // all 8 positions participate
+}
+
+TEST(Combinadic, BoundaryRanks) {
+    // Rank 0 is the lowest k bits; the last rank is the highest k bits.
+    EXPECT_EQ(combo_mask(0, 32, 2), 0b11u);
+    EXPECT_EQ(combo_mask(combination_count(32, 2) - 1, 32, 2),
+              0b11u << 30);
+    EXPECT_EQ(combo_mask(0, 16, 3), 0b111u);
+    EXPECT_EQ(combo_mask(combination_count(16, 3) - 1, 16, 3), 0b111u << 13);
+}
+
+TEST(Combinadic, K1DegeneratesToBitPosition) {
+    // C(n,1) = n and rank == bit: the mbu-k1 universe IS the bit-flip one.
+    for (int bit = 0; bit < 32; ++bit) {
+        EXPECT_EQ(combo_mask(static_cast<std::uint64_t>(bit), 32, 1),
+                  1u << bit);
+        EXPECT_EQ(combo_rank(1u << bit, 1), static_cast<std::uint64_t>(bit));
+    }
+}
+
+TEST(Combinadic, RejectsInvalidDomain) {
+    EXPECT_THROW(combo_mask(0, 33, 2), std::domain_error);
+    EXPECT_THROW(combo_mask(0, 32, 0), std::domain_error);
+    EXPECT_THROW(combo_mask(0, 32, 33), std::domain_error);
+    EXPECT_THROW(combo_mask(combination_count(32, 2), 32, 2),
+                 std::out_of_range);
+    EXPECT_THROW(combo_rank(0b111u, 2), std::domain_error);  // popcount != k
+}
+
+TEST(MultiFlip, IsInvolutionAndMatchesSingleFlips) {
+    for (const float v : {0.37f, -12.5f, 1e-10f}) {
+        const std::uint32_t mask = (1u << 3) | (1u << 17) | (1u << 30);
+        const float once = apply_multi_flip(v, mask, DataType::Float32);
+        const float twice = apply_multi_flip(once, mask, DataType::Float32);
+        EXPECT_EQ(float_bits(twice), float_bits(v));
+        // XOR of the whole mask == composing the individual flips.
+        float composed = v;
+        for (const int b : {3, 17, 30})
+            composed = apply_bit_flip(composed, b, DataType::Float32);
+        EXPECT_EQ(float_bits(once), float_bits(composed));
+    }
+}
+
+TEST(MultiFlip, RejectsMaskBeyondWidth) {
+    EXPECT_THROW(apply_multi_flip(1.0f, 1u << 16, DataType::Float16),
+                 std::domain_error);
+    EXPECT_THROW(
+        apply_multi_flip(1.0f, 0x100u, DataType::Int8, QuantParams{1.0f}),
+        std::domain_error);
+}
+
 }  // namespace
 }  // namespace statfi::fault

@@ -168,6 +168,119 @@ TEST(Fault, ToStringIsReadable) {
     f.bit = 30;
     f.model = FaultModel::StuckAt1;
     EXPECT_EQ(f.to_string(), "L2.w17.b30.sa1");
+
+    Fault mbu;
+    mbu.layer = 2;
+    mbu.weight_index = 17;
+    mbu.bit = 5;  // combinadic rank, not a bit position
+    mbu.model = FaultModel::MultiFlip;
+    mbu.k = 2;
+    EXPECT_EQ(mbu.to_string(), "L2.w17.c5.mbu2");
+}
+
+// --------------------------------------------------- multi-bit upsets --
+
+TEST(MultiBitUniverse, PopulationScalesWithCombinations) {
+    auto net = models::make_micronet();
+    const auto bf = FaultUniverse::bit_flip(net);
+    const auto u2 = FaultUniverse::multi_bit(net, 2);
+    EXPECT_EQ(u2.kind(), FaultModelKind::MultiBitUpset);
+    EXPECT_EQ(u2.mbu_k(), 2);
+    EXPECT_EQ(u2.polarities(), 1);
+    // The strata axis widens from 32 bit positions to C(32,2) = 496 ranks.
+    EXPECT_EQ(u2.bits(), 496);
+    EXPECT_EQ(u2.total(), models::kMicroNetWeightCount * 496);
+    EXPECT_EQ(u2.total(), bf.total() / 32 * 496);
+    EXPECT_EQ(u2.bit_population(0), u2.layer(0).weight_count);
+
+    const auto u3 = FaultUniverse::multi_bit(net, 3);
+    EXPECT_EQ(u3.bits(), 4960);
+    EXPECT_EQ(u3.total(), models::kMicroNetWeightCount * 4960);
+}
+
+TEST(MultiBitUniverse, DecodeEncodeBijectionAndBoundaries) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::multi_bit(net, 2);
+    stats::Rng rng(29);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const std::uint64_t idx = rng.uniform_below(u.total());
+        const Fault f = u.decode(idx);
+        EXPECT_EQ(u.encode(f), idx);
+        EXPECT_EQ(f.model, FaultModel::MultiFlip);
+        EXPECT_EQ(f.k, 2);
+        EXPECT_GE(f.bit, 0);
+        EXPECT_LT(f.bit, 496);
+        EXPECT_LT(f.weight_index, u.layer(f.layer).weight_count);
+    }
+    const Fault first = u.decode(0);
+    EXPECT_EQ(first.layer, 0);
+    EXPECT_EQ(first.bit, 0);
+    EXPECT_EQ(first.weight_index, 0u);
+    const Fault last = u.decode(u.total() - 1);
+    EXPECT_EQ(last.layer, u.layer_count() - 1);
+    EXPECT_EQ(last.bit, 495);
+    EXPECT_EQ(last.weight_index, u.layer(last.layer).weight_count - 1);
+}
+
+TEST(MultiBitUniverse, K1LayoutEqualsBitFlip) {
+    // C(32,1) = 32 and rank == bit: mbu-k1 is the single-bit flip universe
+    // under a different fault model name, index for index.
+    auto net = models::make_micronet();
+    const auto bf = FaultUniverse::bit_flip(net);
+    const auto u1 = FaultUniverse::multi_bit(net, 1);
+    ASSERT_EQ(u1.total(), bf.total());
+    EXPECT_EQ(u1.bits(), 32);
+    stats::Rng rng(37);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint64_t idx = rng.uniform_below(u1.total());
+        const Fault a = u1.decode(idx);
+        const Fault b = bf.decode(idx);
+        EXPECT_EQ(a.layer, b.layer);
+        EXPECT_EQ(a.bit, b.bit);
+        EXPECT_EQ(a.weight_index, b.weight_index);
+        EXPECT_EQ(a.model, FaultModel::MultiFlip);
+        EXPECT_EQ(b.model, FaultModel::BitFlip);
+    }
+}
+
+TEST(MultiBitUniverse, RefusesKOutsideWordWidth) {
+    auto net = models::make_micronet();
+    EXPECT_THROW(FaultUniverse::multi_bit(net, 0), std::invalid_argument);
+    EXPECT_THROW(FaultUniverse::multi_bit(net, 33), std::invalid_argument);
+    EXPECT_THROW(FaultUniverse::multi_bit(net, 17, DataType::Float16),
+                 std::invalid_argument);
+    // k == width is the degenerate flip-every-bit universe: one rank.
+    const auto all = FaultUniverse::multi_bit(net, 32);
+    EXPECT_EQ(all.bits(), 1);
+    EXPECT_EQ(all.total(), models::kMicroNetWeightCount);
+}
+
+TEST(MultiBitUniverse, EncodeRejectsWrongModelFamily) {
+    auto net = models::make_micronet();
+    const auto u = FaultUniverse::multi_bit(net, 2);
+    Fault flip;
+    flip.model = FaultModel::BitFlip;
+    EXPECT_THROW(u.encode(flip), std::invalid_argument);
+    // Same model, wrong k: an mbu-k3 fault is not a point of the k2 universe.
+    Fault k3 = u.decode(0);
+    k3.k = 3;
+    EXPECT_THROW(u.encode(k3), std::invalid_argument);
+}
+
+TEST(UniverseFactory, MakeDispatchesOnSpec) {
+    auto net = models::make_micronet();
+    const Shape image{3, 32, 32};
+    const auto sa =
+        FaultUniverse::make(net, FaultModelSpec{}, image);
+    EXPECT_EQ(sa.kind(), FaultModelKind::WeightStuckAt);
+    EXPECT_EQ(sa.polarities(), 2);
+    const auto mbu = FaultUniverse::make(
+        net, FaultModelSpec{FaultModelKind::MultiBitUpset, 2}, image);
+    EXPECT_EQ(mbu.bits(), 496);
+    const auto act = FaultUniverse::make(
+        net, FaultModelSpec{FaultModelKind::ActivationBitFlip, 1}, image);
+    EXPECT_EQ(act.kind(), FaultModelKind::ActivationBitFlip);
+    EXPECT_EQ(act.layer_count(), net.node_count());
 }
 
 }  // namespace

@@ -262,6 +262,51 @@ TEST_F(ShardTest, MergedStatisticalCampaignMatchesDirectRun) {
     }
 }
 
+TEST_F(ShardTest, MergedFaultModelCampaignsMatchDirectRuns) {
+    // Every non-default fault model through the same shard pipeline: the
+    // recipe carries the model, the fixture builds the right universe, and
+    // the merge is indistinguishable from a direct run.
+    for (const auto spec :
+         {fault::FaultModelSpec{fault::FaultModelKind::WeightBitFlip, 1},
+          fault::FaultModelSpec{fault::FaultModelKind::MultiBitUpset, 2},
+          fault::FaultModelSpec{fault::FaultModelKind::ActivationBitFlip, 1}}) {
+        SCOPED_TRACE(spec.describe());
+        CampaignRecipe recipe = statistical_recipe(core::Approach::LayerWise);
+        recipe.fault_model = spec;
+        recipe.error_margin = 0.1;  // activation universes are large
+
+        auto fx = build_fixture(recipe);
+        core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+        const auto plan = engine.plan(fx.universe, campaign_spec(recipe));
+        const auto direct = engine.run(
+            fx.universe, plan, stats::Rng(recipe.seed).fork("campaign"));
+
+        const MergedCampaign merged = run_sharded(recipe, 3);
+        ASSERT_EQ(merged.kind, CampaignKind::Statistical);
+        expect_same_result(merged.result, direct);
+    }
+}
+
+TEST_F(ShardTest, ManifestRoundTripsFaultModelAndMitigation) {
+    CampaignRecipe recipe = statistical_recipe(core::Approach::LayerWise);
+    recipe.fault_model =
+        fault::FaultModelSpec{fault::FaultModelKind::MultiBitUpset, 3};
+    recipe.mitigation.clips.push_back(fault::ClipRule{"*", -6.0f, 6.0f});
+    recipe.mitigation.tmr.push_back(fault::TmrRule{"conv1"});
+    const ShardManifest manifest = make_manifest(recipe, 2);
+    manifest.save(manifest_path_);
+    const ShardManifest loaded = ShardManifest::load(manifest_path_);
+    EXPECT_EQ(loaded.recipe.fault_model.kind,
+              fault::FaultModelKind::MultiBitUpset);
+    EXPECT_EQ(loaded.recipe.fault_model.mbu_k, 3);
+    EXPECT_EQ(loaded.recipe.mitigation, recipe.mitigation);
+    EXPECT_EQ(loaded.fingerprint, manifest.fingerprint);
+    EXPECT_EQ(loaded.fingerprint.fault_model,
+              static_cast<std::uint8_t>(fault::FaultModelKind::MultiBitUpset));
+    EXPECT_EQ(loaded.fingerprint.mbu_k, 3);
+    EXPECT_NE(loaded.fingerprint.mitigation_hash, 0u);
+}
+
 TEST_F(ShardTest, InterruptedStatisticalShardResumesToIdenticalMerge) {
     const CampaignRecipe recipe =
         statistical_recipe(core::Approach::LayerWise);

@@ -43,6 +43,8 @@ REQUIRED = {
         "images": NUM,
         "confidence": NUM,
         "error_margin": NUM,
+        "fault_model": str,
+        "mitigation": str,
     },
     "plan": {
         "universe": NUM,
@@ -50,6 +52,7 @@ REQUIRED = {
         "strata": NUM,
         "bits": NUM,
         "layers": list,
+        "fault_model": str,
     },
     "phase_begin": {"phase": str},
     "phase_end": {"phase": str, "seconds": NUM},
@@ -108,11 +111,18 @@ def check_payload(event, lineno, errors):
                 f"{type(event[key]).__name__}, expected "
                 f"{'number' if expected is NUM else expected.__name__}"
             )
-    if etype == "campaign_header" and event.get("schema") != SCHEMA_NAME:
-        errors.append(
-            f"line {lineno}: campaign_header.schema is "
-            f"{event.get('schema')!r}, expected {SCHEMA_NAME!r}"
-        )
+    if etype == "campaign_header":
+        if event.get("schema") != SCHEMA_NAME:
+            errors.append(
+                f"line {lineno}: campaign_header.schema is "
+                f"{event.get('schema')!r}, expected {SCHEMA_NAME!r}"
+            )
+        for key in ("fault_model", "mitigation"):
+            if isinstance(event.get(key), str) and not event[key]:
+                errors.append(
+                    f"line {lineno}: campaign_header.{key} is empty "
+                    f"(expected a descriptor like 'stuck-at' or 'none')"
+                )
     if etype == "stratum_update":
         for prob in ("p_hat", "wilson_lo", "wilson_hi", "wald_lo", "wald_hi"):
             v = event.get(prob)

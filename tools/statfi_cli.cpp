@@ -101,6 +101,12 @@ struct Options {
     std::string subcommand;  ///< for `shard`: plan|run|run-all|merge
     std::string model = "micronet";
     std::string approach = "data-aware";
+    bool approach_set = false;  ///< --approach given explicitly
+    /// stuck-at | flip | mbu[-kN] | activation (fault::fault_model_from_string)
+    std::string fault_model = "stuck-at";
+    int mbu_k = 0;  ///< --mbu-k override; 0 = the spec's own k
+    std::vector<std::string> clips;  ///< raw --clip NODE:LO:HI rules
+    std::vector<std::string> tmrs;   ///< raw --tmr LAYER rules
     double margin = 0.01;
     double confidence = 0.99;
     std::int64_t images = 8;
@@ -135,6 +141,8 @@ struct Options {
         "  profile                     data-aware bit-criticality profile\n"
         "  plan                        print campaign plan (no injections)\n"
         "  campaign                    run a statistical FI campaign\n"
+        "  activation                  transient activation-flip campaign\n"
+        "                              (campaign --fault-model activation)\n"
         "  exhaustive                  run the exhaustive census\n"
         "  shard plan                  write a shard manifest for a campaign\n"
         "  shard run                   run one shard of a manifest\n"
@@ -147,6 +155,17 @@ struct Options {
         "  --model NAME                micronet|resnet20|resnet32|mobilenetv2\n"
         "  --approach A                exhaustive|network-wise|layer-wise|\n"
         "                              data-unaware|data-aware\n"
+        "  --fault-model M             stuck-at|flip|mbu[-kN]|activation\n"
+        "                              (default stuck-at; mbu defaults to\n"
+        "                              k=2, mbu-k3 or --mbu-k set k)\n"
+        "  --mbu-k K                   simultaneous bit flips per upset\n"
+        "                              (--fault-model mbu only)\n"
+        "  --clip NODE:LO:HI           mitigation: clamp NODE's activations\n"
+        "                              to [LO, HI] ('*' = every node;\n"
+        "                              repeatable)\n"
+        "  --tmr LAYER                 mitigation: triplicate LAYER's\n"
+        "                              weights, majority vote ('*' = every\n"
+        "                              weight layer; repeatable)\n"
         "  --margin E                  error margin (default 0.01)\n"
         "  --confidence C              confidence level (default 0.99)\n"
         "  --images N                  evaluation images per fault (default 8)\n"
@@ -157,8 +176,9 @@ struct Options {
         "  --threads N                 worker threads (default 1; 0 = all cores)\n"
         "  --resume                    continue from the journal left by an\n"
         "                              interrupted run\n"
-        "  --journal PATH              exhaustive: checkpoint journal path\n"
-        "                              (default: under the cache directory)\n"
+        "  --journal PATH              campaign/activation/exhaustive:\n"
+        "                              checkpoint journal path (default:\n"
+        "                              under the cache directory)\n"
         "  --json                      one JSON document on stdout; all human\n"
         "                              output and progress on stderr\n"
         "  --out PATH                  exhaustive/shard merge: save the dense\n"
@@ -218,7 +238,14 @@ Options parse(int argc, char** argv) {
             return argv[++i];
         };
         if (flag == "--model") opt.model = value();
-        else if (flag == "--approach") opt.approach = value();
+        else if (flag == "--approach") {
+            opt.approach = value();
+            opt.approach_set = true;
+        }
+        else if (flag == "--fault-model") opt.fault_model = value();
+        else if (flag == "--mbu-k") opt.mbu_k = std::atoi(value().c_str());
+        else if (flag == "--clip") opt.clips.push_back(value());
+        else if (flag == "--tmr") opt.tmrs.push_back(value());
         else if (flag == "--margin") opt.margin = std::atof(value().c_str());
         else if (flag == "--confidence") opt.confidence = std::atof(value().c_str());
         else if (flag == "--images") opt.images = std::atoll(value().c_str());
@@ -258,6 +285,14 @@ Options parse(int argc, char** argv) {
     if (opt.confidence <= 0 || opt.confidence >= 1)
         usage("--confidence must be in (0,1)");
     if (opt.images <= 0) usage("--images must be positive");
+    // `statfi activation` is `statfi campaign --fault-model activation`.
+    if (opt.command == "activation") opt.fault_model = "activation";
+    // Data-aware planning needs single-bit weight strata; when the fault
+    // model has none and the user did not pick an approach, fall back to
+    // the layer-wise planner instead of erroring on the default.
+    if (!opt.approach_set && (opt.fault_model == "activation" ||
+                              opt.fault_model.rfind("mbu", 0) == 0))
+        opt.approach = "layer-wise";
     return opt;
 }
 
@@ -332,6 +367,8 @@ core::CampaignHeaderInfo header_from(const shard::CampaignRecipe& recipe,
     info.images = recipe.images;
     info.confidence = recipe.confidence;
     info.error_margin = recipe.error_margin;
+    info.fault_model = recipe.fault_model.describe();
+    info.mitigation = recipe.mitigation.describe();
     return info;
 }
 
@@ -412,6 +449,35 @@ shard::CampaignRecipe recipe_from(const Options& opt) {
     recipe.train = opt.train;
     recipe.dtype = opt.dtype;
     recipe.seed = opt.seed;
+    try {
+        recipe.fault_model = fault::fault_model_from_string(opt.fault_model);
+    } catch (const std::invalid_argument& e) {
+        usage(e.what());
+    }
+    if (opt.mbu_k != 0) {
+        if (recipe.fault_model.kind != fault::FaultModelKind::MultiBitUpset)
+            usage("--mbu-k applies to --fault-model mbu only");
+        recipe.fault_model.mbu_k = opt.mbu_k;
+    }
+    for (const std::string& raw : opt.clips) {
+        // NODE:LO:HI, split from the right so LO may be negative.
+        const auto last = raw.rfind(':');
+        const auto mid =
+            last == std::string::npos ? last : raw.rfind(':', last - 1);
+        if (last == std::string::npos || mid == std::string::npos || mid == 0)
+            usage("--clip expects NODE:LO:HI, got '" + raw + "'");
+        fault::ClipRule rule;
+        rule.node = raw.substr(0, mid);
+        try {
+            rule.lo = std::stof(raw.substr(mid + 1, last - mid - 1));
+            rule.hi = std::stof(raw.substr(last + 1));
+        } catch (const std::exception&) {
+            usage("--clip expects numeric LO:HI, got '" + raw + "'");
+        }
+        recipe.mitigation.clips.push_back(std::move(rule));
+    }
+    for (const std::string& layer : opt.tmrs)
+        recipe.mitigation.tmr.push_back(fault::TmrRule{layer});
     return recipe;
 }
 
@@ -501,22 +567,25 @@ void print_estimates(std::ostream& out, const fault::FaultUniverse& universe,
 }
 
 /// The statistical-campaign JSON document (campaign and shard merge).
-void emit_campaign_json(const Options& opt, const char* command,
+void emit_campaign_json(const shard::CampaignRecipe& recipe,
+                        const char* command,
                         const fault::FaultUniverse& universe,
                         const core::CampaignResult& result,
                         double golden_accuracy) {
     core::EstimatorConfig est_config;
-    est_config.confidence = opt.confidence;
+    est_config.confidence = recipe.confidence;
     const auto network = core::estimate_network(universe, result, est_config);
     report::JsonWriter json(std::cout);
     json.begin_object()
         .field("command", command)
-        .field("model", opt.model)
+        .field("model", recipe.model)
         .field("approach", core::to_string(result.approach))
-        .field("dtype", fault::to_string(opt.dtype))
-        .field("policy", opt.policy)
-        .field("seed", opt.seed)
-        .field("images", static_cast<std::int64_t>(opt.images))
+        .field("fault_model", recipe.fault_model.describe())
+        .field("mitigation", recipe.mitigation.describe())
+        .field("dtype", fault::to_string(recipe.dtype))
+        .field("policy", core::to_string(recipe.policy))
+        .field("seed", recipe.seed)
+        .field("images", static_cast<std::int64_t>(recipe.images))
         .field("universe_size", universe.total())
         .field("golden_accuracy", golden_accuracy)
         .field("interrupted", result.interrupted)
@@ -544,7 +613,7 @@ void emit_campaign_json(const Options& opt, const char* command,
 int cmd_campaign(const Options& opt) {
     const auto recipe = recipe_from(opt);
     std::ostream& out = human(opt);
-    Observatory obs = open_observatory(opt, recipe, "campaign");
+    Observatory obs = open_observatory(opt, recipe, opt.command);
     telemetry::Session* const session = obs.get();
     auto fx = [&] {
         telemetry::PhaseScope scope(session, "fixture_build");
@@ -557,26 +626,58 @@ int cmd_campaign(const Options& opt) {
         core::emit_plan_event(*log, fx.universe, plan);
     obs.stamp_plan(fx.universe.total(), plan.total_sample_size(),
                    plan.subpops.size());
-    out << core::to_string(plan.approach) << " campaign: "
+    out << core::to_string(plan.approach) << " campaign ("
+        << recipe.fault_model.describe() << "): "
         << report::fmt_u64(plan.total_sample_size()) << " of "
         << report::fmt_u64(fx.universe.total()) << " faults, "
         << opt.images << " image(s) per fault, policy " << opt.policy
         << "\n";
+    if (!recipe.mitigation.empty())
+        out << "mitigations: " << recipe.mitigation.describe() << "\n";
     out << "golden accuracy on evaluation set: "
         << report::fmt_percent(engine.golden_accuracy(), 1) << "%\n"
         << "running on " << engine.worker_count()
-        << " worker(s)... (Ctrl-C stops cleanly)\n";
+        << " worker(s)... (Ctrl-C checkpoints; rerun with --resume)\n";
+
+    // The canonical drawn sample (worker-count independent) + the durable
+    // run: every fault model shares the journaled, resumable path.
+    const std::vector<core::DrawnFault> items = core::draw_plan(
+        fx.universe, plan, stats::Rng(opt.seed).fork("campaign"));
+    core::DurabilityOptions durability;
+    durability.model_id = opt.model;
+    durability.cancel = &g_interrupt;
+    durability.journal_path =
+        opt.journal.empty()
+            ? core::cache_directory() + "/cli_campaign_" + opt.model + "_" +
+                  recipe.fault_model.describe() + "_" +
+                  core::to_string(plan.approach) + "_" +
+                  fault::to_string(opt.dtype) + "_" + opt.policy + "_n" +
+                  std::to_string(opt.images) + "_s" + std::to_string(opt.seed) +
+                  ".sfij"
+            : opt.journal;
+    if (!opt.resume) std::filesystem::remove(durability.journal_path);
+
     std::signal(SIGINT, handle_sigint);
-    const auto result = engine.run(fx.universe, plan,
-                                   stats::Rng(opt.seed).fork("campaign"),
-                                   &g_interrupt);
+    const core::StatisticalRun srun = engine.run_durable(
+        fx.universe, plan, items, durability,
+        telemetry::board_progress(session ? &session->status() : nullptr,
+                                  stderr_progress()));
     std::signal(SIGINT, SIG_DFL);
+    const core::CampaignResult& result = srun.result;
+    if (srun.resumed > 0)
+        out << "resumed " << report::fmt_u64(srun.resumed)
+            << " outcome(s) from the journal, classified "
+            << report::fmt_u64(srun.classified) << " more\n";
     if (result.interrupted)
         out << "interrupted after "
             << report::fmt_u64(result.total_injected()) << " of "
             << report::fmt_u64(plan.total_sample_size())
-            << " planned injections; estimates below cover the "
+            << " planned injections; progress checkpointed to "
+            << durability.journal_path
+            << " (rerun with --resume); estimates below cover the "
                "classified sample only\n";
+    else
+        std::filesystem::remove(durability.journal_path);
     out << "done in " << report::fmt_double(result.wall_seconds, 1)
         << "s (" << report::fmt_u64(engine.inference_count())
         << " faulty inferences)\n";
@@ -585,7 +686,7 @@ int cmd_campaign(const Options& opt) {
                       result.wall_seconds);
     export_telemetry(opt, session);
     if (opt.json)
-        emit_campaign_json(opt, "campaign", fx.universe, result,
+        emit_campaign_json(recipe, opt.command.c_str(), fx.universe, result,
                            engine.golden_accuracy());
     else
         print_estimates(out, fx.universe, result, opt.confidence);
@@ -606,18 +707,21 @@ void print_census_table(std::ostream& out,
 }
 
 /// The census JSON document (exhaustive and shard merge).
-void emit_census_json(const Options& opt, const char* command,
+void emit_census_json(const shard::CampaignRecipe& recipe, const char* command,
+                      const std::string& out_path,
                       const fault::FaultUniverse& universe,
                       const core::ExhaustiveOutcomes& truth,
                       std::uint64_t resumed, std::uint64_t classified) {
     report::JsonWriter json(std::cout);
     json.begin_object()
         .field("command", command)
-        .field("model", opt.model)
-        .field("dtype", fault::to_string(opt.dtype))
-        .field("policy", opt.policy)
-        .field("seed", opt.seed)
-        .field("images", static_cast<std::int64_t>(opt.images))
+        .field("model", recipe.model)
+        .field("fault_model", recipe.fault_model.describe())
+        .field("mitigation", recipe.mitigation.describe())
+        .field("dtype", fault::to_string(recipe.dtype))
+        .field("policy", core::to_string(recipe.policy))
+        .field("seed", recipe.seed)
+        .field("images", static_cast<std::int64_t>(recipe.images))
         .field("universe_size", universe.total())
         .field("interrupted", false)
         .field("resumed", resumed)
@@ -631,7 +735,7 @@ void emit_census_json(const Options& opt, const char* command,
             .field("critical_rate", truth.layer_critical_rate(universe, l))
             .end_object();
     json.end_array();
-    if (!opt.out.empty()) json.field("out", opt.out);
+    if (!out_path.empty()) json.field("out", out_path);
     json.end_object();
     json.finish();
 }
@@ -716,8 +820,8 @@ int cmd_exhaustive(const Options& opt) {
         out << "outcome table saved to " << opt.out << "\n";
     }
     if (opt.json)
-        emit_census_json(opt, "exhaustive", fx.universe, run.outcomes,
-                         run.resumed, run.classified);
+        emit_census_json(recipe, "exhaustive", opt.out, fx.universe,
+                         run.outcomes, run.resumed, run.classified);
     else
         print_census_table(out, fx.universe, run.outcomes);
     return 0;
@@ -925,30 +1029,22 @@ int cmd_shard_merge(const Options& opt) {
     export_telemetry(opt, session);
     std::ostream& out = human(opt);
 
-    Options view = opt;  // recipe fields drive the shared emitters
-    view.model = manifest.recipe.model;
-    view.policy = core::to_string(manifest.recipe.policy);
-    view.dtype = manifest.recipe.dtype;
-    view.seed = manifest.recipe.seed;
-    view.images = manifest.recipe.images;
-    view.confidence = manifest.recipe.confidence;
-
     if (merged.kind == shard::CampaignKind::Census) {
         if (!opt.out.empty()) {
             merged.outcomes.save(opt.out);
             out << "merged outcome table saved to " << opt.out << "\n";
         }
         if (opt.json)
-            emit_census_json(view, "shard-merge", fx.universe, merged.outcomes,
-                             0, 0);
+            emit_census_json(manifest.recipe, "shard-merge", opt.out,
+                             fx.universe, merged.outcomes, 0, 0);
         else
             print_census_table(out, fx.universe, merged.outcomes);
     } else {
         if (!opt.out.empty())
             usage("--out applies to census merges only");
         if (opt.json)
-            emit_campaign_json(view, "shard-merge", fx.universe, merged.result,
-                               0.0);
+            emit_campaign_json(manifest.recipe, "shard-merge", fx.universe,
+                               merged.result, 0.0);
         else
             print_estimates(out, fx.universe, merged.result,
                             manifest.recipe.confidence);
@@ -1122,6 +1218,9 @@ int main(int argc, char** argv) {
         if (opt.command == "profile") return cmd_profile(opt);
         if (opt.command == "plan") return cmd_plan(opt);
         if (opt.command == "campaign") return cmd_campaign(opt);
+        // `activation` is sugar for `campaign --fault-model activation` —
+        // same durable path, same journal/resume semantics.
+        if (opt.command == "activation") return cmd_campaign(opt);
         if (opt.command == "exhaustive") return cmd_exhaustive(opt);
         if (opt.command == "shard") return cmd_shard(opt);
         if (opt.command == "report") return cmd_report(opt);
