@@ -26,6 +26,12 @@
 // disk + live StatusServer, vs the bare engine. Same alternating-rep
 // protocol, same 3% ceiling, same bit-identity requirement
 // (BENCH_observatory.json).
+//
+// `bench_perf --kernels-json PATH` measures the kernel-dispatch layer and
+// the fault-batched ensemble forward (DESIGN.md decision 15): the engine
+// census in {generic, native} x {ungrouped, grouped} configurations, every
+// outcome table checked bit-identical, with a >= 4x faults/s gate for the
+// best configuration against the pre-kernel baseline (BENCH_kernels.json).
 
 #include <benchmark/benchmark.h>
 
@@ -43,6 +49,7 @@
 #include "core/data_aware.hpp"
 #include "core/engine.hpp"
 #include "core/planner.hpp"
+#include "kernels/registry.hpp"
 #include "data/synthetic.hpp"
 #include "fault/injector.hpp"
 #include "models/registry.hpp"
@@ -259,6 +266,173 @@ int run_engine_report(const std::string& json_path, std::uint64_t max_faults,
               << "); baseline " << kBaselineFaultsPerSecond
               << " faults/s @ " << kBaselineCommit << "\n"
               << "report written to " << json_path << "\n";
+    return 0;
+}
+
+// --- kernel dispatch + ensemble forward (--kernels-json) ------------------
+
+/// One engine-report census under a forced kernel backend and ensemble
+/// width. A fresh engine per configuration: the golden cache must be built
+/// by the same backend that classifies (one process never mixes backends).
+struct KernelsConfigResult {
+    std::string kernels;
+    std::size_t width = 1;
+    double wall = 0.0;
+    double fps = 0.0;
+    core::ExhaustiveOutcomes outcomes;
+};
+
+KernelsConfigResult run_kernels_config(const std::string& backend,
+                                       std::size_t width,
+                                       std::uint64_t max_faults,
+                                       std::size_t threads) {
+    kernels::select(backend);
+    auto net = models::build_model("micronet");
+    stats::Rng rng(424242);
+    nn::init_network_kaiming(net, rng);
+    const auto eval = data::make_synthetic({}, 4, "test");
+    const auto universe = fault::FaultUniverse::stuck_at(net);
+
+    core::ExecutorConfig config;
+    config.policy = core::ClassificationPolicy::GoldenMismatch;
+    config.ensemble_width = width;
+    core::CampaignEngine engine(net, eval, config, threads);
+
+    const std::uint64_t total = universe.total();
+    const std::uint64_t faults =
+        max_faults == 0 ? total : std::min(max_faults, total);
+
+    KernelsConfigResult r;
+    r.kernels = kernels::active().name;
+    r.width = width;
+    const auto start = std::chrono::steady_clock::now();
+    if (faults == total) {
+        r.outcomes = engine.run_exhaustive(universe);
+    } else {
+        // Capped smoke run: grouped exactly like the engine's census chunk,
+        // on worker 0 (deterministic across thread counts).
+        r.outcomes = core::ExhaustiveOutcomes(faults);
+        core::ClassificationCore& core0 = engine.core(0);
+        std::vector<fault::Fault> group;
+        std::vector<core::FaultOutcome> out;
+        for (std::uint64_t i = 0; i < faults;) {
+            group.clear();
+            const fault::Fault first = universe.decode(i);
+            const std::uint64_t lo = i;
+            while (i < faults && group.size() < width) {
+                const fault::Fault f = universe.decode(i);
+                if (f.layer != first.layer ||
+                    !fault::same_ensemble_family(f.model, first.model))
+                    break;
+                group.push_back(f);
+                ++i;
+            }
+            out.assign(group.size(), core::FaultOutcome::NonCritical);
+            core0.evaluate_group(group, out.data());
+            for (std::size_t b = 0; b < out.size(); ++b)
+                r.outcomes.set(lo + b, out[b]);
+        }
+    }
+    r.wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    r.fps = r.wall > 0 ? static_cast<double>(faults) / r.wall : 0.0;
+    std::cout << "  " << r.kernels << " width=" << width << ": " << r.fps
+              << " faults/s (" << r.wall << " s)\n";
+    return r;
+}
+
+/// The kernel-dispatch gate: every {backend} x {width} census bit-identical,
+/// best configuration >= 4x the pre-kernel baseline (full census only —
+/// capped smoke runs skip the throughput gate, not the identity check).
+int run_kernels_report(const std::string& json_path, std::uint64_t max_faults,
+                       std::size_t threads) {
+    const bool have_native = kernels::native_kernels() != nullptr;
+    std::cout << "kernel-dispatch census sweep (cpu: "
+              << kernels::detect_cpu().describe() << ")\n";
+    std::vector<KernelsConfigResult> runs;
+    runs.push_back(run_kernels_config("generic", 1, max_faults, threads));
+    runs.push_back(run_kernels_config("generic", 8, max_faults, threads));
+    if (have_native) {
+        runs.push_back(run_kernels_config("native", 1, max_faults, threads));
+        runs.push_back(run_kernels_config("native", 8, max_faults, threads));
+    }
+    kernels::select("auto");
+
+    const std::uint64_t n = runs.front().outcomes.size();
+    bool identical = true;
+    for (std::size_t c = 1; c < runs.size(); ++c)
+        for (std::uint64_t i = 0; i < n; ++i)
+            if (runs[c].outcomes.at(i) != runs[0].outcomes.at(i)) {
+                std::cerr << "bench_perf: outcome mismatch at fault " << i
+                          << " between " << runs[0].kernels << "/w"
+                          << runs[0].width << " and " << runs[c].kernels
+                          << "/w" << runs[c].width << "\n";
+                identical = false;
+                i = n;
+            }
+
+    const double crit_rate =
+        static_cast<double>(runs[0].outcomes.critical_count(0, n)) /
+        static_cast<double>(n);
+    double best_fps = 0.0;
+    std::string best_name;
+    for (const auto& r : runs)
+        if (r.fps > best_fps) {
+            best_fps = r.fps;
+            best_name = r.kernels + "/w" + std::to_string(r.width);
+        }
+    const double speedup = best_fps / kBaselineFaultsPerSecond;
+    const bool full = max_faults == 0;
+    const bool gate_ok = !full || !have_native || speedup >= 4.0;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet kaiming(424242), 4 synthetic test "
+           "images, GoldenMismatch, stuck-at universe\",\n"
+        << "  \"cpu\": \"" << kernels::detect_cpu().describe() << "\",\n"
+        << "  \"faults\": " << n << ",\n"
+        << "  \"full_census\": " << (full ? "true" : "false") << ",\n"
+        << "  \"workers\": " << (threads == 0 ? 0 : threads) << ",\n"
+        << "  \"outcomes_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"critical_rate\": " << crit_rate << ",\n"
+        << "  \"configs\": [\n";
+    for (std::size_t c = 0; c < runs.size(); ++c)
+        out << "    {\"kernels\": \"" << runs[c].kernels
+            << "\", \"ensemble_width\": " << runs[c].width
+            << ", \"wall_seconds\": " << runs[c].wall
+            << ", \"faults_per_second\": " << runs[c].fps << "}"
+            << (c + 1 < runs.size() ? "," : "") << "\n";
+    out << "  ],\n"
+        << "  \"best\": {\"config\": \"" << best_name
+        << "\", \"faults_per_second\": " << best_fps
+        << ", \"speedup_vs_baseline\": " << speedup << "},\n"
+        << "  \"baseline\": {\n"
+        << "    \"commit\": \"" << kBaselineCommit << "\",\n"
+        << "    \"faults_per_second\": " << kBaselineFaultsPerSecond << "\n"
+        << "  },\n"
+        << "  \"gate\": {\"required_speedup\": 4.0, \"passed\": "
+        << (gate_ok ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "best: " << best_name << " at " << best_fps
+              << " faults/s = " << speedup << "x baseline ("
+              << kBaselineFaultsPerSecond << " @ " << kBaselineCommit
+              << ")\nreport written to " << json_path << "\n";
+    if (!identical) {
+        std::cerr << "bench_perf: KERNEL BACKENDS DISAGREE — bit-identity "
+                     "contract violated\n";
+        return 1;
+    }
+    if (!gate_ok) {
+        std::cerr << "bench_perf: kernel speedup gate FAILED (" << speedup
+                  << "x < 4x)\n";
+        return 1;
+    }
     return 0;
 }
 
@@ -616,6 +790,7 @@ int run_observatory_report(const std::string& json_path,
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string kernels_json_path;
     std::string shard_json_path;
     std::string telemetry_json_path;
     std::string observatory_json_path;
@@ -626,6 +801,8 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--engine-json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--kernels-json" && i + 1 < argc) {
+            kernels_json_path = argv[++i];
         } else if (arg == "--shard-json" && i + 1 < argc) {
             shard_json_path = argv[++i];
         } else if (arg == "--telemetry-json" && i + 1 < argc) {
@@ -651,6 +828,8 @@ int main(int argc, char** argv) {
                                 .string();
         return run_shard_report(shard_json_path, statfi_binary);
     }
+    if (!kernels_json_path.empty())
+        return run_kernels_report(kernels_json_path, max_faults, threads);
     if (!json_path.empty()) return run_engine_report(json_path, max_faults, threads);
 
     benchmark::Initialize(&argc, argv);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
 #include "io/checksum.hpp"
+#include "kernels/registry.hpp"
 
 namespace statfi::core {
 
@@ -64,13 +66,11 @@ fault::ResolvedMitigation deploy_mitigation(
             [clips = resolved.node_clips](int id, Tensor& out) {
                 const auto& range = clips[static_cast<std::size_t>(id)];
                 if (!range) return;
-                const float lo = range->first, hi = range->second;
-                float* data = out.data();
-                const std::int64_t n = out.numel();
                 // NaN passes through (clamp circuits bound magnitude, they
-                // do not repair invalid encodings).
-                for (std::int64_t e = 0; e < n; ++e)
-                    data[e] = std::clamp(data[e], lo, hi);
+                // do not repair invalid encodings) — a contract every
+                // kernel backend honors bit-for-bit.
+                kernels::active().clamp(out.data(), out.numel(),
+                                        range->first, range->second);
             });
     }
     return resolved;
@@ -88,6 +88,33 @@ ClassificationCore::ClassificationCore(nn::Network& net,
     // single-image shapes so the hot loop never allocates. Not an injected
     // inference, so it stays out of inference_count().
     net_->forward_from(0, golden_.images[0], golden_.acts[0], scratch_);
+
+    // Precompute, for every potential dirty node d, which golden entries
+    // the ensemble suffix forward_from(d + 1) dereferences: producers
+    // p < d read by some node > d (the frontier d itself is built fresh
+    // each step), plus whether any suffix node reads the network input.
+    const int n = net_->node_count();
+    ensemble_golden_.resize(static_cast<std::size_t>(n));
+    row_cache_.assign(static_cast<std::size_t>(n),
+                      std::vector<Tensor>(golden_.images.size()));
+    suffix_deps_.resize(static_cast<std::size_t>(n));
+    suffix_needs_input_.assign(static_cast<std::size_t>(n), 0);
+    std::vector<char> used;
+    for (int d = 0; d < n; ++d) {
+        used.assign(static_cast<std::size_t>(n), 0);
+        bool needs_input = false;
+        for (int q = d + 1; q < n; ++q)
+            for (int in : net_->node_inputs(q)) {
+                if (in == nn::Network::kInputId)
+                    needs_input = true;
+                else if (in < d)
+                    used[static_cast<std::size_t>(in)] = 1;
+            }
+        for (int p = 0; p < d; ++p)
+            if (used[static_cast<std::size_t>(p)])
+                suffix_deps_[static_cast<std::size_t>(d)].push_back(p);
+        suffix_needs_input_[static_cast<std::size_t>(d)] = needs_input ? 1 : 0;
+    }
 }
 
 namespace {
@@ -98,6 +125,32 @@ int predict(const Tensor& logits) {
     const float v = logits[static_cast<std::size_t>(best)];
     if (!std::isfinite(v)) return -1;
     return best;
+}
+
+/// predict() for one lane of a lane-stacked (F, classes) logits tensor —
+/// same argmax and finiteness rule, so per-lane decisions match the
+/// per-fault path exactly.
+int predict_row(const Tensor& logits, std::int64_t row) {
+    const int best = nn::argmax_row(logits, row);
+    const float v = logits[static_cast<std::size_t>(
+        row * logits.shape()[1] + best)];
+    if (!std::isfinite(v)) return -1;
+    return best;
+}
+
+/// @p src's shape with the leading (batch) dimension replaced by @p lanes.
+Shape lane_shape(const Shape& src, std::size_t lanes) {
+    std::vector<std::int64_t> dims = src.dims();
+    dims.at(0) = static_cast<std::int64_t>(lanes);
+    return Shape(std::move(dims));
+}
+
+/// Replicate a batch-1 tensor into @p lanes batch rows of @p dst.
+void stack_lanes(const Tensor& src, std::size_t lanes, Tensor& dst) {
+    nn::ensure_shape(dst, lane_shape(src.shape(), lanes));
+    const std::size_t sz = src.numel();
+    for (std::size_t l = 0; l < lanes; ++l)
+        std::memcpy(dst.data() + l * sz, src.data(), sz * sizeof(float));
 }
 }  // namespace
 
@@ -251,6 +304,319 @@ FaultOutcome ClassificationCore::evaluate_instrumented(
     reg.observe(worker_, ids.evaluate_seconds,
                 std::chrono::duration<double>(clock::now() - t0).count());
     return outcome;
+}
+
+// ------------------------------------------- fault-batched group evaluation
+
+void ClassificationCore::evaluate_group(std::span<const fault::Fault> faults,
+                                        FaultOutcome* out) {
+    if (faults.empty()) return;
+    for (const auto& f : faults)
+        if (f.layer != faults.front().layer ||
+            !fault::same_ensemble_family(f.model, faults.front().model))
+            throw std::invalid_argument(
+                "ClassificationCore::evaluate_group: faults must share one "
+                "layer and one ensemble family (weight models may mix; "
+                "activation faults group only with activation faults)");
+    if (faults.size() == 1) {
+        // Degenerate group: per-fault path with full instrumentation.
+        out[0] = evaluate(faults.front());
+        return;
+    }
+    if (!telemetry_) {
+        evaluate_group_plain(faults, out);
+        return;
+    }
+
+    using clock = std::chrono::steady_clock;
+    auto& reg = telemetry_->metrics();
+    const telemetry::MetricIds& ids = telemetry_->ids();
+    const std::uint64_t inferences_before = inferences_;
+    const auto t0 = clock::now();
+    evaluate_group_plain(faults, out);
+    const auto t1 = clock::now();
+    // Group-granularity accounting: the blocked pass interleaves injection,
+    // forward, and restore per lane, so the whole pass is booked as forward
+    // time and evaluate_seconds observes one sample per group.
+    reg.inc(worker_, ids.forward_ns_total,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
+    reg.inc(worker_, ids.faults_total, faults.size());
+    std::uint64_t masked = 0, critical = 0;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+        masked += out[f] == FaultOutcome::Masked ? 1 : 0;
+        critical += out[f] == FaultOutcome::Critical ? 1 : 0;
+    }
+    if (masked) reg.inc(worker_, ids.masked_total, masked);
+    if (critical) reg.inc(worker_, ids.critical_total, critical);
+    reg.inc(worker_, ids.inferences_total, inferences_ - inferences_before);
+    reg.observe(worker_, ids.evaluate_seconds,
+                std::chrono::duration<double>(t1 - t0).count());
+}
+
+void ClassificationCore::evaluate_group_plain(
+    std::span<const fault::Fault> faults, FaultOutcome* out) {
+    if (faults.front().model == fault::FaultModel::ActivationFlip)
+        evaluate_activation_group(faults, out);
+    else
+        evaluate_weight_group(faults, out);
+}
+
+const Tensor& ClassificationCore::ensemble_weight_step(
+    std::span<const fault::Fault> faults, int node, std::size_t image) {
+    const std::size_t F = active_.size();
+    const auto d = static_cast<std::size_t>(node);
+    const nn::Layer& layer = net_->layer(node);
+    const auto& acts = golden_.acts[image];
+
+    lane_inputs_.clear();
+    for (int in : net_->node_inputs(node))
+        lane_inputs_.push_back(in == nn::Network::kInputId
+                                   ? &golden_.images[image]
+                                   : &acts[static_cast<std::size_t>(in)]);
+    const std::span<const Tensor* const> inputs(lane_inputs_.data(),
+                                                lane_inputs_.size());
+
+    // Frontier: per lane, the golden node output with only the output row
+    // its corrupted weight word feeds recomputed under that lane's fault.
+    // The other rows do not depend on the corrupted word, so they are
+    // byte-identical to a full faulty recompute.
+    const Tensor& gact = acts[d];
+    const std::size_t lane_sz = gact.numel();
+    Tensor& frontier = ensemble_golden_[d];
+    nn::ensure_shape(frontier, lane_shape(gact.shape(), F));
+    for (std::size_t l = 0; l < F; ++l) {
+        const fault::Fault& fault = faults[active_[l]];
+        nn::ensure_shape(lane_buf_, gact.shape());
+        std::memcpy(lane_buf_.data(), gact.data(), lane_sz * sizeof(float));
+        {
+            fault::WeightInjector::Scoped guard(injector_, fault);
+            layer.forward_row_cached(inputs, fault.weight_index,
+                                     row_cache_[d][image], lane_buf_);
+        }
+        std::memcpy(frontier.data() + l * lane_sz, lane_buf_.data(),
+                    lane_sz * sizeof(float));
+    }
+    // The per-fault path recomputes node d in full and runs the clip hook on
+    // the result; here the hook's clamp is re-applied to the whole stacked
+    // tensor — idempotent on the already-clamped golden rows, identical on
+    // the recomputed one (NaN passes std::clamp both times).
+    if (mitigation_.any_clip) {
+        const auto& range = mitigation_.node_clips[d];
+        if (range)
+            kernels::active().clamp(frontier.data(), frontier.numel(),
+                                    range->first, range->second);
+    }
+
+    for (int p : suffix_deps_[d])
+        stack_lanes(acts[static_cast<std::size_t>(p)], F,
+                    ensemble_golden_[static_cast<std::size_t>(p)]);
+    if (suffix_needs_input_[d])
+        stack_lanes(golden_.images[image], F, ensemble_input_);
+
+    if (node + 1 >= net_->node_count()) return frontier;
+    return net_->forward_ensemble(node + 1, ensemble_input_, ensemble_golden_,
+                                  ensemble_scratch_);
+}
+
+void ClassificationCore::evaluate_weight_group(
+    std::span<const fault::Fault> faults, FaultOutcome* out) {
+    // Masked / TMR-outvoted lanes are decided without inference, exactly as
+    // in evaluate().
+    active_.clear();
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (mitigation_.tmr_protects(faults[f].layer) ||
+            injector_.masked(faults[f]))
+            out[f] = FaultOutcome::Masked;
+        else
+            active_.push_back(f);
+    }
+    if (active_.empty()) return;
+    if (active_.size() == 1) {
+        // One live lane left: the per-fault path IS the blocked pass.
+        const fault::Fault& fault = faults[active_.front()];
+        fault::WeightInjector::Scoped guard(injector_, fault);
+        out[active_.front()] =
+            classify_active_fault(injector_.node_of_layer(fault.layer));
+        return;
+    }
+
+    const int node = injector_.node_of_layer(faults.front().layer);
+    const std::size_t count = golden_.images.size();
+
+    // Per-image loops mirror classify_active_fault: same image order, same
+    // decision expressions, and inferences_ advances by the live lane count
+    // per step — a lane decided at image k consumed images 0..k, exactly
+    // like the per-fault early exit.
+    switch (config_.policy) {
+        case ClassificationPolicy::AnyMisprediction: {
+            for (std::size_t k = 0; k < count && !active_.empty(); ++k) {
+                const std::size_t i = golden_.correct_order[k];
+                if (golden_.preds[i] != golden_.labels[i])
+                    break;  // incorrect tail
+                const Tensor& logits = ensemble_weight_step(faults, node, i);
+                inferences_ += active_.size();
+                std::size_t w = 0;
+                for (std::size_t l = 0; l < active_.size(); ++l) {
+                    if (predict_row(logits, static_cast<std::int64_t>(l)) !=
+                        golden_.labels[i])
+                        out[active_[l]] = FaultOutcome::Critical;
+                    else
+                        active_[w++] = active_[l];
+                }
+                active_.resize(w);
+            }
+            break;
+        }
+        case ClassificationPolicy::GoldenMismatch: {
+            for (std::size_t i = 0; i < count && !active_.empty(); ++i) {
+                const Tensor& logits = ensemble_weight_step(faults, node, i);
+                inferences_ += active_.size();
+                std::size_t w = 0;
+                for (std::size_t l = 0; l < active_.size(); ++l) {
+                    if (predict_row(logits, static_cast<std::int64_t>(l)) !=
+                        golden_.preds[i])
+                        out[active_[l]] = FaultOutcome::Critical;
+                    else
+                        active_[w++] = active_[l];
+                }
+                active_.resize(w);
+            }
+            break;
+        }
+        case ClassificationPolicy::AccuracyDrop: {
+            const double threshold =
+                config_.accuracy_drop_threshold * static_cast<double>(count);
+            lane_correct_.assign(active_.size(), 0);
+            for (std::size_t i = 0; i < count && !active_.empty(); ++i) {
+                const Tensor& logits = ensemble_weight_step(faults, node, i);
+                inferences_ += active_.size();
+                std::size_t w = 0;
+                for (std::size_t l = 0; l < active_.size(); ++l) {
+                    if (predict_row(logits, static_cast<std::int64_t>(l)) ==
+                        golden_.labels[i])
+                        ++lane_correct_[l];
+                    const std::uint64_t remaining = count - 1 - i;
+                    const double best_case =
+                        static_cast<double>(golden_.correct) -
+                        static_cast<double>(lane_correct_[l] + remaining);
+                    if (best_case > threshold) {
+                        out[active_[l]] = FaultOutcome::Critical;
+                    } else {
+                        active_[w] = active_[l];
+                        lane_correct_[w] = lane_correct_[l];
+                        ++w;
+                    }
+                }
+                active_.resize(w);
+                lane_correct_.resize(w);
+            }
+            for (std::size_t l = 0; l < active_.size(); ++l) {
+                const double drop = static_cast<double>(golden_.correct) -
+                                    static_cast<double>(lane_correct_[l]);
+                out[active_[l]] = drop > threshold ? FaultOutcome::Critical
+                                                   : FaultOutcome::NonCritical;
+            }
+            return;
+        }
+    }
+    for (const std::size_t f : active_) out[f] = FaultOutcome::NonCritical;
+}
+
+void ClassificationCore::evaluate_activation_group(
+    std::span<const fault::Fault> faults, FaultOutcome* out) {
+    const std::size_t F = faults.size();
+    const std::size_t images = golden_.images.size();
+    const int node = faults.front().layer;
+    const auto d = static_cast<std::size_t>(node);
+
+    // Each lane's target image is a pure function of its fault (see
+    // evaluate_activation), so lanes in one group generally corrupt
+    // DIFFERENT images: suffix dependencies and the input are gathered per
+    // lane rather than replicated.
+    lane_images_.resize(F);
+    const Tensor& shape_ref = golden_.acts[0][d];
+    const std::size_t lane_sz = shape_ref.numel();
+    Tensor& frontier = ensemble_golden_[d];
+    nn::ensure_shape(frontier, lane_shape(shape_ref.shape(), F));
+    for (std::size_t l = 0; l < F; ++l) {
+        const fault::Fault& fault = faults[l];
+        const auto i = static_cast<std::size_t>(
+            (fault.weight_index + static_cast<std::uint64_t>(fault.bit)) %
+            images);
+        lane_images_[l] = i;
+        const Tensor& act = golden_.acts[i][d];
+        if (fault.weight_index >= static_cast<std::uint64_t>(act.numel()))
+            throw std::out_of_range(
+                "ClassificationCore: activation element index out of range");
+        // Lane = post-hook golden activation with one element flipped. No
+        // re-clamp: the per-fault path corrupts the cached (already
+        // clipped) activation and re-runs only nodes after it.
+        float* lane = frontier.data() + l * lane_sz;
+        std::memcpy(lane, act.data(), lane_sz * sizeof(float));
+        const auto element = static_cast<std::size_t>(fault.weight_index);
+        lane[element] =
+            fault::apply_bit_flip(lane[element], fault.bit, config_.dtype);
+    }
+
+    for (int p : suffix_deps_[d]) {
+        const auto ps = static_cast<std::size_t>(p);
+        const Tensor& ref = golden_.acts[0][ps];
+        const std::size_t sz = ref.numel();
+        Tensor& dst = ensemble_golden_[ps];
+        nn::ensure_shape(dst, lane_shape(ref.shape(), F));
+        for (std::size_t l = 0; l < F; ++l)
+            std::memcpy(dst.data() + l * sz,
+                        golden_.acts[lane_images_[l]][ps].data(),
+                        sz * sizeof(float));
+    }
+    if (suffix_needs_input_[d]) {
+        const std::size_t sz = golden_.images[0].numel();
+        nn::ensure_shape(ensemble_input_,
+                         lane_shape(golden_.images[0].shape(), F));
+        for (std::size_t l = 0; l < F; ++l)
+            std::memcpy(ensemble_input_.data() + l * sz,
+                        golden_.images[lane_images_[l]].data(),
+                        sz * sizeof(float));
+    }
+
+    const Tensor& logits =
+        node + 1 >= net_->node_count()
+            ? frontier
+            : net_->forward_ensemble(node + 1, ensemble_input_,
+                                     ensemble_golden_, ensemble_scratch_);
+    inferences_ += F;
+
+    for (std::size_t l = 0; l < F; ++l) {
+        const std::size_t i = lane_images_[l];
+        const int prediction =
+            predict_row(logits, static_cast<std::int64_t>(l));
+        switch (config_.policy) {
+            case ClassificationPolicy::AnyMisprediction:
+                out[l] = (golden_.preds[i] == golden_.labels[i] &&
+                          prediction != golden_.labels[i])
+                             ? FaultOutcome::Critical
+                             : FaultOutcome::NonCritical;
+                break;
+            case ClassificationPolicy::GoldenMismatch:
+            case ClassificationPolicy::AccuracyDrop:  // single-inference
+                                                      // fault: drop == flip
+                out[l] = prediction != golden_.preds[i]
+                             ? FaultOutcome::Critical
+                             : FaultOutcome::NonCritical;
+                break;
+        }
+    }
+}
+
+std::size_t ClassificationCore::ensemble_bytes() const noexcept {
+    std::size_t floats = lane_buf_.numel() + ensemble_input_.numel();
+    for (const auto& t : ensemble_golden_) floats += t.numel();
+    for (const auto& t : ensemble_scratch_) floats += t.numel();
+    for (const auto& per_node : row_cache_)
+        for (const auto& t : per_node) floats += t.numel();
+    return floats * sizeof(float);
 }
 
 CampaignFingerprint ClassificationCore::fingerprint(

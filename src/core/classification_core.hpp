@@ -19,6 +19,7 @@
 //  * the scratch arena (and each Conv2d's im2col workspace) is preallocated
 //    by a warm-up pass, so the ~10^5-fault hot loop never allocates.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,24 @@ public:
     /// layer are outvoted and Masked without inference.
     FaultOutcome evaluate(const fault::Fault& fault);
 
+    /// Classify a batch of faults sharing one layer and one ensemble family
+    /// (fault::same_ensemble_family — weight-resident models mix freely, a
+    /// lane applies its own corruption; activation faults group apart) in a
+    /// single blocked pass, writing one outcome per fault into @p out. Each
+    /// fault becomes a "lane": its dirty node's output is reconstructed by
+    /// copying the golden activation and recomputing only the one output row
+    /// the corrupted weight word feeds (Layer::forward_row), then all lanes
+    /// run the downstream sub-graph together as one fault-batched ensemble
+    /// forward (Network::forward_ensemble). Outcomes and inference counts
+    /// are bit-identical to calling evaluate() per fault — grouping is a
+    /// throughput knob, like the worker count, never a semantic one.
+    /// @throws std::invalid_argument when faults mix layers or families.
+    void evaluate_group(std::span<const fault::Fault> faults,
+                        FaultOutcome* out);
+
+    /// Ensemble workspace footprint in bytes (diagnostics for bench_perf).
+    [[nodiscard]] std::size_t ensemble_bytes() const noexcept;
+
     /// Attach telemetry: this core reports into @p session's per-worker
     /// slot @p worker (each engine worker owns exactly one slot — the
     /// lock-free single-writer contract). nullptr detaches; the detached
@@ -107,6 +126,19 @@ private:
     FaultOutcome evaluate_activation(const fault::Fault& fault);
     FaultOutcome evaluate_instrumented(const fault::Fault& fault);
 
+    void evaluate_group_plain(std::span<const fault::Fault> faults,
+                              FaultOutcome* out);
+    void evaluate_weight_group(std::span<const fault::Fault> faults,
+                               FaultOutcome* out);
+    void evaluate_activation_group(std::span<const fault::Fault> faults,
+                                   FaultOutcome* out);
+    /// Build the lane-stacked frontier (node @p node outputs for image
+    /// @p image, one lane per active fault) plus the replicated suffix
+    /// dependencies, then run the ensemble suffix. Returns the lane-stacked
+    /// logits ((F, classes) — row l belongs to active_[l]).
+    const Tensor& ensemble_weight_step(std::span<const fault::Fault> faults,
+                                       int node, std::size_t image);
+
     nn::Network* net_;
     ExecutorConfig config_;
     /// Resolved before injector_/golden_: construction installs the clip
@@ -118,6 +150,27 @@ private:
     std::vector<Tensor> scratch_;
     telemetry::Session* telemetry_ = nullptr;
     std::size_t worker_ = 0;
+
+    // -- fault-batched ensemble state (grow-only, reused across groups) ----
+    /// Lane-stacked stand-in for the golden cache: entry [node] holds the
+    /// frontier, entries listed in suffix_deps_ hold replicated golden acts.
+    std::vector<Tensor> ensemble_golden_;
+    std::vector<Tensor> ensemble_scratch_;
+    Tensor ensemble_input_;  ///< lane-stacked network input, when referenced
+    Tensor lane_buf_;        ///< single-lane frontier reconstruction buffer
+    std::vector<const Tensor*> lane_inputs_;
+    /// row_cache_[node][image]: input-derived scratch a layer keeps across
+    /// forward_row_cached calls (a conv's golden im2col matrix). Valid for
+    /// the life of the core — frontier inputs are golden activations, which
+    /// never change after construction.
+    std::vector<std::vector<Tensor>> row_cache_;
+    /// suffix_deps_[d]: producers p < d that some node > d reads — exactly
+    /// the golden entries forward_from(d + 1) dereferences besides d itself.
+    std::vector<std::vector<int>> suffix_deps_;
+    std::vector<char> suffix_needs_input_;
+    std::vector<std::size_t> active_;       ///< undecided lanes (fault index)
+    std::vector<std::uint64_t> lane_correct_;  ///< AccuracyDrop per-lane hits
+    std::vector<std::size_t> lane_images_;  ///< activation-group target image
 };
 
 }  // namespace statfi::core

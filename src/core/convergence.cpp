@@ -23,7 +23,8 @@ void emit_campaign_header(EventLog& log, const CampaignHeaderInfo& info) {
                  .field("confidence", info.confidence)
                  .field("error_margin", info.error_margin)
                  .field("fault_model", info.fault_model)
-                 .field("mitigation", info.mitigation));
+                 .field("mitigation", info.mitigation)
+                 .field("kernels", info.kernels));
 }
 
 namespace {

@@ -52,6 +52,10 @@ struct CampaignHeaderInfo {
     /// "activation") and MitigationConfig::describe() ("none" when empty).
     std::string fault_model = "stuck-at";
     std::string mitigation = "none";
+    /// kernels::active().name at campaign start ("generic", "avx2") — which
+    /// compute backend produced the outcomes. Informational: backends are
+    /// bit-identical, so it never enters fingerprints.
+    std::string kernels = "generic";
 };
 
 /// Emit the mandatory first event (schema name + recipe identity).

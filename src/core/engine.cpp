@@ -164,17 +164,47 @@ CampaignResult CampaignEngine::run(const fault::FaultUniverse& universe,
     const std::vector<DrawnFault> items =
         draw_plan(universe, plan, std::move(rng));
 
-    // Classify; outcomes are deterministic per fault, so the partitioning
-    // cannot change the tallies.
+    // Classify; outcomes are deterministic per fault AND per group (the
+    // ensemble forward is bit-identical to the per-fault loop), so neither
+    // the partitioning nor the grouping can change the tallies.
     std::vector<std::uint8_t> outcomes(items.size());
     std::vector<std::uint8_t> evaluated(items.size(), 0);
     const std::size_t workers = workers_.size();
+    const std::size_t width = std::max<std::size_t>(1, config().ensemble_width);
+
+    // Group boundaries: runs of consecutive items sharing (layer, model),
+    // capped at ensemble_width. draw_plan emits subpopulations in plan
+    // order, so same-layer items are adjacent and groups fill naturally.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    {
+        std::size_t i = 0;
+        while (i < items.size()) {
+            std::size_t j = i + 1;
+            while (j < items.size() && j - i < width &&
+                   items[j].fault.layer == items[i].fault.layer &&
+                   fault::same_ensemble_family(items[j].fault.model,
+                                               items[i].fault.model))
+                ++j;
+            groups.emplace_back(i, j);
+            i = j;
+        }
+    }
+
     const auto work = [&](std::size_t w) {
-        for (std::size_t i = w; i < items.size(); i += workers) {
+        std::vector<fault::Fault> batch;
+        std::vector<FaultOutcome> outs;
+        for (std::size_t g = w; g < groups.size(); g += workers) {
             if (cancel && cancel->stop_requested()) return;
-            outcomes[i] = static_cast<std::uint8_t>(
-                workers_[w]->core.evaluate(items[i].fault));
-            evaluated[i] = 1;
+            const auto [lo, hi] = groups[g];
+            batch.clear();
+            for (std::size_t i = lo; i < hi; ++i)
+                batch.push_back(items[i].fault);
+            outs.assign(batch.size(), FaultOutcome::NonCritical);
+            workers_[w]->core.evaluate_group(batch, outs.data());
+            for (std::size_t i = lo; i < hi; ++i) {
+                outcomes[i] = static_cast<std::uint8_t>(outs[i - lo]);
+                evaluated[i] = 1;
+            }
         }
     };
     if (workers == 1) {
@@ -298,40 +328,80 @@ StatisticalRun CampaignEngine::run_durable(const fault::FaultUniverse& universe,
 
     const std::size_t workers = workers_.size();
     const std::uint64_t chunk = (span + workers - 1) / workers;
+    const std::size_t width = std::max<std::size_t>(1, config().ensemble_width);
     const auto work = [&](std::size_t w) {
         const std::uint64_t lo = w * chunk;
         const std::uint64_t hi = std::min(lo + chunk, span);
-        for (std::uint64_t i = lo; i < hi; ++i) {
-            if (done[i]) continue;
+        std::vector<fault::Fault> batch;
+        std::vector<std::uint64_t> idx;  // local item index per batch member
+        std::vector<FaultOutcome> outs;
+        std::uint64_t i = lo;
+        while (i < hi) {
+            if (done[i]) {
+                ++i;
+                continue;
+            }
             if (cancelled.load(std::memory_order_relaxed)) return;
             if (options.cancel && options.cancel->stop_requested()) {
                 cancelled.store(true, std::memory_order_relaxed);
                 return;
             }
-            const FaultOutcome outcome =
-                workers_[w]->core.evaluate(items[lo_all + i].fault);
-            run.outcomes[i] = static_cast<std::uint8_t>(outcome);
-            done[i] = 1;
+            // Gather consecutive pending items sharing (layer, model) —
+            // resumed (done) items inside the window are stepped over, they
+            // cost nothing either way.
+            batch.clear();
+            idx.clear();
+            const fault::Fault& first = items[lo_all + i].fault;
+            std::uint64_t j = i;
+            while (j < hi && batch.size() < width) {
+                if (done[j]) {
+                    ++j;
+                    continue;
+                }
+                const fault::Fault& f = items[lo_all + j].fault;
+                if (f.layer != first.layer ||
+                    !fault::same_ensemble_family(f.model, first.model))
+                    break;
+                batch.push_back(f);
+                idx.push_back(j);
+                ++j;
+            }
+            i = j;
+            outs.assign(batch.size(), FaultOutcome::NonCritical);
+            workers_[w]->core.evaluate_group(batch, outs.data());
+            for (std::size_t b = 0; b < batch.size(); ++b) {
+                run.outcomes[idx[b]] = static_cast<std::uint8_t>(outs[b]);
+                done[idx[b]] = 1;
+            }
             const std::uint64_t n =
-                classified.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (journal || reporter.due(run.resumed + n)) {
+                classified.fetch_add(batch.size(),
+                                     std::memory_order_relaxed) +
+                batch.size();
+            // A group advances the count by its size, so a heartbeat is due
+            // when any stride boundary inside the jump was crossed.
+            bool beat = false;
+            for (std::uint64_t m = n - batch.size() + 1;
+                 m <= n && !beat; ++m)
+                beat = reporter.due(run.resumed + m);
+            if (journal || beat) {
                 std::lock_guard<std::mutex> lock(sink_mutex);
                 if (journal) {
-                    journal->append(lo_all + i,
-                                    static_cast<std::uint8_t>(outcome));
-                    if (telemetry_)
-                        telemetry_->metrics().inc(0,
-                                                  ids->journal_records_total);
-                    if (++since_flush >= options.flush_interval) {
-                        journal->flush();
+                    for (std::size_t b = 0; b < batch.size(); ++b) {
+                        journal->append(lo_all + idx[b],
+                                        static_cast<std::uint8_t>(outs[b]));
                         if (telemetry_)
                             telemetry_->metrics().inc(
-                                0, ids->checkpoint_flushes_total);
-                        since_flush = 0;
+                                0, ids->journal_records_total);
+                        if (++since_flush >= options.flush_interval) {
+                            journal->flush();
+                            if (telemetry_)
+                                telemetry_->metrics().inc(
+                                    0, ids->checkpoint_flushes_total);
+                            since_flush = 0;
+                        }
                     }
                 }
-                if (reporter.due(run.resumed + n))
-                    reporter.report(run.resumed + n);
+                if (beat) reporter.report(run.resumed + n);
             }
         }
     };
@@ -476,46 +546,86 @@ ExhaustiveRun CampaignEngine::run_exhaustive_durable(
     // so only the journal/progress sink needs the lock.
     const std::size_t workers = workers_.size();
     const std::uint64_t chunk = (span + workers - 1) / workers;
+    const std::size_t width = std::max<std::size_t>(1, config().ensemble_width);
     const auto work = [&](std::size_t w) {
         const std::uint64_t lo = lo_all + w * chunk;
         const std::uint64_t hi = std::min(lo + chunk, hi_all);
-        for (std::uint64_t i = lo; i < hi; ++i) {
-            if (!already_done.empty() && already_done[i]) continue;
+        std::vector<fault::Fault> batch;
+        std::vector<std::uint64_t> idx;  // global fault index per member
+        std::vector<FaultOutcome> outs;
+        std::uint64_t i = lo;
+        while (i < hi) {
+            if (!already_done.empty() && already_done[i]) {
+                ++i;
+                continue;
+            }
             if (cancelled.load(std::memory_order_relaxed)) return;
             if (options.cancel && options.cancel->stop_requested()) {
                 cancelled.store(true, std::memory_order_relaxed);
                 return;
             }
-            const FaultOutcome outcome =
-                workers_[w]->core.evaluate(universe.decode(i));
-            run.outcomes.set(i, outcome);
+            // Gather consecutive pending indices sharing (layer, model).
+            // The universe enumerates layer-slowest, so whole-width groups
+            // are the common case; layer boundaries just end a group early.
+            batch.clear();
+            idx.clear();
+            std::uint64_t j = i;
+            while (j < hi && batch.size() < width) {
+                if (!already_done.empty() && already_done[j]) {
+                    ++j;
+                    continue;
+                }
+                const fault::Fault f = universe.decode(j);
+                if (!batch.empty() &&
+                    (f.layer != batch.front().layer ||
+                     !fault::same_ensemble_family(f.model, batch.front().model)))
+                    break;
+                batch.push_back(f);
+                idx.push_back(j);
+                ++j;
+            }
+            i = j;
+            outs.assign(batch.size(), FaultOutcome::NonCritical);
+            workers_[w]->core.evaluate_group(batch, outs.data());
+            for (std::size_t b = 0; b < batch.size(); ++b)
+                run.outcomes.set(idx[b], outs[b]);
             const std::uint64_t n =
-                classified.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (journal || reporter.due(run.resumed + n)) {
+                classified.fetch_add(batch.size(),
+                                     std::memory_order_relaxed) +
+                batch.size();
+            bool beat = false;
+            for (std::uint64_t m = n - batch.size() + 1;
+                 m <= n && !beat; ++m)
+                beat = reporter.due(run.resumed + m);
+            if (journal || beat) {
                 std::lock_guard<std::mutex> lock(sink_mutex);
                 if (journal) {
-                    journal->append(i, static_cast<std::uint8_t>(outcome));
-                    if (telemetry_)
-                        telemetry_->metrics().inc(0, ids->journal_records_total);
-                    if (++since_flush >= options.flush_interval) {
-                        if (telemetry_) {
-                            const auto t0 = std::chrono::steady_clock::now();
-                            journal->flush();
-                            telemetry_->metrics().observe(
-                                0, ids->flush_seconds,
-                                std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - t0)
-                                    .count());
+                    for (std::size_t b = 0; b < batch.size(); ++b) {
+                        journal->append(idx[b],
+                                        static_cast<std::uint8_t>(outs[b]));
+                        if (telemetry_)
                             telemetry_->metrics().inc(
-                                0, ids->checkpoint_flushes_total);
-                        } else {
-                            journal->flush();
+                                0, ids->journal_records_total);
+                        if (++since_flush >= options.flush_interval) {
+                            if (telemetry_) {
+                                const auto t0 =
+                                    std::chrono::steady_clock::now();
+                                journal->flush();
+                                telemetry_->metrics().observe(
+                                    0, ids->flush_seconds,
+                                    std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+                                telemetry_->metrics().inc(
+                                    0, ids->checkpoint_flushes_total);
+                            } else {
+                                journal->flush();
+                            }
+                            since_flush = 0;
                         }
-                        since_flush = 0;
                     }
                 }
-                if (reporter.due(run.resumed + n))
-                    reporter.report(run.resumed + n);
+                if (beat) reporter.report(run.resumed + n);
             }
         }
     };

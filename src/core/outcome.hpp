@@ -53,6 +53,12 @@ struct ExecutorConfig {
     /// Mitigations deployed on the network under test (clipping changes the
     /// golden pass too — the hardened network is measured against itself).
     fault::MitigationConfig mitigation;
+    /// Max faults evaluated per blocked ensemble pass (engine groups
+    /// consecutive plan items sharing a layer and fault model). 1 disables
+    /// grouping. Like the worker count, this is a throughput knob that
+    /// CANNOT change outcomes (the ensemble forward is bit-identical to the
+    /// per-fault loop), so it never enters the campaign fingerprint.
+    std::size_t ensemble_width = 8;
 };
 
 /// Per-subpopulation campaign tallies.

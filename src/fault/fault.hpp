@@ -20,6 +20,20 @@ enum class FaultModel : std::uint8_t {
 
 const char* to_string(FaultModel model) noexcept;
 
+/// True when two fault models can share one fault-batched ensemble pass.
+/// All weight-resident models (stuck-at in either polarity, single and
+/// multi-bit flips) are mutually groupable: each ensemble lane applies its
+/// own corruption to a private copy of the faulty layer's output row, so the
+/// exact mutation per lane is free to differ. Activation faults corrupt the
+/// input image instead of a weight and form their own family. Grouping keys
+/// on this predicate — NOT on exact model equality — because stuck-at
+/// universes alternate StuckAt0/StuckAt1 at consecutive indices, which would
+/// otherwise degenerate every group to a single fault.
+[[nodiscard]] constexpr bool same_ensemble_family(FaultModel a,
+                                                  FaultModel b) noexcept {
+    return (a == FaultModel::ActivationFlip) == (b == FaultModel::ActivationFlip);
+}
+
 struct Fault {
     std::int32_t layer = 0;          ///< weight-layer index l (paper's layer id),
                                      ///< or graph-node id for activation faults

@@ -1,0 +1,196 @@
+// AVX2 backend (x86 only). Compiled in every build — code generation is
+// gated per-function with __attribute__((target("avx2"))) instead of a
+// global -mavx2, so the binary still runs on pre-AVX2 machines (the
+// registry simply never selects this table there).
+//
+// Bit-identity rules (see registry.hpp):
+//  * target("avx2") only, never target("fma"), and this translation unit is
+//    compiled with -ffp-contract=off: a fused multiply-add rounds once
+//    where the generic backend's mul+add rounds twice, which would make the
+//    backends diverge in the last ulp — fatal for campaign determinism;
+//  * vectorization is across independent output elements only; each C[i,j]
+//    accumulates its K products in ascending-k order, exactly like the
+//    generic i-k-j nest (the register tile is loaded from C before the k
+//    loop and stored after it, so the per-element addition sequence is
+//    unchanged);
+//  * the a == 0.0f skip is a scalar test on the broadcast operand — the
+//    same condition the generic kernel uses — because skipping a zero
+//    multiplier is NOT equivalent to adding 0*b when b is inf/NaN.
+
+#include "kernels/registry.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace statfi::kernels {
+
+namespace {
+
+// Same blocking as the generic backend: per element, k-blocks ascend, so
+// the two backends interleave identically at every scale.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+
+__attribute__((target("avx2"))) void avx2_block(
+    std::size_t m0, std::size_t m1, std::size_t k0, std::size_t k1,
+    std::size_t n0, std::size_t n1, std::size_t N, std::size_t K,
+    const float* A, const float* B, float* C) {
+    for (std::size_t i = m0; i < m1; ++i) {
+        const float* arow = A + i * K;
+        float* crow = C + i * N;
+        std::size_t j = n0;
+        // 32-wide register tile: four ymm accumulators seeded from C. Four
+        // independent add chains hide the vaddps latency the 16-wide tile
+        // is bound by — each chain still adds its K products in ascending-k
+        // order, so widening across j never reorders an element's sums.
+        for (; j + 32 <= n1; j += 32) {
+            __m256 c0 = _mm256_loadu_ps(crow + j);
+            __m256 c1 = _mm256_loadu_ps(crow + j + 8);
+            __m256 c2 = _mm256_loadu_ps(crow + j + 16);
+            __m256 c3 = _mm256_loadu_ps(crow + j + 24);
+            for (std::size_t k = k0; k < k1; ++k) {
+                const float a = arow[k];
+                if (a == 0.0f) continue;
+                const __m256 va = _mm256_set1_ps(a);
+                const float* brow = B + k * N + j;
+                c0 = _mm256_add_ps(c0,
+                                   _mm256_mul_ps(va, _mm256_loadu_ps(brow)));
+                c1 = _mm256_add_ps(
+                    c1, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 8)));
+                c2 = _mm256_add_ps(
+                    c2, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 16)));
+                c3 = _mm256_add_ps(
+                    c3, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 24)));
+            }
+            _mm256_storeu_ps(crow + j, c0);
+            _mm256_storeu_ps(crow + j + 8, c1);
+            _mm256_storeu_ps(crow + j + 16, c2);
+            _mm256_storeu_ps(crow + j + 24, c3);
+        }
+        // 16-wide register tile: two ymm accumulators seeded from C, one
+        // mul+add per k, stored back once per tile.
+        for (; j + 16 <= n1; j += 16) {
+            __m256 c0 = _mm256_loadu_ps(crow + j);
+            __m256 c1 = _mm256_loadu_ps(crow + j + 8);
+            for (std::size_t k = k0; k < k1; ++k) {
+                const float a = arow[k];
+                if (a == 0.0f) continue;
+                const __m256 va = _mm256_set1_ps(a);
+                const float* brow = B + k * N + j;
+                c0 = _mm256_add_ps(c0,
+                                   _mm256_mul_ps(va, _mm256_loadu_ps(brow)));
+                c1 = _mm256_add_ps(
+                    c1, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 8)));
+            }
+            _mm256_storeu_ps(crow + j, c0);
+            _mm256_storeu_ps(crow + j + 8, c1);
+        }
+        for (; j + 8 <= n1; j += 8) {
+            __m256 c0 = _mm256_loadu_ps(crow + j);
+            for (std::size_t k = k0; k < k1; ++k) {
+                const float a = arow[k];
+                if (a == 0.0f) continue;
+                c0 = _mm256_add_ps(
+                    c0, _mm256_mul_ps(_mm256_set1_ps(a),
+                                      _mm256_loadu_ps(B + k * N + j)));
+            }
+            _mm256_storeu_ps(crow + j, c0);
+        }
+        // Scalar tail: ascending k per element, same skip.
+        if (j < n1) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                const float a = arow[k];
+                if (a == 0.0f) continue;
+                const float* brow = B + k * N;
+                for (std::size_t jj = j; jj < n1; ++jj)
+                    crow[jj] += a * brow[jj];
+            }
+        }
+    }
+}
+
+void avx2_gemm_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                          const float* A, const float* B, float* C) {
+    for (std::size_t k0 = 0; k0 < K; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k0 + kBlockK, K);
+        for (std::size_t m0 = 0; m0 < M; m0 += kBlockM) {
+            const std::size_t m1 = std::min(m0 + kBlockM, M);
+            for (std::size_t n0 = 0; n0 < N; n0 += kBlockN) {
+                const std::size_t n1 = std::min(n0 + kBlockN, N);
+                avx2_block(m0, m1, k0, k1, n0, n1, N, K, A, B, C);
+            }
+        }
+    }
+}
+
+// maxps/minps return the SECOND operand when the inputs are NaN or equal,
+// which is exactly what reproduces the scalar semantics below.
+
+__attribute__((target("avx2"))) void avx2_relu(const float* src, float* dst,
+                                               std::size_t n) {
+    const __m256 zero = _mm256_setzero_ps();
+    std::size_t i = 0;
+    // max(x, 0): NaN -> 0 and -0 -> +0, matching `x > 0 ? x : 0`.
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(src + i), zero));
+    for (; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+__attribute__((target("avx2"))) void avx2_relu6(const float* src, float* dst,
+                                                std::size_t n) {
+    const __m256 lo = _mm256_setzero_ps();
+    const __m256 hi = _mm256_set1_ps(6.0f);
+    std::size_t i = 0;
+    // max(lo, min(hi, x)): NaN passes through, matching std::clamp.
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(src + i);
+        _mm256_storeu_ps(dst + i, _mm256_max_ps(lo, _mm256_min_ps(hi, x)));
+    }
+    for (; i < n; ++i) dst[i] = std::clamp(src[i], 0.0f, 6.0f);
+}
+
+__attribute__((target("avx2"))) void avx2_add(const float* a, const float* b,
+                                              float* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(
+            dst + i,
+            _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) void avx2_clamp(float* data, std::size_t n,
+                                                float lo, float hi) {
+    const __m256 vlo = _mm256_set1_ps(lo);
+    const __m256 vhi = _mm256_set1_ps(hi);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(data + i);
+        _mm256_storeu_ps(data + i, _mm256_max_ps(vlo, _mm256_min_ps(vhi, x)));
+    }
+    for (; i < n; ++i) data[i] = std::clamp(data[i], lo, hi);
+}
+
+const Kernels kAvx2Table{
+    "avx2", avx2_gemm_accumulate, avx2_relu, avx2_relu6, avx2_add, avx2_clamp,
+};
+
+}  // namespace
+
+const Kernels* native_kernels() noexcept {
+    return detect_cpu().avx2 ? &kAvx2Table : nullptr;
+}
+
+}  // namespace statfi::kernels
+
+#else  // non-x86 builds have no native backend
+
+namespace statfi::kernels {
+const Kernels* native_kernels() noexcept { return nullptr; }
+}  // namespace statfi::kernels
+
+#endif

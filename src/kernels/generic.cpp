@@ -1,0 +1,78 @@
+// Generic (portable) backend: the reference implementations every other
+// backend must match bit for bit. The GEMM is the cache-blocked i-k-j nest
+// that previously lived in nn/gemm.cpp; the compiler auto-vectorizes the
+// inner loop (SSE on x86 baselines) without changing results, because each
+// output element's additions stay in ascending-k order.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/registry.hpp"
+
+namespace statfi::kernels {
+
+namespace {
+
+// Block sizes tuned for ~32 KiB L1 / 256 KiB L2.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+
+void gemm_block(std::size_t m0, std::size_t m1, std::size_t k0, std::size_t k1,
+                std::size_t n0, std::size_t n1, std::size_t N, std::size_t K,
+                const float* A, const float* B, float* C) {
+    for (std::size_t i = m0; i < m1; ++i) {
+        for (std::size_t k = k0; k < k1; ++k) {
+            const float a = A[i * K + k];
+            if (a == 0.0f) continue;  // common after ReLU-sparsified inputs
+            const float* brow = B + k * N;
+            float* crow = C + i * N;
+            for (std::size_t j = n0; j < n1; ++j) crow[j] += a * brow[j];
+        }
+    }
+}
+
+void generic_gemm_accumulate(std::size_t M, std::size_t N, std::size_t K,
+                             const float* A, const float* B, float* C) {
+    for (std::size_t k0 = 0; k0 < K; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k0 + kBlockK, K);
+        for (std::size_t m0 = 0; m0 < M; m0 += kBlockM) {
+            const std::size_t m1 = std::min(m0 + kBlockM, M);
+            for (std::size_t n0 = 0; n0 < N; n0 += kBlockN) {
+                const std::size_t n1 = std::min(n0 + kBlockN, N);
+                gemm_block(m0, m1, k0, k1, n0, n1, N, K, A, B, C);
+            }
+        }
+    }
+}
+
+void generic_relu(const float* src, float* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void generic_relu6(const float* src, float* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::clamp(src[i], 0.0f, 6.0f);
+}
+
+void generic_add(const float* a, const float* b, float* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+void generic_clamp(float* data, std::size_t n, float lo, float hi) {
+    // NaN passes through: std::clamp's comparisons are false for NaN.
+    for (std::size_t i = 0; i < n; ++i) data[i] = std::clamp(data[i], lo, hi);
+}
+
+}  // namespace
+
+const Kernels& generic_kernels() noexcept {
+    static const Kernels table{
+        "generic",      generic_gemm_accumulate, generic_relu,
+        generic_relu6,  generic_add,             generic_clamp,
+    };
+    return table;
+}
+
+}  // namespace statfi::kernels

@@ -1,7 +1,8 @@
 #include "nn/activations.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "kernels/registry.hpp"
 
 namespace statfi::nn {
 
@@ -20,10 +21,7 @@ Shape ReLU::output_shape(std::span<const Shape> inputs) const {
 void ReLU::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
     const Tensor& x = *inputs[0];
     ensure_shape(out, x.shape());
-    const float* src = x.data();
-    float* dst = out.data();
-    const std::size_t n = x.numel();
-    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    kernels::active().relu(x.data(), out.data(), x.numel());
 }
 
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(*this); }
@@ -45,10 +43,7 @@ Shape ReLU6::output_shape(std::span<const Shape> inputs) const {
 void ReLU6::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
     const Tensor& x = *inputs[0];
     ensure_shape(out, x.shape());
-    const float* src = x.data();
-    float* dst = out.data();
-    const std::size_t n = x.numel();
-    for (std::size_t i = 0; i < n; ++i) dst[i] = std::clamp(src[i], 0.0f, 6.0f);
+    kernels::active().relu6(x.data(), out.data(), x.numel());
 }
 
 std::unique_ptr<Layer> ReLU6::clone() const {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "kernels/arena.hpp"
 #include "nn/layer.hpp"
 
 namespace statfi::nn {
@@ -45,6 +46,18 @@ public:
         return &weight_;
     }
 
+    [[nodiscard]] bool supports_row_update() const override { return true; }
+    [[nodiscard]] std::int64_t row_of_weight(
+        std::uint64_t weight_index) const override {
+        return static_cast<std::int64_t>(weight_index) /
+               (in_channels_ * kernel_ * kernel_);
+    }
+    void forward_row(std::span<const Tensor* const> inputs,
+                     std::uint64_t weight_index, Tensor& out) const override;
+    void forward_row_cached(std::span<const Tensor* const> inputs,
+                            std::uint64_t weight_index, Tensor& cache,
+                            Tensor& out) const override;
+
     [[nodiscard]] bool supports_backward() const override { return true; }
     void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                   const Tensor& grad_out, std::vector<Tensor>& grad_inputs) override;
@@ -58,6 +71,8 @@ public:
     [[nodiscard]] std::int64_t kernel() const { return kernel_; }
     [[nodiscard]] std::int64_t stride() const { return stride_; }
     [[nodiscard]] std::int64_t padding() const { return padding_; }
+    /// Current im2col workspace footprint (grow-only; see arena_ below).
+    [[nodiscard]] std::size_t workspace_bytes() const { return arena_.bytes(); }
 
 private:
     std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
@@ -65,9 +80,10 @@ private:
     Tensor weight_grad_;  // same shape
     /// Grow-only im2col workspace reused across forward calls — fault
     /// campaigns run ~10^5 forwards per layer, and a fresh buffer per call
-    /// dominated the allocator profile. Each campaign worker owns a private
-    /// network clone, so the workspace is single-threaded by construction.
-    mutable std::vector<float> col_ws_;
+    /// dominated the allocator profile. The arena grows to the largest batch
+    /// seen and never shrinks. Each campaign worker owns a private network
+    /// clone, so the workspace is single-threaded by construction.
+    mutable kernels::ScratchArena arena_;
 };
 
 /// Depthwise 2-D convolution (groups == channels), square kernel, no bias.
@@ -86,6 +102,14 @@ public:
     [[nodiscard]] const Tensor* injectable_weight() const override {
         return &weight_;
     }
+
+    [[nodiscard]] bool supports_row_update() const override { return true; }
+    [[nodiscard]] std::int64_t row_of_weight(
+        std::uint64_t weight_index) const override {
+        return static_cast<std::int64_t>(weight_index) / (kernel_ * kernel_);
+    }
+    void forward_row(std::span<const Tensor* const> inputs,
+                     std::uint64_t weight_index, Tensor& out) const override;
 
     [[nodiscard]] bool supports_backward() const override { return true; }
     void backward(std::span<const Tensor* const> inputs, const Tensor& output,

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/registry.hpp"
+
 namespace statfi::nn {
 
 // -------------------------------------------------------------------- Add --
@@ -19,8 +21,7 @@ void Add::forward(std::span<const Tensor* const> inputs, Tensor& out) const {
     const Tensor& a = *inputs[0];
     const Tensor& b = *inputs[1];
     ensure_shape(out, output_shape(std::array{a.shape(), b.shape()}));
-    const std::size_t n = a.numel();
-    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+    kernels::active().add(a.data(), b.data(), out.data(), a.numel());
 }
 
 std::unique_ptr<Layer> Add::clone() const { return std::make_unique<Add>(*this); }

@@ -1,44 +1,18 @@
 #include "nn/gemm.hpp"
 
-#include <algorithm>
 #include <cstring>
+
+#include "kernels/registry.hpp"
 
 namespace statfi::nn {
 
-namespace {
-// Block sizes tuned for ~32 KiB L1 / 256 KiB L2; the kernel is an i-k-j
-// loop nest whose inner loop the compiler auto-vectorizes.
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockK = 256;
-constexpr std::size_t kBlockN = 256;
-
-void gemm_block(std::size_t m0, std::size_t m1, std::size_t k0, std::size_t k1,
-                std::size_t n0, std::size_t n1, std::size_t N, std::size_t K,
-                const float* A, const float* B, float* C) {
-    for (std::size_t i = m0; i < m1; ++i) {
-        for (std::size_t k = k0; k < k1; ++k) {
-            const float a = A[i * K + k];
-            if (a == 0.0f) continue;  // common after ReLU-sparsified inputs
-            const float* brow = B + k * N;
-            float* crow = C + i * N;
-            for (std::size_t j = n0; j < n1; ++j) crow[j] += a * brow[j];
-        }
-    }
-}
-}  // namespace
+// The forward-pass GEMMs dispatch through the kernel registry (generic or
+// AVX2, resolved at startup); the registry's bit-identity contract keeps
+// the determinism note in gemm.hpp true for every backend.
 
 void gemm_accumulate(std::size_t M, std::size_t N, std::size_t K,
                      const float* A, const float* B, float* C) {
-    for (std::size_t k0 = 0; k0 < K; k0 += kBlockK) {
-        const std::size_t k1 = std::min(k0 + kBlockK, K);
-        for (std::size_t m0 = 0; m0 < M; m0 += kBlockM) {
-            const std::size_t m1 = std::min(m0 + kBlockM, M);
-            for (std::size_t n0 = 0; n0 < N; n0 += kBlockN) {
-                const std::size_t n1 = std::min(n0 + kBlockN, N);
-                gemm_block(m0, m1, k0, k1, n0, n1, N, K, A, B, C);
-            }
-        }
-    }
+    kernels::active().gemm_accumulate(M, N, K, A, B, C);
 }
 
 void gemm(std::size_t M, std::size_t N, std::size_t K, const float* A,
@@ -46,6 +20,11 @@ void gemm(std::size_t M, std::size_t N, std::size_t K, const float* A,
     std::memset(C, 0, M * N * sizeof(float));
     gemm_accumulate(M, N, K, A, B, C);
 }
+
+// The gradient-side GEMMs below reduce along non-contiguous axes (a
+// horizontal dot product per element in gemm_a_bt_accumulate); SIMD-ing a
+// reduction reassociates the additions, so they stay scalar on every
+// backend. They are training-only paths, never in the campaign hot loop.
 
 void gemm_at_b(std::size_t M, std::size_t N, std::size_t K, const float* A,
                const float* B, float* C) {

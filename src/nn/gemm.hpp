@@ -2,6 +2,8 @@
 // Small blocked single-precision GEMM. Backs the im2col convolution path and
 // the fully-connected layer. Not a BLAS replacement — just cache-blocked,
 // vectorizer-friendly loops that are fast enough for fault campaigns on CPU.
+// The forward-pass entry points dispatch through kernels::active() (generic
+// or AVX2 backend, selected at startup — see kernels/registry.hpp).
 //
 // Determinism note the campaign engine relies on: each output element
 // C[m,n] accumulates its K products in ascending-k order regardless of M or

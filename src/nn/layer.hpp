@@ -7,6 +7,7 @@
 // weights — the fault targets of the paper), and optionally support
 // backward passes for the built-in SGD trainer.
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -54,6 +55,48 @@ public:
     [[nodiscard]] virtual Tensor* injectable_weight() { return nullptr; }
     [[nodiscard]] virtual const Tensor* injectable_weight() const {
         return nullptr;
+    }
+
+    /// True if forward_row() recomputes less than the full output. The key
+    /// observation behind the fault-batched ensemble forward: one corrupted
+    /// weight word affects exactly one output slice (conv: the output
+    /// channel Cout the word belongs to; linear: one output feature), so a
+    /// single-word fault needs only that slice recomputed — the remaining
+    /// rows are byte-identical to the golden output.
+    [[nodiscard]] virtual bool supports_row_update() const { return false; }
+
+    /// The output slice index a fault at flat weight word @p weight_index
+    /// affects (conv: output channel; linear: output feature). -1 when the
+    /// layer has no row-update support.
+    [[nodiscard]] virtual std::int64_t row_of_weight(
+        std::uint64_t weight_index) const {
+        (void)weight_index;
+        return -1;
+    }
+
+    /// Recompute only the output slice affected by weight word
+    /// @p weight_index, in the exact arithmetic order forward() uses for
+    /// that slice. @p out must already hold this layer's full output for
+    /// @p inputs (golden rows stay untouched). The default recomputes
+    /// everything — correct for any layer, just without the speedup.
+    virtual void forward_row(std::span<const Tensor* const> inputs,
+                             std::uint64_t weight_index, Tensor& out) const {
+        (void)weight_index;
+        forward(inputs, out);
+    }
+
+    /// forward_row() that may stash input-derived scratch in @p cache and
+    /// reuse it on later calls with the SAME inputs — a conv caches its
+    /// im2col matrix here, which the fault-batched ensemble would otherwise
+    /// rebuild per lane from an input that never changes (the golden
+    /// activation). The caller owns one cache per (layer, input) pair and
+    /// must reset it (Tensor{}) whenever the inputs change. Default: ignore
+    /// the cache — correct for every layer, just without the reuse.
+    virtual void forward_row_cached(std::span<const Tensor* const> inputs,
+                                    std::uint64_t weight_index, Tensor& cache,
+                                    Tensor& out) const {
+        (void)cache;
+        forward_row(inputs, weight_index, out);
     }
 
     // -- training surface --------------------------------------------------

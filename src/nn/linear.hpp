@@ -25,6 +25,14 @@ public:
         return &weight_;
     }
 
+    [[nodiscard]] bool supports_row_update() const override { return true; }
+    [[nodiscard]] std::int64_t row_of_weight(
+        std::uint64_t weight_index) const override {
+        return static_cast<std::int64_t>(weight_index) / in_features_;
+    }
+    void forward_row(std::span<const Tensor* const> inputs,
+                     std::uint64_t weight_index, Tensor& out) const override;
+
     [[nodiscard]] bool supports_backward() const override { return true; }
     void backward(std::span<const Tensor* const> inputs, const Tensor& output,
                   const Tensor& grad_out, std::vector<Tensor>& grad_inputs) override;

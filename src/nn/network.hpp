@@ -77,6 +77,22 @@ public:
                                const std::vector<Tensor>& golden,
                                std::vector<Tensor>& scratch) const;
 
+    /// Fault-batched ensemble forward: identical contract to forward_from(),
+    /// but @p input / @p golden / @p scratch carry F stacked lanes in the
+    /// batch dimension — one lane per fault sharing the same first_dirty
+    /// node. Every layer computes batch rows independently (convs, linear,
+    /// BN in inference mode, activations, pooling), so running F lanes in
+    /// one pass is bit-identical to F single-lane forward_from() calls while
+    /// paying the per-node dispatch, im2col-setup, and cache-refill costs
+    /// once. Callers (core/classification_core.cpp) build the lane-stacked
+    /// golden frontier; this wrapper exists to document the contract and to
+    /// give the ensemble path a greppable name.
+    const Tensor& forward_ensemble(int first_dirty, const Tensor& input,
+                                   const std::vector<Tensor>& golden,
+                                   std::vector<Tensor>& scratch) const {
+        return forward_from(first_dirty, input, golden, scratch);
+    }
+
     /// Deep copy (layers cloned). Used to give campaign workers private
     /// weight storage. The node hook is not copied.
     [[nodiscard]] Network clone() const;

@@ -1,0 +1,311 @@
+// Tests for the kernel-dispatch library: the bit-identity contract between
+// the generic and native backends (the property every fault-injection
+// campaign leans on — see src/kernels/registry.hpp), backend selection, and
+// the Conv2d im2col workspace that feeds the GEMM kernels.
+
+#include "kernels/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "kernels/arena.hpp"
+#include "nn/conv.hpp"
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace statfi::kernels {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Random floats with awkward values salted in: zeros (the GEMM sparsity
+/// skip), negative zero, infinities, NaN, and denormal-scale magnitudes.
+std::vector<float> awkward(std::size_t n, stats::Rng& rng) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (rng.uniform_below(12)) {
+            case 0: v[i] = 0.0f; break;
+            case 1: v[i] = -0.0f; break;
+            case 2: v[i] = kInf; break;
+            case 3: v[i] = -kInf; break;
+            case 4: v[i] = kNaN; break;
+            case 5: v[i] = 1e-38f; break;
+            default:
+                v[i] = static_cast<float>(rng.uniform(-8.0, 8.0));
+        }
+    }
+    return v;
+}
+
+/// Bytewise equality (EXPECT_EQ on floats would pass -0 == +0 and fail NaN).
+bool same_bits(const std::vector<float>& a, const std::vector<float>& b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Bytewise equality modulo NaN payloads: every non-NaN element must match
+/// bit for bit (sign of zero included) and NaNs must sit in the same slots.
+/// This is the exact GEMM contract — when two NaNs with different payloads
+/// meet in an addition, which payload survives depends on the operand order
+/// the compiler picked for the generic backend, which no portable C++ can
+/// pin (see registry.hpp). Campaign outcomes never read payload bits.
+bool same_bits_modulo_nan_payload(const std::vector<float>& a,
+                                  const std::vector<float>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::isnan(a[i]) || std::isnan(b[i])) {
+            if (!std::isnan(a[i]) || !std::isnan(b[i])) return false;
+            continue;
+        }
+        if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) return false;
+    }
+    return true;
+}
+
+#define SKIP_WITHOUT_NATIVE()                                            \
+    if (native_kernels() == nullptr)                                     \
+    GTEST_SKIP() << "no native backend on this CPU "                     \
+                 << "(" << detect_cpu().describe() << ")"
+
+TEST(Kernels, GenericAlwaysAvailable) {
+    EXPECT_STREQ(generic_kernels().name, "generic");
+    ASSERT_NE(generic_kernels().gemm_accumulate, nullptr);
+    ASSERT_NE(generic_kernels().relu, nullptr);
+    ASSERT_NE(generic_kernels().relu6, nullptr);
+    ASSERT_NE(generic_kernels().add, nullptr);
+    ASSERT_NE(generic_kernels().clamp, nullptr);
+}
+
+TEST(Kernels, SelectRejectsUnknownBackend) {
+    EXPECT_THROW(select("avx512-of-my-dreams"), std::invalid_argument);
+    // Error paths must not disturb the active selection.
+    select("auto");
+}
+
+TEST(Kernels, SelectGenericAndAuto) {
+    select("generic");
+    EXPECT_STREQ(active().name, "generic");
+    select("auto");
+    if (native_kernels() != nullptr &&
+        std::getenv("STATFI_DISABLE_NATIVE_KERNELS") == nullptr)
+        EXPECT_STREQ(active().name, native_kernels()->name);
+    else
+        EXPECT_STREQ(active().name, "generic");
+}
+
+TEST(Kernels, SelectNativeErrorsWhenUnavailable) {
+    if (native_kernels() == nullptr) {
+        EXPECT_THROW(select("native"), std::invalid_argument);
+    } else {
+        select("native");
+        EXPECT_STREQ(active().name, native_kernels()->name);
+        select("auto");
+    }
+}
+
+TEST(Kernels, CpuDescribeSpelling) {
+    const CpuFeatures cpu = detect_cpu();
+    const std::string s = cpu.describe();
+    if (!cpu.avx2 && !cpu.fma) EXPECT_EQ(s, "none");
+    if (cpu.avx2) EXPECT_NE(s.find("avx2"), std::string::npos);
+}
+
+// -- bit-identity: generic vs native ---------------------------------------
+// Randomized shapes deliberately straddle the AVX2 vector width (odd tails,
+// N < 8, N = multiple of 8 +/- 1) and the blocking parameters.
+
+TEST(Kernels, GemmBitIdenticalAcrossBackends) {
+    SKIP_WITHOUT_NATIVE();
+    const Kernels& gen = generic_kernels();
+    const Kernels& nat = *native_kernels();
+    stats::Rng rng(8801);
+    const std::size_t shapes[][3] = {
+        {1, 1, 1},   {1, 7, 9},    {3, 8, 4},    {5, 17, 11},
+        {4, 33, 27}, {2, 64, 70},  {7, 65, 129}, {1, 257, 31},
+        {9, 16, 3},  {6, 100, 260}};
+    for (const auto& s : shapes) {
+        const std::size_t M = s[0], N = s[1], K = s[2];
+        const auto A = awkward(M * K, rng);
+        const auto B = awkward(K * N, rng);
+        // Nonzero C seeds verify the += (accumulate) contract too.
+        auto C0 = awkward(M * N, rng);
+        auto C1 = C0;
+        gen.gemm_accumulate(M, N, K, A.data(), B.data(), C0.data());
+        nat.gemm_accumulate(M, N, K, A.data(), B.data(), C1.data());
+        EXPECT_TRUE(same_bits_modulo_nan_payload(C0, C1))
+            << "M=" << M << " N=" << N << " K=" << K;
+    }
+}
+
+TEST(Kernels, GemmBitIdenticalOnNanFreeInputs) {
+    SKIP_WITHOUT_NATIVE();
+    // Without NaN inputs the contract is strict bytewise identity — signed
+    // zeros, infinities, and denormals included.
+    const Kernels& gen = generic_kernels();
+    const Kernels& nat = *native_kernels();
+    stats::Rng rng(52290);
+    const std::size_t shapes[][3] = {
+        {1, 7, 9}, {3, 8, 4}, {5, 17, 11}, {4, 33, 27}, {2, 300, 70}};
+    for (const auto& s : shapes) {
+        const std::size_t M = s[0], N = s[1], K = s[2];
+        auto strip_nan = [&](std::size_t n) {
+            auto v = awkward(n, rng);
+            for (float& x : v)
+                if (std::isnan(x)) x = 0.25f;
+            return v;
+        };
+        const auto A = strip_nan(M * K);
+        const auto B = strip_nan(K * N);
+        auto C0 = strip_nan(M * N);
+        auto C1 = C0;
+        gen.gemm_accumulate(M, N, K, A.data(), B.data(), C0.data());
+        nat.gemm_accumulate(M, N, K, A.data(), B.data(), C1.data());
+        EXPECT_TRUE(same_bits(C0, C1)) << "M=" << M << " N=" << N << " K=" << K;
+    }
+}
+
+TEST(Kernels, ElementwiseBitIdenticalAcrossBackends) {
+    SKIP_WITHOUT_NATIVE();
+    const Kernels& gen = generic_kernels();
+    const Kernels& nat = *native_kernels();
+    stats::Rng rng(991);
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                          std::size_t{9}, std::size_t{64}, std::size_t{1013}}) {
+        const auto src = awkward(n, rng);
+        const auto other = awkward(n, rng);
+        std::vector<float> a(n), b(n);
+        gen.relu(src.data(), a.data(), n);
+        nat.relu(src.data(), b.data(), n);
+        EXPECT_TRUE(same_bits(a, b)) << "relu n=" << n;
+        gen.relu6(src.data(), a.data(), n);
+        nat.relu6(src.data(), b.data(), n);
+        EXPECT_TRUE(same_bits(a, b)) << "relu6 n=" << n;
+        gen.add(src.data(), other.data(), a.data(), n);
+        nat.add(src.data(), other.data(), b.data(), n);
+        EXPECT_TRUE(same_bits(a, b)) << "add n=" << n;
+        a = src;
+        b = src;
+        gen.clamp(a.data(), n, -2.5f, 3.5f);
+        nat.clamp(b.data(), n, -2.5f, 3.5f);
+        EXPECT_TRUE(same_bits(a, b)) << "clamp n=" << n;
+    }
+}
+
+TEST(Kernels, ReluSemantics) {
+    // dst = src > 0 ? src : 0 — NaN and -0 both map to +0; +inf passes.
+    const float src[] = {-1.0f, -0.0f, 0.0f, 2.0f, kNaN, kInf, -kInf};
+    float dst[7];
+    generic_kernels().relu(src, dst, 7);
+    EXPECT_EQ(dst[0], 0.0f);
+    EXPECT_FALSE(std::signbit(dst[1]));
+    EXPECT_EQ(dst[3], 2.0f);
+    EXPECT_EQ(dst[4], 0.0f);  // NaN > 0 is false
+    EXPECT_EQ(dst[5], kInf);
+    EXPECT_EQ(dst[6], 0.0f);
+}
+
+TEST(Kernels, ClampSemantics) {
+    // Mitigation clamp bounds magnitude but passes NaN through (a clamp
+    // circuit does not repair invalid encodings).
+    float data[] = {-10.0f, 0.5f, 10.0f, kNaN, kInf, -kInf};
+    generic_kernels().clamp(data, 6, -1.0f, 1.0f);
+    EXPECT_EQ(data[0], -1.0f);
+    EXPECT_EQ(data[1], 0.5f);
+    EXPECT_EQ(data[2], 1.0f);
+    EXPECT_TRUE(std::isnan(data[3]));
+    EXPECT_EQ(data[4], 1.0f);
+    EXPECT_EQ(data[5], -1.0f);
+}
+
+TEST(Kernels, GemmZeroRowSkipMatchesOnInfColumns) {
+    SKIP_WITHOUT_NATIVE();
+    // a == 0 skips the product even when B holds inf/NaN (0 * inf = NaN
+    // would otherwise poison C) — and does so identically on both backends.
+    const std::size_t M = 2, N = 9, K = 3;
+    std::vector<float> A(M * K, 0.0f);
+    A[1] = 2.0f;
+    std::vector<float> B(K * N, kInf);
+    std::vector<float> C0(M * N, 1.0f), C1(M * N, 1.0f);
+    generic_kernels().gemm_accumulate(M, N, K, A.data(), B.data(), C0.data());
+    native_kernels()->gemm_accumulate(M, N, K, A.data(), B.data(), C1.data());
+    EXPECT_TRUE(same_bits(C0, C1));
+    EXPECT_EQ(C0[0], kInf);   // row 0 accumulates 2 * inf via A[1]
+    EXPECT_EQ(C0[N], 1.0f);   // row 1 is all-zero A -> C untouched
+}
+
+// -- scratch arena + conv workspace ----------------------------------------
+
+TEST(ScratchArena, GrowOnlyReuse) {
+    ScratchArena arena;
+    EXPECT_EQ(arena.bytes(), 0u);
+    float* p = arena.floats(100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(arena.bytes(), 100 * sizeof(float));
+    // Smaller requests reuse the block; equal-size requests too.
+    EXPECT_EQ(arena.floats(10), p);
+    EXPECT_EQ(arena.bytes(), 100 * sizeof(float));
+    arena.floats(250);
+    EXPECT_EQ(arena.bytes(), 250 * sizeof(float));
+}
+
+TEST(ConvWorkspace, GrowOnlyAcrossInputShapes) {
+    nn::Conv2d conv(3, 4, 3, 1, 1);
+    EXPECT_EQ(conv.workspace_bytes(), 0u);
+
+    auto run = [&](std::int64_t batch, std::int64_t hw) {
+        Tensor x(Shape({batch, 3, hw, hw}));
+        stats::Rng rng(7);
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            x.data()[i] = static_cast<float>(rng.uniform01());
+        Tensor out;
+        const Tensor* in = &x;
+        conv.forward(std::span<const Tensor* const>(&in, 1), out);
+    };
+
+    run(1, 8);
+    const std::size_t small = conv.workspace_bytes();
+    EXPECT_GT(small, 0u);
+    // The im2col buffer is per image (the batch loop reuses it), so a wider
+    // ensemble batch must not grow it — ensemble width costs activations,
+    // not conv workspace.
+    run(8, 8);
+    EXPECT_EQ(conv.workspace_bytes(), small);
+    // A larger spatial input grows it...
+    run(1, 16);
+    const std::size_t big = conv.workspace_bytes();
+    EXPECT_GT(big, small);
+    // ...and once warmed at the largest shape, no later forward shrinks or
+    // reallocates it (the no-allocation hot-loop invariant).
+    run(4, 8);
+    EXPECT_EQ(conv.workspace_bytes(), big);
+    run(1, 16);
+    EXPECT_EQ(conv.workspace_bytes(), big);
+}
+
+TEST(ConvWorkspace, CloneStartsIndependent) {
+    nn::Conv2d conv(2, 2, 3, 1, 1);
+    Tensor x(Shape({3, 2, 6, 6}));
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.data()[i] = static_cast<float>(i % 5) - 2.0f;
+    Tensor out;
+    const Tensor* in = &x;
+    conv.forward(std::span<const Tensor* const>(&in, 1), out);
+    ASSERT_GT(conv.workspace_bytes(), 0u);
+    // Cloned layers (campaign workers) own their own arena.
+    auto copy = conv.clone();
+    Tensor out2;
+    copy->forward(std::span<const Tensor* const>(&in, 1), out2);
+    EXPECT_EQ(out.numel(), out2.numel());
+    EXPECT_EQ(0, std::memcmp(out.data(), out2.data(),
+                             static_cast<std::size_t>(out.numel()) *
+                                 sizeof(float)));
+}
+
+}  // namespace
+}  // namespace statfi::kernels

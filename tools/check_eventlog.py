@@ -45,6 +45,7 @@ REQUIRED = {
         "error_margin": NUM,
         "fault_model": str,
         "mitigation": str,
+        "kernels": str,
     },
     "plan": {
         "universe": NUM,
@@ -117,7 +118,7 @@ def check_payload(event, lineno, errors):
                 f"line {lineno}: campaign_header.schema is "
                 f"{event.get('schema')!r}, expected {SCHEMA_NAME!r}"
             )
-        for key in ("fault_model", "mitigation"):
+        for key in ("fault_model", "mitigation", "kernels"):
             if isinstance(event.get(key), str) and not event[key]:
                 errors.append(
                     f"line {lineno}: campaign_header.{key} is empty "

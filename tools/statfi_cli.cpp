@@ -18,6 +18,7 @@
 //   statfi report        --log PATH [--out PATH.html]
 //   statfi report        --manifest PATH [--out PATH.html]
 //   statfi report        --diff A.jsonl B.jsonl [--out PATH.html] [--json]
+//   statfi version       [--json]
 //
 // Approaches: exhaustive | network-wise | layer-wise | data-unaware |
 // data-aware. --train fits the model on the synthetic dataset first
@@ -75,6 +76,7 @@
 #include "core/estimator.hpp"
 #include "core/testbed.hpp"
 #include "data/synthetic.hpp"
+#include "kernels/registry.hpp"
 #include "models/registry.hpp"
 #include "report/json.hpp"
 #include "report/observatory.hpp"
@@ -130,6 +132,8 @@ struct Options {
     int serve_status = -1;     ///< HTTP status port (-1 off, 0 ephemeral)
     std::string log_in;        ///< report: event log to render
     std::string diff_a, diff_b;  ///< report --diff: the two event logs
+    std::string kernels;    ///< --kernels generic|native|auto ("" = auto)
+    std::size_t ensemble = 0;  ///< --ensemble: faults per blocked pass (0 = default)
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -151,6 +155,8 @@ struct Options {
         "  report                      render an event log (or a merged\n"
         "                              shard campaign) as a self-contained\n"
         "                              HTML report; --diff compares two logs\n"
+        "  version                     print version, kernel backend, and\n"
+        "                              CPU features (--json for a document)\n"
         "options:\n"
         "  --model NAME                micronet|resnet20|resnet32|mobilenetv2\n"
         "  --approach A                exhaustive|network-wise|layer-wise|\n"
@@ -174,6 +180,13 @@ struct Options {
         "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
         "  --seed S                    master seed (default 2023)\n"
         "  --threads N                 worker threads (default 1; 0 = all cores)\n"
+        "  --kernels B                 compute backend: generic|native|auto\n"
+        "                              (default auto: native SIMD when the\n"
+        "                              CPU supports it; outcomes are\n"
+        "                              bit-identical either way)\n"
+        "  --ensemble N                faults per blocked ensemble pass\n"
+        "                              (default 8; 1 disables grouping;\n"
+        "                              throughput only, never outcomes)\n"
         "  --resume                    continue from the journal left by an\n"
         "                              interrupted run\n"
         "  --journal PATH              campaign/activation/exhaustive:\n"
@@ -254,6 +267,9 @@ Options parse(int argc, char** argv) {
         else if (flag == "--dtype") opt.dtype = parse_dtype(value());
         else if (flag == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--threads") opt.threads = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--kernels") opt.kernels = value();
+        else if (flag == "--ensemble")
+            opt.ensemble = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--resume") opt.resume = true;
         else if (flag == "--journal") opt.journal = value();
         else if (flag == "--json") opt.json = true;
@@ -287,6 +303,15 @@ Options parse(int argc, char** argv) {
     if (opt.images <= 0) usage("--images must be positive");
     // `statfi activation` is `statfi campaign --fault-model activation`.
     if (opt.command == "activation") opt.fault_model = "activation";
+    // Resolve the kernel backend before any fixture or worker exists; a
+    // bad name (or "native" on a CPU without SIMD) is a usage error.
+    if (!opt.kernels.empty()) {
+        try {
+            kernels::select(opt.kernels);
+        } catch (const std::invalid_argument& e) {
+            usage(e.what());
+        }
+    }
     // Data-aware planning needs single-bit weight strata; when the fault
     // model has none and the user did not pick an approach, fall back to
     // the layer-wise planner instead of erroring on the default.
@@ -369,6 +394,7 @@ core::CampaignHeaderInfo header_from(const shard::CampaignRecipe& recipe,
     info.error_margin = recipe.error_margin;
     info.fault_model = recipe.fault_model.describe();
     info.mitigation = recipe.mitigation.describe();
+    info.kernels = kernels::active().name;
     return info;
 }
 
@@ -582,6 +608,7 @@ void emit_campaign_json(const shard::CampaignRecipe& recipe,
         .field("approach", core::to_string(result.approach))
         .field("fault_model", recipe.fault_model.describe())
         .field("mitigation", recipe.mitigation.describe())
+        .field("kernels", kernels::active().name)
         .field("dtype", fault::to_string(recipe.dtype))
         .field("policy", core::to_string(recipe.policy))
         .field("seed", recipe.seed)
@@ -619,6 +646,9 @@ int cmd_campaign(const Options& opt) {
         telemetry::PhaseScope scope(session, "fixture_build");
         return shard::build_fixture(recipe);
     }();
+    // Like --threads, --ensemble tunes throughput only: the blocked
+    // ensemble pass is bit-identical to the per-fault loop.
+    if (opt.ensemble) fx.config.ensemble_width = opt.ensemble;
     core::CampaignEngine engine(fx.net, fx.eval, fx.config, opt.threads,
                                 session);
     const auto plan = engine.plan(fx.universe, shard::campaign_spec(recipe));
@@ -718,6 +748,7 @@ void emit_census_json(const shard::CampaignRecipe& recipe, const char* command,
         .field("model", recipe.model)
         .field("fault_model", recipe.fault_model.describe())
         .field("mitigation", recipe.mitigation.describe())
+        .field("kernels", kernels::active().name)
         .field("dtype", fault::to_string(recipe.dtype))
         .field("policy", core::to_string(recipe.policy))
         .field("seed", recipe.seed)
@@ -750,6 +781,7 @@ int cmd_exhaustive(const Options& opt) {
         telemetry::PhaseScope scope(session, "fixture_build");
         return shard::build_fixture(recipe);
     }();
+    if (opt.ensemble) fx.config.ensemble_width = opt.ensemble;
     if (telemetry::EventLog* log = obs.events())
         core::emit_plan_event_census(*log, fx.universe);
     obs.stamp_plan(fx.universe.total(), fx.universe.total(),
@@ -1200,6 +1232,34 @@ int cmd_report(const Options& opt) {
     return 0;
 }
 
+/// `statfi version`: build identity plus the resolved compute backend —
+/// what "which kernels did this binary actually run" questions are answered
+/// with (CI diffs the --kernels=generic vs --kernels=native reports).
+int cmd_version(const Options& opt) {
+    constexpr const char* kVersion = "1.0.0";  // keep in step with CMake project()
+    const kernels::CpuFeatures cpu = kernels::detect_cpu();
+    const kernels::Kernels* native = kernels::native_kernels();
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "version")
+            .field("version", kVersion)
+            .field("kernels", kernels::active().name)
+            .field("kernels_available",
+                   native ? std::string("generic,") + native->name
+                          : std::string("generic"))
+            .field("cpu", cpu.describe())
+            .end_object();
+        json.finish();
+        return 0;
+    }
+    std::cout << "statfi " << kVersion << "\n"
+              << "kernels: " << kernels::active().name << " (available: generic"
+              << (native ? std::string(",") + native->name : std::string())
+              << "; cpu: " << cpu.describe() << ")\n";
+    return 0;
+}
+
 int cmd_shard(const Options& opt) {
     if (opt.subcommand == "plan") return cmd_shard_plan(opt);
     if (opt.subcommand == "run") return cmd_shard_run(opt);
@@ -1224,6 +1284,7 @@ int main(int argc, char** argv) {
         if (opt.command == "exhaustive") return cmd_exhaustive(opt);
         if (opt.command == "shard") return cmd_shard(opt);
         if (opt.command == "report") return cmd_report(opt);
+        if (opt.command == "version") return cmd_version(opt);
         usage("unknown command '" + opt.command + "'");
     } catch (const std::exception& e) {
         std::cerr << "statfi: " << e.what() << "\n";
