@@ -32,8 +32,21 @@
 // census in {generic, native} x {ungrouped, grouped} configurations, every
 // outcome table checked bit-identical, with a >= 4x faults/s gate for the
 // best configuration against the pre-kernel baseline (BENCH_kernels.json).
+//
+// `bench_perf --service-json PATH` measures the scheduler daemon of
+// DESIGN.md decision 16: an in-process ServiceDaemon on an ephemeral
+// loopback port runs a small batch of distinct campaigns across two
+// workers (jobs/second through the full submit -> schedule -> shard ->
+// merge -> publish path), then an identical resubmission measures the
+// content-addressed cache-hit latency. The served result must match a
+// direct engine run of the same recipe exactly (BENCH_service.json).
 
 #include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
@@ -54,6 +67,9 @@
 #include "fault/injector.hpp"
 #include "models/registry.hpp"
 #include "nn/init.hpp"
+#include "report/json_parse.hpp"
+#include "service/daemon.hpp"
+#include "service/recipe_json.hpp"
 #include "shard/driver.hpp"
 #include "shard/fixture.hpp"
 #include "shard/merge.hpp"
@@ -786,6 +802,179 @@ int run_observatory_report(const std::string& json_path,
     return pass ? 0 : 1;
 }
 
+// --- service scheduling throughput (--service-json) -----------------------
+
+/// Minimal loopback HTTP client for driving the in-process daemon.
+std::string service_http(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+report::JsonValue service_get_json(std::uint16_t port,
+                                   const std::string& path) {
+    const std::string response = service_http(
+        port, "GET " + path + " HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const auto split = response.find("\r\n\r\n");
+    if (split == std::string::npos) return {};
+    return report::parse_json(response.substr(split + 4));
+}
+
+report::JsonValue service_post_json(std::uint16_t port,
+                                    const std::string& path,
+                                    const std::string& body) {
+    const std::string response = service_http(
+        port, "POST " + path + " HTTP/1.1\r\nContent-Length: " +
+                  std::to_string(body.size()) +
+                  "\r\nConnection: close\r\n\r\n" + body);
+    const auto split = response.find("\r\n\r\n");
+    if (split == std::string::npos) return {};
+    return report::parse_json(response.substr(split + 4));
+}
+
+/// Poll a job to its terminal state; returns the final status document.
+report::JsonValue service_await(std::uint16_t port, std::uint64_t id) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    for (;;) {
+        const auto status = service_get_json(
+            port, "/campaigns/" + std::to_string(id) + "/status");
+        const std::string state = status.get_str("state");
+        if (state == "done" || state == "failed" ||
+            std::chrono::steady_clock::now() > deadline)
+            return status;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+/// Jobs/second through the full service path, cache-hit latency for an
+/// identical resubmission, and served-result identity against a direct
+/// engine run of the same recipe.
+int run_service_report(const std::string& json_path) {
+    constexpr std::size_t kJobs = 4;
+    constexpr std::size_t kWorkers = 2;
+
+    const auto state_dir =
+        std::filesystem::temp_directory_path() / "statfi_service_bench";
+    std::filesystem::remove_all(state_dir);
+
+    service::DaemonOptions options;
+    options.port = 0;  // ephemeral
+    options.workers = kWorkers;
+    options.default_shards = 2;
+    options.state_dir = state_dir.string();
+    service::ServiceDaemon daemon(options);
+    daemon.start();
+    const std::uint16_t port = daemon.port();
+
+    const auto recipe = [](std::uint64_t seed) {
+        return std::string(R"({"model":"micronet","approach":"exhaustive",)"
+                           R"("images":2,"policy":"golden","seed":)") +
+               std::to_string(seed) + "}";
+    };
+
+    // Batch of distinct campaigns: submit all, then poll each to done.
+    const auto batch_start = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    for (std::size_t j = 0; j < kJobs; ++j)
+        ids.push_back(
+            service_post_json(port, "/campaigns", recipe(100 + j)).get_uint("id"));
+    bool all_done = true;
+    std::uint64_t classified = 0;
+    for (const std::uint64_t id : ids) {
+        const auto status = service_await(port, id);
+        all_done = all_done && status.get_str("state") == "done";
+        classified += status.get_uint("classified");
+    }
+    const double batch_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_start)
+            .count();
+
+    // Identical resubmission: POST-to-done latency of a pure cache hit.
+    const auto hit_start = std::chrono::steady_clock::now();
+    const std::uint64_t hit_id =
+        service_post_json(port, "/campaigns", recipe(100)).get_uint("id");
+    const auto hit_status = service_await(port, hit_id);
+    const double hit_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      hit_start)
+            .count();
+    const bool cache_hit = hit_status.get_bool("cache_hit") &&
+                           hit_status.get_uint("classified") == 0;
+
+    // Served result vs the direct engine path on the same recipe.
+    const auto result = service_get_json(
+        port, "/campaigns/" + std::to_string(ids[0]) + "/result.json");
+    daemon.stop();
+    const auto sub = service::parse_submission(recipe(100));
+    auto fx = shard::build_fixture(sub.recipe);
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+    const auto direct = engine.run_exhaustive_durable(fx.universe, {});
+    const bool identical =
+        result.get_uint("total_injected") == fx.universe.total() &&
+        result.get_uint("total_critical") ==
+            direct.outcomes.critical_count(0, fx.universe.total());
+
+    std::filesystem::remove_all(state_dir);
+    const bool pass = all_done && cache_hit && identical;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet exhaustive census, 2 synthetic test "
+           "images, GoldenMismatch, distinct seeds\",\n"
+        << "  \"jobs\": " << kJobs << ",\n"
+        << "  \"workers\": " << kWorkers << ",\n"
+        << "  \"shards_per_job\": " << options.default_shards << ",\n"
+        << "  \"classified_total\": " << classified << ",\n"
+        << "  \"batch_wall_seconds\": " << batch_wall << ",\n"
+        << "  \"jobs_per_second\": "
+        << static_cast<double>(kJobs) / batch_wall << ",\n"
+        << "  \"cache_hit_seconds\": " << hit_wall << ",\n"
+        << "  \"cache_hit\": " << (cache_hit ? "true" : "false") << ",\n"
+        << "  \"result_identical_to_direct\": "
+        << (identical ? "true" : "false") << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "service scheduling: " << kJobs << " jobs in " << batch_wall
+              << " s (" << static_cast<double>(kJobs) / batch_wall
+              << " jobs/s, " << kWorkers << " workers), cache hit in "
+              << hit_wall << " s, identical "
+              << (identical ? "yes" : "NO") << "\nreport written to "
+              << json_path << "\n";
+    if (!pass)
+        std::cerr << "bench_perf: service gate FAILED (incomplete jobs, "
+                     "missed cache, or result divergence above)\n";
+    return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -794,6 +983,7 @@ int main(int argc, char** argv) {
     std::string shard_json_path;
     std::string telemetry_json_path;
     std::string observatory_json_path;
+    std::string service_json_path;
     std::string statfi_binary;
     std::uint64_t max_faults = 0;  // 0 = full census
     std::size_t threads = 1;
@@ -809,6 +999,8 @@ int main(int argc, char** argv) {
             telemetry_json_path = argv[++i];
         } else if (arg == "--observatory-json" && i + 1 < argc) {
             observatory_json_path = argv[++i];
+        } else if (arg == "--service-json" && i + 1 < argc) {
+            service_json_path = argv[++i];
         } else if (arg == "--statfi" && i + 1 < argc) {
             statfi_binary = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -817,6 +1009,8 @@ int main(int argc, char** argv) {
             threads = std::stoul(argv[++i]);
         }
     }
+    if (!service_json_path.empty())
+        return run_service_report(service_json_path);
     if (!observatory_json_path.empty())
         return run_observatory_report(observatory_json_path, max_faults);
     if (!telemetry_json_path.empty())

@@ -45,9 +45,14 @@ namespace {
 
 class Parser {
 public:
-    explicit Parser(std::string_view text) : text_(text) {}
+    Parser(std::string_view text, const JsonParseLimits& limits)
+        : text_(text), limits_(limits) {}
 
     JsonValue document() {
+        if (text_.size() > limits_.max_bytes)
+            fail("input of " + std::to_string(text_.size()) +
+                 " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+                 "-byte cap");
         JsonValue v = value();
         skip_ws();
         if (pos_ != text_.size()) fail("trailing content after document");
@@ -56,9 +61,27 @@ public:
 
 private:
     [[noreturn]] void fail(const std::string& what) const {
-        throw std::runtime_error("json parse error at byte " +
+        // 1-based line number of the failure point, so errors in multi-line
+        // documents (hand-edited recipes, curl bodies) point at the line.
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n') ++line;
+        throw std::runtime_error("json parse error at line " +
+                                 std::to_string(line) + ", byte " +
                                  std::to_string(pos_) + ": " + what);
     }
+
+    /// RAII depth guard for the two recursive productions.
+    struct Nesting {
+        Parser& parser;
+        explicit Nesting(Parser& p) : parser(p) {
+            if (++parser.depth_ > parser.limits_.max_depth)
+                parser.fail("nesting deeper than " +
+                            std::to_string(parser.limits_.max_depth) +
+                            " levels");
+        }
+        ~Nesting() { --parser.depth_; }
+    };
 
     void skip_ws() {
         while (pos_ < text_.size() &&
@@ -118,6 +141,7 @@ private:
     }
 
     JsonValue object() {
+        Nesting depth(*this);
         expect('{');
         JsonValue v;
         v.type = JsonValue::Type::Object;
@@ -143,6 +167,7 @@ private:
     }
 
     JsonValue array() {
+        Nesting depth(*this);
         expect('[');
         JsonValue v;
         v.type = JsonValue::Type::Array;
@@ -285,16 +310,19 @@ private:
     }
 
     std::string_view text_;
+    JsonParseLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) {
-    return Parser(text).document();
+JsonValue parse_json(std::string_view text, const JsonParseLimits& limits) {
+    return Parser(text, limits).document();
 }
 
-std::vector<JsonValue> parse_json_lines(std::string_view text) {
+std::vector<JsonValue> parse_json_lines(std::string_view text,
+                                        const JsonParseLimits& limits) {
     std::vector<JsonValue> docs;
     std::size_t lineno = 0;
     std::size_t pos = 0;
@@ -306,7 +334,7 @@ std::vector<JsonValue> parse_json_lines(std::string_view text) {
         ++lineno;
         if (line.find_first_not_of(" \t\r") != std::string_view::npos) {
             try {
-                docs.push_back(parse_json(line));
+                docs.push_back(parse_json(line, limits));
             } catch (const std::runtime_error& e) {
                 throw std::runtime_error("line " + std::to_string(lineno) +
                                          ": " + e.what());

@@ -7,9 +7,16 @@
 // targets exactly RFC 8259 — objects, arrays, strings with escapes
 // (\uXXXX included), numbers, booleans, null — and nothing beyond it (no
 // comments, no trailing commas, no NaN/Inf literals; the writer never
-// produces them). Errors throw std::runtime_error naming the byte offset,
-// so a truncated or hand-edited event log fails loudly instead of rendering
-// a silently wrong report.
+// produces them). Errors throw std::runtime_error naming the line and byte
+// offset, so a truncated or hand-edited event log fails loudly instead of
+// rendering a silently wrong report.
+//
+// Since the service daemon feeds this parser from the network (POST
+// /campaigns bodies), every parse is bounded: a nesting-depth limit stops
+// stack exhaustion from "[[[[..." bombs and an input-size cap rejects
+// oversized documents before any allocation proportional to them. The
+// defaults are far above anything the repo emits; callers handling
+// untrusted input can tighten them per call (JsonParseLimits).
 
 #include <cstdint>
 #include <string>
@@ -75,12 +82,26 @@ public:
                                 bool fallback = false) const;
 };
 
-/// Parse exactly one JSON document; trailing non-whitespace throws.
-/// @throws std::runtime_error with the byte offset of the first error.
-JsonValue parse_json(std::string_view text);
+/// Bounds on one parse — both violations throw std::runtime_error with a
+/// line-numbered message before any unbounded work happens.
+struct JsonParseLimits {
+    /// Maximum container nesting (objects + arrays). The recursive-descent
+    /// parser burns one C++ stack frame per level, so this is the defense
+    /// against "[[[[..." stack-exhaustion bombs.
+    std::size_t max_depth = 64;
+    /// Maximum input size in bytes, checked before parsing starts.
+    std::size_t max_bytes = 16 * 1024 * 1024;
+};
 
-/// Parse a JSON-Lines buffer: one document per non-empty line.
+/// Parse exactly one JSON document; trailing non-whitespace throws.
+/// @throws std::runtime_error naming the 1-based line and byte offset of
+/// the first error (or the violated limit).
+JsonValue parse_json(std::string_view text, const JsonParseLimits& limits = {});
+
+/// Parse a JSON-Lines buffer: one document per non-empty line. @p limits
+/// applies per line.
 /// @throws std::runtime_error naming the 1-based line of the first error.
-std::vector<JsonValue> parse_json_lines(std::string_view text);
+std::vector<JsonValue> parse_json_lines(std::string_view text,
+                                        const JsonParseLimits& limits = {});
 
 }  // namespace statfi::report

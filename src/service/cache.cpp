@@ -1,0 +1,58 @@
+#include "service/cache.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace statfi::service {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec)
+        throw std::runtime_error("result cache: cannot create " + root_ +
+                                 ": " + ec.message());
+}
+
+std::string ResultCache::dir_of(const std::string& fingerprint) const {
+    return root_ + "/" + fingerprint;
+}
+
+std::string ResultCache::ensure_dir(const std::string& fingerprint) const {
+    const std::string dir = dir_of(fingerprint);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        throw std::runtime_error("result cache: cannot create " + dir + ": " +
+                                 ec.message());
+    return dir;
+}
+
+bool ResultCache::complete(const std::string& fingerprint) const {
+    const std::string dir = dir_of(fingerprint);
+    return fs::exists(result_json_path(dir)) &&
+           fs::exists(events_path(dir)) && fs::exists(report_html_path(dir));
+}
+
+std::string ResultCache::recipe_path(const std::string& dir) {
+    return dir + "/recipe.json";
+}
+std::string ResultCache::manifest_path(const std::string& dir) {
+    return dir + "/manifest.sfim";
+}
+std::string ResultCache::result_json_path(const std::string& dir) {
+    return dir + "/result.json";
+}
+std::string ResultCache::events_path(const std::string& dir) {
+    return dir + "/events.jsonl";
+}
+std::string ResultCache::report_html_path(const std::string& dir) {
+    return dir + "/report.html";
+}
+std::string ResultCache::outcomes_path(const std::string& dir) {
+    return dir + "/outcomes.sfio";
+}
+
+}  // namespace statfi::service

@@ -1,0 +1,60 @@
+#pragma once
+// Content-addressed result cache: one directory per recipe fingerprint,
+// holding every durable artifact a campaign produced.
+//
+//   <root>/<fingerprint>/
+//     recipe.json    canonical recipe (human-debuggable index of the entry)
+//     manifest.sfim  the frozen shard manifest — pins the plan AND the
+//                    partition, so a resubmission reuses the exact item
+//                    ranges its cached shard results cover
+//     shard_<k>.sfis completed shard results (written by shard::run_shard)
+//     shard_<k>.sfij checkpoint journals of interrupted shards
+//     result.json    deterministic merged result document
+//     events.jsonl   the campaign's statfi.eventlog.v1 log
+//     report.html    self-contained observatory report
+//     outcomes.sfio  dense outcome table (census campaigns only)
+//
+// The cache needs no index file: the fingerprint IS the key, the directory
+// listing IS the entry, and each artifact is individually checksummed by
+// its own format (SFIM/SFIS CRC frames, the event log's schema). Partial
+// entries are useful, not corrupt — a killed campaign leaves valid shard
+// results and journals that the next run of the same recipe picks up via
+// shard_result_valid() and --resume semantics. An entry is COMPLETE (a
+// full cache hit, zero inference) once the three merged artifacts exist.
+
+#include <string>
+
+namespace statfi::service {
+
+class ResultCache {
+public:
+    /// Anchor the cache at @p root (created, parents included).
+    /// @throws std::runtime_error when the directory cannot be created.
+    explicit ResultCache(std::string root);
+
+    [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+    /// The entry directory for @p fingerprint (not created).
+    [[nodiscard]] std::string dir_of(const std::string& fingerprint) const;
+
+    /// dir_of, created on demand.
+    std::string ensure_dir(const std::string& fingerprint) const;
+
+    /// Full cache hit: result.json, events.jsonl, and report.html all
+    /// present — the scheduler then completes the job without building a
+    /// fixture or running a single inference.
+    [[nodiscard]] bool complete(const std::string& fingerprint) const;
+
+    // Conventional artifact paths inside an entry directory.
+    static std::string recipe_path(const std::string& dir);
+    static std::string manifest_path(const std::string& dir);
+    static std::string result_json_path(const std::string& dir);
+    static std::string events_path(const std::string& dir);
+    static std::string report_html_path(const std::string& dir);
+    static std::string outcomes_path(const std::string& dir);
+
+private:
+    std::string root_;
+};
+
+}  // namespace statfi::service

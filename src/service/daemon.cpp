@@ -1,0 +1,273 @@
+#include "service/daemon.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "report/json.hpp"
+#include "service/recipe_json.hpp"
+
+namespace statfi::service {
+
+namespace {
+
+using telemetry::HttpRequest;
+using telemetry::HttpResponse;
+
+/// Validate options and make sure the state directory exists — called from
+/// the first member initializer so every subsequent member can rely on it.
+DaemonOptions prepare(DaemonOptions options) {
+    if (options.state_dir.empty())
+        throw std::invalid_argument("service: state_dir must be set");
+    std::error_code ec;
+    std::filesystem::create_directories(options.state_dir, ec);
+    if (ec)
+        throw std::runtime_error("service: cannot create state directory " +
+                                 options.state_dir + ": " + ec.message());
+    if (options.log_path.empty())
+        options.log_path = options.state_dir + "/service.jsonl";
+    if (options.default_shards == 0) options.default_shards = 1;
+    return options;
+}
+
+telemetry::HttpServer::Options http_options(const DaemonOptions& options) {
+    telemetry::HttpServer::Options http;
+    http.port = options.port;
+    http.handler_threads = 4;
+    http.max_request_bytes = options.max_request_bytes;
+    return http;
+}
+
+HttpResponse json_response(int status, const std::string& body) {
+    return HttpResponse{status, "application/json", body + "\n"};
+}
+
+void job_json_fields(report::JsonWriter& json, const Job& job) {
+    json.field("id", job.id)
+        .field("state", to_string(job.state))
+        .field("fingerprint", job.fingerprint)
+        .field("model", job.recipe.model)
+        .field("approach", core::to_string(job.recipe.approach))
+        .field("fault_model", job.recipe.fault_model.describe())
+        .field("dtype", fault::to_string(job.recipe.dtype))
+        .field("seed", job.recipe.seed)
+        .field("shards", static_cast<std::uint64_t>(job.shards))
+        .field("shards_total", job.shards_total)
+        .field("shards_done", job.shards_done)
+        .field("cached_shards", job.cached_shards)
+        .field("cache_hit", job.cache_hit)
+        .field("resumed", job.resumed)
+        .field("classified", job.classified)
+        .field("critical", job.critical)
+        .field("injected", job.injected);
+    if (!job.error.empty()) json.field("error", job.error);
+}
+
+std::string job_json(const Job& job) {
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object();
+    job_json_fields(json, job);
+    json.end_object();
+    return out.str();
+}
+
+/// Per-job Prometheus gauges — enough for a dashboard to plot progress and
+/// alert on failure without parsing JSON.
+std::string job_metrics(const Job& job) {
+    std::ostringstream out;
+    const std::string label = "{job=\"" + std::to_string(job.id) + "\"}";
+    out << "# TYPE statfi_job_shards_total gauge\n"
+        << "statfi_job_shards_total" << label << " " << job.shards_total
+        << "\n"
+        << "# TYPE statfi_job_shards_done gauge\n"
+        << "statfi_job_shards_done" << label << " " << job.shards_done << "\n"
+        << "# TYPE statfi_job_cached_shards gauge\n"
+        << "statfi_job_cached_shards" << label << " " << job.cached_shards
+        << "\n"
+        << "# TYPE statfi_job_resumed gauge\n"
+        << "statfi_job_resumed" << label << " " << job.resumed << "\n"
+        << "# TYPE statfi_job_classified gauge\n"
+        << "statfi_job_classified" << label << " " << job.classified << "\n"
+        << "# TYPE statfi_job_critical gauge\n"
+        << "statfi_job_critical" << label << " " << job.critical << "\n"
+        << "# TYPE statfi_job_done gauge\n"
+        << "statfi_job_done" << label << " " << (job.terminal() ? 1 : 0)
+        << "\n";
+    return out.str();
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(const DaemonOptions& options)
+    : options_(prepare(options)),
+      cache_(options_.state_dir + "/cache"),
+      queue_(options_.state_dir + "/queue.sfiq"),
+      log_(options_.log_path),
+      scheduler_(queue_, cache_, &log_,
+                 SchedulerOptions{options_.workers, options_.engine_threads}),
+      http_(http_options(options_)) {
+    http_.route("POST", "/campaigns", [this](const HttpRequest& req) {
+        return post_campaign(req);
+    });
+    http_.route("GET", "/campaigns",
+                [this](const HttpRequest&) { return list_campaigns(); });
+    http_.route_prefix("GET", "/campaigns/", [this](const HttpRequest& req) {
+        return campaign_route(req);
+    });
+    http_.route("GET", "/healthz",
+                [this](const HttpRequest&) { return healthz(); });
+    http_.route("GET", "/", [](const HttpRequest&) {
+        return HttpResponse{
+            200, "text/plain",
+            "statfi service\n"
+            "  POST /campaigns                  submit a campaign recipe\n"
+            "  GET  /campaigns                  list jobs\n"
+            "  GET  /campaigns/<id>/status      job status JSON\n"
+            "  GET  /campaigns/<id>/metrics     job Prometheus gauges\n"
+            "  GET  /campaigns/<id>/events      campaign event log (JSONL)\n"
+            "  GET  /campaigns/<id>/report.html observatory report\n"
+            "  GET  /campaigns/<id>/result.json merged result document\n"
+            "  GET  /healthz                    liveness + queue depth\n"};
+    });
+}
+
+ServiceDaemon::~ServiceDaemon() { stop(); }
+
+void ServiceDaemon::start() {
+    http_.start();
+    scheduler_.start();
+}
+
+void ServiceDaemon::stop() {
+    http_.stop();
+    scheduler_.stop();
+}
+
+HttpResponse ServiceDaemon::post_campaign(const HttpRequest& req) {
+    Submission sub;
+    try {
+        sub = parse_submission(req.body);
+    } catch (const std::invalid_argument& e) {
+        return HttpResponse{400, "text/plain", std::string(e.what()) + "\n"};
+    }
+    Job job;
+    job.recipe = sub.recipe;
+    job.shards = sub.shards == 0 ? options_.default_shards : sub.shards;
+    job.recipe_json = canonical_recipe_json(job.recipe);
+    job.fingerprint = recipe_fingerprint(job.recipe);
+
+    // An identical recipe already queued or running: point the client at
+    // it rather than racing two workers over one cache entry. (Terminal
+    // jobs do NOT dedupe — resubmitting a finished recipe creates a new
+    // job that completes from the cache, which is the cache-hit path.)
+    if (const auto active = queue_.active_with_fingerprint(job.fingerprint)) {
+        job.id = *active;
+        log_.job_submitted(job, /*deduplicated=*/true,
+                           cache_.complete(job.fingerprint));
+        std::ostringstream out;
+        report::JsonWriter json(out, 0);
+        json.begin_object()
+            .field("id", *active)
+            .field("fingerprint", job.fingerprint)
+            .field("deduplicated", true)
+            .end_object();
+        return json_response(200, out.str());
+    }
+
+    const bool cached = cache_.complete(job.fingerprint);
+    const std::uint64_t id = queue_.submit(job);
+    job.id = id;
+    log_.job_submitted(job, /*deduplicated=*/false, cached);
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object()
+        .field("id", id)
+        .field("fingerprint", job.fingerprint)
+        .field("state", "queued")
+        .field("cached", cached)
+        .end_object();
+    return json_response(202, out.str());
+}
+
+HttpResponse ServiceDaemon::list_campaigns() const {
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object().key("jobs").begin_array();
+    for (const Job& job : queue_.snapshot()) {
+        json.begin_object();
+        job_json_fields(json, job);
+        json.end_object();
+    }
+    json.end_array().end_object();
+    return json_response(200, out.str());
+}
+
+HttpResponse ServiceDaemon::campaign_route(const HttpRequest& req) const {
+    // Target shape: /campaigns/<id>[/<artifact>].
+    const std::string rest = req.target.substr(std::string("/campaigns/").size());
+    const std::size_t slash = rest.find('/');
+    const std::string id_text = rest.substr(0, slash);
+    const std::string sub =
+        slash == std::string::npos ? "" : rest.substr(slash + 1);
+    if (id_text.empty() ||
+        id_text.find_first_not_of("0123456789") != std::string::npos)
+        return HttpResponse{404, "text/plain",
+                            "campaign ids are decimal integers\n"};
+    const std::uint64_t id = std::strtoull(id_text.c_str(), nullptr, 10);
+    const std::optional<Job> job = queue_.get(id);
+    if (!job)
+        return HttpResponse{404, "text/plain",
+                            "no campaign with id " + id_text + "\n"};
+
+    if (sub.empty() || sub == "status")
+        return json_response(200, job_json(*job));
+    if (sub == "metrics")
+        return HttpResponse{200, "text/plain; version=0.0.4",
+                            job_metrics(*job)};
+
+    const std::string dir = cache_.dir_of(job->fingerprint);
+    const auto serve_file = [](const std::string& path,
+                               const std::string& content_type,
+                               const std::string& missing) {
+        std::string text;
+        if (!io::read_file(path, text))
+            return HttpResponse{404, "text/plain", missing};
+        return HttpResponse{200, content_type, std::move(text)};
+    };
+    if (sub == "events")
+        return serve_file(ResultCache::events_path(dir),
+                          "application/x-ndjson",
+                          "no events recorded for this campaign yet\n");
+    if (sub == "report.html")
+        return serve_file(ResultCache::report_html_path(dir), "text/html",
+                          "report not ready: the campaign has not "
+                          "completed\n");
+    if (sub == "result.json" || sub == "result")
+        return serve_file(ResultCache::result_json_path(dir),
+                          "application/json",
+                          "result not ready: the campaign has not "
+                          "completed\n");
+    return HttpResponse{404, "text/plain",
+                        "unknown campaign endpoint '" + sub +
+                            "' (status|metrics|events|report.html|"
+                            "result.json)\n"};
+}
+
+HttpResponse ServiceDaemon::healthz() const {
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object()
+        .field("status", "ok")
+        .field("jobs", static_cast<std::uint64_t>(queue_.size()))
+        .field("queued", static_cast<std::uint64_t>(queue_.queued()))
+        .field("active", static_cast<std::uint64_t>(scheduler_.active()))
+        .field("completed", scheduler_.jobs_completed())
+        .field("failed", scheduler_.jobs_failed())
+        .end_object();
+    return json_response(200, out.str());
+}
+
+}  // namespace statfi::service

@@ -1,0 +1,338 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/estimator.hpp"
+#include "io/atomic_file.hpp"
+#include "kernels/registry.hpp"
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+#include "report/observatory.hpp"
+#include "service/recipe_json.hpp"
+#include "shard/driver.hpp"
+#include "shard/fixture.hpp"
+#include "shard/merge.hpp"
+#include "shard/runner.hpp"
+
+namespace statfi::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CampaignHeaderInfo header_of(const shard::CampaignRecipe& recipe) {
+    core::CampaignHeaderInfo info;
+    info.command = "serve";
+    info.model = recipe.model;
+    info.approach = core::to_string(recipe.approach);
+    info.dtype = fault::to_string(recipe.dtype);
+    info.policy = core::to_string(recipe.policy);
+    info.seed = recipe.seed;
+    info.images = recipe.images;
+    info.confidence = recipe.confidence;
+    info.error_margin = recipe.error_margin;
+    info.fault_model = recipe.fault_model.describe();
+    info.mitigation = recipe.mitigation.describe();
+    info.kernels = kernels::active().name;
+    return info;
+}
+
+/// The deterministic merged-result document. Field names and spellings
+/// match the CLI's --json documents exactly, so "service result equals
+/// direct CLI result" is a plain comparison of the shared keys; wall
+/// times, kernel names, and anything else non-deterministic is left out,
+/// making the file byte-stable across reruns of the same recipe.
+void write_result_json(const std::string& path,
+                       const shard::ShardManifest& manifest,
+                       const shard::MergedCampaign& merged,
+                       const fault::FaultUniverse& universe) {
+    io::write_file_atomic(path, [&](std::ostream& out) {
+        const shard::CampaignRecipe& recipe = manifest.recipe;
+        report::JsonWriter json(out);
+        json.begin_object()
+            .field("model", recipe.model)
+            .field("approach", core::to_string(recipe.approach))
+            .field("fault_model", recipe.fault_model.describe())
+            .field("mitigation", recipe.mitigation.describe())
+            .field("dtype", fault::to_string(recipe.dtype))
+            .field("policy", core::to_string(recipe.policy))
+            .field("seed", recipe.seed)
+            .field("images", static_cast<std::int64_t>(recipe.images))
+            .field("universe_size", universe.total());
+        if (merged.kind == shard::CampaignKind::Census) {
+            json.field("total_injected", universe.total())
+                .field("total_critical",
+                       merged.outcomes.critical_count(0, universe.total()))
+                .field("critical_rate",
+                       merged.outcomes.network_critical_rate());
+            json.key("layers").begin_array();
+            for (int l = 0; l < universe.layer_count(); ++l)
+                json.begin_object()
+                    .field("layer", l)
+                    .field("name", universe.layer(l).name)
+                    .field("critical_rate",
+                           merged.outcomes.layer_critical_rate(universe, l))
+                    .end_object();
+            json.end_array();
+        } else {
+            core::EstimatorConfig est;
+            est.confidence = recipe.confidence;
+            const auto network =
+                core::estimate_network(universe, merged.result, est);
+            json.field("total_injected", merged.result.total_injected())
+                .field("total_critical", merged.result.total_critical());
+            json.key("network")
+                .begin_object()
+                .field("rate", network.rate)
+                .field("margin", network.margin)
+                .end_object();
+            json.key("layers").begin_array();
+            for (const auto& le :
+                 core::estimate_layers(universe, merged.result, est))
+                json.begin_object()
+                    .field("layer", le.layer)
+                    .field("name", universe.layer(le.layer).name)
+                    .field("rate", le.estimate.rate)
+                    .field("margin", le.estimate.margin)
+                    .field("injected", le.estimate.injected)
+                    .end_object();
+            json.end_array();
+        }
+        json.end_object();
+        json.finish();
+    });
+}
+
+}  // namespace
+
+Scheduler::Scheduler(JobQueue& queue, ResultCache& cache, ServiceLog* log,
+                     SchedulerOptions options)
+    : queue_(queue), cache_(cache), log_(log), options_(options) {}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+    if (!workers_.empty()) return;  // already started
+    const std::size_t pool = options_.workers == 0 ? 1 : options_.workers;
+    workers_.reserve(pool);
+    for (std::size_t w = 0; w < pool; ++w)
+        workers_.emplace_back(&Scheduler::worker_loop, this, w);
+}
+
+void Scheduler::stop() {
+    cancel_.request_stop();
+    for (std::thread& t : workers_)
+        if (t.joinable()) t.join();
+    workers_.clear();
+}
+
+void Scheduler::worker_loop(std::size_t worker) {
+    while (!stopping()) {
+        std::optional<Job> job = queue_.claim();
+        if (!job) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        active_.fetch_add(1, std::memory_order_relaxed);
+        run_job(std::move(*job), worker);
+        active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void Scheduler::run_job(Job job, std::size_t worker) {
+    if (log_) log_->job_scheduled(job, worker);
+    const auto job_start = std::chrono::steady_clock::now();
+    try {
+        const std::string dir = cache_.ensure_dir(job.fingerprint);
+        if (!fs::exists(ResultCache::recipe_path(dir)))
+            io::write_file_atomic(
+                ResultCache::recipe_path(dir),
+                [&](std::ostream& out) { out << job.recipe_json << "\n"; });
+
+        // Full cache hit: the merged artifacts already exist — complete the
+        // job without a fixture, a golden pass, or a single injection.
+        if (cache_.complete(job.fingerprint)) {
+            const auto manifest =
+                shard::ShardManifest::load(ResultCache::manifest_path(dir));
+            job.shards_total = manifest.shards.size();
+            job.shards_done = job.cached_shards = job.shards_total;
+            job.injected = manifest.item_count;
+            job.cache_hit = true;
+            job.state = JobState::Done;
+            queue_.update(job);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            if (log_) log_->job_done(job, "cached");
+            return;
+        }
+
+        if (stopping()) {  // shutdown won the race; hand the job back
+            job.state = JobState::Queued;
+            queue_.update(job);
+            return;
+        }
+
+        // Freeze (or reuse) the manifest. Reusing skips planning — the
+        // data-aware analysis and its golden pass — AND pins the partition
+        // the cached shard results were produced under, so a resubmission
+        // with a different requested width still finds them.
+        auto fx = shard::build_fixture(job.recipe);
+        const std::string manifest_path = ResultCache::manifest_path(dir);
+        shard::ShardManifest manifest;
+        bool frozen = false;
+        if (fs::exists(manifest_path)) {
+            try {
+                manifest = shard::ShardManifest::load(manifest_path);
+                frozen = true;
+            } catch (const std::exception&) {
+                frozen = false;  // damaged entry: re-freeze below
+            }
+        }
+        if (!frozen) {
+            core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+            manifest.recipe = job.recipe;
+            manifest.fingerprint =
+                engine.fingerprint(fx.universe, job.recipe.model);
+            manifest.layer_count =
+                static_cast<std::uint32_t>(fx.universe.layer_count());
+            if (job.recipe.approach == core::Approach::Exhaustive) {
+                manifest.plan.approach = core::Approach::Exhaustive;
+                manifest.item_count = fx.universe.total();
+            } else {
+                manifest.plan =
+                    engine.plan(fx.universe, shard::campaign_spec(job.recipe));
+                manifest.item_count = manifest.plan.total_sample_size();
+            }
+            const std::uint64_t want = job.shards == 0 ? 1 : job.shards;
+            manifest.shards = shard::partition_items(
+                manifest.item_count,
+                static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(want, manifest.item_count)));
+            manifest.save(manifest_path);
+        }
+
+        // The per-campaign event log: header + plan now, shard lifecycle
+        // as it happens, strata + end after the merge. Scoped so the file
+        // is closed before the report renderer reads it back.
+        const std::string events_path = ResultCache::events_path(dir);
+        {
+            telemetry::EventLog events(events_path);
+            core::emit_campaign_header(events, header_of(job.recipe));
+            if (manifest.kind() == shard::CampaignKind::Census)
+                core::emit_plan_event_census(events, fx.universe);
+            else
+                core::emit_plan_event(events, fx.universe, manifest.plan);
+
+            job.state = JobState::Running;
+            job.shards_total = manifest.shards.size();
+            job.injected = manifest.item_count;
+            queue_.update(job);
+
+            for (std::uint32_t k = 0; k < manifest.shards.size(); ++k) {
+                if (stopping()) {
+                    job.state = JobState::Queued;
+                    queue_.update(job);
+                    return;
+                }
+                telemetry::Event begin("shard_begin");
+                begin.field("shard", static_cast<std::uint64_t>(k))
+                    .field("range_begin", manifest.shards[k].begin)
+                    .field("range_end", manifest.shards[k].end);
+                events.emit(begin);
+                if (shard::shard_result_valid(manifest, manifest_path, k)) {
+                    ++job.cached_shards;
+                    ++job.shards_done;
+                    queue_.update(job);
+                    telemetry::Event end("shard_end");
+                    end.field("shard", static_cast<std::uint64_t>(k))
+                        .field("complete", true)
+                        .field("resumed", std::uint64_t{0})
+                        .field("classified", std::uint64_t{0})
+                        .field("cached", true);
+                    events.emit(end);
+                    continue;
+                }
+                shard::ShardRunOptions run_options;
+                run_options.shard = k;
+                run_options.resume = true;
+                run_options.threads = options_.engine_threads;
+                run_options.cancel = &cancel_;
+                const shard::ShardRunReport run =
+                    shard::run_shard(manifest, manifest_path, run_options);
+                telemetry::Event end("shard_end");
+                end.field("shard", static_cast<std::uint64_t>(k))
+                    .field("complete", run.complete)
+                    .field("resumed", run.resumed)
+                    .field("classified", run.classified)
+                    .field("cached", false);
+                events.emit(end);
+                if (!run.complete) {
+                    // Interrupted by shutdown: the engine already flushed
+                    // its journal; the job goes back to the queue and the
+                    // next claim resumes exactly here.
+                    job.state = JobState::Queued;
+                    queue_.update(job);
+                    return;
+                }
+                job.resumed += run.resumed;
+                job.classified += run.classified;
+                ++job.shards_done;
+                queue_.update(job);
+            }
+
+            job.state = JobState::Merging;
+            queue_.update(job);
+            const shard::MergedCampaign merged =
+                shard::merge_shards(manifest, manifest_path);
+            std::uint64_t critical = 0;
+            if (merged.kind == shard::CampaignKind::Census) {
+                core::emit_census_strata(events, fx.universe, merged.outcomes,
+                                         job.recipe.confidence);
+                critical =
+                    merged.outcomes.critical_count(0, fx.universe.total());
+                merged.outcomes.save(ResultCache::outcomes_path(dir));
+            } else {
+                core::emit_final_strata(events, merged.result);
+                critical = merged.result.total_critical();
+            }
+            core::emit_campaign_end(
+                events, true, manifest.item_count, critical,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job_start)
+                    .count());
+            write_result_json(ResultCache::result_json_path(dir), manifest,
+                              merged, fx.universe);
+            job.critical = critical;
+        }
+
+        // Render the report from the log just written — the same pipeline
+        // `statfi report --log` uses, so service reports and CLI reports
+        // are one code path.
+        std::string log_text;
+        io::read_file(events_path, log_text);
+        const report::ObservatoryModel model =
+            report::model_from_events(report::parse_json_lines(log_text));
+        const std::string html = report::render_observatory_html(
+            model, model.model + " " + model.command + " — statfi observatory");
+        io::write_file_atomic(ResultCache::report_html_path(dir),
+                              [&](std::ostream& out) { out << html; });
+
+        job.state = JobState::Done;
+        queue_.update(job);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (log_) log_->job_done(job, "complete");
+    } catch (const std::exception& e) {
+        job.state = JobState::Failed;
+        job.error = e.what();
+        queue_.update(job);
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        if (log_) log_->job_done(job, "failed");
+    }
+}
+
+}  // namespace statfi::service

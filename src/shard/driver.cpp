@@ -3,6 +3,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cerrno>
 #include <cstring>
 #include <iostream>
@@ -14,21 +15,6 @@
 namespace statfi::shard {
 
 namespace {
-
-/// A shard is done when its result artifact loads cleanly AND belongs to
-/// this manifest/slot — anything else (missing, corrupt, foreign) means the
-/// shard must (re)run.
-bool shard_complete(const ShardManifest& manifest,
-                    const std::string& manifest_path, std::uint32_t shard) {
-    try {
-        const ShardResult r =
-            ShardResult::load(shard_result_path(manifest_path, shard));
-        return r.manifest_crc == manifest.crc() && r.shard_id == shard &&
-               r.range == manifest.shards[shard];
-    } catch (const std::exception&) {
-        return false;
-    }
-}
 
 pid_t spawn_shard(const std::string& binary, const std::string& manifest_path,
                   std::uint32_t shard, std::size_t threads) {
@@ -68,6 +54,38 @@ int exit_code_of(int wait_status) {
 
 }  // namespace
 
+std::string ShardStatus::describe() const {
+    if (skipped) return "skipped (already complete)";
+    if (exit_code == 0) return "ok";
+    // 130 is SIGINT whichever way it arrived — the child exiting 130 after
+    // checkpointing, or dying on the signal raw. Either way the journal
+    // holds the progress and a rerun resumes it.
+    if (exit_code == 130)
+        return "failed (exit 130: interrupted, rerun to resume)";
+    if (exit_code > 128) {
+        const int signo = exit_code - 128;
+        const char* name = ::strsignal(signo);
+        return "killed (signal " + std::to_string(signo) +
+               (name ? std::string(": ") + name : std::string()) + ")";
+    }
+    std::string hint;
+    if (exit_code == 127) hint = ": cannot exec the statfi binary";
+    return "failed (exit " + std::to_string(exit_code) + hint + ")";
+}
+
+bool shard_result_valid(const ShardManifest& manifest,
+                        const std::string& manifest_path,
+                        std::uint32_t shard) {
+    try {
+        const ShardResult r =
+            ShardResult::load(shard_result_path(manifest_path, shard));
+        return r.manifest_crc == manifest.crc() && r.shard_id == shard &&
+               r.range == manifest.shards[shard];
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
 DriveReport run_all_shards(const ShardManifest& manifest,
                            const std::string& manifest_path,
                            const DriveOptions& options) {
@@ -81,7 +99,7 @@ DriveReport run_all_shards(const ShardManifest& manifest,
     std::vector<std::uint32_t> pending;
     for (std::uint32_t k = 0; k < manifest.shards.size(); ++k) {
         report.shards[k].shard = k;
-        if (shard_complete(manifest, manifest_path, k)) {
+        if (shard_result_valid(manifest, manifest_path, k)) {
             report.shards[k].skipped = true;
             std::cerr << "statfi: shard " << k
                       << " already has a valid result, skipping\n";
@@ -113,8 +131,8 @@ DriveReport run_all_shards(const ShardManifest& manifest,
         const std::uint32_t shard = it->second;
         running.erase(it);
         report.shards[shard].exit_code = exit_code_of(status);
-        std::cerr << "statfi: shard " << shard << " finished with exit code "
-                  << report.shards[shard].exit_code << "\n";
+        std::cerr << "statfi: shard " << shard << " "
+                  << report.shards[shard].describe() << "\n";
     }
     return report;
 }

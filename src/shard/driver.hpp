@@ -30,6 +30,11 @@ struct ShardStatus {
     std::uint32_t shard = 0;
     bool skipped = false;  ///< valid result artifact already present
     int exit_code = 0;     ///< 128+signal when the child died on a signal
+
+    /// "ok" / "skipped (already complete)" / "failed (exit 127: cannot
+    /// exec)" / "killed (SIGKILL)" — the per-shard line fleet output and
+    /// --json both carry, so one failed shard among dozens cannot hide.
+    [[nodiscard]] std::string describe() const;
 };
 
 struct DriveReport {
@@ -39,7 +44,22 @@ struct DriveReport {
             if (s.exit_code != 0) return false;
         return true;
     }
+    /// The exit code the driver's caller should propagate: the first
+    /// nonzero child exit code in shard order (0 when every shard
+    /// succeeded). A signal death surfaces as the conventional 128+signo.
+    [[nodiscard]] int first_failure() const {
+        for (const auto& s : shards)
+            if (s.exit_code != 0) return s.exit_code;
+        return 0;
+    }
 };
+
+/// True when a result artifact for @p shard exists next to @p manifest_path,
+/// loads cleanly, and provably belongs to this manifest and slot (CRC,
+/// shard id, range). The driver skips such shards; the service's
+/// content-addressed cache uses the same predicate to count cache hits.
+bool shard_result_valid(const ShardManifest& manifest,
+                        const std::string& manifest_path, std::uint32_t shard);
 
 /// Run every incomplete shard of @p manifest as a subprocess, at most
 /// @p options.jobs at a time. Returns per-shard statuses; does not throw on

@@ -5,7 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -16,65 +19,141 @@ namespace statfi::telemetry {
 
 namespace {
 
-std::string http_response(int code, const char* reason,
-                          const char* content_type,
-                          const std::string& body, bool head_only) {
+const char* reason_of(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 202: return "Accepted";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 409: return "Conflict";
+        case 413: return "Payload Too Large";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "Response";
+    }
+}
+
+std::string serialize(const HttpResponse& response, bool head_only) {
     std::ostringstream out;
-    out << "HTTP/1.1 " << code << " " << reason << "\r\n"
-        << "Content-Type: " << content_type << "\r\n"
-        << "Content-Length: " << body.size() << "\r\n"
+    out << "HTTP/1.1 " << response.status << " " << reason_of(response.status)
+        << "\r\n"
+        << "Content-Type: " << response.content_type << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n"
         << "Connection: close\r\n\r\n";
-    if (!head_only) out << body;
+    if (!head_only) out << response.body;
     return out.str();
+}
+
+HttpResponse plain(int status, std::string body) {
+    return HttpResponse{status, "text/plain", std::move(body)};
+}
+
+/// Case-insensitive Content-Length lookup in a raw header block. Returns
+/// -1 when absent, -2 when unparseable.
+long long content_length_of(std::string_view headers) {
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+        std::size_t eol = headers.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = headers.size();
+        const std::string_view line = headers.substr(pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+            std::string name(line.substr(0, colon));
+            std::transform(name.begin(), name.end(), name.begin(),
+                           [](unsigned char c) { return std::tolower(c); });
+            if (name == "content-length") {
+                const std::string value(line.substr(colon + 1));
+                try {
+                    const long long n = std::stoll(value);
+                    return n < 0 ? -2 : n;
+                } catch (const std::exception&) {
+                    return -2;
+                }
+            }
+        }
+        pos = eol + 2;
+    }
+    return -1;
 }
 
 }  // namespace
 
-StatusServer::StatusServer(Session* session, std::uint16_t port)
-    : session_(session) {
-    if (!session_)
-        throw std::runtime_error("status server: null telemetry session");
+HttpServer::HttpServer(const Options& options) : options_(options) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
-        throw std::runtime_error(std::string("status server: socket: ") +
+        throw std::runtime_error(std::string("http server: socket: ") +
                                  std::strerror(errno));
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
+    addr.sin_port = htons(options.port);
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) < 0) {
         const int err = errno;
         ::close(listen_fd_);
         throw std::runtime_error(
-            "status server: cannot bind 127.0.0.1:" + std::to_string(port) +
-            ": " + std::strerror(err));
+            "http server: cannot bind 127.0.0.1:" +
+            std::to_string(options.port) + ": " + std::strerror(err));
     }
-    if (::listen(listen_fd_, 16) < 0) {
+    if (::listen(listen_fd_, 64) < 0) {
         const int err = errno;
         ::close(listen_fd_);
-        throw std::runtime_error(std::string("status server: listen: ") +
+        throw std::runtime_error(std::string("http server: listen: ") +
                                  std::strerror(err));
     }
     socklen_t len = sizeof(addr);
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     port_ = ntohs(addr.sin_port);
-    thread_ = std::thread(&StatusServer::serve, this);
 }
 
-StatusServer::~StatusServer() { stop(); }
+HttpServer::~HttpServer() { stop(); }
 
-void StatusServer::stop() {
-    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+void HttpServer::route(std::string method, std::string path,
+                       HttpHandler handler) {
+    routes_.push_back(
+        Route{std::move(method), std::move(path), false, std::move(handler)});
+}
+
+void HttpServer::route_prefix(std::string method, std::string prefix,
+                              HttpHandler handler) {
+    routes_.push_back(
+        Route{std::move(method), std::move(prefix), true, std::move(handler)});
+}
+
+void HttpServer::start() {
+    if (accept_thread_.joinable()) return;  // already started
+    const std::size_t pool = std::max<std::size_t>(1, options_.handler_threads);
+    handlers_.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t)
+        handlers_.emplace_back(&HttpServer::handler_loop, this);
+    accept_thread_ = std::thread(&HttpServer::accept_loop, this);
+}
+
+void HttpServer::stop() {
+    if (stop_.exchange(true)) {
+        // A second stop still joins anything a racing first stop missed.
+    }
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& t : handlers_)
+        if (t.joinable()) t.join();
+    handlers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        for (const int fd : pending_) ::close(fd);
+        pending_.clear();
+    }
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
         listen_fd_ = -1;
     }
 }
 
-void StatusServer::serve() {
+void HttpServer::accept_loop() {
     while (!stop_.load(std::memory_order_relaxed)) {
         pollfd pfd{listen_fd_, POLLIN, 0};
         // 100ms poll tick bounds the shutdown latency without a self-pipe.
@@ -82,76 +161,190 @@ void StatusServer::serve() {
         if (ready <= 0) continue;
         const int client = ::accept(listen_fd_, nullptr, nullptr);
         if (client < 0) continue;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            pending_.push_back(client);
+        }
+        queue_cv_.notify_one();
+    }
+}
+
+void HttpServer::handler_loop() {
+    for (;;) {
+        int client = -1;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [&] {
+                return stop_.load(std::memory_order_relaxed) ||
+                       !pending_.empty();
+            });
+            if (pending_.empty()) return;  // stopping and drained
+            client = pending_.front();
+            pending_.pop_front();
+        }
         handle(client);
         ::close(client);
     }
 }
 
-void StatusServer::handle(int client_fd) {
-    // One bounded read is enough: requests are tiny GETs and we only need
-    // the request line. Stop at the header terminator or 8 KiB.
-    std::string request;
-    char buf[2048];
-    while (request.size() < 8192 &&
-           request.find("\r\n\r\n") == std::string::npos) {
+void HttpServer::handle(int client_fd) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.read_timeout_ms);
+    const auto answer = [&](const HttpResponse& response, bool head_only) {
+        const std::string wire = serialize(response, head_only);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        std::size_t sent = 0;
+        while (sent < wire.size()) {
+            const ssize_t n = ::send(client_fd, wire.data() + sent,
+                                     wire.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) break;
+            sent += static_cast<std::size_t>(n);
+        }
+    };
+    // Reads are bounded three ways: total size (413), wall clock (408), and
+    // connection close (408 for a truncated request).
+    std::string data;
+    const auto read_more = [&]() -> int {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0) return 0;
+        pollfd pfd{client_fd, POLLIN, 0};
+        if (::poll(&pfd, 1, static_cast<int>(remaining)) <= 0) return 0;
+        char buf[4096];
         const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-        if (n <= 0) break;
-        request.append(buf, static_cast<std::size_t>(n));
-    }
-    const std::size_t line_end = request.find("\r\n");
-    if (line_end == std::string::npos) return;
-    std::istringstream line(request.substr(0, line_end));
-    std::string method, target;
-    line >> method >> target;
-    const std::size_t query = target.find('?');
-    if (query != std::string::npos) target.resize(query);
+        if (n <= 0) return 0;
+        data.append(buf, static_cast<std::size_t>(n));
+        return 1;
+    };
 
-    const std::string response = respond(method, target);
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-        const ssize_t n = ::send(client_fd, response.data() + sent,
-                                 response.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) break;
-        sent += static_cast<std::size_t>(n);
+    // Phase 1: the header block.
+    std::size_t header_end;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+        if (data.size() > options_.max_request_bytes)
+            return answer(plain(413, "request header exceeds the limit\n"),
+                          false);
+        if (!read_more())
+            return answer(plain(408, "timed out reading the request\n"),
+                          false);
     }
+
+    // Request line: METHOD SP TARGET SP HTTP/x.
+    const std::size_t line_end = data.find("\r\n");
+    std::istringstream line(data.substr(0, line_end));
+    HttpRequest request;
+    std::string http_version;
+    line >> request.method >> request.target >> http_version;
+    if (request.method.empty() || request.target.empty() ||
+        request.target[0] != '/' || http_version.rfind("HTTP/", 0) != 0)
+        return answer(plain(400, "malformed request line\n"), false);
+    const std::size_t query = request.target.find('?');
+    if (query != std::string::npos) request.target.resize(query);
+
+    if (request.method != "GET" && request.method != "HEAD" &&
+        request.method != "POST")
+        return answer(plain(405, "supported methods: GET, HEAD, POST\n"),
+                      false);
+
+    // Phase 2: the body (POST only; Content-Length framed).
+    const long long declared = content_length_of(
+        std::string_view(data).substr(line_end + 2, header_end - line_end - 2));
+    if (declared == -2)
+        return answer(plain(400, "unparseable Content-Length\n"), false);
+    if (request.method == "POST") {
+        const std::size_t body_begin = header_end + 4;
+        const std::size_t body_len =
+            declared < 0 ? 0 : static_cast<std::size_t>(declared);
+        if (body_begin + body_len > options_.max_request_bytes)
+            return answer(plain(413, "request body exceeds the limit\n"),
+                          false);
+        while (data.size() < body_begin + body_len) {
+            if (!read_more())
+                return answer(plain(408, "timed out reading the body\n"),
+                              false);
+        }
+        request.body = data.substr(body_begin, body_len);
+    }
+
+    const bool head = request.method == "HEAD";
+    if (head) request.method = "GET";  // HEAD is GET minus the body
+    answer(dispatch(request), head);
 }
 
-std::string StatusServer::respond(const std::string& method,
-                                  const std::string& target) const {
-    const bool head = method == "HEAD";
-    if (!head && method != "GET")
-        return http_response(405, "Method Not Allowed", "text/plain",
-                             "read-only endpoint: GET or HEAD\n", false);
-    if (target == "/metrics") {
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+    const Route* best_prefix = nullptr;
+    bool path_exists = false;
+    for (const Route& r : routes_) {
+        const bool path_match =
+            r.prefix ? request.target.rfind(r.key, 0) == 0
+                     : request.target == r.key;
+        if (!path_match) continue;
+        path_exists = true;
+        if (r.method != request.method) continue;
+        if (!r.prefix) {
+            try {
+                return r.handler(request);
+            } catch (const std::exception& e) {
+                return plain(500, std::string("handler error: ") + e.what() +
+                                      "\n");
+            }
+        }
+        if (!best_prefix || r.key.size() > best_prefix->key.size())
+            best_prefix = &r;
+    }
+    if (best_prefix) {
+        try {
+            return best_prefix->handler(request);
+        } catch (const std::exception& e) {
+            return plain(500,
+                         std::string("handler error: ") + e.what() + "\n");
+        }
+    }
+    if (path_exists)
+        return plain(405, "method not allowed for this endpoint\n");
+    return plain(404, "unknown endpoint\n");
+}
+
+// --- StatusServer: the observatory's four GET routes -----------------------
+
+StatusServer::StatusServer(Session* session, std::uint16_t port)
+    : session_(session), http_([&] {
+          if (!session)
+              throw std::runtime_error("status server: null telemetry session");
+          HttpServer::Options options;
+          options.port = port;
+          options.handler_threads = 2;
+          return options;
+      }()) {
+    http_.route("GET", "/metrics", [this](const HttpRequest&) {
         std::ostringstream body;
         write_prometheus(body, session_->metrics().snapshot(),
                          session_->perf_phases());
-        return http_response(200, "OK", "text/plain; version=0.0.4",
-                             body.str(), head);
-    }
-    if (target == "/status")
-        return http_response(200, "OK", "application/json",
-                             session_->status().snapshot_json(), head);
-    if (target == "/trace") {
+        return HttpResponse{200, "text/plain; version=0.0.4", body.str()};
+    });
+    http_.route("GET", "/status", [this](const HttpRequest&) {
+        return HttpResponse{200, "application/json",
+                            session_->status().snapshot_json()};
+    });
+    http_.route("GET", "/trace", [this](const HttpRequest&) {
         const TraceRecorder* trace = session_->trace();
         if (!trace)
-            return http_response(404, "Not Found", "text/plain",
-                                 "tracing disabled on this session\n", false);
+            return HttpResponse{404, "text/plain",
+                                "tracing disabled on this session\n"};
         std::ostringstream body;
         trace->write_chrome_trace(body);
-        return http_response(200, "OK", "application/json", body.str(),
-                             head);
-    }
-    if (target == "/")
-        return http_response(200, "OK", "text/plain",
-                             "statfi campaign observatory\n"
-                             "  /metrics  Prometheus exposition\n"
-                             "  /status   JSON campaign snapshot\n"
-                             "  /trace    Chrome trace of phases\n",
-                             head);
-    return http_response(404, "Not Found", "text/plain",
-                         "unknown endpoint\n", false);
+        return HttpResponse{200, "application/json", body.str()};
+    });
+    http_.route("GET", "/", [](const HttpRequest&) {
+        return HttpResponse{200, "text/plain",
+                            "statfi campaign observatory\n"
+                            "  /metrics  Prometheus exposition\n"
+                            "  /status   JSON campaign snapshot\n"
+                            "  /trace    Chrome trace of phases\n"};
+    });
+    http_.start();
 }
 
 }  // namespace statfi::telemetry

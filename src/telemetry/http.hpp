@@ -1,73 +1,156 @@
 #pragma once
-// StatusServer: a dependency-free, read-only HTTP/1.1 endpoint for live
-// campaign observation (DESIGN.md §5.13).
+// HttpServer: a dependency-free, multi-route HTTP/1.1 layer for the
+// observatory and the StatFI service daemon (DESIGN.md §5.13, decision 16).
 //
-// Scope is deliberately tiny — this is a poll-based scrape target, not a
-// web framework: one accept loop on a background thread, one request per
-// connection (Connection: close), GET/HEAD only, bounded request size.
-// Endpoint contract:
-//   GET /metrics  Prometheus text exposition of the session's registry
-//                 (same bytes as --metrics-out)
-//   GET /status   JSON snapshot from the session's StatusBoard: state,
-//                 phase stack, campaign descriptor, progress/ETA
-//   GET /trace    Chrome trace JSON of the phases recorded so far
-//                 (404 when tracing is disabled on the session)
-//   GET /         text index of the endpoints
-// Everything else is 404; non-GET/HEAD is 405. The server binds
-// 127.0.0.1 only — campaign fleets are scraped through a tunnel or sidecar,
-// never exposed raw.
+// Scope is deliberately small — this is a loopback control/scrape surface,
+// not a web framework: bounded request size, one request per connection
+// (Connection: close), GET/HEAD/POST only, exact-match and prefix routes,
+// a fixed handler pool, and a read timeout so a stalled or malicious
+// client can never hang a handler thread. The server binds 127.0.0.1 only
+// — fleets are reached through a tunnel or sidecar, never exposed raw.
 //
-// The server only ever READS session state (metrics snapshots, the trace
-// buffer, the status board) — it cannot perturb campaign outcomes, which
-// stay bit-identical with or without it (asserted in
-// tests/telemetry/eventlog_test.cpp and gated in bench_perf
-// --observatory-json).
+// Failure taxonomy (each with a distinct status, tested in
+// tests/service/http_server_test.cpp):
+//   malformed request line            -> 400
+//   method outside GET/HEAD/POST      -> 405
+//   method not registered for a path  -> 405
+//   unknown path                      -> 404
+//   read timeout / truncated request  -> 408
+//   request larger than the cap       -> 413
+//
+// StatusServer — the read-only, single-campaign observatory endpoint of
+// PR 5 — is now a thin adapter that registers four GET routes on an
+// HttpServer; its endpoint contract (/status /metrics /trace /) is
+// unchanged.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "telemetry/session.hpp"
 
 namespace statfi::telemetry {
 
-class StatusServer {
-public:
-    /// Bind 127.0.0.1:@p port (0 picks an ephemeral port — read the actual
-    /// one from port()) and start serving @p session. The session is
-    /// borrowed and must outlive the server.
-    /// @throws std::runtime_error when the socket cannot be bound.
-    StatusServer(Session* session, std::uint16_t port);
-    ~StatusServer();
+struct HttpRequest {
+    std::string method;  ///< "GET" | "HEAD" | "POST"
+    std::string target;  ///< path only (query string stripped)
+    std::string body;    ///< POST payload (empty for GET/HEAD)
+};
 
-    StatusServer(const StatusServer&) = delete;
-    StatusServer& operator=(const StatusServer&) = delete;
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain";
+    std::string body;
+};
+
+/// A route handler. Runs on a handler-pool thread; must be thread-safe
+/// against concurrent invocations and against the state it reads/writes.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+public:
+    struct Options {
+        std::uint16_t port = 0;      ///< 0 picks an ephemeral port
+        std::size_t handler_threads = 2;
+        /// Hard cap on one request (request line + headers + body). Anything
+        /// larger is answered 413 without reading the rest.
+        std::size_t max_request_bytes = 1 << 20;
+        /// Patience for a slow client, per poll; a request that has not
+        /// completed within this window is answered 408 and closed.
+        int read_timeout_ms = 2000;
+    };
+
+    /// Bind 127.0.0.1:port. Routes are registered afterwards; call start()
+    /// to begin serving. @throws std::runtime_error when the socket cannot
+    /// be bound.
+    explicit HttpServer(const Options& options);
+    ~HttpServer();
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Register an exact-match route, e.g. ("GET", "/status", ...). HEAD is
+    /// served by GET routes automatically (body stripped). Register before
+    /// start(); not thread-safe afterwards.
+    void route(std::string method, std::string path, HttpHandler handler);
+
+    /// Register a prefix route, e.g. ("GET", "/campaigns/", ...). Exact
+    /// routes win; the longest matching prefix is tried next.
+    void route_prefix(std::string method, std::string prefix,
+                      HttpHandler handler);
+
+    /// Start the accept loop and the handler pool.
+    void start();
+
+    /// Stop accepting, drain queued connections, join every thread
+    /// (idempotent; also run by the destructor).
+    void stop();
 
     /// The port actually bound (resolves port 0).
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-    /// Requests served so far (tests / smoke diagnostics).
+    /// Requests answered so far (any status).
     [[nodiscard]] std::uint64_t requests_served() const noexcept {
         return requests_.load(std::memory_order_relaxed);
     }
 
-    /// Stop accepting and join the server thread (idempotent; also run by
-    /// the destructor).
-    void stop();
-
 private:
-    void serve();
-    void handle(int client_fd);
-    [[nodiscard]] std::string respond(const std::string& method,
-                                      const std::string& target) const;
+    struct Route {
+        std::string method;
+        std::string key;  ///< path (exact) or prefix
+        bool prefix = false;
+        HttpHandler handler;
+    };
 
-    Session* session_;
+    void accept_loop();
+    void handler_loop();
+    void handle(int client_fd);
+    [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+    Options options_;
+    std::vector<Route> routes_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> requests_{0};
-    std::thread thread_;
+    std::thread accept_thread_;
+    std::vector<std::thread> handlers_;
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_;  ///< accepted fds awaiting a handler thread
+};
+
+/// StatusServer: the read-only single-campaign observatory endpoint —
+/// four GET routes (/metrics /status /trace /) over one HttpServer.
+/// Everything it serves is a snapshot of borrowed session state; it cannot
+/// perturb campaign outcomes (bit-identical with or without it).
+class StatusServer {
+public:
+    /// Bind 127.0.0.1:@p port (0 = ephemeral) and serve @p session. The
+    /// session is borrowed and must outlive the server.
+    /// @throws std::runtime_error when the socket cannot be bound.
+    StatusServer(Session* session, std::uint16_t port);
+    ~StatusServer() = default;
+
+    StatusServer(const StatusServer&) = delete;
+    StatusServer& operator=(const StatusServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return http_.port(); }
+    [[nodiscard]] std::uint64_t requests_served() const noexcept {
+        return http_.requests_served();
+    }
+
+    void stop() { http_.stop(); }
+
+private:
+    Session* session_;
+    HttpServer http_;
 };
 
 }  // namespace statfi::telemetry

@@ -1,0 +1,183 @@
+// Parser hardening contract: the JSON reader feeds on network input (POST
+// /campaigns bodies), so every bound must hold — nesting bombs die at the
+// depth limit instead of the C++ stack, oversized input is rejected before
+// any proportional work, errors carry 1-based line numbers, and no byte
+// soup may ever crash the process (fuzz-style deterministic garbage loop).
+
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace statfi::report {
+namespace {
+
+/// EXPECT parse_json(@p text) to throw, with @p needle in the message.
+void expect_error(const std::string& text, const std::string& needle,
+                  const JsonParseLimits& limits = {}) {
+    try {
+        parse_json(text, limits);
+        FAIL() << "accepted: " << text.substr(0, 80);
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' does not mention '" << needle
+            << "'";
+    }
+}
+
+TEST(JsonParseLimits, DeepNestingBombIsRejectedNotACrash) {
+    // 200k opening brackets would exhaust the C++ stack through the
+    // recursive descent; the depth guard must stop at max_depth instead.
+    expect_error(std::string(200 * 1024, '['), "nesting deeper than 64");
+    // Alternating containers count the same way.
+    std::string mixed;
+    for (int i = 0; i < 1000; ++i) mixed += R"([{"k":)";
+    expect_error(mixed, "nesting deeper");
+}
+
+TEST(JsonParseLimits, DepthLimitIsExactlyAtTheConfiguredBoundary) {
+    JsonParseLimits limits;
+    limits.max_depth = 3;
+    EXPECT_NO_THROW(parse_json("[[[1]]]", limits));     // depth 3: fine
+    expect_error("[[[[1]]]]", "nesting deeper than 3", limits);
+}
+
+TEST(JsonParseLimits, SizeCapRejectsBeforeParsing) {
+    JsonParseLimits limits;
+    limits.max_bytes = 64;
+    const std::string big = "\"" + std::string(100, 'x') + "\"";
+    expect_error(big, "byte cap", limits);
+    EXPECT_NO_THROW(parse_json("\"small\"", limits));
+}
+
+TEST(JsonParseErrors, NameTheLineOfTheFailure) {
+    // The broken token sits on line 3 of a hand-edited document.
+    expect_error("{\n  \"a\": 1,\n  \"b\": tru\n}", "line 3");
+    expect_error("{\"a\": nope}", "line 1");
+}
+
+TEST(JsonParseErrors, TruncatedDocumentsThrow) {
+    for (const char* doc : {
+             "{",
+             "[1, 2",
+             R"({"key")",
+             R"({"key":)",
+             R"("unterminated)",
+             R"("bad escape \q")",
+             R"("short unicode \u12")",
+             "12.",
+             "-",
+             "tru",
+             "nul",
+         }) {
+        EXPECT_THROW(parse_json(doc), std::runtime_error) << doc;
+    }
+}
+
+TEST(JsonParseErrors, TrailingContentThrows) {
+    expect_error("{} {}", "trailing");
+    expect_error("1 2", "trailing");
+}
+
+TEST(JsonParseErrors, EmptyAndWhitespaceOnlyThrow) {
+    EXPECT_THROW(parse_json(""), std::runtime_error);
+    EXPECT_THROW(parse_json("   \n\t "), std::runtime_error);
+}
+
+TEST(JsonParseFuzz, DeterministicGarbageNeverCrashes) {
+    // A fixed-seed xorshift byte soup: the parser must either produce a
+    // value or throw std::runtime_error — nothing else, ever. 500 inputs of
+    // up to 256 bytes sweep structural characters often enough to hit the
+    // recursive productions.
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    const auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsnl \n\t\\u\x01\x7f";
+    for (int round = 0; round < 500; ++round) {
+        std::string input;
+        const std::size_t len = next() % 256;
+        for (std::size_t i = 0; i < len; ++i)
+            input += alphabet[next() % (sizeof(alphabet) - 1)];
+        try {
+            (void)parse_json(input);
+        } catch (const std::runtime_error&) {
+            // rejected loudly — exactly what hostile input should get
+        }
+    }
+    SUCCEED();
+}
+
+TEST(JsonParseFuzz, MutatedValidDocumentsNeverCrash) {
+    const std::string seed_doc =
+        R"({"model":"micronet","margin":0.05,"clips":[{"node":"relu1",)"
+        R"("lo":-1.5,"hi":1.5}],"tmr":["conv1"],"train":true,"seed":42})";
+    std::uint64_t state = 42;
+    const auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int round = 0; round < 500; ++round) {
+        std::string input = seed_doc;
+        // 1-3 random byte mutations: flips, deletions, duplications.
+        const int edits = 1 + static_cast<int>(next() % 3);
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t at = next() % input.size();
+            switch (next() % 3) {
+                case 0: input[at] = static_cast<char>(next() % 128); break;
+                case 1: input.erase(at, 1); break;
+                default: input.insert(at, 1, input[at]); break;
+            }
+            if (input.empty()) input = "x";
+        }
+        try {
+            (void)parse_json(input);
+        } catch (const std::runtime_error&) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(JsonParseLines, ErrorsCarryTheJsonlLineNumber) {
+    try {
+        parse_json_lines("{\"ok\":1}\n{\"ok\":2}\n{broken\n");
+        FAIL() << "accepted a broken line";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParseLines, LimitsApplyPerLine) {
+    JsonParseLimits limits;
+    limits.max_depth = 2;
+    EXPECT_THROW(parse_json_lines("{\"a\":1}\n[[[1]]]\n", limits),
+                 std::runtime_error);
+    EXPECT_EQ(parse_json_lines("{\"a\":1}\n{\"b\":2}\n", limits).size(), 2u);
+}
+
+TEST(JsonParse, AcceptsEverythingTheWriterEmits) {
+    // Round-trip sanity on the constructs the repo actually produces.
+    const auto doc = parse_json(
+        R"({"s":"esc \" \\ \n A","n":-1.5e3,"t":true,"f":false,)"
+        R"("z":null,"a":[1,2,3],"o":{"k":"v"}})");
+    EXPECT_EQ(doc.get_str("s"), "esc \" \\ \n A");
+    EXPECT_DOUBLE_EQ(doc.get_num("n"), -1500.0);
+    EXPECT_TRUE(doc.get_bool("t"));
+    EXPECT_FALSE(doc.get_bool("f", true));
+    ASSERT_NE(doc.find("z"), nullptr);
+    EXPECT_TRUE(doc.find("z")->is_null());
+    EXPECT_EQ(doc.find("a")->array.size(), 3u);
+    EXPECT_EQ(doc.find("o")->get_str("k"), "v");
+}
+
+}  // namespace
+}  // namespace statfi::report

@@ -1,0 +1,193 @@
+// Persistent job queue contract: every accepted job survives any crash
+// (atomic framed rewrite per transition), in-flight states collapse back to
+// Queued on reload, terminal states and their counters survive verbatim,
+// and a corrupt queue file stops the daemon loudly instead of silently
+// dropping jobs.
+
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "service/recipe_json.hpp"
+
+namespace statfi::service {
+namespace {
+
+class QueueTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::filesystem::temp_directory_path() /
+               (std::string("statfi_queue_test_") + info->name());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        path_ = (dir_ / "queue.sfiq").string();
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    /// A job as the daemon would enqueue it: parsed recipe + canonical
+    /// JSON + fingerprint.
+    static Job make_job(std::uint64_t seed) {
+        const Submission sub = parse_submission(
+            R"({"model":"micronet","seed":)" + std::to_string(seed) + "}");
+        Job job;
+        job.recipe = sub.recipe;
+        job.recipe_json = canonical_recipe_json(sub.recipe);
+        job.fingerprint = recipe_fingerprint(sub.recipe);
+        job.shards = 2;
+        return job;
+    }
+
+    std::filesystem::path dir_;
+    std::string path_;
+};
+
+TEST_F(QueueTest, StartsEmptyWithoutAFile) {
+    JobQueue queue(path_);
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_EQ(queue.queued(), 0u);
+    EXPECT_FALSE(queue.claim().has_value());
+}
+
+TEST_F(QueueTest, SubmitAssignsMonotonicIdsAndPersists) {
+    {
+        JobQueue queue(path_);
+        EXPECT_EQ(queue.submit(make_job(1)), 1u);
+        EXPECT_EQ(queue.submit(make_job(2)), 2u);
+    }
+    JobQueue reloaded(path_);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.queued(), 2u);
+    // Ids keep counting after a restart — no reuse, no collisions.
+    EXPECT_EQ(reloaded.submit(make_job(3)), 3u);
+    const auto job = reloaded.get(1);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->recipe.model, "micronet");
+    EXPECT_EQ(job->recipe.seed, 1u);
+    EXPECT_EQ(job->fingerprint, make_job(1).fingerprint);
+}
+
+TEST_F(QueueTest, ClaimTakesOldestQueuedFirst) {
+    JobQueue queue(path_);
+    queue.submit(make_job(1));
+    queue.submit(make_job(2));
+    const auto first = queue.claim();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->id, 1u);
+    EXPECT_EQ(first->state, JobState::Planning);
+    const auto second = queue.claim();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->id, 2u);
+    EXPECT_FALSE(queue.claim().has_value());  // nothing left to claim
+}
+
+TEST_F(QueueTest, UpdatePersistsStateAndCounters) {
+    {
+        JobQueue queue(path_);
+        queue.submit(make_job(1));
+        Job job = *queue.claim();
+        job.state = JobState::Done;
+        job.shards_total = 2;
+        job.shards_done = 2;
+        job.classified = 190;
+        job.critical = 20;
+        job.injected = 190;
+        job.cache_hit = true;
+        queue.update(job);
+    }
+    JobQueue reloaded(path_);
+    const auto job = reloaded.get(1);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Done);
+    EXPECT_EQ(job->classified, 190u);
+    EXPECT_EQ(job->critical, 20u);
+    EXPECT_TRUE(job->cache_hit);
+}
+
+TEST_F(QueueTest, NonTerminalStatesCollapseToQueuedOnReload) {
+    {
+        JobQueue queue(path_);
+        queue.submit(make_job(1));
+        Job job = *queue.claim();
+        job.state = JobState::Running;
+        job.shards_total = 4;
+        job.shards_done = 2;
+        job.classified = 77;
+        queue.update(job);
+    }
+    // The daemon died mid-run. On reload the job is simply re-claimable;
+    // its counters reset because real progress lives in the cache entry's
+    // shard results and journals, not in the queue.
+    JobQueue reloaded(path_);
+    const auto job = reloaded.get(1);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::Queued);
+    EXPECT_EQ(job->shards_done, 0u);
+    EXPECT_EQ(job->classified, 0u);
+    EXPECT_EQ(reloaded.queued(), 1u);
+    // And the collapse was itself persisted, not just in memory.
+    JobQueue again(path_);
+    EXPECT_EQ(again.get(1)->state, JobState::Queued);
+}
+
+TEST_F(QueueTest, FailedJobsStayFailedWithTheirError) {
+    {
+        JobQueue queue(path_);
+        queue.submit(make_job(1));
+        Job job = *queue.claim();
+        job.state = JobState::Failed;
+        job.error = "fixture build exploded";
+        queue.update(job);
+    }
+    JobQueue reloaded(path_);
+    EXPECT_EQ(reloaded.get(1)->state, JobState::Failed);
+    EXPECT_EQ(reloaded.get(1)->error, "fixture build exploded");
+    EXPECT_EQ(reloaded.queued(), 0u);
+}
+
+TEST_F(QueueTest, ActiveFingerprintLookupIgnoresTerminalJobs) {
+    JobQueue queue(path_);
+    const Job job = make_job(1);
+    queue.submit(job);
+    ASSERT_TRUE(queue.active_with_fingerprint(job.fingerprint).has_value());
+    EXPECT_EQ(*queue.active_with_fingerprint(job.fingerprint), 1u);
+    EXPECT_FALSE(queue.active_with_fingerprint("ffffffffffffffff"));
+
+    Job done = *queue.claim();
+    done.state = JobState::Done;
+    queue.update(done);
+    // A finished job no longer captures duplicates — resubmission must
+    // create a fresh job that completes from the cache.
+    EXPECT_FALSE(queue.active_with_fingerprint(job.fingerprint).has_value());
+}
+
+TEST_F(QueueTest, CorruptFileThrowsInsteadOfDroppingJobs) {
+    {
+        JobQueue queue(path_);
+        queue.submit(make_job(1));
+    }
+    // Flip one payload byte: the frame CRC must catch it.
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(12);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(12);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+    file.close();
+    EXPECT_THROW(JobQueue{path_}, std::runtime_error);
+}
+
+TEST_F(QueueTest, GarbageFileThrows) {
+    std::ofstream(path_, std::ios::binary) << "this is not a queue";
+    EXPECT_THROW(JobQueue{path_}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace statfi::service

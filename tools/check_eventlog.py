@@ -86,7 +86,32 @@ REQUIRED = {
         "critical": NUM,
         "wall_seconds": NUM,
     },
+    # Service daemon job lifecycle (DESIGN.md §16). The daemon's own log is
+    # a statfi.eventlog.v1 stream whose header has command == "serve".
+    "job_submitted": {
+        "job": NUM,
+        "fingerprint": str,
+        "model": str,
+        "approach": str,
+        "fault_model": str,
+        "shards": NUM,
+        "deduplicated": bool,
+        "cached": bool,
+    },
+    "job_scheduled": {"job": NUM, "worker": NUM, "fingerprint": str},
+    "job_done": {
+        "job": NUM,
+        "outcome": str,
+        "fingerprint": str,
+        "shards_done": NUM,
+        "cached_shards": NUM,
+        "resumed": NUM,
+        "classified": NUM,
+        "critical": NUM,
+    },
 }
+
+FINGERPRINT_HEX = set("0123456789abcdef")
 
 
 def type_ok(value, expected):
@@ -158,6 +183,31 @@ def check_payload(event, lineno, errors):
             f"line {lineno}: campaign_end.outcome is "
             f"{event.get('outcome')!r}, expected complete|interrupted"
         )
+    if etype.startswith("job_"):
+        fp = event.get("fingerprint")
+        if isinstance(fp, str) and (
+            len(fp) != 16 or not set(fp) <= FINGERPRINT_HEX
+        ):
+            errors.append(
+                f"line {lineno}: {etype}.fingerprint {fp!r} is not "
+                f"16 lowercase hex digits"
+            )
+    if etype == "job_done":
+        if event.get("outcome") not in ("complete", "cached", "failed"):
+            errors.append(
+                f"line {lineno}: job_done.outcome is "
+                f"{event.get('outcome')!r}, expected complete|cached|failed"
+            )
+        classified, critical = event.get("classified"), event.get("critical")
+        if (
+            isinstance(classified, NUM)
+            and isinstance(critical, NUM)
+            and critical > classified
+        ):
+            errors.append(
+                f"line {lineno}: job_done critical {critical} > "
+                f"classified {classified}"
+            )
     return True
 
 

@@ -68,6 +68,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/convergence.hpp"
@@ -81,6 +82,7 @@
 #include "report/json.hpp"
 #include "report/observatory.hpp"
 #include "report/table.hpp"
+#include "service/daemon.hpp"
 #include "shard/driver.hpp"
 #include "shard/fixture.hpp"
 #include "shard/manifest.hpp"
@@ -134,6 +136,9 @@ struct Options {
     std::string diff_a, diff_b;  ///< report --diff: the two event logs
     std::string kernels;    ///< --kernels generic|native|auto ("" = auto)
     std::size_t ensemble = 0;  ///< --ensemble: faults per blocked pass (0 = default)
+    std::string state_dir;     ///< serve: daemon state directory
+    std::size_t workers = 2;   ///< serve: concurrent campaigns
+    int port = 0;              ///< serve: HTTP port (0 picks a free port)
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -155,6 +160,10 @@ struct Options {
         "  report                      render an event log (or a merged\n"
         "                              shard campaign) as a self-contained\n"
         "                              HTML report; --diff compares two logs\n"
+        "  serve                       run the campaign service daemon:\n"
+        "                              accept recipe submissions over HTTP,\n"
+        "                              schedule them across a worker pool,\n"
+        "                              cache results by recipe fingerprint\n"
         "  version                     print version, kernel backend, and\n"
         "                              CPU features (--json for a document)\n"
         "options:\n"
@@ -215,7 +224,16 @@ struct Options {
         "                              runs (0 picks a free port)\n"
         "  --log PATH                  report: the event log to render\n"
         "  --diff A B                  report: flag strata whose confidence\n"
-        "                              intervals no longer overlap\n";
+        "                              intervals no longer overlap\n"
+        "  --state DIR                 serve: state directory (queue, cache,\n"
+        "                              service event log)\n"
+        "  --port P                    serve: HTTP port on 127.0.0.1\n"
+        "                              (default 0: pick a free port)\n"
+        "  --workers N                 serve: concurrent campaigns\n"
+        "                              (default 2; --shards sets the\n"
+        "                              partition width per campaign,\n"
+        "                              --threads the engine workers per\n"
+        "                              shard)\n";
     std::exit(2);
 }
 
@@ -289,6 +307,15 @@ Options parse(int argc, char** argv) {
             if (port < 0 || port > 65535)
                 usage("--serve-status PORT must be in [0, 65535]");
             opt.serve_status = static_cast<int>(port);
+        }
+        else if (flag == "--state") opt.state_dir = value();
+        else if (flag == "--workers")
+            opt.workers = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--port") {
+            const long port = std::strtol(value().c_str(), nullptr, 10);
+            if (port < 0 || port > 65535)
+                usage("--port must be in [0, 65535]");
+            opt.port = static_cast<int>(port);
         }
         else if (flag == "--log") opt.log_in = value();
         else if (flag == "--diff") {
@@ -997,17 +1024,37 @@ int cmd_shard_run_all(const Options& opt) {
     std::ostream& out = human(opt);
     report::Table table({"Shard", "Status"});
     for (const auto& s : drive_report.shards)
-        table.add_row({std::to_string(s.shard),
-                       s.skipped ? "skipped (already complete)"
-                       : s.exit_code == 0
-                           ? "ok"
-                           : "failed (exit " + std::to_string(s.exit_code) +
-                                 ")"});
+        table.add_row({std::to_string(s.shard), s.describe()});
     table.print(out);
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "shard-run-all")
+            .field("manifest", opt.manifest)
+            .field("ok", drive_report.ok())
+            .key("shards")
+            .begin_array();
+        for (const auto& s : drive_report.shards)
+            json.begin_object()
+                .field("shard", static_cast<std::uint64_t>(s.shard))
+                .field("exit_code", static_cast<std::int64_t>(s.exit_code))
+                .field("skipped", s.skipped)
+                .field("status", s.describe())
+                .end_object();
+        json.end_array().end_object();
+        json.finish();
+    }
     if (!drive_report.ok()) {
-        std::cerr << "statfi: some shards failed; rerun `shard run-all` to "
-                     "retry (completed shards are skipped)\n";
-        return 1;
+        for (const auto& s : drive_report.shards)
+            if (!s.skipped && s.exit_code != 0)
+                std::cerr << "statfi: shard " << s.shard << " " << s.describe()
+                          << "\n";
+        std::cerr << "statfi: rerun `shard run-all` to retry (completed "
+                     "shards are skipped)\n";
+        // Surface the first child's exit code so wrappers (CI, the service)
+        // can distinguish interrupt (130) from exec failure (127) from a
+        // plain campaign error.
+        return drive_report.first_failure();
     }
     out << "all " << drive_report.shards.size()
         << " shard(s) complete; next: statfi shard merge --manifest "
@@ -1260,6 +1307,49 @@ int cmd_version(const Options& opt) {
     return 0;
 }
 
+int cmd_serve(const Options& opt) {
+    if (opt.state_dir.empty()) usage("serve needs --state DIR");
+    service::DaemonOptions options;
+    options.port = opt.port;
+    options.workers = opt.workers == 0 ? 1 : opt.workers;
+    options.state_dir = opt.state_dir;
+    options.default_shards = opt.shards == 0 ? 2 : opt.shards;
+    options.engine_threads = opt.threads;
+    options.log_path = opt.log_out;
+
+    service::ServiceDaemon daemon(options);
+    // Both SIGINT (operator Ctrl-C) and SIGTERM (systemd/CI teardown) mean
+    // the same thing: checkpoint in-flight shards and persist the queue so a
+    // restarted daemon resumes exactly where this one stopped.
+    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGTERM, handle_sigint);
+    daemon.start();
+    std::cerr << "statfi service listening on http://127.0.0.1:"
+              << daemon.port() << " (" << options.workers
+              << " worker(s), state in " << options.state_dir
+              << ")\nPOST a recipe to /campaigns; Ctrl-C or SIGTERM "
+                 "checkpoints and exits\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "serve")
+            .field("port", static_cast<std::int64_t>(daemon.port()))
+            .field("state", options.state_dir)
+            .field("workers", static_cast<std::uint64_t>(options.workers))
+            .end_object();
+        json.finish();
+        std::cout.flush();
+    }
+    while (!g_interrupt.stop_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::cerr << "statfi service shutting down: checkpointing in-flight "
+                 "shards and persisting the queue\n";
+    daemon.stop();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return 0;
+}
+
 int cmd_shard(const Options& opt) {
     if (opt.subcommand == "plan") return cmd_shard_plan(opt);
     if (opt.subcommand == "run") return cmd_shard_run(opt);
@@ -1283,6 +1373,7 @@ int main(int argc, char** argv) {
         if (opt.command == "activation") return cmd_campaign(opt);
         if (opt.command == "exhaustive") return cmd_exhaustive(opt);
         if (opt.command == "shard") return cmd_shard(opt);
+        if (opt.command == "serve") return cmd_serve(opt);
         if (opt.command == "report") return cmd_report(opt);
         if (opt.command == "version") return cmd_version(opt);
         usage("unknown command '" + opt.command + "'");
