@@ -33,6 +33,12 @@
 // outcome table checked bit-identical, with a >= 4x faults/s gate for the
 // best configuration against the pre-kernel baseline (BENCH_kernels.json).
 //
+// `bench_perf --formats-json PATH` measures the number-format paths of
+// DESIGN.md decision 17: one census per weight format (fp32, fp16, bf16,
+// int8) on the shard fixture, each checked bit-identical across worker
+// counts, with a gate requiring the fp16 and int8 paths to stay within 10%
+// of the fp32 census throughput (BENCH_formats.json).
+//
 // `bench_perf --service-json PATH` measures the scheduler daemon of
 // DESIGN.md decision 16: an in-process ServiceDaemon on an ephemeral
 // loopback port runs a small batch of distinct campaigns across two
@@ -447,6 +453,158 @@ int run_kernels_report(const std::string& json_path, std::uint64_t max_faults,
     if (!gate_ok) {
         std::cerr << "bench_perf: kernel speedup gate FAILED (" << speedup
                   << "x < 4x)\n";
+        return 1;
+    }
+    return 0;
+}
+
+// --- per-format census throughput (--formats-json) ------------------------
+
+/// One census per number format on the shard fixture (micronet recipe,
+/// seed 424242, 4 images, GoldenMismatch): the universe shrinks with the
+/// stored word width (32/16/8 bits per weight), so the comparison is on
+/// faults/second, not wall time. Each format runs once at the requested
+/// thread count and once at 2 workers; the durable-census contract says the
+/// two outcome tables must match bit for bit.
+struct FormatRunResult {
+    std::string format;
+    std::uint64_t universe = 0;
+    std::uint64_t faults = 0;
+    double wall = 0.0;
+    double fps = 0.0;
+    double crit_rate = 0.0;
+    bool identical = false;  ///< 1-worker vs 2-worker outcome tables
+};
+
+FormatRunResult run_formats_config(fault::DataType dtype,
+                                   std::uint64_t max_faults,
+                                   std::size_t threads) {
+    shard::CampaignRecipe recipe;
+    recipe.model = "micronet";
+    recipe.approach = core::Approach::Exhaustive;
+    recipe.images = 4;
+    recipe.policy = core::ClassificationPolicy::GoldenMismatch;
+    recipe.seed = 424242;
+    recipe.dtype = dtype;
+
+    FormatRunResult r;
+    r.format = fault::to_string(dtype);
+
+    auto fx = shard::build_fixture(recipe);
+    r.universe = fx.universe.total();
+    r.faults = max_faults == 0 ? r.universe
+                               : std::min(max_faults, r.universe);
+    core::DurabilityOptions durability;
+    durability.range_end = r.faults;
+
+    core::CampaignEngine engine(fx.net, fx.eval, fx.config, threads);
+    // Best of two timed runs: a single census is short enough (seconds)
+    // that one scheduler hiccup can fake a >10% "regression" against the
+    // gate. The outcomes of both passes are identical by the determinism
+    // contract, so only the wall clock differs.
+    core::ExhaustiveOutcomes outcomes;
+    r.wall = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto start = std::chrono::steady_clock::now();
+        auto run = engine.run_exhaustive_durable(fx.universe, durability);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        if (pass == 0 || wall < r.wall) r.wall = wall;
+        outcomes = std::move(run.outcomes);
+    }
+    r.fps = r.wall > 0 ? static_cast<double>(r.faults) / r.wall : 0.0;
+    r.crit_rate =
+        static_cast<double>(outcomes.critical_count(0, r.faults)) /
+        static_cast<double>(r.faults);
+
+    // Worker-count identity: a fresh fixture (deploy + golden pass from
+    // scratch) at 2 workers must classify every fault the same way.
+    auto fx2 = shard::build_fixture(recipe);
+    core::CampaignEngine engine2(fx2.net, fx2.eval, fx2.config, 2);
+    const auto run2 = engine2.run_exhaustive_durable(fx2.universe, durability);
+    r.identical = true;
+    for (std::uint64_t i = 0; r.identical && i < r.faults; ++i)
+        r.identical = outcomes.at(i) == run2.outcomes.at(i);
+
+    std::cout << "  " << r.format << ": " << r.fps << " faults/s ("
+              << r.faults << "/" << r.universe << " faults, " << r.wall
+              << " s, critical_rate " << r.crit_rate << ", workers-identical "
+              << (r.identical ? "yes" : "NO") << ")\n";
+    return r;
+}
+
+/// The format gate: every format's census bit-identical across worker
+/// counts, and the reduced-precision paths (fp16, int8) within 10% of the
+/// fp32 census throughput (full census only — capped smoke runs skip the
+/// throughput gate, not the identity checks).
+int run_formats_report(const std::string& json_path, std::uint64_t max_faults,
+                       std::size_t threads) {
+    constexpr double kMaxRegressionPct = 10.0;
+    std::cout << "per-format census sweep (micronet seed 424242, 4 images, "
+                 "GoldenMismatch)\n";
+    const fault::DataType dtypes[] = {
+        fault::DataType::Float32, fault::DataType::Float16,
+        fault::DataType::BFloat16, fault::DataType::Int8};
+    std::vector<FormatRunResult> runs;
+    for (const auto dtype : dtypes)
+        runs.push_back(run_formats_config(dtype, max_faults, threads));
+
+    bool identical = true;
+    for (const auto& r : runs) identical = identical && r.identical;
+
+    const double fp32_fps = runs.front().fps;
+    const bool full = max_faults == 0;
+    bool gate_ok = true;
+    for (const auto& r : runs) {
+        if (r.format != "fp16" && r.format != "int8") continue;
+        if (full && fp32_fps > 0 &&
+            r.fps < fp32_fps * (1.0 - kMaxRegressionPct / 100.0)) {
+            std::cerr << "bench_perf: " << r.format << " census at " << r.fps
+                      << " faults/s regresses fp32 (" << fp32_fps
+                      << ") by more than " << kMaxRegressionPct << "%\n";
+            gate_ok = false;
+        }
+    }
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet recipe seed 424242, 4 synthetic test "
+           "images, GoldenMismatch, stuck-at universe per format\",\n"
+        << "  \"full_census\": " << (full ? "true" : "false") << ",\n"
+        << "  \"workers\": " << (threads == 0 ? 0 : threads) << ",\n"
+        << "  \"workers_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"formats\": [\n";
+    for (std::size_t c = 0; c < runs.size(); ++c) {
+        const auto& r = runs[c];
+        out << "    {\"format\": \"" << r.format << "\", \"universe\": "
+            << r.universe << ", \"faults\": " << r.faults
+            << ", \"wall_seconds\": " << r.wall
+            << ", \"faults_per_second\": " << r.fps
+            << ", \"critical_rate\": " << r.crit_rate
+            << ", \"vs_fp32\": " << (fp32_fps > 0 ? r.fps / fp32_fps : 0.0)
+            << ", \"workers_identical\": "
+            << (r.identical ? "true" : "false") << "}"
+            << (c + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"gate\": {\"max_regression_pct\": " << kMaxRegressionPct
+        << ", \"gated_formats\": [\"fp16\", \"int8\"], \"passed\": "
+        << ((gate_ok && identical) ? "true" : "false") << "}\n"
+        << "}\n";
+    std::cout << "report written to " << json_path << "\n";
+    if (!identical) {
+        std::cerr << "bench_perf: FORMAT WORKER COUNTS DISAGREE — "
+                     "bit-identity contract violated\n";
+        return 1;
+    }
+    if (!gate_ok) {
+        std::cerr << "bench_perf: format throughput gate FAILED\n";
         return 1;
     }
     return 0;
@@ -979,6 +1137,7 @@ int run_service_report(const std::string& json_path) {
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string formats_json_path;
     std::string kernels_json_path;
     std::string shard_json_path;
     std::string telemetry_json_path;
@@ -991,6 +1150,8 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--engine-json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--formats-json" && i + 1 < argc) {
+            formats_json_path = argv[++i];
         } else if (arg == "--kernels-json" && i + 1 < argc) {
             kernels_json_path = argv[++i];
         } else if (arg == "--shard-json" && i + 1 < argc) {
@@ -1022,6 +1183,8 @@ int main(int argc, char** argv) {
                                 .string();
         return run_shard_report(shard_json_path, statfi_binary);
     }
+    if (!formats_json_path.empty())
+        return run_formats_report(formats_json_path, max_faults, threads);
     if (!kernels_json_path.empty())
         return run_kernels_report(kernels_json_path, max_faults, threads);
     if (!json_path.empty()) return run_engine_report(json_path, max_faults, threads);

@@ -82,7 +82,7 @@ ClassificationCore::ClassificationCore(nn::Network& net,
                                        ExecutorConfig config)
     : net_(&net), config_(std::move(config)),
       mitigation_(deploy_mitigation(config_.mitigation, net)),
-      injector_(net, config_.dtype),
+      injector_(net, config_.dtype, config_.layer_quant),
       golden_(build_golden_cache(net, eval)) {
     // Warm the scratch arena (and each conv's im2col workspace) at
     // single-image shapes so the hot loop never allocates. Not an injected

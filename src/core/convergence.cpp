@@ -17,6 +17,10 @@ void emit_campaign_header(EventLog& log, const CampaignHeaderInfo& info) {
                  .field("model", info.model)
                  .field("approach", info.approach)
                  .field("dtype", info.dtype)
+                 // `format` mirrors dtype under the name the format
+                 // subsystem speaks; readers prefer it and fall back to
+                 // dtype for pre-format logs.
+                 .field("format", info.dtype)
                  .field("policy", info.policy)
                  .field("seed", info.seed)
                  .field("images", info.images)

@@ -114,12 +114,24 @@ CampaignPlan CampaignEngine::plan(const fault::FaultUniverse& universe,
             analysis.dtype = config().dtype;
             nn::Network& net = workers_.front()->net;
             if (analysis.dtype == fault::DataType::Int8) {
-                // Symmetric per-network scheme, scale from the golden
-                // weights — the same storage view the injector corrupts.
-                float max_abs = 0.0f;
-                for (auto& ref : net.weight_layers())
-                    max_abs = std::max(max_abs, ref.weight->max_abs());
-                analysis.quant.scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+                // Symmetric per-network scheme. When the fixture deployed a
+                // QuantizedStore its per-layer scales are authoritative (the
+                // weights are already quantized; re-deriving would drift) —
+                // the network-wide analysis scale is their maximum. Otherwise
+                // fall back to the golden weights, the same storage view the
+                // injector corrupts.
+                if (!config().layer_quant.empty()) {
+                    float scale = 0.0f;
+                    for (const auto& qp : config().layer_quant)
+                        scale = std::max(scale, qp.scale);
+                    analysis.quant.scale = scale > 0 ? scale : 1.0f;
+                } else {
+                    float max_abs = 0.0f;
+                    for (auto& ref : net.weight_layers())
+                        max_abs = std::max(max_abs, ref.weight->max_abs());
+                    analysis.quant.scale =
+                        max_abs > 0 ? max_abs / 127.0f : 1.0f;
+                }
             }
             return plan_data_aware(universe, spec.sample,
                                    analyze_network(net, analysis));

@@ -53,6 +53,12 @@ struct ExecutorConfig {
     /// Mitigations deployed on the network under test (clipping changes the
     /// golden pass too — the hardened network is measured against itself).
     fault::MitigationConfig mitigation;
+    /// Per-weight-layer quantization parameters, in weight-layer order.
+    /// Non-empty when the fixture deployed a formats::QuantizedStore: the
+    /// injector then reuses the store's scales instead of re-deriving them
+    /// from the (already quantized) weights, which would drift by an ulp.
+    /// Empty = derive from current weights (legacy fp32 path).
+    std::vector<fault::QuantParams> layer_quant;
     /// Max faults evaluated per blocked ensemble pass (engine groups
     /// consecutive plan items sharing a layer and fault model). 1 disables
     /// grouping. Like the worker count, this is a throughput knob that

@@ -50,7 +50,12 @@ std::uint16_t fp32_to_fp16(float value) {
     std::uint32_t mant = f & 0x7FFFFFu;
 
     if (exp == 128) {  // Inf / NaN
-        return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+        if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7C00u);
+        // NaN: keep the top 10 payload bits so decode(encode(w)) round-trips;
+        // a payload entirely below fp16 precision still has to stay a NaN.
+        std::uint32_t payload = mant >> 13;
+        if (payload == 0) payload = 0x200u;
+        return static_cast<std::uint16_t>(sign | 0x7C00u | payload);
     }
     if (exp > 15) {  // overflow -> Inf
         return static_cast<std::uint16_t>(sign | 0x7C00u);
@@ -95,7 +100,13 @@ float fp16_to_fp32(std::uint16_t h) {
 
 std::uint16_t fp32_to_bf16(float value) {
     std::uint32_t f = float_bits(value);
-    if (std::isnan(value)) return static_cast<std::uint16_t>((f >> 16) | 0x40u);
+    if (std::isnan(value)) {
+        // Truncate the payload; only force the quiet bit when the surviving
+        // mantissa would be zero (which would turn the NaN into an Inf).
+        std::uint32_t top = f >> 16;
+        if ((top & 0x7Fu) == 0) top |= 0x40u;
+        return static_cast<std::uint16_t>(top);
+    }
     // round to nearest even on the dropped 16 bits
     const std::uint32_t rest = f & 0xFFFFu;
     std::uint32_t top = f >> 16;
@@ -110,14 +121,18 @@ float bf16_to_fp32(std::uint16_t b) {
 std::uint8_t fp32_to_int8(float value, QuantParams qp) {
     if (!(qp.scale > 0.0f))
         throw std::domain_error("int8 codec: quantization scale must be > 0");
-    const float q = std::nearbyint(value / qp.scale);
+    const float q = std::nearbyint(value / qp.scale) +
+                    static_cast<float>(qp.zero_point);
     const auto clamped =
         static_cast<std::int32_t>(std::clamp(q, -127.0f, 127.0f));
     return static_cast<std::uint8_t>(static_cast<std::int8_t>(clamped));
 }
 
 float int8_to_fp32(std::uint8_t word, QuantParams qp) {
-    return static_cast<float>(static_cast<std::int8_t>(word)) * qp.scale;
+    return static_cast<float>(static_cast<std::int32_t>(
+               static_cast<std::int8_t>(word)) -
+                              qp.zero_point) *
+           qp.scale;
 }
 
 }  // namespace

@@ -19,10 +19,13 @@ enum class DataType : std::uint8_t { Float32, Float16, BFloat16, Int8 };
 int bit_width(DataType dtype) noexcept;
 const char* to_string(DataType dtype) noexcept;
 
-/// Quantization parameters (INT8 only; ignored elsewhere). Symmetric
-/// per-tensor scheme: q = clamp(round(w / scale), -127, 127).
+/// Quantization parameters (INT8 only; ignored elsewhere). Affine per-tensor
+/// scheme: q = clamp(round(w / scale) + zero_point, -127, 127) and
+/// w = (q - zero_point) * scale. The default zero_point of 0 is the paper
+/// repo's symmetric scheme; asymmetric stores stay representable.
 struct QuantParams {
     float scale = 1.0f;
+    std::int32_t zero_point = 0;
 };
 
 /// Encode a float into the data type's stored word (low bits used).

@@ -4,8 +4,18 @@
 
 namespace statfi::fault {
 
-WeightInjector::WeightInjector(nn::Network& net, DataType dtype)
+WeightInjector::WeightInjector(nn::Network& net, DataType dtype,
+                               std::vector<QuantParams> explicit_quant)
     : dtype_(dtype), weights_(net.weight_layers()) {
+    if (!explicit_quant.empty()) {
+        if (explicit_quant.size() != weights_.size())
+            throw std::invalid_argument(
+                "WeightInjector: explicit quant params cover " +
+                std::to_string(explicit_quant.size()) + " layers, network has " +
+                std::to_string(weights_.size()));
+        qparams_ = std::move(explicit_quant);
+        return;
+    }
     qparams_.resize(weights_.size());
     if (dtype_ == DataType::Int8) {
         for (std::size_t l = 0; l < weights_.size(); ++l) {

@@ -18,8 +18,14 @@ namespace statfi::fault {
 class WeightInjector {
 public:
     /// Binds to the network's weight layers. For Int8, per-layer symmetric
-    /// quantization scales (max|w| / 127) are computed from current weights.
-    WeightInjector(nn::Network& net, DataType dtype = DataType::Float32);
+    /// quantization scales (max|w| / 127) are computed from current weights —
+    /// unless @p explicit_quant (one entry per weight layer, weight-layer
+    /// order) supplies them, as it does when the fixture deployed a
+    /// formats::QuantizedStore and the weights are already quantized.
+    /// @throws std::invalid_argument when explicit_quant is non-empty and
+    /// its size does not match the network's weight-layer count.
+    WeightInjector(nn::Network& net, DataType dtype = DataType::Float32,
+                   std::vector<QuantParams> explicit_quant = {});
 
     [[nodiscard]] DataType dtype() const noexcept { return dtype_; }
     [[nodiscard]] int layer_count() const noexcept {

@@ -1,0 +1,62 @@
+#include "formats/format.hpp"
+
+#include <stdexcept>
+
+namespace statfi::formats {
+
+const char* to_string(BitClass cls) noexcept {
+    switch (cls) {
+        case BitClass::Sign: return "sign";
+        case BitClass::Exponent: return "exponent";
+        case BitClass::Mantissa: return "mantissa";
+        case BitClass::Magnitude: return "magnitude";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr FormatDesc kFormats[kFormatCount] = {
+    {fault::DataType::Float32, "fp32", 32, 8, 23, false},
+    {fault::DataType::Float16, "fp16", 16, 5, 10, false},
+    {fault::DataType::BFloat16, "bf16", 16, 8, 7, false},
+    {fault::DataType::Int8, "int8", 8, 0, 0, true},
+};
+
+}  // namespace
+
+BitClass FormatDesc::classify(int bit) const {
+    if (bit < 0 || bit >= width)
+        throw std::domain_error("FormatDesc: bit index out of range for " +
+                                std::string(name));
+    if (bit == sign_bit()) return BitClass::Sign;
+    if (is_integer) return BitClass::Magnitude;
+    if (bit >= mantissa_bits) return BitClass::Exponent;
+    return BitClass::Mantissa;
+}
+
+const FormatDesc& format_desc(fault::DataType dtype) noexcept {
+    for (const FormatDesc& f : kFormats)
+        if (f.dtype == dtype) return f;
+    return kFormats[0];
+}
+
+const FormatDesc* all_formats() noexcept { return kFormats; }
+
+std::string format_names() {
+    std::string out;
+    for (const FormatDesc& f : kFormats) {
+        if (!out.empty()) out += ',';
+        out += f.name;
+    }
+    return out;
+}
+
+fault::DataType parse_format(std::string_view name) {
+    for (const FormatDesc& f : kFormats)
+        if (name == f.name) return f.dtype;
+    throw std::invalid_argument("unknown format '" + std::string(name) +
+                                "' (expected " + format_names() + ")");
+}
+
+}  // namespace statfi::formats

@@ -1,0 +1,83 @@
+#pragma once
+// Format descriptors: the static bit anatomy of every number format a
+// campaign can store weights in (DESIGN.md decision 17).
+//
+// The fault codec (src/fault/codec) already encodes/decodes words; this
+// layer names the *structure* of those words — which bit is the sign, which
+// bits are exponent vs mantissa, whether the format is an affine-quantized
+// integer — so the data-aware estimator, the report renderers, and drivers
+// probing `statfi version --json` all reason about formats from one table
+// instead of re-deriving IEEE-754 layouts in four places.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/codec.hpp"
+
+namespace statfi::formats {
+
+/// Semantic role of one bit position within a stored word.
+enum class BitClass : std::uint8_t {
+    Sign,      ///< sign bit (floats: IEEE sign; int8: two's-complement MSB)
+    Exponent,  ///< float exponent field
+    Mantissa,  ///< float mantissa field
+    Magnitude, ///< int8 magnitude bits (everything below the sign)
+};
+
+const char* to_string(BitClass cls) noexcept;
+
+/// Width + field split of one storage format, with codec pass-throughs.
+/// Floats follow the IEEE-style [sign | exponent | mantissa] layout with the
+/// sign at the MSB; the integer format is two's complement with affine
+/// (scale, zero_point) dequantization carried per tensor in QuantParams.
+struct FormatDesc {
+    fault::DataType dtype = fault::DataType::Float32;
+    const char* name = "fp32";
+    int width = 32;          ///< stored word bits (== fault::bit_width)
+    int exponent_bits = 8;   ///< 0 for integer formats
+    int mantissa_bits = 23;  ///< 0 for integer formats
+    bool is_integer = false; ///< affine-quantized: decode needs QuantParams
+
+    [[nodiscard]] int sign_bit() const noexcept { return width - 1; }
+    /// Exponent field occupies [mantissa_bits, mantissa_bits+exponent_bits).
+    [[nodiscard]] int exponent_lsb() const noexcept { return mantissa_bits; }
+
+    /// Role of bit position @p bit (0 = LSB).
+    /// @throws std::domain_error when bit is outside [0, width).
+    [[nodiscard]] BitClass classify(int bit) const;
+
+    /// Codec pass-throughs, so format-generic code needs only a FormatDesc.
+    [[nodiscard]] std::uint32_t encode(float value,
+                                       fault::QuantParams qp = {}) const {
+        return fault::encode(value, dtype, qp);
+    }
+    [[nodiscard]] float decode(std::uint32_t word,
+                               fault::QuantParams qp = {}) const {
+        return fault::decode(word, dtype, qp);
+    }
+    [[nodiscard]] float quantize(float value,
+                                 fault::QuantParams qp = {}) const {
+        return fault::quantize(value, dtype, qp);
+    }
+};
+
+/// Number of supported formats (fp32, fp16, bf16, int8).
+inline constexpr int kFormatCount = 4;
+
+/// Descriptor for a data type (static storage, valid forever).
+const FormatDesc& format_desc(fault::DataType dtype) noexcept;
+
+/// All supported formats in canonical order: fp32, fp16, bf16, int8.
+const FormatDesc* all_formats() noexcept;
+
+/// Canonical comma-joined capability list: "fp32,fp16,bf16,int8" — what
+/// `statfi version --json` advertises to drivers.
+std::string format_names();
+
+/// Parse a format spelling ("fp32"|"fp16"|"bf16"|"int8").
+/// @throws std::invalid_argument naming the unknown spelling and the
+/// accepted set — the message service submissions surface as a 400.
+fault::DataType parse_format(std::string_view name);
+
+}  // namespace statfi::formats

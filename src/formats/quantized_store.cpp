@@ -1,0 +1,87 @@
+#include "formats/quantized_store.hpp"
+
+#include <stdexcept>
+
+namespace statfi::formats {
+
+QuantizedStore::QuantizedStore(nn::Network& net, fault::DataType dtype)
+    : dtype_(dtype) {
+    for (const auto& ref : net.weight_layers()) {
+        LayerWords layer;
+        layer.name = ref.name;
+        layer.count = ref.weight->numel();
+        if (dtype_ == fault::DataType::Int8) {
+            const float max_abs = ref.weight->max_abs();
+            layer.qp.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        }
+        const float* w = ref.weight->data();
+        switch (dtype_) {
+            case fault::DataType::Float32:
+                layer.raw32.reserve(layer.count);
+                for (std::uint64_t i = 0; i < layer.count; ++i)
+                    layer.raw32.push_back(fault::encode(w[i], dtype_));
+                break;
+            case fault::DataType::Float16:
+            case fault::DataType::BFloat16:
+                layer.raw16.reserve(layer.count);
+                for (std::uint64_t i = 0; i < layer.count; ++i)
+                    layer.raw16.push_back(static_cast<std::uint16_t>(
+                        fault::encode(w[i], dtype_)));
+                break;
+            case fault::DataType::Int8:
+                layer.raw8.reserve(layer.count);
+                for (std::uint64_t i = 0; i < layer.count; ++i)
+                    layer.raw8.push_back(static_cast<std::uint8_t>(
+                        fault::encode(w[i], dtype_, layer.qp)));
+                break;
+        }
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::vector<fault::QuantParams> QuantizedStore::all_params() const {
+    std::vector<fault::QuantParams> out;
+    out.reserve(layers_.size());
+    for (const LayerWords& layer : layers_) out.push_back(layer.qp);
+    return out;
+}
+
+std::uint32_t QuantizedStore::word(int layer, std::uint64_t index) const {
+    const LayerWords& l = layers_.at(static_cast<std::size_t>(layer));
+    if (index >= l.count)
+        throw std::out_of_range("QuantizedStore: weight index out of range in " +
+                                l.name);
+    switch (dtype_) {
+        case fault::DataType::Float32: return l.raw32[index];
+        case fault::DataType::Float16:
+        case fault::DataType::BFloat16: return l.raw16[index];
+        case fault::DataType::Int8: return l.raw8[index];
+    }
+    return 0;
+}
+
+float QuantizedStore::value(int layer, std::uint64_t index) const {
+    const LayerWords& l = layers_.at(static_cast<std::size_t>(layer));
+    return fault::decode(word(layer, index), dtype_, l.qp);
+}
+
+void QuantizedStore::deploy(nn::Network& net) const {
+    const auto refs = net.weight_layers();
+    if (refs.size() != layers_.size())
+        throw std::invalid_argument(
+            "QuantizedStore::deploy: network has a different weight-layer "
+            "count than the store");
+    for (std::size_t l = 0; l < refs.size(); ++l) {
+        const LayerWords& stored = layers_[l];
+        if (refs[l].weight->numel() != stored.count)
+            throw std::invalid_argument(
+                "QuantizedStore::deploy: weight count mismatch in layer " +
+                stored.name);
+        float* w = refs[l].weight->data();
+        for (std::uint64_t i = 0; i < stored.count; ++i)
+            w[i] = fault::decode(word(static_cast<int>(l), i), dtype_,
+                                 stored.qp);
+    }
+}
+
+}  // namespace statfi::formats

@@ -1,0 +1,79 @@
+#pragma once
+// QuantizedStore: the reduced-precision weight memory a campaign injects
+// into (DESIGN.md decision 17).
+//
+// A device running fp16/bf16/int8 holds ENCODED words; the fault universe
+// addresses bits of those words. QuantizedStore snapshots a network's FP32
+// weights into per-layer encoded words (raw16 for fp16/bf16, raw8 for int8
+// with a per-tensor symmetric scale, raw32 pass-through for fp32) and can
+// deploy the decoded values back into the network, so the golden forward
+// pass computes with exactly the values the stored words decode to. After
+// deploy(), quantization is idempotent: encode(decode(word)) == word, which
+// is what makes per-format campaign outcomes worker-count and shard
+// invariant (the store is a pure function of the weights).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/codec.hpp"
+#include "formats/format.hpp"
+#include "nn/network.hpp"
+
+namespace statfi::formats {
+
+class QuantizedStore {
+public:
+    /// Snapshot @p net's weight layers into encoded words. For Int8 the
+    /// per-tensor scale is max|w| / 127 (scale 1 for an all-zero tensor),
+    /// zero_point 0 — the same derivation fault::WeightInjector uses.
+    QuantizedStore(nn::Network& net, fault::DataType dtype);
+
+    [[nodiscard]] fault::DataType dtype() const noexcept { return dtype_; }
+    [[nodiscard]] const FormatDesc& desc() const noexcept {
+        return format_desc(dtype_);
+    }
+    [[nodiscard]] int layer_count() const noexcept {
+        return static_cast<int>(layers_.size());
+    }
+    [[nodiscard]] const std::string& layer_name(int layer) const {
+        return layers_.at(static_cast<std::size_t>(layer)).name;
+    }
+    [[nodiscard]] std::uint64_t layer_size(int layer) const {
+        return layers_.at(static_cast<std::size_t>(layer)).count;
+    }
+
+    /// Per-tensor quantization parameters (scale 1 except Int8).
+    [[nodiscard]] fault::QuantParams params(int layer) const {
+        return layers_.at(static_cast<std::size_t>(layer)).qp;
+    }
+    /// All per-layer params in layer order — what ExecutorConfig carries so
+    /// every process reuses the store's scales instead of re-deriving them
+    /// from already-quantized weights (1-ulp drift would break bit identity).
+    [[nodiscard]] std::vector<fault::QuantParams> all_params() const;
+
+    /// Stored word of one weight (low bits of the return value).
+    [[nodiscard]] std::uint32_t word(int layer, std::uint64_t index) const;
+    /// Float the inference engine computes with for that word.
+    [[nodiscard]] float value(int layer, std::uint64_t index) const;
+
+    /// Write the decoded value of every stored word into @p net's weight
+    /// tensors. @p net must have the same weight-layer shapes as the network
+    /// the store snapshotted. @throws std::invalid_argument on mismatch.
+    void deploy(nn::Network& net) const;
+
+private:
+    struct LayerWords {
+        std::string name;
+        std::uint64_t count = 0;
+        fault::QuantParams qp;
+        std::vector<std::uint32_t> raw32;  ///< fp32
+        std::vector<std::uint16_t> raw16;  ///< fp16 / bf16
+        std::vector<std::uint8_t> raw8;    ///< int8
+    };
+
+    fault::DataType dtype_;
+    std::vector<LayerWords> layers_;
+};
+
+}  // namespace statfi::formats

@@ -54,6 +54,8 @@ ObservatoryModel model_from_events(const std::vector<JsonValue>& events) {
             m.model = e.get_str("model");
             m.approach = e.get_str("approach");
             m.dtype = e.get_str("dtype");
+            m.format = e.get_str("format");
+            if (m.format.empty()) m.format = m.dtype;  // pre-format logs
             m.policy = e.get_str("policy");
             m.seed = e.get_uint("seed");
             m.images = e.get_int("images");
@@ -724,6 +726,140 @@ std::string render_diff_html(const ObservatoryModel& a,
                "</div>\n";
     }
     out << "<footer>statfi report --diff · statfi.eventlog.v1"
+        << "</footer>\n</main>\n</body>\n</html>\n";
+    return out.str();
+}
+
+std::uint64_t MatrixReport::divergent() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& p : pairs)
+        if (p.same_format) n += p.diff.flagged.size();
+    return n;
+}
+
+MatrixReport matrix_compare(const std::vector<ObservatoryModel>& logs) {
+    MatrixReport r;
+    for (std::size_t i = 0; i < logs.size(); ++i)
+        for (std::size_t j = i + 1; j < logs.size(); ++j) {
+            MatrixReport::Pair p;
+            p.a = i;
+            p.b = j;
+            p.same_format = logs[i].format == logs[j].format;
+            p.diff = diff_observatories(logs[i], logs[j]);
+            r.pairs.push_back(std::move(p));
+        }
+    return r;
+}
+
+namespace {
+
+void render_pair_table(std::ostringstream& out,
+                       const std::vector<ObservatoryModel>& logs,
+                       const std::vector<std::string>& labels,
+                       const MatrixReport::Pair& p) {
+    out << "<table>\n<tr><th class=\"t\">stratum</th><th>"
+        << html_escape(logs[p.a].format) << " p&#770; [Wilson]</th><th>"
+        << html_escape(logs[p.b].format) << " p&#770; [Wilson]</th>"
+        << "<th class=\"t\">direction</th></tr>\n";
+    for (const auto& f : p.diff.flagged) {
+        ObservatoryModel::Stratum key;
+        key.layer = f.layer;
+        key.bit = f.bit;
+        out << "<tr><td class=\"t\">"
+            << html_escape(stratum_label(logs[p.a], key))
+            << "</td><td class=\"mono\">" << fmt_g(f.a_p) << " ["
+            << fmt_g(f.a_lo) << ", " << fmt_g(f.a_hi)
+            << "]</td><td class=\"mono\">" << fmt_g(f.b_p) << " ["
+            << fmt_g(f.b_lo) << ", " << fmt_g(f.b_hi)
+            << "]</td><td class=\"t\">"
+            << (f.regression ? "&#9650; higher in "
+                             : "&#9660; lower in ")
+            << html_escape(labels[p.b]) << "</td></tr>\n";
+    }
+    out << "</table>\n";
+}
+
+}  // namespace
+
+std::string render_matrix_html(const std::vector<ObservatoryModel>& logs,
+                               const std::vector<std::string>& labels,
+                               const MatrixReport& r,
+                               const std::string& title) {
+    std::ostringstream out;
+    std::ostringstream extra;
+    extra << "<meta name=\"statfi-matrix-logs\" content=\"" << logs.size()
+          << "\">\n"
+          << "<meta name=\"statfi-matrix-flagged\" content=\""
+          << r.divergent() << "\">\n";
+    std::uint64_t strata_marker = 0;
+    for (const auto& m : logs) strata_marker += strata_with_data(m);
+    open_document(out, title, strata_marker, extra.str());
+
+    out << "<h1>" << html_escape(title) << "</h1>\n<p class=\"sub\">"
+        << logs.size() << " campaign log(s) side by side; same-format "
+        << "disagreement is a divergence, cross-format shifts are the "
+        << "measurement.</p>\n";
+
+    out << "<section class=\"tiles\">\n";
+    tile(out, "logs", fmt_count(logs.size()));
+    tile(out, "pairs compared", fmt_count(r.pairs.size()));
+    tile(out, "divergent strata", fmt_count(r.divergent()),
+         r.divergent() == 0 ? "same-format campaigns agree" : "");
+    std::uint64_t cross = 0;
+    for (const auto& p : r.pairs)
+        if (!p.same_format) cross += p.diff.flagged.size();
+    tile(out, "cross-format shifts", fmt_count(cross),
+         "disjoint CIs across formats");
+    out << "</section>\n";
+
+    // One heatmap section per log, labeled with its format and source.
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+        const ObservatoryModel& m = logs[i];
+        out << "<h2>" << html_escape(m.format.empty() ? m.dtype : m.format)
+            << " &#8212; " << html_escape(labels[i]) << "</h2>\n"
+            << "<p class=\"sub\">" << html_escape(describe_recipe(m))
+            << "</p>\n";
+        render_heatmap(out, m);
+    }
+
+    // Divergences first (they gate), then the cross-format picture.
+    bool any_divergent = false;
+    for (const auto& p : r.pairs) {
+        if (!p.same_format || p.diff.flagged.empty()) continue;
+        if (!any_divergent)
+            out << "<h2>Divergent strata (same format)</h2>\n";
+        any_divergent = true;
+        out << "<div class=\"card\">\n<p class=\"note\">"
+            << html_escape(labels[p.a]) << " vs "
+            << html_escape(labels[p.b]) << " (both "
+            << html_escape(logs[p.a].format)
+            << "): these campaigns should agree within their intervals "
+               "and do not.</p>\n";
+        render_pair_table(out, logs, labels, p);
+        out << "</div>\n";
+    }
+
+    bool any_cross = false;
+    for (const auto& p : r.pairs) {
+        if (p.same_format || p.diff.flagged.empty()) continue;
+        if (!any_cross)
+            out << "<h2>Cross-format differences</h2>\n"
+                   "<p class=\"sub\">Strata whose Wilson intervals are "
+                   "disjoint across formats — where reduced precision "
+                   "changes the vulnerability profile (informational, "
+                   "never gated).</p>\n";
+        any_cross = true;
+        out << "<div class=\"card\">\n<p class=\"note\">"
+            << html_escape(labels[p.a]) << " ("
+            << html_escape(logs[p.a].format) << ") vs "
+            << html_escape(labels[p.b]) << " ("
+            << html_escape(logs[p.b].format) << "); strata matched on "
+            << "(layer, bit) over the common bit range.</p>\n";
+        render_pair_table(out, logs, labels, p);
+        out << "</div>\n";
+    }
+
+    out << "<footer>statfi report --matrix · statfi.eventlog.v1"
         << "</footer>\n</main>\n</body>\n</html>\n";
     return out.str();
 }

@@ -32,6 +32,11 @@ struct ObservatoryModel {
     std::string model;
     std::string approach;
     std::string dtype;
+    /// Number format the weights were stored in ("fp32", "fp16", "bf16",
+    /// "int8") — the header's `format` field, falling back to `dtype` for
+    /// logs written before the field existed. Drives matrix grouping: only
+    /// same-format campaigns are expected to agree statistically.
+    std::string format;
     std::string policy;
     std::uint64_t seed = 0;
     std::int64_t images = 0;
@@ -153,5 +158,35 @@ DiffReport diff_observatories(const ObservatoryModel& a,
 std::string render_diff_html(const ObservatoryModel& a,
                              const ObservatoryModel& b, const DiffReport& d,
                              const std::string& title);
+
+/// Matrix comparison over N campaign logs (`report --matrix`): every
+/// unordered pair is diffed; pairs whose campaigns used the *same* number
+/// format and disagree are divergences (exit 3 in the CLI), pairs across
+/// formats are informational — reduced precision legitimately shifts
+/// vulnerability, that shift is what the matrix view is for.
+struct MatrixReport {
+    struct Pair {
+        std::size_t a = 0, b = 0;  ///< indices into the input log list
+        bool same_format = false;
+        DiffReport diff;
+    };
+    std::vector<Pair> pairs;  ///< all (i, j), i < j, in input order
+
+    /// Strata flagged across same-format pairs — the divergence count the
+    /// CLI gates on and the HTML carries in `statfi-matrix-flagged`.
+    [[nodiscard]] std::uint64_t divergent() const noexcept;
+};
+
+MatrixReport matrix_compare(const std::vector<ObservatoryModel>& logs);
+
+/// Render N logs side by side — one heatmap section per log, a per-format
+/// stratum comparison, and the divergence/cross-format tables — as one
+/// self-contained HTML document. Machine-readable markers:
+/// `statfi-matrix-logs` (N) and `statfi-matrix-flagged` (same-format
+/// divergent strata). `labels` names each log (typically its path).
+std::string render_matrix_html(const std::vector<ObservatoryModel>& logs,
+                               const std::vector<std::string>& labels,
+                               const MatrixReport& r,
+                               const std::string& title);
 
 }  // namespace statfi::report

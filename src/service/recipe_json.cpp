@@ -62,7 +62,7 @@ fault::DataType parse_dtype(const std::string& s) {
     if (s == "fp16") return fault::DataType::Float16;
     if (s == "bf16") return fault::DataType::BFloat16;
     if (s == "int8") return fault::DataType::Int8;
-    fail("unknown dtype '" + s + "' (expected fp32|fp16|bf16|int8)");
+    fail("unknown format '" + s + "' (expected fp32|fp16|bf16|int8)");
 }
 
 }  // namespace
@@ -84,6 +84,12 @@ Submission parse_submission(const std::string& body) {
     Submission sub;
     shard::CampaignRecipe& r = sub.recipe;
     bool approach_given = false;
+    // "format" and "dtype" name the same field; remember which spellings
+    // appeared so a submission saying both (with different values) is a
+    // contradiction, not a silent last-one-wins.
+    bool dtype_given = false, format_given = false;
+    fault::DataType dtype_value = fault::DataType::Float32;
+    fault::DataType format_value = fault::DataType::Float32;
     for (const auto& [key, value] : doc.object) {
         if (key == "model") {
             r.model = need_str(key, value);
@@ -117,7 +123,13 @@ Submission parse_submission(const std::string& body) {
         } else if (key == "train") {
             r.train = need_bool(key, value);
         } else if (key == "dtype") {
-            r.dtype = parse_dtype(need_str(key, value));
+            dtype_value = parse_dtype(need_str(key, value));
+            r.dtype = dtype_value;
+            dtype_given = true;
+        } else if (key == "format") {
+            format_value = parse_dtype(need_str(key, value));
+            r.dtype = format_value;
+            format_given = true;
         } else if (key == "seed") {
             r.seed = need_uint(key, value);
         } else if (key == "clips") {
@@ -151,6 +163,9 @@ Submission parse_submission(const std::string& body) {
             fail("unknown key '" + key + "'");
         }
     }
+
+    if (dtype_given && format_given && dtype_value != format_value)
+        fail("'format' and 'dtype' disagree (they are aliases)");
 
     // Cross-field validation — the same ranges the CLI enforces, so a
     // submission can never describe a campaign the CLI could not run.

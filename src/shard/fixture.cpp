@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "formats/quantized_store.hpp"
 #include "models/registry.hpp"
 #include "nn/init.hpp"
 #include "nn/trainer.hpp"
@@ -31,14 +32,24 @@ CampaignFixture build_fixture(const CampaignRecipe& recipe) {
     data::SyntheticSpec spec;
     spec.seed = recipe.seed;
     auto eval = data::make_synthetic(spec, recipe.images, "test");
-    auto universe = fault::FaultUniverse::make(
-        net, recipe.fault_model, Shape{spec.channels, spec.height, spec.width},
-        recipe.dtype);
     core::ExecutorConfig config;
     config.policy = recipe.policy;
     config.accuracy_drop_threshold = recipe.accuracy_drop_threshold;
     config.dtype = recipe.dtype;
     config.mitigation = recipe.mitigation;
+    // Reduced-precision campaigns run against the weights the device would
+    // hold: snapshot into the format's encoded words and deploy the decoded
+    // values, so the golden pass and every kernel compute with quantized
+    // weights. The store's per-tensor scales travel in the config — deriving
+    // them again from the deployed weights would drift by an ulp.
+    if (recipe.dtype != fault::DataType::Float32) {
+        const formats::QuantizedStore store(net, recipe.dtype);
+        store.deploy(net);
+        config.layer_quant = store.all_params();
+    }
+    auto universe = fault::FaultUniverse::make(
+        net, recipe.fault_model, Shape{spec.channels, spec.height, spec.width},
+        recipe.dtype);
     return CampaignFixture{std::move(net), std::move(eval),
                            std::move(universe), config, test_accuracy};
 }

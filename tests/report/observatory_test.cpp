@@ -10,6 +10,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/convergence.hpp"
 #include "report/json_parse.hpp"
@@ -24,12 +25,12 @@ using core::emit_stratum_update;
 using telemetry::Event;
 using telemetry::EventLog;
 
-core::CampaignHeaderInfo header_info() {
+core::CampaignHeaderInfo header_info(const std::string& dtype = "fp32") {
     core::CampaignHeaderInfo info;
     info.command = "campaign";
     info.model = "micronet";
     info.approach = "data-aware";
-    info.dtype = "fp32";
+    info.dtype = dtype;
     info.policy = "any-misprediction";
     info.seed = 7;
     info.images = 4;
@@ -63,10 +64,11 @@ core::SubpopPlan subpop(int layer, int bit, std::uint64_t population,
 /// A small but complete log: header, plan, two strata converging over a few
 /// updates, phases, campaign_end. @p critical1 parameterizes stratum 1's
 /// final tally so the diff test can separate two campaigns.
-std::string make_log(std::uint64_t critical1) {
+std::string make_log(std::uint64_t critical1,
+                     const std::string& dtype = "fp32") {
     std::ostringstream out;
     EventLog log(out);
-    emit_campaign_header(log, header_info());
+    emit_campaign_header(log, header_info(dtype));
     log.emit(Event("phase_begin").field("phase", "fixture_build"));
     log.emit(Event("phase_end")
                  .field("phase", "fixture_build")
@@ -225,6 +227,71 @@ TEST(Diff, FlagsTheStratumWhoseIntervalsSeparated) {
     const auto reversed = diff_observatories(b, a);
     ASSERT_EQ(reversed.flagged.size(), 1u);
     EXPECT_FALSE(reversed.flagged[0].regression);
+}
+
+TEST(ObservatoryModel, FormatPrefersHeaderFieldAndFallsBackToDtype) {
+    // New logs carry both spellings; the model reads `format`.
+    EXPECT_EQ(model_of(make_log(1, "fp16")).format, "fp16");
+    // Pre-format logs (only `dtype` in the header) still group correctly.
+    std::string legacy = make_log(1);
+    const std::string field = "\"format\":\"fp32\",";
+    const std::size_t pos = legacy.find(field);
+    ASSERT_NE(pos, std::string::npos);
+    legacy.erase(pos, field.size());
+    const auto m = model_of(legacy);
+    EXPECT_EQ(m.dtype, "fp32");
+    EXPECT_EQ(m.format, "fp32");
+}
+
+TEST(Matrix, ComparesEveryPairAndOnlySameFormatDivergenceGates) {
+    // Logs 0 and 1 are the same fp32 campaign (no divergence); log 2 is an
+    // int8 campaign whose stratum (1,30) tallies 50/100 critical — far from
+    // the fp32 logs' 1/100, but a cross-format difference is informational,
+    // not a gate.
+    const std::vector<ObservatoryModel> logs = {
+        model_of(make_log(1)), model_of(make_log(1)),
+        model_of(make_log(50, "int8"))};
+    const MatrixReport r = matrix_compare(logs);
+    ASSERT_EQ(r.pairs.size(), 3u);  // C(3,2)
+    EXPECT_EQ(r.divergent(), 0u);
+    for (const MatrixReport::Pair& p : r.pairs) {
+        if (p.a == 0 && p.b == 1) {
+            EXPECT_TRUE(p.same_format);
+            EXPECT_TRUE(p.diff.flagged.empty());
+        } else {
+            EXPECT_FALSE(p.same_format);
+            EXPECT_FALSE(p.diff.flagged.empty())
+                << "cross-format shift should still be reported";
+        }
+    }
+}
+
+TEST(Matrix, SameFormatDisjointIntervalsCountAsDivergent) {
+    const std::vector<ObservatoryModel> logs = {model_of(make_log(1)),
+                                                model_of(make_log(50))};
+    const MatrixReport r = matrix_compare(logs);
+    ASSERT_EQ(r.pairs.size(), 1u);
+    EXPECT_TRUE(r.pairs[0].same_format);
+    EXPECT_EQ(r.divergent(), 1u);
+}
+
+TEST(Matrix, RendersSelfContainedHtmlWithMachineMarkers) {
+    const std::vector<ObservatoryModel> logs = {
+        model_of(make_log(1)), model_of(make_log(50)),
+        model_of(make_log(3, "bf16"))};
+    const MatrixReport r = matrix_compare(logs);
+    const auto html = render_matrix_html(logs, {"a.jsonl", "b.jsonl", "c.jsonl"},
+                                         r, "matrix");
+    EXPECT_EQ(html.find("src="), std::string::npos);
+    EXPECT_EQ(html.find("href="), std::string::npos);
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_NE(html.find("<meta name=\"statfi-matrix-logs\" content=\"3\">"),
+              std::string::npos);
+    EXPECT_NE(html.find("<meta name=\"statfi-matrix-flagged\" content=\"1\">"),
+              std::string::npos);
+    // Each log gets a per-format section keyed by its label.
+    EXPECT_NE(html.find("a.jsonl"), std::string::npos);
+    EXPECT_NE(html.find("bf16"), std::string::npos);
 }
 
 TEST(Diff, RendersSelfContainedHtml) {

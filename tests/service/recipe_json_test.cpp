@@ -169,7 +169,62 @@ TEST(RecipeJson, RejectsOutOfRangeValues) {
     expect_rejected(R"({"model":"micronet","shards":5000})", "shards");
     expect_rejected(R"({"model":"nonexistent-net"})", "unknown model");
     expect_rejected(R"({"model":"micronet","policy":"whenever"})", "policy");
-    expect_rejected(R"({"model":"micronet","dtype":"fp64"})", "dtype");
+    expect_rejected(R"({"model":"micronet","dtype":"fp64"})", "unknown format");
+}
+
+// --- "format" / "dtype" aliasing -------------------------------------------
+// The recipe wire format accepts both spellings of the storage format; the
+// canonical form keeps emitting "dtype" so pre-"format" fingerprints (and
+// therefore the content-addressed result cache) stay valid.
+
+TEST(RecipeJson, FormatIsAnAliasForDtype) {
+    EXPECT_EQ(parse_submission(R"({"model":"micronet","format":"fp16"})")
+                  .recipe.dtype,
+              fault::DataType::Float16);
+    EXPECT_EQ(parse_submission(R"({"model":"micronet","format":"int8"})")
+                  .recipe.dtype,
+              fault::DataType::Int8);
+    expect_rejected(R"({"model":"micronet","format":"fp64"})",
+                    "unknown format");
+}
+
+TEST(RecipeJson, DefaultFormatResubmissionsHitTheSameCacheEntry) {
+    // {} == {"format":"fp32"} == {"dtype":"fp32"}: spelling out the default
+    // must not split the cache, and the canonical bytes are identical.
+    const auto bare = parse_submission(R"({"model":"micronet"})");
+    const auto fmt =
+        parse_submission(R"({"model":"micronet","format":"fp32"})");
+    const auto dt = parse_submission(R"({"model":"micronet","dtype":"fp32"})");
+    EXPECT_EQ(canonical_recipe_json(bare.recipe),
+              canonical_recipe_json(fmt.recipe));
+    EXPECT_EQ(canonical_recipe_json(bare.recipe),
+              canonical_recipe_json(dt.recipe));
+    EXPECT_EQ(recipe_fingerprint(bare.recipe), recipe_fingerprint(fmt.recipe));
+    EXPECT_EQ(recipe_fingerprint(bare.recipe), recipe_fingerprint(dt.recipe));
+}
+
+TEST(RecipeJson, EitherSpellingMovesTheFingerprintIdentically) {
+    const auto via_format =
+        parse_submission(R"({"model":"micronet","format":"bf16"})");
+    const auto via_dtype =
+        parse_submission(R"({"model":"micronet","dtype":"bf16"})");
+    EXPECT_EQ(recipe_fingerprint(via_format.recipe),
+              recipe_fingerprint(via_dtype.recipe));
+    EXPECT_NE(recipe_fingerprint(via_format.recipe),
+              recipe_fingerprint(
+                  parse_submission(R"({"model":"micronet"})").recipe));
+}
+
+TEST(RecipeJson, ContradictoryFormatAndDtypeAreRejected) {
+    expect_rejected(
+        R"({"model":"micronet","format":"fp16","dtype":"int8"})", "disagree");
+    expect_rejected(
+        R"({"model":"micronet","dtype":"int8","format":"fp16"})", "disagree");
+    // Agreement is fine — redundant, not contradictory.
+    EXPECT_EQ(parse_submission(
+                  R"({"model":"micronet","format":"fp16","dtype":"fp16"})")
+                  .recipe.dtype,
+              fault::DataType::Float16);
 }
 
 TEST(RecipeJson, RejectsNestingBombsAndOversizedBodies) {

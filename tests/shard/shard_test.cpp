@@ -204,6 +204,51 @@ TEST_F(ShardTest, MergedCensusIsBitIdenticalForEveryShardCount) {
     }
 }
 
+TEST_F(ShardTest, ReducedPrecisionMergedCensusMatchesDirectRun) {
+    // The format contract end to end: a campaign over encoded fp16/int8
+    // weights is still a pure function of the recipe, so sharding it must
+    // be invisible (same QuantizedStore snapshot, same scales, same words).
+    for (const auto dtype : {fault::DataType::Float16, fault::DataType::Int8}) {
+        SCOPED_TRACE(fault::to_string(dtype));
+        CampaignRecipe recipe = census_recipe();
+        recipe.dtype = dtype;
+
+        auto fx = build_fixture(recipe);
+        core::CampaignEngine engine(fx.net, fx.eval, fx.config);
+        const auto direct = engine.run_exhaustive_durable(fx.universe, {});
+
+        const MergedCampaign merged = run_sharded(recipe, 3);
+        ASSERT_EQ(merged.kind, CampaignKind::Census);
+        expect_identical(merged.outcomes, direct.outcomes);
+    }
+}
+
+TEST_F(ShardTest, PerFormatCensusIsWorkerCountInvariant) {
+    // Every format's outcome table must be bit-identical no matter how many
+    // workers classify it (capped census prefix keeps this cheap).
+    for (const auto dtype :
+         {fault::DataType::Float32, fault::DataType::Float16,
+          fault::DataType::BFloat16, fault::DataType::Int8}) {
+        SCOPED_TRACE(fault::to_string(dtype));
+        CampaignRecipe recipe = census_recipe();
+        recipe.dtype = dtype;
+        core::DurabilityOptions durability;
+        durability.range_end = 4096;
+
+        auto fx1 = build_fixture(recipe);
+        core::CampaignEngine one(fx1.net, fx1.eval, fx1.config, 1);
+        const auto serial = one.run_exhaustive_durable(fx1.universe,
+                                                       durability);
+        auto fx3 = build_fixture(recipe);
+        core::CampaignEngine three(fx3.net, fx3.eval, fx3.config, 3);
+        const auto parallel = three.run_exhaustive_durable(fx3.universe,
+                                                           durability);
+        for (std::uint64_t i = 0; i < durability.range_end; ++i)
+            ASSERT_EQ(serial.outcomes.at(i), parallel.outcomes.at(i))
+                << "fault " << i;
+    }
+}
+
 TEST_F(ShardTest, InterruptedCensusShardResumesToIdenticalMerge) {
     const ShardManifest manifest = make_manifest(census_recipe(), 2);
     manifest.save(manifest_path_);

@@ -27,6 +27,11 @@ import sys
 
 SCHEMA_NAME = "statfi.eventlog.v1"
 
+# Number formats the fault layer can store weights in, with the stored word
+# width in bits. campaign_header.format declares which one the campaign
+# used; logs written before the field existed default to fp32.
+FORMAT_WIDTHS = {"fp32": 32, "fp16": 16, "bf16": 16, "int8": 8}
+
 # Required payload keys (beyond the envelope) per event type, with the
 # accepted JSON types. bool is checked separately from int (bool is an int
 # subclass in Python).
@@ -122,8 +127,10 @@ def type_ok(value, expected):
     return isinstance(value, expected)
 
 
-def check_payload(event, lineno, errors):
-    """Per-type required keys plus the numeric sanity rules."""
+def check_payload(event, lineno, errors, ctx):
+    """Per-type required keys plus the numeric sanity rules. `ctx` carries
+    cross-event state captured from the campaign_header (declared format and
+    fault model) so later events can be validated against it."""
     etype = event["type"]
     spec = REQUIRED.get(etype)
     if spec is None:
@@ -149,6 +156,24 @@ def check_payload(event, lineno, errors):
                     f"line {lineno}: campaign_header.{key} is empty "
                     f"(expected a descriptor like 'stuck-at' or 'none')"
                 )
+        # `format` is required on new logs; old logs (no field) default to
+        # fp32. When present it must name a known format and agree with
+        # `dtype` (the two spell the same fact).
+        fmt = event.get("format", "fp32")
+        if not isinstance(fmt, str) or fmt not in FORMAT_WIDTHS:
+            errors.append(
+                f"line {lineno}: campaign_header.format {fmt!r} is not "
+                f"one of {sorted(FORMAT_WIDTHS)}"
+            )
+            fmt = "fp32"
+        elif "format" in event and event.get("dtype") not in (None, fmt):
+            errors.append(
+                f"line {lineno}: campaign_header.format {fmt!r} disagrees "
+                f"with dtype {event.get('dtype')!r}"
+            )
+        ctx["format"] = fmt
+        if isinstance(event.get("fault_model"), str):
+            ctx["fault_model"] = event["fault_model"]
     if etype == "stratum_update":
         for prob in ("p_hat", "wilson_lo", "wilson_hi", "wald_lo", "wald_hi"):
             v = event.get(prob)
@@ -171,6 +196,22 @@ def check_payload(event, lineno, errors):
                     f"line {lineno}: stratum_update critical {critical} > "
                     f"done {done}"
                 )
+        # Bit indices must fit the declared format's stored word. Only the
+        # single-bit weight models stratify over bit positions — MBU bits
+        # are combinadic ranks and activation bits are node axes, neither
+        # bounded by the word width. bit = -1 marks aggregate strata.
+        bit = event.get("bit")
+        if (
+            ctx.get("fault_model") in ("stuck-at", "flip")
+            and isinstance(bit, NUM)
+            and not isinstance(bit, bool)
+            and bit >= FORMAT_WIDTHS[ctx.get("format", "fp32")]
+        ):
+            errors.append(
+                f"line {lineno}: stratum_update.bit {bit} out of range "
+                f"for format {ctx.get('format', 'fp32')!r} "
+                f"({FORMAT_WIDTHS[ctx.get('format', 'fp32')]} bits)"
+            )
     if etype == "shard_begin":
         lo, hi = event.get("range_begin"), event.get("range_end")
         if isinstance(lo, NUM) and isinstance(hi, NUM) and lo >= hi:
@@ -215,6 +256,7 @@ def check(path, required_types, strict):
     errors = []
     counts = {}
     expected_seq = 0
+    ctx = {}  # header state (format, fault_model) for later events
 
     with open(path, encoding="utf-8") as fh:
         for lineno, raw in enumerate(fh, 1):
@@ -259,7 +301,7 @@ def check(path, required_types, strict):
                     f"campaign_header (header-first invariant)"
                 )
 
-            known = check_payload(event, lineno, errors)
+            known = check_payload(event, lineno, errors, ctx)
             if not known and strict:
                 errors.append(f"line {lineno}: unknown event type {etype!r}")
             counts[etype] = counts.get(etype, 0) + 1

@@ -18,6 +18,7 @@
 //   statfi report        --log PATH [--out PATH.html]
 //   statfi report        --manifest PATH [--out PATH.html]
 //   statfi report        --diff A.jsonl B.jsonl [--out PATH.html] [--json]
+//   statfi report        --matrix A.jsonl B.jsonl ... [--out PATH.html]
 //   statfi version       [--json]
 //
 // Approaches: exhaustive | network-wise | layer-wise | data-unaware |
@@ -77,6 +78,7 @@
 #include "core/estimator.hpp"
 #include "core/testbed.hpp"
 #include "data/synthetic.hpp"
+#include "formats/format.hpp"
 #include "kernels/registry.hpp"
 #include "models/registry.hpp"
 #include "report/json.hpp"
@@ -134,6 +136,7 @@ struct Options {
     int serve_status = -1;     ///< HTTP status port (-1 off, 0 ephemeral)
     std::string log_in;        ///< report: event log to render
     std::string diff_a, diff_b;  ///< report --diff: the two event logs
+    std::vector<std::string> matrix;  ///< report --matrix: N event logs
     std::string kernels;    ///< --kernels generic|native|auto ("" = auto)
     std::size_t ensemble = 0;  ///< --ensemble: faults per blocked pass (0 = default)
     std::string state_dir;     ///< serve: daemon state directory
@@ -186,7 +189,9 @@ struct Options {
         "  --images N                  evaluation images per fault (default 8)\n"
         "  --policy P                  any|golden|drop (default any)\n"
         "  --train                     train the model first (synthetic data)\n"
-        "  --dtype T                   fp32|fp16|bf16|int8 (default fp32)\n"
+        "  --format T                  number format the weights are stored\n"
+        "                              in: fp32|fp16|bf16|int8 (default\n"
+        "                              fp32; --dtype is an alias)\n"
         "  --seed S                    master seed (default 2023)\n"
         "  --threads N                 worker threads (default 1; 0 = all cores)\n"
         "  --kernels B                 compute backend: generic|native|auto\n"
@@ -225,6 +230,9 @@ struct Options {
         "  --log PATH                  report: the event log to render\n"
         "  --diff A B                  report: flag strata whose confidence\n"
         "                              intervals no longer overlap\n"
+        "  --matrix LOG...             report: render N campaign logs side\n"
+        "                              by side (per-format heatmaps);\n"
+        "                              same-format CI divergence exits 3\n"
         "  --state DIR                 serve: state directory (queue, cache,\n"
         "                              service event log)\n"
         "  --port P                    serve: HTTP port on 127.0.0.1\n"
@@ -238,11 +246,11 @@ struct Options {
 }
 
 fault::DataType parse_dtype(const std::string& s) {
-    if (s == "fp32") return fault::DataType::Float32;
-    if (s == "fp16") return fault::DataType::Float16;
-    if (s == "bf16") return fault::DataType::BFloat16;
-    if (s == "int8") return fault::DataType::Int8;
-    usage("unknown dtype '" + s + "'");
+    try {
+        return formats::parse_format(s);
+    } catch (const std::invalid_argument& e) {
+        usage(e.what());
+    }
 }
 
 core::ClassificationPolicy parse_policy(const std::string& s) {
@@ -282,7 +290,8 @@ Options parse(int argc, char** argv) {
         else if (flag == "--images") opt.images = std::atoll(value().c_str());
         else if (flag == "--policy") opt.policy = value();
         else if (flag == "--train") opt.train = true;
-        else if (flag == "--dtype") opt.dtype = parse_dtype(value());
+        else if (flag == "--dtype" || flag == "--format")
+            opt.dtype = parse_dtype(value());
         else if (flag == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--threads") opt.threads = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--kernels") opt.kernels = value();
@@ -321,6 +330,12 @@ Options parse(int argc, char** argv) {
         else if (flag == "--diff") {
             opt.diff_a = value();
             opt.diff_b = value();
+        }
+        else if (flag == "--matrix") {
+            // Greedy: consume every following non-flag argument as a log.
+            opt.matrix.push_back(value());
+            while (i + 1 < argc && argv[i + 1][0] != '-')
+                opt.matrix.push_back(argv[++i]);
         }
         else usage("unknown flag '" + flag + "'");
     }
@@ -546,14 +561,24 @@ int cmd_models() {
     return 0;
 }
 
-core::DataAwareConfig data_aware_config(const Options& opt, nn::Network& net) {
+core::DataAwareConfig data_aware_config(const Options& opt,
+                                        shard::CampaignFixture& fx) {
     core::DataAwareConfig config;
     config.dtype = opt.dtype;
     if (opt.dtype == fault::DataType::Int8) {
-        float max_abs = 0.0f;
-        for (auto& ref : net.weight_layers())
-            max_abs = std::max(max_abs, ref.weight->max_abs());
-        config.quant.scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+        if (!fx.config.layer_quant.empty()) {
+            // The fixture deployed a QuantizedStore: its scales are
+            // authoritative (the weights are already quantized).
+            float scale = 0.0f;
+            for (const auto& qp : fx.config.layer_quant)
+                scale = std::max(scale, qp.scale);
+            config.quant.scale = scale > 0 ? scale : 1.0f;
+        } else {
+            float max_abs = 0.0f;
+            for (auto& ref : fx.net.weight_layers())
+                max_abs = std::max(max_abs, ref.weight->max_abs());
+            config.quant.scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+        }
     }
     return config;
 }
@@ -562,7 +587,7 @@ int cmd_profile(const Options& opt) {
     auto recipe = recipe_from(opt);
     auto fx = shard::build_fixture(recipe);
     const auto crit =
-        core::analyze_network(fx.net, data_aware_config(opt, fx.net));
+        core::analyze_network(fx.net, data_aware_config(opt, fx));
     report::Table table({"Bit", "f1 [%]", "Davg", "p(i)"});
     for (int bit = crit.bits() - 1; bit >= 0; --bit) {
         const auto i = static_cast<std::size_t>(bit);
@@ -637,6 +662,7 @@ void emit_campaign_json(const shard::CampaignRecipe& recipe,
         .field("mitigation", recipe.mitigation.describe())
         .field("kernels", kernels::active().name)
         .field("dtype", fault::to_string(recipe.dtype))
+        .field("format", fault::to_string(recipe.dtype))
         .field("policy", core::to_string(recipe.policy))
         .field("seed", recipe.seed)
         .field("images", static_cast<std::int64_t>(recipe.images))
@@ -777,6 +803,7 @@ void emit_census_json(const shard::CampaignRecipe& recipe, const char* command,
         .field("mitigation", recipe.mitigation.describe())
         .field("kernels", kernels::active().name)
         .field("dtype", fault::to_string(recipe.dtype))
+        .field("format", fault::to_string(recipe.dtype))
         .field("policy", core::to_string(recipe.policy))
         .field("seed", recipe.seed)
         .field("images", static_cast<std::int64_t>(recipe.images))
@@ -1235,14 +1262,54 @@ int cmd_report_diff(const Options& opt) {
     return diff.flagged.empty() ? 0 : 3;
 }
 
+/// `report --matrix A B ...`: N campaign logs side by side. Same-format
+/// disagreement (disjoint Wilson CIs) is a divergence and exits 3, like
+/// --diff; cross-format differences are the point of the view and only
+/// highlighted.
+int cmd_report_matrix(const Options& opt) {
+    if (opt.matrix.size() < 2)
+        usage("report --matrix needs at least two event logs");
+    std::vector<report::ObservatoryModel> logs;
+    logs.reserve(opt.matrix.size());
+    for (const auto& path : opt.matrix)
+        logs.push_back(report::load_event_log(path));
+    const auto matrix = report::matrix_compare(logs);
+    const std::string html = report::render_matrix_html(
+        logs, opt.matrix, matrix, "statfi format matrix");
+    const std::string out_path =
+        opt.out.empty() ? opt.matrix.front() + ".matrix.html" : opt.out;
+    write_text_file(out_path, html);
+
+    std::ostream& out = human(opt);
+    out << "matrix report written to " << out_path << " (" << logs.size()
+        << " logs, " << matrix.pairs.size() << " pairs, "
+        << matrix.divergent() << " divergent strata)\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "report-matrix")
+            .field("out", out_path)
+            .field("logs", static_cast<std::uint64_t>(logs.size()))
+            .field("pairs", static_cast<std::uint64_t>(matrix.pairs.size()))
+            .field("divergent", matrix.divergent());
+        json.key("formats").begin_array();
+        for (const auto& m : logs) json.value(m.format);
+        json.end_array().end_object();
+        json.finish();
+    }
+    return matrix.divergent() == 0 ? 0 : 3;
+}
+
 int cmd_report(const Options& opt) {
     const int sources = (opt.log_in.empty() ? 0 : 1) +
                         (opt.manifest.empty() ? 0 : 1) +
-                        (opt.diff_a.empty() ? 0 : 1);
+                        (opt.diff_a.empty() ? 0 : 1) +
+                        (opt.matrix.empty() ? 0 : 1);
     if (sources != 1)
-        usage("report needs exactly one of --log PATH, --manifest PATH, or "
-              "--diff A B");
+        usage("report needs exactly one of --log PATH, --manifest PATH, "
+              "--diff A B, or --matrix LOG...");
     if (!opt.diff_a.empty()) return cmd_report_diff(opt);
+    if (!opt.matrix.empty()) return cmd_report_matrix(opt);
 
     const std::string source =
         opt.log_in.empty() ? opt.manifest : opt.log_in;
@@ -1295,15 +1362,21 @@ int cmd_version(const Options& opt) {
             .field("kernels_available",
                    native ? std::string("generic,") + native->name
                           : std::string("generic"))
-            .field("cpu", cpu.describe())
-            .end_object();
+            .field("cpu", cpu.describe());
+        // Number-format capability list: drivers probe this before
+        // submitting a recipe with "format" to an older daemon/CLI.
+        json.key("formats").begin_array();
+        for (int i = 0; i < formats::kFormatCount; ++i)
+            json.value(formats::all_formats()[i].name);
+        json.end_array().end_object();
         json.finish();
         return 0;
     }
     std::cout << "statfi " << kVersion << "\n"
               << "kernels: " << kernels::active().name << " (available: generic"
               << (native ? std::string(",") + native->name : std::string())
-              << "; cpu: " << cpu.describe() << ")\n";
+              << "; cpu: " << cpu.describe() << ")\n"
+              << "formats: " << formats::format_names() << "\n";
     return 0;
 }
 
