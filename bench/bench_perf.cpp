@@ -46,6 +46,14 @@
 // merge -> publish path), then an identical resubmission measures the
 // content-addressed cache-hit latency. The served result must match a
 // direct engine run of the same recipe exactly (BENCH_service.json).
+//
+// `bench_perf --fleet-json PATH` measures the fleet observability plane of
+// DESIGN.md decision 18: the same service batch with SchedulerOptions::fleet
+// off vs on (per-shard trace sessions, the 200 ms metrics sampler, live
+// /fleet stats, merged per-job trace). Alternating reps, best-of wall per
+// mode, the on-mode's artifacts validated (history samples, one trace_id
+// across daemon + every shard), served outcomes identical, and the same 3%
+// overhead ceiling (BENCH_fleet.json).
 
 #include <benchmark/benchmark.h>
 
@@ -54,6 +62,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -837,11 +847,16 @@ int run_telemetry_report(const std::string& json_path,
 
 // --- full observatory overhead (--observatory-json) -----------------------
 
+std::string service_http(std::uint16_t port, const std::string& request);
+
 /// The engine-report census bare vs under the full observatory: metrics,
 /// tracing, the JSONL event log streamed to disk, and a live StatusServer
-/// on an ephemeral loopback port. Alternating reps, best-of wall per mode;
-/// the instrumented run must stay within kMaxTelemetryOverheadPct of the
-/// bare run and its outcome table must match bit for bit.
+/// on an ephemeral loopback port that a client thread actually polls
+/// (/status and /metrics every ~50 ms) — an idle server would measure
+/// nothing and once reported http_requests_served: 0. Alternating reps,
+/// best-of wall per mode; the instrumented run must stay within
+/// kMaxTelemetryOverheadPct of the bare run and its outcome table must
+/// match bit for bit.
 int run_observatory_report(const std::string& json_path,
                            std::uint64_t max_faults) {
     const auto make_net = [] {
@@ -884,12 +899,27 @@ int run_observatory_report(const std::string& json_path,
             auto net = make_net();
             std::unique_ptr<telemetry::Session> session;
             std::unique_ptr<telemetry::StatusServer> server;
+            std::atomic<bool> poll_stop{false};
+            std::thread poller;
             if (mode == 1) {
                 session = std::make_unique<telemetry::Session>();
                 session->open_event_log(log_path.string());
                 core::emit_campaign_header(*session->events(), header);
                 server =
                     std::make_unique<telemetry::StatusServer>(session.get(), 0);
+                // A live observer: the overhead being gated includes
+                // answering real requests while the census runs.
+                const std::uint16_t port = server->port();
+                poller = std::thread([port, &poll_stop] {
+                    while (!poll_stop.load(std::memory_order_relaxed)) {
+                        service_http(port, "GET /status HTTP/1.1\r\n"
+                                           "Connection: close\r\n\r\n");
+                        service_http(port, "GET /metrics HTTP/1.1\r\n"
+                                           "Connection: close\r\n\r\n");
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                    }
+                });
             }
             core::CampaignEngine engine(net, eval, config, 1, session.get());
             const auto start = std::chrono::steady_clock::now();
@@ -897,6 +927,10 @@ int run_observatory_report(const std::string& json_path,
             const double wall = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() - start)
                                     .count();
+            if (poller.joinable()) {
+                poll_stop.store(true, std::memory_order_relaxed);
+                poller.join();
+            }
             best_wall[mode] = std::min(best_wall[mode], wall);
             if (rep == 0 && mode == 0) {
                 reference = run.outcomes;
@@ -918,8 +952,11 @@ int run_observatory_report(const std::string& json_path,
     const double overhead_pct =
         (best_wall[1] - best_wall[0]) / best_wall[0] * 100.0;
     const bool logged = events_logged >= 2;  // header + campaign_end minimum
-    const bool pass =
-        identical && logged && overhead_pct <= kMaxTelemetryOverheadPct;
+    // The poller issues /status + /metrics pairs for the whole run; zero
+    // served requests would mean the "live observer" leg measured nothing.
+    const bool served = requests_served >= 2;
+    const bool pass = identical && logged && served &&
+                      overhead_pct <= kMaxTelemetryOverheadPct;
 
     std::ofstream out(json_path);
     if (!out) {
@@ -951,12 +988,13 @@ int run_observatory_report(const std::string& json_path,
               << best_wall[0] << " s, instrumented " << best_wall[1]
               << " s, gate " << kMaxTelemetryOverheadPct
               << "%), bit_identical " << (identical ? "yes" : "NO") << ", "
-              << events_logged << " events logged\nreport written to "
-              << json_path << "\n";
+              << events_logged << " events logged, " << requests_served
+              << " HTTP requests served\nreport written to " << json_path
+              << "\n";
     if (!pass)
         std::cerr << "bench_perf: observatory gate FAILED (overhead "
                   << overhead_pct << "% > " << kMaxTelemetryOverheadPct
-                  << "%, or divergence above)\n";
+                  << "%, zero requests served, or divergence above)\n";
     return pass ? 0 : 1;
 }
 
@@ -1133,6 +1171,163 @@ int run_service_report(const std::string& json_path) {
     return pass ? 0 : 1;
 }
 
+// --- fleet observability plane overhead (--fleet-json) --------------------
+
+/// One daemon life with the fleet plane on or off: submit @p jobs distinct
+/// campaigns, await them, and collect the served outcomes plus (fleet mode)
+/// the plane's artifacts — metrics history samples, the merged trace's
+/// process count and trace id, and the /fleet listing.
+struct FleetModeResult {
+    double wall = 0.0;
+    bool all_done = true;
+    bool fleet_listed = true;
+    std::vector<std::array<std::uint64_t, 2>> outcomes;  ///< injected, critical
+    std::uint64_t history_samples = 0;
+    std::size_t trace_processes = 0;
+    std::string trace_id;
+};
+
+FleetModeResult run_fleet_mode(bool fleet, std::size_t jobs) {
+    const auto state_dir =
+        std::filesystem::temp_directory_path() /
+        (fleet ? "statfi_fleet_bench_on" : "statfi_fleet_bench_off");
+    std::filesystem::remove_all(state_dir);
+    service::DaemonOptions options;
+    options.port = 0;  // ephemeral
+    options.workers = 2;
+    options.default_shards = 3;
+    options.state_dir = state_dir.string();
+    options.fleet = fleet;
+    service::ServiceDaemon daemon(options);
+    daemon.start();
+    const std::uint16_t port = daemon.port();
+
+    FleetModeResult r;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    for (std::size_t j = 0; j < jobs; ++j)
+        ids.push_back(
+            service_post_json(
+                port, "/campaigns",
+                std::string(
+                    R"({"model":"micronet","approach":"exhaustive",)"
+                    R"("images":4,"policy":"golden","seed":)") +
+                    std::to_string(500 + j) + "}")
+                .get_uint("id"));
+    for (const std::uint64_t id : ids) {
+        const auto status = service_await(port, id);
+        r.all_done = r.all_done && status.get_str("state") == "done";
+    }
+    r.wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+
+    for (const std::uint64_t id : ids) {
+        const auto result = service_get_json(
+            port, "/campaigns/" + std::to_string(id) + "/result.json");
+        r.outcomes.push_back({result.get_uint("total_injected"),
+                              result.get_uint("total_critical")});
+    }
+    const auto fleet_view = service_get_json(port, "/fleet");
+    const report::JsonValue* listed = fleet_view.find("jobs");
+    r.fleet_listed = listed && listed->array.size() == jobs;
+    if (fleet) {
+        const auto history = service_get_json(
+            port, "/campaigns/" + std::to_string(ids[0]) + "/history");
+        if (const report::JsonValue* samples = history.find("samples"))
+            r.history_samples = samples->array.size();
+        const auto trace = service_get_json(
+            port, "/campaigns/" + std::to_string(ids[0]) + "/trace");
+        for (const report::JsonValue& e : trace.array) {
+            if (e.get_str("name") == "process_name") ++r.trace_processes;
+            if (e.get_str("name") == "statfi_trace") {
+                const report::JsonValue* args = e.find("args");
+                const std::string id_text =
+                    args ? args->get_str("trace_id") : "";
+                if (r.trace_id.empty())
+                    r.trace_id = id_text;
+                else if (r.trace_id != id_text)
+                    r.trace_id = "MISMATCH";
+            }
+        }
+    }
+    daemon.stop();
+    std::filesystem::remove_all(state_dir);
+    return r;
+}
+
+/// The service batch with the fleet plane off vs on: same alternating-rep,
+/// best-of-wall protocol and 3% ceiling as the telemetry gates, plus
+/// artifact validation (history sampled, one trace_id across daemon + every
+/// shard, /fleet listing) and served-outcome identity across modes.
+int run_fleet_report(const std::string& json_path) {
+    constexpr std::size_t kJobs = 2;
+    // Daemon-lifetime walls jitter by a few percent run-to-run (thread
+    // scheduling, page-cache warmth), which dwarfs the plane's true cost;
+    // best-of-5 per mode converges where best-of-3 still bounces.
+    constexpr int kReps = 5;
+    double best_wall[2] = {1e300, 1e300};  // [off, on]
+    FleetModeResult last[2];
+    bool all_done = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+        for (int mode = 0; mode < 2; ++mode) {
+            FleetModeResult r = run_fleet_mode(mode == 1, kJobs);
+            all_done = all_done && r.all_done && r.fleet_listed;
+            best_wall[mode] = std::min(best_wall[mode], r.wall);
+            last[mode] = std::move(r);
+        }
+    }
+    const bool identical = last[0].outcomes == last[1].outcomes &&
+                           !last[0].outcomes.empty();
+    const double overhead_pct =
+        (best_wall[1] - best_wall[0]) / best_wall[0] * 100.0;
+    // daemon + 3 shards = 4 processes minimum under one non-empty trace id
+    const bool artifacts = last[1].history_samples >= 1 &&
+                           last[1].trace_processes >= 4 &&
+                           !last[1].trace_id.empty() &&
+                           last[1].trace_id != "MISMATCH";
+    const bool pass = all_done && identical && artifacts &&
+                      overhead_pct <= kMaxTelemetryOverheadPct;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "bench_perf: cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"fixture\": \"micronet exhaustive census, 4 synthetic test "
+           "images, GoldenMismatch, distinct seeds, 3 shards/job\",\n"
+        << "  \"instrumentation\": \"fleet plane: per-shard trace sessions "
+           "+ 200ms metrics sampler + live stats + merged trace\",\n"
+        << "  \"jobs\": " << kJobs << ",\n"
+        << "  \"reps_per_mode\": " << kReps << ",\n"
+        << "  \"off_wall_seconds\": " << best_wall[0] << ",\n"
+        << "  \"on_wall_seconds\": " << best_wall[1] << ",\n"
+        << "  \"jobs_per_second\": "
+        << static_cast<double>(kJobs) / best_wall[1] << ",\n"
+        << "  \"overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"max_overhead_pct\": " << kMaxTelemetryOverheadPct << ",\n"
+        << "  \"history_samples\": " << last[1].history_samples << ",\n"
+        << "  \"trace_processes\": " << last[1].trace_processes << ",\n"
+        << "  \"trace_id\": \"" << last[1].trace_id << "\",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "fleet plane overhead: " << overhead_pct << "% (off "
+              << best_wall[0] << " s, on " << best_wall[1] << " s, gate "
+              << kMaxTelemetryOverheadPct << "%), outcomes identical "
+              << (identical ? "yes" : "NO") << ", "
+              << last[1].history_samples << " history sample(s), "
+              << last[1].trace_processes << " trace process(es) under trace "
+              << last[1].trace_id << "\nreport written to " << json_path
+              << "\n";
+    if (!pass)
+        std::cerr << "bench_perf: fleet gate FAILED (overhead "
+                  << overhead_pct << "% > " << kMaxTelemetryOverheadPct
+                  << "%, missing artifacts, or divergence above)\n";
+    return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1143,6 +1338,7 @@ int main(int argc, char** argv) {
     std::string telemetry_json_path;
     std::string observatory_json_path;
     std::string service_json_path;
+    std::string fleet_json_path;
     std::string statfi_binary;
     std::uint64_t max_faults = 0;  // 0 = full census
     std::size_t threads = 1;
@@ -1162,6 +1358,8 @@ int main(int argc, char** argv) {
             observatory_json_path = argv[++i];
         } else if (arg == "--service-json" && i + 1 < argc) {
             service_json_path = argv[++i];
+        } else if (arg == "--fleet-json" && i + 1 < argc) {
+            fleet_json_path = argv[++i];
         } else if (arg == "--statfi" && i + 1 < argc) {
             statfi_binary = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
@@ -1170,6 +1368,7 @@ int main(int argc, char** argv) {
             threads = std::stoul(argv[++i]);
         }
     }
+    if (!fleet_json_path.empty()) return run_fleet_report(fleet_json_path);
     if (!service_json_path.empty())
         return run_service_report(service_json_path);
     if (!observatory_json_path.empty())

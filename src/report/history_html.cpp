@@ -1,0 +1,135 @@
+#include "report/history_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace statfi::report {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string fmt_g(double v, int sig = 4) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*g", sig, v);
+    return buf;
+}
+
+std::string fmt_seconds(double s) {
+    if (s >= 3600.0) return fmt_g(s / 3600.0, 3) + " h";
+    if (s >= 60.0) return fmt_g(s / 60.0, 3) + " min";
+    if (s >= 1.0) return fmt_g(s, 3) + " s";
+    return fmt_g(s * 1e3, 3) + " ms";
+}
+
+/// One sparkline row: series name, polyline over the shared time axis,
+/// first/last values as text (the numbers, not just the mark).
+void render_row(std::ostringstream& out, const std::vector<double>& seconds,
+                const HistorySeries& s) {
+    const int w = 560, h = 54, pad_l = 150, pad_r = 90, pad_t = 10,
+              pad_b = 10;
+    double lo = s.values.front(), hi = s.values.front();
+    for (const double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    const double t0 = seconds.front();
+    const double t_span =
+        seconds.back() > t0 ? seconds.back() - t0 : 1.0;
+    const auto X = [&](double t) {
+        return pad_l + (t - t0) / t_span * (w - pad_l - pad_r);
+    };
+    const auto Y = [&](double v) {
+        return pad_t + (1.0 - (v - lo) / span) * (h - pad_t - pad_b);
+    };
+    out << "<svg width=\"" << w << "\" height=\"" << h
+        << "\" role=\"img\" aria-label=\"" << html_escape(s.name)
+        << " over time\">\n<text x=\"" << pad_l - 8 << "\" y=\"" << h / 2 + 4
+        << "\" text-anchor=\"end\">" << html_escape(s.name) << "</text>\n"
+        << "<polyline fill=\"none\" stroke=\"var(--accent)\" "
+           "stroke-width=\"1.5\" points=\"";
+    for (std::size_t i = 0; i < seconds.size(); ++i)
+        out << fmt_g(X(seconds[i])) << "," << fmt_g(Y(s.values[i])) << " ";
+    out << "\"/>\n<text class=\"v\" x=\"" << w - pad_r + 6 << "\" y=\""
+        << fmt_g(Y(s.values.back()) + 4) << "\">" << fmt_g(s.values.back())
+        << "</text>\n</svg>\n";
+}
+
+}  // namespace
+
+std::string render_history_html(const std::vector<double>& seconds,
+                                const std::vector<HistorySeries>& series,
+                                const std::string& title) {
+    for (const HistorySeries& s : series)
+        if (s.values.size() != seconds.size())
+            throw std::invalid_argument(
+                "history series '" + s.name + "' has " +
+                std::to_string(s.values.size()) + " values for " +
+                std::to_string(seconds.size()) + " samples");
+
+    std::ostringstream out;
+    out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        << "<meta charset=\"utf-8\">\n"
+        << "<meta name=\"viewport\" content=\"width=device-width, "
+           "initial-scale=1\">\n"
+        << "<meta name=\"generator\" content=\"statfi report\">\n"
+        << "<meta name=\"statfi-history-samples\" content=\""
+        << seconds.size() << "\">\n"
+        << "<title>" << html_escape(title) << "</title>\n"
+        << "<style>\n"
+           ":root{--bg:#fcfcfb;--card:#ffffff;--ink:#1a1a19;"
+           "--ink2:#52514e;--ink3:#898781;--grid:#e3e1dc;--accent:#1f56a0;}"
+           "\n"
+           "@media (prefers-color-scheme:dark){:root{--bg:#1a1a19;"
+           "--card:#232322;--ink:#f4f3f1;--ink2:#b9b7b1;--ink3:#898781;"
+           "--grid:#3a3935;--accent:#7faae4;}}\n"
+           "body{background:var(--bg);color:var(--ink);margin:0;"
+           "font:14px/1.5 system-ui,sans-serif;}\n"
+           "main{max-width:760px;margin:0 auto;padding:24px 20px 60px;}\n"
+           "h1{font-size:22px;margin:0 0 4px;}\n"
+           ".sub{color:var(--ink2);margin:0 0 18px;}\n"
+           ".card{background:var(--card);border:1px solid var(--grid);"
+           "border-radius:8px;padding:14px;overflow-x:auto;}\n"
+           ".note{color:var(--ink3);font-size:12px;margin:6px 0 0;}\n"
+           "svg text{fill:var(--ink2);font:11px system-ui,sans-serif;}\n"
+           "svg text.v{fill:var(--ink);font-variant-numeric:tabular-nums;}\n"
+           "footer{color:var(--ink3);font-size:12px;margin-top:40px;}\n"
+           "</style>\n</head>\n<body>\n<main>\n";
+
+    out << "<h1>" << html_escape(title) << "</h1>\n<p class=\"sub\">"
+        << seconds.size() << " sample(s)";
+    if (!seconds.empty())
+        out << " over " << html_escape(fmt_seconds(
+                   seconds.back() - seconds.front()));
+    out << "</p>\n<div class=\"card\">\n";
+    if (seconds.empty()) {
+        out << "<p class=\"note\">no samples recorded yet.</p>\n";
+    } else {
+        for (const HistorySeries& s : series) render_row(out, seconds, s);
+        out << "<p class=\"note\">One row per counter, sampled every ~200 ms "
+               "while the campaign ran; the number on the right is the "
+               "final value.</p>\n";
+    }
+    out << "</div>\n<footer>statfi report · metrics.tsf · " << series.size()
+        << " series</footer>\n</main>\n</body>\n</html>\n";
+    return out.str();
+}
+
+}  // namespace statfi::report

@@ -1,0 +1,32 @@
+#pragma once
+// Sparkline view of a campaign's durable metrics history (fleet plane,
+// DESIGN.md decision 18): one compact SVG row per series, rendered from the
+// plain (seconds, values) samples a metrics.tsf ring holds.
+//
+// Lives in the report library but takes plain vectors — report cannot link
+// telemetry (telemetry links report), so the CLI converts a loaded
+// HistoryRing into this view. Output follows the observatory's dataviz
+// rules: inline CSS + inline SVG only, no scripts, no external references;
+// marks are thin polylines with the first/last numbers repeated as text so
+// identity never relies on the mark alone.
+
+#include <string>
+#include <vector>
+
+namespace statfi::report {
+
+/// One metrics-history series: a name plus one value per sample row.
+struct HistorySeries {
+    std::string name;
+    std::vector<double> values;  ///< same length as the shared seconds axis
+};
+
+/// Render a self-contained HTML document with one sparkline row per series
+/// over the shared @p seconds axis. Carries the machine-readable marker
+/// `<meta name="statfi-history-samples" content="N">` for CI smoke checks.
+/// Series whose length disagrees with @p seconds throw std::invalid_argument.
+std::string render_history_html(const std::vector<double>& seconds,
+                                const std::vector<HistorySeries>& series,
+                                const std::string& title);
+
+}  // namespace statfi::report

@@ -54,5 +54,11 @@ std::string ResultCache::report_html_path(const std::string& dir) {
 std::string ResultCache::outcomes_path(const std::string& dir) {
     return dir + "/outcomes.sfio";
 }
+std::string ResultCache::history_path(const std::string& dir) {
+    return dir + "/metrics.tsf";
+}
+std::string ResultCache::trace_path(const std::string& dir) {
+    return dir + "/trace.json";
+}
 
 }  // namespace statfi::service

@@ -52,6 +52,10 @@ public:
     static std::string events_path(const std::string& dir);
     static std::string report_html_path(const std::string& dir);
     static std::string outcomes_path(const std::string& dir);
+    /// Fleet plane artifacts (DESIGN.md decision 18): the periodic metrics
+    /// history ring and the merged per-job Chrome trace.
+    static std::string history_path(const std::string& dir);
+    static std::string trace_path(const std::string& dir);
 
 private:
     std::string root_;

@@ -1,13 +1,18 @@
 #include "service/daemon.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "io/atomic_file.hpp"
 #include "report/json.hpp"
 #include "service/recipe_json.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/trace.hpp"
 
 namespace statfi::service {
 
@@ -44,6 +49,29 @@ HttpResponse json_response(int status, const std::string& body) {
     return HttpResponse{status, "application/json", body + "\n"};
 }
 
+/// Wilson score interval for x criticals out of n faults at ~95% — the
+/// same interval family the estimator reports, reduced to the two numbers
+/// a fleet dashboard plots around p̂. Zero-sample jobs get [0, 1].
+struct WilsonInterval {
+    double p_hat = 0.0, low = 0.0, high = 1.0;
+};
+
+WilsonInterval wilson95(double x, double n) {
+    WilsonInterval w;
+    if (n <= 0.0) return w;
+    constexpr double z = 1.959963984540054;  // Phi^-1(0.975)
+    const double p = x / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    w.p_hat = p;
+    w.low = std::max(0.0, center - half);
+    w.high = std::min(1.0, center + half);
+    return w;
+}
+
 void job_json_fields(report::JsonWriter& json, const Job& job) {
     json.field("id", job.id)
         .field("state", to_string(job.state))
@@ -62,6 +90,8 @@ void job_json_fields(report::JsonWriter& json, const Job& job) {
         .field("classified", job.classified)
         .field("critical", job.critical)
         .field("injected", job.injected);
+    if (job.trace_id != 0)
+        json.field("trace_id", telemetry::format_trace_id(job.trace_id));
     if (!job.error.empty()) json.field("error", job.error);
 }
 
@@ -107,7 +137,8 @@ ServiceDaemon::ServiceDaemon(const DaemonOptions& options)
       queue_(options_.state_dir + "/queue.sfiq"),
       log_(options_.log_path),
       scheduler_(queue_, cache_, &log_,
-                 SchedulerOptions{options_.workers, options_.engine_threads}),
+                 SchedulerOptions{options_.workers, options_.engine_threads,
+                                  options_.fleet}),
       http_(http_options(options_)) {
     http_.route("POST", "/campaigns", [this](const HttpRequest& req) {
         return post_campaign(req);
@@ -117,6 +148,8 @@ ServiceDaemon::ServiceDaemon(const DaemonOptions& options)
     http_.route_prefix("GET", "/campaigns/", [this](const HttpRequest& req) {
         return campaign_route(req);
     });
+    http_.route("GET", "/fleet",
+                [this](const HttpRequest&) { return fleet_view(); });
     http_.route("GET", "/healthz",
                 [this](const HttpRequest&) { return healthz(); });
     http_.route("GET", "/", [](const HttpRequest&) {
@@ -127,9 +160,13 @@ ServiceDaemon::ServiceDaemon(const DaemonOptions& options)
             "  GET  /campaigns                  list jobs\n"
             "  GET  /campaigns/<id>/status      job status JSON\n"
             "  GET  /campaigns/<id>/metrics     job Prometheus gauges\n"
-            "  GET  /campaigns/<id>/events      campaign event log (JSONL)\n"
+            "  GET  /campaigns/<id>/events      campaign event log (JSONL;\n"
+            "                                   ?follow=1 tails it live)\n"
+            "  GET  /campaigns/<id>/history     durable metrics history\n"
+            "  GET  /campaigns/<id>/trace       merged fleet Chrome trace\n"
             "  GET  /campaigns/<id>/report.html observatory report\n"
             "  GET  /campaigns/<id>/result.json merged result document\n"
+            "  GET  /fleet                      all jobs + live progress\n"
             "  GET  /healthz                    liveness + queue depth\n"};
     });
 }
@@ -237,10 +274,27 @@ HttpResponse ServiceDaemon::campaign_route(const HttpRequest& req) const {
             return HttpResponse{404, "text/plain", missing};
         return HttpResponse{200, content_type, std::move(text)};
     };
-    if (sub == "events")
-        return serve_file(ResultCache::events_path(dir),
-                          "application/x-ndjson",
+    if (sub == "events") {
+        const std::string path = ResultCache::events_path(dir);
+        if (req.query_flag("follow")) return follow_events(id, path);
+        return serve_file(path, "application/x-ndjson",
                           "no events recorded for this campaign yet\n");
+    }
+    if (sub == "history") {
+        std::ostringstream out;
+        try {
+            telemetry::HistoryRing::load(ResultCache::history_path(dir))
+                .write_json(out);
+        } catch (const std::exception&) {
+            return HttpResponse{404, "text/plain",
+                                "no metrics history for this campaign yet\n"};
+        }
+        return HttpResponse{200, "application/json", out.str() + "\n"};
+    }
+    if (sub == "trace")
+        return serve_file(ResultCache::trace_path(dir), "application/json",
+                          "trace not ready: the campaign has not "
+                          "completed\n");
     if (sub == "report.html")
         return serve_file(ResultCache::report_html_path(dir), "text/html",
                           "report not ready: the campaign has not "
@@ -252,8 +306,100 @@ HttpResponse ServiceDaemon::campaign_route(const HttpRequest& req) const {
                           "completed\n");
     return HttpResponse{404, "text/plain",
                         "unknown campaign endpoint '" + sub +
-                            "' (status|metrics|events|report.html|"
-                            "result.json)\n"};
+                            "' (status|metrics|events|history|trace|"
+                            "report.html|result.json)\n"};
+}
+
+HttpResponse ServiceDaemon::follow_events(std::uint64_t id,
+                                          const std::string& path) const {
+    // Chunked live tail: stream whatever the log already holds, then new
+    // bytes as the scheduler appends them, and finish once the job turns
+    // terminal (one final drain catches the tail written while we checked).
+    // The sink goes false on client disconnect or server stop, and a safety
+    // deadline bounds a follow of a job that never finishes.
+    HttpResponse response(200, "application/x-ndjson", "");
+    response.stream = [this, id, path](const telemetry::ChunkSink& sink) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::minutes(10);
+        std::size_t offset = 0;
+        const auto drain = [&]() -> bool {  // false = client gone
+            std::string text;
+            if (!io::read_file(path, text) || text.size() <= offset)
+                return true;
+            const std::string_view fresh =
+                std::string_view(text).substr(offset);
+            offset = text.size();
+            return sink(fresh);
+        };
+        for (;;) {
+            if (!drain()) return;
+            const std::optional<Job> job = queue_.get(id);
+            if (!job || job->terminal()) {
+                drain();
+                return;
+            }
+            if (http_.stopping() ||
+                std::chrono::steady_clock::now() > deadline)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    };
+    return response;
+}
+
+HttpResponse ServiceDaemon::fleet_view() const {
+    // One document a dashboard polls: every known job with its state and
+    // convergence progress (live sampler stats while running, final
+    // counters once terminal), plus worker utilization and cache totals.
+    std::uint64_t cache_hits = 0;
+    std::ostringstream out;
+    report::JsonWriter json(out, 0);
+    json.begin_object().key("jobs").begin_array();
+    for (const Job& job : queue_.snapshot()) {
+        if (job.cache_hit) ++cache_hits;
+        const std::optional<JobLiveStats> live =
+            scheduler_.live_stats(job.id);
+        const double faults =
+            live ? static_cast<double>(live->faults)
+                 : static_cast<double>(job.resumed + job.classified);
+        const double critical = live ? static_cast<double>(live->critical)
+                                     : static_cast<double>(job.critical);
+        const WilsonInterval ci = wilson95(critical, faults);
+        json.begin_object()
+            .field("id", job.id)
+            .field("state", to_string(job.state))
+            .field("model", job.recipe.model)
+            .field("fingerprint", job.fingerprint)
+            .field("cache_hit", job.cache_hit)
+            .field("shards_done", job.shards_done)
+            .field("shards_total", job.shards_total)
+            .field("injected", job.injected)
+            .field("faults", static_cast<std::uint64_t>(faults))
+            .field("p_hat", ci.p_hat)
+            .field("ci_low", ci.low)
+            .field("ci_high", ci.high)
+            .field("faults_per_second", live ? live->faults_per_second : 0.0);
+        if (job.trace_id != 0)
+            json.field("trace_id", telemetry::format_trace_id(job.trace_id));
+        if (!job.error.empty()) json.field("error", job.error);
+        json.end_object();
+    }
+    json.end_array();
+    json.key("workers")
+        .begin_object()
+        .field("total", static_cast<std::uint64_t>(options_.workers))
+        .field("busy", static_cast<std::uint64_t>(scheduler_.active()))
+        .end_object();
+    json.key("totals")
+        .begin_object()
+        .field("jobs", static_cast<std::uint64_t>(queue_.size()))
+        .field("queued", static_cast<std::uint64_t>(queue_.queued()))
+        .field("completed", scheduler_.jobs_completed())
+        .field("failed", scheduler_.jobs_failed())
+        .field("cache_hits", cache_hits)
+        .end_object();
+    json.field("fleet", options_.fleet).end_object();
+    return json_response(200, out.str());
 }
 
 HttpResponse ServiceDaemon::healthz() const {

@@ -16,9 +16,18 @@
 //   GET  /campaigns                     all jobs, summarized
 //   GET  /campaigns/<id>[/status]       one job's full JSON status
 //   GET  /campaigns/<id>/metrics        per-job Prometheus gauges
-//   GET  /campaigns/<id>/events         the campaign's JSONL event log
+//   GET  /campaigns/<id>/events         the campaign's JSONL event log;
+//                                       ?follow=1 switches to a chunked
+//                                       live tail that ends when the job
+//                                       turns terminal
+//   GET  /campaigns/<id>/history        durable metrics history (JSON view
+//                                       of the cache entry's metrics.tsf)
+//   GET  /campaigns/<id>/trace          merged Chrome trace (daemon spans +
+//                                       every shard, one trace_id)
 //   GET  /campaigns/<id>/report.html    self-contained observatory report
 //   GET  /campaigns/<id>/result.json    deterministic merged result
+//   GET  /fleet                         every known job with live progress,
+//                                       worker utilization, cache totals
 //   GET  /healthz                       liveness + queue depth
 //   GET  /                              text index
 //
@@ -44,6 +53,9 @@ struct DaemonOptions {
     std::size_t engine_threads = 1;  ///< engine workers per shard run
     std::string log_path;            ///< "" = <state>/service.jsonl
     std::size_t max_request_bytes = 1 << 20;
+    /// Fleet observability plane (traces, metrics history, live stats).
+    /// Off disables only observation — outcomes are bit-identical.
+    bool fleet = true;
 };
 
 class ServiceDaemon {
@@ -74,6 +86,9 @@ private:
     telemetry::HttpResponse list_campaigns() const;
     telemetry::HttpResponse campaign_route(
         const telemetry::HttpRequest& req) const;
+    telemetry::HttpResponse fleet_view() const;
+    telemetry::HttpResponse follow_events(std::uint64_t id,
+                                          const std::string& path) const;
     telemetry::HttpResponse healthz() const;
 
     DaemonOptions options_;

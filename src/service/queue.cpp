@@ -7,13 +7,18 @@
 
 #include "io/artifact.hpp"
 #include "service/recipe_json.hpp"
+#include "telemetry/trace.hpp"
 
 namespace statfi::service {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'F', 'I', 'Q'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends the per-job fleet trace_id. The queue is a local scratch
+// artifact rewritten on every transition, so no cross-version loader: a v1
+// file refuses loudly (read_framed's unsupported-version error) instead of
+// silently dropping the field.
+constexpr std::uint32_t kVersion = 2;
 
 void put_u8(std::string& out, std::uint8_t v) {
     out.push_back(static_cast<char>(v));
@@ -115,6 +120,7 @@ JobQueue::JobQueue(std::string path) : path_(std::move(path)) {
         job.classified = in.u64();
         job.critical = in.u64();
         job.injected = in.u64();
+        job.trace_id = in.u64();
         job.error = in.str();
         try {
             job.recipe = parse_submission(job.recipe_json).recipe;
@@ -144,6 +150,13 @@ std::uint64_t JobQueue::submit(Job job) {
     std::lock_guard<std::mutex> lock(mutex_);
     job.id = next_id_++;
     job.state = JobState::Queued;
+    // Fleet trace identity, fixed for the job's whole life (restarts
+    // included, since it persists with the queue). Derivation keeps
+    // resubmissions of one recipe distinguishable (the id differs) while
+    // needing no shared id allocator.
+    if (job.trace_id == 0)
+        job.trace_id = telemetry::derive_trace_id(
+            "job:" + std::to_string(job.id) + ":" + job.fingerprint);
     const std::uint64_t id = job.id;
     jobs_.push_back(std::move(job));
     save_locked();
@@ -224,6 +237,7 @@ void JobQueue::save_locked() const {
         put_u64(payload, job.classified);
         put_u64(payload, job.critical);
         put_u64(payload, job.injected);
+        put_u64(payload, job.trace_id);
         put_str(payload, job.error);
     }
     io::write_framed_atomic(path_, kMagic, kVersion, payload);

@@ -50,6 +50,10 @@ struct Job {
     shard::CampaignRecipe recipe;
     std::uint32_t shards = 2;  ///< requested partition width
     JobState state = JobState::Queued;
+    /// Fleet trace id (DESIGN.md decision 18): assigned at submission,
+    /// persisted so a restarted daemon resumes the job under the SAME
+    /// trace. 0 only for jobs queued before the fleet plane existed.
+    std::uint64_t trace_id = 0;
 
     // Progress/outcome counters (reset to zero when a restart re-queues).
     bool cache_hit = false;           ///< completed with zero inference

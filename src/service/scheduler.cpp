@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <filesystem>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
 #include <utility>
 
 #include "core/convergence.hpp"
@@ -19,6 +24,10 @@
 #include "shard/fixture.hpp"
 #include "shard/merge.hpp"
 #include "shard/runner.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/trace.hpp"
 
 namespace statfi::service {
 
@@ -109,6 +118,165 @@ void write_result_json(const std::string& path,
     });
 }
 
+/// Fleet history sampler: one background thread per running job that
+/// periodically folds the active shard Session's counters (plus the totals
+/// of already-finished shards) into a HistoryRing and persists it to the
+/// cache entry's metrics.tsf — the durable, crash-survivable progress curve
+/// behind /campaigns/<id>/history and `statfi report` sparklines. The same
+/// sample feeds the scheduler's live-stats registry for /fleet.
+///
+/// Thread-safety: the worker PRE-FREEZES each shard session's registry with
+/// the exact worker count the engine will resolve before publishing the
+/// session here, so sample() only ever snapshots a frozen registry — a
+/// documented-safe concurrent read against the injection hot path.
+class JobSampler {
+public:
+    using Publish = std::function<void(const JobLiveStats&)>;
+
+    JobSampler(std::string history_path, Publish publish)
+        : path_(std::move(history_path)),
+          ring_(resume_ring(path_)),
+          publish_(std::move(publish)),
+          start_(std::chrono::steady_clock::now()) {
+        const auto samples = ring_.samples();
+        if (!samples.empty()) seconds_offset_ = samples.back().seconds;
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    JobSampler(const JobSampler&) = delete;
+    JobSampler& operator=(const JobSampler&) = delete;
+    ~JobSampler() { stop(); }
+
+    /// Publish the session the next samples should read (nullptr detaches).
+    void set_session(telemetry::Session* session) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        session_ = session;
+    }
+
+    /// Fold a finishing shard's totals into the base and detach it — called
+    /// by the worker BEFORE the shard Session is destroyed.
+    void absorb(const telemetry::Session& session) {
+        const Totals totals = totals_of(session.metrics().snapshot());
+        std::lock_guard<std::mutex> lock(mutex_);
+        session_ = nullptr;
+        base_.add(totals);
+    }
+
+    /// Take one final sample, then join the thread. Idempotent.
+    void stop() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopped_) return;
+            stopped_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+private:
+    struct Totals {
+        double faults = 0, critical = 0, masked = 0, inferences = 0;
+        double evaluate_seconds = 0;
+        void add(const Totals& o) {
+            faults += o.faults;
+            critical += o.critical;
+            masked += o.masked;
+            inferences += o.inferences;
+            evaluate_seconds += o.evaluate_seconds;
+        }
+    };
+
+    static std::vector<std::string> series_names() {
+        return {"faults", "critical", "masked", "inferences",
+                "evaluate_seconds"};
+    }
+
+    /// A re-claimed job continues the history a previous life persisted —
+    /// seconds stay monotonic via the offset captured in the constructor.
+    /// Anything unreadable (absent, corrupt, older series set) starts fresh.
+    static telemetry::HistoryRing resume_ring(const std::string& path) {
+        try {
+            telemetry::HistoryRing ring = telemetry::HistoryRing::load(path);
+            if (ring.series() == series_names()) return ring;
+        } catch (const std::exception&) {
+        }
+        return telemetry::HistoryRing(series_names());
+    }
+
+    static double counter_of(const telemetry::MetricsSnapshot& snap,
+                             const char* name) {
+        const telemetry::MetricValue* m = snap.find(name);
+        return m ? static_cast<double>(m->counter) : 0.0;
+    }
+
+    static Totals totals_of(const telemetry::MetricsSnapshot& snap) {
+        Totals t;
+        t.faults = counter_of(snap, "statfi_faults_total");
+        t.critical = counter_of(snap, "statfi_faults_critical_total");
+        t.masked = counter_of(snap, "statfi_faults_masked_total");
+        t.inferences = counter_of(snap, "statfi_inferences_total");
+        if (const auto* h = snap.find("statfi_evaluate_seconds"))
+            t.evaluate_seconds = h->sum;
+        return t;
+    }
+
+    void sample() {
+        Totals t;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            t = base_;
+            if (session_) t.add(totals_of(session_->metrics().snapshot()));
+        }
+        const double run_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        const double seconds = seconds_offset_ + run_seconds;
+        ring_.append(seconds, {t.faults, t.critical, t.masked, t.inferences,
+                               t.evaluate_seconds});
+        try {
+            ring_.save(path_);
+        } catch (const std::exception&) {
+            // History is advisory: a full disk must not fail the campaign.
+        }
+        if (publish_) {
+            JobLiveStats live;
+            live.seconds = seconds;
+            live.faults = static_cast<std::uint64_t>(t.faults);
+            live.critical = static_cast<std::uint64_t>(t.critical);
+            live.inferences = static_cast<std::uint64_t>(t.inferences);
+            live.faults_per_second =
+                run_seconds > 0.0 ? t.faults / run_seconds : 0.0;
+            publish_(live);
+        }
+    }
+
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_.wait_for(lock, std::chrono::milliseconds(200),
+                         [this] { return stopped_; });
+            const bool last = stopped_;
+            lock.unlock();
+            sample();  // stop() still gets a final, completed-totals sample
+            if (last) return;
+            lock.lock();
+        }
+    }
+
+    std::string path_;
+    telemetry::HistoryRing ring_;
+    Publish publish_;
+    std::chrono::steady_clock::time_point start_;
+    double seconds_offset_ = 0.0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopped_ = false;
+    telemetry::Session* session_ = nullptr;
+    Totals base_;
+    std::thread thread_;
+};
+
 }  // namespace
 
 Scheduler::Scheduler(JobQueue& queue, ResultCache& cache, ServiceLog* log,
@@ -139,15 +307,51 @@ void Scheduler::worker_loop(std::size_t worker) {
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
             continue;
         }
+        const std::uint64_t id = job->id;
         active_.fetch_add(1, std::memory_order_relaxed);
         run_job(std::move(*job), worker);
         active_.fetch_sub(1, std::memory_order_relaxed);
+        // However the run ended (done, failed, requeued), the job is no
+        // longer live on this worker.
+        clear_live(id);
     }
+}
+
+std::optional<JobLiveStats> Scheduler::live_stats(std::uint64_t job_id) const {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    const auto it = live_.find(job_id);
+    if (it == live_.end()) return std::nullopt;
+    return it->second;
+}
+
+void Scheduler::publish_live(std::uint64_t job_id, const JobLiveStats& stats) {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    live_[job_id] = stats;
+}
+
+void Scheduler::clear_live(std::uint64_t job_id) {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    live_.erase(job_id);
 }
 
 void Scheduler::run_job(Job job, std::size_t worker) {
     if (log_) log_->job_scheduled(job, worker);
     const auto job_start = std::chrono::steady_clock::now();
+    // Fleet plane (DESIGN.md decision 18): every observer of this job —
+    // the daemon-side trace spans, the campaign event log, each in-process
+    // shard session — shares the trace identity persisted at submission.
+    // All of it only observes; with fleet off none of it exists and the
+    // campaign outcome is bit-identical (tests/service/fleet_test).
+    const bool fleet = options_.fleet && job.trace_id != 0;
+    telemetry::TraceContext job_ctx;
+    if (fleet) {
+        job_ctx.trace_id = job.trace_id;
+        job_ctx.span_id = telemetry::derive_trace_id(
+            "daemon:job:" + std::to_string(job.id));
+    }
+    telemetry::TraceRecorder daemon_trace;
+    telemetry::TraceRecorder* const tracer = fleet ? &daemon_trace : nullptr;
+    if (fleet) daemon_trace.set_context(job_ctx);
     try {
         const std::string dir = cache_.ensure_dir(job.fingerprint);
         if (!fs::exists(ResultCache::recipe_path(dir)))
@@ -181,6 +385,7 @@ void Scheduler::run_job(Job job, std::size_t worker) {
         // data-aware analysis and its golden pass — AND pins the partition
         // the cached shard results were produced under, so a resubmission
         // with a different requested width still finds them.
+        telemetry::Span plan_span(tracer, "service_plan");
         auto fx = shard::build_fixture(job.recipe);
         const std::string manifest_path = ResultCache::manifest_path(dir);
         shard::ShardManifest manifest;
@@ -215,13 +420,16 @@ void Scheduler::run_job(Job job, std::size_t worker) {
                     std::min<std::uint64_t>(want, manifest.item_count)));
             manifest.save(manifest_path);
         }
+        plan_span.close();
 
         // The per-campaign event log: header + plan now, shard lifecycle
         // as it happens, strata + end after the merge. Scoped so the file
         // is closed before the report renderer reads it back.
         const std::string events_path = ResultCache::events_path(dir);
+        std::unique_ptr<JobSampler> sampler;
         {
             telemetry::EventLog events(events_path);
+            if (fleet) events.set_trace(job_ctx);
             core::emit_campaign_header(events, header_of(job.recipe));
             if (manifest.kind() == shard::CampaignKind::Census)
                 core::emit_plan_event_census(events, fx.universe);
@@ -232,6 +440,12 @@ void Scheduler::run_job(Job job, std::size_t worker) {
             job.shards_total = manifest.shards.size();
             job.injected = manifest.item_count;
             queue_.update(job);
+            if (fleet)
+                sampler = std::make_unique<JobSampler>(
+                    ResultCache::history_path(dir),
+                    [this, id = job.id](const JobLiveStats& stats) {
+                        publish_live(id, stats);
+                    });
 
             for (std::uint32_t k = 0; k < manifest.shards.size(); ++k) {
                 if (stopping()) {
@@ -262,8 +476,49 @@ void Scheduler::run_job(Job job, std::size_t worker) {
                 run_options.resume = true;
                 run_options.threads = options_.engine_threads;
                 run_options.cancel = &cancel_;
+                std::unique_ptr<telemetry::Session> shard_session;
+                telemetry::Span shard_span(tracer,
+                                           "shard_" + std::to_string(k));
+                if (fleet) {
+                    telemetry::SessionOptions session_options;
+                    session_options.trace_context.trace_id = job.trace_id;
+                    session_options.trace_context.parent_span_id =
+                        job_ctx.span_id;
+                    session_options.trace_context.span_id =
+                        telemetry::derive_trace_id(
+                            "shard:" + std::to_string(k) + ":" +
+                            telemetry::format_trace_id(job.trace_id));
+                    shard_session = std::make_unique<telemetry::Session>(
+                        session_options);
+                    // Pre-freeze the registry with the exact worker count
+                    // the engine will resolve, so the sampler's concurrent
+                    // snapshot() never races the freeze.
+                    const std::size_t engine_workers =
+                        options_.engine_threads == 0
+                            ? std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency())
+                            : options_.engine_threads;
+                    shard_session->bind_workers(engine_workers);
+                    run_options.telemetry = shard_session.get();
+                    if (sampler) sampler->set_session(shard_session.get());
+                }
                 const shard::ShardRunReport run =
                     shard::run_shard(manifest, manifest_path, run_options);
+                if (shard_session) {
+                    if (sampler) sampler->absorb(*shard_session);
+                    shard_span.close();
+                    try {
+                        // The shard's own Chrome trace, one file per shard
+                        // in the cache entry — merged below and by
+                        // `statfi trace merge`.
+                        telemetry::export_trace_file(
+                            *shard_session, shard::shard_trace_path(dir, k));
+                    } catch (const std::exception& e) {
+                        std::cerr << "statfi: shard " << k
+                                  << " trace not written: " << e.what()
+                                  << "\n";
+                    }
+                }
                 telemetry::Event end("shard_end");
                 end.field("shard", static_cast<std::uint64_t>(k))
                     .field("complete", run.complete)
@@ -287,8 +542,10 @@ void Scheduler::run_job(Job job, std::size_t worker) {
 
             job.state = JobState::Merging;
             queue_.update(job);
+            telemetry::Span merge_span(tracer, "service_merge");
             const shard::MergedCampaign merged =
                 shard::merge_shards(manifest, manifest_path);
+            merge_span.close();
             std::uint64_t critical = 0;
             if (merged.kind == shard::CampaignKind::Census) {
                 core::emit_census_strata(events, fx.universe, merged.outcomes,
@@ -310,9 +567,16 @@ void Scheduler::run_job(Job job, std::size_t worker) {
             job.critical = critical;
         }
 
+        // The job is about to turn terminal: flush the sampler's final,
+        // completed-totals sample first so the persisted history ends on
+        // the campaign's true counters.
+        if (sampler) sampler->stop();
+        sampler.reset();
+
         // Render the report from the log just written — the same pipeline
         // `statfi report --log` uses, so service reports and CLI reports
         // are one code path.
+        telemetry::Span report_span(tracer, "service_report");
         std::string log_text;
         io::read_file(events_path, log_text);
         const report::ObservatoryModel model =
@@ -321,6 +585,34 @@ void Scheduler::run_job(Job job, std::size_t worker) {
             model, model.model + " " + model.command + " — statfi observatory");
         io::write_file_atomic(ResultCache::report_html_path(dir),
                               [&](std::ostream& out) { out << html; });
+        report_span.close();
+
+        // Stitch the daemon's spans with every shard's trace into the
+        // entry's correlated timeline (served as /campaigns/<id>/trace).
+        if (fleet) {
+            std::vector<telemetry::TraceMergeInput> inputs;
+            {
+                std::ostringstream own;
+                daemon_trace.write_chrome_trace(own);
+                inputs.push_back({"daemon", own.str()});
+            }
+            for (std::uint32_t k = 0; k < manifest.shards.size(); ++k) {
+                std::string text;
+                if (io::read_file(shard::shard_trace_path(dir, k), text))
+                    inputs.push_back({"shard " + std::to_string(k),
+                                      std::move(text)});
+            }
+            try {
+                const std::string merged_trace =
+                    telemetry::merge_chrome_traces(inputs);
+                io::write_file_atomic(
+                    ResultCache::trace_path(dir),
+                    [&](std::ostream& out) { out << merged_trace; });
+            } catch (const std::exception& e) {
+                std::cerr << "statfi: job " << job.id
+                          << " trace merge failed: " << e.what() << "\n";
+            }
+        }
 
         job.state = JobState::Done;
         queue_.update(job);

@@ -17,15 +17,25 @@ namespace statfi::shard {
 namespace {
 
 pid_t spawn_shard(const std::string& binary, const std::string& manifest_path,
-                  std::uint32_t shard, std::size_t threads) {
-    const std::vector<std::string> args = {
+                  std::uint32_t shard, const DriveOptions& options) {
+    std::vector<std::string> args = {
         binary,         "shard",
         "run",          "--manifest",
         manifest_path,  "--shard",
         std::to_string(shard),
-        "--threads",    std::to_string(threads),
+        "--threads",    std::to_string(options.threads),
         "--resume",
     };
+    if (options.trace.valid()) {
+        args.push_back("--trace-id");
+        args.push_back(telemetry::format_trace_id(options.trace.trace_id));
+        args.push_back("--parent-span");
+        args.push_back(telemetry::format_trace_id(options.trace.span_id));
+    }
+    if (!options.trace_dir.empty()) {
+        args.push_back("--trace-out");
+        args.push_back(shard_trace_path(options.trace_dir, shard));
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
@@ -53,6 +63,13 @@ int exit_code_of(int wait_status) {
 }
 
 }  // namespace
+
+std::string shard_trace_path(const std::string& trace_dir,
+                             std::uint32_t shard) {
+    const bool needs_sep = !trace_dir.empty() && trace_dir.back() != '/';
+    return trace_dir + (needs_sep ? "/" : "") + "trace_shard_" +
+           std::to_string(shard) + ".json";
+}
 
 std::string ShardStatus::describe() const {
     if (skipped) return "skipped (already complete)";
@@ -114,7 +131,7 @@ DriveReport run_all_shards(const ShardManifest& manifest,
         while (next < pending.size() && running.size() < jobs) {
             const std::uint32_t shard = pending[next++];
             const pid_t pid = spawn_shard(options.statfi_binary, manifest_path,
-                                          shard, options.threads);
+                                          shard, options);
             std::cerr << "statfi: shard " << shard << " -> pid " << pid << "\n";
             running.emplace(pid, shard);
         }

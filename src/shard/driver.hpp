@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "shard/manifest.hpp"
+#include "telemetry/trace.hpp"
 
 namespace statfi::shard {
 
@@ -24,7 +25,21 @@ struct DriveOptions {
     std::size_t jobs = 1;      ///< concurrent shard subprocesses
     std::size_t threads = 1;   ///< engine workers per shard (0 = hardware)
     std::string statfi_binary; ///< executable to spawn (the CLI passes its own)
+    /// Fleet trace identity (DESIGN.md decision 18). When valid, every
+    /// child is spawned with `--trace-id <hex> --parent-span <hex>` (the
+    /// driver's own span as the parent) so shard logs and traces correlate
+    /// with the driver's.
+    telemetry::TraceContext trace{};
+    /// When non-empty, each child also gets `--trace-out
+    /// <trace_dir>/trace_shard_<k>.json` so the driver can stitch a merged
+    /// fleet trace afterwards.
+    std::string trace_dir;
 };
+
+/// The per-shard Chrome trace path children write under
+/// DriveOptions::trace_dir (and trace merges read back).
+std::string shard_trace_path(const std::string& trace_dir,
+                             std::uint32_t shard);
 
 struct ShardStatus {
     std::uint32_t shard = 0;

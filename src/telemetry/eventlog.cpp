@@ -109,9 +109,20 @@ void EventLog::emit(const Event& event) {
     std::snprintf(ts_buf, sizeof(ts_buf), "%.6f", ts);
     out_ << "{\"v\":" << kSchemaVersion << ",\"seq\":" << seq_++
          << ",\"ts\":" << ts_buf << ",\"type\":\""
-         << report::json_escape(event.type()) << "\"" << event.payload()
-         << "}\n";
+         << report::json_escape(event.type()) << "\"" << trace_fields_
+         << event.payload() << "}\n";
     out_.flush();
+}
+
+void EventLog::set_trace(const TraceContext& context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!context.valid()) {
+        trace_fields_.clear();
+        return;
+    }
+    trace_fields_ = ",\"trace_id\":\"" + format_trace_id(context.trace_id) +
+                    "\",\"span_id\":\"" + format_trace_id(context.span_id) +
+                    "\"";
 }
 
 std::uint64_t EventLog::events_written() const noexcept {

@@ -46,6 +46,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/trace.hpp"
+
 namespace statfi::telemetry {
 
 /// One event under construction: envelope fields are stamped by EventLog,
@@ -94,6 +96,13 @@ public:
     /// header-first invariant validators rely on).
     void emit(const Event& event);
 
+    /// Stamp a cross-process trace identity (fleet plane): every event
+    /// emitted after this carries "trace_id" and "span_id" envelope fields
+    /// (16-hex, constant for the life of the log). Unset (the default, or
+    /// an invalid context) the envelope is byte-identical to pre-fleet
+    /// logs. Call before the campaign_header so the whole log is stamped.
+    void set_trace(const TraceContext& context);
+
     [[nodiscard]] std::uint64_t events_written() const noexcept;
 
 private:
@@ -102,6 +111,7 @@ private:
     mutable std::mutex mutex_;
     std::uint64_t seq_ = 0;
     std::chrono::steady_clock::time_point epoch_;
+    std::string trace_fields_;  ///< pre-rendered ',"trace_id":...' fragment
 };
 
 }  // namespace statfi::telemetry

@@ -1,0 +1,147 @@
+#include "telemetry/history.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "io/artifact.hpp"
+#include "report/json.hpp"
+
+namespace statfi::telemetry {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'F', 'H'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_f64(std::string& out, double v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked reads over the frame payload; a short payload is a
+/// distinct error from a checksum mismatch (the frame already validated).
+class Reader {
+public:
+    explicit Reader(const std::string& payload) : payload_(payload) {}
+
+    std::uint32_t u32() { return read<std::uint32_t>(); }
+    std::uint64_t u64() { return read<std::uint64_t>(); }
+    double f64() { return read<double>(); }
+
+    std::string str() {
+        const std::uint32_t len = u32();
+        if (len > payload_.size() - pos_)
+            throw std::runtime_error("metrics history: truncated series name");
+        std::string s = payload_.substr(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+private:
+    template <typename T>
+    T read() {
+        if (sizeof(T) > payload_.size() - pos_)
+            throw std::runtime_error("metrics history: truncated payload");
+        T v;
+        std::memcpy(&v, payload_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    const std::string& payload_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+HistoryRing::HistoryRing(std::vector<std::string> series, std::size_t capacity)
+    : series_(std::move(series)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void HistoryRing::append(double seconds, const std::vector<double>& values) {
+    if (values.size() != series_.size())
+        throw std::logic_error("metrics history: sample has " +
+                               std::to_string(values.size()) +
+                               " values, ring has " +
+                               std::to_string(series_.size()) + " series");
+    if (ring_.size() == capacity_) ring_.erase(ring_.begin());
+    ring_.push_back(HistorySample{seconds, values});
+    ++total_;
+}
+
+std::vector<HistorySample> HistoryRing::samples() const { return ring_; }
+
+void HistoryRing::save(const std::string& path) const {
+    std::string payload;
+    payload.reserve(64 + ring_.size() * (series_.size() + 1) * sizeof(double));
+    put_u32(payload, static_cast<std::uint32_t>(series_.size()));
+    put_u32(payload, static_cast<std::uint32_t>(capacity_));
+    put_u64(payload, total_);
+    put_u64(payload, ring_.size());
+    for (const std::string& name : series_) {
+        put_u32(payload, static_cast<std::uint32_t>(name.size()));
+        payload += name;
+    }
+    for (const HistorySample& sample : ring_) {
+        put_f64(payload, sample.seconds);
+        for (const double v : sample.values) put_f64(payload, v);
+    }
+    io::write_framed_atomic(path, kMagic, kFormatVersion, payload);
+}
+
+HistoryRing HistoryRing::load(const std::string& path) {
+    const std::string payload =
+        io::read_framed(path, kMagic, kFormatVersion, "metrics history");
+    Reader in(payload);
+    const std::uint32_t series_count = in.u32();
+    const std::uint32_t capacity = in.u32();
+    const std::uint64_t total = in.u64();
+    const std::uint64_t count = in.u64();
+    if (count > capacity)
+        throw std::runtime_error(
+            "metrics history: sample count exceeds capacity");
+    std::vector<std::string> series;
+    series.reserve(series_count);
+    for (std::uint32_t i = 0; i < series_count; ++i) series.push_back(in.str());
+
+    HistoryRing ring(std::move(series), capacity);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        HistorySample sample;
+        sample.seconds = in.f64();
+        sample.values.reserve(series_count);
+        for (std::uint32_t s = 0; s < series_count; ++s)
+            sample.values.push_back(in.f64());
+        ring.ring_.push_back(std::move(sample));
+    }
+    ring.total_ = total;
+    return ring;
+}
+
+void HistoryRing::write_json(std::ostream& out) const {
+    report::JsonWriter json(out, 0);
+    json.begin_object();
+    json.key("series").begin_array();
+    for (const std::string& name : series_) json.value(name);
+    json.end_array();
+    json.field("capacity", static_cast<std::uint64_t>(capacity_));
+    json.field("total", total_);
+    json.key("samples").begin_array();
+    for (const HistorySample& sample : ring_) {
+        json.begin_object();
+        json.field("seconds", sample.seconds);
+        json.key("values").begin_array();
+        for (const double v : sample.values) json.value(v);
+        json.end_array();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.finish();
+}
+
+}  // namespace statfi::telemetry

@@ -1,0 +1,77 @@
+#pragma once
+// HistoryRing: durable metrics history for the fleet observability plane
+// (DESIGN.md decision 18) — a bounded ring of (timestamp, values...) samples
+// a periodic sampler appends while a campaign runs, persisted as a compact
+// "TSF" (time-series fleet) artifact next to the campaign's other cache
+// artifacts (`metrics.tsf`).
+//
+// Design constraints, in order:
+//  * bounded: a campaign that runs for hours must not grow an unbounded
+//    file — the ring keeps the newest `capacity` samples (oldest evicted);
+//  * crash-safe: each save is one framed atomic rewrite (io::write_framed
+//    envelope: magic + version + CRC32), so a SIGKILL mid-sample leaves the
+//    previous complete snapshot, never a torn file;
+//  * self-describing: the file carries its own series names, so readers
+//    (the /campaigns/<id>/history endpoint, `statfi report` sparklines)
+//    need no schema side-channel and old files keep loading when series
+//    are added.
+//
+// The file is small by construction (capacity 512 × ~9 doubles ≈ 37 KB),
+// so "append" as whole-file rewrite costs less than one engine heartbeat.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace statfi::telemetry {
+
+/// One sample row: seconds since campaign start plus one double per series.
+struct HistorySample {
+    double seconds = 0.0;
+    std::vector<double> values;
+};
+
+class HistoryRing {
+public:
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /// @p series names each value column; @p capacity bounds retained
+    /// samples (>= 1 enforced).
+    explicit HistoryRing(std::vector<std::string> series,
+                         std::size_t capacity = 512);
+
+    /// Append one sample (values.size() must equal series count; throws
+    /// std::logic_error otherwise). Evicts the oldest sample at capacity.
+    void append(double seconds, const std::vector<double>& values);
+
+    [[nodiscard]] const std::vector<std::string>& series() const noexcept {
+        return series_;
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    /// Samples ever appended (monotonic; exceeds size() once wrapped).
+    [[nodiscard]] std::uint64_t total_appended() const noexcept {
+        return total_;
+    }
+    /// Retained samples, oldest first.
+    [[nodiscard]] std::vector<HistorySample> samples() const;
+    [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+
+    /// Persist as a framed TSF artifact (atomic temp + rename).
+    void save(const std::string& path) const;
+    /// Load a TSF artifact; throws std::runtime_error naming the violated
+    /// invariant (missing/corrupt/short file, unknown version).
+    static HistoryRing load(const std::string& path);
+
+    /// JSON document: {"series":[...], "capacity":N, "total":N,
+    /// "samples":[{"seconds":S,"values":[...]}, ...]} oldest first.
+    void write_json(std::ostream& out) const;
+
+private:
+    std::vector<std::string> series_;
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    std::vector<HistorySample> ring_;  ///< oldest first
+};
+
+}  // namespace statfi::telemetry

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -79,6 +80,23 @@ long long content_length_of(std::string_view headers) {
 }
 
 }  // namespace
+
+bool HttpRequest::query_flag(std::string_view key) const {
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos) amp = query.size();
+        const std::string_view param =
+            std::string_view(query).substr(pos, amp - pos);
+        const std::size_t eq = param.find('=');
+        const std::string_view name =
+            eq == std::string_view::npos ? param : param.substr(0, eq);
+        if (name == key)
+            return eq == std::string_view::npos || param.substr(eq + 1) != "0";
+        pos = amp + 1;
+    }
+    return false;
+}
 
 HttpServer::HttpServer(const Options& options) : options_(options) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -191,16 +209,48 @@ void HttpServer::handle(int client_fd) {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(options_.read_timeout_ms);
-    const auto answer = [&](const HttpResponse& response, bool head_only) {
-        const std::string wire = serialize(response, head_only);
-        requests_.fetch_add(1, std::memory_order_relaxed);
+    const auto send_all = [&](const char* bytes, std::size_t size) -> bool {
         std::size_t sent = 0;
-        while (sent < wire.size()) {
-            const ssize_t n = ::send(client_fd, wire.data() + sent,
-                                     wire.size() - sent, MSG_NOSIGNAL);
-            if (n <= 0) break;
+        while (sent < size) {
+            const ssize_t n = ::send(client_fd, bytes + sent, size - sent,
+                                     MSG_NOSIGNAL);
+            if (n <= 0) return false;
             sent += static_cast<std::size_t>(n);
         }
+        return true;
+    };
+    const auto answer = [&](const HttpResponse& response, bool head_only) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        if (response.stream && !head_only) {
+            // Streaming body: headers out first, then one HTTP/1.1 chunk
+            // per sink() call. The sink reports the client's liveness back
+            // so the producer stops on disconnect or server shutdown.
+            std::ostringstream header;
+            header << "HTTP/1.1 " << response.status << " "
+                   << reason_of(response.status) << "\r\n"
+                   << "Content-Type: " << response.content_type << "\r\n"
+                   << "Transfer-Encoding: chunked\r\n"
+                   << "Connection: close\r\n\r\n";
+            const std::string head_wire = header.str();
+            bool alive = send_all(head_wire.data(), head_wire.size());
+            const ChunkSink sink = [&](std::string_view chunk) -> bool {
+                if (stop_.load(std::memory_order_relaxed)) alive = false;
+                if (!alive || chunk.empty()) return alive;
+                char frame[32];
+                const int frame_len = std::snprintf(
+                    frame, sizeof(frame), "%zx\r\n", chunk.size());
+                alive = send_all(frame, static_cast<std::size_t>(frame_len)) &&
+                        send_all(chunk.data(), chunk.size()) &&
+                        send_all("\r\n", 2);
+                return alive;
+            };
+            response.stream(sink);
+            if (alive && !stop_.load(std::memory_order_relaxed))
+                send_all("0\r\n\r\n", 5);
+            return;
+        }
+        const std::string wire = serialize(response, head_only);
+        send_all(wire.data(), wire.size());
     };
     // Reads are bounded three ways: total size (413), wall clock (408), and
     // connection close (408 for a truncated request).
@@ -241,7 +291,10 @@ void HttpServer::handle(int client_fd) {
         request.target[0] != '/' || http_version.rfind("HTTP/", 0) != 0)
         return answer(plain(400, "malformed request line\n"), false);
     const std::size_t query = request.target.find('?');
-    if (query != std::string::npos) request.target.resize(query);
+    if (query != std::string::npos) {
+        request.query = request.target.substr(query + 1);
+        request.target.resize(query);  // routes match on the bare path
+    }
 
     if (request.method != "GET" && request.method != "HEAD" &&
         request.method != "POST")

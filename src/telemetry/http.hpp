@@ -30,6 +30,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -40,13 +41,36 @@ namespace statfi::telemetry {
 struct HttpRequest {
     std::string method;  ///< "GET" | "HEAD" | "POST"
     std::string target;  ///< path only (query string stripped)
+    std::string query;   ///< raw query string after '?' (no decoding)
     std::string body;    ///< POST payload (empty for GET/HEAD)
+
+    /// True when the query string contains @p key as `key` or `key=value`
+    /// with a value other than "0". No percent-decoding — fleet query
+    /// parameters are plain tokens like follow=1.
+    [[nodiscard]] bool query_flag(std::string_view key) const;
 };
 
+/// Writes one body chunk to the client. Returns false once the client is
+/// gone (disconnect) or the server is stopping — the stream function must
+/// stop producing then.
+using ChunkSink = std::function<bool(std::string_view chunk)>;
+/// A streaming body producer: called once on the handler thread after the
+/// response headers go out; every sink() call becomes one HTTP/1.1 chunk.
+using StreamFn = std::function<void(const ChunkSink&)>;
+
 struct HttpResponse {
+    HttpResponse() = default;
+    HttpResponse(int s, std::string type, std::string content)
+        : status(s), content_type(std::move(type)), body(std::move(content)) {}
+
     int status = 200;
     std::string content_type = "text/plain";
     std::string body;
+    /// When set (GET only), the response is sent Transfer-Encoding: chunked
+    /// and @p stream produces the body incrementally — the long-poll path
+    /// behind /campaigns/<id>/events?follow=1. `body` is ignored then
+    /// (HEAD still answers headers-only).
+    StreamFn stream;
 };
 
 /// A route handler. Runs on a handler-pool thread; must be thread-safe
@@ -98,6 +122,13 @@ public:
     /// Requests answered so far (any status).
     [[nodiscard]] std::uint64_t requests_served() const noexcept {
         return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// True once stop() has begun — long-running stream handlers poll this
+    /// (their ChunkSink also starts returning false) so shutdown never
+    /// waits on a follow stream.
+    [[nodiscard]] bool stopping() const noexcept {
+        return stop_.load(std::memory_order_relaxed);
     }
 
 private:

@@ -63,6 +63,8 @@ Session::Session(SessionOptions options) : options_(options) {
         "statfi_checkpoint_flush_seconds", "Checkpoint flush latency",
         flush_bounds());
     if (options_.enable_perf) perf_.open();
+    if (options_.trace_context.valid())
+        trace_.set_context(options_.trace_context);
 }
 
 void Session::add_perf_phase(const std::string& phase,

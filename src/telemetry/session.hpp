@@ -32,6 +32,10 @@ namespace statfi::telemetry {
 struct SessionOptions {
     bool enable_trace = true;  ///< record phase spans (Chrome trace export)
     bool enable_perf = false;  ///< open perf_event_open hardware counters
+    /// Cross-process trace identity (fleet plane). When valid it is stamped
+    /// onto the trace recorder and every event log this session opens, so
+    /// logs/traces from daemon, driver and shard children correlate.
+    TraceContext trace_context{};
 };
 
 /// Well-known metric ids, registered by the Session constructor.
@@ -91,10 +95,18 @@ public:
     /// PhaseScope opens — EventLog enforces the header-first invariant.
     void open_event_log(const std::string& path) {
         eventlog_ = std::make_unique<EventLog>(path);
+        eventlog_->set_trace(options_.trace_context);
     }
     /// Attach an event log writing to a borrowed stream (tests, benches).
     void attach_event_log(std::ostream& out) {
         eventlog_ = std::make_unique<EventLog>(out);
+        eventlog_->set_trace(options_.trace_context);
+    }
+
+    /// The cross-process trace identity this session runs under (invalid
+    /// when the campaign is not part of a fleet).
+    [[nodiscard]] const TraceContext& trace_context() const noexcept {
+        return options_.trace_context;
     }
 
     /// Live snapshot served by the HTTP /status endpoint. Always present;

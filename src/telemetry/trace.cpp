@@ -1,12 +1,63 @@
 #include "telemetry/trace.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "report/json.hpp"
+#include "report/json_parse.hpp"
 
 namespace statfi::telemetry {
+
+std::string format_trace_id(std::uint64_t id) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[id & 0xf];
+        id >>= 4;
+    }
+    return out;
+}
+
+bool parse_trace_id(const std::string& text, std::uint64_t& out) {
+    if (text.size() != 16) return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        value <<= 4;
+        if (c >= '0' && c <= '9')
+            value |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = value;
+    return true;
+}
+
+std::uint64_t derive_trace_id(const std::string& seed_text) {
+    // FNV-1a 64 — the same construction the recipe fingerprint uses; ids
+    // are correlation keys, not secrets, so determinism is the feature.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const unsigned char c : seed_text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash == 0 ? 1 : hash;
+}
 
 void TraceRecorder::record(TraceEvent event) {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(std::move(event));
+}
+
+void TraceRecorder::set_context(const TraceContext& context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    context_ = context;
+}
+
+TraceContext TraceRecorder::context() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return context_;
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
@@ -21,8 +72,25 @@ std::size_t TraceRecorder::event_count() const {
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
     const std::vector<TraceEvent> events = this->events();
+    const TraceContext context = this->context();
     report::JsonWriter json(out);
     json.begin_array();
+    if (context.valid()) {
+        json.begin_object()
+            .field("name", "statfi_trace")
+            .field("cat", "statfi")
+            .field("ph", "M")
+            .field("ts", 0)
+            .field("pid", 1)
+            .field("tid", 0);
+        json.key("args").begin_object();
+        json.field("trace_id", format_trace_id(context.trace_id))
+            .field("span_id", format_trace_id(context.span_id));
+        if (context.parent_span_id != 0)
+            json.field("parent_span_id",
+                       format_trace_id(context.parent_span_id));
+        json.end_object().end_object();
+    }
     for (const TraceEvent& e : events) {
         json.begin_object()
             .field("name", e.name)
@@ -36,6 +104,111 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
     }
     json.end_array();
     json.finish();
+}
+
+namespace {
+
+void write_json_value(report::JsonWriter& json, const report::JsonValue& v) {
+    using Type = report::JsonValue::Type;
+    switch (v.type) {
+        case Type::Null:
+            json.null();
+            break;
+        case Type::Bool:
+            json.value(v.boolean);
+            break;
+        case Type::Number:
+            json.value(v.number);
+            break;
+        case Type::String:
+            json.value(v.string);
+            break;
+        case Type::Array:
+            json.begin_array();
+            for (const auto& item : v.array) write_json_value(json, item);
+            json.end_array();
+            break;
+        case Type::Object:
+            json.begin_object();
+            for (const auto& [key, member] : v.object) {
+                json.key(key);
+                write_json_value(json, member);
+            }
+            json.end_object();
+            break;
+    }
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs) {
+    if (inputs.empty())
+        throw std::runtime_error("trace merge: no input traces");
+
+    std::string trace_id;        // first context seen; all must agree
+    std::string trace_id_from;   // which input set it (for the error)
+    std::vector<report::JsonValue> parsed;
+    parsed.reserve(inputs.size());
+    for (const TraceMergeInput& input : inputs) {
+        report::JsonValue doc;
+        try {
+            doc = report::parse_json(input.json_text);
+        } catch (const std::exception& e) {
+            throw std::runtime_error("trace merge: " + input.label + ": " +
+                                     e.what());
+        }
+        if (!doc.is_array())
+            throw std::runtime_error("trace merge: " + input.label +
+                                     ": not a Chrome trace JSON array");
+        for (const auto& event : doc.array) {
+            if (event.get_str("name") != "statfi_trace") continue;
+            const report::JsonValue* args = event.find("args");
+            const std::string id = args ? args->get_str("trace_id") : "";
+            if (id.empty()) continue;
+            if (trace_id.empty()) {
+                trace_id = id;
+                trace_id_from = input.label;
+            } else if (id != trace_id) {
+                throw std::runtime_error(
+                    "trace merge: trace_id mismatch: " + trace_id_from +
+                    " has " + trace_id + " but " + input.label + " has " + id);
+            }
+        }
+        parsed.push_back(std::move(doc));
+    }
+
+    std::ostringstream out;
+    report::JsonWriter json(out);
+    json.begin_array();
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const std::int64_t pid = static_cast<std::int64_t>(i) + 1;
+        json.begin_object()
+            .field("name", "process_name")
+            .field("ph", "M")
+            .field("pid", pid)
+            .field("tid", 0);
+        json.key("args").begin_object();
+        json.field("name", inputs[i].label);
+        json.end_object().end_object();
+        for (const auto& event : parsed[i].array) {
+            json.begin_object();
+            bool pid_written = false;
+            for (const auto& [key, member] : event.object) {
+                if (key == "pid") {
+                    json.field("pid", pid);
+                    pid_written = true;
+                    continue;
+                }
+                json.key(key);
+                write_json_value(json, member);
+            }
+            if (!pid_written) json.field("pid", pid);
+            json.end_object();
+        }
+    }
+    json.end_array();
+    json.finish();
+    return out.str();
 }
 
 }  // namespace statfi::telemetry

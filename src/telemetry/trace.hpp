@@ -23,6 +23,35 @@
 
 namespace statfi::telemetry {
 
+/// Cross-process trace identity (fleet plane, DESIGN.md decision 18): a
+/// 64-bit trace id shared by every process working on one campaign (daemon
+/// job, run-all driver, shard children) plus this process's own root span id
+/// and, when spawned by a driver, the parent's span id. trace_id == 0 means
+/// "no context" — logs and traces then carry no trace fields at all, which
+/// keeps pre-fleet logs byte-identical.
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+
+    [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// 16 lowercase hex digits — the one wire spelling of a trace/span id
+/// (eventlog envelopes, --trace-id flags, Chrome trace metadata).
+std::string format_trace_id(std::uint64_t id);
+
+/// Parse the 16-lowercase-hex spelling. Returns false (out untouched) on
+/// anything else — wrong length, uppercase, stray characters.
+bool parse_trace_id(const std::string& text, std::uint64_t& out);
+
+/// Deterministic id derivation (FNV-1a 64 over @p seed_text, pinned away
+/// from the reserved 0): the daemon derives a job's trace id from its queue
+/// identity and each process derives its root span id from
+/// (trace, role, index), so re-running the same campaign correlates the
+/// same way without any shared id allocator.
+std::uint64_t derive_trace_id(const std::string& seed_text);
+
 struct TraceEvent {
     std::string name;
     double ts_us = 0.0;   ///< start, microseconds since recorder epoch
@@ -45,18 +74,42 @@ public:
     /// concern at phase granularity).
     void record(TraceEvent event);
 
+    /// Stamp the cross-process trace identity this recorder belongs to.
+    /// Recorded as a metadata event in write_chrome_trace() so merged
+    /// fleet traces can be correlated and validated.
+    void set_context(const TraceContext& context);
+    [[nodiscard]] TraceContext context() const;
+
     [[nodiscard]] std::vector<TraceEvent> events() const;
     [[nodiscard]] std::size_t event_count() const;
 
     /// Serialize every recorded event as a Chrome trace JSON array of
-    /// complete ("ph":"X") events.
+    /// complete ("ph":"X") events. When a TraceContext is set, the array
+    /// leads with one "statfi_trace" metadata ("ph":"M") event carrying
+    /// trace_id / span_id / parent_span_id in its args.
     void write_chrome_trace(std::ostream& out) const;
 
 private:
     std::chrono::steady_clock::time_point epoch_;
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
+    TraceContext context_;
 };
+
+/// One source file for merge_chrome_traces: a label (becomes the merged
+/// process_name) plus the Chrome trace JSON array text that process wrote.
+struct TraceMergeInput {
+    std::string label;
+    std::string json_text;
+};
+
+/// Stitch N per-process Chrome traces into one correlated timeline: each
+/// input becomes its own pid (1-based, input order) with a process_name
+/// metadata row, and every "statfi_trace" context found must agree on one
+/// trace_id. Returns the merged JSON array text.
+/// @throws std::runtime_error on unparseable input, an input that is not a
+/// JSON array, or two inputs carrying different trace_ids.
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs);
 
 /// RAII span: records a complete event covering its lifetime. A span built
 /// on a null recorder is inert and costs no clock read — the null-sink

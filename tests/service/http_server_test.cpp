@@ -12,7 +12,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -273,6 +275,175 @@ TEST(HttpServer, HandlerExceptionIs500NotCrash) {
     EXPECT_NE(status_line(http_exchange(server.port(), "GET /boom HTTP/1.1\r\n\r\n"))
                   .find("500"),
               std::string::npos);
+}
+
+// --- streaming (Transfer-Encoding: chunked) edge cases --------------------
+// The fleet plane's live tail (/campaigns/<id>/events?follow=1) rides on
+// HttpResponse::stream; these tests pin the chunked framing, the slow-reader
+// and disconnect paths, and that none of it disturbs the failure taxonomy.
+
+/// Decode an HTTP/1.1 chunked body. Returns false on framing errors;
+/// @p terminated reports whether the 0-size final chunk arrived.
+bool dechunk(const std::string& raw, std::string& body, bool& terminated) {
+    body.clear();
+    terminated = false;
+    std::size_t pos = 0;
+    while (pos < raw.size()) {
+        const auto eol = raw.find("\r\n", pos);
+        if (eol == std::string::npos) return false;
+        const unsigned long size =
+            std::strtoul(raw.substr(pos, eol - pos).c_str(), nullptr, 16);
+        if (size == 0) {
+            terminated = true;
+            return true;
+        }
+        if (eol + 2 + size + 2 > raw.size()) return false;
+        body.append(raw, eol + 2, size);
+        pos = eol + 2 + size + 2;
+    }
+    return true;  // well-formed so far, just not terminated
+}
+
+TEST(HttpServer, StreamedResponseIsChunkedAndComplete) {
+    HttpServer server(ServerFixture::tight());
+    server.route("GET", "/events", [](const HttpRequest&) {
+        HttpResponse r{200, "application/x-ndjson", ""};
+        r.stream = [](const ChunkSink& sink) {
+            for (int i = 0; i < 3; ++i)
+                if (!sink("line " + std::to_string(i) + "\n")) return;
+        };
+        return r;
+    });
+    server.start();
+    const auto response =
+        http_exchange(server.port(), "GET /events HTTP/1.1\r\n\r\n");
+    EXPECT_NE(status_line(response).find("200"), std::string::npos);
+    EXPECT_NE(response.find("Transfer-Encoding: chunked"), std::string::npos);
+    std::string body;
+    bool terminated = false;
+    ASSERT_TRUE(dechunk(body_of(response), body, terminated));
+    EXPECT_EQ(body, "line 0\nline 1\nline 2\n");
+    EXPECT_TRUE(terminated);
+}
+
+TEST(HttpServer, SlowReaderReceivesFullStream) {
+    // 64 chunks x 4 KiB — enough to outrun loopback socket buffers, so the
+    // server actually blocks on the slow reader and must keep the chunk
+    // framing intact across partial writes.
+    const std::string chunk(4096, 'z');
+    HttpServer server(ServerFixture::tight());
+    server.route("GET", "/big", [&chunk](const HttpRequest&) {
+        HttpResponse r;
+        r.stream = [&chunk](const ChunkSink& sink) {
+            for (int i = 0; i < 64; ++i)
+                if (!sink(chunk)) return;
+        };
+        return r;
+    });
+    server.start();
+    const int fd = connect_loopback(server.port());
+    ASSERT_GE(fd, 0);
+    send_all(fd, "GET /big HTTP/1.1\r\n\r\n");
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ::close(fd);
+    std::string body;
+    bool terminated = false;
+    ASSERT_TRUE(dechunk(body_of(response), body, terminated));
+    EXPECT_EQ(body.size(), chunk.size() * 64);
+    EXPECT_TRUE(terminated);
+}
+
+TEST(HttpServer, DisconnectMidStreamStopsSinkAndServerSurvives) {
+    std::atomic<bool> sink_refused{false};
+    HttpServer server(ServerFixture::tight());
+    server.route("GET", "/ping", [](const HttpRequest&) {
+        return HttpResponse{200, "text/plain", "pong\n"};
+    });
+    server.route("GET", "/forever", [&sink_refused](const HttpRequest&) {
+        HttpResponse r;
+        r.stream = [&sink_refused](const ChunkSink& sink) {
+            const std::string chunk(4096, 'y');
+            // An endless follow stream: only the sink saying "client gone"
+            // (or server stop) may end it.
+            while (sink(chunk)) {
+            }
+            sink_refused = true;
+        };
+        return r;
+    });
+    server.start();
+    const int fd = connect_loopback(server.port());
+    ASSERT_GE(fd, 0);
+    send_all(fd, "GET /forever HTTP/1.1\r\n\r\n");
+    char buf[4096];
+    ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);  // stream is flowing
+    ::close(fd);  // hang up mid-chunk
+    // The handler must notice via the sink's return value, not hang.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!sink_refused && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(sink_refused.load());
+    // The handler thread is free again and the taxonomy is intact.
+    EXPECT_NE(status_line(http_exchange(server.port(),
+                                        "GET /ping HTTP/1.1\r\n\r\n"))
+                  .find("200"),
+              std::string::npos);
+    EXPECT_NE(status_line(http_exchange(server.port(),
+                                        "GET /nope HTTP/1.1\r\n\r\n"))
+                  .find("404"),
+              std::string::npos);
+}
+
+TEST(HttpServer, FollowOnCompletedSourceDrainsBacklogAndCloses) {
+    // Mirrors ?follow=1 against a campaign that already finished: the
+    // stream writes the backlog, sees the source is done, and returns —
+    // the client gets an orderly end-of-stream, not an open socket.
+    HttpServer server(ServerFixture::tight());
+    server.route("GET", "/done-events", [](const HttpRequest& req) {
+        EXPECT_TRUE(req.query_flag("follow"));
+        HttpResponse r{200, "application/x-ndjson", ""};
+        r.stream = [](const ChunkSink& sink) {
+            sink("backlog 1\n");
+            sink("backlog 2\n");
+            // source already completed: nothing to wait for
+        };
+        return r;
+    });
+    server.start();
+    const auto start = std::chrono::steady_clock::now();
+    const auto response = http_exchange(
+        server.port(), "GET /done-events?follow=1 HTTP/1.1\r\n\r\n");
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    std::string body;
+    bool terminated = false;
+    ASSERT_TRUE(dechunk(body_of(response), body, terminated));
+    EXPECT_EQ(body, "backlog 1\nbacklog 2\n");
+    EXPECT_TRUE(terminated);
+    EXPECT_LT(elapsed, 5000);  // closed promptly, no dangling follow
+}
+
+TEST(HttpServer, HeadOnStreamRouteAnswersHeadersOnly) {
+    HttpServer server(ServerFixture::tight());
+    server.route("GET", "/events", [](const HttpRequest&) {
+        HttpResponse r{200, "application/x-ndjson", ""};
+        r.stream = [](const ChunkSink& sink) { sink("never sent\n"); };
+        return r;
+    });
+    server.start();
+    const auto response =
+        http_exchange(server.port(), "HEAD /events HTTP/1.1\r\n\r\n");
+    EXPECT_NE(status_line(response).find("200"), std::string::npos);
+    EXPECT_TRUE(body_of(response).empty());
 }
 
 TEST(HttpServer, SlowClientsDoNotStarveOthers) {

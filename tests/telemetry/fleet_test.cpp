@@ -1,0 +1,261 @@
+// Fleet observability plane (DESIGN.md decision 18): the durable metrics
+// history ring, cross-process trace identity (format/parse/derive), Chrome
+// trace merging, the event-log trace envelope, and the sparkline renderer.
+// Each piece is tested at its own layer; the end-to-end correlation (daemon
+// + shards under one trace_id) is exercised by service_test and CI smoke.
+
+#include "report/history_html.hpp"
+#include "report/json_parse.hpp"
+#include "telemetry/eventlog.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace statfi::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- HistoryRing ----------------------------------------------------------
+
+TEST(HistoryRing, AppendsAndReportsSamplesOldestFirst) {
+    HistoryRing ring({"faults", "critical"});
+    ring.append(0.1, {10.0, 1.0});
+    ring.append(0.3, {25.0, 2.0});
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.total_appended(), 2u);
+    const auto samples = ring.samples();
+    EXPECT_DOUBLE_EQ(samples[0].seconds, 0.1);
+    EXPECT_DOUBLE_EQ(samples[1].values[0], 25.0);
+    EXPECT_EQ(ring.series(), (std::vector<std::string>{"faults", "critical"}));
+}
+
+TEST(HistoryRing, ArityMismatchThrows) {
+    HistoryRing ring({"a", "b"});
+    EXPECT_THROW(ring.append(0.0, {1.0}), std::logic_error);
+    EXPECT_THROW(ring.append(0.0, {1.0, 2.0, 3.0}), std::logic_error);
+}
+
+TEST(HistoryRing, WrapsAtCapacityKeepingNewest) {
+    HistoryRing ring({"v"}, 4);
+    for (int i = 0; i < 6; ++i)
+        ring.append(static_cast<double>(i), {static_cast<double>(i * 10)});
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.total_appended(), 6u);
+    const auto samples = ring.samples();
+    EXPECT_DOUBLE_EQ(samples.front().seconds, 2.0);  // 0 and 1 evicted
+    EXPECT_DOUBLE_EQ(samples.back().values[0], 50.0);
+}
+
+TEST(HistoryRing, SaveLoadRoundTrip) {
+    const std::string path = temp_path("statfi_fleet_test_ring.tsf");
+    HistoryRing ring({"faults", "critical", "masked"}, 16);
+    for (int i = 0; i < 5; ++i)
+        ring.append(i * 0.2, {i * 100.0, i * 1.0, i * 99.0});
+    ring.save(path);
+    const HistoryRing loaded = HistoryRing::load(path);
+    EXPECT_EQ(loaded.series(), ring.series());
+    EXPECT_EQ(loaded.capacity(), ring.capacity());
+    EXPECT_EQ(loaded.total_appended(), ring.total_appended());
+    ASSERT_EQ(loaded.size(), ring.size());
+    const auto a = ring.samples(), b = loaded.samples();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].seconds, b[i].seconds);
+        EXPECT_EQ(a[i].values, b[i].values);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(HistoryRing, LoadRejectsMissingAndCorruptFiles) {
+    EXPECT_THROW(HistoryRing::load(temp_path("statfi_fleet_test_nope.tsf")),
+                 std::runtime_error);
+    const std::string path = temp_path("statfi_fleet_test_corrupt.tsf");
+    HistoryRing ring({"v"});
+    ring.append(1.0, {2.0});
+    ring.save(path);
+    // Flip a byte in the middle: the framed CRC must catch it.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    f.put('\xff');
+    f.close();
+    EXPECT_THROW(HistoryRing::load(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(HistoryRing, WriteJsonIsParseableAndComplete) {
+    HistoryRing ring({"faults", "critical"}, 8);
+    ring.append(0.5, {100.0, 3.0});
+    ring.append(0.7, {220.0, 5.0});
+    std::ostringstream out;
+    ring.write_json(out);
+    const auto doc = report::parse_json(out.str());
+    const report::JsonValue* series = doc.find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_EQ(series->array.size(), 2u);
+    EXPECT_EQ(doc.get_uint("total"), 2u);
+    const report::JsonValue* samples = doc.find("samples");
+    ASSERT_NE(samples, nullptr);
+    ASSERT_EQ(samples->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(samples->array[1].get_num("seconds", 0.0), 0.7);
+}
+
+// --- trace identity -------------------------------------------------------
+
+TEST(TraceId, FormatIsSixteenLowercaseHex) {
+    EXPECT_EQ(format_trace_id(0), "0000000000000000");
+    EXPECT_EQ(format_trace_id(0xdeadbeef01020304ull), "deadbeef01020304");
+}
+
+TEST(TraceId, ParseRoundTripsAndRejectsBadSpellings) {
+    std::uint64_t id = 0;
+    ASSERT_TRUE(parse_trace_id("deadbeef01020304", id));
+    EXPECT_EQ(id, 0xdeadbeef01020304ull);
+    for (const char* bad : {"", "dead", "deadbeef010203040", "DEADBEEF01020304",
+                            "deadbeef0102030g", "0x00000000000001"}) {
+        std::uint64_t out = 42;
+        EXPECT_FALSE(parse_trace_id(bad, out)) << bad;
+        EXPECT_EQ(out, 42u) << "out must stay untouched for " << bad;
+    }
+}
+
+TEST(TraceId, DeriveIsDeterministicNonzeroAndSeedSensitive) {
+    const std::uint64_t a = derive_trace_id("job:1:abc");
+    EXPECT_EQ(a, derive_trace_id("job:1:abc"));
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, derive_trace_id("job:2:abc"));
+    EXPECT_NE(derive_trace_id(""), 0u);  // reserved 0 never produced
+}
+
+// --- trace recording + merge ----------------------------------------------
+
+std::string trace_json(TraceRecorder& recorder) {
+    std::ostringstream out;
+    recorder.write_chrome_trace(out);
+    return out.str();
+}
+
+TEST(TraceMerge, StitchesProcessesUnderOneTraceId) {
+    TraceContext ctx;
+    ctx.trace_id = derive_trace_id("job:7:fp");
+    ctx.span_id = derive_trace_id("driver:x");
+
+    TraceRecorder driver;
+    driver.set_context(ctx);
+    { Span s(&driver, "shard_run_all"); }
+
+    TraceContext shard_ctx = ctx;
+    shard_ctx.parent_span_id = ctx.span_id;
+    shard_ctx.span_id = derive_trace_id("shard:0:x");
+    TraceRecorder shard;
+    shard.set_context(shard_ctx);
+    { Span s(&shard, "classify"); }
+
+    const std::string merged = merge_chrome_traces(
+        {{"driver", trace_json(driver)}, {"shard 0", trace_json(shard)}});
+    const auto doc = report::parse_json(merged);
+    std::size_t process_names = 0, contexts = 0;
+    for (const report::JsonValue& e : doc.array) {
+        if (e.get_str("name") == "process_name") ++process_names;
+        if (e.get_str("name") == "statfi_trace") {
+            ++contexts;
+            const report::JsonValue* args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->get_str("trace_id"),
+                      format_trace_id(ctx.trace_id));
+        }
+    }
+    EXPECT_EQ(process_names, 2u);
+    EXPECT_EQ(contexts, 2u);
+}
+
+TEST(TraceMerge, RejectsMixedTraceIdsAndGarbage) {
+    TraceRecorder a, b;
+    TraceContext ca, cb;
+    ca.trace_id = 1;
+    cb.trace_id = 2;
+    a.set_context(ca);
+    b.set_context(cb);
+    EXPECT_THROW(
+        merge_chrome_traces({{"a", trace_json(a)}, {"b", trace_json(b)}}),
+        std::runtime_error);
+    EXPECT_THROW(merge_chrome_traces({{"a", "not json"}}),
+                 std::runtime_error);
+}
+
+// --- event-log trace envelope ----------------------------------------------
+
+std::string one_log(bool with_trace) {
+    std::ostringstream out;
+    EventLog log(out);
+    if (with_trace) {
+        TraceContext ctx;
+        ctx.trace_id = 0xabcdef0123456789ull;
+        ctx.span_id = derive_trace_id("campaign:abcdef0123456789");
+        log.set_trace(ctx);
+    }
+    log.emit(Event("campaign_header").field("schema", EventLog::kSchemaName));
+    log.emit(Event("campaign_end").field("outcome", "complete"));
+    return out.str();
+}
+
+TEST(EventLogTrace, StampedEnvelopeCarriesIdsOnEveryLine) {
+    std::istringstream lines(one_log(true));
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        EXPECT_NE(line.find("\"trace_id\":\"abcdef0123456789\""),
+                  std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"span_id\":\""), std::string::npos) << line;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(EventLogTrace, UnstampedLogIsByteIdenticalToPreFleet) {
+    const std::string log = one_log(false);
+    EXPECT_EQ(log.find("trace_id"), std::string::npos);
+    EXPECT_EQ(log.find("span_id"), std::string::npos);
+    // An invalid context (trace_id 0) must behave exactly like no context.
+    std::ostringstream out;
+    EventLog zero(out);
+    zero.set_trace(TraceContext{});
+    zero.emit(Event("campaign_header").field("schema", EventLog::kSchemaName));
+    EXPECT_EQ(out.str().find("trace_id"), std::string::npos);
+}
+
+// --- sparkline renderer ----------------------------------------------------
+
+TEST(HistoryHtml, RendersSeriesRowsWithSampleMarker) {
+    const std::string html = report::render_history_html(
+        {0.0, 0.2, 0.4}, {{"faults", {0.0, 50.0, 100.0}},
+                          {"critical", {0.0, 1.0, 2.0}}},
+        "campaign 7 history");
+    EXPECT_NE(html.find("statfi-history-samples\" content=\"3\""),
+              std::string::npos);
+    EXPECT_NE(html.find("faults"), std::string::npos);
+    EXPECT_NE(html.find("critical"), std::string::npos);
+    EXPECT_NE(html.find("<polyline"), std::string::npos);
+    EXPECT_EQ(html.find("<script"), std::string::npos);  // dataviz rules
+}
+
+TEST(HistoryHtml, EmptyHistoryAndArityMismatch) {
+    const std::string html = report::render_history_html({}, {}, "empty");
+    EXPECT_NE(html.find("no samples recorded yet"), std::string::npos);
+    EXPECT_THROW(
+        report::render_history_html({0.0, 1.0}, {{"v", {1.0}}}, "bad"),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statfi::telemetry

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Perf-regression sentinel: compare a fresh bench_perf JSON against the
+committed BENCH_*.json baseline for the same mode.
+
+Walks both documents in parallel (objects by key, arrays by index) and
+enforces three invariants on the fresh run:
+
+  * throughput may not regress: every numeric leaf whose key ends in
+    `_per_second` must be >= baseline * (1 - tolerance);
+  * declared gates must hold: wherever an object carries `overhead_pct`
+    next to `max_overhead_pct`, the fresh overhead must be under the
+    ceiling (the ceiling itself comes from the fresh file, so tightening
+    the gate in code tightens the check);
+  * boolean invariants may not flip off: any bool leaf that is true in
+    the baseline (pass, bit_identical, outcomes_identical, full_census,
+    cache_hit, ...) must still be true fresh.
+
+Keys present only in the fresh file are fine (benches grow fields);
+baseline paths missing from the fresh file are an error. Array length
+changes are reported but only the common prefix is compared, so adding
+a config row to a sweep does not break the sentinel.
+
+Usage:
+    check_bench.py FRESH BASELINE [--tolerance 0.2] [--label NAME]
+                   [--skip KEY ...]
+
+`--skip KEY` exempts every leaf with that key name — CI smokes run capped
+(--faults N) against full-run baselines, so e.g. `--skip full_census`
+keeps the throughput and gate checks while ignoring the one field that
+legitimately differs.
+
+Tolerance is a fraction of the baseline throughput (default 0.2 = fresh
+may be up to 20% slower), sized for shared CI runners; the committed
+baselines were measured on a quiet machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(fresh, base, path, errors, notes, tolerance, skip):
+    key = path.rsplit(".", 1)[-1].split("[")[0]
+    if key in skip:
+        return
+    if isinstance(base, dict):
+        if not isinstance(fresh, dict):
+            errors.append(f"{path or '.'}: baseline is an object, fresh is "
+                          f"{type(fresh).__name__}")
+            return
+        if (
+            isinstance(fresh.get("overhead_pct"), (int, float))
+            and isinstance(fresh.get("max_overhead_pct"), (int, float))
+            and fresh["overhead_pct"] > fresh["max_overhead_pct"]
+        ):
+            errors.append(
+                f"{path or '.'}: overhead_pct {fresh['overhead_pct']:.4g}% "
+                f"exceeds the declared gate "
+                f"{fresh['max_overhead_pct']:.4g}%"
+            )
+        for key, bval in base.items():
+            sub = f"{path}.{key}" if path else key
+            if key not in fresh:
+                if key not in skip:
+                    errors.append(f"{sub}: present in baseline, missing fresh")
+                continue
+            walk(fresh[key], bval, sub, errors, notes, tolerance, skip)
+        return
+
+    if isinstance(base, list):
+        if not isinstance(fresh, list):
+            errors.append(f"{path}: baseline is an array, fresh is "
+                          f"{type(fresh).__name__}")
+            return
+        if len(fresh) != len(base):
+            notes.append(
+                f"{path}: array length changed {len(base)} -> {len(fresh)}"
+                f" (comparing first {min(len(base), len(fresh))})"
+            )
+        for i, bval in enumerate(base[: len(fresh)]):
+            walk(fresh[i], bval, f"{path}[{i}]", errors, notes, tolerance,
+                 skip)
+        return
+
+    if isinstance(base, bool):
+        if base and fresh is not True:
+            errors.append(f"{path}: was true in baseline, now {fresh!r}")
+        return
+    if (
+        key.endswith("_per_second")
+        and isinstance(base, (int, float))
+        and base > 0
+    ):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            errors.append(f"{path}: expected a number, got {fresh!r}")
+        elif fresh < base * (1.0 - tolerance):
+            errors.append(
+                f"{path}: {fresh:.6g} regressed more than "
+                f"{tolerance:.0%} below baseline {base:.6g}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="bench_perf JSON from this run")
+    parser.add_argument("baseline", help="committed BENCH_*.json to hold to")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional throughput regression (default 0.2)",
+    )
+    parser.add_argument(
+        "--label", default="", help="name shown in messages (default: paths)"
+    )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="exempt every leaf with this key name (repeatable)",
+    )
+    args = parser.parse_args()
+    label = args.label or f"{args.fresh} vs {args.baseline}"
+
+    try:
+        with open(args.fresh, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+        with open(args.baseline, encoding="utf-8") as fh:
+            base = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: {label}: {exc}", file=sys.stderr)
+        return 1
+
+    errors, notes = [], []
+    walk(fresh, base, "", errors, notes, args.tolerance, set(args.skip))
+    for note in notes:
+        print(f"check_bench: note: {label}: {note}")
+    if errors:
+        for err in errors:
+            print(f"check_bench: {label}: {err}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK ({label}, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@ format regression without rebuilding the report renderer:
   * every line is exactly one compact JSON object;
   * every event carries the envelope {"v":1,"seq":N,"ts":S,"type":...},
     with `seq` strictly monotonic from 0 and `ts` a non-negative number;
+  * when the fleet plane stamped the envelope with trace correlation ids,
+    `trace_id` and `span_id` appear together (both-or-neither), each is
+    16 lowercase hex digits, and `trace_id` is constant across the whole
+    log; logs written before the fleet plane (no ids at all) still pass;
   * the FIRST event is a campaign_header naming the schema
     "statfi.eventlog.v1" (header-first invariant);
   * every known event type carries its required keys with sane types
@@ -16,9 +20,12 @@ format regression without rebuilding the report renderer:
 
 Usage:
     check_eventlog.py FILE [--require-type TYPE ...] [--strict]
+                      [--expect-trace HEX]
 
 `--require-type` fails unless at least one event of that type is present
 (e.g. --require-type stratum_update --require-type campaign_end).
+`--expect-trace` fails unless every event carries exactly that trace_id
+(use it to assert a shard log joined the driver's trace).
 """
 
 import argparse
@@ -29,7 +36,9 @@ SCHEMA_NAME = "statfi.eventlog.v1"
 
 # Number formats the fault layer can store weights in, with the stored word
 # width in bits. campaign_header.format declares which one the campaign
-# used; logs written before the field existed default to fp32.
+# used; logs written before the field existed default to fp32, and service
+# daemon logs (command == "serve") carry the sentinel "-" — no single
+# weight format applies to a whole fleet.
 FORMAT_WIDTHS = {"fp32": 32, "fp16": 16, "bf16": 16, "int8": 8}
 
 # Required payload keys (beyond the envelope) per event type, with the
@@ -119,6 +128,43 @@ REQUIRED = {
 FINGERPRINT_HEX = set("0123456789abcdef")
 
 
+def hex16(value):
+    """True when value is a 16-digit lowercase-hex string (trace/span id)."""
+    return (
+        isinstance(value, str)
+        and len(value) == 16
+        and set(value) <= FINGERPRINT_HEX
+    )
+
+
+def check_trace_envelope(event, lineno, errors, ctx):
+    """Optional fleet-plane correlation ids: both-or-neither per event, each
+    16 lowercase hex, and one trace_id for the whole log. `ctx["trace_id"]`
+    remembers the first id seen."""
+    trace, span = event.get("trace_id"), event.get("span_id")
+    if trace is None and span is None:
+        return
+    if trace is None or span is None:
+        present = "trace_id" if span is None else "span_id"
+        errors.append(
+            f"line {lineno}: envelope carries {present} without its pair "
+            f"(trace_id and span_id travel together)"
+        )
+    for key, value in (("trace_id", trace), ("span_id", span)):
+        if value is not None and not hex16(value):
+            errors.append(
+                f"line {lineno}: envelope {key} {value!r} is not "
+                f"16 lowercase hex digits"
+            )
+    if hex16(trace):
+        first = ctx.setdefault("trace_id", trace)
+        if trace != first:
+            errors.append(
+                f"line {lineno}: trace_id {trace} differs from {first} "
+                f"seen earlier (one trace per log)"
+            )
+
+
 def type_ok(value, expected):
     if expected is bool:
         return isinstance(value, bool)
@@ -160,10 +206,12 @@ def check_payload(event, lineno, errors, ctx):
         # fp32. When present it must name a known format and agree with
         # `dtype` (the two spell the same fact).
         fmt = event.get("format", "fp32")
-        if not isinstance(fmt, str) or fmt not in FORMAT_WIDTHS:
+        if not isinstance(fmt, str) or (
+            fmt not in FORMAT_WIDTHS and fmt != "-"
+        ):
             errors.append(
                 f"line {lineno}: campaign_header.format {fmt!r} is not "
-                f"one of {sorted(FORMAT_WIDTHS)}"
+                f"one of {sorted(FORMAT_WIDTHS)} or '-'"
             )
             fmt = "fp32"
         elif "format" in event and event.get("dtype") not in (None, fmt):
@@ -171,7 +219,9 @@ def check_payload(event, lineno, errors, ctx):
                 f"line {lineno}: campaign_header.format {fmt!r} disagrees "
                 f"with dtype {event.get('dtype')!r}"
             )
-        ctx["format"] = fmt
+        # The "-" sentinel carries no width; fall back to fp32 for the
+        # (never-exercised) bit-bound check.
+        ctx["format"] = "fp32" if fmt == "-" else fmt
         if isinstance(event.get("fault_model"), str):
             ctx["fault_model"] = event["fault_model"]
     if etype == "stratum_update":
@@ -252,7 +302,7 @@ def check_payload(event, lineno, errors, ctx):
     return True
 
 
-def check(path, required_types, strict):
+def check(path, required_types, strict, expect_trace=None):
     errors = []
     counts = {}
     expected_seq = 0
@@ -289,6 +339,7 @@ def check(path, required_types, strict):
             ts = event.get("ts")
             if not isinstance(ts, NUM) or isinstance(ts, bool) or ts < 0:
                 errors.append(f"line {lineno}: bad ts {ts!r}")
+            check_trace_envelope(event, lineno, errors, ctx)
             etype = event.get("type")
             if not isinstance(etype, str) or not etype:
                 errors.append(f"line {lineno}: missing event type")
@@ -311,6 +362,11 @@ def check(path, required_types, strict):
     for etype in required_types:
         if not counts.get(etype):
             errors.append(f"required event type {etype!r} has no events")
+    if expect_trace is not None and ctx.get("trace_id") != expect_trace:
+        errors.append(
+            f"expected trace_id {expect_trace!r}, log carries "
+            f"{ctx.get('trace_id')!r}"
+        )
     return errors, expected_seq, counts
 
 
@@ -329,9 +385,18 @@ def main():
         action="store_true",
         help="also fail on event types unknown to schema v1",
     )
+    parser.add_argument(
+        "--expect-trace",
+        metavar="HEX",
+        help="fail unless every event carries this 16-hex-digit trace_id",
+    )
     args = parser.parse_args()
+    if args.expect_trace is not None and not hex16(args.expect_trace):
+        parser.error("--expect-trace wants 16 lowercase hex digits")
 
-    errors, events, counts = check(args.file, args.require_type, args.strict)
+    errors, events, counts = check(
+        args.file, args.require_type, args.strict, args.expect_trace
+    )
     if errors:
         for err in errors:
             print(f"check_eventlog: {err}", file=sys.stderr)

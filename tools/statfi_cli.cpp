@@ -19,6 +19,9 @@
 //   statfi report        --manifest PATH [--out PATH.html]
 //   statfi report        --diff A.jsonl B.jsonl [--out PATH.html] [--json]
 //   statfi report        --matrix A.jsonl B.jsonl ... [--out PATH.html]
+//   statfi report        --history metrics.tsf [--out PATH.html]
+//   statfi trace merge   A.json B.json ... --out merged.json
+//   statfi tail          <http://127.0.0.1:PORT/campaigns/N/events | LOG>
 //   statfi version       [--json]
 //
 // Approaches: exhaustive | network-wise | layer-wise | data-unaware |
@@ -57,7 +60,24 @@
 // (`--diff A B` flags strata whose confidence intervals no longer
 // overlap). Telemetry never perturbs outcomes: results are bit-identical
 // with every flag on or off.
+//
+// Fleet plane (DESIGN.md decision 18): --trace-id/--parent-span (or the
+// STATFI_TRACE_ID / STATFI_PARENT_SPAN environment, which `shard run-all`
+// and the service set for their children) stamp one 64-bit trace across
+// every process of a campaign, so shard event logs and Chrome traces
+// correlate; `shard run-all --trace-out` merges the driver's and every
+// child's trace into one timeline, `statfi trace merge` stitches arbitrary
+// per-process traces, `statfi report --history` renders a metrics.tsf ring
+// as sparklines, and `statfi tail` follows a live event stream (the
+// daemon's /campaigns/<id>/events?follow=1 or a local log) rendering
+// per-stratum convergence as it happens.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -79,9 +99,12 @@
 #include "core/testbed.hpp"
 #include "data/synthetic.hpp"
 #include "formats/format.hpp"
+#include "io/atomic_file.hpp"
 #include "kernels/registry.hpp"
 #include "models/registry.hpp"
+#include "report/history_html.hpp"
 #include "report/json.hpp"
+#include "report/json_parse.hpp"
 #include "report/observatory.hpp"
 #include "report/table.hpp"
 #include "service/daemon.hpp"
@@ -91,7 +114,9 @@
 #include "shard/merge.hpp"
 #include "shard/runner.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/http.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -142,6 +167,11 @@ struct Options {
     std::string state_dir;     ///< serve: daemon state directory
     std::size_t workers = 2;   ///< serve: concurrent campaigns
     int port = 0;              ///< serve: HTTP port (0 picks a free port)
+    std::string trace_id;      ///< --trace-id: fleet trace (16 hex digits)
+    std::string parent_span;   ///< --parent-span: the spawning span's id
+    bool no_fleet = false;     ///< serve: disable the fleet plane
+    std::string history_in;    ///< report --history: metrics.tsf to render
+    std::vector<std::string> inputs;  ///< tail/trace merge: positional args
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -167,6 +197,13 @@ struct Options {
         "                              accept recipe submissions over HTTP,\n"
         "                              schedule them across a worker pool,\n"
         "                              cache results by recipe fingerprint\n"
+        "  trace merge                 stitch per-process Chrome traces of\n"
+        "                              one campaign into a single correlated\n"
+        "                              timeline (requires --out)\n"
+        "  tail                        follow a live campaign event stream\n"
+        "                              (the daemon's /campaigns/<id>/events\n"
+        "                              URL or a local event-log path) and\n"
+        "                              render per-stratum convergence\n"
         "  version                     print version, kernel backend, and\n"
         "                              CPU features (--json for a document)\n"
         "options:\n"
@@ -227,7 +264,15 @@ struct Options {
         "  --serve-status PORT         serve /status /metrics /trace on\n"
         "                              127.0.0.1:PORT while the campaign\n"
         "                              runs (0 picks a free port)\n"
+        "  --trace-id HEX              fleet trace to join (16 lowercase hex\n"
+        "                              digits; env STATFI_TRACE_ID is the\n"
+        "                              fallback — run-all and the service\n"
+        "                              pass it to their children)\n"
+        "  --parent-span HEX           the spawning process's span id (env\n"
+        "                              STATFI_PARENT_SPAN)\n"
         "  --log PATH                  report: the event log to render\n"
+        "  --history PATH              report: render a metrics.tsf history\n"
+        "                              ring as sparkline rows\n"
         "  --diff A B                  report: flag strata whose confidence\n"
         "                              intervals no longer overlap\n"
         "  --matrix LOG...             report: render N campaign logs side\n"
@@ -241,7 +286,10 @@ struct Options {
         "                              (default 2; --shards sets the\n"
         "                              partition width per campaign,\n"
         "                              --threads the engine workers per\n"
-        "                              shard)\n";
+        "                              shard)\n"
+        "  --no-fleet                  serve: disable the fleet plane (no\n"
+        "                              traces, metrics history, or live\n"
+        "                              stats; outcomes are identical)\n";
     std::exit(2);
 }
 
@@ -270,12 +318,24 @@ Options parse(int argc, char** argv) {
         opt.subcommand = argv[2];
         i = 3;
     }
+    if (opt.command == "trace") {
+        if (argc < 3) usage("trace needs a subcommand (merge)");
+        opt.subcommand = argv[2];
+        i = 3;
+    }
     for (; i < argc; ++i) {
         const std::string flag = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc) usage("missing value for " + flag);
             return argv[++i];
         };
+        // tail and trace merge take positional operands (a URL / log path,
+        // trace files); everything else is flags only.
+        if (!flag.empty() && flag[0] != '-' &&
+            (opt.command == "tail" || opt.command == "trace")) {
+            opt.inputs.push_back(flag);
+            continue;
+        }
         if (flag == "--model") opt.model = value();
         else if (flag == "--approach") {
             opt.approach = value();
@@ -326,6 +386,10 @@ Options parse(int argc, char** argv) {
                 usage("--port must be in [0, 65535]");
             opt.port = static_cast<int>(port);
         }
+        else if (flag == "--trace-id") opt.trace_id = value();
+        else if (flag == "--parent-span") opt.parent_span = value();
+        else if (flag == "--no-fleet") opt.no_fleet = true;
+        else if (flag == "--history") opt.history_in = value();
         else if (flag == "--log") opt.log_in = value();
         else if (flag == "--diff") {
             opt.diff_a = value();
@@ -376,17 +440,49 @@ core::ProgressFn stderr_progress() {
     return telemetry::ProgressReporter::stream_heartbeat(std::cerr);
 }
 
+/// The fleet trace identity this invocation was given: --trace-id /
+/// --parent-span first, the STATFI_TRACE_ID / STATFI_PARENT_SPAN
+/// environment second (how `shard run-all` and the service hand identity to
+/// children without touching their argv contracts). The process's own root
+/// span id is derived from (role, trace), so the daemon — which runs shards
+/// in-process with role "shard:<k>" — and a subprocess shard correlate
+/// identically. An invalid spelling is a usage error, never a silent drop.
+telemetry::TraceContext trace_context_from(const Options& opt,
+                                           const std::string& role) {
+    std::string text = opt.trace_id;
+    if (text.empty())
+        if (const char* env = std::getenv("STATFI_TRACE_ID")) text = env;
+    telemetry::TraceContext ctx;
+    if (text.empty()) return ctx;
+    if (!telemetry::parse_trace_id(text, ctx.trace_id))
+        usage("--trace-id must be 16 lowercase hex digits, got '" + text +
+              "'");
+    std::string parent = opt.parent_span;
+    if (parent.empty())
+        if (const char* env = std::getenv("STATFI_PARENT_SPAN")) parent = env;
+    if (!parent.empty() &&
+        !telemetry::parse_trace_id(parent, ctx.parent_span_id))
+        usage("--parent-span must be 16 lowercase hex digits, got '" +
+              parent + "'");
+    ctx.span_id = telemetry::derive_trace_id(role + ":" + text);
+    return ctx;
+}
+
 /// The telemetry session this invocation asked for, or nullptr when no
 /// telemetry flag was given (campaigns then pay one pointer compare per
 /// fault and zero clock reads).
-std::unique_ptr<telemetry::Session> make_session(const Options& opt) {
+std::unique_ptr<telemetry::Session> make_session(
+    const Options& opt, const telemetry::TraceContext& ctx = {}) {
     if (opt.metrics_out.empty() && opt.trace_out.empty() &&
         !opt.perf_counters && opt.log_out.empty() && opt.serve_status < 0)
         return nullptr;
     telemetry::SessionOptions options;
-    // A live status server should answer /trace, so it implies tracing.
-    options.enable_trace = !opt.trace_out.empty() || opt.serve_status >= 0;
+    // A live status server should answer /trace, so it implies tracing; a
+    // fleet trace identity implies it too (the id travels in the trace).
+    options.enable_trace =
+        !opt.trace_out.empty() || opt.serve_status >= 0 || ctx.valid();
     options.enable_perf = opt.perf_counters;
+    options.trace_context = ctx;
     auto session = std::make_unique<telemetry::Session>(options);
     if (opt.perf_counters && !session->perf_enabled())
         std::cerr << "statfi: hardware perf counters unavailable ("
@@ -444,7 +540,11 @@ Observatory open_observatory(const Options& opt,
                              const shard::CampaignRecipe& recipe,
                              const std::string& command, int shard = -1) {
     Observatory obs;
-    obs.session = make_session(opt);
+    // Role-based span derivation keeps CLI shards and the daemon's
+    // in-process shards indistinguishable in a merged fleet trace.
+    const std::string role =
+        shard >= 0 ? "shard:" + std::to_string(shard) : command;
+    obs.session = make_session(opt, trace_context_from(opt, role));
     if (!obs.session) return obs;
     if (!opt.log_out.empty()) {
         obs.session->open_event_log(opt.log_out);
@@ -1046,8 +1146,62 @@ int cmd_shard_run_all(const Options& opt) {
     const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
     drive.statfi_binary = ec ? g_argv0 : self.string();
 
+    // Fleet trace identity: join the caller's trace when one was handed
+    // down, else derive one from the manifest fingerprint — the same
+    // campaign rerun correlates the same way, and every child shard is
+    // spawned carrying it.
+    telemetry::TraceContext ctx = trace_context_from(opt, "driver");
+    if (!ctx.valid()) {
+        ctx.trace_id = telemetry::derive_trace_id(
+            "manifest:" + manifest.fingerprint.describe());
+        ctx.span_id = telemetry::derive_trace_id(
+            "driver:" + telemetry::format_trace_id(ctx.trace_id));
+    }
+    drive.trace = ctx;
+    std::string trace_dir;
+    if (!opt.trace_out.empty()) {
+        const auto parent = std::filesystem::path(opt.manifest).parent_path();
+        trace_dir = parent.empty() ? std::string(".") : parent.string();
+        drive.trace_dir = trace_dir;
+    }
+    telemetry::TraceRecorder driver_trace;
+    driver_trace.set_context(ctx);
+    telemetry::Span drive_span(&driver_trace, "shard_run_all");
+
     const auto drive_report =
         shard::run_all_shards(manifest, opt.manifest, drive);
+    drive_span.close();
+
+    // Stitch the driver's own trace with every child trace that exists —
+    // a failed shard's missing file degrades the merge, never the drive.
+    if (!opt.trace_out.empty()) {
+        try {
+            std::ostringstream own;
+            driver_trace.write_chrome_trace(own);
+            std::vector<telemetry::TraceMergeInput> inputs;
+            inputs.push_back({"driver", own.str()});
+            for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+                std::string text;
+                if (io::read_file(
+                        shard::shard_trace_path(
+                            trace_dir, static_cast<std::uint32_t>(k)),
+                        text))
+                    inputs.push_back(
+                        {"shard " + std::to_string(k), std::move(text)});
+            }
+            const std::string merged =
+                telemetry::merge_chrome_traces(inputs);
+            io::write_file_atomic(opt.trace_out,
+                                  [&](std::ostream& o) { o << merged; });
+            std::cerr << "statfi: merged fleet trace written to "
+                      << opt.trace_out << " (" << inputs.size()
+                      << " process(es), trace "
+                      << telemetry::format_trace_id(ctx.trace_id) << ")\n";
+        } catch (const std::exception& e) {
+            std::cerr << "statfi: fleet trace merge failed: " << e.what()
+                      << "\n";
+        }
+    }
     std::ostream& out = human(opt);
     report::Table table({"Shard", "Status"});
     for (const auto& s : drive_report.shards)
@@ -1058,6 +1212,7 @@ int cmd_shard_run_all(const Options& opt) {
         json.begin_object()
             .field("command", "shard-run-all")
             .field("manifest", opt.manifest)
+            .field("trace_id", telemetry::format_trace_id(ctx.trace_id))
             .field("ok", drive_report.ok())
             .key("shards")
             .begin_array();
@@ -1300,16 +1455,57 @@ int cmd_report_matrix(const Options& opt) {
     return matrix.divergent() == 0 ? 0 : 3;
 }
 
+/// `report --history metrics.tsf`: the fleet plane's durable metrics ring
+/// (what the sampler persists and /campaigns/<id>/history serves) rendered
+/// as one sparkline row per series.
+int cmd_report_history(const Options& opt) {
+    const telemetry::HistoryRing ring =
+        telemetry::HistoryRing::load(opt.history_in);
+    std::vector<double> seconds;
+    std::vector<report::HistorySeries> series;
+    for (const std::string& name : ring.series())
+        series.push_back({name, {}});
+    for (const telemetry::HistorySample& s : ring.samples()) {
+        seconds.push_back(s.seconds);
+        for (std::size_t i = 0; i < series.size(); ++i)
+            series[i].values.push_back(s.values[i]);
+    }
+    const std::string out_path =
+        opt.out.empty() ? opt.history_in + ".html" : opt.out;
+    write_text_file(out_path,
+                    report::render_history_html(seconds, series,
+                                                "statfi metrics history"));
+    std::ostream& out = human(opt);
+    out << "history report written to " << out_path << " ("
+        << seconds.size() << " sample(s), " << series.size()
+        << " series)\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "report-history")
+            .field("source", opt.history_in)
+            .field("out", out_path)
+            .field("samples", static_cast<std::uint64_t>(seconds.size()))
+            .field("series", static_cast<std::uint64_t>(series.size()))
+            .field("total", ring.total_appended())
+            .end_object();
+        json.finish();
+    }
+    return 0;
+}
+
 int cmd_report(const Options& opt) {
     const int sources = (opt.log_in.empty() ? 0 : 1) +
                         (opt.manifest.empty() ? 0 : 1) +
                         (opt.diff_a.empty() ? 0 : 1) +
-                        (opt.matrix.empty() ? 0 : 1);
+                        (opt.matrix.empty() ? 0 : 1) +
+                        (opt.history_in.empty() ? 0 : 1);
     if (sources != 1)
         usage("report needs exactly one of --log PATH, --manifest PATH, "
-              "--diff A B, or --matrix LOG...");
+              "--diff A B, --matrix LOG..., or --history PATH");
     if (!opt.diff_a.empty()) return cmd_report_diff(opt);
     if (!opt.matrix.empty()) return cmd_report_matrix(opt);
+    if (!opt.history_in.empty()) return cmd_report_history(opt);
 
     const std::string source =
         opt.log_in.empty() ? opt.manifest : opt.log_in;
@@ -1343,6 +1539,224 @@ int cmd_report(const Options& opt) {
             .end_object();
         json.finish();
     }
+    return 0;
+}
+
+// --- fleet tools: trace merge + live tail ----------------------------------
+
+/// `statfi trace merge A.json B.json ... --out merged.json`: stitch the
+/// per-process Chrome traces one campaign's processes wrote into a single
+/// correlated timeline (one pid per input). Mismatched trace ids are an
+/// error — merging unrelated campaigns would fabricate correlation.
+int cmd_trace(const Options& opt) {
+    if (opt.subcommand != "merge")
+        usage("unknown trace subcommand '" + opt.subcommand +
+              "' (expected: merge)");
+    if (opt.out.empty()) usage("trace merge needs --out PATH");
+    if (opt.inputs.size() < 2)
+        usage("trace merge needs at least two trace files");
+    std::vector<telemetry::TraceMergeInput> inputs;
+    for (const std::string& path : opt.inputs) {
+        std::string text;
+        if (!io::read_file(path, text))
+            throw std::runtime_error("trace merge: cannot read " + path);
+        inputs.push_back({std::filesystem::path(path).filename().string(),
+                          std::move(text)});
+    }
+    const std::string merged = telemetry::merge_chrome_traces(inputs);
+    io::write_file_atomic(opt.out, [&](std::ostream& o) { o << merged; });
+    std::ostream& out = human(opt);
+    out << "merged trace written to " << opt.out << " (" << inputs.size()
+        << " process(es))\n";
+    if (opt.json) {
+        report::JsonWriter json(std::cout);
+        json.begin_object()
+            .field("command", "trace-merge")
+            .field("out", opt.out)
+            .field("inputs", static_cast<std::uint64_t>(inputs.size()))
+            .end_object();
+        json.finish();
+    }
+    return 0;
+}
+
+/// Render one statfi.eventlog.v1 line for `statfi tail`. The tail is a
+/// lens, not a gate: unknown event types are quietly skipped and an
+/// unparseable line passes through raw, so a newer daemon never breaks an
+/// older tail.
+void render_event_line(std::ostream& out, std::string line) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+        line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) return;
+    report::JsonValue e;
+    try {
+        e = report::parse_json(line);
+    } catch (const std::exception&) {
+        out << line << "\n";
+        return;
+    }
+    const std::string type = e.get_str("type");
+    if (type == "campaign_header") {
+        out << "campaign: " << e.get_str("model") << " · "
+            << e.get_str("approach") << " · " << e.get_str("fault_model")
+            << " · seed " << e.get_uint("seed");
+        if (const std::string trace = e.get_str("trace_id"); !trace.empty())
+            out << " · trace " << trace;
+        out << "\n";
+    } else if (type == "plan") {
+        out << "plan: " << report::fmt_u64(e.get_uint("planned")) << " of "
+            << report::fmt_u64(e.get_uint("universe")) << " faults, "
+            << e.get_uint("strata") << " strata\n";
+    } else if (type == "shard_begin") {
+        out << "shard " << e.get_uint("shard") << ": items ["
+            << e.get_uint("range_begin") << ", " << e.get_uint("range_end")
+            << ")\n";
+    } else if (type == "shard_end") {
+        out << "shard " << e.get_uint("shard")
+            << (e.get_bool("complete", true) ? ": complete ("
+                                             : ": interrupted (")
+            << e.get_uint("classified") << " classified, "
+            << e.get_uint("resumed") << " resumed)\n";
+    } else if (type == "stratum_update") {
+        out << "  stratum " << e.get_uint("stratum") << " (layer "
+            << e.get_int("layer", -1) << ", bit " << e.get_int("bit", -1)
+            << "): p(hat)=" << report::fmt_double(e.get_num("p_hat"), 5)
+            << " wilson[" << report::fmt_double(e.get_num("wilson_lo"), 5)
+            << ", " << report::fmt_double(e.get_num("wilson_hi", 1.0), 5)
+            << "] " << e.get_uint("done") << "/" << e.get_uint("planned")
+            << "\n";
+    } else if (type == "campaign_end") {
+        out << "campaign " << e.get_str("outcome") << ": "
+            << report::fmt_u64(e.get_uint("injected")) << " injected, "
+            << report::fmt_u64(e.get_uint("critical")) << " critical in "
+            << report::fmt_double(e.get_num("wall_seconds"), 1) << "s\n";
+    }
+    // Phase/resume chatter stays out of the tail on purpose.
+}
+
+/// Follow a daemon event stream over a minimal blocking HTTP/1.1 client.
+/// Loopback numeric-IPv4 only (the daemon binds nothing else); handles both
+/// chunked (?follow=1) and plain responses; renders lines as they arrive.
+int tail_url(const Options& opt, const std::string& url) {
+    const std::string rest = url.substr(7);  // past "http://"
+    const auto slash = rest.find('/');
+    std::string hostport =
+        slash == std::string::npos ? rest : rest.substr(0, slash);
+    std::string path = slash == std::string::npos ? "/" : rest.substr(slash);
+    const auto colon = hostport.rfind(':');
+    if (colon == std::string::npos)
+        usage("tail URL needs an explicit port, e.g. "
+              "http://127.0.0.1:8080/campaigns/1/events");
+    std::string host = hostport.substr(0, colon);
+    const long port = std::strtol(hostport.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) usage("tail URL port must be in (0, 65535]");
+    if (host == "localhost") host = "127.0.0.1";
+    // Following is the command's whole point — opt the stream into it
+    // unless the caller pinned their own query.
+    if (path.find('?') == std::string::npos) path += "?follow=1";
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("tail: cannot open a socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("tail: '" + host +
+                                 "' is not a numeric IPv4 address (the "
+                                 "daemon serves loopback only)");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        throw std::runtime_error("tail: cannot connect to " + hostport);
+    }
+    const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " +
+                                hostport + "\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("tail: send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::ostream& out = human(opt);
+    std::string buffer;   // raw bytes not yet consumed
+    std::string pending;  // decoded body bytes not yet a full line
+    auto render_decoded = [&](std::string_view text) {
+        pending.append(text);
+        std::size_t nl;
+        while ((nl = pending.find('\n')) != std::string::npos) {
+            render_event_line(out, pending.substr(0, nl));
+            pending.erase(0, nl + 1);
+        }
+    };
+    bool headers_done = false, chunked = false, terminated = false;
+    char io_buf[4096];
+    while (!terminated) {
+        const ssize_t n = ::recv(fd, io_buf, sizeof(io_buf), 0);
+        if (n <= 0) break;
+        buffer.append(io_buf, static_cast<std::size_t>(n));
+        if (!headers_done) {
+            const auto end = buffer.find("\r\n\r\n");
+            if (end == std::string::npos) continue;
+            std::string head = buffer.substr(0, end);
+            buffer.erase(0, end + 4);
+            if (head.compare(0, 12, "HTTP/1.1 200") != 0) {
+                ::close(fd);
+                throw std::runtime_error(
+                    "tail: server answered '" +
+                    head.substr(0, head.find('\r')) + "'");
+            }
+            for (char& c : head)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            chunked =
+                head.find("transfer-encoding: chunked") != std::string::npos;
+            headers_done = true;
+        }
+        if (!chunked) {
+            render_decoded(buffer);
+            buffer.clear();
+            continue;
+        }
+        // Decode every complete chunk the buffer holds; a partial one
+        // waits for the next recv.
+        for (;;) {
+            const auto crlf = buffer.find("\r\n");
+            if (crlf == std::string::npos) break;
+            const std::size_t size =
+                std::strtoul(buffer.c_str(), nullptr, 16);
+            if (size == 0) {  // terminating chunk: the stream is over
+                terminated = true;
+                break;
+            }
+            if (buffer.size() < crlf + 2 + size + 2) break;
+            render_decoded(std::string_view(buffer).substr(crlf + 2, size));
+            buffer.erase(0, crlf + 2 + size + 2);
+        }
+    }
+    ::close(fd);
+    if (!pending.empty()) render_event_line(out, pending);
+    return 0;
+}
+
+/// `statfi tail <http://...|LOG>`: follow a live daemon stream, or render a
+/// local event log through the same lens.
+int cmd_tail(const Options& opt) {
+    if (opt.inputs.size() != 1)
+        usage("tail needs exactly one URL or event-log path");
+    const std::string& target = opt.inputs.front();
+    if (target.rfind("http://", 0) == 0) return tail_url(opt, target);
+    std::ifstream file(target);
+    if (!file) throw std::runtime_error("tail: cannot open " + target);
+    std::ostream& out = human(opt);
+    std::string line;
+    while (std::getline(file, line)) render_event_line(out, line);
     return 0;
 }
 
@@ -1389,6 +1803,7 @@ int cmd_serve(const Options& opt) {
     options.default_shards = opt.shards == 0 ? 2 : opt.shards;
     options.engine_threads = opt.threads;
     options.log_path = opt.log_out;
+    options.fleet = !opt.no_fleet;
 
     service::ServiceDaemon daemon(options);
     // Both SIGINT (operator Ctrl-C) and SIGTERM (systemd/CI teardown) mean
@@ -1448,6 +1863,8 @@ int main(int argc, char** argv) {
         if (opt.command == "shard") return cmd_shard(opt);
         if (opt.command == "serve") return cmd_serve(opt);
         if (opt.command == "report") return cmd_report(opt);
+        if (opt.command == "trace") return cmd_trace(opt);
+        if (opt.command == "tail") return cmd_tail(opt);
         if (opt.command == "version") return cmd_version(opt);
         usage("unknown command '" + opt.command + "'");
     } catch (const std::exception& e) {
